@@ -1,0 +1,172 @@
+//! Ordered accumulation (the paper's Section 5.2).
+//!
+//! `N` threads each compute an independent subresult; the subresults are
+//! folded into one composite result under mutual exclusion. With a lock, the
+//! fold order is whatever the scheduler produces — harmless for associative
+//! folds, **nondeterministic** for non-associative ones (floating-point
+//! addition, list append). Replacing the lock/unlock pair with a counter
+//! check/increment pair keeps the mutual exclusion and *adds* sequential
+//! ordering, trading some concurrency for determinism.
+
+use mc_patterns::Sequencer;
+use mc_sthreads::par_for;
+use std::sync::Mutex;
+
+/// Lock-based accumulation: `result` is folded in scheduler order.
+///
+/// `compute(i)` runs fully in parallel; `fold(&mut result, subresult)` runs
+/// under a lock, in nondeterministic order.
+pub fn with_lock<T, S, C, A>(n: usize, init: T, compute: C, fold: A) -> T
+where
+    T: Send,
+    S: Send,
+    C: Fn(usize) -> S + Sync,
+    A: Fn(&mut T, S) + Sync,
+{
+    let result = Mutex::new(init);
+    par_for(0..n, |i| {
+        let subresult = compute(i);
+        fold(
+            &mut result.lock().expect("accumulator lock poisoned"),
+            subresult,
+        );
+    });
+    result.into_inner().expect("accumulator lock poisoned")
+}
+
+/// Counter-based accumulation: `result` is folded strictly in index order
+/// `0, 1, ..., n-1` on every execution — the paper's
+/// `resultCount.Check(i); Accumulate(...); resultCount.Increment(1)`.
+///
+/// `compute(i)` still runs fully in parallel; only the folds are sequenced.
+pub fn with_counter<T, S, C, A>(n: usize, init: T, compute: C, fold: A) -> T
+where
+    T: Send,
+    S: Send,
+    C: Fn(usize) -> S + Sync,
+    A: Fn(&mut T, S) + Sync,
+{
+    let sequencer = Sequencer::new();
+    // The sequencer already excludes concurrent folds; the mutex is the safe
+    // Rust handle for the shared mutable result and is never contended.
+    let result = Mutex::new(init);
+    par_for(0..n, |i| {
+        let subresult = compute(i);
+        sequencer.execute(i as u64, || {
+            fold(
+                &mut result.lock().expect("accumulator lock poisoned"),
+                subresult,
+            );
+        });
+    });
+    result.into_inner().expect("accumulator lock poisoned")
+}
+
+/// The sequential reference: fold in index order on one thread.
+pub fn sequential<T, S, C, A>(n: usize, init: T, compute: C, fold: A) -> T
+where
+    C: Fn(usize) -> S,
+    A: Fn(&mut T, S),
+{
+    let mut result = init;
+    for i in 0..n {
+        let subresult = compute(i);
+        fold(&mut result, subresult);
+    }
+    result
+}
+
+/// A deliberately non-associative subresult family for the determinism
+/// experiments: magnitudes spread over many orders of magnitude, so
+/// floating-point summation order changes the result.
+pub fn skewed_float(i: usize) -> f64 {
+    let sign = if i.is_multiple_of(2) { 1.0 } else { -1.0 };
+    sign * (10.0f64).powi((i % 16) as i32 - 8) * (i as f64 + 1.0)
+}
+
+/// [`skewed_float`] preceded by compute with scheduler preemption points
+/// (`yield_now`), so thread completion order — and therefore the lock
+/// version's fold order — genuinely varies between runs even on a single
+/// core. The yields model the preemption any real compute phase experiences.
+pub fn skewed_float_yielding(i: usize) -> f64 {
+    let mut noise = 0.0f64;
+    for k in 0..50 {
+        noise += ((i * 31 + k) as f64).sin();
+        if k % 10 == 0 {
+            std::thread::yield_now();
+        }
+    }
+    // The noise term is scaled below f64 resolution of the payload, so the
+    // multiset of subresults is identical to `skewed_float`'s.
+    skewed_float(i) + noise * 1e-300
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_folds_in_order() {
+        let out = sequential(5, Vec::new(), |i| i, |acc, s| acc.push(s));
+        assert_eq!(out, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn counter_fold_order_is_sequential_every_run() {
+        for _ in 0..10 {
+            let out = with_counter(16, Vec::new(), |i| i, |acc, s| acc.push(s));
+            assert_eq!(out, (0..16).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn lock_fold_sees_every_subresult_exactly_once() {
+        let mut out = with_lock(16, Vec::new(), |i| i, |acc, s| acc.push(s));
+        out.sort_unstable();
+        assert_eq!(out, (0..16).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn counter_float_sum_equals_sequential_bitwise() {
+        let seq = sequential(64, 0.0f64, skewed_float, |acc, s| *acc += s);
+        for _ in 0..5 {
+            let par = with_counter(64, 0.0f64, skewed_float, |acc, s| *acc += s);
+            assert_eq!(par.to_bits(), seq.to_bits());
+        }
+    }
+
+    #[test]
+    fn skewed_floats_are_order_sensitive() {
+        // Sanity: summing the same multiset in a different order gives a
+        // different f64 — the premise of the determinism experiment.
+        let forward = (0..64).map(skewed_float).fold(0.0f64, |a, x| a + x);
+        let backward = (0..64).rev().map(skewed_float).fold(0.0f64, |a, x| a + x);
+        assert_ne!(forward.to_bits(), backward.to_bits());
+    }
+
+    #[test]
+    fn zero_items_returns_init() {
+        assert_eq!(with_counter(0, 7u32, |_| 0u32, |a, s| *a += s), 7);
+        assert_eq!(with_lock(0, 7u32, |_| 0u32, |a, s| *a += s), 7);
+    }
+
+    #[test]
+    fn single_item() {
+        assert_eq!(with_counter(1, 0u32, |_| 5u32, |a, s| *a += s), 5);
+    }
+
+    #[test]
+    fn list_append_matches_paper_example() {
+        // The paper's composite: a linked list built by appends; with the
+        // counter the list order is the thread index order.
+        let out = with_counter(
+            8,
+            String::new(),
+            |i| i.to_string(),
+            |acc, s| {
+                acc.push_str(&s);
+            },
+        );
+        assert_eq!(out, "01234567");
+    }
+}

@@ -1,0 +1,147 @@
+//! Weighted-digraph workload generators and the paper's Figure 1 example.
+
+use crate::matrix::{SquareMatrix, INF};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The 3-vertex example graph of the paper's **Figure 1** (edge-weight
+/// matrix). Diagonal zero, one missing edge per row pair, one negative edge,
+/// no negative cycles.
+pub fn figure1_edge() -> SquareMatrix {
+    SquareMatrix::from_rows(&[vec![0, 1, 2], vec![4, 0, INF], vec![INF, -3, 0]])
+}
+
+/// The shortest-path matrix of Figure 1 — the expected output for
+/// [`figure1_edge`].
+pub fn figure1_path() -> SquareMatrix {
+    SquareMatrix::from_rows(&[vec![0, -1, 2], vec![4, 0, 6], vec![1, -3, 0]])
+}
+
+/// Generates a random weighted digraph satisfying the paper's input
+/// conditions: zero diagonal, no negative-length cycles (possibly negative
+/// individual edges), some missing edges.
+///
+/// Negative edges without negative cycles are produced with the potential
+/// trick: every edge `(i, j)` present gets weight
+/// `base(i, j) + p[i] - p[j]` with `base >= 0`, so any cycle's weight
+/// telescopes to the (nonnegative) sum of its `base` weights.
+///
+/// * `n` — number of vertices.
+/// * `density` — probability in `[0, 1]` that each off-diagonal edge exists.
+/// * `seed` — RNG seed; equal seeds give equal graphs.
+pub fn random_graph(n: usize, density: f64, seed: u64) -> SquareMatrix {
+    assert!((0.0..=1.0).contains(&density), "density must be in [0, 1]");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let potentials: Vec<i64> = (0..n).map(|_| rng.gen_range(-20..=20)).collect();
+    let mut edge = SquareMatrix::filled(n, INF);
+    for i in 0..n {
+        edge.set(i, i, 0);
+        for j in 0..n {
+            if i != j && rng.gen_bool(density) {
+                let base = rng.gen_range(0..100);
+                edge.set(i, j, base + potentials[i] - potentials[j]);
+            }
+        }
+    }
+    edge
+}
+
+/// Generates a dense nonnegative-weight graph (every edge present), the
+/// easiest input for throughput benchmarking.
+pub fn dense_graph(n: usize, max_weight: i64, seed: u64) -> SquareMatrix {
+    assert!(max_weight > 0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut edge = SquareMatrix::filled(n, 0);
+    for i in 0..n {
+        for j in 0..n {
+            if i != j {
+                edge.set(i, j, rng.gen_range(1..=max_weight));
+            }
+        }
+    }
+    edge
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure1_matrices_have_required_shape() {
+        let e = figure1_edge();
+        let p = figure1_path();
+        assert_eq!(e.n(), 3);
+        assert_eq!(p.n(), 3);
+        for i in 0..3 {
+            assert_eq!(e.get(i, i), 0, "zero diagonal required");
+            assert_eq!(p.get(i, i), 0);
+        }
+        assert_eq!(e.get(2, 1), -3, "the figure's negative edge");
+    }
+
+    #[test]
+    fn random_graph_is_deterministic_per_seed() {
+        let a = random_graph(10, 0.5, 42);
+        let b = random_graph(10, 0.5, 42);
+        let c = random_graph(10, 0.5, 43);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn random_graph_has_zero_diagonal() {
+        let g = random_graph(12, 0.7, 1);
+        for i in 0..12 {
+            assert_eq!(g.get(i, i), 0);
+        }
+    }
+
+    #[test]
+    fn random_graph_has_no_negative_cycles() {
+        // Bellman-Ford style check: run n relaxation rounds from a virtual
+        // source connected to everyone; an n-th-round improvement means a
+        // negative cycle.
+        for seed in 0..5 {
+            let n = 10;
+            let g = random_graph(n, 0.6, seed);
+            let mut dist = vec![0i64; n];
+            let mut changed_last = false;
+            for round in 0..n {
+                changed_last = false;
+                for i in 0..n {
+                    for j in 0..n {
+                        let w = g.get(i, j);
+                        if w < INF && dist[i] + w < dist[j] {
+                            dist[j] = dist[i] + w;
+                            changed_last = true;
+                        }
+                    }
+                }
+                if !changed_last {
+                    break;
+                }
+                let _ = round;
+            }
+            assert!(!changed_last, "seed {seed} produced a negative cycle");
+        }
+    }
+
+    #[test]
+    fn dense_graph_has_every_edge() {
+        let g = dense_graph(8, 10, 7);
+        for i in 0..8 {
+            for j in 0..8 {
+                if i != j {
+                    let w = g.get(i, j);
+                    assert!((1..=10).contains(&w));
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "density")]
+    fn bad_density_rejected() {
+        random_graph(3, 1.5, 0);
+    }
+}

@@ -1,0 +1,275 @@
+//! 1-D boundary-exchange simulation (the paper's Section 5.1).
+//!
+//! A rod of `N` cells evolves over time steps; internal cell `i` at step `t`
+//! is a function of cells `i-1`, `i`, `i+1` at step `t-1`; the two boundary
+//! cells stay constant. The paper gives two multithreaded programs with one
+//! thread per internal cell:
+//!
+//! * [`with_barrier`] — all threads synchronize at a full barrier **twice**
+//!   per step (once before exchanging states, once before updating);
+//! * [`with_ragged`] — an array of counters provides pairwise neighbour
+//!   synchronization: `c[i] >= 2t-1` means thread `i` finished *reading* its
+//!   neighbours in step `t`, and `c[i] >= 2t` means it finished *writing*
+//!   step `t`. Threads may drift many steps apart where dependencies allow.
+//!
+//! Both are synchronous-update schemes, so they agree bit-for-bit with the
+//! [`sequential`] double-buffer reference.
+//!
+//! Cell states cross thread boundaries, so they are stored as relaxed
+//! `AtomicU64` bit-patterns of `f64`; the counters/barriers provide all
+//! ordering (their internal locks give the necessary happens-before edges).
+
+use mc_patterns::RaggedBarrier;
+use mc_primitives::Barrier;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// The update rule `f(lState, myState, rState)`: explicit-Euler heat
+/// diffusion with conduction coefficient 1/4.
+pub fn diffuse(l: f64, c: f64, r: f64) -> f64 {
+    c + 0.25 * (l - 2.0 * c + r)
+}
+
+/// Sequential reference: synchronous (double-buffered) update of all
+/// internal cells for `steps` time steps.
+pub fn sequential(initial: &[f64], steps: usize) -> Vec<f64> {
+    let n = initial.len();
+    let mut cur = initial.to_vec();
+    if n < 3 {
+        return cur;
+    }
+    let mut next = cur.clone();
+    for _ in 0..steps {
+        for i in 1..n - 1 {
+            next[i] = diffuse(cur[i - 1], cur[i], cur[i + 1]);
+        }
+        std::mem::swap(&mut cur, &mut next);
+    }
+    cur
+}
+
+fn load(cell: &AtomicU64) -> f64 {
+    f64::from_bits(cell.load(Ordering::Relaxed))
+}
+
+fn store(cell: &AtomicU64, value: f64) {
+    cell.store(value.to_bits(), Ordering::Relaxed);
+}
+
+fn to_cells(initial: &[f64]) -> Vec<AtomicU64> {
+    initial
+        .iter()
+        .map(|&v| AtomicU64::new(v.to_bits()))
+        .collect()
+}
+
+fn from_cells(cells: Vec<AtomicU64>) -> Vec<f64> {
+    cells
+        .into_iter()
+        .map(|c| f64::from_bits(c.into_inner()))
+        .collect()
+}
+
+/// The paper's traditional program: one thread per internal cell, a full
+/// `(N-2)`-way barrier passed twice per time step. `extra_work(cell, step)`
+/// is called once per cell per step between the exchange and the update
+/// (no-op in the plain benchmark; the imbalance experiments inject skewed
+/// work there).
+pub fn with_barrier_work(
+    initial: &[f64],
+    steps: usize,
+    extra_work: &(impl Fn(usize, usize) + Sync),
+) -> Vec<f64> {
+    let n = initial.len();
+    if n < 3 || steps == 0 {
+        return initial.to_vec();
+    }
+    let cells = to_cells(initial);
+    let barrier = Barrier::new(n - 2);
+    std::thread::scope(|scope| {
+        for i in 1..n - 1 {
+            let (cells, barrier) = (&cells, &barrier);
+            scope.spawn(move || {
+                let mut mine = load(&cells[i]);
+                for t in 1..=steps {
+                    barrier.pass();
+                    let l = load(&cells[i - 1]);
+                    let r = load(&cells[i + 1]);
+                    extra_work(i, t);
+                    barrier.pass();
+                    mine = diffuse(l, mine, r);
+                    store(&cells[i], mine);
+                }
+            });
+        }
+    });
+    from_cells(cells)
+}
+
+/// [`with_barrier_work`] with no injected work.
+pub fn with_barrier(initial: &[f64], steps: usize) -> Vec<f64> {
+    with_barrier_work(initial, steps, &|_, _| {})
+}
+
+/// The paper's counter program: an array of per-cell counters forms a
+/// *ragged* barrier. The boundary cells publish their whole lifetime of
+/// progress up front (`c[0].Increment(2*numSteps)`), and each internal
+/// thread synchronizes only with its two neighbours.
+pub fn with_ragged_work(
+    initial: &[f64],
+    steps: usize,
+    extra_work: &(impl Fn(usize, usize) + Sync),
+) -> Vec<f64> {
+    let n = initial.len();
+    if n < 3 || steps == 0 {
+        return initial.to_vec();
+    }
+    let cells = to_cells(initial);
+    let rb = RaggedBarrier::new(n);
+    rb.arrive_many(0, 2 * steps as u64);
+    rb.arrive_many(n - 1, 2 * steps as u64);
+    std::thread::scope(|scope| {
+        for i in 1..n - 1 {
+            let (cells, rb) = (&cells, &rb);
+            scope.spawn(move || {
+                let mut mine = load(&cells[i]);
+                for t in 1..=steps {
+                    let t2 = 2 * t as u64;
+                    // Exchange: wait for each neighbour to have *written*
+                    // step t-1 before reading it.
+                    rb.wait(i - 1, t2 - 2);
+                    let l = load(&cells[i - 1]);
+                    rb.wait(i + 1, t2 - 2);
+                    let r = load(&cells[i + 1]);
+                    rb.arrive(i); // counter = 2t-1: finished reading
+                    extra_work(i, t);
+                    mine = diffuse(l, mine, r);
+                    // Update: wait until the neighbours have finished
+                    // *reading* step t before overwriting our state.
+                    rb.wait(i - 1, t2 - 1);
+                    rb.wait(i + 1, t2 - 1);
+                    store(&cells[i], mine);
+                    rb.arrive(i); // counter = 2t: step t complete
+                }
+            });
+        }
+    });
+    from_cells(cells)
+}
+
+/// [`with_ragged_work`] with no injected work.
+pub fn with_ragged(initial: &[f64], steps: usize) -> Vec<f64> {
+    with_ragged_work(initial, steps, &|_, _| {})
+}
+
+/// A convenient initial condition: zero everywhere except a hot left
+/// boundary at temperature `hot`.
+pub fn hot_left_rod(n: usize, hot: f64) -> Vec<f64> {
+    let mut rod = vec![0.0; n];
+    if n > 0 {
+        rod[0] = hot;
+    }
+    rod
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_bits_eq(a: &[f64], b: &[f64], ctx: &str) {
+        assert_eq!(a.len(), b.len(), "{ctx}: length");
+        for (i, (x, y)) in a.iter().zip(b).enumerate() {
+            assert!(
+                x.to_bits() == y.to_bits(),
+                "{ctx}: cell {i} differs: {x} vs {y}"
+            );
+        }
+    }
+
+    #[test]
+    fn diffuse_preserves_uniform_temperature() {
+        assert_eq!(diffuse(5.0, 5.0, 5.0), 5.0);
+    }
+
+    #[test]
+    fn sequential_boundaries_stay_constant() {
+        let rod = hot_left_rod(10, 100.0);
+        let out = sequential(&rod, 50);
+        assert_eq!(out[0], 100.0);
+        assert_eq!(out[9], 0.0);
+    }
+
+    #[test]
+    fn sequential_heat_flows_right() {
+        let rod = hot_left_rod(10, 100.0);
+        let out = sequential(&rod, 100);
+        // Temperatures decrease monotonically away from the hot boundary.
+        for i in 1..9 {
+            assert!(out[i] > 0.0, "cell {i} never warmed");
+            assert!(out[i] < out[i - 1], "profile not monotone at {i}");
+        }
+    }
+
+    #[test]
+    fn barrier_matches_sequential_bit_for_bit() {
+        for (n, steps) in [(3, 1), (5, 10), (16, 37), (33, 100)] {
+            let rod = hot_left_rod(n, 100.0);
+            assert_bits_eq(
+                &with_barrier(&rod, steps),
+                &sequential(&rod, steps),
+                &format!("barrier n={n} steps={steps}"),
+            );
+        }
+    }
+
+    #[test]
+    fn ragged_matches_sequential_bit_for_bit() {
+        for (n, steps) in [(3, 1), (5, 10), (16, 37), (33, 100)] {
+            let rod = hot_left_rod(n, 100.0);
+            assert_bits_eq(
+                &with_ragged(&rod, steps),
+                &sequential(&rod, steps),
+                &format!("ragged n={n} steps={steps}"),
+            );
+        }
+    }
+
+    #[test]
+    fn degenerate_rods_are_returned_unchanged() {
+        for n in 0..3 {
+            let rod = hot_left_rod(n, 9.0);
+            assert_eq!(sequential(&rod, 10), rod);
+            assert_eq!(with_barrier(&rod, 10), rod);
+            assert_eq!(with_ragged(&rod, 10), rod);
+        }
+    }
+
+    #[test]
+    fn zero_steps_is_identity() {
+        let rod = hot_left_rod(8, 3.0);
+        assert_eq!(with_ragged(&rod, 0), rod);
+        assert_eq!(with_barrier(&rod, 0), rod);
+    }
+
+    #[test]
+    fn ragged_tolerates_one_slow_cell() {
+        // A sleeping cell must not corrupt results; distant cells may run
+        // ahead but every dependency is still honoured.
+        let rod = hot_left_rod(12, 50.0);
+        let steps = 20;
+        let out = with_ragged_work(&rod, steps, &|cell, _step| {
+            if cell == 5 {
+                std::thread::sleep(std::time::Duration::from_micros(200));
+            }
+        });
+        assert_bits_eq(&out, &sequential(&rod, steps), "slow-cell ragged");
+    }
+
+    #[test]
+    fn deterministic_across_repeated_runs() {
+        let rod = hot_left_rod(16, 75.0);
+        let first = with_ragged(&rod, 25);
+        for _ in 0..5 {
+            assert_bits_eq(&with_ragged(&rod, 25), &first, "repeat run");
+        }
+    }
+}

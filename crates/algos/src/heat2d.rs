@@ -1,0 +1,296 @@
+//! 2-D boundary-exchange simulation (the paper's Section 5.1 notes that
+//! "similar boundary exchange requirements occur in most multithreaded
+//! simulations of physical systems in one or more dimensions").
+//!
+//! A rectangular plate of `rows x cols` cells; interior cell `(i, j)` at
+//! step `t` is a 5-point-stencil function of itself and its four neighbours
+//! at `t-1`; all edge cells stay constant. One thread per interior **row**;
+//! row `i` depends only on rows `i-1` and `i+1`, so the 1-D ragged protocol
+//! (two counter arrivals per step: finished-reading, finished-writing)
+//! transfers directly with rows in place of cells.
+
+use mc_patterns::RaggedBarrier;
+use mc_primitives::Barrier;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A dense row-major `rows x cols` grid of `f64` temperatures.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Grid {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Grid {
+    /// A grid filled with `value`.
+    pub fn filled(rows: usize, cols: usize, value: f64) -> Self {
+        Grid {
+            rows,
+            cols,
+            data: vec![value; rows * cols],
+        }
+    }
+
+    /// A zero grid with the top edge held at `hot` — the 2-D analogue of
+    /// [`crate::heat::hot_left_rod`].
+    pub fn hot_top(rows: usize, cols: usize, hot: f64) -> Self {
+        let mut g = Grid::filled(rows, cols, 0.0);
+        if rows > 0 {
+            for j in 0..cols {
+                g.set(0, j, hot);
+            }
+        }
+        g
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// The temperature at `(i, j)`.
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        self.data[i * self.cols + j]
+    }
+
+    /// Sets the temperature at `(i, j)`.
+    pub fn set(&mut self, i: usize, j: usize, value: f64) {
+        self.data[i * self.cols + j] = value;
+    }
+
+    /// Exact (bitwise) equality — the determinism assertions need more than
+    /// approximate float comparison.
+    pub fn bits_eq(&self, other: &Grid) -> bool {
+        self.rows == other.rows
+            && self.cols == other.cols
+            && self
+                .data
+                .iter()
+                .zip(&other.data)
+                .all(|(a, b)| a.to_bits() == b.to_bits())
+    }
+}
+
+/// The 5-point stencil update rule.
+pub fn diffuse5(up: f64, left: f64, center: f64, right: f64, down: f64) -> f64 {
+    center + 0.125 * (up + left + right + down - 4.0 * center)
+}
+
+/// Sequential reference: synchronous (double-buffered) update.
+pub fn sequential(initial: &Grid, steps: usize) -> Grid {
+    let (m, n) = (initial.rows, initial.cols);
+    let mut cur = initial.clone();
+    if m < 3 || n < 3 {
+        return cur;
+    }
+    let mut next = cur.clone();
+    for _ in 0..steps {
+        for i in 1..m - 1 {
+            for j in 1..n - 1 {
+                next.set(
+                    i,
+                    j,
+                    diffuse5(
+                        cur.get(i - 1, j),
+                        cur.get(i, j - 1),
+                        cur.get(i, j),
+                        cur.get(i, j + 1),
+                        cur.get(i + 1, j),
+                    ),
+                );
+            }
+        }
+        std::mem::swap(&mut cur, &mut next);
+    }
+    cur
+}
+
+fn to_cells(g: &Grid) -> Vec<AtomicU64> {
+    g.data
+        .iter()
+        .map(|&v| AtomicU64::new(v.to_bits()))
+        .collect()
+}
+
+fn from_cells(rows: usize, cols: usize, cells: Vec<AtomicU64>) -> Grid {
+    Grid {
+        rows,
+        cols,
+        data: cells
+            .into_iter()
+            .map(|c| f64::from_bits(c.into_inner()))
+            .collect(),
+    }
+}
+
+fn load_row(cells: &[AtomicU64], cols: usize, i: usize, into: &mut [f64]) {
+    for (j, slot) in into.iter_mut().enumerate() {
+        *slot = f64::from_bits(cells[i * cols + j].load(Ordering::Relaxed));
+    }
+}
+
+fn compute_row(up: &[f64], mine: &[f64], down: &[f64], out: &mut [f64]) {
+    let n = mine.len();
+    out[0] = mine[0];
+    out[n - 1] = mine[n - 1];
+    for j in 1..n - 1 {
+        out[j] = diffuse5(up[j], mine[j - 1], mine[j], mine[j + 1], down[j]);
+    }
+}
+
+fn store_row(cells: &[AtomicU64], cols: usize, i: usize, from: &[f64]) {
+    for (j, &v) in from.iter().enumerate() {
+        cells[i * cols + j].store(v.to_bits(), Ordering::Relaxed);
+    }
+}
+
+/// Traditional version: one thread per interior row, a full barrier passed
+/// twice per step (exchange, then update).
+pub fn with_barrier(initial: &Grid, steps: usize) -> Grid {
+    let (m, n) = (initial.rows, initial.cols);
+    if m < 3 || n < 3 || steps == 0 {
+        return initial.clone();
+    }
+    let cells = to_cells(initial);
+    let barrier = Barrier::new(m - 2);
+    std::thread::scope(|scope| {
+        for i in 1..m - 1 {
+            let (cells, barrier) = (&cells, &barrier);
+            scope.spawn(move || {
+                let mut up = vec![0.0; n];
+                let mut down = vec![0.0; n];
+                let mut mine = vec![0.0; n];
+                let mut next = vec![0.0; n];
+                load_row(cells, n, i, &mut mine);
+                for _t in 1..=steps {
+                    barrier.pass();
+                    load_row(cells, n, i - 1, &mut up);
+                    load_row(cells, n, i + 1, &mut down);
+                    barrier.pass();
+                    compute_row(&up, &mine, &down, &mut next);
+                    store_row(cells, n, i, &next);
+                    std::mem::swap(&mut mine, &mut next);
+                }
+            });
+        }
+    });
+    from_cells(m, n, cells)
+}
+
+/// Ragged version: a counter per row; each row synchronizes only with its
+/// two neighbouring rows (the paper's 5.1 protocol, rows for cells).
+pub fn with_ragged(initial: &Grid, steps: usize) -> Grid {
+    let (m, n) = (initial.rows, initial.cols);
+    if m < 3 || n < 3 || steps == 0 {
+        return initial.clone();
+    }
+    let cells = to_cells(initial);
+    let rb = RaggedBarrier::new(m);
+    rb.arrive_many(0, 2 * steps as u64);
+    rb.arrive_many(m - 1, 2 * steps as u64);
+    std::thread::scope(|scope| {
+        for i in 1..m - 1 {
+            let (cells, rb) = (&cells, &rb);
+            scope.spawn(move || {
+                let mut up = vec![0.0; n];
+                let mut down = vec![0.0; n];
+                let mut mine = vec![0.0; n];
+                let mut next = vec![0.0; n];
+                load_row(cells, n, i, &mut mine);
+                for t in 1..=steps {
+                    let t2 = 2 * t as u64;
+                    rb.wait(i - 1, t2 - 2);
+                    load_row(cells, n, i - 1, &mut up);
+                    rb.wait(i + 1, t2 - 2);
+                    load_row(cells, n, i + 1, &mut down);
+                    rb.arrive(i); // finished reading step t's inputs
+                    compute_row(&up, &mine, &down, &mut next);
+                    rb.wait(i - 1, t2 - 1);
+                    rb.wait(i + 1, t2 - 1);
+                    store_row(cells, n, i, &next);
+                    std::mem::swap(&mut mine, &mut next);
+                    rb.arrive(i); // step t complete
+                }
+            });
+        }
+    });
+    from_cells(m, n, cells)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stencil_preserves_uniform_temperature() {
+        assert_eq!(diffuse5(3.0, 3.0, 3.0, 3.0, 3.0), 3.0);
+    }
+
+    #[test]
+    fn sequential_edges_stay_constant() {
+        let g = Grid::hot_top(6, 7, 50.0);
+        let out = sequential(&g, 40);
+        for j in 0..7 {
+            assert_eq!(out.get(0, j), 50.0);
+            assert_eq!(out.get(5, j), 0.0);
+        }
+        for i in 0..6 {
+            assert_eq!(out.get(i, 0), g.get(i, 0));
+            assert_eq!(out.get(i, 6), g.get(i, 6));
+        }
+    }
+
+    #[test]
+    fn heat_spreads_from_hot_edge() {
+        let g = Grid::hot_top(8, 8, 100.0);
+        let out = sequential(&g, 60);
+        assert!(out.get(1, 4) > out.get(6, 4), "no vertical gradient formed");
+        assert!(out.get(3, 4) > 0.0, "interior never warmed");
+    }
+
+    #[test]
+    fn barrier_matches_sequential_bitwise() {
+        for (m, n, steps) in [(3, 3, 1), (5, 6, 9), (8, 5, 25)] {
+            let g = Grid::hot_top(m, n, 80.0);
+            assert!(
+                with_barrier(&g, steps).bits_eq(&sequential(&g, steps)),
+                "m={m} n={n} steps={steps}"
+            );
+        }
+    }
+
+    #[test]
+    fn ragged_matches_sequential_bitwise() {
+        for (m, n, steps) in [(3, 3, 1), (5, 6, 9), (8, 5, 25), (12, 12, 40)] {
+            let g = Grid::hot_top(m, n, 80.0);
+            assert!(
+                with_ragged(&g, steps).bits_eq(&sequential(&g, steps)),
+                "m={m} n={n} steps={steps}"
+            );
+        }
+    }
+
+    #[test]
+    fn degenerate_grids_unchanged() {
+        for (m, n) in [(0, 0), (1, 5), (2, 2), (5, 2)] {
+            let g = Grid::filled(m, n, 4.0);
+            assert!(sequential(&g, 5).bits_eq(&g), "{m}x{n}");
+            assert!(with_ragged(&g, 5).bits_eq(&g), "{m}x{n}");
+            assert!(with_barrier(&g, 5).bits_eq(&g), "{m}x{n}");
+        }
+    }
+
+    #[test]
+    fn ragged_deterministic_across_runs() {
+        let g = Grid::hot_top(10, 9, 64.0);
+        let first = with_ragged(&g, 20);
+        for _ in 0..4 {
+            assert!(with_ragged(&g, 20).bits_eq(&first));
+        }
+    }
+}

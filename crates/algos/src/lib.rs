@@ -1,0 +1,45 @@
+//! # Evaluation workloads
+//!
+//! The programs of the paper's Sections 4 and 5, in every synchronization
+//! variant the paper presents, plus seeded workload generators:
+//!
+//! * [`floyd_warshall`] — all-pairs shortest paths: sequential
+//!   (`ShortestPaths1`), barrier (`ShortestPaths2`), condition-variable array
+//!   (`ShortestPaths3`), single counter (Section 4.5).
+//! * [`heat`] — 1-D boundary-exchange simulation (Section 5.1): sequential
+//!   reference, traditional two-barriers-per-step version, and the ragged
+//!   counter-array version.
+//! * [`heat2d`] — the 2-D plate version of the same protocol (Section 5.1's
+//!   "one or more dimensions"), one thread and one counter per row.
+//! * [`accumulate`] — ordered accumulation of concurrently computed
+//!   subresults (Section 5.2): nondeterministic lock version vs deterministic
+//!   counter version.
+//! * [`cascade`] — a Paraffins-style staged dataflow (Section 5.3's citation)
+//!   over broadcast buffers.
+//! * [`paraffins`] — the actual Salishan Paraffins problem: staged canonical
+//!   generation of alkane radicals gated by a single counter, with isomer
+//!   counts verified against OEIS A000598/A000602.
+//! * [`sorting`] — odd–even transposition sort with neighbour-local counter
+//!   synchronization vs a full barrier per phase (extension).
+//! * [`wavefront`] — longest-common-subsequence dynamic programming
+//!   pipelined by per-band progress counters (extension: the ragged-barrier
+//!   idea on a 2-D recurrence).
+//! * [`graph`] / [`matrix`] — seeded weighted-digraph generators (negative
+//!   edges, no negative cycles) and the square matrix type they share,
+//!   including the exact Figure 1 example.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod accumulate;
+pub mod cascade;
+pub mod floyd_warshall;
+pub mod graph;
+pub mod heat;
+pub mod heat2d;
+pub mod matrix;
+pub mod paraffins;
+pub mod sorting;
+pub mod wavefront;
+
+pub use matrix::{SquareMatrix, INF};

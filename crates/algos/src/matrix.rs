@@ -1,0 +1,183 @@
+//! Square matrices of edge weights / path lengths.
+
+use std::fmt;
+
+/// "No edge" sentinel. Large enough to dominate any real path, small enough
+/// that `INF + INF` cannot overflow `i64` (additions saturate at `INF` via
+/// [`add_weights`]).
+pub const INF: i64 = i64::MAX / 4;
+
+/// Saturating addition of two path weights: anything involving [`INF`]
+/// stays `INF`.
+pub fn add_weights(a: i64, b: i64) -> i64 {
+    if a >= INF || b >= INF {
+        INF
+    } else {
+        a + b
+    }
+}
+
+/// A dense `n x n` matrix of `i64` weights in row-major order.
+#[derive(Clone, PartialEq, Eq)]
+pub struct SquareMatrix {
+    n: usize,
+    data: Vec<i64>,
+}
+
+impl SquareMatrix {
+    /// An `n x n` matrix filled with `value`.
+    pub fn filled(n: usize, value: i64) -> Self {
+        SquareMatrix {
+            n,
+            data: vec![value; n * n],
+        }
+    }
+
+    /// Builds a matrix from rows; every row must have length `rows.len()`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on ragged input.
+    pub fn from_rows(rows: &[Vec<i64>]) -> Self {
+        let n = rows.len();
+        let mut data = Vec::with_capacity(n * n);
+        for row in rows {
+            assert_eq!(row.len(), n, "matrix rows must have length {n}");
+            data.extend_from_slice(row);
+        }
+        SquareMatrix { n, data }
+    }
+
+    /// Side length.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The element at row `i`, column `j`.
+    pub fn get(&self, i: usize, j: usize) -> i64 {
+        self.data[i * self.n + j]
+    }
+
+    /// Sets the element at row `i`, column `j`.
+    pub fn set(&mut self, i: usize, j: usize, value: i64) {
+        self.data[i * self.n + j] = value;
+    }
+
+    /// Row `i` as a slice.
+    pub fn row(&self, i: usize) -> &[i64] {
+        &self.data[i * self.n..(i + 1) * self.n]
+    }
+
+    /// The backing row-major storage.
+    pub fn as_slice(&self) -> &[i64] {
+        &self.data
+    }
+
+    /// Consumes the matrix, returning the row-major storage.
+    pub fn into_vec(self) -> Vec<i64> {
+        self.data
+    }
+
+    /// Rebuilds a matrix from row-major storage of length `n * n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the length is not `n * n`.
+    pub fn from_vec(n: usize, data: Vec<i64>) -> Self {
+        assert_eq!(data.len(), n * n, "storage length must be n^2");
+        SquareMatrix { n, data }
+    }
+}
+
+impl fmt::Debug for SquareMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "SquareMatrix {}x{} [", self.n, self.n)?;
+        for i in 0..self.n {
+            write!(f, "  [")?;
+            for j in 0..self.n {
+                let v = self.get(i, j);
+                if v >= INF {
+                    write!(f, " INF")?;
+                } else {
+                    write!(f, " {v}")?;
+                }
+            }
+            writeln!(f, " ]")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl fmt::Display for SquareMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for i in 0..self.n {
+            for j in 0..self.n {
+                if j > 0 {
+                    write!(f, "\t")?;
+                }
+                let v = self.get(i, j);
+                if v >= INF {
+                    write!(f, "inf")?;
+                } else {
+                    write!(f, "{v}")?;
+                }
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn filled_and_get_set() {
+        let mut m = SquareMatrix::filled(3, 7);
+        assert_eq!(m.get(2, 2), 7);
+        m.set(1, 2, -4);
+        assert_eq!(m.get(1, 2), -4);
+        assert_eq!(m.n(), 3);
+    }
+
+    #[test]
+    fn from_rows_round_trip() {
+        let m = SquareMatrix::from_rows(&[vec![1, 2], vec![3, 4]]);
+        assert_eq!(m.row(0), &[1, 2]);
+        assert_eq!(m.row(1), &[3, 4]);
+        assert_eq!(m.as_slice(), &[1, 2, 3, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "rows must have length")]
+    fn ragged_rows_rejected() {
+        SquareMatrix::from_rows(&[vec![1, 2], vec![3]]);
+    }
+
+    #[test]
+    fn add_weights_saturates_at_inf() {
+        assert_eq!(add_weights(INF, 5), INF);
+        assert_eq!(add_weights(5, INF), INF);
+        assert_eq!(add_weights(INF, INF), INF);
+        assert_eq!(add_weights(INF, -1000), INF);
+        assert_eq!(add_weights(2, 3), 5);
+        assert_eq!(add_weights(-3, 2), -1);
+    }
+
+    #[test]
+    fn vec_round_trip() {
+        let m = SquareMatrix::from_rows(&[vec![0, 1], vec![2, 0]]);
+        let m2 = SquareMatrix::from_vec(2, m.clone().into_vec());
+        assert_eq!(m, m2);
+    }
+
+    #[test]
+    fn display_renders_inf() {
+        let m = SquareMatrix::from_rows(&[vec![0, INF], vec![1, 0]]);
+        let s = m.to_string();
+        assert!(s.contains("inf"));
+        let d = format!("{m:?}");
+        assert!(d.contains("INF"));
+    }
+}

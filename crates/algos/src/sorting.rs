@@ -1,0 +1,200 @@
+//! Odd–even transposition sort with neighbour-local counter synchronization
+//! (extension workload).
+//!
+//! Transposition sort runs `n` alternating phases: even phases
+//! compare-exchange pairs `(2i, 2i+1)`, odd phases pairs `(2i+1, 2i+2)`.
+//! With one thread per pair slot, a phase's pairs are disjoint — conflicts
+//! exist only between *adjacent* threads in *consecutive* phases. A
+//! traditional implementation uses a full barrier per phase; the counter
+//! version (one progress counter per thread, as in Section 5.1) constrains
+//! each thread only against its two neighbours: before phase `p`, thread `i`
+//! waits until both neighbours have completed `p` phases. Neighbours may
+//! therefore drift by one phase — exactly the data-dependence slack the
+//! algorithm has.
+
+use mc_patterns::RaggedBarrier;
+use mc_primitives::Barrier;
+use std::sync::atomic::{AtomicI64, Ordering};
+
+/// Sequential synchronous odd–even transposition sort (the oracle; after
+/// `n` phases the slice is fully sorted).
+pub fn odd_even_sequential(v: &mut [i64]) {
+    let n = v.len();
+    for phase in 0..n {
+        let start = phase % 2;
+        let mut j = start;
+        while j + 1 < n {
+            if v[j] > v[j + 1] {
+                v.swap(j, j + 1);
+            }
+            j += 2;
+        }
+    }
+}
+
+/// One compare-exchange phase for the pair-slot thread `i`.
+fn do_phase(cells: &[AtomicI64], i: usize, phase: usize) {
+    let n = cells.len();
+    let j = if phase.is_multiple_of(2) {
+        2 * i
+    } else {
+        2 * i + 1
+    };
+    if j + 1 < n {
+        // This thread owns the pair during this phase: plain load/store via
+        // atomics (ordering is provided by the phase synchronization).
+        let a = cells[j].load(Ordering::Relaxed);
+        let b = cells[j + 1].load(Ordering::Relaxed);
+        if a > b {
+            cells[j].store(b, Ordering::Relaxed);
+            cells[j + 1].store(a, Ordering::Relaxed);
+        }
+    }
+}
+
+fn to_cells(v: &[i64]) -> Vec<AtomicI64> {
+    v.iter().map(|&x| AtomicI64::new(x)).collect()
+}
+
+fn from_cells(cells: Vec<AtomicI64>) -> Vec<i64> {
+    cells.into_iter().map(AtomicI64::into_inner).collect()
+}
+
+/// Parallel transposition sort with a full barrier per phase: every thread
+/// waits for every other thread `n` times.
+pub fn odd_even_barrier(v: &[i64]) -> Vec<i64> {
+    let n = v.len();
+    let threads = n / 2 + 1;
+    if n < 2 {
+        return v.to_vec();
+    }
+    let cells = to_cells(v);
+    let barrier = Barrier::new(threads);
+    std::thread::scope(|scope| {
+        for i in 0..threads {
+            let (cells, barrier) = (&cells, &barrier);
+            scope.spawn(move || {
+                for phase in 0..n {
+                    do_phase(cells, i, phase);
+                    barrier.pass();
+                }
+            });
+        }
+    });
+    from_cells(cells)
+}
+
+/// Parallel transposition sort with neighbour-local counter synchronization:
+/// before phase `p`, thread `i` waits only until threads `i-1` and `i+1`
+/// have completed `p` phases.
+pub fn odd_even_counters(v: &[i64]) -> Vec<i64> {
+    let n = v.len();
+    let threads = n / 2 + 1;
+    if n < 2 {
+        return v.to_vec();
+    }
+    let cells = to_cells(v);
+    let rb = RaggedBarrier::new(threads);
+    std::thread::scope(|scope| {
+        for i in 0..threads {
+            let (cells, rb) = (&cells, &rb);
+            scope.spawn(move || {
+                for phase in 0..n {
+                    let p = phase as u64;
+                    if i > 0 {
+                        rb.wait(i - 1, p);
+                    }
+                    if i + 1 < threads {
+                        rb.wait(i + 1, p);
+                    }
+                    do_phase(cells, i, phase);
+                    rb.arrive(i);
+                }
+            });
+        }
+    });
+    from_cells(cells)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_vec(len: usize, seed: u64) -> Vec<i64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..len).map(|_| rng.gen_range(-1000..1000)).collect()
+    }
+
+    #[test]
+    fn sequential_sorts() {
+        let mut v = vec![5, 1, 4, 2, 3];
+        odd_even_sequential(&mut v);
+        assert_eq!(v, vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn sequential_handles_edge_cases() {
+        let mut empty: Vec<i64> = vec![];
+        odd_even_sequential(&mut empty);
+        assert!(empty.is_empty());
+        let mut one = vec![7];
+        odd_even_sequential(&mut one);
+        assert_eq!(one, vec![7]);
+        let mut sorted = vec![1, 2, 3];
+        odd_even_sequential(&mut sorted);
+        assert_eq!(sorted, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn barrier_version_sorts_random_inputs() {
+        for seed in 0..4 {
+            let v = random_vec(33, seed);
+            let mut want = v.clone();
+            want.sort_unstable();
+            assert_eq!(odd_even_barrier(&v), want, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn counter_version_sorts_random_inputs() {
+        for seed in 0..4 {
+            let v = random_vec(40, seed);
+            let mut want = v.clone();
+            want.sort_unstable();
+            assert_eq!(odd_even_counters(&v), want, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn both_parallel_versions_agree_with_each_other() {
+        let v = random_vec(27, 9);
+        assert_eq!(odd_even_barrier(&v), odd_even_counters(&v));
+    }
+
+    #[test]
+    fn duplicates_and_extremes() {
+        let v = vec![5, 5, i64::MIN, i64::MAX, 0, 5, i64::MIN];
+        let mut want = v.clone();
+        want.sort_unstable();
+        assert_eq!(odd_even_counters(&v), want);
+    }
+
+    #[test]
+    fn degenerate_sizes() {
+        assert_eq!(odd_even_counters(&[]), Vec::<i64>::new());
+        assert_eq!(odd_even_counters(&[3]), vec![3]);
+        assert_eq!(odd_even_counters(&[2, 1]), vec![1, 2]);
+        assert_eq!(odd_even_barrier(&[2, 1]), vec![1, 2]);
+    }
+
+    #[test]
+    fn counter_version_is_deterministic() {
+        let v = random_vec(50, 3);
+        let first = odd_even_counters(&v);
+        for _ in 0..5 {
+            assert_eq!(odd_even_counters(&v), first);
+        }
+    }
+}

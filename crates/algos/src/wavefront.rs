@@ -1,0 +1,180 @@
+//! Wavefront dynamic programming with counter pipelining (extension).
+//!
+//! Longest-common-subsequence (LCS) computation has the classic 2-D DP
+//! dependence `L[i][j] <- L[i-1][j], L[i][j-1], L[i-1][j-1]`. Partitioning
+//! the rows into bands (one thread each) and the columns into blocks gives a
+//! *wavefront*: band `t` may compute column block `k` as soon as band `t-1`
+//! has finished block `k` of **its last row**. One monotonic counter per band
+//! publishes that progress — the Floyd–Warshall/ragged-barrier idea on a 2-D
+//! recurrence, and a workload that a traditional barrier serializes badly
+//! (every band would wait for the slowest at every block).
+
+use mc_counter::{Counter, MonotonicCounter};
+use mc_sthreads::chunks;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// Sequential LCS length (the oracle): `O(|a| * |b|)` time, two rows of
+/// memory.
+pub fn lcs_sequential(a: &[u8], b: &[u8]) -> u32 {
+    let n = b.len();
+    let mut prev = vec![0u32; n + 1];
+    let mut cur = vec![0u32; n + 1];
+    for &ca in a {
+        for (j, &cb) in b.iter().enumerate() {
+            cur[j + 1] = if ca == cb {
+                prev[j] + 1
+            } else {
+                prev[j + 1].max(cur[j])
+            };
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[n]
+}
+
+/// Wavefront-parallel LCS length: `bands` threads over row bands, columns in
+/// blocks of `block`, pipelined by one counter per band.
+///
+/// # Panics
+///
+/// Panics if `bands == 0` or `block == 0`.
+pub fn lcs_wavefront(a: &[u8], b: &[u8], bands: usize, block: usize) -> u32 {
+    assert!(bands > 0, "need at least one band");
+    assert!(block > 0, "block width must be positive");
+    let (m, n) = (a.len(), b.len());
+    if m == 0 || n == 0 {
+        return 0;
+    }
+    let bands = bands.min(m);
+    let row_bands = chunks(m, bands);
+    let num_blocks = n.div_ceil(block);
+
+    // Per band: its published last row (read by the successor band) and a
+    // progress counter counting completed column blocks of that row.
+    let boundaries: Vec<Vec<AtomicU32>> = (0..bands)
+        .map(|_| (0..n + 1).map(|_| AtomicU32::new(0)).collect())
+        .collect();
+    let progress: Vec<Counter> = (0..bands).map(|_| Counter::new()).collect();
+
+    std::thread::scope(|scope| {
+        for (t, rows) in row_bands.iter().cloned().enumerate() {
+            let (boundaries, progress) = (&boundaries, &progress);
+            scope.spawn(move || {
+                let band_height = rows.len();
+                // Full band buffer: rows.len() x (n+1); row index 0 is the
+                // incoming boundary (predecessor's last row or zeros).
+                let mut grid = vec![vec![0u32; n + 1]; band_height + 1];
+                for k in 0..num_blocks {
+                    let j_lo = k * block;
+                    let j_hi = ((k + 1) * block).min(n);
+                    if t > 0 {
+                        // Wait for the predecessor band to publish block k of
+                        // its last row, then import it.
+                        progress[t - 1].check(k as u64 + 1);
+                        for j in j_lo..j_hi {
+                            grid[0][j + 1] = boundaries[t - 1][j + 1].load(Ordering::Relaxed);
+                        }
+                    }
+                    for (r, i) in rows.clone().enumerate() {
+                        let ca = a[i];
+                        // Split the grid to borrow the previous and current
+                        // rows simultaneously.
+                        let (above, below) = grid.split_at_mut(r + 1);
+                        let prev = &above[r];
+                        let cur = &mut below[0];
+                        for j in j_lo..j_hi {
+                            cur[j + 1] = if ca == b[j] {
+                                prev[j] + 1
+                            } else {
+                                prev[j + 1].max(cur[j])
+                            };
+                        }
+                    }
+                    // Publish block k of the band's last row and broadcast.
+                    for j in j_lo..j_hi {
+                        boundaries[t][j + 1].store(grid[band_height][j + 1], Ordering::Relaxed);
+                    }
+                    progress[t].increment(1);
+                }
+            });
+        }
+    });
+    boundaries[bands - 1][n].load(Ordering::Relaxed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_bytes(len: usize, alphabet: u8, seed: u64) -> Vec<u8> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..len).map(|_| rng.gen_range(0..alphabet)).collect()
+    }
+
+    #[test]
+    fn known_small_cases() {
+        assert_eq!(lcs_sequential(b"ABCBDAB", b"BDCABA"), 4); // BCBA
+        assert_eq!(lcs_sequential(b"", b"ABC"), 0);
+        assert_eq!(lcs_sequential(b"ABC", b""), 0);
+        assert_eq!(lcs_sequential(b"XYZ", b"XYZ"), 3);
+        assert_eq!(lcs_sequential(b"ABC", b"DEF"), 0);
+    }
+
+    #[test]
+    fn wavefront_matches_known_case() {
+        assert_eq!(lcs_wavefront(b"ABCBDAB", b"BDCABA", 3, 2), 4);
+        assert_eq!(lcs_wavefront(b"ABCBDAB", b"BDCABA", 1, 100), 4);
+        assert_eq!(lcs_wavefront(b"ABCBDAB", b"BDCABA", 7, 1), 4);
+    }
+
+    #[test]
+    fn wavefront_empty_inputs() {
+        assert_eq!(lcs_wavefront(b"", b"A", 2, 4), 0);
+        assert_eq!(lcs_wavefront(b"A", b"", 2, 4), 0);
+    }
+
+    #[test]
+    fn wavefront_matches_sequential_on_random_inputs() {
+        for seed in 0..5 {
+            let a = random_bytes(120, 4, seed);
+            let b = random_bytes(90, 4, seed + 100);
+            let want = lcs_sequential(&a, &b);
+            for bands in [1usize, 2, 5, 13] {
+                for block in [1usize, 7, 32, 200] {
+                    assert_eq!(
+                        lcs_wavefront(&a, &b, bands, block),
+                        want,
+                        "seed={seed} bands={bands} block={block}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn more_bands_than_rows_is_clamped() {
+        let a = b"AB";
+        let b = b"ABAB";
+        assert_eq!(lcs_wavefront(a, b, 50, 2), lcs_sequential(a, b));
+    }
+
+    #[test]
+    fn identical_long_strings() {
+        let s = random_bytes(500, 8, 42);
+        assert_eq!(lcs_wavefront(&s, &s, 4, 64) as usize, s.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one band")]
+    fn zero_bands_rejected() {
+        lcs_wavefront(b"A", b"A", 0, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "block width")]
+    fn zero_block_rejected() {
+        lcs_wavefront(b"A", b"A", 1, 0);
+    }
+}

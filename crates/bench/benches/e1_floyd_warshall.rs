@@ -1,0 +1,38 @@
+//! Criterion counterpart of experiment **E1** (paper Sections 4.3–4.5):
+//! Floyd–Warshall under barrier, condvar-array, and single-counter
+//! synchronization, against the sequential reference.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mc_algos::floyd_warshall as fw;
+use mc_algos::graph::dense_graph;
+use std::time::Duration;
+
+fn bench_fw(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e1_floyd_warshall");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(2));
+    for &n in &[64usize, 128] {
+        let edge = dense_graph(n, 100, 42);
+        group.bench_with_input(BenchmarkId::new("sequential", n), &edge, |b, e| {
+            b.iter(|| fw::sequential(e))
+        });
+        for &threads in &[2usize, 4] {
+            let id = |name: &str| BenchmarkId::new(name, format!("n{n}_t{threads}"));
+            group.bench_with_input(id("barrier"), &edge, |b, e| {
+                b.iter(|| fw::with_barrier(e, threads))
+            });
+            group.bench_with_input(id("events"), &edge, |b, e| {
+                b.iter(|| fw::with_events(e, threads))
+            });
+            group.bench_with_input(id("counter"), &edge, |b, e| {
+                b.iter(|| fw::with_counter(e, threads))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fw);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Criterion counterpart of experiment **E2** (paper Section 5.1): full
+//! barrier vs ragged counter-array barrier in the boundary-exchange
+//! simulation, balanced and imbalanced.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mc_algos::heat;
+use std::time::Duration;
+
+fn burn(units: usize) {
+    for _ in 0..units {
+        for i in 0..200u64 {
+            std::hint::black_box(i.wrapping_mul(0x9E3779B97F4A7C15));
+        }
+    }
+}
+
+fn bench_heat(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e2_heat");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(3));
+    let (cells, steps) = (24usize, 300usize);
+    let rod = heat::hot_left_rod(cells, 100.0);
+
+    type Work = fn(usize, usize);
+    let scenarios: [(&str, Work); 2] = [
+        ("balanced", |_, _| {}),
+        ("skewed", |cell, _| burn(if cell == 1 { 20 } else { 1 })),
+    ];
+    for (name, work) in scenarios {
+        group.bench_with_input(BenchmarkId::new("barrier", name), &rod, |b, rod| {
+            b.iter(|| heat::with_barrier_work(rod, steps, &work))
+        });
+        group.bench_with_input(BenchmarkId::new("ragged", name), &rod, |b, rod| {
+            b.iter(|| heat::with_ragged_work(rod, steps, &work))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_heat);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Criterion counterpart of experiment **E3** (paper Section 5.2): the
+//! throughput cost of sequential ordering (counter) versus plain mutual
+//! exclusion (lock) in the accumulation pattern.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mc_algos::accumulate;
+use std::time::Duration;
+
+fn compute(i: usize) -> f64 {
+    let mut acc = accumulate::skewed_float(i);
+    for k in 0..500u64 {
+        acc = (acc * 1.000001).sin() + k as f64 * 1e-9;
+    }
+    acc
+}
+
+fn bench_ordering(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e3_ordering");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(2));
+    for &n in &[16usize, 64] {
+        group.bench_with_input(BenchmarkId::new("lock", n), &n, |b, &n| {
+            b.iter(|| accumulate::with_lock(n, 0.0f64, compute, |a, s| *a += s))
+        });
+        group.bench_with_input(BenchmarkId::new("counter", n), &n, |b, &n| {
+            b.iter(|| accumulate::with_counter(n, 0.0f64, compute, |a, s| *a += s))
+        });
+        group.bench_with_input(BenchmarkId::new("sequential", n), &n, |b, &n| {
+            b.iter(|| accumulate::sequential(n, 0.0f64, compute, |a, s| *a += s))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ordering);
+criterion_main!(benches);

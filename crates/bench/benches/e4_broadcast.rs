@@ -1,0 +1,52 @@
+//! Criterion counterpart of experiment **E4** (paper Section 5.3): SWMR
+//! broadcast throughput across reader counts and block granularities.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mc_patterns::Broadcast;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn run_broadcast(n: usize, readers: usize, block: usize) {
+    let b = Arc::new(Broadcast::new(n));
+    std::thread::scope(|s| {
+        let bw = Arc::clone(&b);
+        s.spawn(move || {
+            let mut w = bw.writer_with_block(block);
+            for i in 0..n as u64 {
+                w.push(i);
+            }
+        });
+        for _ in 0..readers {
+            let br = Arc::clone(&b);
+            s.spawn(move || {
+                let mut sum = 0u64;
+                for &item in br.reader_with_block(block) {
+                    sum = sum.wrapping_add(item);
+                }
+                std::hint::black_box(sum);
+            });
+        }
+    });
+}
+
+fn bench_broadcast(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e4_broadcast");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(2));
+    let n = 20_000usize;
+    group.throughput(Throughput::Elements(n as u64));
+    for &readers in &[1usize, 4] {
+        for &block in &[1usize, 16, 256] {
+            group.bench_function(
+                BenchmarkId::new("swmr", format!("r{readers}_b{block}")),
+                |b| b.iter(|| run_broadcast(n, readers, block)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_broadcast);
+criterion_main!(benches);

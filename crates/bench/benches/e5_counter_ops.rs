@@ -1,0 +1,61 @@
+//! Criterion counterpart of experiment **E5** (paper Section 7): cost of the
+//! core counter operations as a function of resident wait-list length, and
+//! the uncontended fast paths.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mc_counter::{Counter, MonotonicCounter};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn bench_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e5_counter_ops");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+
+    // Uncontended operations on an empty counter.
+    group.bench_function("increment_uncontended", |b| {
+        let c = Counter::new();
+        b.iter(|| c.increment(1));
+    });
+    group.bench_function("check_satisfied", |b| {
+        let c = Counter::new();
+        c.increment(u64::MAX / 2);
+        let mut level = 0u64;
+        b.iter(|| {
+            level = (level + 1) % 1_000_000;
+            c.check(level);
+        });
+    });
+
+    // Increment cost with a resident wait list of parked threads.
+    for &levels in &[16usize, 256] {
+        group.bench_with_input(
+            BenchmarkId::new("increment0_with_waiters", levels),
+            &levels,
+            |b, &levels| {
+                let c = Arc::new(Counter::new());
+                let mut handles = Vec::new();
+                for i in 0..levels {
+                    let c = Arc::clone(&c);
+                    handles.push(std::thread::spawn(move || {
+                        c.check(i as u64 + 1_000_000_000)
+                    }));
+                }
+                while (c.stats().live_waiters as usize) < levels {
+                    std::thread::yield_now();
+                }
+                b.iter(|| c.increment(0));
+                c.increment(2_000_000_000);
+                for h in handles {
+                    h.join().expect("waiter panicked");
+                }
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ops);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Criterion counterpart of the extension experiments **X1–X3**: Paraffins
+//! generation, wavefront LCS, and transposition sort.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mc_algos::{paraffins, sorting, wavefront};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Duration;
+
+fn bench_extensions(c: &mut Criterion) {
+    let mut group = c.benchmark_group("x_workloads");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+
+    // X1b: Paraffins.
+    group.bench_function(BenchmarkId::new("paraffins", "seq_c13"), |b| {
+        b.iter(|| paraffins::radicals_sequential(13))
+    });
+    group.bench_function(BenchmarkId::new("paraffins", "par_c13"), |b| {
+        b.iter(|| paraffins::radicals_parallel(13))
+    });
+
+    // X2: wavefront LCS.
+    let mut rng = StdRng::seed_from_u64(1);
+    let a: Vec<u8> = (0..600).map(|_| rng.gen_range(0..4)).collect();
+    let bb: Vec<u8> = (0..600).map(|_| rng.gen_range(0..4)).collect();
+    group.bench_function(BenchmarkId::new("lcs", "seq_600"), |b| {
+        b.iter(|| wavefront::lcs_sequential(&a, &bb))
+    });
+    group.bench_function(BenchmarkId::new("lcs", "wavefront_600_b4x128"), |b| {
+        b.iter(|| wavefront::lcs_wavefront(&a, &bb, 4, 128))
+    });
+
+    // X3: transposition sort.
+    let v: Vec<i64> = (0..48).map(|_| rng.gen_range(-1000..1000)).collect();
+    group.bench_function(BenchmarkId::new("sort48", "barrier"), |b| {
+        b.iter(|| sorting::odd_even_barrier(&v))
+    });
+    group.bench_function(BenchmarkId::new("sort48", "counters"), |b| {
+        b.iter(|| sorting::odd_even_counters(&v))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_extensions);
+criterion_main!(benches);

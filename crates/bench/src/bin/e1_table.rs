@@ -1,0 +1,76 @@
+//! **E1** — Floyd–Warshall (paper Sections 4.3–4.5).
+//!
+//! Claim: the condvar-array and counter versions avoid the N-way barrier
+//! bottleneck (threads proceed as soon as row `k` is published), and the
+//! counter version needs **one** synchronization object instead of `N`
+//! condition variables, at comparable speed.
+//!
+//! Usage: `cargo run --release -p mc-bench --bin e1_table [--quick] [--json]`
+
+use mc_algos::floyd_warshall as fw;
+use mc_algos::graph::dense_graph;
+use mc_bench::{fmt_duration, measure, speedup, Table};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let (sizes, threads, runs): (&[usize], &[usize], usize) = if quick {
+        (&[64], &[2, 4], 2)
+    } else {
+        (&[64, 128, 256], &[2, 4, 8], 3)
+    };
+
+    let mut table = Table::new(
+        "E1: all-pairs shortest paths — barrier vs condvar-array vs single counter",
+        &[
+            "N",
+            "threads",
+            "sequential",
+            "barrier",
+            "events(N objs)",
+            "counter(1 obj)",
+            "counter/barrier",
+            "counter/events",
+        ],
+    );
+
+    for &n in sizes {
+        let edge = dense_graph(n, 100, 42);
+        let expected = fw::sequential(&edge);
+        let t_seq = measure(runs, || {
+            std::hint::black_box(fw::sequential(&edge));
+        });
+        for &t in threads {
+            let t_barrier = measure(runs, || {
+                std::hint::black_box(fw::with_barrier(&edge, t));
+            });
+            let t_events = measure(runs, || {
+                std::hint::black_box(fw::with_events(&edge, t));
+            });
+            let t_counter = measure(runs, || {
+                std::hint::black_box(fw::with_counter(&edge, t));
+            });
+            // Correctness gate: a bench row only counts if the answer is right.
+            assert_eq!(
+                fw::with_counter(&edge, t),
+                expected,
+                "counter wrong at n={n} t={t}"
+            );
+            table.row(vec![
+                n.to_string(),
+                t.to_string(),
+                fmt_duration(t_seq.median),
+                fmt_duration(t_barrier.median),
+                fmt_duration(t_events.median),
+                fmt_duration(t_counter.median),
+                speedup(t_barrier.median, t_counter.median),
+                speedup(t_events.median, t_counter.median),
+            ]);
+        }
+    }
+    table.emit(&args);
+    println!(
+        "Shape check (paper): counter ~= events, both >= barrier on synchronization-bound runs;\n\
+         counter uses 1 sync object, events uses N, at every N above."
+    );
+}

@@ -1,0 +1,39 @@
+//! **F1** — regenerates the paper's Figure 1: the example input (`edge`) and
+//! output (`path`) matrices of the all-pairs shortest-path problem, computed
+//! by all four program variants.
+//!
+//! Usage: `cargo run -p mc-bench --bin f1_figure`
+
+use mc_algos::floyd_warshall as fw;
+use mc_algos::graph;
+
+fn main() {
+    let edge = graph::figure1_edge();
+    let expected = graph::figure1_path();
+
+    println!("Figure 1: example of input and output matrices for the");
+    println!("all-pairs shortest-path problem.\n");
+    println!("edge =\n{edge}");
+
+    let variants: [(&str, fn() -> mc_algos::SquareMatrix); 4] = [
+        ("ShortestPaths1 (sequential)", || {
+            fw::sequential(&graph::figure1_edge())
+        }),
+        ("ShortestPaths2 (barrier)", || {
+            fw::with_barrier(&graph::figure1_edge(), 2)
+        }),
+        ("ShortestPaths3 (condvar array)", || {
+            fw::with_events(&graph::figure1_edge(), 2)
+        }),
+        ("Section 4.5 (single counter)", || {
+            fw::with_counter(&graph::figure1_edge(), 2)
+        }),
+    ];
+    let path = fw::sequential(&edge);
+    println!("path =\n{path}");
+    for (name, run) in variants {
+        let got = run();
+        assert_eq!(got, expected, "{name} diverged from the figure");
+        println!("{name:<32} reproduces the published path matrix: yes");
+    }
+}

@@ -1,0 +1,66 @@
+//! **F2** — regenerates the paper's Figure 2: the structure of counter `c`
+//! after each operation in the sequence Check(5)·T1, Check(9)·T2,
+//! Check(5)·T3, Increment(7)·T0, and the two level-5 resumptions.
+//!
+//! Usage: `cargo run -p mc-bench --bin f2_figure`
+
+use mc_counter::{CounterSnapshot, MonotonicCounter, TracingCounter};
+use std::sync::Arc;
+
+fn main() {
+    let c = Arc::new(TracingCounter::new());
+    println!("Figure 2: the structure of counter c after each operation.\n");
+    println!("(a) construction:               {}", c.snapshot());
+
+    let t1 = {
+        let c = Arc::clone(&c);
+        std::thread::spawn(move || c.check(5))
+    };
+    while c.snapshot().nodes.first().map(|n| n.count) != Some(1) {
+        std::thread::yield_now();
+    }
+    println!("(b) c.Check(5) by thread T1:    {}", c.snapshot());
+
+    let t2 = {
+        let c = Arc::clone(&c);
+        std::thread::spawn(move || c.check(9))
+    };
+    while c.snapshot().nodes.len() != 2 {
+        std::thread::yield_now();
+    }
+    println!("(c) c.Check(9) by thread T2:    {}", c.snapshot());
+
+    let t3 = {
+        let c = Arc::clone(&c);
+        std::thread::spawn(move || c.check(5))
+    };
+    while c.snapshot().nodes.first().map(|n| n.count) != Some(2) {
+        std::thread::yield_now();
+    }
+    println!("(d) c.Check(5) by thread T3:    {}", c.snapshot());
+
+    c.increment(7);
+    t1.join().expect("T1 must resume");
+    t3.join().expect("T3 must resume");
+
+    let log = c.log();
+    let tail = &log[log.len() - 3..];
+    println!("(e) c.Increment(7) by T0:       {}", tail[0]);
+    println!("(f) first level-5 resumption:   {}", tail[1]);
+    println!("(g) second level-5 resumption:  {}", tail[2]);
+
+    // Verify the tail matches the published figure exactly.
+    assert_eq!(
+        tail[0],
+        CounterSnapshot::of(7, &[(5, 2, true), (9, 1, false)])
+    );
+    assert_eq!(
+        tail[1],
+        CounterSnapshot::of(7, &[(5, 1, true), (9, 1, false)])
+    );
+    assert_eq!(tail[2], CounterSnapshot::of(7, &[(9, 1, false)]));
+    println!("\nall seven states match the published figure.");
+
+    c.increment(2);
+    t2.join().expect("T2 must resume");
+}

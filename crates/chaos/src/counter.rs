@@ -1,0 +1,129 @@
+//! A counter wrapper that perturbs the schedule around every operation.
+
+use crate::jitter::Chaos;
+use mc_counter::{CheckTimeoutError, CounterOverflowError, MonotonicCounter, StatsSnapshot, Value};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Wraps any [`MonotonicCounter`] so that every operation passes through a
+/// [`Chaos`] perturbation point before *and* after executing — widening the
+/// set of schedules a test explores without changing semantics.
+///
+/// # Example
+///
+/// ```
+/// use mc_chaos::{Chaos, ChaosCounter};
+/// use mc_counter::{Counter, MonotonicCounter};
+/// use std::sync::Arc;
+///
+/// let chaos = Arc::new(Chaos::new(42));
+/// let c = ChaosCounter::new(Counter::new(), chaos);
+/// c.increment(1);
+/// c.check(1);
+/// ```
+pub struct ChaosCounter<C> {
+    inner: C,
+    chaos: Arc<Chaos>,
+}
+
+impl<C: MonotonicCounter> ChaosCounter<C> {
+    /// Wraps `inner`, drawing jitter from `chaos` (shared so every counter
+    /// in a program consumes one seeded stream).
+    pub fn new(inner: C, chaos: Arc<Chaos>) -> Self {
+        ChaosCounter { inner, chaos }
+    }
+
+    /// The wrapped counter.
+    pub fn inner(&self) -> &C {
+        &self.inner
+    }
+}
+
+impl<C: MonotonicCounter> MonotonicCounter for ChaosCounter<C> {
+    fn increment(&self, amount: Value) {
+        self.chaos.point();
+        self.inner.increment(amount);
+        self.chaos.point();
+    }
+
+    fn try_increment(&self, amount: Value) -> Result<(), CounterOverflowError> {
+        self.chaos.point();
+        let r = self.inner.try_increment(amount);
+        self.chaos.point();
+        r
+    }
+
+    fn check(&self, level: Value) {
+        self.chaos.point();
+        self.inner.check(level);
+        self.chaos.point();
+    }
+
+    fn check_timeout(&self, level: Value, timeout: Duration) -> Result<(), CheckTimeoutError> {
+        self.chaos.point();
+        let r = self.inner.check_timeout(level, timeout);
+        self.chaos.point();
+        r
+    }
+
+    fn advance_to(&self, target: Value) {
+        self.chaos.point();
+        self.inner.advance_to(target);
+        self.chaos.point();
+    }
+
+    fn reset(&mut self) {
+        self.inner.reset();
+    }
+
+    fn debug_value(&self) -> Value {
+        self.inner.debug_value()
+    }
+
+    fn stats(&self) -> StatsSnapshot {
+        self.inner.stats()
+    }
+
+    fn impl_name(&self) -> &'static str {
+        "chaos-wrapped"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mc_counter::Counter;
+
+    #[test]
+    fn semantics_preserved_under_jitter() {
+        let chaos = Arc::new(Chaos::new(99));
+        let c = Arc::new(ChaosCounter::new(Counter::new(), Arc::clone(&chaos)));
+        let c2 = Arc::clone(&c);
+        let h = std::thread::spawn(move || c2.check(10));
+        for _ in 0..10 {
+            c.increment(1);
+        }
+        h.join().unwrap();
+        assert_eq!(c.debug_value(), 10);
+        assert_eq!(c.inner().debug_value(), 10);
+    }
+
+    #[test]
+    fn timeout_and_overflow_pass_through() {
+        let chaos = Arc::new(Chaos::new(1));
+        let c = ChaosCounter::new(Counter::new(), chaos);
+        assert!(c.check_timeout(5, Duration::from_millis(10)).is_err());
+        c.increment(u64::MAX);
+        assert!(c.try_increment(1).is_err());
+    }
+
+    #[test]
+    fn advance_and_reset_pass_through() {
+        let chaos = Arc::new(Chaos::new(1));
+        let mut c = ChaosCounter::new(Counter::new(), chaos);
+        c.advance_to(7);
+        assert_eq!(c.debug_value(), 7);
+        c.reset();
+        assert_eq!(c.debug_value(), 0);
+    }
+}

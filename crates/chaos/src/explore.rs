@@ -1,0 +1,140 @@
+//! Outcome exploration over many seeds.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::hash::Hash;
+
+/// The distinct outcomes observed while [`explore`]-ing a program, with
+/// occurrence counts and a witness seed per outcome.
+#[derive(Debug, Clone)]
+pub struct Outcomes<T> {
+    by_outcome: HashMap<T, (usize, u64)>,
+    total_runs: usize,
+}
+
+impl<T: Eq + Hash> Outcomes<T> {
+    /// Number of distinct outcomes.
+    pub fn distinct(&self) -> usize {
+        self.by_outcome.len()
+    }
+
+    /// Total runs performed.
+    pub fn runs(&self) -> usize {
+        self.total_runs
+    }
+
+    /// Whether every run produced the same outcome — the Section 6
+    /// determinacy verdict.
+    pub fn is_deterministic(&self) -> bool {
+        self.by_outcome.len() <= 1
+    }
+
+    /// Iterator over `(outcome, occurrences, witness_seed)`.
+    pub fn iter(&self) -> impl Iterator<Item = (&T, usize, u64)> {
+        self.by_outcome.iter().map(|(o, &(n, seed))| (o, n, seed))
+    }
+
+    /// The single outcome, if deterministic.
+    pub fn unique(&self) -> Option<&T> {
+        if self.by_outcome.len() == 1 {
+            self.by_outcome.keys().next()
+        } else {
+            None
+        }
+    }
+}
+
+impl<T: Eq + Hash + fmt::Debug> fmt::Display for Outcomes<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{} distinct outcome(s) over {} runs:",
+            self.distinct(),
+            self.total_runs
+        )?;
+        for (outcome, n, seed) in self.iter() {
+            writeln!(f, "  {n:>4}x {outcome:?}  (first seed {seed})")?;
+        }
+        Ok(())
+    }
+}
+
+/// Runs `program(seed)` once per seed and aggregates the distinct outcomes.
+///
+/// The program is expected to construct its own [`Chaos`](crate::Chaos)
+/// source (and typically [`ChaosCounter`](crate::ChaosCounter)s) from the
+/// seed, so each run samples a differently perturbed schedule.
+///
+/// # Example
+///
+/// ```
+/// use mc_chaos::explore;
+///
+/// // A trivially deterministic "program".
+/// let outcomes = explore(0..20, |_seed| 42);
+/// assert!(outcomes.is_deterministic());
+/// assert_eq!(outcomes.unique(), Some(&42));
+/// ```
+pub fn explore<T: Eq + Hash>(
+    seeds: impl IntoIterator<Item = u64>,
+    mut program: impl FnMut(u64) -> T,
+) -> Outcomes<T> {
+    let mut by_outcome: HashMap<T, (usize, u64)> = HashMap::new();
+    let mut total_runs = 0;
+    for seed in seeds {
+        let outcome = program(seed);
+        total_runs += 1;
+        by_outcome
+            .entry(outcome)
+            .and_modify(|(n, _)| *n += 1)
+            .or_insert((1, seed));
+    }
+    Outcomes {
+        by_outcome,
+        total_runs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_program_single_outcome() {
+        let o = explore(0..50, |_| "same");
+        assert!(o.is_deterministic());
+        assert_eq!(o.distinct(), 1);
+        assert_eq!(o.runs(), 50);
+        assert_eq!(o.unique(), Some(&"same"));
+    }
+
+    #[test]
+    fn seed_dependent_program_multiple_outcomes() {
+        let o = explore(0..10, |seed| seed % 3);
+        assert!(!o.is_deterministic());
+        assert_eq!(o.distinct(), 3);
+        assert_eq!(o.unique(), None);
+    }
+
+    #[test]
+    fn witness_seed_is_first_occurrence() {
+        let o = explore(5..10, |seed| seed >= 7);
+        let mut witnesses: Vec<(bool, u64)> = o.iter().map(|(o, _, s)| (*o, s)).collect();
+        witnesses.sort_unstable();
+        assert_eq!(witnesses, vec![(false, 5), (true, 7)]);
+    }
+
+    #[test]
+    fn display_lists_outcomes() {
+        let o = explore(0..4, |s| s % 2);
+        let text = o.to_string();
+        assert!(text.contains("2 distinct"));
+    }
+
+    #[test]
+    fn empty_seed_range() {
+        let o = explore(std::iter::empty(), |_| 0u8);
+        assert_eq!(o.runs(), 0);
+        assert!(o.is_deterministic(), "vacuously deterministic");
+    }
+}

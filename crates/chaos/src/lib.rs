@@ -1,0 +1,31 @@
+//! # Schedule perturbation for determinacy testing
+//!
+//! The paper's Section 6 claims hold **over all schedules**: a
+//! counter-synchronized program with guarded shared variables produces the
+//! same result in every execution. A test that runs the program a few times
+//! under the default scheduler barely samples the schedule space; this crate
+//! widens the sample by *perturbing* schedules deterministically from a
+//! seed:
+//!
+//! * [`Chaos`] — a seeded jitter source; call [`Chaos::point`] at
+//!   interesting program points to inject scheduler yields and short spins;
+//! * [`ChaosCounter`] — any [`MonotonicCounter`](mc_counter::MonotonicCounter) wrapped so that every
+//!   `increment`/`check` passes through perturbation points;
+//! * [`explore`] — runs a program once per seed and collects the set of
+//!   distinct outcomes, so a determinacy test is
+//!   `explore(0..100, run).is_deterministic()`.
+//!
+//! Perturbation changes *timing only* — no operation is dropped or
+//! reordered by the harness itself — so any outcome difference it exposes is
+//! a genuine schedule sensitivity of the program under test.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod counter;
+mod explore;
+mod jitter;
+
+pub use counter::ChaosCounter;
+pub use explore::{explore, Outcomes};
+pub use jitter::{Chaos, ChaosConfig};

@@ -1,0 +1,329 @@
+//! [`AtomicCounter`]: an extension beyond the paper — a monotonic counter
+//! with a lock-free fast path for both operations.
+//!
+//! The monotonicity that the paper exploits for determinacy also enables a
+//! cheap implementation trick: once an atomic load of the value satisfies a
+//! level, the level is satisfied forever, so a `check` that observes
+//! `value >= level` may return without ever taking the lock; likewise an
+//! `increment` that observes no waiters never takes the lock. Only the
+//! suspension slow path uses the Section 7 node structure.
+
+use crate::error::{CheckTimeoutError, CounterOverflowError};
+use crate::node::WaitNode;
+use crate::stats::{Stats, StatsSnapshot};
+use crate::traits::MonotonicCounter;
+use crate::Value;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::SeqCst};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+type WaitMap = BTreeMap<Value, Arc<WaitNode>>;
+
+/// A monotonic counter whose uncontended `check` and `increment` are
+/// lock-free atomic operations.
+///
+/// Semantically interchangeable with [`crate::Counter`]. The waiter/waker
+/// handshake uses the classic store-buffering pattern, so both sides use
+/// sequentially consistent atomics:
+///
+/// * a would-be waiter (under the lock) **stores** the waiter flag and then
+///   **loads** the value;
+/// * an incrementer **stores** the value (CAS) and then **loads** the flag.
+///
+/// In the sequentially consistent total order at least one side sees the
+/// other: either the waiter observes the new value and never suspends, or the
+/// incrementer observes the flag and takes the lock to sweep — where it must
+/// wait for the waiter (which holds the lock while registering), so the
+/// waiter's node is signalled. A wakeup can therefore never be missed.
+pub struct AtomicCounter {
+    value: AtomicU64,
+    has_waiters: AtomicBool,
+    waiting: Mutex<WaitMap>,
+    stats: Stats,
+}
+
+impl Default for AtomicCounter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl AtomicCounter {
+    /// Creates a counter with value zero and no waiting threads.
+    pub fn new() -> Self {
+        AtomicCounter {
+            value: AtomicU64::new(0),
+            has_waiters: AtomicBool::new(false),
+            waiting: Mutex::new(BTreeMap::new()),
+            stats: Stats::default(),
+        }
+    }
+
+    /// Checked atomic add via CAS loop; returns the new value.
+    fn add_value(&self, amount: Value) -> Result<Value, CounterOverflowError> {
+        let mut cur = self.value.load(SeqCst);
+        loop {
+            let new = cur
+                .checked_add(amount)
+                .ok_or(CounterOverflowError { value: cur, amount })?;
+            match self.value.compare_exchange_weak(cur, new, SeqCst, SeqCst) {
+                Ok(_) => return Ok(new),
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    fn remove_satisfied(waiting: &mut WaitMap, value: Value) -> Vec<Arc<WaitNode>> {
+        match value.checked_add(1) {
+            Some(next) => {
+                let rest = waiting.split_off(&next);
+                std::mem::replace(waiting, rest).into_values().collect()
+            }
+            None => std::mem::take(waiting).into_values().collect(),
+        }
+    }
+
+    /// Slow path of increment: sweep satisfied nodes and notify them.
+    fn sweep(&self) {
+        let satisfied = {
+            let mut waiting = self.waiting.lock().expect("counter lock poisoned");
+            // Re-load under the lock: concurrent increments may have raised
+            // the value further; sweeping for the freshest value is both
+            // correct (monotonic) and does their work early.
+            let value = self.value.load(SeqCst);
+            let satisfied = Self::remove_satisfied(&mut waiting, value);
+            for node in &satisfied {
+                node.signal();
+                self.stats.record_notify();
+            }
+            if waiting.is_empty() {
+                self.has_waiters.store(false, SeqCst);
+            }
+            satisfied
+        };
+        for node in satisfied {
+            node.cv.notify_all();
+        }
+    }
+}
+
+impl MonotonicCounter for AtomicCounter {
+    fn increment(&self, amount: Value) {
+        self.try_increment(amount)
+            .unwrap_or_else(|e| panic!("monotonic counter overflow: {e}"));
+    }
+
+    fn try_increment(&self, amount: Value) -> Result<(), CounterOverflowError> {
+        self.add_value(amount)?;
+        self.stats.record_increment();
+        if self.has_waiters.load(SeqCst) {
+            self.sweep();
+        }
+        Ok(())
+    }
+
+    fn advance_to(&self, target: Value) {
+        let prev = self.value.fetch_max(target, SeqCst);
+        if prev >= target {
+            return;
+        }
+        self.stats.record_increment();
+        if self.has_waiters.load(SeqCst) {
+            self.sweep();
+        }
+    }
+
+    fn check(&self, level: Value) {
+        // Lock-free fast path: monotonicity makes this sound — a satisfied
+        // level can never become unsatisfied.
+        if self.value.load(SeqCst) >= level {
+            self.stats.record_check_immediate();
+            return;
+        }
+        let mut waiting = self.waiting.lock().expect("counter lock poisoned");
+        self.has_waiters.store(true, SeqCst);
+        if self.value.load(SeqCst) >= level {
+            if waiting.is_empty() {
+                self.has_waiters.store(false, SeqCst);
+            }
+            self.stats.record_check_immediate();
+            return;
+        }
+        let mut inserted = false;
+        let node = Arc::clone(waiting.entry(level).or_insert_with(|| {
+            inserted = true;
+            Arc::new(WaitNode::new(level))
+        }));
+        if inserted {
+            self.stats.record_node_created();
+        }
+        node.add_waiter();
+        self.stats.record_check_suspended();
+        while !node.is_set() {
+            waiting = node
+                .cv
+                .wait(waiting)
+                .expect("counter lock poisoned while waiting");
+        }
+        self.stats.record_waiter_resumed();
+        if node.remove_waiter() {
+            self.stats.record_node_freed();
+        }
+    }
+
+    fn check_timeout(&self, level: Value, timeout: Duration) -> Result<(), CheckTimeoutError> {
+        if self.value.load(SeqCst) >= level {
+            self.stats.record_check_immediate();
+            return Ok(());
+        }
+        let deadline = Instant::now() + timeout;
+        let mut waiting = self.waiting.lock().expect("counter lock poisoned");
+        self.has_waiters.store(true, SeqCst);
+        if self.value.load(SeqCst) >= level {
+            if waiting.is_empty() {
+                self.has_waiters.store(false, SeqCst);
+            }
+            self.stats.record_check_immediate();
+            return Ok(());
+        }
+        let mut inserted = false;
+        let node = Arc::clone(waiting.entry(level).or_insert_with(|| {
+            inserted = true;
+            Arc::new(WaitNode::new(level))
+        }));
+        if inserted {
+            self.stats.record_node_created();
+        }
+        node.add_waiter();
+        self.stats.record_check_suspended();
+        loop {
+            if node.is_set() {
+                self.stats.record_waiter_resumed();
+                if node.remove_waiter() {
+                    self.stats.record_node_freed();
+                }
+                return Ok(());
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                self.stats.record_waiter_resumed();
+                if node.remove_waiter() {
+                    waiting.remove(&level);
+                    self.stats.record_node_freed();
+                    if waiting.is_empty() {
+                        self.has_waiters.store(false, SeqCst);
+                    }
+                }
+                return Err(CheckTimeoutError { level });
+            }
+            let (guard, _) = node
+                .cv
+                .wait_timeout(waiting, deadline - now)
+                .expect("counter lock poisoned while waiting");
+            waiting = guard;
+        }
+    }
+
+    fn reset(&mut self) {
+        debug_assert!(
+            self.waiting
+                .get_mut()
+                .expect("counter lock poisoned")
+                .is_empty(),
+            "reset called while threads wait"
+        );
+        *self.value.get_mut() = 0;
+    }
+
+    fn debug_value(&self) -> Value {
+        self.value.load(SeqCst)
+    }
+
+    fn stats(&self) -> StatsSnapshot {
+        self.stats.snapshot()
+    }
+
+    fn impl_name(&self) -> &'static str {
+        "atomic-fastpath"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn fast_path_check_takes_no_suspension() {
+        let c = AtomicCounter::new();
+        c.increment(5);
+        c.check(5);
+        c.check(0);
+        let s = c.stats();
+        assert_eq!(s.immediate_checks, 2);
+        assert_eq!(s.suspensions, 0);
+    }
+
+    #[test]
+    fn slow_path_wait_and_wake() {
+        let c = Arc::new(AtomicCounter::new());
+        let c2 = Arc::clone(&c);
+        let h = thread::spawn(move || c2.check(9));
+        while c.stats().live_waiters == 0 {
+            thread::yield_now();
+        }
+        c.increment(9);
+        h.join().unwrap();
+        assert_eq!(c.stats().nodes_freed, 1);
+        // After the sweep the flag must be clear again: the next increment
+        // should not need the lock (observable only via correctness here).
+        c.increment(1);
+        assert_eq!(c.debug_value(), 10);
+    }
+
+    #[test]
+    fn hammer_concurrent_increments_and_checks() {
+        // Race increments against checks at all levels; every check must
+        // terminate. Run several rounds to exercise the flag protocol.
+        for _ in 0..20 {
+            let c = Arc::new(AtomicCounter::new());
+            let mut handles = Vec::new();
+            for level in 1..=8u64 {
+                let c = Arc::clone(&c);
+                handles.push(thread::spawn(move || c.check(level * 4)));
+            }
+            for _ in 0..8 {
+                let c = Arc::clone(&c);
+                handles.push(thread::spawn(move || {
+                    for _ in 0..4 {
+                        c.increment(1);
+                    }
+                }));
+            }
+            for h in handles {
+                h.join().unwrap();
+            }
+            assert_eq!(c.debug_value(), 32);
+        }
+    }
+
+    #[test]
+    fn overflow_detected_in_cas_loop() {
+        let c = AtomicCounter::new();
+        c.increment(u64::MAX - 1);
+        assert!(c.try_increment(5).is_err());
+        c.increment(1);
+        assert_eq!(c.debug_value(), u64::MAX);
+    }
+
+    #[test]
+    fn timeout_clears_flag_when_last_waiter_leaves() {
+        let c = AtomicCounter::new();
+        assert!(c.check_timeout(3, Duration::from_millis(20)).is_err());
+        assert_eq!(c.stats().live_nodes, 0);
+        // Counter still fully functional.
+        c.increment(3);
+        c.check(3);
+    }
+}

@@ -1,0 +1,278 @@
+//! [`BTreeCounter`]: the Section 7 algorithm with the ordered waiting list
+//! stored in a `BTreeMap` instead of the paper's linked list.
+//!
+//! Identical semantics to [`crate::Counter`]; level lookup is O(log L) rather
+//! than O(L). Experiment E7 ablates this choice.
+
+use crate::error::{CheckTimeoutError, CounterOverflowError};
+use crate::node::WaitNode;
+use crate::stats::{Stats, StatsSnapshot};
+use crate::traits::MonotonicCounter;
+use crate::Value;
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+struct Inner {
+    value: Value,
+    waiting: BTreeMap<Value, Arc<WaitNode>>,
+}
+
+/// A monotonic counter whose per-level suspension queues live in a `BTreeMap`.
+///
+/// Semantically interchangeable with [`crate::Counter`]; see the crate docs
+/// for the implementation comparison table.
+pub struct BTreeCounter {
+    inner: Mutex<Inner>,
+    stats: Stats,
+}
+
+impl Default for BTreeCounter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl BTreeCounter {
+    /// Creates a counter with value zero and no waiting threads.
+    pub fn new() -> Self {
+        BTreeCounter {
+            inner: Mutex::new(Inner {
+                value: 0,
+                waiting: BTreeMap::new(),
+            }),
+            stats: Stats::default(),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, Inner> {
+        self.inner.lock().expect("counter lock poisoned")
+    }
+
+    /// Detaches every node with level <= `value` from the map.
+    fn remove_satisfied(
+        waiting: &mut BTreeMap<Value, Arc<WaitNode>>,
+        value: Value,
+    ) -> Vec<Arc<WaitNode>> {
+        match value.checked_add(1) {
+            Some(next) => {
+                let rest = waiting.split_off(&next);
+                std::mem::replace(waiting, rest).into_values().collect()
+            }
+            // value == u64::MAX satisfies every possible level.
+            None => std::mem::take(waiting).into_values().collect(),
+        }
+    }
+
+    fn raise(&self, amount: Value) -> Result<Vec<Arc<WaitNode>>, CounterOverflowError> {
+        let mut inner = self.lock();
+        let new_value = inner
+            .value
+            .checked_add(amount)
+            .ok_or(CounterOverflowError {
+                value: inner.value,
+                amount,
+            })?;
+        inner.value = new_value;
+        self.stats.record_increment();
+        let satisfied = Self::remove_satisfied(&mut inner.waiting, new_value);
+        for node in &satisfied {
+            node.signal();
+            self.stats.record_notify();
+        }
+        Ok(satisfied)
+    }
+}
+
+impl MonotonicCounter for BTreeCounter {
+    fn increment(&self, amount: Value) {
+        let satisfied = self
+            .raise(amount)
+            .unwrap_or_else(|e| panic!("monotonic counter overflow: {e}"));
+        for node in satisfied {
+            node.cv.notify_all();
+        }
+    }
+
+    fn try_increment(&self, amount: Value) -> Result<(), CounterOverflowError> {
+        let satisfied = self.raise(amount)?;
+        for node in satisfied {
+            node.cv.notify_all();
+        }
+        Ok(())
+    }
+
+    fn advance_to(&self, target: Value) {
+        let satisfied = {
+            let mut inner = self.lock();
+            if target <= inner.value {
+                return;
+            }
+            inner.value = target;
+            self.stats.record_increment();
+            let satisfied = Self::remove_satisfied(&mut inner.waiting, target);
+            for node in &satisfied {
+                node.signal();
+                self.stats.record_notify();
+            }
+            satisfied
+        };
+        for node in satisfied {
+            node.cv.notify_all();
+        }
+    }
+
+    fn check(&self, level: Value) {
+        let mut inner = self.lock();
+        if inner.value >= level {
+            self.stats.record_check_immediate();
+            return;
+        }
+        let mut inserted = false;
+        let node = Arc::clone(inner.waiting.entry(level).or_insert_with(|| {
+            inserted = true;
+            Arc::new(WaitNode::new(level))
+        }));
+        if inserted {
+            self.stats.record_node_created();
+        }
+        node.add_waiter();
+        self.stats.record_check_suspended();
+        while !node.is_set() {
+            inner = node
+                .cv
+                .wait(inner)
+                .expect("counter lock poisoned while waiting");
+        }
+        self.stats.record_waiter_resumed();
+        if node.remove_waiter() {
+            self.stats.record_node_freed();
+        }
+    }
+
+    fn check_timeout(&self, level: Value, timeout: Duration) -> Result<(), CheckTimeoutError> {
+        let deadline = Instant::now() + timeout;
+        let mut inner = self.lock();
+        if inner.value >= level {
+            self.stats.record_check_immediate();
+            return Ok(());
+        }
+        let mut inserted = false;
+        let node = Arc::clone(inner.waiting.entry(level).or_insert_with(|| {
+            inserted = true;
+            Arc::new(WaitNode::new(level))
+        }));
+        if inserted {
+            self.stats.record_node_created();
+        }
+        node.add_waiter();
+        self.stats.record_check_suspended();
+        loop {
+            if node.is_set() {
+                self.stats.record_waiter_resumed();
+                if node.remove_waiter() {
+                    self.stats.record_node_freed();
+                }
+                return Ok(());
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                self.stats.record_waiter_resumed();
+                if node.remove_waiter() {
+                    inner.waiting.remove(&level);
+                    self.stats.record_node_freed();
+                }
+                return Err(CheckTimeoutError { level });
+            }
+            let (guard, _) = node
+                .cv
+                .wait_timeout(inner, deadline - now)
+                .expect("counter lock poisoned while waiting");
+            inner = guard;
+        }
+    }
+
+    fn reset(&mut self) {
+        let inner = self.inner.get_mut().expect("counter lock poisoned");
+        debug_assert!(inner.waiting.is_empty(), "reset called while threads wait");
+        inner.value = 0;
+    }
+
+    fn debug_value(&self) -> Value {
+        self.lock().value
+    }
+
+    fn stats(&self) -> StatsSnapshot {
+        self.stats.snapshot()
+    }
+
+    fn impl_name(&self) -> &'static str {
+        "btree"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn basic_wait_and_wake() {
+        let c = Arc::new(BTreeCounter::new());
+        let c2 = Arc::clone(&c);
+        let h = thread::spawn(move || c2.check(10));
+        while c.stats().live_waiters == 0 {
+            thread::yield_now();
+        }
+        c.increment(10);
+        h.join().unwrap();
+        assert_eq!(c.stats().nodes_created, 1);
+        assert_eq!(c.stats().nodes_freed, 1);
+    }
+
+    #[test]
+    fn remove_satisfied_boundary() {
+        let mut map = BTreeMap::new();
+        for level in [1u64, 5, 6, 7] {
+            map.insert(level, Arc::new(WaitNode::new(level)));
+        }
+        let out = BTreeCounter::remove_satisfied(&mut map, 6);
+        let got: Vec<_> = out.iter().map(|n| n.level).collect();
+        assert_eq!(got, vec![1, 5, 6]);
+        assert_eq!(map.keys().copied().collect::<Vec<_>>(), vec![7]);
+    }
+
+    #[test]
+    fn remove_satisfied_at_u64_max_takes_all() {
+        let mut map = BTreeMap::new();
+        map.insert(u64::MAX, Arc::new(WaitNode::new(u64::MAX)));
+        let out = BTreeCounter::remove_satisfied(&mut map, u64::MAX);
+        assert_eq!(out.len(), 1);
+        assert!(map.is_empty());
+    }
+
+    #[test]
+    fn timeout_cleans_map_entry() {
+        let c = BTreeCounter::new();
+        assert!(c.check_timeout(9, Duration::from_millis(30)).is_err());
+        assert_eq!(c.stats().live_nodes, 0);
+    }
+
+    #[test]
+    fn distinct_levels_distinct_nodes() {
+        let c = Arc::new(BTreeCounter::new());
+        let mut handles = Vec::new();
+        for level in [3u64, 6, 9] {
+            let c = Arc::clone(&c);
+            handles.push(thread::spawn(move || c.check(level)));
+        }
+        while c.stats().live_nodes < 3 {
+            thread::yield_now();
+        }
+        c.increment(9);
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(c.stats().nodes_created, 3);
+    }
+}

@@ -1,0 +1,592 @@
+//! [`Counter`]: the paper's Section 7 implementation, ported literally.
+//!
+//! One mutex protects (value, ordered waiting list); each distinct waited
+//! level owns one node with a condition variable; `increment` detaches the
+//! satisfied prefix of the list, signals it, and broadcasts; woken threads
+//! drain their node and the last one releases it.
+
+use crate::error::{CheckTimeoutError, CounterOverflowError};
+use crate::list::SortedList;
+use crate::node::WaitNode;
+use crate::stats::{Stats, StatsSnapshot};
+use crate::trace::{snapshot_of, TraceLog};
+use crate::traits::MonotonicCounter;
+use crate::Value;
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+pub(crate) struct Inner {
+    pub(crate) value: Value,
+    /// Nodes for levels still unsatisfied. Never contains a level <= value.
+    pub(crate) waiting: SortedList,
+    /// Nodes whose level has been satisfied but whose waiters have not all
+    /// resumed yet — these are the "set" nodes still drawn in the waiting
+    /// structure of Figure 2 (e) and (f). The last waiter to resume removes
+    /// its node from here.
+    pub(crate) draining: Vec<Arc<WaitNode>>,
+}
+
+/// The reference monotonic counter: one lock plus a sorted singly-linked list
+/// of condition-variable nodes, exactly the structure of the paper's
+/// Section 7 and Figure 2.
+///
+/// * `check` with a satisfied level returns immediately.
+/// * `check` with an unsatisfied level finds-or-inserts the node for that
+///   level and suspends on its condition variable; all threads waiting on the
+///   same level share one node.
+/// * `increment` bumps the value and removes every node whose level the new
+///   value satisfies from the list, sets its signal flag, and broadcasts.
+///
+/// Storage and operation time are proportional to the number of **distinct
+/// levels currently waited on**, not to the number of waiting threads.
+///
+/// # Example
+///
+/// ```
+/// use mc_counter::{Counter, MonotonicCounter};
+/// let c = Counter::new();
+/// c.increment(5);
+/// c.check(5); // already satisfied: returns immediately
+/// ```
+pub struct Counter {
+    inner: Mutex<Inner>,
+    stats: Stats,
+    /// When present (via [`crate::TracingCounter`]), a structure snapshot is
+    /// appended at every transition, under the lock.
+    trace: Option<Arc<TraceLog>>,
+}
+
+impl Default for Counter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for Counter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.lock();
+        f.debug_struct("Counter")
+            .field("value", &inner.value)
+            .field("waiting_levels", &inner.waiting.levels())
+            .field("draining", &inner.draining.len())
+            .finish()
+    }
+}
+
+impl Counter {
+    /// Creates a counter with value zero and no waiting threads.
+    pub fn new() -> Self {
+        Counter {
+            inner: Mutex::new(Inner {
+                value: 0,
+                waiting: SortedList::new(),
+                draining: Vec::new(),
+            }),
+            stats: Stats::default(),
+            trace: None,
+        }
+    }
+
+    /// Creates a counter that records structure snapshots into the returned
+    /// log (used by [`crate::TracingCounter`]).
+    pub(crate) fn new_traced() -> (Self, Arc<TraceLog>) {
+        let log = Arc::new(TraceLog::default());
+        let counter = Counter {
+            trace: Some(Arc::clone(&log)),
+            ..Self::new()
+        };
+        counter.record(&counter.lock());
+        (counter, log)
+    }
+
+    /// Appends the current structure to the trace log, if tracing.
+    fn record(&self, inner: &Inner) {
+        if let Some(log) = &self.trace {
+            log.push(snapshot_of(inner));
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, Inner> {
+        // Lock poisoning can only arise from a panic inside these short
+        // critical sections, which would indicate a bug in this crate, not in
+        // user code; propagating the panic is the correct response.
+        self.inner.lock().expect("counter lock poisoned")
+    }
+
+    /// Core of `increment`/`try_increment`: returns the satisfied nodes to
+    /// notify after the lock is released.
+    fn raise(&self, amount: Value) -> Result<Vec<Arc<WaitNode>>, CounterOverflowError> {
+        let mut inner = self.lock();
+        let new_value = inner
+            .value
+            .checked_add(amount)
+            .ok_or(CounterOverflowError {
+                value: inner.value,
+                amount,
+            })?;
+        inner.value = new_value;
+        self.stats.record_increment();
+        let satisfied = inner.waiting.remove_satisfied(new_value);
+        for node in &satisfied {
+            node.signal();
+            inner.draining.push(Arc::clone(node));
+            self.stats.record_notify();
+        }
+        self.record(&inner);
+        Ok(satisfied)
+    }
+
+    /// Called by a resuming waiter (lock held): deregister from `node`, and if
+    /// it was the last waiter, remove the node from the draining list.
+    fn resume_from(&self, inner: &mut Inner, node: &Arc<WaitNode>) {
+        self.stats.record_waiter_resumed();
+        if node.remove_waiter() {
+            inner.draining.retain(|n| !Arc::ptr_eq(n, node));
+            self.stats.record_node_freed();
+        }
+        self.record(inner);
+    }
+
+    /// Levels currently waited on, in ascending order (diagnostics/tests).
+    pub fn waiting_levels(&self) -> Vec<Value> {
+        self.lock().waiting.levels()
+    }
+
+    /// Number of live wait nodes: unsatisfied levels plus satisfied levels
+    /// still draining (diagnostics/tests, Section 7 storage measurements).
+    pub fn live_nodes(&self) -> usize {
+        let inner = self.lock();
+        inner.waiting.len() + inner.draining.len()
+    }
+
+    pub(crate) fn with_inner<R>(&self, f: impl FnOnce(&Inner) -> R) -> R {
+        f(&self.lock())
+    }
+}
+
+impl MonotonicCounter for Counter {
+    fn increment(&self, amount: Value) {
+        let satisfied = self
+            .raise(amount)
+            .unwrap_or_else(|e| panic!("monotonic counter overflow: {e}"));
+        // Broadcast outside the lock: the flag is already set under the lock,
+        // so a waiter that re-checks before our notify arrives simply exits
+        // its wait loop; nobody can miss the wakeup.
+        for node in satisfied {
+            node.cv.notify_all();
+        }
+    }
+
+    fn try_increment(&self, amount: Value) -> Result<(), CounterOverflowError> {
+        let satisfied = self.raise(amount)?;
+        for node in satisfied {
+            node.cv.notify_all();
+        }
+        Ok(())
+    }
+
+    fn advance_to(&self, target: Value) {
+        let satisfied = {
+            let mut inner = self.lock();
+            if target <= inner.value {
+                return;
+            }
+            inner.value = target;
+            self.stats.record_increment();
+            let satisfied = inner.waiting.remove_satisfied(target);
+            for node in &satisfied {
+                node.signal();
+                inner.draining.push(Arc::clone(node));
+                self.stats.record_notify();
+            }
+            self.record(&inner);
+            satisfied
+        };
+        for node in satisfied {
+            node.cv.notify_all();
+        }
+    }
+
+    fn check(&self, level: Value) {
+        let mut inner = self.lock();
+        if inner.value >= level {
+            self.stats.record_check_immediate();
+            return;
+        }
+        let (node, inserted) = inner.waiting.find_or_insert(level);
+        if inserted {
+            self.stats.record_node_created();
+        }
+        node.add_waiter();
+        self.stats.record_check_suspended();
+        self.record(&inner);
+        while !node.is_set() {
+            inner = node
+                .cv
+                .wait(inner)
+                .expect("counter lock poisoned while waiting");
+        }
+        self.resume_from(&mut inner, &node);
+    }
+
+    fn check_timeout(&self, level: Value, timeout: Duration) -> Result<(), CheckTimeoutError> {
+        let deadline = Instant::now() + timeout;
+        let mut inner = self.lock();
+        if inner.value >= level {
+            self.stats.record_check_immediate();
+            return Ok(());
+        }
+        let (node, inserted) = inner.waiting.find_or_insert(level);
+        if inserted {
+            self.stats.record_node_created();
+        }
+        node.add_waiter();
+        self.stats.record_check_suspended();
+        self.record(&inner);
+        loop {
+            if node.is_set() {
+                self.resume_from(&mut inner, &node);
+                return Ok(());
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                // Abandon the wait. If we are the last waiter at this level
+                // and the level was never satisfied, the node must leave the
+                // waiting list, or a future increment would signal a dead
+                // node (harmless) while the list length misreports storage.
+                self.stats.record_waiter_resumed();
+                if node.remove_waiter() {
+                    inner.waiting.remove_level(level);
+                    self.stats.record_node_freed();
+                }
+                self.record(&inner);
+                return Err(CheckTimeoutError { level });
+            }
+            let (guard, _timed_out) = node
+                .cv
+                .wait_timeout(inner, deadline - now)
+                .expect("counter lock poisoned while waiting");
+            inner = guard;
+        }
+    }
+
+    fn reset(&mut self) {
+        let inner = self.inner.get_mut().expect("counter lock poisoned");
+        debug_assert!(
+            inner.waiting.is_empty() && inner.draining.is_empty(),
+            "reset called while threads wait on the counter"
+        );
+        inner.value = 0;
+    }
+
+    fn debug_value(&self) -> Value {
+        self.lock().value
+    }
+
+    fn stats(&self) -> StatsSnapshot {
+        self.stats.snapshot()
+    }
+
+    fn impl_name(&self) -> &'static str {
+        "waitlist"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::thread;
+
+    const SHORT: Duration = Duration::from_millis(50);
+    const LONG: Duration = Duration::from_secs(10);
+
+    #[test]
+    fn new_counter_is_zero() {
+        let c = Counter::new();
+        assert_eq!(c.debug_value(), 0);
+        assert_eq!(c.live_nodes(), 0);
+    }
+
+    #[test]
+    fn check_zero_never_suspends() {
+        let c = Counter::new();
+        c.check(0);
+        assert_eq!(c.stats().immediate_checks, 1);
+    }
+
+    #[test]
+    fn increment_accumulates() {
+        let c = Counter::new();
+        c.increment(3);
+        c.increment(0);
+        c.increment(4);
+        assert_eq!(c.debug_value(), 7);
+        assert_eq!(c.stats().increments, 3);
+    }
+
+    #[test]
+    fn check_satisfied_level_is_immediate() {
+        let c = Counter::new();
+        c.increment(10);
+        c.check(10);
+        c.check(1);
+        let s = c.stats();
+        assert_eq!(s.immediate_checks, 2);
+        assert_eq!(s.suspensions, 0);
+        assert_eq!(s.nodes_created, 0);
+    }
+
+    #[test]
+    fn single_waiter_wakes_at_exact_level() {
+        let c = Arc::new(Counter::new());
+        let c2 = Arc::clone(&c);
+        let h = thread::spawn(move || c2.check(5));
+        // Raise to just below the level: waiter must stay suspended.
+        c.increment(4);
+        thread::sleep(SHORT);
+        assert!(!h.is_finished(), "waiter woke below its level");
+        c.increment(1);
+        h.join().unwrap();
+        assert_eq!(c.live_nodes(), 0);
+    }
+
+    #[test]
+    fn one_increment_wakes_multiple_levels() {
+        let c = Arc::new(Counter::new());
+        let mut handles = Vec::new();
+        for level in [2u64, 4, 6] {
+            let c = Arc::clone(&c);
+            handles.push(thread::spawn(move || c.check(level)));
+        }
+        // Wait until all three nodes exist.
+        while c.live_nodes() < 3 {
+            thread::yield_now();
+        }
+        assert_eq!(c.waiting_levels(), vec![2, 4, 6]);
+        c.increment(6); // satisfies all three distinct levels at once
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(c.live_nodes(), 0);
+        assert_eq!(c.stats().nodes_created, 3);
+        assert_eq!(c.stats().nodes_freed, 3);
+    }
+
+    #[test]
+    fn threads_on_same_level_share_one_node() {
+        let c = Arc::new(Counter::new());
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let c = Arc::clone(&c);
+            handles.push(thread::spawn(move || c.check(3)));
+        }
+        while c.stats().live_waiters < 8 {
+            thread::yield_now();
+        }
+        // Eight waiters, one distinct level => exactly one node.
+        assert_eq!(c.live_nodes(), 1);
+        assert_eq!(c.stats().nodes_created, 1);
+        c.increment(3);
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(c.live_nodes(), 0);
+        assert_eq!(
+            c.stats().notifies,
+            1,
+            "one broadcast wakes all same-level waiters"
+        );
+    }
+
+    #[test]
+    fn partial_increment_wakes_only_satisfied_levels() {
+        let c = Arc::new(Counter::new());
+        let low = {
+            let c = Arc::clone(&c);
+            thread::spawn(move || c.check(2))
+        };
+        let high = {
+            let c = Arc::clone(&c);
+            thread::spawn(move || c.check(100))
+        };
+        while c.live_nodes() < 2 {
+            thread::yield_now();
+        }
+        c.increment(50);
+        low.join().unwrap();
+        thread::sleep(SHORT);
+        assert!(!high.is_finished(), "level-100 waiter woke at value 50");
+        assert_eq!(c.waiting_levels(), vec![100]);
+        c.increment(50);
+        high.join().unwrap();
+    }
+
+    #[test]
+    fn check_timeout_ok_when_already_satisfied() {
+        let c = Counter::new();
+        c.increment(1);
+        assert_eq!(c.check_timeout(1, SHORT), Ok(()));
+    }
+
+    #[test]
+    fn check_timeout_expires_and_cleans_up_node() {
+        let c = Counter::new();
+        let err = c.check_timeout(5, SHORT).unwrap_err();
+        assert_eq!(err.level, 5);
+        assert_eq!(c.live_nodes(), 0, "abandoned node must be removed");
+        assert_eq!(c.waiting_levels(), Vec::<u64>::new());
+    }
+
+    #[test]
+    fn check_timeout_succeeds_when_increment_arrives_in_time() {
+        let c = Arc::new(Counter::new());
+        let c2 = Arc::clone(&c);
+        let h = thread::spawn(move || c2.check_timeout(3, LONG));
+        while c.live_nodes() == 0 {
+            thread::yield_now();
+        }
+        c.increment(3);
+        assert_eq!(h.join().unwrap(), Ok(()));
+    }
+
+    #[test]
+    fn timed_out_waiter_does_not_strand_others_at_same_level() {
+        let c = Arc::new(Counter::new());
+        let c1 = Arc::clone(&c);
+        let patient = thread::spawn(move || c1.check(4));
+        while c.live_nodes() == 0 {
+            thread::yield_now();
+        }
+        // A second waiter at the same level times out and abandons.
+        assert!(c.check_timeout(4, SHORT).is_err());
+        assert_eq!(
+            c.live_nodes(),
+            1,
+            "node must survive while a waiter remains"
+        );
+        c.increment(4);
+        patient.join().unwrap();
+        assert_eq!(c.live_nodes(), 0);
+    }
+
+    #[test]
+    fn try_increment_overflow_leaves_counter_usable() {
+        let c = Counter::new();
+        c.increment(u64::MAX - 1);
+        let err = c.try_increment(2).unwrap_err();
+        assert_eq!(err.value, u64::MAX - 1);
+        assert_eq!(err.amount, 2);
+        assert_eq!(c.debug_value(), u64::MAX - 1);
+        // Still usable to the limit.
+        c.try_increment(1).unwrap();
+        assert_eq!(c.debug_value(), u64::MAX);
+    }
+
+    #[test]
+    #[should_panic(expected = "overflow")]
+    fn increment_overflow_panics() {
+        let c = Counter::new();
+        c.increment(u64::MAX);
+        c.increment(1);
+    }
+
+    #[test]
+    fn check_at_u64_max_level_is_satisfiable() {
+        let c = Arc::new(Counter::new());
+        let c2 = Arc::clone(&c);
+        let h = thread::spawn(move || c2.check(u64::MAX));
+        while c.live_nodes() == 0 {
+            thread::yield_now();
+        }
+        c.increment(u64::MAX);
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn reset_restores_zero() {
+        let mut c = Counter::new();
+        c.increment(9);
+        c.reset();
+        assert_eq!(c.debug_value(), 0);
+        // Reusable after reset, as in the paper's phase-reuse motivation.
+        c.increment(2);
+        c.check(2);
+    }
+
+    #[test]
+    fn waker_order_is_fifo_per_level_completion() {
+        // All waiters at distinct ascending levels; a sequence of unit
+        // increments must release them in level order.
+        let c = Arc::new(Counter::new());
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let mut handles = Vec::new();
+        for level in 1..=6u64 {
+            let c = Arc::clone(&c);
+            let order = Arc::clone(&order);
+            handles.push(thread::spawn(move || {
+                c.check(level);
+                // The level can only be recorded after being satisfied;
+                // recording under a lock gives a consistent order of the
+                // *minimum* satisfied level at each point.
+                order.lock().unwrap().push(level);
+            }));
+        }
+        while c.live_nodes() < 6 {
+            thread::yield_now();
+        }
+        for _ in 0..6 {
+            c.increment(1);
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let recorded = order.lock().unwrap().clone();
+        let mut sorted = recorded.clone();
+        sorted.sort_unstable();
+        assert_eq!(recorded.len(), 6);
+        assert_eq!(sorted, (1..=6).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn stress_many_threads_many_levels() {
+        let c = Arc::new(Counter::new());
+        let resumed = Arc::new(AtomicUsize::new(0));
+        let threads = 32;
+        let mut handles = Vec::new();
+        for i in 0..threads {
+            let c = Arc::clone(&c);
+            let resumed = Arc::clone(&resumed);
+            handles.push(thread::spawn(move || {
+                c.check((i % 8 + 1) as u64 * 10);
+                resumed.fetch_add(1, Ordering::Relaxed);
+            }));
+        }
+        while c.stats().live_waiters < threads as u64 {
+            thread::yield_now();
+        }
+        // 8 distinct levels for 32 threads: Section 7 storage property.
+        assert_eq!(c.live_nodes(), 8);
+        for _ in 0..80 {
+            c.increment(1);
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(resumed.load(Ordering::Relaxed), threads);
+        assert_eq!(c.live_nodes(), 0);
+        let s = c.stats();
+        assert_eq!(s.nodes_created, 8);
+        assert_eq!(s.nodes_freed, 8);
+        assert_eq!(s.max_live_waiters, threads as u64);
+        assert_eq!(s.max_live_nodes, 8);
+    }
+
+    #[test]
+    fn debug_format_shows_structure() {
+        let c = Counter::new();
+        c.increment(3);
+        let s = format!("{c:?}");
+        assert!(s.contains("value: 3"), "got {s}");
+    }
+}

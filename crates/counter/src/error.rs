@@ -1,0 +1,78 @@
+//! Error types for fallible counter operations.
+
+use std::fmt;
+
+/// Error returned by [`MonotonicCounter::check_timeout`] when the counter did
+/// not reach the requested level before the timeout elapsed.
+///
+/// [`MonotonicCounter::check_timeout`]: crate::MonotonicCounter::check_timeout
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CheckTimeoutError {
+    /// The level the caller was waiting for.
+    pub level: crate::Value,
+}
+
+impl fmt::Display for CheckTimeoutError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "timed out waiting for counter to reach level {}",
+            self.level
+        )
+    }
+}
+
+impl std::error::Error for CheckTimeoutError {}
+
+/// Error returned by [`MonotonicCounter::try_increment`] when the addition
+/// would overflow the counter value.
+///
+/// [`MonotonicCounter::try_increment`]: crate::MonotonicCounter::try_increment
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CounterOverflowError {
+    /// The counter value at the time of the failed increment.
+    pub value: crate::Value,
+    /// The amount whose addition would have overflowed.
+    pub amount: crate::Value,
+}
+
+impl fmt::Display for CounterOverflowError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "incrementing counter value {} by {} would overflow",
+            self.value, self.amount
+        )
+    }
+}
+
+impl std::error::Error for CounterOverflowError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timeout_error_displays_level() {
+        let e = CheckTimeoutError { level: 42 };
+        assert!(e.to_string().contains("42"));
+    }
+
+    #[test]
+    fn overflow_error_displays_operands() {
+        let e = CounterOverflowError {
+            value: u64::MAX,
+            amount: 1,
+        };
+        let s = e.to_string();
+        assert!(s.contains(&u64::MAX.to_string()));
+        assert!(s.contains("by 1"));
+    }
+
+    #[test]
+    fn errors_are_std_errors() {
+        fn assert_err<E: std::error::Error>() {}
+        assert_err::<CheckTimeoutError>();
+        assert_err::<CounterOverflowError>();
+    }
+}

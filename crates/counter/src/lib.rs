@@ -1,0 +1,98 @@
+//! # Monotonic counters
+//!
+//! A faithful, production-quality Rust implementation of the synchronization
+//! primitive introduced by John Thornley and K. Mani Chandy in *"Monotonic
+//! Counters: A New Mechanism for Thread Synchronization"* (IPPS 2000).
+//!
+//! A monotonic counter is an object with a nonnegative integer value (initially
+//! zero) and two operations:
+//!
+//! * [`increment`](MonotonicCounter::increment)`(amount)` — atomically
+//!   increases the value, waking every thread suspended on a level that the
+//!   new value satisfies.
+//! * [`check`](MonotonicCounter::check)`(level)` — suspends the calling thread
+//!   until `value >= level`.
+//!
+//! There is deliberately **no decrement** and **no non-blocking probe**:
+//! because the value only ever grows, a synchronization condition that has
+//! become enabled can never become disabled again, so a `check` can never
+//! "miss" an `increment` and no decision can be made on a racy instantaneous
+//! value. This is what makes counter synchronization *deterministic* (see the
+//! paper's Section 6 and the `mc-detcheck` crate).
+//!
+//! ## Implementations
+//!
+//! The crate provides several interchangeable implementations of the
+//! [`MonotonicCounter`] trait, used by the paper-reproduction benchmarks to
+//! ablate the design of Section 7:
+//!
+//! | Type | Wait structure | Corresponds to |
+//! |------|----------------|----------------|
+//! | [`Counter`] | sorted singly-linked list of condvar nodes | the paper's Section 7 implementation, ported literally (including Figure 2's draining nodes) |
+//! | [`BTreeCounter`] | `BTreeMap` of condvar nodes | same algorithm, O(log L) level lookup |
+//! | [`NaiveCounter`] | one condvar, broadcast on every increment | the strawman the paper improves on: O(threads) wakeups |
+//! | [`ParkingCounter`] | `BTreeMap` of `parking_lot` condvar nodes | modern userspace-queue substrate |
+//! | [`AtomicCounter`] | lock-free fast path + `BTreeMap` slow path | an extension: uncontended `check`/`increment` take no lock |
+//! | [`SpinCounter`] | none — waiters busy-spin | the no-suspension-queue end of the design space |
+//! | [`MonitorCounter`] | one predicate monitor | counters expressed via Section 8's monitor comparison |
+//!
+//! The queue-structured implementations share the key complexity property of
+//! Section 7: storage and wakeup work are proportional to the **number of
+//! distinct levels being waited on**, not to the number of waiting threads.
+//! [`NaiveCounter`] and [`MonitorCounter`] are the single-queue baselines
+//! that lack it, and [`SpinCounter`] trades queues for CPU.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use mc_counter::{Counter, MonotonicCounter};
+//! use std::sync::Arc;
+//!
+//! let c = Arc::new(Counter::new());
+//! let c2 = Arc::clone(&c);
+//! let handle = std::thread::spawn(move || {
+//!     c2.check(3); // suspends until the counter reaches 3
+//!     "data is ready"
+//! });
+//! c.increment(1);
+//! c.increment(2); // reaches 3: the waiter wakes
+//! assert_eq!(handle.join().unwrap(), "data is ready");
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod atomic;
+mod btree;
+mod counter;
+mod error;
+mod list;
+mod monitor_impl;
+mod multi;
+mod naive;
+mod node;
+mod parking;
+mod spin;
+mod stats;
+mod trace;
+mod traits;
+
+pub use atomic::AtomicCounter;
+pub use btree::BTreeCounter;
+pub use counter::Counter;
+pub use error::{CheckTimeoutError, CounterOverflowError};
+pub use monitor_impl::MonitorCounter;
+pub use multi::{check_all, CounterSet};
+pub use naive::NaiveCounter;
+pub use parking::ParkingCounter;
+pub use spin::SpinCounter;
+pub use stats::StatsSnapshot;
+pub use trace::{CounterSnapshot, NodeSnapshot, TracingCounter};
+pub use traits::{CounterExt, MonotonicCounter};
+
+/// The integer type used for counter values and levels.
+///
+/// The paper uses `unsigned int`; we use 64 bits so that realistic long-running
+/// programs (e.g. a broadcast counter incremented once per item) cannot
+/// overflow in practice. Overflow on [`MonotonicCounter::increment`] panics.
+pub type Value = u64;

@@ -1,0 +1,172 @@
+//! [`MonitorCounter`]: a counter expressed as a predicate monitor.
+//!
+//! The paper's Section 8 places counters alongside monitors in the design
+//! space; this implementation demonstrates the layering directly — a counter
+//! *is* expressible as a monitor on its value with the predicate
+//! `value >= level`, at the cost of the monitor's single suspension queue:
+//! like [`crate::NaiveCounter`], every state change wakes every waiter.
+//! Included for the E7 ablation discussion.
+
+use crate::error::{CheckTimeoutError, CounterOverflowError};
+use crate::stats::{Stats, StatsSnapshot};
+use crate::traits::MonotonicCounter;
+use crate::Value;
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// A monotonic counter implemented in monitor style: one mutex-guarded value,
+/// one condition variable, predicate waits.
+pub struct MonitorCounter {
+    value: Mutex<Value>,
+    cv: Condvar,
+    stats: Stats,
+}
+
+impl Default for MonitorCounter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MonitorCounter {
+    /// Creates a counter with value zero.
+    pub fn new() -> Self {
+        MonitorCounter {
+            value: Mutex::new(0),
+            cv: Condvar::new(),
+            stats: Stats::default(),
+        }
+    }
+
+    /// Monitor-style update: mutate under the lock, then signal all waiters
+    /// so they re-evaluate their predicates.
+    fn update(
+        &self,
+        f: impl FnOnce(&mut Value) -> Result<(), CounterOverflowError>,
+    ) -> Result<(), CounterOverflowError> {
+        let mut value = self.value.lock().expect("counter lock poisoned");
+        f(&mut value)?;
+        drop(value);
+        self.stats.record_notify();
+        self.cv.notify_all();
+        Ok(())
+    }
+}
+
+impl MonotonicCounter for MonitorCounter {
+    fn increment(&self, amount: Value) {
+        self.try_increment(amount)
+            .unwrap_or_else(|e| panic!("monotonic counter overflow: {e}"));
+    }
+
+    fn try_increment(&self, amount: Value) -> Result<(), CounterOverflowError> {
+        let r = self.update(|value| {
+            *value = value.checked_add(amount).ok_or(CounterOverflowError {
+                value: *value,
+                amount,
+            })?;
+            Ok(())
+        });
+        if r.is_ok() {
+            self.stats.record_increment();
+        }
+        r
+    }
+
+    fn check(&self, level: Value) {
+        let mut value = self.value.lock().expect("counter lock poisoned");
+        if *value >= level {
+            self.stats.record_check_immediate();
+            return;
+        }
+        self.stats.record_check_suspended();
+        while *value < level {
+            value = self.cv.wait(value).expect("counter lock poisoned");
+        }
+        self.stats.record_waiter_resumed();
+    }
+
+    fn check_timeout(&self, level: Value, timeout: Duration) -> Result<(), CheckTimeoutError> {
+        let deadline = Instant::now() + timeout;
+        let mut value = self.value.lock().expect("counter lock poisoned");
+        if *value >= level {
+            self.stats.record_check_immediate();
+            return Ok(());
+        }
+        self.stats.record_check_suspended();
+        while *value < level {
+            let now = Instant::now();
+            if now >= deadline {
+                self.stats.record_waiter_resumed();
+                return Err(CheckTimeoutError { level });
+            }
+            let (guard, _) = self
+                .cv
+                .wait_timeout(value, deadline - now)
+                .expect("counter lock poisoned");
+            value = guard;
+        }
+        self.stats.record_waiter_resumed();
+        Ok(())
+    }
+
+    fn advance_to(&self, target: Value) {
+        let mut value = self.value.lock().expect("counter lock poisoned");
+        if target <= *value {
+            return;
+        }
+        *value = target;
+        self.stats.record_increment();
+        drop(value);
+        self.stats.record_notify();
+        self.cv.notify_all();
+    }
+
+    fn reset(&mut self) {
+        *self.value.get_mut().expect("counter lock poisoned") = 0;
+    }
+
+    fn debug_value(&self) -> Value {
+        *self.value.lock().expect("counter lock poisoned")
+    }
+
+    fn stats(&self) -> StatsSnapshot {
+        self.stats.snapshot()
+    }
+
+    fn impl_name(&self) -> &'static str {
+        "monitor"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn wait_and_wake() {
+        let c = Arc::new(MonitorCounter::new());
+        let c2 = Arc::clone(&c);
+        let h = std::thread::spawn(move || c2.check(3));
+        c.increment(3);
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn every_increment_signals() {
+        let c = MonitorCounter::new();
+        c.increment(1);
+        c.increment(1);
+        assert_eq!(c.stats().notifies, 2);
+    }
+
+    #[test]
+    fn overflow_does_not_signal() {
+        let c = MonitorCounter::new();
+        c.increment(u64::MAX);
+        let before = c.stats().notifies;
+        assert!(c.try_increment(1).is_err());
+        assert_eq!(c.stats().notifies, before, "failed update must not signal");
+    }
+}

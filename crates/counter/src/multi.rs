@@ -1,0 +1,186 @@
+//! Waiting on several counters, and indexed counter collections.
+//!
+//! Monotonicity gives multi-counter waits a property no traditional
+//! primitive has: checking a set of `(counter, level)` conditions **one at a
+//! time** is a correct wait for their conjunction, because a condition that
+//! has become true can never become false again. When the last `check`
+//! returns, *all* conditions hold simultaneously. (With, say, condition
+//! variables this would race; with locks it would deadlock-order-matter.)
+
+use crate::traits::MonotonicCounter;
+use crate::Value;
+
+/// Suspends until every `(counter, level)` pair is satisfied.
+///
+/// Equivalent to calling [`MonotonicCounter::check`] on each pair in order;
+/// correct for the conjunction because counter conditions are stable
+/// (monotonic). The order of the pairs affects only performance, never
+/// correctness or the result.
+///
+/// # Example
+///
+/// ```
+/// use mc_counter::{check_all, Counter, MonotonicCounter};
+/// let a = Counter::new();
+/// let b = Counter::new();
+/// a.increment(2);
+/// b.increment(1);
+/// check_all([(&a, 2), (&b, 1)]); // both already satisfied: returns at once
+/// ```
+pub fn check_all<'a, C>(waits: impl IntoIterator<Item = (&'a C, Value)>)
+where
+    C: MonotonicCounter + ?Sized + 'a,
+{
+    for (counter, level) in waits {
+        counter.check(level);
+    }
+}
+
+/// A fixed-size indexed family of counters, e.g. one per thread or per cell,
+/// as used by the ragged-barrier pattern of the paper's Section 5.1
+/// (`Counter c[N]`).
+///
+/// # Example
+///
+/// ```
+/// use mc_counter::{Counter, CounterSet, MonotonicCounter};
+/// let set: CounterSet<Counter> = CounterSet::new(3);
+/// set.increment(0, 2);
+/// set.check(0, 2);
+/// set.check_pairs(&[(0, 1), (0, 2)]);
+/// assert_eq!(set.len(), 3);
+/// ```
+pub struct CounterSet<C> {
+    counters: Vec<C>,
+}
+
+impl<C: MonotonicCounter + Default> CounterSet<C> {
+    /// Creates `n` fresh counters, all zero.
+    pub fn new(n: usize) -> Self {
+        CounterSet {
+            counters: (0..n).map(|_| C::default()).collect(),
+        }
+    }
+}
+
+impl<C: MonotonicCounter> CounterSet<C> {
+    /// Number of counters in the set.
+    pub fn len(&self) -> usize {
+        self.counters.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty()
+    }
+
+    /// The counter at `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of bounds.
+    pub fn get(&self, index: usize) -> &C {
+        &self.counters[index]
+    }
+
+    /// Increments counter `index` by `amount`.
+    pub fn increment(&self, index: usize, amount: Value) {
+        self.counters[index].increment(amount);
+    }
+
+    /// Suspends until counter `index` reaches `level`.
+    pub fn check(&self, index: usize, level: Value) {
+        self.counters[index].check(level);
+    }
+
+    /// Suspends until every `(index, level)` pair is satisfied
+    /// (see [`check_all`]).
+    pub fn check_pairs(&self, pairs: &[(usize, Value)]) {
+        check_all(pairs.iter().map(|&(i, level)| (&self.counters[i], level)));
+    }
+
+    /// Iterates over the counters.
+    pub fn iter(&self) -> impl Iterator<Item = &C> {
+        self.counters.iter()
+    }
+}
+
+impl<C: MonotonicCounter> std::ops::Index<usize> for CounterSet<C> {
+    type Output = C;
+
+    fn index(&self, index: usize) -> &C {
+        &self.counters[index]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Counter;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn check_all_on_satisfied_pairs_returns() {
+        let a = Counter::new();
+        let b = Counter::new();
+        a.increment(1);
+        b.increment(2);
+        check_all([(&a, 1), (&b, 2)]);
+    }
+
+    #[test]
+    fn check_all_waits_for_every_counter() {
+        let a = Arc::new(Counter::new());
+        let b = Arc::new(Counter::new());
+        let (a2, b2) = (Arc::clone(&a), Arc::clone(&b));
+        let h = thread::spawn(move || check_all([(&*a2, 3), (&*b2, 3)]));
+        a.increment(3);
+        thread::sleep(std::time::Duration::from_millis(30));
+        assert!(
+            !h.is_finished(),
+            "returned before second counter was satisfied"
+        );
+        b.increment(3);
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn counter_set_independent_counters() {
+        let set: CounterSet<Counter> = CounterSet::new(4);
+        set.increment(1, 5);
+        assert_eq!(set.get(0).debug_value(), 0);
+        assert_eq!(set.get(1).debug_value(), 5);
+        assert_eq!(set.len(), 4);
+        assert!(!set.is_empty());
+    }
+
+    #[test]
+    fn counter_set_check_pairs() {
+        let set: CounterSet<Counter> = CounterSet::new(2);
+        set.increment(0, 1);
+        set.increment(1, 1);
+        set.check_pairs(&[(0, 1), (1, 1)]);
+    }
+
+    #[test]
+    fn counter_set_indexing() {
+        let set: CounterSet<Counter> = CounterSet::new(2);
+        set[0].increment(7);
+        assert_eq!(set[0].debug_value(), 7);
+    }
+
+    #[test]
+    #[should_panic]
+    fn counter_set_out_of_bounds_panics() {
+        let set: CounterSet<Counter> = CounterSet::new(1);
+        set.check(3, 0);
+    }
+
+    #[test]
+    fn empty_set() {
+        let set: CounterSet<Counter> = CounterSet::new(0);
+        assert!(set.is_empty());
+        assert_eq!(set.iter().count(), 0);
+    }
+}

@@ -1,0 +1,194 @@
+//! [`NaiveCounter`]: the strawman implementation the paper's Section 7 design
+//! improves on — a single condition variable broadcast on every increment.
+//!
+//! Correct but wasteful: every increment wakes **every** waiting thread, each
+//! of which re-checks its own level and usually goes back to sleep. Wakeup
+//! work is O(total waiting threads) per increment instead of O(satisfied
+//! levels). Experiment E7 quantifies the difference.
+
+use crate::error::{CheckTimeoutError, CounterOverflowError};
+use crate::stats::{Stats, StatsSnapshot};
+use crate::traits::MonotonicCounter;
+use crate::Value;
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// A monotonic counter with a single shared suspension queue.
+///
+/// Semantically interchangeable with [`crate::Counter`]; kept as the baseline
+/// for the implementation-ablation experiment.
+pub struct NaiveCounter {
+    value: Mutex<Value>,
+    cv: Condvar,
+    stats: Stats,
+}
+
+impl Default for NaiveCounter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl NaiveCounter {
+    /// Creates a counter with value zero.
+    pub fn new() -> Self {
+        NaiveCounter {
+            value: Mutex::new(0),
+            cv: Condvar::new(),
+            stats: Stats::default(),
+        }
+    }
+}
+
+impl MonotonicCounter for NaiveCounter {
+    fn increment(&self, amount: Value) {
+        self.try_increment(amount)
+            .unwrap_or_else(|e| panic!("monotonic counter overflow: {e}"));
+    }
+
+    fn try_increment(&self, amount: Value) -> Result<(), CounterOverflowError> {
+        let mut value = self.value.lock().expect("counter lock poisoned");
+        *value = value.checked_add(amount).ok_or(CounterOverflowError {
+            value: *value,
+            amount,
+        })?;
+        self.stats.record_increment();
+        self.stats.record_notify();
+        drop(value);
+        // Broadcast unconditionally: with one queue there is no way to know
+        // which (if any) waiters are satisfied without waking them all.
+        self.cv.notify_all();
+        Ok(())
+    }
+
+    fn advance_to(&self, target: Value) {
+        let mut value = self.value.lock().expect("counter lock poisoned");
+        if target <= *value {
+            return;
+        }
+        *value = target;
+        self.stats.record_increment();
+        self.stats.record_notify();
+        drop(value);
+        self.cv.notify_all();
+    }
+
+    fn check(&self, level: Value) {
+        let mut value = self.value.lock().expect("counter lock poisoned");
+        if *value >= level {
+            self.stats.record_check_immediate();
+            return;
+        }
+        self.stats.record_check_suspended();
+        while *value < level {
+            value = self
+                .cv
+                .wait(value)
+                .expect("counter lock poisoned while waiting");
+        }
+        self.stats.record_waiter_resumed();
+    }
+
+    fn check_timeout(&self, level: Value, timeout: Duration) -> Result<(), CheckTimeoutError> {
+        let deadline = Instant::now() + timeout;
+        let mut value = self.value.lock().expect("counter lock poisoned");
+        if *value >= level {
+            self.stats.record_check_immediate();
+            return Ok(());
+        }
+        self.stats.record_check_suspended();
+        while *value < level {
+            let now = Instant::now();
+            if now >= deadline {
+                self.stats.record_waiter_resumed();
+                return Err(CheckTimeoutError { level });
+            }
+            let (guard, _) = self
+                .cv
+                .wait_timeout(value, deadline - now)
+                .expect("counter lock poisoned while waiting");
+            value = guard;
+        }
+        self.stats.record_waiter_resumed();
+        Ok(())
+    }
+
+    fn reset(&mut self) {
+        *self.value.get_mut().expect("counter lock poisoned") = 0;
+    }
+
+    fn debug_value(&self) -> Value {
+        *self.value.lock().expect("counter lock poisoned")
+    }
+
+    fn stats(&self) -> StatsSnapshot {
+        self.stats.snapshot()
+    }
+
+    fn impl_name(&self) -> &'static str {
+        "naive-broadcast"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn wait_and_wake() {
+        let c = Arc::new(NaiveCounter::new());
+        let c2 = Arc::clone(&c);
+        let h = thread::spawn(move || c2.check(4));
+        while c.stats().live_waiters == 0 {
+            thread::yield_now();
+        }
+        c.increment(2);
+        thread::sleep(Duration::from_millis(30));
+        assert!(!h.is_finished());
+        c.increment(2);
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn every_increment_broadcasts() {
+        let c = NaiveCounter::new();
+        c.increment(1);
+        c.increment(1);
+        c.increment(1);
+        assert_eq!(c.stats().notifies, 3);
+    }
+
+    #[test]
+    fn timeout_expires() {
+        let c = NaiveCounter::new();
+        assert!(c.check_timeout(1, Duration::from_millis(20)).is_err());
+    }
+
+    #[test]
+    fn overflow_is_fallible() {
+        let c = NaiveCounter::new();
+        c.increment(u64::MAX);
+        assert!(c.try_increment(1).is_err());
+        assert_eq!(c.debug_value(), u64::MAX);
+    }
+
+    #[test]
+    fn many_waiters_all_resume() {
+        let c = Arc::new(NaiveCounter::new());
+        let mut handles = Vec::new();
+        for level in 1..=16u64 {
+            let c = Arc::clone(&c);
+            handles.push(thread::spawn(move || c.check(level)));
+        }
+        while c.stats().live_waiters < 16 {
+            thread::yield_now();
+        }
+        c.increment(16);
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(c.stats().live_waiters, 0);
+    }
+}

@@ -1,0 +1,270 @@
+//! [`ParkingCounter`]: the Section 7 algorithm on `parking_lot` primitives.
+//!
+//! `parking_lot` queues waiters in userspace, which changes the constant
+//! factors of suspension and wakeup; experiment E7 compares it against the
+//! `std` condvar implementations.
+
+use crate::error::{CheckTimeoutError, CounterOverflowError};
+use crate::stats::{Stats, StatsSnapshot};
+use crate::traits::MonotonicCounter;
+use crate::Value;
+use parking_lot::{Condvar, Mutex};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering::Relaxed};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Wait node with a `parking_lot` condition variable; otherwise identical to
+/// the `std` node in `crate::node`.
+struct PlNode {
+    count: AtomicUsize,
+    set: AtomicBool,
+    cv: Condvar,
+}
+
+impl PlNode {
+    fn new() -> Self {
+        PlNode {
+            count: AtomicUsize::new(0),
+            set: AtomicBool::new(false),
+            cv: Condvar::new(),
+        }
+    }
+}
+
+struct Inner {
+    value: Value,
+    waiting: BTreeMap<Value, Arc<PlNode>>,
+}
+
+/// A monotonic counter built on `parking_lot::{Mutex, Condvar}`.
+///
+/// Semantically interchangeable with [`crate::Counter`]; see the crate docs
+/// for the implementation comparison table.
+pub struct ParkingCounter {
+    inner: Mutex<Inner>,
+    stats: Stats,
+}
+
+impl Default for ParkingCounter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ParkingCounter {
+    /// Creates a counter with value zero and no waiting threads.
+    pub fn new() -> Self {
+        ParkingCounter {
+            inner: Mutex::new(Inner {
+                value: 0,
+                waiting: BTreeMap::new(),
+            }),
+            stats: Stats::default(),
+        }
+    }
+
+    fn remove_satisfied(
+        waiting: &mut BTreeMap<Value, Arc<PlNode>>,
+        value: Value,
+    ) -> Vec<Arc<PlNode>> {
+        match value.checked_add(1) {
+            Some(next) => {
+                let rest = waiting.split_off(&next);
+                std::mem::replace(waiting, rest).into_values().collect()
+            }
+            None => std::mem::take(waiting).into_values().collect(),
+        }
+    }
+
+    fn raise(&self, amount: Value) -> Result<Vec<Arc<PlNode>>, CounterOverflowError> {
+        let mut inner = self.inner.lock();
+        let new_value = inner
+            .value
+            .checked_add(amount)
+            .ok_or(CounterOverflowError {
+                value: inner.value,
+                amount,
+            })?;
+        inner.value = new_value;
+        self.stats.record_increment();
+        let satisfied = Self::remove_satisfied(&mut inner.waiting, new_value);
+        for node in &satisfied {
+            node.set.store(true, Relaxed);
+            self.stats.record_notify();
+        }
+        Ok(satisfied)
+    }
+}
+
+impl MonotonicCounter for ParkingCounter {
+    fn increment(&self, amount: Value) {
+        let satisfied = self
+            .raise(amount)
+            .unwrap_or_else(|e| panic!("monotonic counter overflow: {e}"));
+        for node in satisfied {
+            node.cv.notify_all();
+        }
+    }
+
+    fn try_increment(&self, amount: Value) -> Result<(), CounterOverflowError> {
+        let satisfied = self.raise(amount)?;
+        for node in satisfied {
+            node.cv.notify_all();
+        }
+        Ok(())
+    }
+
+    fn advance_to(&self, target: Value) {
+        let satisfied = {
+            let mut inner = self.inner.lock();
+            if target <= inner.value {
+                return;
+            }
+            inner.value = target;
+            self.stats.record_increment();
+            let satisfied = Self::remove_satisfied(&mut inner.waiting, target);
+            for node in &satisfied {
+                node.set.store(true, Relaxed);
+                self.stats.record_notify();
+            }
+            satisfied
+        };
+        for node in satisfied {
+            node.cv.notify_all();
+        }
+    }
+
+    fn check(&self, level: Value) {
+        let mut inner = self.inner.lock();
+        if inner.value >= level {
+            self.stats.record_check_immediate();
+            return;
+        }
+        let mut inserted = false;
+        let node = Arc::clone(inner.waiting.entry(level).or_insert_with(|| {
+            inserted = true;
+            Arc::new(PlNode::new())
+        }));
+        if inserted {
+            self.stats.record_node_created();
+        }
+        node.count.fetch_add(1, Relaxed);
+        self.stats.record_check_suspended();
+        while !node.set.load(Relaxed) {
+            node.cv.wait(&mut inner);
+        }
+        self.stats.record_waiter_resumed();
+        if node.count.fetch_sub(1, Relaxed) == 1 {
+            self.stats.record_node_freed();
+        }
+    }
+
+    fn check_timeout(&self, level: Value, timeout: Duration) -> Result<(), CheckTimeoutError> {
+        let deadline = Instant::now() + timeout;
+        let mut inner = self.inner.lock();
+        if inner.value >= level {
+            self.stats.record_check_immediate();
+            return Ok(());
+        }
+        let mut inserted = false;
+        let node = Arc::clone(inner.waiting.entry(level).or_insert_with(|| {
+            inserted = true;
+            Arc::new(PlNode::new())
+        }));
+        if inserted {
+            self.stats.record_node_created();
+        }
+        node.count.fetch_add(1, Relaxed);
+        self.stats.record_check_suspended();
+        loop {
+            if node.set.load(Relaxed) {
+                self.stats.record_waiter_resumed();
+                if node.count.fetch_sub(1, Relaxed) == 1 {
+                    self.stats.record_node_freed();
+                }
+                return Ok(());
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                self.stats.record_waiter_resumed();
+                if node.count.fetch_sub(1, Relaxed) == 1 {
+                    inner.waiting.remove(&level);
+                    self.stats.record_node_freed();
+                }
+                return Err(CheckTimeoutError { level });
+            }
+            node.cv.wait_for(&mut inner, deadline - now);
+        }
+    }
+
+    fn reset(&mut self) {
+        let inner = self.inner.get_mut();
+        debug_assert!(inner.waiting.is_empty(), "reset called while threads wait");
+        inner.value = 0;
+    }
+
+    fn debug_value(&self) -> Value {
+        self.inner.lock().value
+    }
+
+    fn stats(&self) -> StatsSnapshot {
+        self.stats.snapshot()
+    }
+
+    fn impl_name(&self) -> &'static str {
+        "parking_lot"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn wait_and_wake() {
+        let c = Arc::new(ParkingCounter::new());
+        let c2 = Arc::clone(&c);
+        let h = thread::spawn(move || c2.check(7));
+        while c.stats().live_waiters == 0 {
+            thread::yield_now();
+        }
+        c.increment(7);
+        h.join().unwrap();
+        assert_eq!(c.stats().nodes_freed, 1);
+    }
+
+    #[test]
+    fn same_level_shares_node() {
+        let c = Arc::new(ParkingCounter::new());
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let c = Arc::clone(&c);
+            handles.push(thread::spawn(move || c.check(2)));
+        }
+        while c.stats().live_waiters < 4 {
+            thread::yield_now();
+        }
+        assert_eq!(c.stats().live_nodes, 1);
+        c.increment(2);
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn timeout_expires_and_cleans_up() {
+        let c = ParkingCounter::new();
+        assert!(c.check_timeout(5, Duration::from_millis(20)).is_err());
+        assert_eq!(c.stats().live_nodes, 0);
+    }
+
+    #[test]
+    fn reset_after_use() {
+        let mut c = ParkingCounter::new();
+        c.increment(3);
+        c.reset();
+        assert_eq!(c.debug_value(), 0);
+    }
+}

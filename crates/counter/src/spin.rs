@@ -1,0 +1,169 @@
+//! [`SpinCounter`]: a busy-waiting monotonic counter.
+//!
+//! `check` spins on an atomic load (with scheduler yields) instead of
+//! suspending on a condition variable. No suspension queues exist at all —
+//! the opposite end of the design space from the paper's Section 7
+//! structure. Competitive when waits are extremely short and cores are
+//! plentiful; pathological when waits are long or cores are scarce.
+//! Included for the E7 ablation.
+
+use crate::error::{CheckTimeoutError, CounterOverflowError};
+use crate::stats::{Stats, StatsSnapshot};
+use crate::traits::MonotonicCounter;
+use crate::Value;
+use std::sync::atomic::{AtomicU64, Ordering::SeqCst};
+use std::time::{Duration, Instant};
+
+/// A monotonic counter whose waiters spin.
+///
+/// Semantically interchangeable with [`crate::Counter`]; `check` burns CPU
+/// while waiting. Every operation is lock-free.
+pub struct SpinCounter {
+    value: AtomicU64,
+    stats: Stats,
+}
+
+impl Default for SpinCounter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SpinCounter {
+    /// Creates a counter with value zero.
+    pub fn new() -> Self {
+        SpinCounter {
+            value: AtomicU64::new(0),
+            stats: Stats::default(),
+        }
+    }
+}
+
+impl MonotonicCounter for SpinCounter {
+    fn increment(&self, amount: Value) {
+        self.try_increment(amount)
+            .unwrap_or_else(|e| panic!("monotonic counter overflow: {e}"));
+    }
+
+    fn try_increment(&self, amount: Value) -> Result<(), CounterOverflowError> {
+        let mut cur = self.value.load(SeqCst);
+        loop {
+            let new = cur
+                .checked_add(amount)
+                .ok_or(CounterOverflowError { value: cur, amount })?;
+            match self.value.compare_exchange_weak(cur, new, SeqCst, SeqCst) {
+                Ok(_) => {
+                    self.stats.record_increment();
+                    return Ok(());
+                }
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    fn check(&self, level: Value) {
+        if self.value.load(SeqCst) >= level {
+            self.stats.record_check_immediate();
+            return;
+        }
+        self.stats.record_check_suspended();
+        let mut spins = 0u32;
+        while self.value.load(SeqCst) < level {
+            spins = spins.wrapping_add(1);
+            if spins % 64 == 0 {
+                // Give the producer a chance on oversubscribed machines.
+                std::thread::yield_now();
+            } else {
+                std::hint::spin_loop();
+            }
+        }
+        self.stats.record_waiter_resumed();
+    }
+
+    fn check_timeout(&self, level: Value, timeout: Duration) -> Result<(), CheckTimeoutError> {
+        if self.value.load(SeqCst) >= level {
+            self.stats.record_check_immediate();
+            return Ok(());
+        }
+        self.stats.record_check_suspended();
+        let deadline = Instant::now() + timeout;
+        let mut spins = 0u32;
+        while self.value.load(SeqCst) < level {
+            if Instant::now() >= deadline {
+                self.stats.record_waiter_resumed();
+                return Err(CheckTimeoutError { level });
+            }
+            spins = spins.wrapping_add(1);
+            if spins % 64 == 0 {
+                std::thread::yield_now();
+            } else {
+                std::hint::spin_loop();
+            }
+        }
+        self.stats.record_waiter_resumed();
+        Ok(())
+    }
+
+    fn advance_to(&self, target: Value) {
+        let prev = self.value.fetch_max(target, SeqCst);
+        if prev < target {
+            self.stats.record_increment();
+        }
+    }
+
+    fn reset(&mut self) {
+        *self.value.get_mut() = 0;
+    }
+
+    fn debug_value(&self) -> Value {
+        self.value.load(SeqCst)
+    }
+
+    fn stats(&self) -> StatsSnapshot {
+        self.stats.snapshot()
+    }
+
+    fn impl_name(&self) -> &'static str {
+        "spin"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn wait_and_wake() {
+        let c = Arc::new(SpinCounter::new());
+        let c2 = Arc::clone(&c);
+        let h = std::thread::spawn(move || c2.check(5));
+        for _ in 0..5 {
+            c.increment(1);
+        }
+        h.join().unwrap();
+        assert_eq!(c.debug_value(), 5);
+    }
+
+    #[test]
+    fn timeout_expires_without_increment() {
+        let c = SpinCounter::new();
+        assert!(c.check_timeout(1, Duration::from_millis(10)).is_err());
+    }
+
+    #[test]
+    fn concurrent_increments_sum() {
+        let c = Arc::new(SpinCounter::new());
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let c = Arc::clone(&c);
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        c.increment(1);
+                    }
+                });
+            }
+        });
+        assert_eq!(c.debug_value(), 8000);
+    }
+}

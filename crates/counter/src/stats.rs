@@ -1,0 +1,241 @@
+//! Always-on, low-overhead counter instrumentation.
+//!
+//! The paper's Section 7 claims that storage and time are "proportional to the
+//! number of different levels on which threads are waiting, not to the total
+//! number of waiting threads". These statistics make that claim *measurable*:
+//! experiment E5 reads them to show live wait-node counts tracking the number
+//! of distinct levels.
+
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+
+/// Internal statistics accumulator shared by all counter implementations.
+///
+/// All fields are updated with relaxed atomics; the counters' own locks
+/// already order the updates, and readers only need eventually-consistent
+/// aggregate numbers.
+#[derive(Debug, Default)]
+pub(crate) struct Stats {
+    increments: AtomicU64,
+    checks: AtomicU64,
+    immediate_checks: AtomicU64,
+    suspensions: AtomicU64,
+    nodes_created: AtomicU64,
+    nodes_freed: AtomicU64,
+    live_nodes: AtomicU64,
+    max_live_nodes: AtomicU64,
+    live_waiters: AtomicU64,
+    max_live_waiters: AtomicU64,
+    notifies: AtomicU64,
+}
+
+fn bump_max(max: &AtomicU64, candidate: u64) {
+    let mut cur = max.load(Relaxed);
+    while candidate > cur {
+        match max.compare_exchange_weak(cur, candidate, Relaxed, Relaxed) {
+            Ok(_) => break,
+            Err(c) => cur = c,
+        }
+    }
+}
+
+impl Stats {
+    pub(crate) fn record_increment(&self) {
+        self.increments.fetch_add(1, Relaxed);
+    }
+
+    pub(crate) fn record_check_immediate(&self) {
+        self.checks.fetch_add(1, Relaxed);
+        self.immediate_checks.fetch_add(1, Relaxed);
+    }
+
+    pub(crate) fn record_check_suspended(&self) {
+        self.checks.fetch_add(1, Relaxed);
+        self.suspensions.fetch_add(1, Relaxed);
+        let live = self.live_waiters.fetch_add(1, Relaxed) + 1;
+        bump_max(&self.max_live_waiters, live);
+    }
+
+    pub(crate) fn record_waiter_resumed(&self) {
+        self.live_waiters.fetch_sub(1, Relaxed);
+    }
+
+    pub(crate) fn record_node_created(&self) {
+        self.nodes_created.fetch_add(1, Relaxed);
+        let live = self.live_nodes.fetch_add(1, Relaxed) + 1;
+        bump_max(&self.max_live_nodes, live);
+    }
+
+    pub(crate) fn record_node_freed(&self) {
+        self.nodes_freed.fetch_add(1, Relaxed);
+        self.live_nodes.fetch_sub(1, Relaxed);
+    }
+
+    pub(crate) fn record_notify(&self) {
+        self.notifies.fetch_add(1, Relaxed);
+    }
+
+    /// Clears all statistics (used when a counter is reset between phases).
+    #[cfg(test)]
+    pub(crate) fn reset(&self) {
+        self.increments.store(0, Relaxed);
+        self.checks.store(0, Relaxed);
+        self.immediate_checks.store(0, Relaxed);
+        self.suspensions.store(0, Relaxed);
+        self.nodes_created.store(0, Relaxed);
+        self.nodes_freed.store(0, Relaxed);
+        self.live_nodes.store(0, Relaxed);
+        self.max_live_nodes.store(0, Relaxed);
+        self.live_waiters.store(0, Relaxed);
+        self.max_live_waiters.store(0, Relaxed);
+        self.notifies.store(0, Relaxed);
+    }
+
+    pub(crate) fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            increments: self.increments.load(Relaxed),
+            checks: self.checks.load(Relaxed),
+            immediate_checks: self.immediate_checks.load(Relaxed),
+            suspensions: self.suspensions.load(Relaxed),
+            nodes_created: self.nodes_created.load(Relaxed),
+            nodes_freed: self.nodes_freed.load(Relaxed),
+            live_nodes: self.live_nodes.load(Relaxed),
+            max_live_nodes: self.max_live_nodes.load(Relaxed),
+            live_waiters: self.live_waiters.load(Relaxed),
+            max_live_waiters: self.max_live_waiters.load(Relaxed),
+            notifies: self.notifies.load(Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of a counter's internal statistics.
+///
+/// Obtained from [`MonotonicCounter::stats`](crate::MonotonicCounter::stats).
+/// The node counts expose the paper's Section 7 complexity claim: a counter's
+/// storage is one wait node per **distinct level** currently waited on,
+/// regardless of how many threads wait at each level.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Total `increment` operations performed.
+    pub increments: u64,
+    /// Total `check` operations performed.
+    pub checks: u64,
+    /// `check` operations that were satisfied without suspending.
+    pub immediate_checks: u64,
+    /// `check` operations that suspended the calling thread.
+    pub suspensions: u64,
+    /// Wait nodes (distinct-level suspension queues) ever created.
+    pub nodes_created: u64,
+    /// Wait nodes freed after their last waiter resumed.
+    pub nodes_freed: u64,
+    /// Wait nodes currently alive (waiting or draining).
+    pub live_nodes: u64,
+    /// High-water mark of simultaneously alive wait nodes.
+    pub max_live_nodes: u64,
+    /// Threads currently suspended in `check`.
+    pub live_waiters: u64,
+    /// High-water mark of simultaneously suspended threads.
+    pub max_live_waiters: u64,
+    /// Condition-variable broadcast (`notify_all`) events issued.
+    pub notifies: u64,
+}
+
+impl std::fmt::Display for StatsSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "inc {} | chk {} ({} immediate, {} suspended) | nodes {}/{} live/max \
+             (created {}, freed {}) | waiters {}/{} live/max | broadcasts {}",
+            self.increments,
+            self.checks,
+            self.immediate_checks,
+            self.suspensions,
+            self.live_nodes,
+            self.max_live_nodes,
+            self.nodes_created,
+            self.nodes_freed,
+            self.live_waiters,
+            self.max_live_waiters,
+            self.notifies
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_display_is_compact_one_liner() {
+        let s = Stats::default();
+        s.record_increment();
+        s.record_check_immediate();
+        let text = s.snapshot().to_string();
+        assert!(text.contains("inc 1"), "{text}");
+        assert!(text.contains("chk 1"), "{text}");
+        assert!(!text.contains('\n'));
+    }
+
+    #[test]
+    fn snapshot_starts_zeroed() {
+        let s = Stats::default();
+        assert_eq!(s.snapshot(), StatsSnapshot::default());
+    }
+
+    #[test]
+    fn immediate_check_counts() {
+        let s = Stats::default();
+        s.record_check_immediate();
+        s.record_check_immediate();
+        let snap = s.snapshot();
+        assert_eq!(snap.checks, 2);
+        assert_eq!(snap.immediate_checks, 2);
+        assert_eq!(snap.suspensions, 0);
+    }
+
+    #[test]
+    fn node_lifecycle_tracks_live_and_max() {
+        let s = Stats::default();
+        s.record_node_created();
+        s.record_node_created();
+        s.record_node_freed();
+        s.record_node_created();
+        let snap = s.snapshot();
+        assert_eq!(snap.nodes_created, 3);
+        assert_eq!(snap.nodes_freed, 1);
+        assert_eq!(snap.live_nodes, 2);
+        assert_eq!(snap.max_live_nodes, 2);
+    }
+
+    #[test]
+    fn waiter_lifecycle_tracks_live_and_max() {
+        let s = Stats::default();
+        s.record_check_suspended();
+        s.record_check_suspended();
+        s.record_check_suspended();
+        s.record_waiter_resumed();
+        let snap = s.snapshot();
+        assert_eq!(snap.suspensions, 3);
+        assert_eq!(snap.live_waiters, 2);
+        assert_eq!(snap.max_live_waiters, 3);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let s = Stats::default();
+        s.record_increment();
+        s.record_node_created();
+        s.record_check_suspended();
+        s.record_notify();
+        s.reset();
+        assert_eq!(s.snapshot(), StatsSnapshot::default());
+    }
+
+    #[test]
+    fn bump_max_is_monotonic() {
+        let m = AtomicU64::new(5);
+        bump_max(&m, 3);
+        assert_eq!(m.load(Relaxed), 5);
+        bump_max(&m, 9);
+        assert_eq!(m.load(Relaxed), 9);
+    }
+}

@@ -1,0 +1,173 @@
+//! The [`MonotonicCounter`] trait: the programming interface of the paper's
+//! Section 2, plus the pragmatic extensions discussed there (`Reset`,
+//! timeouts) and diagnostics needed by the reproduction experiments.
+
+use crate::error::{CheckTimeoutError, CounterOverflowError};
+use crate::stats::StatsSnapshot;
+use crate::Value;
+use std::time::Duration;
+
+/// A monotonic counter: a nonnegative, monotonically increasing value with
+/// atomic [`increment`](Self::increment) and suspending
+/// [`check`](Self::check) operations.
+///
+/// The interface intentionally mirrors the paper's Section 2 `Counter` class:
+///
+/// * the value starts at zero and **only increases** — there is no decrement;
+/// * there is **no non-blocking probe**: a thread cannot branch on the
+///   instantaneous value, so no decision in a counter-synchronized program can
+///   depend on thread timing (this is what enables the determinacy results of
+///   Section 6);
+/// * `check(level)` returns only when `value >= level`, and because the value
+///   is monotonic the condition can never be un-satisfied afterwards.
+///
+/// The trait is object-safe, so heterogeneous collections of counters
+/// (`Box<dyn MonotonicCounter>`) work.
+pub trait MonotonicCounter: Send + Sync {
+    /// Atomically increases the counter value by `amount`, waking every thread
+    /// suspended in a [`check`](Self::check) whose level the new value
+    /// satisfies.
+    ///
+    /// `amount` may be zero, in which case no state changes and no thread is
+    /// woken (the paper's semantics: the value "increases by a specified
+    /// amount", and zero is a valid amount used by the blocked broadcast
+    /// pattern of Section 5.3 for the final partial block).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the addition overflows [`Value`]. Use
+    /// [`try_increment`](Self::try_increment) for a fallible variant.
+    fn increment(&self, amount: Value);
+
+    /// Like [`increment`](Self::increment), but returns an error instead of
+    /// panicking when the addition would overflow. On error the counter is
+    /// unchanged and no thread is woken.
+    fn try_increment(&self, amount: Value) -> Result<(), CounterOverflowError>;
+
+    /// Suspends the calling thread until the counter value is greater than or
+    /// equal to `level`.
+    ///
+    /// Returns immediately when the value already satisfies `level` — in
+    /// particular `check(0)` never suspends. Threads waiting on the same level
+    /// share one suspension queue; threads waiting on distinct levels occupy
+    /// distinct queues (the "dynamically varying number of thread suspension
+    /// queues" of the paper's Sections 1 and 7).
+    fn check(&self, level: Value);
+
+    /// Like [`check`](Self::check), but gives up after `timeout`.
+    ///
+    /// This is an extension for testability (deadlock detection in test
+    /// harnesses); the paper's programming model never needs it because
+    /// counter programs whose sequential executions terminate cannot deadlock.
+    fn check_timeout(&self, level: Value, timeout: Duration) -> Result<(), CheckTimeoutError>;
+
+    /// Raises the value to `target` if it is currently lower; no-op
+    /// otherwise. Waiters at levels `<= target` wake exactly as for
+    /// [`increment`](Self::increment).
+    ///
+    /// An extension beyond the paper, in the spirit of its single-assignment
+    /// lineage (Section 8): `advance_to` keeps the value monotonic — and
+    /// therefore keeps every determinacy property — while being idempotent
+    /// and commutative, so several threads can publish the same milestone
+    /// without coordinating amounts (e.g. "phase 3 reached" from whichever
+    /// worker gets there first).
+    fn advance_to(&self, target: Value);
+
+    /// Resets the value to zero.
+    ///
+    /// Per the paper's Section 2, `Reset` exists only "as a means of
+    /// efficiently reusing counters between different phases of an algorithm"
+    /// and **must not race with other operations**; taking `&mut self` makes
+    /// that rule a compile-time guarantee in Rust.
+    fn reset(&mut self);
+
+    /// Returns the current value, for diagnostics and tests **only**.
+    ///
+    /// This is intentionally *not* a synchronization operation: the paper
+    /// excludes `Probe` so that no program decision can depend on the
+    /// instantaneous, timing-dependent value. Do not branch on this in
+    /// production code; it exists so the test-suite and the experiment
+    /// harness can observe counters.
+    fn debug_value(&self) -> Value;
+
+    /// Returns a snapshot of this counter's internal statistics
+    /// (suspension-queue counts, wakeups, ...), used by the Section 7
+    /// experiments. Implementations with no meaningful queue structure may
+    /// return partial data.
+    fn stats(&self) -> StatsSnapshot;
+
+    /// A short human-readable name for the implementation, used in benchmark
+    /// tables.
+    fn impl_name(&self) -> &'static str;
+}
+
+/// Convenience extensions over any [`MonotonicCounter`].
+pub trait CounterExt: MonotonicCounter {
+    /// Increment by one: the most common broadcast step
+    /// (`kCount.Increment(1)` in the paper's examples).
+    fn bump(&self) {
+        self.increment(1);
+    }
+
+    /// Executes `f` as the `index`-th sequentially ordered critical section
+    /// guarded by this counter (the Section 5.2 pattern): waits until the
+    /// counter reaches `index`, runs `f`, then increments by one to admit
+    /// section `index + 1`.
+    fn sequenced<R>(&self, index: Value, f: impl FnOnce() -> R) -> R {
+        self.check(index);
+        let r = f();
+        self.increment(1);
+        r
+    }
+}
+
+impl<C: MonotonicCounter + ?Sized> CounterExt for C {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Counter;
+    use std::sync::Arc;
+
+    #[test]
+    fn trait_is_object_safe() {
+        let c: Box<dyn MonotonicCounter> = Box::new(Counter::new());
+        c.increment(2);
+        c.check(2);
+        assert_eq!(c.debug_value(), 2);
+    }
+
+    #[test]
+    fn bump_increments_by_one() {
+        let c = Counter::new();
+        c.bump();
+        c.bump();
+        assert_eq!(c.debug_value(), 2);
+    }
+
+    #[test]
+    fn sequenced_orders_sections() {
+        let c = Arc::new(Counter::new());
+        let out = Arc::new(std::sync::Mutex::new(Vec::new()));
+        std::thread::scope(|s| {
+            // Spawn in reverse order to make unordered execution likely
+            // without the counter.
+            for i in (0..8u64).rev() {
+                let c = Arc::clone(&c);
+                let out = Arc::clone(&out);
+                s.spawn(move || {
+                    c.sequenced(i, || out.lock().unwrap().push(i));
+                });
+            }
+        });
+        assert_eq!(*out.lock().unwrap(), (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sequenced_returns_closure_value() {
+        let c = Counter::new();
+        let v = c.sequenced(0, || 7 * 6);
+        assert_eq!(v, 42);
+        assert_eq!(c.debug_value(), 1);
+    }
+}

@@ -1,0 +1,216 @@
+//! Conformance battery: every `MonotonicCounter` implementation must pass
+//! the identical suite of semantic tests. A macro instantiates the battery
+//! per implementation so a failure names the offender.
+
+use mc_counter::{
+    AtomicCounter, BTreeCounter, Counter, MonitorCounter, MonotonicCounter, NaiveCounter,
+    ParkingCounter, SpinCounter, TracingCounter,
+};
+use std::sync::Arc;
+use std::time::Duration;
+
+const SHORT: Duration = Duration::from_millis(40);
+
+fn starts_at_zero<C: MonotonicCounter + Default>() {
+    let c = C::default();
+    assert_eq!(c.debug_value(), 0);
+    c.check(0); // never suspends
+}
+
+fn increment_accumulates<C: MonotonicCounter + Default>() {
+    let c = C::default();
+    c.increment(2);
+    c.increment(0);
+    c.increment(5);
+    assert_eq!(c.debug_value(), 7);
+}
+
+fn check_blocks_until_level<C: MonotonicCounter + Default + 'static>() {
+    let c = Arc::new(C::default());
+    let c2 = Arc::clone(&c);
+    let h = std::thread::spawn(move || c2.check(3));
+    c.increment(2);
+    std::thread::sleep(SHORT);
+    assert!(!h.is_finished(), "woke below level");
+    c.increment(1);
+    h.join().unwrap();
+}
+
+fn one_increment_many_levels<C: MonotonicCounter + Default + 'static>() {
+    let c = Arc::new(C::default());
+    let mut handles = Vec::new();
+    for level in [1u64, 2, 3, 4] {
+        let c = Arc::clone(&c);
+        handles.push(std::thread::spawn(move || c.check(level)));
+    }
+    while c.stats().live_waiters < 4 {
+        std::thread::yield_now();
+    }
+    c.increment(4);
+    for h in handles {
+        h.join().unwrap();
+    }
+}
+
+fn timeout_err_then_success<C: MonotonicCounter + Default + 'static>() {
+    let c = Arc::new(C::default());
+    assert!(c.check_timeout(1, SHORT).is_err());
+    let c2 = Arc::clone(&c);
+    let h = std::thread::spawn(move || c2.check_timeout(1, Duration::from_secs(10)));
+    while c.stats().live_waiters == 0 {
+        std::thread::yield_now();
+    }
+    c.increment(1);
+    assert!(h.join().unwrap().is_ok());
+}
+
+fn try_increment_overflow<C: MonotonicCounter + Default>() {
+    let c = C::default();
+    c.increment(u64::MAX);
+    let err = c.try_increment(1).unwrap_err();
+    assert_eq!(err.value, u64::MAX);
+    assert_eq!(c.debug_value(), u64::MAX);
+}
+
+fn advance_to_is_monotonic_max<C: MonotonicCounter + Default>() {
+    let c = C::default();
+    c.advance_to(5);
+    assert_eq!(c.debug_value(), 5);
+    c.advance_to(3); // lower: no-op
+    assert_eq!(c.debug_value(), 5);
+    c.advance_to(5); // equal: no-op
+    assert_eq!(c.debug_value(), 5);
+    c.advance_to(9);
+    assert_eq!(c.debug_value(), 9);
+    c.check(9);
+}
+
+fn advance_to_wakes_waiters<C: MonotonicCounter + Default + 'static>() {
+    let c = Arc::new(C::default());
+    let mut handles = Vec::new();
+    for level in [2u64, 7] {
+        let c = Arc::clone(&c);
+        handles.push(std::thread::spawn(move || c.check(level)));
+    }
+    while c.stats().live_waiters < 2 {
+        std::thread::yield_now();
+    }
+    c.advance_to(7);
+    for h in handles {
+        h.join().unwrap();
+    }
+    assert_eq!(c.debug_value(), 7);
+}
+
+fn concurrent_advance_to_takes_max<C: MonotonicCounter + Default + 'static>() {
+    let c = Arc::new(C::default());
+    std::thread::scope(|s| {
+        for target in [3u64, 9, 5, 9, 1] {
+            let c = Arc::clone(&c);
+            s.spawn(move || c.advance_to(target));
+        }
+    });
+    assert_eq!(
+        c.debug_value(),
+        9,
+        "concurrent advances must resolve to the max"
+    );
+}
+
+fn reset_restores_zero<C: MonotonicCounter + Default>() {
+    let mut c = C::default();
+    c.increment(4);
+    c.reset();
+    assert_eq!(c.debug_value(), 0);
+    c.increment(1);
+    c.check(1);
+}
+
+fn same_level_waiters_all_wake<C: MonotonicCounter + Default + 'static>() {
+    let c = Arc::new(C::default());
+    let mut handles = Vec::new();
+    for _ in 0..6 {
+        let c = Arc::clone(&c);
+        handles.push(std::thread::spawn(move || c.check(2)));
+    }
+    while c.stats().live_waiters < 6 {
+        std::thread::yield_now();
+    }
+    c.increment(2);
+    for h in handles {
+        h.join().unwrap();
+    }
+    assert_eq!(c.stats().live_waiters, 0);
+}
+
+fn impl_name_is_stable<C: MonotonicCounter + Default>() {
+    let c = C::default();
+    assert!(!c.impl_name().is_empty());
+    assert_eq!(c.impl_name(), C::default().impl_name());
+}
+
+macro_rules! conformance {
+    ($module:ident, $ty:ty) => {
+        mod $module {
+            use super::*;
+
+            #[test]
+            fn starts_at_zero() {
+                super::starts_at_zero::<$ty>();
+            }
+            #[test]
+            fn increment_accumulates() {
+                super::increment_accumulates::<$ty>();
+            }
+            #[test]
+            fn check_blocks_until_level() {
+                super::check_blocks_until_level::<$ty>();
+            }
+            #[test]
+            fn one_increment_many_levels() {
+                super::one_increment_many_levels::<$ty>();
+            }
+            #[test]
+            fn timeout_err_then_success() {
+                super::timeout_err_then_success::<$ty>();
+            }
+            #[test]
+            fn try_increment_overflow() {
+                super::try_increment_overflow::<$ty>();
+            }
+            #[test]
+            fn advance_to_is_monotonic_max() {
+                super::advance_to_is_monotonic_max::<$ty>();
+            }
+            #[test]
+            fn advance_to_wakes_waiters() {
+                super::advance_to_wakes_waiters::<$ty>();
+            }
+            #[test]
+            fn concurrent_advance_to_takes_max() {
+                super::concurrent_advance_to_takes_max::<$ty>();
+            }
+            #[test]
+            fn reset_restores_zero() {
+                super::reset_restores_zero::<$ty>();
+            }
+            #[test]
+            fn same_level_waiters_all_wake() {
+                super::same_level_waiters_all_wake::<$ty>();
+            }
+            #[test]
+            fn impl_name_is_stable() {
+                super::impl_name_is_stable::<$ty>();
+            }
+        }
+    };
+}
+
+conformance!(waitlist, Counter);
+conformance!(btree, BTreeCounter);
+conformance!(naive, NaiveCounter);
+conformance!(parking, ParkingCounter);
+conformance!(atomic, AtomicCounter);
+conformance!(traced, TracingCounter);
+conformance!(spin, SpinCounter);
+conformance!(monitor, MonitorCounter);

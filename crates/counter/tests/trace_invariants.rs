@@ -1,0 +1,116 @@
+//! Structure invariants of the Section 7 data structure, checked over the
+//! full transition log of a `TracingCounter` under randomized concurrent
+//! workloads.
+//!
+//! Invariants (the paper's, plus bookkeeping):
+//!
+//! 1. Node levels are strictly ascending and unique (one queue per level).
+//! 2. An **unset** node's level is strictly greater than the value (the
+//!    waiting list "never contains levels less than or equal to the counter
+//!    value").
+//! 3. A **set** node's level is at most the value (it is merely draining).
+//! 4. Every node has at least one registered waiter.
+//! 5. The value is nondecreasing across the log (monotonicity).
+//! 6. The final state after all threads join is an empty structure.
+
+use mc_counter::{CounterSnapshot, MonotonicCounter, TracingCounter};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn assert_snapshot_invariants(snap: &CounterSnapshot) {
+    for pair in snap.nodes.windows(2) {
+        assert!(
+            pair[0].level < pair[1].level,
+            "levels not strictly ascending: {snap}"
+        );
+    }
+    for node in &snap.nodes {
+        if node.set {
+            assert!(node.level <= snap.value, "set node above value: {snap}");
+        } else {
+            assert!(node.level > snap.value, "unset node at/below value: {snap}");
+        }
+        assert!(node.count >= 1, "empty node retained: {snap}");
+    }
+}
+
+fn run_workload(levels: Vec<u64>, increments: Vec<u64>) {
+    let c = Arc::new(TracingCounter::new());
+    let total: u64 = increments.iter().sum();
+    // Only spawn waiters that are guaranteed to be released.
+    let levels: Vec<u64> = levels.into_iter().map(|l| l % (total + 1)).collect();
+    std::thread::scope(|s| {
+        for level in levels {
+            let c = Arc::clone(&c);
+            s.spawn(move || c.check(level));
+        }
+        let c = Arc::clone(&c);
+        s.spawn(move || {
+            for amount in increments {
+                c.increment(amount);
+            }
+        });
+    });
+    let log = c.log();
+    assert!(!log.is_empty());
+    let mut prev_value = 0;
+    for snap in &log {
+        assert_snapshot_invariants(snap);
+        assert!(snap.value >= prev_value, "value decreased: {snap}");
+        prev_value = snap.value;
+    }
+    let last = log.last().expect("log non-empty");
+    assert!(
+        last.nodes.is_empty(),
+        "structure not drained at join: {last}"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn invariants_hold_under_random_workloads(
+        levels in proptest::collection::vec(0u64..10_000, 0..10),
+        increments in proptest::collection::vec(1u64..50, 1..12),
+    ) {
+        run_workload(levels, increments);
+    }
+
+    #[test]
+    fn invariants_hold_with_advance_to(
+        targets in proptest::collection::vec(1u64..100, 1..8),
+        levels in proptest::collection::vec(0u64..100, 0..6),
+    ) {
+        let c = Arc::new(TracingCounter::new());
+        let max = *targets.iter().max().unwrap();
+        let levels: Vec<u64> = levels.into_iter().map(|l| l % (max + 1)).collect();
+        std::thread::scope(|s| {
+            for level in levels {
+                let c = Arc::clone(&c);
+                s.spawn(move || c.check(level));
+            }
+            for target in targets.clone() {
+                let c = Arc::clone(&c);
+                s.spawn(move || c.advance_to(target));
+            }
+        });
+        for snap in c.log() {
+            assert_snapshot_invariants(&snap);
+        }
+        prop_assert_eq!(c.debug_value(), max);
+    }
+}
+
+#[test]
+fn deterministic_single_thread_log() {
+    // Without concurrency the log is fully deterministic; pin it exactly.
+    let c = TracingCounter::new();
+    c.increment(2);
+    c.increment(3);
+    let log = c.log();
+    assert_eq!(log.len(), 3); // construction + 2 increments
+    assert_eq!(log[0], CounterSnapshot::of(0, &[]));
+    assert_eq!(log[1], CounterSnapshot::of(2, &[]));
+    assert_eq!(log[2], CounterSnapshot::of(5, &[]));
+}

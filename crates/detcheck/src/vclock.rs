@@ -1,0 +1,159 @@
+//! Vector clocks: the partial order underlying the happens-before relation.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A vector clock: one logical-time component per registered thread.
+///
+/// Components beyond the stored length are implicitly zero, so clocks of
+/// different lengths compare naturally.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct VectorClock {
+    components: Vec<u64>,
+}
+
+impl VectorClock {
+    /// The zero clock.
+    pub fn new() -> Self {
+        VectorClock::default()
+    }
+
+    /// The component for thread `tid` (zero if never ticked).
+    pub fn get(&self, tid: usize) -> u64 {
+        self.components.get(tid).copied().unwrap_or(0)
+    }
+
+    /// Advances thread `tid`'s own component by one.
+    pub fn tick(&mut self, tid: usize) {
+        if tid >= self.components.len() {
+            self.components.resize(tid + 1, 0);
+        }
+        self.components[tid] += 1;
+    }
+
+    /// Componentwise maximum with `other` (the join of the two clocks).
+    pub fn join(&mut self, other: &VectorClock) {
+        if other.components.len() > self.components.len() {
+            self.components.resize(other.components.len(), 0);
+        }
+        for (mine, theirs) in self.components.iter_mut().zip(&other.components) {
+            *mine = (*mine).max(*theirs);
+        }
+    }
+
+    /// Whether every component of `self` is <= the corresponding component
+    /// of `other` — i.e. the events summarized by `self` happen before (or
+    /// are) those of `other`.
+    pub fn le(&self, other: &VectorClock) -> bool {
+        self.components
+            .iter()
+            .enumerate()
+            .all(|(tid, &c)| c <= other.get(tid))
+    }
+
+    /// The partial-order comparison of two clocks; `None` means concurrent.
+    pub fn partial_cmp_clock(&self, other: &VectorClock) -> Option<Ordering> {
+        match (self.le(other), other.le(self)) {
+            (true, true) => Some(Ordering::Equal),
+            (true, false) => Some(Ordering::Less),
+            (false, true) => Some(Ordering::Greater),
+            (false, false) => None,
+        }
+    }
+
+    /// Whether the two clocks are ordered neither way.
+    pub fn concurrent_with(&self, other: &VectorClock) -> bool {
+        self.partial_cmp_clock(other).is_none()
+    }
+}
+
+impl fmt::Display for VectorClock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "<")?;
+        for (i, c) in self.components.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{c}")?;
+        }
+        write!(f, ">")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_clock_precedes_everything() {
+        let zero = VectorClock::new();
+        let mut c = VectorClock::new();
+        c.tick(3);
+        assert!(zero.le(&c));
+        assert!(zero.le(&zero));
+    }
+
+    #[test]
+    fn tick_advances_only_own_component() {
+        let mut c = VectorClock::new();
+        c.tick(2);
+        c.tick(2);
+        assert_eq!(c.get(2), 2);
+        assert_eq!(c.get(0), 0);
+        assert_eq!(c.get(99), 0);
+    }
+
+    #[test]
+    fn join_is_componentwise_max() {
+        let mut a = VectorClock::new();
+        a.tick(0);
+        a.tick(0);
+        let mut b = VectorClock::new();
+        b.tick(1);
+        a.join(&b);
+        assert_eq!(a.get(0), 2);
+        assert_eq!(a.get(1), 1);
+    }
+
+    #[test]
+    fn concurrent_clocks_detected() {
+        let mut a = VectorClock::new();
+        a.tick(0);
+        let mut b = VectorClock::new();
+        b.tick(1);
+        assert!(a.concurrent_with(&b));
+        assert_eq!(a.partial_cmp_clock(&b), None);
+    }
+
+    #[test]
+    fn ordered_after_join() {
+        let mut a = VectorClock::new();
+        a.tick(0);
+        let mut b = VectorClock::new();
+        b.tick(1);
+        b.join(&a); // b now knows a's events
+        assert!(a.le(&b));
+        assert!(!b.le(&a));
+        assert_eq!(a.partial_cmp_clock(&b), Some(Ordering::Less));
+    }
+
+    #[test]
+    fn equal_clocks() {
+        let mut a = VectorClock::new();
+        a.tick(1);
+        let b = a.clone();
+        assert_eq!(a.partial_cmp_clock(&b), Some(Ordering::Equal));
+        assert!(!a.concurrent_with(&b));
+    }
+
+    #[test]
+    fn le_with_different_lengths() {
+        let mut short = VectorClock::new();
+        short.tick(0);
+        let mut long = VectorClock::new();
+        long.tick(0);
+        long.tick(5);
+        assert!(short.le(&long));
+        assert!(!long.le(&short));
+    }
+}

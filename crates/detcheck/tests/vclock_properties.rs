@@ -1,0 +1,124 @@
+//! Algebraic properties of vector clocks and of the checker's
+//! happens-before relation.
+
+use mc_detcheck::{Checker, Shared, TrackedCounter, VectorClock};
+use proptest::prelude::*;
+
+fn clock_from(parts: &[u64]) -> VectorClock {
+    let mut c = VectorClock::new();
+    for (tid, &n) in parts.iter().enumerate() {
+        for _ in 0..n {
+            c.tick(tid);
+        }
+    }
+    c
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `le` is a partial order: reflexive, antisymmetric, transitive.
+    #[test]
+    fn le_is_partial_order(
+        a in proptest::collection::vec(0u64..5, 0..5),
+        b in proptest::collection::vec(0u64..5, 0..5),
+        c in proptest::collection::vec(0u64..5, 0..5),
+    ) {
+        let (ca, cb, cc) = (clock_from(&a), clock_from(&b), clock_from(&c));
+        prop_assert!(ca.le(&ca));
+        if ca.le(&cb) && cb.le(&ca) {
+            prop_assert_eq!(&ca, &cb);
+        }
+        if ca.le(&cb) && cb.le(&cc) {
+            prop_assert!(ca.le(&cc));
+        }
+    }
+
+    /// Join is the least upper bound: both operands precede it, and it
+    /// precedes any common upper bound.
+    #[test]
+    fn join_is_lub(
+        a in proptest::collection::vec(0u64..5, 0..5),
+        b in proptest::collection::vec(0u64..5, 0..5),
+        ub in proptest::collection::vec(0u64..10, 0..5),
+    ) {
+        let (ca, cb) = (clock_from(&a), clock_from(&b));
+        let mut joined = ca.clone();
+        joined.join(&cb);
+        prop_assert!(ca.le(&joined));
+        prop_assert!(cb.le(&joined));
+        let cub = clock_from(&ub);
+        if ca.le(&cub) && cb.le(&cub) {
+            prop_assert!(joined.le(&cub));
+        }
+    }
+
+    /// Join is commutative and idempotent.
+    #[test]
+    fn join_commutative_idempotent(
+        a in proptest::collection::vec(0u64..5, 0..5),
+        b in proptest::collection::vec(0u64..5, 0..5),
+    ) {
+        let (ca, cb) = (clock_from(&a), clock_from(&b));
+        let mut ab = ca.clone();
+        ab.join(&cb);
+        let mut ba = cb.clone();
+        ba.join(&ca);
+        prop_assert_eq!(&ab, &ba);
+        let mut aa = ca.clone();
+        aa.join(&ca);
+        prop_assert_eq!(&aa, &ca);
+    }
+
+    /// Ticking strictly increases a clock.
+    #[test]
+    fn tick_strictly_increases(parts in proptest::collection::vec(0u64..5, 1..5), tid in 0usize..5) {
+        let before = clock_from(&parts);
+        let mut after = before.clone();
+        after.tick(tid);
+        prop_assert!(before.le(&after));
+        prop_assert!(!after.le(&before));
+    }
+
+    /// In a counter-sequenced chain of n tasks the checker orders every pair
+    /// of accesses: no races, whatever the chain length.
+    #[test]
+    fn sequenced_chain_always_clean(n in 1usize..12) {
+        let checker = Checker::new();
+        let root = checker.register_root();
+        let x = Shared::new("x", 0u64);
+        let c = TrackedCounter::new();
+        let ctxs: Vec<_> = (0..n).map(|_| root.fork()).collect();
+        std::thread::scope(|s| {
+            for (i, ctx) in ctxs.iter().enumerate() {
+                let (x, c) = (&x, &c);
+                s.spawn(move || {
+                    c.check(ctx, i as u64);
+                    x.update(ctx, |v| *v = v.wrapping_mul(31).wrapping_add(i as u64));
+                    c.increment(ctx, 1);
+                });
+            }
+        });
+        for ctx in ctxs {
+            root.join(ctx);
+        }
+        prop_assert!(checker.report().is_clean());
+        // And the value is the deterministic sequential fold.
+        let want = (0..n as u64).fold(0u64, |acc, i| acc.wrapping_mul(31).wrapping_add(i));
+        prop_assert_eq!(x.into_inner(), want);
+    }
+
+    /// Unsequenced sibling writes always race, whatever the sibling count
+    /// (>= 2).
+    #[test]
+    fn sibling_writes_always_race(n in 2usize..8) {
+        let checker = Checker::new();
+        let root = checker.register_root();
+        let x = Shared::new("x", 0usize);
+        let ctxs: Vec<_> = (0..n).map(|_| root.fork()).collect();
+        for (i, ctx) in ctxs.iter().enumerate() {
+            x.write(ctx, i);
+        }
+        prop_assert!(!checker.report().is_clean());
+    }
+}

@@ -1,0 +1,397 @@
+//! Single-writer multiple-reader broadcast (the paper's Section 5.3).
+//!
+//! One writer produces a sequence of items into an array; any number of
+//! readers each independently consume the **entire** sequence (reading does
+//! not remove items). A single counter synchronizes everyone: the writer's
+//! increments broadcast availability, and each reader checks the prefix it
+//! needs. Writer and readers may each choose their own blocking granularity.
+
+use mc_counter::{Counter, MonotonicCounter, Value};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::OnceLock;
+
+/// A fixed-capacity single-writer multiple-reader broadcast buffer.
+///
+/// # Example
+///
+/// ```
+/// use mc_patterns::Broadcast;
+/// use std::sync::Arc;
+///
+/// let b = Arc::new(Broadcast::new(100));
+/// std::thread::scope(|s| {
+///     let bw = Arc::clone(&b);
+///     s.spawn(move || {
+///         let mut w = bw.writer();
+///         for i in 0..100 {
+///             w.push(i * i);
+///         }
+///     });
+///     for _ in 0..3 {
+///         let br = Arc::clone(&b);
+///         s.spawn(move || {
+///             let mut sum = 0u64;
+///             for item in br.reader() {
+///                 sum += item;
+///             }
+///             assert_eq!(sum, (0..100).map(|i| i * i).sum());
+///         });
+///     }
+/// });
+/// ```
+pub struct Broadcast<T> {
+    slots: Box<[OnceLock<T>]>,
+    count: Counter,
+    writer_claimed: AtomicBool,
+}
+
+impl<T> Broadcast<T> {
+    /// Creates a buffer for a sequence of exactly `capacity` items.
+    pub fn new(capacity: usize) -> Self {
+        Broadcast {
+            slots: (0..capacity).map(|_| OnceLock::new()).collect(),
+            count: Counter::new(),
+            writer_claimed: AtomicBool::new(false),
+        }
+    }
+
+    /// The length of the item sequence.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Claims the writer role with per-item synchronization (the pattern's
+    /// simple form: one increment per item).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a writer has already been claimed — the pattern is
+    /// *single*-writer by definition.
+    pub fn writer(&self) -> BroadcastWriter<'_, T> {
+        self.writer_with_block(1)
+    }
+
+    /// Claims the writer role with blocked synchronization: availability is
+    /// broadcast every `block` items (plus a final partial block), as in the
+    /// paper's tuned variant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a writer was already claimed or `block == 0`.
+    pub fn writer_with_block(&self, block: usize) -> BroadcastWriter<'_, T> {
+        assert!(block > 0, "block size must be positive");
+        assert!(
+            !self.writer_claimed.swap(true, Ordering::SeqCst),
+            "broadcast already has a writer"
+        );
+        BroadcastWriter {
+            buffer: self,
+            next: 0,
+            unflushed: 0,
+            block,
+        }
+    }
+
+    /// A reader over the whole sequence with per-item synchronization.
+    /// Readers are independent: each one sees every item, in order.
+    pub fn reader(&self) -> BroadcastReader<'_, T> {
+        self.reader_with_block(1)
+    }
+
+    /// A reader that synchronizes once per `block` items. Different readers
+    /// (and the writer) may use different granularities.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block == 0`.
+    pub fn reader_with_block(&self, block: usize) -> BroadcastReader<'_, T> {
+        assert!(block > 0, "block size must be positive");
+        BroadcastReader {
+            buffer: self,
+            next: 0,
+            block,
+        }
+    }
+
+    /// Suspends until item `index` is available and returns it.
+    pub fn get(&self, index: usize) -> &T {
+        assert!(index < self.slots.len(), "index {index} out of capacity");
+        self.count.check(index as Value + 1);
+        self.slots[index]
+            .get()
+            .expect("counter satisfied but slot empty: writer protocol violated")
+    }
+
+    /// Items published so far (diagnostics/tests only).
+    pub fn published(&self) -> usize {
+        self.count.debug_value() as usize
+    }
+
+    /// Creates a buffer whose entire sequence is already published — the
+    /// degenerate "writer finished before any reader started" case, used to
+    /// feed pipelines.
+    pub fn from_vec(items: Vec<T>) -> Self {
+        let b = Broadcast::new(items.len());
+        let mut w = b.writer();
+        for item in items {
+            w.push(item);
+        }
+        drop(w);
+        b
+    }
+
+    /// Consumes the buffer and returns the published sequence.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the writer did not publish every slot.
+    pub fn into_items(self) -> Vec<T> {
+        self.slots
+            .into_vec()
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("into_items called before the sequence was fully written")
+            })
+            .collect()
+    }
+}
+
+/// The single writer of a [`Broadcast`]; dropping it flushes any partial
+/// block so readers always terminate once the writer is done.
+pub struct BroadcastWriter<'a, T> {
+    buffer: &'a Broadcast<T>,
+    next: usize,
+    unflushed: usize,
+    block: usize,
+}
+
+impl<T> BroadcastWriter<'_, T> {
+    /// Appends the next item of the sequence, broadcasting availability at
+    /// block boundaries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sequence is already full.
+    pub fn push(&mut self, value: T) {
+        assert!(
+            self.next < self.buffer.capacity(),
+            "broadcast capacity exceeded"
+        );
+        if self.buffer.slots[self.next].set(value).is_err() {
+            unreachable!("single writer wrote a slot twice");
+        }
+        self.next += 1;
+        self.unflushed += 1;
+        if self.unflushed == self.block {
+            self.buffer.count.increment(self.block as Value);
+            self.unflushed = 0;
+        }
+    }
+
+    /// Items written so far.
+    pub fn written(&self) -> usize {
+        self.next
+    }
+
+    /// Flushes any partial block immediately (also happens on drop).
+    pub fn flush(&mut self) {
+        if self.unflushed > 0 {
+            self.buffer.count.increment(self.unflushed as Value);
+            self.unflushed = 0;
+        }
+    }
+}
+
+impl<T> Drop for BroadcastWriter<'_, T> {
+    fn drop(&mut self) {
+        // The paper's final `dataCount->Increment(n % blockSize)`.
+        self.flush();
+    }
+}
+
+/// An independent reader of a [`Broadcast`]; iterates the entire sequence in
+/// order, suspending (once per block) for unavailable items.
+pub struct BroadcastReader<'a, T> {
+    buffer: &'a Broadcast<T>,
+    next: usize,
+    block: usize,
+}
+
+impl<T> BroadcastReader<'_, T> {
+    /// Items consumed so far.
+    pub fn consumed(&self) -> usize {
+        self.next
+    }
+}
+
+impl<'a, T> Iterator for BroadcastReader<'a, T> {
+    type Item = &'a T;
+
+    fn next(&mut self) -> Option<&'a T> {
+        let n = self.buffer.capacity();
+        if self.next >= n {
+            return None;
+        }
+        if self.next.is_multiple_of(self.block) {
+            // Wait for the whole next block (or the final partial block).
+            let level = (self.next + self.block).min(n) as Value;
+            self.buffer.count.check(level);
+        }
+        let item = self.buffer.slots[self.next]
+            .get()
+            .expect("counter satisfied but slot empty: writer protocol violated");
+        self.next += 1;
+        Some(item)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let left = self.buffer.capacity() - self.next;
+        (left, Some(left))
+    }
+}
+
+impl<T> ExactSizeIterator for BroadcastReader<'_, T> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn writer_then_reader_sequentially() {
+        let b = Broadcast::new(5);
+        let mut w = b.writer();
+        for i in 0..5 {
+            w.push(i);
+        }
+        drop(w);
+        let items: Vec<_> = b.reader().copied().collect();
+        assert_eq!(items, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn second_writer_claim_panics() {
+        let b: Broadcast<u32> = Broadcast::new(1);
+        let _w = b.writer();
+        assert!(std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| b.writer())).is_err());
+    }
+
+    #[test]
+    fn capacity_overflow_panics() {
+        let b = Broadcast::new(1);
+        let mut w = b.writer();
+        w.push(1);
+        assert!(std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| w.push(2))).is_err());
+    }
+
+    #[test]
+    fn zero_block_rejected() {
+        let b: Broadcast<u32> = Broadcast::new(1);
+        assert!(
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| b.reader_with_block(0)))
+                .is_err()
+        );
+    }
+
+    #[test]
+    fn drop_flushes_partial_block() {
+        let b = Broadcast::new(5);
+        {
+            let mut w = b.writer_with_block(4);
+            for i in 0..5 {
+                w.push(i);
+            }
+            // 4 flushed at the block boundary, 1 pending.
+            assert_eq!(b.published(), 4);
+        }
+        assert_eq!(b.published(), 5, "drop must flush the final partial block");
+    }
+
+    #[test]
+    fn concurrent_writer_and_readers_see_everything_in_order() {
+        let n = 1000;
+        let readers = 4;
+        let b = Arc::new(Broadcast::new(n));
+        thread::scope(|s| {
+            let bw = Arc::clone(&b);
+            s.spawn(move || {
+                let mut w = bw.writer();
+                for i in 0..n {
+                    w.push(i as u64 * 3);
+                }
+            });
+            for _ in 0..readers {
+                let br = Arc::clone(&b);
+                s.spawn(move || {
+                    let got: Vec<_> = br.reader().copied().collect();
+                    let want: Vec<_> = (0..n as u64).map(|i| i * 3).collect();
+                    assert_eq!(got, want);
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn mixed_block_granularities_agree() {
+        // The paper: "There is no requirement that blockSize be the same in
+        // all threads."
+        let n = 997; // deliberately not a multiple of any block size
+        let b = Arc::new(Broadcast::new(n));
+        thread::scope(|s| {
+            let bw = Arc::clone(&b);
+            s.spawn(move || {
+                let mut w = bw.writer_with_block(64);
+                for i in 0..n {
+                    w.push(i);
+                }
+            });
+            for block in [1usize, 7, 32, 1024] {
+                let br = Arc::clone(&b);
+                s.spawn(move || {
+                    let got: Vec<_> = br.reader_with_block(block).copied().collect();
+                    assert_eq!(got, (0..n).collect::<Vec<_>>(), "block {block}");
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn get_waits_for_specific_item() {
+        let b = Arc::new(Broadcast::new(3));
+        let b2 = Arc::clone(&b);
+        let h = thread::spawn(move || *b2.get(2));
+        thread::sleep(std::time::Duration::from_millis(20));
+        assert!(!h.is_finished());
+        let mut w = b.writer();
+        w.push(10);
+        w.push(20);
+        w.push(30);
+        drop(w);
+        assert_eq!(h.join().unwrap(), 30);
+    }
+
+    #[test]
+    fn reader_size_hint_is_exact() {
+        let b = Broadcast::new(4);
+        let mut w = b.writer();
+        for i in 0..4 {
+            w.push(i);
+        }
+        drop(w);
+        let mut r = b.reader();
+        assert_eq!(r.len(), 4);
+        r.next();
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.consumed(), 1);
+    }
+
+    #[test]
+    fn empty_broadcast() {
+        let b: Broadcast<u32> = Broadcast::new(0);
+        assert_eq!(b.reader().count(), 0);
+        let w = b.writer();
+        drop(w);
+    }
+}

@@ -1,0 +1,35 @@
+//! # Counter synchronization patterns
+//!
+//! The three practical patterns of the paper's Section 5, packaged as
+//! reusable abstractions over monotonic counters:
+//!
+//! * [`RaggedBarrier`] (Section 5.1) — per-participant progress counters; each
+//!   thread waits only for *its own* dependencies instead of for everyone, as
+//!   in the boundary-exchange simulation.
+//! * [`Sequencer`] (Section 5.2) — mutual exclusion **with sequential
+//!   ordering**: critical sections run one at a time *and* in ticket order,
+//!   making the composite result deterministic.
+//! * [`Broadcast`] (Section 5.3) — single-writer multiple-reader broadcast of
+//!   a sequence of items, with an independent blocking granularity per
+//!   thread; one counter synchronizes the writer and any number of readers.
+//! * [`Pipeline`] — chains of broadcasts for producer/consumer stage graphs
+//!   (the Paraffins-style dataflow the paper cites).
+//! * [`DataflowGraph`] — a counter-gated DAG executor: the ragged-barrier
+//!   idea generalized from a 1-D stencil to arbitrary task dependence
+//!   graphs, with a sequential-execution mode for Section 6 equivalence
+//!   checks.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod broadcast;
+mod dataflow;
+mod pipeline;
+mod ragged;
+mod sequencer;
+
+pub use broadcast::{Broadcast, BroadcastReader, BroadcastWriter};
+pub use dataflow::{DataflowGraph, NodeId};
+pub use pipeline::{Pipeline, Stage};
+pub use ragged::RaggedBarrier;
+pub use sequencer::{Sequencer, SequencerGuard};

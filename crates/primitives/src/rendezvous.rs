@@ -1,0 +1,147 @@
+//! A two-party rendezvous / exchanger (paper Section 8's related work: Ada
+//! rendezvous is the canonical statically-bounded-queue mechanism).
+//!
+//! Two threads meet and swap values; neither proceeds until both have
+//! arrived — synchronization *and* communication in one operation.
+
+use std::sync::{Condvar, Mutex};
+
+enum Slot<T> {
+    /// Nobody waiting.
+    Empty,
+    /// One party deposited its value and waits.
+    First(T),
+    /// The second party took the first value and left its own for the first.
+    Second(T),
+}
+
+/// A reusable two-party exchanger: every pair of
+/// [`exchange`](Exchanger::exchange) calls meets and swaps values.
+///
+/// # Example
+///
+/// ```
+/// use mc_primitives::Exchanger;
+/// use std::sync::Arc;
+///
+/// let x = Arc::new(Exchanger::new());
+/// let x2 = Arc::clone(&x);
+/// let t = std::thread::spawn(move || x2.exchange("ping"));
+/// assert_eq!(x.exchange("pong"), "ping");
+/// assert_eq!(t.join().unwrap(), "pong");
+/// ```
+pub struct Exchanger<T> {
+    slot: Mutex<Slot<T>>,
+    cv: Condvar,
+}
+
+impl<T> Default for Exchanger<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> Exchanger<T> {
+    /// Creates an empty exchanger.
+    pub fn new() -> Self {
+        Exchanger {
+            slot: Mutex::new(Slot::Empty),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Meets another `exchange` call and swaps values, suspending until a
+    /// partner arrives.
+    pub fn exchange(&self, value: T) -> T {
+        let mut slot = self.slot.lock().expect("exchanger lock poisoned");
+        loop {
+            match &mut *slot {
+                Slot::Empty => {
+                    // First arrival: deposit and wait for the partner's value.
+                    *slot = Slot::First(value);
+                    loop {
+                        slot = self.cv.wait(slot).expect("exchanger lock poisoned");
+                        if matches!(&*slot, Slot::Second(_)) {
+                            let Slot::Second(theirs) = std::mem::replace(&mut *slot, Slot::Empty)
+                            else {
+                                unreachable!("matched Second above");
+                            };
+                            // The slot is free again for the next pair.
+                            self.cv.notify_all();
+                            return theirs;
+                        }
+                    }
+                }
+                Slot::First(_) => {
+                    // Second arrival: take the partner's value, leave ours.
+                    let Slot::First(theirs) = std::mem::replace(&mut *slot, Slot::Second(value))
+                    else {
+                        unreachable!("matched First above");
+                    };
+                    self.cv.notify_all();
+                    return theirs;
+                }
+                Slot::Second(_) => {
+                    // A pair is mid-handoff; wait for the slot to clear.
+                    slot = self.cv.wait(slot).expect("exchanger lock poisoned");
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn two_threads_swap() {
+        let x = Arc::new(Exchanger::new());
+        let x2 = Arc::clone(&x);
+        let t = thread::spawn(move || x2.exchange(1));
+        assert_eq!(x.exchange(2), 1);
+        assert_eq!(t.join().unwrap(), 2);
+    }
+
+    #[test]
+    fn exchanger_is_reusable() {
+        let x = Arc::new(Exchanger::new());
+        for round in 0..10 {
+            let x2 = Arc::clone(&x);
+            let t = thread::spawn(move || x2.exchange(round * 2));
+            let got = x.exchange(round * 2 + 1);
+            assert_eq!(got, round * 2);
+            assert_eq!(t.join().unwrap(), round * 2 + 1);
+        }
+    }
+
+    #[test]
+    fn many_threads_pair_up_losslessly() {
+        // 2N threads exchange distinct values: the multiset of outputs must
+        // equal the multiset of inputs, and no thread gets its own value's
+        // pair twice.
+        let n = 16;
+        let x = Arc::new(Exchanger::new());
+        let mut handles = Vec::new();
+        for i in 0..2 * n {
+            let x = Arc::clone(&x);
+            handles.push(thread::spawn(move || x.exchange(i)));
+        }
+        let mut outputs: Vec<usize> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        outputs.sort_unstable();
+        assert_eq!(outputs, (0..2 * n).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn exchange_blocks_without_partner() {
+        let x = Arc::new(Exchanger::new());
+        let x2 = Arc::clone(&x);
+        let t = thread::spawn(move || x2.exchange(5));
+        thread::sleep(std::time::Duration::from_millis(30));
+        assert!(!t.is_finished(), "exchange returned without a partner");
+        x.exchange(6);
+        t.join().unwrap();
+    }
+}

@@ -1,0 +1,205 @@
+//! A readers–writer lock built from scratch on `Mutex` + `Condvar`.
+//!
+//! Completes the workspace's from-scratch set of traditional mechanisms
+//! (the paper's Section 1 list opens with "locks"). Writer-preferring: once
+//! a writer is waiting, new readers queue behind it, so writers cannot
+//! starve.
+
+use std::sync::{Condvar, Mutex};
+
+#[derive(Debug, Default)]
+struct State {
+    /// Active readers.
+    readers: usize,
+    /// Whether a writer holds the lock.
+    writer: bool,
+    /// Writers waiting (gates new readers: writer preference).
+    waiting_writers: usize,
+}
+
+/// A writer-preferring readers–writer lock with closure-scoped access.
+///
+/// Like [`SpinLock`](crate::SpinLock), it protects no data of its own
+/// (staying in entirely safe Rust); use the closure API with your own shared
+/// state, or the raw `lock_*`/`unlock_*` pairs for paper-literal call sites.
+///
+/// # Example
+///
+/// ```
+/// use mc_primitives::RwLock;
+/// let l = RwLock::new();
+/// let r = l.read(|| 21 * 2);
+/// assert_eq!(r, 42);
+/// l.write(|| { /* exclusive section */ });
+/// ```
+#[derive(Debug, Default)]
+pub struct RwLock {
+    state: Mutex<State>,
+    cv: Condvar,
+}
+
+impl RwLock {
+    /// Creates an unlocked lock.
+    pub fn new() -> Self {
+        RwLock::default()
+    }
+
+    /// Acquires shared (read) access.
+    pub fn lock_read(&self) {
+        let mut s = self.state.lock().expect("rwlock poisoned");
+        while s.writer || s.waiting_writers > 0 {
+            s = self.cv.wait(s).expect("rwlock poisoned");
+        }
+        s.readers += 1;
+    }
+
+    /// Releases shared access.
+    pub fn unlock_read(&self) {
+        let mut s = self.state.lock().expect("rwlock poisoned");
+        debug_assert!(s.readers > 0, "unlock_read without lock_read");
+        s.readers -= 1;
+        if s.readers == 0 {
+            drop(s);
+            self.cv.notify_all();
+        }
+    }
+
+    /// Acquires exclusive (write) access.
+    pub fn lock_write(&self) {
+        let mut s = self.state.lock().expect("rwlock poisoned");
+        s.waiting_writers += 1;
+        while s.writer || s.readers > 0 {
+            s = self.cv.wait(s).expect("rwlock poisoned");
+        }
+        s.waiting_writers -= 1;
+        s.writer = true;
+    }
+
+    /// Releases exclusive access.
+    pub fn unlock_write(&self) {
+        let mut s = self.state.lock().expect("rwlock poisoned");
+        debug_assert!(s.writer, "unlock_write without lock_write");
+        s.writer = false;
+        drop(s);
+        self.cv.notify_all();
+    }
+
+    /// Runs `f` with shared access (released on panic too).
+    pub fn read<R>(&self, f: impl FnOnce() -> R) -> R {
+        self.lock_read();
+        struct Guard<'a>(&'a RwLock);
+        impl Drop for Guard<'_> {
+            fn drop(&mut self) {
+                self.0.unlock_read();
+            }
+        }
+        let _g = Guard(self);
+        f()
+    }
+
+    /// Runs `f` with exclusive access (released on panic too).
+    pub fn write<R>(&self, f: impl FnOnce() -> R) -> R {
+        self.lock_write();
+        struct Guard<'a>(&'a RwLock);
+        impl Drop for Guard<'_> {
+            fn drop(&mut self) {
+                self.0.unlock_write();
+            }
+        }
+        let _g = Guard(self);
+        f()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+    use std::thread;
+    use std::time::Duration;
+
+    #[test]
+    fn readers_share() {
+        let l = Arc::new(RwLock::new());
+        let active = Arc::new(AtomicUsize::new(0));
+        let peak = Arc::new(AtomicUsize::new(0));
+        thread::scope(|s| {
+            for _ in 0..4 {
+                let (l, active, peak) = (Arc::clone(&l), Arc::clone(&active), Arc::clone(&peak));
+                s.spawn(move || {
+                    l.read(|| {
+                        let now = active.fetch_add(1, Ordering::SeqCst) + 1;
+                        peak.fetch_max(now, Ordering::SeqCst);
+                        thread::sleep(Duration::from_millis(20));
+                        active.fetch_sub(1, Ordering::SeqCst);
+                    });
+                });
+            }
+        });
+        assert!(peak.load(Ordering::SeqCst) > 1, "readers never overlapped");
+    }
+
+    #[test]
+    fn writers_exclude_everyone() {
+        let l = Arc::new(RwLock::new());
+        let counter = Arc::new(AtomicUsize::new(0));
+        thread::scope(|s| {
+            for _ in 0..4 {
+                let (l, counter) = (Arc::clone(&l), Arc::clone(&counter));
+                s.spawn(move || {
+                    for _ in 0..500 {
+                        l.write(|| {
+                            let v = counter.load(Ordering::Relaxed);
+                            counter.store(v + 1, Ordering::Relaxed);
+                        });
+                    }
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 2000);
+    }
+
+    #[test]
+    fn writer_blocks_while_reader_active() {
+        let l = Arc::new(RwLock::new());
+        l.lock_read();
+        let l2 = Arc::clone(&l);
+        let w = thread::spawn(move || l2.write(|| "wrote"));
+        thread::sleep(Duration::from_millis(30));
+        assert!(!w.is_finished(), "writer entered during read");
+        l.unlock_read();
+        assert_eq!(w.join().unwrap(), "wrote");
+    }
+
+    #[test]
+    fn waiting_writer_gates_new_readers() {
+        let l = Arc::new(RwLock::new());
+        l.lock_read();
+        // A writer queues.
+        let lw = Arc::clone(&l);
+        let w = thread::spawn(move || lw.write(|| ()));
+        thread::sleep(Duration::from_millis(20));
+        // A new reader must now wait behind the writer.
+        let lr = Arc::clone(&l);
+        let r = thread::spawn(move || lr.read(|| ()));
+        thread::sleep(Duration::from_millis(20));
+        assert!(!r.is_finished(), "reader jumped the waiting writer");
+        l.unlock_read();
+        w.join().unwrap();
+        r.join().unwrap();
+    }
+
+    #[test]
+    fn panic_releases_lock() {
+        let l = RwLock::new();
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            l.write(|| panic!("boom"));
+        }));
+        l.write(|| ()); // must not deadlock
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            l.read(|| panic!("boom"));
+        }));
+        l.write(|| ());
+    }
+}

@@ -1,0 +1,144 @@
+//! A raw test-and-test-and-set spin lock.
+//!
+//! The mutual-exclusion baseline for the paper's Section 5.2 comparison
+//! (`resultLock.Lock(); ...; resultLock.Unlock();`). Exposed as a raw
+//! lock/unlock pair plus a closure-scoped [`with`](SpinLock::with); it
+//! protects no data of its own, so it stays entirely in safe Rust.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// A raw spin lock. Prefer [`with`](SpinLock::with), which cannot leak the
+/// lock; `lock`/`unlock` exist for call sites that need the paper's explicit
+/// pairing.
+///
+/// # Example
+///
+/// ```
+/// use mc_primitives::SpinLock;
+/// let l = SpinLock::new();
+/// let out = l.with(|| 2 + 2);
+/// assert_eq!(out, 4);
+/// ```
+#[derive(Debug, Default)]
+pub struct SpinLock {
+    locked: AtomicBool,
+}
+
+impl SpinLock {
+    /// Creates an unlocked lock.
+    pub const fn new() -> Self {
+        SpinLock {
+            locked: AtomicBool::new(false),
+        }
+    }
+
+    /// Acquires the lock, spinning until it is free.
+    ///
+    /// Test-and-test-and-set: spin on a plain load (cache-friendly) and only
+    /// attempt the read-modify-write when the lock looks free.
+    pub fn lock(&self) {
+        loop {
+            if self
+                .locked
+                .compare_exchange_weak(false, true, Ordering::Acquire, Ordering::Relaxed)
+                .is_ok()
+            {
+                return;
+            }
+            while self.locked.load(Ordering::Relaxed) {
+                std::hint::spin_loop();
+            }
+        }
+    }
+
+    /// Attempts to acquire the lock without spinning; returns `true` on
+    /// success.
+    pub fn try_lock(&self) -> bool {
+        self.locked
+            .compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed)
+            .is_ok()
+    }
+
+    /// Releases the lock.
+    ///
+    /// Calling `unlock` without holding the lock is a logic error (it frees
+    /// the lock out from under the holder) but is not memory-unsafe, since
+    /// the lock guards no data of its own.
+    pub fn unlock(&self) {
+        self.locked.store(false, Ordering::Release);
+    }
+
+    /// Runs `f` with the lock held.
+    pub fn with<R>(&self, f: impl FnOnce() -> R) -> R {
+        self.lock();
+        // Release the lock even if `f` panics, so other threads are not
+        // stranded; the panic then propagates.
+        struct Unlock<'a>(&'a SpinLock);
+        impl Drop for Unlock<'_> {
+            fn drop(&mut self) {
+                self.0.unlock();
+            }
+        }
+        let _guard = Unlock(self);
+        f()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn lock_unlock_round_trip() {
+        let l = SpinLock::new();
+        l.lock();
+        assert!(!l.try_lock());
+        l.unlock();
+        assert!(l.try_lock());
+        l.unlock();
+    }
+
+    #[test]
+    fn with_provides_mutual_exclusion() {
+        // A non-atomic-looking read-modify-write under the lock must never
+        // lose updates.
+        let l = Arc::new(SpinLock::new());
+        let shared = Arc::new(AtomicUsize::new(0));
+        let threads = 8;
+        let iters = 1000;
+        thread::scope(|s| {
+            for _ in 0..threads {
+                let (l, shared) = (Arc::clone(&l), Arc::clone(&shared));
+                s.spawn(move || {
+                    for _ in 0..iters {
+                        l.with(|| {
+                            let v = shared.load(Ordering::Relaxed);
+                            shared.store(v + 1, Ordering::Relaxed);
+                        });
+                    }
+                });
+            }
+        });
+        assert_eq!(shared.load(Ordering::Relaxed), threads * iters);
+    }
+
+    #[test]
+    fn with_unlocks_on_panic() {
+        let l = SpinLock::new();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            l.with(|| panic!("boom"));
+        }));
+        assert!(result.is_err());
+        assert!(l.try_lock(), "lock must be free after a panicking section");
+        l.unlock();
+    }
+
+    #[test]
+    fn with_returns_value() {
+        let l = SpinLock::new();
+        assert_eq!(l.with(|| "ok"), "ok");
+    }
+}

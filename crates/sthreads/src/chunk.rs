@@ -1,0 +1,107 @@
+//! Block distribution of `n` work items over `t` threads.
+//!
+//! The paper's programs partition rows as
+//! `for (i = t*N/numThreads; i < (t+1)*N/numThreads; i++)` — the classic
+//! block distribution. These helpers centralize that arithmetic (with the
+//! same rounding behaviour) so every workload in the workspace slices
+//! identically.
+
+use std::ops::Range;
+
+/// The contiguous range of items assigned to thread `t` of `num_threads`
+/// when distributing `n` items — exactly `t*n/num_threads ..
+/// (t+1)*n/num_threads` as written in the paper's loops.
+///
+/// # Panics
+///
+/// Panics if `num_threads == 0` or `t >= num_threads`.
+pub fn chunk_of(n: usize, num_threads: usize, t: usize) -> Range<usize> {
+    assert!(num_threads > 0, "need at least one thread");
+    assert!(
+        t < num_threads,
+        "thread index {t} out of range 0..{num_threads}"
+    );
+    // Widen to u128 so n * num_threads cannot overflow for any realistic n.
+    let lo = (t as u128 * n as u128 / num_threads as u128) as usize;
+    let hi = ((t as u128 + 1) * n as u128 / num_threads as u128) as usize;
+    lo..hi
+}
+
+/// All `num_threads` chunks of `n` items, in thread order. The chunks are
+/// disjoint, consecutive, cover `0..n` exactly, and differ in size by at
+/// most one.
+pub fn chunks(n: usize, num_threads: usize) -> Vec<Range<usize>> {
+    (0..num_threads)
+        .map(|t| chunk_of(n, num_threads, t))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunks_cover_exactly_once() {
+        for n in [0usize, 1, 7, 100, 101] {
+            for t in [1usize, 2, 3, 7, 16] {
+                let mut covered = vec![0u32; n];
+                for r in chunks(n, t) {
+                    for i in r {
+                        covered[i] += 1;
+                    }
+                }
+                assert!(covered.iter().all(|&c| c == 1), "n={n} t={t}: {covered:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn chunks_are_consecutive() {
+        let cs = chunks(10, 3);
+        assert_eq!(cs[0].end, cs[1].start);
+        assert_eq!(cs[1].end, cs[2].start);
+        assert_eq!(cs[0].start, 0);
+        assert_eq!(cs[2].end, 10);
+    }
+
+    #[test]
+    fn chunk_sizes_differ_by_at_most_one() {
+        for n in [10usize, 11, 12, 13] {
+            let sizes: Vec<_> = chunks(n, 4).iter().map(|r| r.len()).collect();
+            let min = *sizes.iter().min().unwrap();
+            let max = *sizes.iter().max().unwrap();
+            assert!(max - min <= 1, "n={n}: {sizes:?}");
+        }
+    }
+
+    #[test]
+    fn more_threads_than_items_gives_empty_chunks() {
+        let cs = chunks(2, 5);
+        let nonempty = cs.iter().filter(|r| !r.is_empty()).count();
+        assert_eq!(nonempty, 2);
+        assert_eq!(cs.iter().map(|r| r.len()).sum::<usize>(), 2);
+    }
+
+    #[test]
+    fn matches_paper_arithmetic() {
+        // Spot-check against t*N/numThreads literally.
+        let (n, threads) = (100, 7);
+        for t in 0..threads {
+            let r = chunk_of(n, threads, t);
+            assert_eq!(r.start, t * n / threads);
+            assert_eq!(r.end, (t + 1) * n / threads);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one thread")]
+    fn zero_threads_panics() {
+        chunk_of(5, 0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn thread_index_out_of_range_panics() {
+        chunk_of(5, 2, 2);
+    }
+}

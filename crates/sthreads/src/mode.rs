@@ -1,0 +1,52 @@
+//! Execution modes: the "`multithreaded` keyword" switch of Section 6.
+
+/// How a structured-multithreading construct executes its tasks.
+///
+/// The paper's central determinacy result (Section 6) compares two executions
+/// of the *same program text*: the multithreaded one, and "sequential
+/// execution (i.e., execution ignoring the `multithreaded` keyword)". For a
+/// program whose synchronization is all counters and whose shared variables
+/// are guarded, the two are equivalent. Making the mode a runtime value lets
+/// the test-suite run both and compare results.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ExecutionMode {
+    /// Run tasks as asynchronous threads, joining them all at the end of the
+    /// construct.
+    #[default]
+    Multithreaded,
+    /// Run tasks one after another on the calling thread, in program order —
+    /// the paper's "execution ignoring the `multithreaded` keyword".
+    Sequential,
+}
+
+impl ExecutionMode {
+    /// Both modes, for exhaustive equivalence tests.
+    pub const ALL: [ExecutionMode; 2] = [ExecutionMode::Multithreaded, ExecutionMode::Sequential];
+
+    /// Whether this mode actually spawns threads.
+    pub fn is_parallel(self) -> bool {
+        matches!(self, ExecutionMode::Multithreaded)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_multithreaded() {
+        assert_eq!(ExecutionMode::default(), ExecutionMode::Multithreaded);
+    }
+
+    #[test]
+    fn is_parallel() {
+        assert!(ExecutionMode::Multithreaded.is_parallel());
+        assert!(!ExecutionMode::Sequential.is_parallel());
+    }
+
+    #[test]
+    fn all_lists_both() {
+        assert_eq!(ExecutionMode::ALL.len(), 2);
+        assert_ne!(ExecutionMode::ALL[0], ExecutionMode::ALL[1]);
+    }
+}

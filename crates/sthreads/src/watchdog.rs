@@ -1,0 +1,102 @@
+//! Deadline supervision for potentially-deadlocking test programs.
+//!
+//! The paper's Section 6 proves that a counter program whose *sequential*
+//! execution terminates cannot deadlock when multithreaded. The test-suite
+//! verifies contrapositives too — programs that *would* deadlock — and needs
+//! to observe the deadlock without hanging the test run. `run_with_deadline`
+//! runs a program on a supervised thread and reports if it overruns.
+
+use std::fmt;
+use std::sync::mpsc;
+use std::time::Duration;
+
+/// Error returned when the supervised program did not finish in time.
+///
+/// The runaway thread is left detached (there is no safe way to cancel it);
+/// callers in tests should treat this as the "program deadlocked" verdict.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeadlineExceeded {
+    /// The deadline that was exceeded.
+    pub deadline: Duration,
+}
+
+impl fmt::Display for DeadlineExceeded {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "program did not finish within {:?} (deadlock?)",
+            self.deadline
+        )
+    }
+}
+
+impl std::error::Error for DeadlineExceeded {}
+
+/// Runs `f` on a fresh thread and waits at most `deadline` for its result.
+///
+/// Returns `Ok(result)` if the program finished in time, `Err` otherwise (in
+/// which case the thread keeps running detached — use only in tests).
+///
+/// # Example
+///
+/// ```
+/// use mc_sthreads::run_with_deadline;
+/// use std::time::Duration;
+///
+/// let ok = run_with_deadline(Duration::from_secs(5), || 21 * 2);
+/// assert_eq!(ok.unwrap(), 42);
+///
+/// let hung = run_with_deadline(Duration::from_millis(50), || loop {
+///     std::thread::yield_now();
+/// });
+/// assert!(hung.is_err());
+/// ```
+pub fn run_with_deadline<R: Send + 'static>(
+    deadline: Duration,
+    f: impl FnOnce() -> R + Send + 'static,
+) -> Result<R, DeadlineExceeded> {
+    let (tx, rx) = mpsc::channel();
+    std::thread::spawn(move || {
+        // The receiver may have given up; a send error is then expected.
+        let _ = tx.send(f());
+    });
+    rx.recv_timeout(deadline)
+        .map_err(|_| DeadlineExceeded { deadline })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fast_program_returns_result() {
+        assert_eq!(
+            run_with_deadline(Duration::from_secs(1), || "done"),
+            Ok("done")
+        );
+    }
+
+    #[test]
+    fn deadlocked_program_reports_deadline() {
+        use std::sync::{Arc, Mutex};
+        // A genuine self-deadlock: lock the same (non-reentrant) mutex twice.
+        let err = run_with_deadline(Duration::from_millis(100), || {
+            let m = Arc::new(Mutex::new(()));
+            let _g1 = m.lock().unwrap();
+            let m2 = Arc::clone(&m);
+            // Block forever waiting for ourselves.
+            let _g2 = m2.lock().unwrap();
+        })
+        .unwrap_err();
+        assert_eq!(err.deadline, Duration::from_millis(100));
+        assert!(err.to_string().contains("deadlock"));
+    }
+
+    #[test]
+    fn result_is_from_the_supervised_thread() {
+        let tid = std::thread::current().id();
+        let other =
+            run_with_deadline(Duration::from_secs(1), move || std::thread::current().id()).unwrap();
+        assert_ne!(tid, other);
+    }
+}

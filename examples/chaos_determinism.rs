@@ -1,0 +1,57 @@
+//! Section 6's determinacy claim, stress-tested over perturbed schedules:
+//! the counter program yields one outcome across every seed, while the
+//! unsynchronized variant's outcome depends on the schedule.
+//!
+//! Run with: `cargo run --release --example chaos_determinism`
+
+use monotonic_counters::chaos::{explore, Chaos, ChaosCounter};
+use monotonic_counters::prelude::*;
+use std::sync::{Arc, Mutex};
+
+fn counter_program(seed: u64, chained: bool) -> i64 {
+    let chaos = Arc::new(Chaos::new(seed));
+    let c = Arc::new(ChaosCounter::new(Counter::new(), Arc::clone(&chaos)));
+    let x = Arc::new(Mutex::new(3i64));
+    std::thread::scope(|s| {
+        let (c1, x1) = (Arc::clone(&c), Arc::clone(&x));
+        s.spawn(move || {
+            c1.check(0);
+            *x1.lock().unwrap() += 1;
+            c1.increment(1);
+        });
+        let (c2, x2, ch) = (Arc::clone(&c), Arc::clone(&x), Arc::clone(&chaos));
+        s.spawn(move || {
+            // The chained version waits for the first thread's increment;
+            // the unchained one races.
+            c2.check(if chained { 1 } else { 0 });
+            ch.point();
+            *x2.lock().unwrap() *= 2;
+            c2.increment(1);
+        });
+    });
+    let result = *x.lock().unwrap();
+    result
+}
+
+fn main() {
+    let seeds = 0..150;
+
+    println!("program: {{Check(0); x+=1; Inc(1)}} || {{Check(1); x*=2; Inc(1)}}  (the paper's Section 6)");
+    let chained = explore(seeds.clone(), |seed| counter_program(seed, true));
+    print!("{chained}");
+    assert!(chained.is_deterministic());
+
+    println!(
+        "\nprogram: {{Check(0); x+=1; Inc(1)}} || {{Check(0); x*=2; Inc(1)}}  (chain removed)"
+    );
+    let unchained = explore(seeds, |seed| counter_program(seed, false));
+    print!("{unchained}");
+
+    println!(
+        "\nacross {} perturbed schedules the chained program produced exactly one\n\
+         result — monotonic counters made the synchronization deterministic —\n\
+         while removing the chain exposed {} interleavings.",
+        chained.runs(),
+        unchained.distinct()
+    );
+}

@@ -1,0 +1,51 @@
+//! A counter-gated dataflow DAG: the paper's dataflow thesis applied to an
+//! arbitrary task graph (build-system style).
+//!
+//! Run with: `cargo run --release --example dataflow_graph`
+
+use monotonic_counters::patterns::DataflowGraph;
+use std::time::Instant;
+
+fn main() {
+    // A small "build graph": parse -> {typecheck, lint} -> codegen -> link,
+    // with two independent source files.
+    let mut g: DataflowGraph<String> = DataflowGraph::new();
+    let parse_a = g.node("parse a.rs", [], |_| "ast(a)".to_string());
+    let parse_b = g.node("parse b.rs", [], |_| "ast(b)".to_string());
+    let check_a = g.node("typecheck a", [parse_a], |i| format!("typed({})", i[0]));
+    let check_b = g.node("typecheck b", [parse_b], |i| format!("typed({})", i[0]));
+    let lint = g.node("lint all", [parse_a, parse_b], |i| {
+        format!("lint({}, {})", i[0], i[1])
+    });
+    let gen_a = g.node("codegen a", [check_a], |i| format!("obj({})", i[0]));
+    let gen_b = g.node("codegen b", [check_b], |i| format!("obj({})", i[0]));
+    let link = g.node("link", [gen_a, gen_b, lint], |i| {
+        format!("bin[{} + {} | {}]", i[0], i[1], i[2])
+    });
+
+    let t0 = Instant::now();
+    let results = g.run();
+    println!("parallel run ({} nodes) in {:.2?}", g.len(), t0.elapsed());
+    println!("final artifact: {}", results[link.index()]);
+
+    // Section 6 in action: the counter-gated run always equals the
+    // sequential topological run.
+    let seq = g.run_sequential();
+    assert_eq!(results, seq);
+    println!("parallel result equals sequential topological execution: yes");
+
+    // Every node ran as early as its own dependencies allowed — no global
+    // barrier between "phases". Print the dependency structure.
+    println!("\ndependency structure:");
+    for (name, deps) in [
+        (
+            "parse a.rs / parse b.rs",
+            "no dependencies — start immediately",
+        ),
+        ("typecheck a", "parse a.rs only (does not wait for b)"),
+        ("lint all", "both parses, but not the typechecks"),
+        ("link", "codegen a + codegen b + lint"),
+    ] {
+        println!("  {name:<24} <- {deps}");
+    }
+}

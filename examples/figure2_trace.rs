@@ -1,0 +1,61 @@
+//! Reproduces the paper's **Figure 2**: the internal structure of a counter
+//! across a sequence of Check and Increment operations.
+//!
+//! Run with: `cargo run --example figure2_trace`
+
+use monotonic_counters::counter::{MonotonicCounter, TracingCounter};
+use std::sync::Arc;
+
+fn main() {
+    let c = Arc::new(TracingCounter::new());
+    println!("(a) after construction:          {}", c.snapshot());
+
+    // (b) T1: Check(5)
+    let t1 = {
+        let c = Arc::clone(&c);
+        std::thread::spawn(move || c.check(5))
+    };
+    while c.snapshot().nodes.first().map(|n| n.count) != Some(1) {
+        std::thread::yield_now();
+    }
+    println!("(b) after c.Check(5) by T1:      {}", c.snapshot());
+
+    // (c) T2: Check(9)
+    let t2 = {
+        let c = Arc::clone(&c);
+        std::thread::spawn(move || c.check(9))
+    };
+    while c.snapshot().nodes.len() != 2 {
+        std::thread::yield_now();
+    }
+    println!("(c) after c.Check(9) by T2:      {}", c.snapshot());
+
+    // (d) T3: Check(5) — shares T1's node
+    let t3 = {
+        let c = Arc::clone(&c);
+        std::thread::spawn(move || c.check(5))
+    };
+    while c.snapshot().nodes.first().map(|n| n.count) != Some(2) {
+        std::thread::yield_now();
+    }
+    println!("(d) after c.Check(5) by T3:      {}", c.snapshot());
+
+    // (e) T0: Increment(7) — satisfies level 5 (both waiters), not level 9
+    c.increment(7);
+    t1.join().unwrap();
+    t3.join().unwrap();
+
+    // The intermediate states (e) and (f) were recorded under the counter's
+    // lock; print the tail of the trace log.
+    let log = c.log();
+    let tail = &log[log.len() - 3..];
+    println!("(e) after c.Increment(7) by T0:  {}", tail[0]);
+    println!("(f) after T1 resumes:            {}", tail[1]);
+    println!("(g) after T3 resumes:            {}", tail[2]);
+
+    // Clean up: release T2.
+    c.increment(2);
+    t2.join().unwrap();
+    println!("\nfinal state:                     {}", c.snapshot());
+    println!("\nthis matches Figure 2 of the paper state for state.");
+}

@@ -1,0 +1,54 @@
+//! The boundary-exchange simulation of paper Section 5.1: heat transfer
+//! along a metal rod, one thread per internal cell, synchronized either by a
+//! full barrier or by the ragged counter-array barrier.
+//!
+//! Run with: `cargo run --release --example heat_simulation`
+
+use monotonic_counters::algos::heat;
+use std::time::Instant;
+
+fn render(rod: &[f64]) -> String {
+    // A coarse ASCII thermometer per cell.
+    const GLYPHS: &[u8] = b" .:-=+*#%@";
+    rod.iter()
+        .map(|&t| {
+            let idx = ((t / 100.0).clamp(0.0, 1.0) * (GLYPHS.len() - 1) as f64).round() as usize;
+            GLYPHS[idx] as char
+        })
+        .collect()
+}
+
+fn main() {
+    let cells = 60;
+    let rod = heat::hot_left_rod(cells, 100.0);
+    println!("initial rod:   [{}]", render(&rod));
+
+    for steps in [10, 100, 1000] {
+        let out = heat::sequential(&rod, steps);
+        println!("after {steps:>5} steps [{}]", render(&out));
+    }
+
+    let steps = 500;
+    println!("\ncomparing synchronization strategies ({cells} cells, {steps} steps):");
+
+    let t0 = Instant::now();
+    let seq = heat::sequential(&rod, steps);
+    println!("  sequential reference {:>10.2?}", t0.elapsed());
+
+    let t0 = Instant::now();
+    let barrier = heat::with_barrier(&rod, steps);
+    println!("  full barrier (2/step) {:>9.2?}", t0.elapsed());
+
+    let t0 = Instant::now();
+    let ragged = heat::with_ragged(&rod, steps);
+    println!("  ragged counter array {:>10.2?}", t0.elapsed());
+
+    assert_eq!(barrier, seq, "barrier version must equal the reference");
+    assert_eq!(ragged, seq, "ragged version must equal the reference");
+    println!("both parallel versions agree with the reference bit-for-bit");
+    println!(
+        "\nthe ragged version synchronizes each cell only with its two neighbours,\n\
+         so threads drift apart where dependencies allow instead of queueing at\n\
+         an N-way barrier twice per step (paper Section 5.1)."
+    );
+}

@@ -1,0 +1,67 @@
+//! Quickstart: the counter API in five minutes.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use monotonic_counters::prelude::*;
+use std::sync::Arc;
+
+fn main() {
+    // 1. A counter starts at zero; Check(level) suspends until value >= level.
+    let ready = Arc::new(Counter::new());
+    let worker = {
+        let ready = Arc::clone(&ready);
+        std::thread::spawn(move || {
+            ready.check(2); // waits for two setup steps
+            println!("worker: both setup steps done, proceeding");
+        })
+    };
+    println!("main: setup step 1");
+    ready.increment(1);
+    println!("main: setup step 2");
+    ready.increment(1);
+    worker.join().unwrap();
+
+    // 2. One counter, many levels: dataflow-style broadcast. The writer
+    //    publishes items; each reader waits exactly as far as it needs.
+    let items = Arc::new(Broadcast::new(5));
+    std::thread::scope(|s| {
+        let w = Arc::clone(&items);
+        s.spawn(move || {
+            let mut writer = w.writer();
+            for i in 0..5 {
+                writer.push(i * i);
+            }
+        });
+        for r in 0..2 {
+            let items = Arc::clone(&items);
+            s.spawn(move || {
+                let sum: u64 = items.reader().sum();
+                println!("reader {r}: sum of squares = {sum}");
+            });
+        }
+    });
+
+    // 3. Deterministic ordering: a sequencer runs critical sections in
+    //    ticket order on every execution.
+    let seq = Arc::new(Sequencer::new());
+    let log = Arc::new(std::sync::Mutex::new(Vec::new()));
+    std::thread::scope(|s| {
+        for ticket in (0..4u64).rev() {
+            // spawn in reverse to show ordering is enforced
+            let (seq, log) = (Arc::clone(&seq), Arc::clone(&log));
+            s.spawn(move || {
+                seq.execute(ticket, move || {
+                    log.lock().unwrap().push(format!("section {ticket}"))
+                });
+            });
+        }
+    });
+    println!("sections ran in ticket order: {:?}", log.lock().unwrap());
+
+    // 4. No decrement, no probe: once a level is reached it stays reached,
+    //    so checks can never race.
+    let c = Counter::new();
+    c.increment(10);
+    c.check(10); // immediate now and forever
+    println!("counter value (debug only): {}", c.debug_value());
+}

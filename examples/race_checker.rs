@@ -1,0 +1,67 @@
+//! The Section 6 determinacy checker in action: verifying that shared
+//! variable accesses are separated by "a transitive chain of counter
+//! operations".
+//!
+//! Run with: `cargo run --example race_checker`
+
+use monotonic_counters::detcheck::{run_checked, Shared, TrackedCounter};
+
+fn main() {
+    // The paper's correct Section 6 program:
+    //   multithreaded {
+    //     { xCount.Check(0); x = x+1; xCount.Increment(1); }
+    //     { xCount.Check(1); x = x*2; xCount.Increment(1); }
+    //   }
+    let x = Shared::new("x", 3i64);
+    let x_count = TrackedCounter::new();
+    let report = run_checked(vec![
+        Box::new(|ctx| {
+            x_count.check(ctx, 0);
+            x.update(ctx, |v| *v += 1);
+            x_count.increment(ctx, 1);
+        }),
+        Box::new(|ctx| {
+            x_count.check(ctx, 1);
+            x.update(ctx, |v| *v *= 2);
+            x_count.increment(ctx, 1);
+        }),
+    ]);
+    println!("correct program  {{Check(0); x+=1}} || {{Check(1); x*=2}}:");
+    println!(
+        "  verdict: {}",
+        if report.is_clean() {
+            "clean — deterministic"
+        } else {
+            "RACY"
+        }
+    );
+    println!("  x = {} (always (3+1)*2 = 8)\n", x.into_inner());
+
+    // The paper's erroneous variant: both threads Check(0).
+    let x = Shared::new("x", 3i64);
+    let x_count = TrackedCounter::new();
+    let report = run_checked(vec![
+        Box::new(|ctx| {
+            x_count.check(ctx, 0);
+            x.update(ctx, |v| *v += 1);
+            x_count.increment(ctx, 1);
+        }),
+        Box::new(|ctx| {
+            x_count.check(ctx, 0); // BUG: does not wait for the other update
+            x.update(ctx, |v| *v *= 2);
+            x_count.increment(ctx, 1);
+        }),
+    ]);
+    println!("erroneous program {{Check(0); x+=1}} || {{Check(0); x*=2}}:");
+    if report.is_clean() {
+        println!("  verdict: clean (this schedule happened to order the accesses)");
+    } else {
+        println!("  verdict: RACE — {}", report.races[0]);
+    }
+    println!(
+        "\nthe checker builds the happens-before relation from counter increments\n\
+         (release) and checks (acquire) plus fork/join edges, then flags any pair\n\
+         of conflicting shared-variable accesses the relation leaves unordered —\n\
+         the dynamic version of the paper's Section 6 conditions."
+    );
+}

@@ -1,0 +1,49 @@
+//! All-pairs shortest paths (paper Section 4), including the exact Figure 1
+//! example, solved with all four synchronization variants.
+//!
+//! Run with: `cargo run --release --example shortest_paths`
+
+use monotonic_counters::algos::floyd_warshall as fw;
+use monotonic_counters::algos::graph;
+use std::time::Instant;
+
+fn main() {
+    // Figure 1: the paper's 3-vertex example.
+    let edge = graph::figure1_edge();
+    println!("Figure 1 edge matrix:\n{edge}");
+    let path = fw::sequential(&edge);
+    println!("Figure 1 path matrix (sequential):\n{path}");
+    assert_eq!(
+        path,
+        graph::figure1_path(),
+        "must reproduce the paper's Figure 1"
+    );
+    println!("matches the paper's published path matrix: yes\n");
+
+    // A larger random graph, all variants, timed.
+    let n = 192;
+    let threads = 4;
+    let edge = graph::random_graph(n, 0.4, 7);
+    println!("random graph: {n} vertices, {threads} threads");
+
+    let t0 = Instant::now();
+    let seq = fw::sequential(&edge);
+    println!("  sequential          {:>10.2?}", t0.elapsed());
+
+    let t0 = Instant::now();
+    let barrier = fw::with_barrier(&edge, threads);
+    println!("  barrier             {:>10.2?}", t0.elapsed());
+
+    let t0 = Instant::now();
+    let events = fw::with_events(&edge, threads);
+    println!("  events (N condvars) {:>10.2?}", t0.elapsed());
+
+    let t0 = Instant::now();
+    let counter = fw::with_counter(&edge, threads);
+    println!("  counter (1 object)  {:>10.2?}", t0.elapsed());
+
+    assert_eq!(barrier, seq);
+    assert_eq!(events, seq);
+    assert_eq!(counter, seq);
+    println!("all variants agree with the sequential oracle");
+}

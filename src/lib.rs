@@ -1,0 +1,58 @@
+//! # monotonic-counters
+//!
+//! Facade crate for the full reproduction of *"Monotonic Counters: A New
+//! Mechanism for Thread Synchronization"* (John Thornley and K. Mani Chandy,
+//! IPPS 2000).
+//!
+//! Re-exports every workspace crate under one roof:
+//!
+//! * [`counter`] — the monotonic counter primitive itself (the paper's core
+//!   contribution, Sections 2 and 7).
+//! * [`primitives`] — the traditional mechanisms the paper compares against
+//!   (barrier, event/condition, semaphore, latch, single-assignment,
+//!   spinlock), built from scratch.
+//! * [`sthreads`] — the structured multithreading model of Section 3
+//!   (`multithreaded` blocks and for-loops) with a sequential execution mode
+//!   for the Section 6 equivalence results.
+//! * [`detcheck`] — a dynamic happens-before determinacy checker for
+//!   counter-synchronized programs (Section 6).
+//! * [`patterns`] — the Section 5 synchronization patterns as reusable
+//!   abstractions (ragged barrier, sequencer, SWMR broadcast, pipeline).
+//! * [`algos`] — the evaluation workloads (Floyd–Warshall, heat diffusion,
+//!   ordered accumulation, Paraffins, wavefront LCS).
+//! * [`chaos`] — schedule perturbation for testing the Section 6 determinacy
+//!   claims across many interleavings.
+//!
+//! See `README.md` for a tour, `DESIGN.md` for the system inventory, and
+//! `EXPERIMENTS.md` for the reproduction results.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use monotonic_counters::prelude::*;
+//!
+//! let c = Counter::new();
+//! c.increment(1);
+//! c.check(1);
+//! ```
+
+pub use mc_algos as algos;
+pub use mc_chaos as chaos;
+pub use mc_counter as counter;
+pub use mc_detcheck as detcheck;
+pub use mc_patterns as patterns;
+pub use mc_primitives as primitives;
+pub use mc_sthreads as sthreads;
+
+/// The most commonly used items, for glob import.
+pub mod prelude {
+    pub use mc_counter::{
+        check_all, AtomicCounter, BTreeCounter, Counter, CounterExt, CounterSet, MonitorCounter,
+        MonotonicCounter, NaiveCounter, ParkingCounter, SpinCounter,
+    };
+    pub use mc_patterns::{Broadcast, DataflowGraph, Pipeline, RaggedBarrier, Sequencer};
+    pub use mc_primitives::{
+        Barrier, Event, Exchanger, Latch, Monitor, Semaphore, SingleAssignment,
+    };
+    pub use mc_sthreads::{multithreaded, multithreaded_for, ExecutionMode};
+}

@@ -1,0 +1,163 @@
+//! Integration across crates: patterns over alternative counter
+//! implementations, counters beside traditional primitives, pipelines
+//! feeding accumulations.
+
+use monotonic_counters::prelude::*;
+use std::sync::{Arc, Mutex};
+
+/// Every counter implementation drives the Sequencer correctly.
+#[test]
+fn sequencer_over_every_counter_impl() {
+    fn run<C: MonotonicCounter + Default>() {
+        let seq: Sequencer<C> = Sequencer::with_counter();
+        let log = Mutex::new(Vec::new());
+        std::thread::scope(|s| {
+            for i in (0..8u64).rev() {
+                let (seq, log) = (&seq, &log);
+                s.spawn(move || seq.execute(i, || log.lock().unwrap().push(i)));
+            }
+        });
+        assert_eq!(log.into_inner().unwrap(), (0..8).collect::<Vec<_>>());
+    }
+    run::<Counter>();
+    run::<BTreeCounter>();
+    run::<NaiveCounter>();
+    run::<ParkingCounter>();
+    run::<AtomicCounter>();
+}
+
+/// Every counter implementation drives the ragged barrier correctly.
+#[test]
+fn ragged_barrier_over_every_counter_impl() {
+    fn run<C: MonotonicCounter + Default>() {
+        let rb: RaggedBarrier<C> = RaggedBarrier::with_counter(4);
+        std::thread::scope(|s| {
+            for i in 0..4usize {
+                let rb = &rb;
+                s.spawn(move || {
+                    for step in 1..=20u64 {
+                        if i > 0 {
+                            rb.wait(i - 1, step - 1);
+                        }
+                        if i + 1 < 4 {
+                            rb.wait(i + 1, step - 1);
+                        }
+                        rb.arrive(i);
+                    }
+                });
+            }
+        });
+        for i in 0..4 {
+            assert_eq!(rb.progress(i), 20);
+        }
+    }
+    run::<Counter>();
+    run::<BTreeCounter>();
+    run::<NaiveCounter>();
+    run::<ParkingCounter>();
+    run::<AtomicCounter>();
+}
+
+/// Counters and traditional primitives coexisting in one program: a latch
+/// gates startup, a counter sequences the work, a barrier closes the phase,
+/// an event signals completion.
+#[test]
+fn mixed_primitive_program() {
+    let n = 6;
+    let start = Arc::new(Latch::new(1));
+    let order = Arc::new(Counter::new());
+    let phase_end = Arc::new(Barrier::new(n));
+    let done = Arc::new(Event::new());
+    let log = Arc::new(Mutex::new(Vec::new()));
+
+    std::thread::scope(|s| {
+        for i in 0..n as u64 {
+            let (start, order, phase_end, done, log) = (
+                Arc::clone(&start),
+                Arc::clone(&order),
+                Arc::clone(&phase_end),
+                Arc::clone(&done),
+                Arc::clone(&log),
+            );
+            s.spawn(move || {
+                start.wait();
+                order.sequenced(i, || log.lock().unwrap().push(i));
+                if phase_end.pass() {
+                    done.set();
+                }
+            });
+        }
+        start.count_down();
+        done.check();
+    });
+    assert_eq!(*log.lock().unwrap(), (0..n as u64).collect::<Vec<_>>());
+}
+
+/// A pipeline stage's output accumulated in deterministic order: Broadcast
+/// feeding a counter-sequenced fold.
+#[test]
+fn broadcast_into_ordered_fold() {
+    let n = 100;
+    let b = Arc::new(Broadcast::new(n));
+    let order = Arc::new(Counter::new());
+    let folded = Arc::new(Mutex::new(String::new()));
+    std::thread::scope(|s| {
+        let bw = Arc::clone(&b);
+        s.spawn(move || {
+            let mut w = bw.writer_with_block(8);
+            for i in 0..n {
+                w.push(i % 10);
+            }
+        });
+        // Each worker consumes one item index and folds it in index order.
+        for i in 0..n as u64 {
+            let (b, order, folded) = (Arc::clone(&b), Arc::clone(&order), Arc::clone(&folded));
+            s.spawn(move || {
+                let item = *b.get(i as usize);
+                order.sequenced(i, || folded.lock().unwrap().push_str(&item.to_string()));
+            });
+        }
+    });
+    let got = folded.lock().unwrap().clone();
+    let want: String = (0..n).map(|i| char::from(b'0' + (i % 10) as u8)).collect();
+    assert_eq!(got, want);
+}
+
+/// `check_all` as a join of RaggedBarrier dependencies mixed with a plain
+/// counter.
+#[test]
+fn check_all_spans_heterogeneous_sources() {
+    use mc_counter::check_all;
+    let a = Arc::new(Counter::new());
+    let b = Arc::new(Counter::new());
+    let (a2, b2) = (Arc::clone(&a), Arc::clone(&b));
+    let waiter = std::thread::spawn(move || {
+        check_all([(&*a2, 2u64), (&*b2, 3u64)]);
+        "joined"
+    });
+    a.increment(2);
+    b.increment(1);
+    b.increment(2);
+    assert_eq!(waiter.join().unwrap(), "joined");
+}
+
+/// The facade prelude exposes everything the README promises.
+#[test]
+fn prelude_surface() {
+    let _c: Counter = Counter::new();
+    let _n: NaiveCounter = NaiveCounter::new();
+    let _b: BTreeCounter = BTreeCounter::new();
+    let _p: ParkingCounter = ParkingCounter::new();
+    let _a: AtomicCounter = AtomicCounter::new();
+    let _set: CounterSet<Counter> = CounterSet::new(2);
+    let _bar = Barrier::new(1);
+    let _ev = Event::new();
+    let _l = Latch::new(0);
+    let _s = Semaphore::new(1);
+    let _sa: SingleAssignment<u8> = SingleAssignment::new();
+    let _rb = RaggedBarrier::new(1);
+    let _sq = Sequencer::new();
+    let _bc: Broadcast<u8> = Broadcast::new(0);
+    let _pl: Pipeline<u8> = Pipeline::new();
+    multithreaded_for(ExecutionMode::Sequential, 0..2, |_| {});
+}

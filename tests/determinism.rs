@@ -1,0 +1,155 @@
+//! Cross-crate determinacy tests (paper Section 6): counter-synchronized
+//! programs produce identical results across repeated multithreaded runs,
+//! and the dynamic checker separates conforming from violating programs.
+
+use mc_detcheck::{Checker, RaceKind, Shared, TrackedCounter};
+use monotonic_counters::algos::{accumulate, floyd_warshall as fw, graph, heat};
+use std::collections::HashSet;
+
+#[test]
+fn floyd_warshall_counter_runs_identically() {
+    let edge = graph::random_graph(16, 0.5, 3);
+    let first = fw::with_counter(&edge, 4);
+    for _ in 0..8 {
+        assert_eq!(fw::with_counter(&edge, 4), first);
+    }
+}
+
+#[test]
+fn heat_ragged_runs_identically() {
+    let rod = heat::hot_left_rod(10, 80.0);
+    let first = heat::with_ragged(&rod, 40);
+    for _ in 0..8 {
+        let again = heat::with_ragged(&rod, 40);
+        assert!(first
+            .iter()
+            .zip(&again)
+            .all(|(a, b)| a.to_bits() == b.to_bits()));
+    }
+}
+
+#[test]
+fn counter_accumulation_single_outcome() {
+    let outcomes: HashSet<u64> = (0..15)
+        .map(|_| {
+            accumulate::with_counter(48, 0.0f64, accumulate::skewed_float_yielding, |a, s| {
+                *a += s
+            })
+            .to_bits()
+        })
+        .collect();
+    assert_eq!(
+        outcomes.len(),
+        1,
+        "counter accumulation must be deterministic"
+    );
+}
+
+/// Fully-checked heat-style program: neighbour exchange through tracked
+/// counters is race-free under the checker.
+#[test]
+fn checked_neighbor_exchange_is_clean() {
+    let n = 5;
+    let steps = 6u64;
+    let checker = Checker::new();
+    let root = checker.register_root();
+    let cells: Vec<Shared<f64>> = (0..n)
+        .map(|i| Shared::new(format!("cell{i}"), i as f64))
+        .collect();
+    let progress: Vec<TrackedCounter> = (0..n).map(|_| TrackedCounter::new()).collect();
+    // Boundary cells publish all progress up front.
+    progress[0].increment(&root, 2 * steps);
+    progress[n - 1].increment(&root, 2 * steps);
+
+    let ctxs: Vec<_> = (1..n - 1).map(|_| root.fork()).collect();
+    std::thread::scope(|s| {
+        for (idx, ctx) in ctxs.iter().enumerate() {
+            let i = idx + 1;
+            let (cells, progress) = (&cells, &progress);
+            s.spawn(move || {
+                let mut mine = cells[i].read(ctx);
+                for t in 1..=steps {
+                    progress[i - 1].check(ctx, 2 * t - 2);
+                    let l = cells[i - 1].read(ctx);
+                    progress[i + 1].check(ctx, 2 * t - 2);
+                    let r = cells[i + 1].read(ctx);
+                    progress[i].increment(ctx, 1);
+                    mine = heat::diffuse(l, mine, r);
+                    progress[i - 1].check(ctx, 2 * t - 1);
+                    progress[i + 1].check(ctx, 2 * t - 1);
+                    cells[i].write(ctx, mine);
+                    progress[i].increment(ctx, 1);
+                }
+            });
+        }
+    });
+    for ctx in ctxs {
+        root.join(ctx);
+    }
+    let report = checker.report();
+    assert!(
+        report.is_clean(),
+        "paper's 5.1 protocol must be race-free: {:?}",
+        report.races
+    );
+}
+
+/// Removing one of the protocol's waits introduces a detectable race.
+#[test]
+fn broken_neighbor_exchange_is_flagged() {
+    let checker = Checker::new();
+    let root = checker.register_root();
+    let cell = Shared::new("cell", 0.0f64);
+    let progress = TrackedCounter::new();
+    let a = root.fork();
+    let b = root.fork();
+    std::thread::scope(|s| {
+        s.spawn(|| {
+            cell.write(&a, 1.0);
+            progress.increment(&a, 1);
+        });
+        s.spawn(|| {
+            // BUG: reads without checking the producer's progress counter.
+            let _ = cell.read(&b);
+        });
+    });
+    root.join(a);
+    root.join(b);
+    let report = checker.report();
+    assert!(!report.is_clean(), "missing wait must be flagged");
+    assert!(report
+        .races
+        .iter()
+        .any(|r| matches!(r.kind, RaceKind::WriteThenRead | RaceKind::ReadThenWrite)));
+}
+
+/// The checker composes with fork/join alone (no counters): structured
+/// parallelism with disjoint writes is clean; overlapping writes are not.
+#[test]
+fn fork_join_only_programs() {
+    // Disjoint: each child writes its own variable.
+    let checker = Checker::new();
+    let root = checker.register_root();
+    let vars: Vec<Shared<u32>> = (0..4).map(|i| Shared::new(format!("v{i}"), 0)).collect();
+    let ctxs: Vec<_> = (0..4).map(|_| root.fork()).collect();
+    std::thread::scope(|s| {
+        for (i, ctx) in ctxs.iter().enumerate() {
+            let vars = &vars;
+            s.spawn(move || vars[i].write(ctx, i as u32));
+        }
+    });
+    for ctx in ctxs {
+        root.join(ctx);
+    }
+    assert!(checker.report().is_clean());
+
+    // Overlapping: two children write one variable.
+    let checker = Checker::new();
+    let root = checker.register_root();
+    let v = Shared::new("v", 0u32);
+    let a = root.fork();
+    let b = root.fork();
+    v.write(&a, 1);
+    v.write(&b, 2);
+    assert!(!checker.report().is_clean());
+}

@@ -1,0 +1,183 @@
+//! Failure injection: what happens when threads panic, abandon waits, or
+//! violate protocols. These tests pin down the library's failure semantics
+//! so they are deliberate rather than accidental.
+
+use monotonic_counters::prelude::*;
+use monotonic_counters::sthreads::run_with_deadline;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A waiter that gives up (timeout) leaves the counter fully functional for
+/// everyone else, with its node reclaimed.
+#[test]
+fn abandoned_wait_does_not_disturb_others() {
+    let c = Arc::new(Counter::new());
+    // Patient waiter at the same level as the one that will abandon.
+    let patient_same = {
+        let c = Arc::clone(&c);
+        std::thread::spawn(move || c.check(5))
+    };
+    // Patient waiter at a different level.
+    let patient_other = {
+        let c = Arc::clone(&c);
+        std::thread::spawn(move || c.check(9))
+    };
+    while c.stats().live_waiters < 2 {
+        std::thread::yield_now();
+    }
+    assert!(c.check_timeout(5, Duration::from_millis(30)).is_err());
+    c.increment(9);
+    patient_same.join().unwrap();
+    patient_other.join().unwrap();
+    let s = c.stats();
+    assert_eq!(s.live_nodes, 0);
+    assert_eq!(s.nodes_created, s.nodes_freed);
+}
+
+/// A panicking thread that held no counter obligation leaves everything
+/// working.
+#[test]
+fn panicking_bystander_is_harmless() {
+    let c = Arc::new(Counter::new());
+    let c2 = Arc::clone(&c);
+    let h = std::thread::spawn(move || {
+        c2.check(0); // immediate
+        panic!("bystander failure");
+    });
+    assert!(h.join().is_err());
+    c.increment(1);
+    c.check(1);
+}
+
+/// A panicking *incrementer* is the dangerous case the paper's model rules
+/// out (its programs always complete their increments): dependent waiters
+/// hang. The watchdog documents that behaviour.
+#[test]
+fn missing_increment_hangs_dependents() {
+    let hung = run_with_deadline(Duration::from_millis(200), || {
+        let c = Arc::new(Counter::new());
+        let waiter = {
+            let c = Arc::clone(&c);
+            std::thread::spawn(move || c.check(1))
+        };
+        let producer = std::thread::spawn(move || {
+            // Dies before its increment.
+            panic!("producer failed");
+        });
+        let _ = producer.join();
+        waiter.join().unwrap();
+    });
+    assert!(
+        hung.is_err(),
+        "a lost increment must manifest as a hang, not corruption"
+    );
+}
+
+/// `Sequencer::execute` admits the next ticket even when a section panics,
+/// so one failure does not deadlock the pipeline (the panic still
+/// propagates).
+#[test]
+fn sequencer_survives_panicking_section() {
+    let seq = Arc::new(Sequencer::new());
+    let log = Arc::new(std::sync::Mutex::new(Vec::new()));
+    std::thread::scope(|s| {
+        for i in 0..6u64 {
+            let (seq, log) = (Arc::clone(&seq), Arc::clone(&log));
+            s.spawn(move || {
+                let result = catch_unwind(AssertUnwindSafe(|| {
+                    seq.execute(i, || {
+                        if i == 2 {
+                            panic!("section 2 fails");
+                        }
+                        log.lock().unwrap().push(i);
+                    })
+                }));
+                assert_eq!(result.is_err(), i == 2);
+            });
+        }
+    });
+    // Every section except the failed one ran, in order.
+    assert_eq!(*log.lock().unwrap(), vec![0, 1, 3, 4, 5]);
+}
+
+/// A writer that is dropped early publishes what it wrote (flush-on-drop);
+/// readers receive exactly that prefix and then block — no phantom items.
+#[test]
+fn partial_writer_yields_exact_prefix() {
+    let b = Arc::new(Broadcast::<u64>::new(10));
+    {
+        let mut w = b.writer_with_block(4);
+        for i in 0..6 {
+            w.push(i);
+        }
+        // Dropped here with 6 of 10 written: 4 flushed at the boundary + 2
+        // by the drop flush.
+    }
+    assert_eq!(b.published(), 6);
+    for i in 0..6 {
+        assert_eq!(*b.get(i as usize), i);
+    }
+    // Item 6 never arrives.
+    let b2 = Arc::clone(&b);
+    let hung = run_with_deadline(Duration::from_millis(150), move || {
+        let _ = b2.get(6);
+    });
+    assert!(hung.is_err());
+}
+
+/// A barrier participant that panics before passing strands the rest — the
+/// classic barrier failure mode, reproduced deliberately (the ragged
+/// counter version localizes the damage to the panicking cell's neighbours
+/// in the same way a lost increment does).
+#[test]
+fn barrier_strands_peers_on_participant_panic() {
+    let hung = run_with_deadline(Duration::from_millis(200), || {
+        let b = Arc::new(Barrier::new(2));
+        let b2 = Arc::clone(&b);
+        let dead = std::thread::spawn(move || {
+            let _unused = &b2;
+            panic!("participant dies before pass()");
+        });
+        let _ = dead.join();
+        b.pass(); // waits for a participant that will never come
+    });
+    assert!(hung.is_err());
+}
+
+/// TracingCounter keeps recording correctly across failed timeouts.
+#[test]
+fn tracing_counter_logs_abandonment() {
+    use monotonic_counters::counter::TracingCounter;
+    let c = TracingCounter::new();
+    assert!(c.check_timeout(3, Duration::from_millis(20)).is_err());
+    let log = c.log();
+    // Last state: empty waiting list again (the abandoned node removed).
+    assert!(log.last().unwrap().nodes.is_empty(), "{log:?}");
+    // And an intermediate state showed the registered waiter.
+    assert!(log.iter().any(|s| !s.nodes.is_empty()));
+}
+
+/// Overflow failure is contained: `try_increment` fails without waking or
+/// corrupting, and the counter continues to work.
+#[test]
+fn overflow_is_contained() {
+    let c = Arc::new(Counter::new());
+    c.increment(u64::MAX - 10);
+    let waiter = {
+        let c = Arc::clone(&c);
+        std::thread::spawn(move || c.check(u64::MAX))
+    };
+    while c.stats().live_waiters == 0 {
+        std::thread::yield_now();
+    }
+    assert!(c.try_increment(100).is_err(), "would overflow");
+    assert_eq!(
+        c.stats().live_waiters,
+        1,
+        "failed increment must not wake anyone"
+    );
+    c.increment(10); // exact fit
+    waiter.join().unwrap();
+    assert_eq!(c.debug_value(), u64::MAX);
+}

@@ -1,0 +1,169 @@
+//! Property-based tests of the evaluation workloads against sequential
+//! oracles, on randomized inputs.
+
+use monotonic_counters::algos::{
+    accumulate, cascade, floyd_warshall as fw, graph, heat, heat2d, paraffins, sorting, wavefront,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every Floyd-Warshall variant equals the sequential oracle on random
+    /// graphs (random sizes, densities, seeds, thread counts).
+    #[test]
+    fn floyd_warshall_variants_agree(
+        n in 2usize..20,
+        density in 0.1f64..0.9,
+        seed in 0u64..1000,
+        threads in 1usize..6,
+    ) {
+        let edge = graph::random_graph(n, density, seed);
+        let want = fw::sequential(&edge);
+        prop_assert_eq!(fw::with_barrier(&edge, threads), want.clone());
+        prop_assert_eq!(fw::with_events(&edge, threads), want.clone());
+        prop_assert_eq!(fw::with_counter(&edge, threads), want);
+    }
+
+    /// Floyd-Warshall output is idempotent: running it on its own output
+    /// changes nothing (shortest paths are closed under relaxation).
+    #[test]
+    fn floyd_warshall_idempotent(n in 2usize..15, seed in 0u64..1000) {
+        let edge = graph::random_graph(n, 0.5, seed);
+        let path = fw::sequential(&edge);
+        prop_assert_eq!(fw::sequential(&path), path.clone());
+    }
+
+    /// Heat simulation: both parallel versions equal the double-buffered
+    /// sequential reference bit-for-bit on random rods.
+    #[test]
+    fn heat_variants_agree(
+        n in 3usize..16,
+        steps in 0usize..40,
+        temps in proptest::collection::vec(-50.0f64..150.0, 3..16),
+    ) {
+        let rod: Vec<f64> = temps.into_iter().cycle().take(n).collect();
+        let want = heat::sequential(&rod, steps);
+        let barrier = heat::with_barrier(&rod, steps);
+        let ragged = heat::with_ragged(&rod, steps);
+        for i in 0..n {
+            prop_assert_eq!(barrier[i].to_bits(), want[i].to_bits(), "barrier cell {}", i);
+            prop_assert_eq!(ragged[i].to_bits(), want[i].to_bits(), "ragged cell {}", i);
+        }
+    }
+
+    /// Heat conservation: with equal boundaries the total heat converges
+    /// toward the boundary value (sanity of the physics, not the sync).
+    #[test]
+    fn heat_stays_within_initial_bounds(steps in 1usize..50) {
+        let rod = heat::hot_left_rod(10, 100.0);
+        let out = heat::sequential(&rod, steps);
+        for (i, &t) in out.iter().enumerate() {
+            prop_assert!((0.0..=100.0).contains(&t), "cell {} out of bounds: {}", i, t);
+        }
+    }
+
+    /// Counter accumulation equals sequential accumulation for arbitrary
+    /// item counts — the Section 5.2/6 determinacy result, bitwise.
+    #[test]
+    fn counter_accumulation_equals_sequential(n in 0usize..40) {
+        let seq = accumulate::sequential(n, 0.0f64, accumulate::skewed_float, |a, s| *a += s);
+        let par = accumulate::with_counter(n, 0.0f64, accumulate::skewed_float, |a, s| *a += s);
+        prop_assert_eq!(par.to_bits(), seq.to_bits());
+    }
+
+    /// Lock accumulation computes the same multiset (sorted equality) even
+    /// though the order is unspecified.
+    #[test]
+    fn lock_accumulation_multiset_stable(n in 0usize..40) {
+        let mut got = accumulate::with_lock(n, Vec::new(), |i| i, |acc, s| acc.push(s));
+        got.sort_unstable();
+        prop_assert_eq!(got, (0..n).collect::<Vec<_>>());
+    }
+
+    /// The cascade pipeline equals its oracle for arbitrary inputs and depths.
+    #[test]
+    fn cascade_parallel_equals_sequential(
+        input in proptest::collection::vec(0u64..1_000_000, 0..40),
+        stages in 0usize..45,
+    ) {
+        prop_assert_eq!(cascade::parallel(&input, stages), cascade::sequential(&input, stages));
+    }
+
+    /// The 2-D plate simulation: both parallel versions equal the
+    /// double-buffered reference bit-for-bit on random grids.
+    #[test]
+    fn heat2d_variants_agree(
+        rows in 3usize..9,
+        cols in 3usize..9,
+        steps in 0usize..15,
+        hot in 1.0f64..200.0,
+    ) {
+        let g = heat2d::Grid::hot_top(rows, cols, hot);
+        let want = heat2d::sequential(&g, steps);
+        prop_assert!(heat2d::with_barrier(&g, steps).bits_eq(&want));
+        prop_assert!(heat2d::with_ragged(&g, steps).bits_eq(&want));
+    }
+
+    /// Wavefront LCS equals the sequential oracle for arbitrary inputs and
+    /// band/block geometry.
+    #[test]
+    fn wavefront_lcs_matches_oracle(
+        a in proptest::collection::vec(0u8..5, 0..60),
+        b in proptest::collection::vec(0u8..5, 0..60),
+        bands in 1usize..8,
+        block in 1usize..40,
+    ) {
+        prop_assert_eq!(
+            wavefront::lcs_wavefront(&a, &b, bands, block),
+            wavefront::lcs_sequential(&a, &b)
+        );
+    }
+
+    /// LCS is symmetric and bounded by the shorter input.
+    #[test]
+    fn lcs_symmetry_and_bound(
+        a in proptest::collection::vec(0u8..4, 0..40),
+        b in proptest::collection::vec(0u8..4, 0..40),
+    ) {
+        let ab = wavefront::lcs_sequential(&a, &b);
+        let ba = wavefront::lcs_sequential(&b, &a);
+        prop_assert_eq!(ab, ba);
+        prop_assert!(ab as usize <= a.len().min(b.len()));
+    }
+
+    /// Both parallel transposition sorts equal the standard sort.
+    #[test]
+    fn transposition_sorts_match_std_sort(
+        v in proptest::collection::vec(-1000i64..1000, 0..50),
+    ) {
+        let mut want = v.clone();
+        want.sort_unstable();
+        prop_assert_eq!(sorting::odd_even_counters(&v), want.clone());
+        prop_assert_eq!(sorting::odd_even_barrier(&v), want);
+    }
+
+    /// Paraffins staged parallel generation equals sequential for any depth.
+    #[test]
+    fn paraffins_parallel_matches_sequential(max in 0usize..9) {
+        prop_assert_eq!(
+            paraffins::radicals_parallel(max),
+            paraffins::radicals_sequential(max)
+        );
+    }
+
+    /// Chunk coverage (used by every workload's row distribution).
+    #[test]
+    fn chunks_partition_exactly(n in 0usize..500, threads in 1usize..20) {
+        use monotonic_counters::sthreads::chunks;
+        let cs = chunks(n, threads);
+        let mut seen = vec![false; n];
+        for r in cs {
+            for i in r {
+                prop_assert!(!seen[i], "index {} covered twice", i);
+                seen[i] = true;
+            }
+        }
+        prop_assert!(seen.into_iter().all(|b| b));
+    }
+}

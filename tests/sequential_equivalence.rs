@@ -1,0 +1,115 @@
+//! Section 6's headline property: for a counter-synchronized program with
+//! guarded shared variables, multithreaded execution is equivalent to
+//! sequential execution ("ignoring the `multithreaded` keyword"), provided
+//! the sequential execution does not deadlock.
+
+use monotonic_counters::prelude::*;
+use monotonic_counters::sthreads::{multithreaded_tasks, run_with_deadline};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// A counter program as a list of tasks whose *program order* is a valid
+/// sequential schedule (each Check is satisfied by the time it runs
+/// sequentially). Runs it in a given mode and returns the shared result.
+fn ordered_pipeline(mode: ExecutionMode) -> Vec<u64> {
+    let log = Arc::new(Mutex::new(Vec::new()));
+    let c = Arc::new(Counter::new());
+    let mut tasks: Vec<Box<dyn FnOnce() + Send>> = Vec::new();
+    for i in 0..12u64 {
+        let (log, c) = (Arc::clone(&log), Arc::clone(&c));
+        tasks.push(Box::new(move || {
+            c.check(i);
+            log.lock().unwrap().push(i * 7);
+            c.increment(1);
+        }));
+    }
+    multithreaded_tasks(mode, tasks);
+    Arc::try_unwrap(log).unwrap().into_inner().unwrap()
+}
+
+#[test]
+fn pipeline_multithreaded_equals_sequential() {
+    let seq = ordered_pipeline(ExecutionMode::Sequential);
+    for _ in 0..5 {
+        assert_eq!(ordered_pipeline(ExecutionMode::Multithreaded), seq);
+    }
+}
+
+/// The single-writer broadcast program: sequential execution (writer task
+/// first, then readers) terminates, so multithreaded execution must too, with
+/// the same result.
+fn broadcast_program(mode: ExecutionMode) -> Vec<u64> {
+    const N: usize = 64;
+    let buffer = Arc::new(Broadcast::new(N));
+    let sums = Arc::new(Mutex::new(Vec::new()));
+    let mut tasks: Vec<Box<dyn FnOnce() + Send>> = Vec::new();
+    {
+        let buffer = Arc::clone(&buffer);
+        tasks.push(Box::new(move || {
+            let mut w = buffer.writer();
+            for i in 0..N as u64 {
+                w.push(i * 3 + 1);
+            }
+        }));
+    }
+    for _ in 0..3 {
+        let (buffer, sums) = (Arc::clone(&buffer), Arc::clone(&sums));
+        tasks.push(Box::new(move || {
+            let sum: u64 = buffer.reader().sum();
+            sums.lock().unwrap().push(sum);
+        }));
+    }
+    multithreaded_tasks(mode, tasks);
+    Arc::try_unwrap(sums).unwrap().into_inner().unwrap()
+}
+
+#[test]
+fn broadcast_multithreaded_equals_sequential() {
+    let seq = broadcast_program(ExecutionMode::Sequential);
+    assert_eq!(broadcast_program(ExecutionMode::Multithreaded), seq);
+}
+
+/// Contrapositive: a program whose sequential execution *does* deadlock (a
+/// task checks a level only a later task increments) is outside the
+/// guarantee — and indeed hangs sequentially while succeeding multithreaded.
+/// This mirrors the paper's "if sequential execution does not deadlock"
+/// precondition being necessary.
+#[test]
+fn out_of_order_program_deadlocks_sequentially_only() {
+    fn build(mode: ExecutionMode) -> impl FnOnce() + Send {
+        move || {
+            let c = Arc::new(Counter::new());
+            let mut tasks: Vec<Box<dyn FnOnce() + Send>> = Vec::new();
+            {
+                let c = Arc::clone(&c);
+                // Task 0 waits for task 1 — fine concurrently, deadlock
+                // sequentially.
+                tasks.push(Box::new(move || c.check(1)));
+            }
+            {
+                let c = Arc::clone(&c);
+                tasks.push(Box::new(move || c.increment(1)));
+            }
+            multithreaded_tasks(mode, tasks);
+        }
+    }
+    // Multithreaded: finishes.
+    run_with_deadline(Duration::from_secs(10), build(ExecutionMode::Multithreaded))
+        .expect("multithreaded execution must complete");
+    // Sequential: deadlocks (watchdog observes the hang).
+    let hung = run_with_deadline(Duration::from_millis(300), build(ExecutionMode::Sequential));
+    assert!(hung.is_err(), "sequential execution should deadlock");
+}
+
+/// Floyd–Warshall with a counter: one thread *is* the sequential execution;
+/// many threads must match it exactly.
+#[test]
+fn floyd_warshall_counter_thread_count_equivalence() {
+    use monotonic_counters::algos::{floyd_warshall as fw, graph};
+    let edge = graph::random_graph(20, 0.5, 5);
+    let single = fw::with_counter(&edge, 1);
+    assert_eq!(single, fw::sequential(&edge));
+    for threads in [2, 3, 8] {
+        assert_eq!(fw::with_counter(&edge, threads), single);
+    }
+}
