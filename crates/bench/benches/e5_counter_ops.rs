@@ -3,7 +3,7 @@
 //! the uncontended fast paths.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use mc_counter::{Counter, MonotonicCounter};
+use mc_counter::{Counter, CounterDiagnostics, MonotonicCounter};
 use std::sync::Arc;
 use std::time::Duration;
 

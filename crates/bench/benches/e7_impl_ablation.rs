@@ -3,12 +3,13 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mc_counter::{
-    AtomicCounter, BTreeCounter, Counter, MonotonicCounter, NaiveCounter, ParkingCounter,
+    AtomicCounter, BTreeCounter, Counter, CounterDiagnostics, MonotonicCounter, NaiveCounter,
+    ParkingCounter,
 };
 use std::sync::Arc;
 use std::time::Duration;
 
-fn staircase<C: MonotonicCounter + Default + 'static>(threads: usize) {
+fn staircase<C: MonotonicCounter + CounterDiagnostics + Default + 'static>(threads: usize) {
     let c = Arc::new(C::default());
     let mut handles = Vec::new();
     for i in 0..threads {

@@ -10,7 +10,7 @@
 //! Usage: `cargo run --release -p mc-bench --bin e5_table [--quick] [--json]`
 
 use mc_bench::{fmt_duration, measure, Table};
-use mc_counter::{Counter, MonotonicCounter};
+use mc_counter::{Counter, CounterDiagnostics, MonotonicCounter};
 use std::sync::Arc;
 
 /// Parks `threads` waiters spread over `levels` distinct levels, then

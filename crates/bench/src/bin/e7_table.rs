@@ -17,14 +17,14 @@ use mc_algos::floyd_warshall as fw;
 use mc_algos::graph::dense_graph;
 use mc_bench::{fmt_duration, measure, Table};
 use mc_counter::{
-    AtomicCounter, BTreeCounter, Counter, MonitorCounter, MonotonicCounter, NaiveCounter,
-    ParkingCounter, SpinCounter,
+    AtomicCounter, BTreeCounter, Counter, CounterDiagnostics, MonitorCounter, MonotonicCounter,
+    NaiveCounter, ParkingCounter, SpinCounter,
 };
 use std::sync::Arc;
 
 /// Workload A: `threads` waiters on distinct levels, released by unit
 /// increments; measures wakeups under many suspension queues.
-fn staircase<C: MonotonicCounter + Default + 'static>(
+fn staircase<C: MonotonicCounter + CounterDiagnostics + Default + 'static>(
     threads: usize,
 ) -> (std::time::Duration, u64) {
     let c = Arc::new(C::default());
@@ -57,7 +57,7 @@ fn uncontended_ops<C: MonotonicCounter + Default>(ops: usize) -> std::time::Dura
     t0.elapsed()
 }
 
-fn bench_impl<C: MonotonicCounter + Default + 'static>(
+fn bench_impl<C: MonotonicCounter + CounterDiagnostics + Default + 'static>(
     name: &str,
     table: &mut Table,
     quick: bool,
@@ -113,7 +113,8 @@ fn main() {
     println!(
         "Shape check: the waitlist/btree/parking/atomic variants issue one broadcast per\n\
          satisfied level; naive-broadcast issues one per increment and wakes every waiter\n\
-         each time (its broadcast count ~= increments). atomic-fastpath leads the\n\
-         uncontended column."
+         each time (its broadcast count ~= increments). The packed-word variants\n\
+         (waitlist/btree/parking/atomic) tie on the uncontended column — all four share\n\
+         the same fast path; see e8_table for the fast-vs-mutex-only ablation."
     );
 }

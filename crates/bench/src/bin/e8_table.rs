@@ -1,0 +1,180 @@
+//! **E8** — Zero-contention fast paths (packed-word redesign).
+//!
+//! The redesigned core counter keeps `(value hint, has-waiters)` packed in
+//! one `AtomicU64` so the two operations that dominate real programs stay
+//! lock-free: an uncontended `increment` is a single CAS and a satisfied
+//! `check` is a single acquire load. This experiment quantifies the claim
+//! with an ablation the other tables cannot provide: `Counter::mutex_only()`
+//! is the *same* wait-list algorithm with the fast tier disabled, so the
+//! speedup column isolates exactly what the packed word buys.
+//!
+//! Each row also runs a waiter-free workload and reports the counter's own
+//! path statistics; the fast-path implementations must finish it with zero
+//! slow-path (mutex) entries.
+//!
+//! Usage: `cargo run --release -p mc-bench --bin e8_table [--quick] [--json]`
+
+use mc_bench::{measure, Table};
+use mc_counter::{
+    AtomicCounter, BTreeCounter, Counter, CounterDiagnostics, MonitorCounter, MonotonicCounter,
+    NaiveCounter, ParkingCounter, SpinCounter,
+};
+
+/// Per-op nanoseconds for `ops` uncontended `increment(1)` calls.
+fn time_increment<C: MonotonicCounter>(make: &dyn Fn() -> C, ops: usize, runs: usize) -> f64 {
+    let t = measure(runs, || {
+        let c = make();
+        for _ in 0..ops {
+            c.increment(1);
+        }
+        std::hint::black_box(&c);
+    });
+    t.median.as_nanos() as f64 / ops as f64
+}
+
+/// Per-op nanoseconds for `ops` always-satisfied `check(level)` calls.
+fn time_check<C: MonotonicCounter>(make: &dyn Fn() -> C, ops: usize, runs: usize) -> f64 {
+    let c = make();
+    c.increment(u64::MAX / 2);
+    let t = measure(runs, || {
+        for i in 0..ops as u64 {
+            c.check(i % 1_000_000);
+        }
+        std::hint::black_box(&c);
+    });
+    t.median.as_nanos() as f64 / ops as f64
+}
+
+/// Runs the waiter-free mixed workload and reports
+/// `(fast_increments, fast_checks, slow_path_entries)` out of `ops` each.
+fn path_stats<C: MonotonicCounter + CounterDiagnostics>(
+    make: &dyn Fn() -> C,
+    ops: usize,
+) -> (u64, u64, u64) {
+    let c = make();
+    for i in 0..ops as u64 {
+        c.increment(1);
+        c.check(i / 2);
+    }
+    let s = c.stats();
+    (s.fast_increments, s.fast_checks, s.slow_path_entries)
+}
+
+struct Row {
+    inc_ns: f64,
+    check_ns: f64,
+    slow_entries: u64,
+}
+
+#[allow(clippy::too_many_arguments)]
+fn bench_impl<C: MonotonicCounter + CounterDiagnostics>(
+    name: &str,
+    make: &dyn Fn() -> C,
+    table: &mut Table,
+    quick: bool,
+    baseline: Option<&Row>,
+) -> Row {
+    let ops = if quick { 100_000 } else { 1_000_000 };
+    let runs = if quick { 3 } else { 5 };
+
+    let inc_ns = time_increment(make, ops, runs);
+    let check_ns = time_check(make, ops, runs);
+    let (fast_inc, fast_chk, slow) = path_stats(make, ops);
+
+    let speedup = |base_ns: f64, ns: f64| format!("{:.1}x", base_ns / ns);
+    table.row(vec![
+        name.to_string(),
+        format!("{inc_ns:.1}ns"),
+        baseline.map_or_else(|| "1.0x".into(), |b| speedup(b.inc_ns, inc_ns)),
+        format!("{check_ns:.1}ns"),
+        baseline.map_or_else(|| "1.0x".into(), |b| speedup(b.check_ns, check_ns)),
+        format!("{fast_inc}/{ops}"),
+        format!("{fast_chk}/{ops}"),
+        slow.to_string(),
+    ]);
+    Row {
+        inc_ns,
+        check_ns,
+        slow_entries: slow,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+
+    let mut table = Table::new(
+        "E8: packed-word fast paths vs mutex-only ablation (waiter-free workload)",
+        &[
+            "impl",
+            "increment",
+            "speedup",
+            "check",
+            "speedup",
+            "fast incs",
+            "fast checks",
+            "slow entries",
+        ],
+    );
+
+    let base = bench_impl::<Counter>(
+        "waitlist mutex-only (ablation)",
+        &Counter::mutex_only,
+        &mut table,
+        quick,
+        None,
+    );
+    let fast = bench_impl::<Counter>(
+        "waitlist fast-path",
+        &Counter::new,
+        &mut table,
+        quick,
+        Some(&base),
+    );
+    bench_impl::<BTreeCounter>("btree", &BTreeCounter::new, &mut table, quick, Some(&base));
+    bench_impl::<ParkingCounter>(
+        "parking_lot",
+        &ParkingCounter::new,
+        &mut table,
+        quick,
+        Some(&base),
+    );
+    bench_impl::<AtomicCounter>(
+        "atomic-fastpath",
+        &AtomicCounter::new,
+        &mut table,
+        quick,
+        Some(&base),
+    );
+    bench_impl::<SpinCounter>("spin", &SpinCounter::new, &mut table, quick, Some(&base));
+    bench_impl::<NaiveCounter>(
+        "naive-broadcast",
+        &NaiveCounter::new,
+        &mut table,
+        quick,
+        Some(&base),
+    );
+    bench_impl::<MonitorCounter>(
+        "monitor",
+        &MonitorCounter::new,
+        &mut table,
+        quick,
+        Some(&base),
+    );
+    table.emit(&args);
+
+    let inc_speedup = base.inc_ns / fast.inc_ns;
+    let check_speedup = base.check_ns / fast.check_ns;
+    println!(
+        "Shape check: fast-path waitlist vs its own mutex-only ablation: increment \
+         {inc_speedup:.1}x, check {check_speedup:.1}x (claim: >=3x each); slow-path \
+         entries on the waiter-free workload: {} (claim: 0).",
+        fast.slow_entries
+    );
+    if inc_speedup >= 3.0 && check_speedup >= 3.0 && fast.slow_entries == 0 {
+        println!("Shape check PASSED.");
+    } else {
+        println!("Shape check FAILED.");
+        std::process::exit(1);
+    }
+}

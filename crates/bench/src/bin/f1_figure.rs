@@ -15,7 +15,8 @@ fn main() {
     println!("all-pairs shortest-path problem.\n");
     println!("edge =\n{edge}");
 
-    let variants: [(&str, fn() -> mc_algos::SquareMatrix); 4] = [
+    type Variant = (&'static str, fn() -> mc_algos::SquareMatrix);
+    let variants: [Variant; 4] = [
         ("ShortestPaths1 (sequential)", || {
             fw::sequential(&graph::figure1_edge())
         }),

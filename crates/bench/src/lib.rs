@@ -6,8 +6,8 @@
 //! * wall-clock measurement helpers with min/median/mean over repetitions;
 //! * a fixed-width table printer so each `e*_table` binary prints rows in the
 //!   same shape the paper argues about ("who wins, by how much");
-//! * serde-serializable result records, so runs can be archived as JSON via
-//!   `--json`.
+//! * JSON emission (hand-rolled, no serde dependency) so runs can be archived
+//!   via `--json`.
 //!
 //! Each experiment has two entry points: a `cargo bench -p mc-bench --bench
 //! eN_*` Criterion benchmark for careful timing, and a `cargo run --release
@@ -17,11 +17,10 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
-use serde::Serialize;
 use std::time::{Duration, Instant};
 
 /// Wall-clock statistics over repeated runs of a workload.
-#[derive(Debug, Clone, Copy, Serialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct Timing {
     /// Fastest observed run.
     pub min: Duration,
@@ -73,7 +72,7 @@ pub fn fmt_duration(d: Duration) -> String {
 }
 
 /// A simple fixed-width text table, printed by every `e*_table` binary.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Table {
     /// Table title (experiment id and claim).
     pub title: String,
@@ -132,15 +131,56 @@ impl Table {
         out
     }
 
+    /// Serializes the table as a pretty-printed JSON object with `title`,
+    /// `headers`, and `rows` keys.
+    pub fn to_json(&self) -> String {
+        fn quote(s: &str) -> String {
+            let mut out = String::with_capacity(s.len() + 2);
+            out.push('"');
+            for ch in s.chars() {
+                match ch {
+                    '"' => out.push_str("\\\""),
+                    '\\' => out.push_str("\\\\"),
+                    '\n' => out.push_str("\\n"),
+                    '\r' => out.push_str("\\r"),
+                    '\t' => out.push_str("\\t"),
+                    c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                    c => out.push(c),
+                }
+            }
+            out.push('"');
+            out
+        }
+        fn string_array(items: &[String], indent: &str) -> String {
+            if items.is_empty() {
+                return "[]".into();
+            }
+            let cells: Vec<String> = items.iter().map(|s| quote(s)).collect();
+            format!(
+                "[\n{indent}  {}\n{indent}]",
+                cells.join(&format!(",\n{indent}  "))
+            )
+        }
+        let rows = if self.rows.is_empty() {
+            "[]".into()
+        } else {
+            let rendered: Vec<String> = self.rows.iter().map(|r| string_array(r, "    ")).collect();
+            format!("[\n    {}\n  ]", rendered.join(",\n    "))
+        };
+        format!(
+            "{{\n  \"title\": {},\n  \"headers\": {},\n  \"rows\": {}\n}}",
+            quote(&self.title),
+            string_array(&self.headers, "  "),
+            rows
+        )
+    }
+
     /// Prints the table to stdout; with `--json` in `args`, also prints the
     /// JSON record.
     pub fn emit(&self, args: &[String]) {
         println!("{}", self.render());
         if args.iter().any(|a| a == "--json") {
-            println!(
-                "{}",
-                serde_json::to_string_pretty(self).expect("table serializes")
-            );
+            println!("{}", self.to_json());
         }
     }
 }
@@ -189,6 +229,16 @@ mod tests {
     fn mismatched_row_rejected() {
         let mut t = Table::new("T", &["a"]);
         t.row(vec!["1".into(), "2".into()]);
+    }
+
+    #[test]
+    fn json_escapes_and_round_trips_structure() {
+        let mut t = Table::new("quote \"q\" and\nnewline", &["h1", "h2"]);
+        t.row(vec!["a\\b".into(), "c".into()]);
+        let j = t.to_json();
+        assert!(j.contains(r#""title": "quote \"q\" and\nnewline""#));
+        assert!(j.contains(r#""a\\b""#));
+        assert!(j.starts_with('{') && j.trim_end().ends_with('}'));
     }
 
     #[test]

@@ -1,7 +1,10 @@
 //! A counter wrapper that perturbs the schedule around every operation.
 
 use crate::jitter::Chaos;
-use mc_counter::{CheckTimeoutError, CounterOverflowError, MonotonicCounter, StatsSnapshot, Value};
+use mc_counter::{
+    CheckTimeoutError, CounterDiagnostics, CounterOverflowError, MonotonicCounter, Resettable,
+    StatsSnapshot, Value,
+};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -71,11 +74,15 @@ impl<C: MonotonicCounter> MonotonicCounter for ChaosCounter<C> {
         self.inner.advance_to(target);
         self.chaos.point();
     }
+}
 
+impl<C: Resettable> Resettable for ChaosCounter<C> {
     fn reset(&mut self) {
         self.inner.reset();
     }
+}
 
+impl<C: CounterDiagnostics> CounterDiagnostics for ChaosCounter<C> {
     fn debug_value(&self) -> Value {
         self.inner.debug_value()
     }

@@ -1,45 +1,44 @@
-//! [`AtomicCounter`]: an extension beyond the paper — a monotonic counter
-//! with a lock-free fast path for both operations.
+//! [`AtomicCounter`]: the minimal reference implementation of the packed-word
+//! fast path.
 //!
-//! The monotonicity that the paper exploits for determinacy also enables a
-//! cheap implementation trick: once an atomic load of the value satisfies a
-//! level, the level is satisfied forever, so a `check` that observes
-//! `value >= level` may return without ever taking the lock; likewise an
-//! `increment` that observes no waiters never takes the lock. Only the
-//! suspension slow path uses the Section 7 node structure.
+//! This counter is the [`crate::fastpath::FastWord`] protocol with the
+//! smallest possible slow path bolted on — no tracing hooks, no ablation
+//! switch, just a `BTreeMap` of wait nodes behind one mutex. It exists to
+//! validate the shared fast-path module in isolation: any behavioral
+//! difference between this and [`crate::Counter`] (which layers tracing and
+//! the mutex-only ablation mode on the same protocol) is a bug in the layers,
+//! not the protocol.
+//!
+//! Historically this implementation carried its own two-flag SeqCst
+//! store-buffering handshake; the packed single-word protocol subsumed it
+//! (same fast-path cost, weaker orderings, and one fewer word to reason
+//! about). See the `fastpath` module docs for the missed-wakeup argument.
 
 use crate::error::{CheckTimeoutError, CounterOverflowError};
+use crate::fastpath::{FastAdvance, FastIncrement, FastWord, FAST_CAP};
 use crate::node::WaitNode;
 use crate::stats::{Stats, StatsSnapshot};
-use crate::traits::MonotonicCounter;
+use crate::traits::{CounterDiagnostics, MonotonicCounter, Resettable};
 use crate::Value;
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::SeqCst};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
 type WaitMap = BTreeMap<Value, Arc<WaitNode>>;
 
+struct Inner {
+    /// Exact value once the packed hint saturates; see [`crate::fastpath`].
+    wide: Value,
+    waiting: WaitMap,
+}
+
 /// A monotonic counter whose uncontended `check` and `increment` are
-/// lock-free atomic operations.
+/// lock-free atomic operations: the pure fast-path reference.
 ///
-/// Semantically interchangeable with [`crate::Counter`]. The waiter/waker
-/// handshake uses the classic store-buffering pattern, so both sides use
-/// sequentially consistent atomics:
-///
-/// * a would-be waiter (under the lock) **stores** the waiter flag and then
-///   **loads** the value;
-/// * an incrementer **stores** the value (CAS) and then **loads** the flag.
-///
-/// In the sequentially consistent total order at least one side sees the
-/// other: either the waiter observes the new value and never suspends, or the
-/// incrementer observes the flag and takes the lock to sweep — where it must
-/// wait for the waiter (which holds the lock while registering), so the
-/// waiter's node is signalled. A wakeup can therefore never be missed.
+/// Semantically interchangeable with [`crate::Counter`].
 pub struct AtomicCounter {
-    value: AtomicU64,
-    has_waiters: AtomicBool,
-    waiting: Mutex<WaitMap>,
+    fast: FastWord,
+    inner: Mutex<Inner>,
     stats: Stats,
 }
 
@@ -52,26 +51,23 @@ impl Default for AtomicCounter {
 impl AtomicCounter {
     /// Creates a counter with value zero and no waiting threads.
     pub fn new() -> Self {
+        Self::with_value(0)
+    }
+
+    /// Creates a counter starting at `value`.
+    pub fn with_value(value: Value) -> Self {
         AtomicCounter {
-            value: AtomicU64::new(0),
-            has_waiters: AtomicBool::new(false),
-            waiting: Mutex::new(BTreeMap::new()),
+            fast: FastWord::new(value),
+            inner: Mutex::new(Inner {
+                wide: value,
+                waiting: BTreeMap::new(),
+            }),
             stats: Stats::default(),
         }
     }
 
-    /// Checked atomic add via CAS loop; returns the new value.
-    fn add_value(&self, amount: Value) -> Result<Value, CounterOverflowError> {
-        let mut cur = self.value.load(SeqCst);
-        loop {
-            let new = cur
-                .checked_add(amount)
-                .ok_or(CounterOverflowError { value: cur, amount })?;
-            match self.value.compare_exchange_weak(cur, new, SeqCst, SeqCst) {
-                Ok(_) => return Ok(new),
-                Err(actual) => cur = actual,
-            }
-        }
+    fn lock(&self) -> MutexGuard<'_, Inner> {
+        self.inner.lock().expect("counter lock poisoned")
     }
 
     fn remove_satisfied(waiting: &mut WaitMap, value: Value) -> Vec<Arc<WaitNode>> {
@@ -84,27 +80,28 @@ impl AtomicCounter {
         }
     }
 
-    /// Slow path of increment: sweep satisfied nodes and notify them.
-    fn sweep(&self) {
+    /// Slow path of `increment`/`advance_to`: apply the raise under the lock,
+    /// sweep satisfied nodes, and notify them.
+    fn raise(&self, amount: Value) -> Result<(), CounterOverflowError> {
         let satisfied = {
-            let mut waiting = self.waiting.lock().expect("counter lock poisoned");
-            // Re-load under the lock: concurrent increments may have raised
-            // the value further; sweeping for the freshest value is both
-            // correct (monotonic) and does their work early.
-            let value = self.value.load(SeqCst);
-            let satisfied = Self::remove_satisfied(&mut waiting, value);
+            let mut inner = self.lock();
+            self.stats.record_slow_entry();
+            let new_value = self.fast.locked_add(&mut inner.wide, amount)?;
+            self.stats.record_increment();
+            let satisfied = Self::remove_satisfied(&mut inner.waiting, new_value);
             for node in &satisfied {
                 node.signal();
                 self.stats.record_notify();
             }
-            if waiting.is_empty() {
-                self.has_waiters.store(false, SeqCst);
+            if inner.waiting.is_empty() {
+                self.fast.clear_waiters();
             }
             satisfied
         };
         for node in satisfied {
             node.cv.notify_all();
         }
+        Ok(())
     }
 }
 
@@ -115,43 +112,69 @@ impl MonotonicCounter for AtomicCounter {
     }
 
     fn try_increment(&self, amount: Value) -> Result<(), CounterOverflowError> {
-        self.add_value(amount)?;
-        self.stats.record_increment();
-        if self.has_waiters.load(SeqCst) {
-            self.sweep();
+        match self.fast.try_increment(amount) {
+            FastIncrement::Done => {
+                self.stats.record_fast_increment();
+                Ok(())
+            }
+            FastIncrement::Overflow(e) => Err(e),
+            FastIncrement::Contended => self.raise(amount),
         }
-        Ok(())
     }
 
     fn advance_to(&self, target: Value) {
-        let prev = self.value.fetch_max(target, SeqCst);
-        if prev >= target {
-            return;
+        match self.fast.try_advance(target) {
+            FastAdvance::Raised => {
+                self.stats.record_fast_increment();
+                return;
+            }
+            FastAdvance::NoOp => return,
+            FastAdvance::Contended => {}
         }
-        self.stats.record_increment();
-        if self.has_waiters.load(SeqCst) {
-            self.sweep();
+        let satisfied = {
+            let mut inner = self.lock();
+            self.stats.record_slow_entry();
+            let Some(new_value) = self.fast.locked_advance(&mut inner.wide, target) else {
+                return;
+            };
+            self.stats.record_increment();
+            let satisfied = Self::remove_satisfied(&mut inner.waiting, new_value);
+            for node in &satisfied {
+                node.signal();
+                self.stats.record_notify();
+            }
+            if inner.waiting.is_empty() {
+                self.fast.clear_waiters();
+            }
+            satisfied
+        };
+        for node in satisfied {
+            node.cv.notify_all();
         }
     }
 
     fn check(&self, level: Value) {
         // Lock-free fast path: monotonicity makes this sound — a satisfied
         // level can never become unsatisfied.
-        if self.value.load(SeqCst) >= level {
-            self.stats.record_check_immediate();
+        if self.fast.is_satisfied(level) {
+            self.stats.record_fast_check();
             return;
         }
-        let mut waiting = self.waiting.lock().expect("counter lock poisoned");
-        self.has_waiters.store(true, SeqCst);
-        if self.value.load(SeqCst) >= level {
-            if waiting.is_empty() {
-                self.has_waiters.store(false, SeqCst);
+        let mut inner = self.lock();
+        self.stats.record_slow_entry();
+        // Publish intent to wait, then re-read the value from the returned
+        // word: the single-word RMW handshake with fast increments (see the
+        // fastpath module docs) guarantees no missed wakeup.
+        let value = self.fast.register_waiter(inner.wide);
+        if value >= level {
+            if inner.waiting.is_empty() {
+                self.fast.clear_waiters();
             }
             self.stats.record_check_immediate();
             return;
         }
         let mut inserted = false;
-        let node = Arc::clone(waiting.entry(level).or_insert_with(|| {
+        let node = Arc::clone(inner.waiting.entry(level).or_insert_with(|| {
             inserted = true;
             Arc::new(WaitNode::new(level))
         }));
@@ -161,9 +184,9 @@ impl MonotonicCounter for AtomicCounter {
         node.add_waiter();
         self.stats.record_check_suspended();
         while !node.is_set() {
-            waiting = node
+            inner = node
                 .cv
-                .wait(waiting)
+                .wait(inner)
                 .expect("counter lock poisoned while waiting");
         }
         self.stats.record_waiter_resumed();
@@ -173,22 +196,23 @@ impl MonotonicCounter for AtomicCounter {
     }
 
     fn check_timeout(&self, level: Value, timeout: Duration) -> Result<(), CheckTimeoutError> {
-        if self.value.load(SeqCst) >= level {
-            self.stats.record_check_immediate();
+        if self.fast.is_satisfied(level) {
+            self.stats.record_fast_check();
             return Ok(());
         }
         let deadline = Instant::now() + timeout;
-        let mut waiting = self.waiting.lock().expect("counter lock poisoned");
-        self.has_waiters.store(true, SeqCst);
-        if self.value.load(SeqCst) >= level {
-            if waiting.is_empty() {
-                self.has_waiters.store(false, SeqCst);
+        let mut inner = self.lock();
+        self.stats.record_slow_entry();
+        let value = self.fast.register_waiter(inner.wide);
+        if value >= level {
+            if inner.waiting.is_empty() {
+                self.fast.clear_waiters();
             }
             self.stats.record_check_immediate();
             return Ok(());
         }
         let mut inserted = false;
-        let node = Arc::clone(waiting.entry(level).or_insert_with(|| {
+        let node = Arc::clone(inner.waiting.entry(level).or_insert_with(|| {
             inserted = true;
             Arc::new(WaitNode::new(level))
         }));
@@ -209,35 +233,40 @@ impl MonotonicCounter for AtomicCounter {
             if now >= deadline {
                 self.stats.record_waiter_resumed();
                 if node.remove_waiter() {
-                    waiting.remove(&level);
+                    inner.waiting.remove(&level);
                     self.stats.record_node_freed();
-                    if waiting.is_empty() {
-                        self.has_waiters.store(false, SeqCst);
+                    if inner.waiting.is_empty() {
+                        self.fast.clear_waiters();
                     }
                 }
                 return Err(CheckTimeoutError { level });
             }
             let (guard, _) = node
                 .cv
-                .wait_timeout(waiting, deadline - now)
+                .wait_timeout(inner, deadline - now)
                 .expect("counter lock poisoned while waiting");
-            waiting = guard;
+            inner = guard;
         }
     }
+}
 
+impl Resettable for AtomicCounter {
     fn reset(&mut self) {
-        debug_assert!(
-            self.waiting
-                .get_mut()
-                .expect("counter lock poisoned")
-                .is_empty(),
-            "reset called while threads wait"
-        );
-        *self.value.get_mut() = 0;
+        let inner = self.inner.get_mut().expect("counter lock poisoned");
+        debug_assert!(inner.waiting.is_empty(), "reset called while threads wait");
+        inner.wide = 0;
+        self.fast.reset(0);
     }
+}
 
+impl CounterDiagnostics for AtomicCounter {
     fn debug_value(&self) -> Value {
-        self.value.load(SeqCst)
+        let hint = self.fast.value_hint();
+        if hint < FAST_CAP {
+            hint
+        } else {
+            self.lock().wide
+        }
     }
 
     fn stats(&self) -> StatsSnapshot {
@@ -262,7 +291,9 @@ mod tests {
         c.check(0);
         let s = c.stats();
         assert_eq!(s.immediate_checks, 2);
+        assert_eq!(s.fast_checks, 2);
         assert_eq!(s.suspensions, 0);
+        assert_eq!(s.slow_path_entries, 0);
     }
 
     #[test]
@@ -276,16 +307,18 @@ mod tests {
         c.increment(9);
         h.join().unwrap();
         assert_eq!(c.stats().nodes_freed, 1);
-        // After the sweep the flag must be clear again: the next increment
-        // should not need the lock (observable only via correctness here).
+        // After the sweep the waiters bit must be clear again: the next
+        // increment goes back to the single-CAS fast path.
+        let fast_before = c.stats().fast_increments;
         c.increment(1);
+        assert_eq!(c.stats().fast_increments, fast_before + 1);
         assert_eq!(c.debug_value(), 10);
     }
 
     #[test]
     fn hammer_concurrent_increments_and_checks() {
         // Race increments against checks at all levels; every check must
-        // terminate. Run several rounds to exercise the flag protocol.
+        // terminate. Run several rounds to exercise the waiters-bit protocol.
         for _ in 0..20 {
             let c = Arc::new(AtomicCounter::new());
             let mut handles = Vec::new();
@@ -322,8 +355,20 @@ mod tests {
         let c = AtomicCounter::new();
         assert!(c.check_timeout(3, Duration::from_millis(20)).is_err());
         assert_eq!(c.stats().live_nodes, 0);
-        // Counter still fully functional.
+        // Counter still fully functional and back on the fast path.
         c.increment(3);
         c.check(3);
+        assert_eq!(c.stats().fast_increments, 1);
+    }
+
+    #[test]
+    fn exact_values_above_the_hint_cap() {
+        let c = AtomicCounter::with_value(FAST_CAP);
+        assert_eq!(c.debug_value(), FAST_CAP);
+        c.increment(1);
+        assert_eq!(c.debug_value(), FAST_CAP + 1);
+        c.check(FAST_CAP + 1);
+        c.advance_to(u64::MAX);
+        assert_eq!(c.debug_value(), u64::MAX);
     }
 }

@@ -1,20 +1,23 @@
 //! [`BTreeCounter`]: the Section 7 algorithm with the ordered waiting list
 //! stored in a `BTreeMap` instead of the paper's linked list.
 //!
-//! Identical semantics to [`crate::Counter`]; level lookup is O(log L) rather
-//! than O(L). Experiment E7 ablates this choice.
+//! Identical semantics to [`crate::Counter`], including the packed-word fast
+//! path; level lookup on the slow path is O(log L) rather than O(L).
+//! Experiment E7 ablates this choice.
 
 use crate::error::{CheckTimeoutError, CounterOverflowError};
+use crate::fastpath::{FastAdvance, FastIncrement, FastWord, FAST_CAP};
 use crate::node::WaitNode;
 use crate::stats::{Stats, StatsSnapshot};
-use crate::traits::MonotonicCounter;
+use crate::traits::{CounterDiagnostics, MonotonicCounter, Resettable};
 use crate::Value;
 use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
 struct Inner {
-    value: Value,
+    /// Exact value once the packed hint saturates; see [`crate::fastpath`].
+    wide: Value,
     waiting: BTreeMap<Value, Arc<WaitNode>>,
 }
 
@@ -23,6 +26,7 @@ struct Inner {
 /// Semantically interchangeable with [`crate::Counter`]; see the crate docs
 /// for the implementation comparison table.
 pub struct BTreeCounter {
+    fast: FastWord,
     inner: Mutex<Inner>,
     stats: Stats,
 }
@@ -36,9 +40,15 @@ impl Default for BTreeCounter {
 impl BTreeCounter {
     /// Creates a counter with value zero and no waiting threads.
     pub fn new() -> Self {
+        Self::with_value(0)
+    }
+
+    /// Creates a counter starting at `value`.
+    pub fn with_value(value: Value) -> Self {
         BTreeCounter {
+            fast: FastWord::new(value),
             inner: Mutex::new(Inner {
-                value: 0,
+                wide: value,
                 waiting: BTreeMap::new(),
             }),
             stats: Stats::default(),
@@ -66,68 +76,23 @@ impl BTreeCounter {
 
     fn raise(&self, amount: Value) -> Result<Vec<Arc<WaitNode>>, CounterOverflowError> {
         let mut inner = self.lock();
-        let new_value = inner
-            .value
-            .checked_add(amount)
-            .ok_or(CounterOverflowError {
-                value: inner.value,
-                amount,
-            })?;
-        inner.value = new_value;
+        self.stats.record_slow_entry();
+        let new_value = self.fast.locked_add(&mut inner.wide, amount)?;
         self.stats.record_increment();
         let satisfied = Self::remove_satisfied(&mut inner.waiting, new_value);
         for node in &satisfied {
             node.signal();
             self.stats.record_notify();
         }
+        if inner.waiting.is_empty() {
+            self.fast.clear_waiters();
+        }
         Ok(satisfied)
     }
-}
 
-impl MonotonicCounter for BTreeCounter {
-    fn increment(&self, amount: Value) {
-        let satisfied = self
-            .raise(amount)
-            .unwrap_or_else(|e| panic!("monotonic counter overflow: {e}"));
-        for node in satisfied {
-            node.cv.notify_all();
-        }
-    }
-
-    fn try_increment(&self, amount: Value) -> Result<(), CounterOverflowError> {
-        let satisfied = self.raise(amount)?;
-        for node in satisfied {
-            node.cv.notify_all();
-        }
-        Ok(())
-    }
-
-    fn advance_to(&self, target: Value) {
-        let satisfied = {
-            let mut inner = self.lock();
-            if target <= inner.value {
-                return;
-            }
-            inner.value = target;
-            self.stats.record_increment();
-            let satisfied = Self::remove_satisfied(&mut inner.waiting, target);
-            for node in &satisfied {
-                node.signal();
-                self.stats.record_notify();
-            }
-            satisfied
-        };
-        for node in satisfied {
-            node.cv.notify_all();
-        }
-    }
-
-    fn check(&self, level: Value) {
-        let mut inner = self.lock();
-        if inner.value >= level {
-            self.stats.record_check_immediate();
-            return;
-        }
+    /// Shared tail of `check`/`check_timeout`: find-or-insert the node for
+    /// `level` under the already-held lock.
+    fn enqueue(&self, inner: &mut Inner, level: Value) -> Arc<WaitNode> {
         let mut inserted = false;
         let node = Arc::clone(inner.waiting.entry(level).or_insert_with(|| {
             inserted = true;
@@ -138,6 +103,91 @@ impl MonotonicCounter for BTreeCounter {
         }
         node.add_waiter();
         self.stats.record_check_suspended();
+        node
+    }
+}
+
+impl MonotonicCounter for BTreeCounter {
+    fn increment(&self, amount: Value) {
+        match self.fast.try_increment(amount) {
+            FastIncrement::Done => {
+                self.stats.record_fast_increment();
+                return;
+            }
+            FastIncrement::Overflow(e) => panic!("monotonic counter overflow: {e}"),
+            FastIncrement::Contended => {}
+        }
+        let satisfied = self
+            .raise(amount)
+            .unwrap_or_else(|e| panic!("monotonic counter overflow: {e}"));
+        for node in satisfied {
+            node.cv.notify_all();
+        }
+    }
+
+    fn try_increment(&self, amount: Value) -> Result<(), CounterOverflowError> {
+        match self.fast.try_increment(amount) {
+            FastIncrement::Done => {
+                self.stats.record_fast_increment();
+                return Ok(());
+            }
+            FastIncrement::Overflow(e) => return Err(e),
+            FastIncrement::Contended => {}
+        }
+        let satisfied = self.raise(amount)?;
+        for node in satisfied {
+            node.cv.notify_all();
+        }
+        Ok(())
+    }
+
+    fn advance_to(&self, target: Value) {
+        match self.fast.try_advance(target) {
+            FastAdvance::Raised => {
+                self.stats.record_fast_increment();
+                return;
+            }
+            FastAdvance::NoOp => return,
+            FastAdvance::Contended => {}
+        }
+        let satisfied = {
+            let mut inner = self.lock();
+            self.stats.record_slow_entry();
+            let Some(new_value) = self.fast.locked_advance(&mut inner.wide, target) else {
+                return;
+            };
+            self.stats.record_increment();
+            let satisfied = Self::remove_satisfied(&mut inner.waiting, new_value);
+            for node in &satisfied {
+                node.signal();
+                self.stats.record_notify();
+            }
+            if inner.waiting.is_empty() {
+                self.fast.clear_waiters();
+            }
+            satisfied
+        };
+        for node in satisfied {
+            node.cv.notify_all();
+        }
+    }
+
+    fn check(&self, level: Value) {
+        if self.fast.is_satisfied(level) {
+            self.stats.record_fast_check();
+            return;
+        }
+        let mut inner = self.lock();
+        self.stats.record_slow_entry();
+        let value = self.fast.register_waiter(inner.wide);
+        if value >= level {
+            if inner.waiting.is_empty() {
+                self.fast.clear_waiters();
+            }
+            self.stats.record_check_immediate();
+            return;
+        }
+        let node = self.enqueue(&mut inner, level);
         while !node.is_set() {
             inner = node
                 .cv
@@ -151,22 +201,22 @@ impl MonotonicCounter for BTreeCounter {
     }
 
     fn check_timeout(&self, level: Value, timeout: Duration) -> Result<(), CheckTimeoutError> {
+        if self.fast.is_satisfied(level) {
+            self.stats.record_fast_check();
+            return Ok(());
+        }
         let deadline = Instant::now() + timeout;
         let mut inner = self.lock();
-        if inner.value >= level {
+        self.stats.record_slow_entry();
+        let value = self.fast.register_waiter(inner.wide);
+        if value >= level {
+            if inner.waiting.is_empty() {
+                self.fast.clear_waiters();
+            }
             self.stats.record_check_immediate();
             return Ok(());
         }
-        let mut inserted = false;
-        let node = Arc::clone(inner.waiting.entry(level).or_insert_with(|| {
-            inserted = true;
-            Arc::new(WaitNode::new(level))
-        }));
-        if inserted {
-            self.stats.record_node_created();
-        }
-        node.add_waiter();
-        self.stats.record_check_suspended();
+        let node = self.enqueue(&mut inner, level);
         loop {
             if node.is_set() {
                 self.stats.record_waiter_resumed();
@@ -181,6 +231,9 @@ impl MonotonicCounter for BTreeCounter {
                 if node.remove_waiter() {
                     inner.waiting.remove(&level);
                     self.stats.record_node_freed();
+                    if inner.waiting.is_empty() {
+                        self.fast.clear_waiters();
+                    }
                 }
                 return Err(CheckTimeoutError { level });
             }
@@ -191,15 +244,25 @@ impl MonotonicCounter for BTreeCounter {
             inner = guard;
         }
     }
+}
 
+impl Resettable for BTreeCounter {
     fn reset(&mut self) {
         let inner = self.inner.get_mut().expect("counter lock poisoned");
         debug_assert!(inner.waiting.is_empty(), "reset called while threads wait");
-        inner.value = 0;
+        inner.wide = 0;
+        self.fast.reset(0);
     }
+}
 
+impl CounterDiagnostics for BTreeCounter {
     fn debug_value(&self) -> Value {
-        self.lock().value
+        let hint = self.fast.value_hint();
+        if hint < FAST_CAP {
+            hint
+        } else {
+            self.lock().wide
+        }
     }
 
     fn stats(&self) -> StatsSnapshot {
@@ -256,6 +319,10 @@ mod tests {
         let c = BTreeCounter::new();
         assert!(c.check_timeout(9, Duration::from_millis(30)).is_err());
         assert_eq!(c.stats().live_nodes, 0);
+        // The abandoned waiter must also clear the waiters bit so increments
+        // return to the fast path.
+        c.increment(1);
+        assert_eq!(c.stats().fast_increments, 1);
     }
 
     #[test]
@@ -274,5 +341,18 @@ mod tests {
             h.join().unwrap();
         }
         assert_eq!(c.stats().nodes_created, 3);
+    }
+
+    #[test]
+    fn waiter_free_workload_stays_on_fast_path() {
+        let c = BTreeCounter::with_value(5);
+        c.check(3);
+        c.increment(4);
+        c.advance_to(100);
+        let s = c.stats();
+        assert_eq!(s.slow_path_entries, 0);
+        assert_eq!(s.fast_checks, 1);
+        assert_eq!(s.fast_increments, 2);
+        assert_eq!(c.debug_value(), 100);
     }
 }

@@ -1,22 +1,31 @@
-//! [`Counter`]: the paper's Section 7 implementation, ported literally.
+//! [`Counter`]: the paper's Section 7 implementation, with the packed-word
+//! fast path layered on top.
 //!
-//! One mutex protects (value, ordered waiting list); each distinct waited
-//! level owns one node with a condition variable; `increment` detaches the
-//! satisfied prefix of the list, signals it, and broadcasts; woken threads
-//! drain their node and the last one releases it.
+//! One mutex protects (wide value, ordered waiting list); each distinct
+//! waited level owns one node with a condition variable; `increment` detaches
+//! the satisfied prefix of the list, signals it, and broadcasts; woken
+//! threads drain their node and the last one releases it. The two-tier fast
+//! path (see [`crate::fastpath`]) lets an already-satisfied `check` return
+//! after one atomic load and a waiter-free `increment` complete with one CAS,
+//! so the mutex is only ever taken when a thread actually suspends or must be
+//! woken.
 
 use crate::error::{CheckTimeoutError, CounterOverflowError};
+use crate::fastpath::{FastAdvance, FastIncrement, FastWord, FAST_CAP};
 use crate::list::SortedList;
 use crate::node::WaitNode;
 use crate::stats::{Stats, StatsSnapshot};
 use crate::trace::{snapshot_of, TraceLog};
-use crate::traits::MonotonicCounter;
+use crate::traits::{CounterDiagnostics, MonotonicCounter, Resettable};
 use crate::Value;
 use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
 pub(crate) struct Inner {
-    pub(crate) value: Value,
+    /// The exact value once the packed hint has saturated at
+    /// [`FAST_CAP`]; stale (and unused) below that. See the `fastpath`
+    /// module docs.
+    pub(crate) wide: Value,
     /// Nodes for levels still unsatisfied. Never contains a level <= value.
     pub(crate) waiting: SortedList,
     /// Nodes whose level has been satisfied but whose waiters have not all
@@ -26,19 +35,22 @@ pub(crate) struct Inner {
     pub(crate) draining: Vec<Arc<WaitNode>>,
 }
 
-/// The reference monotonic counter: one lock plus a sorted singly-linked list
-/// of condition-variable nodes, exactly the structure of the paper's
-/// Section 7 and Figure 2.
+/// The reference monotonic counter: a packed-word fast path over one lock
+/// plus a sorted singly-linked list of condition-variable nodes, the
+/// structure of the paper's Section 7 and Figure 2.
 ///
-/// * `check` with a satisfied level returns immediately.
+/// * `check` with a satisfied level returns after a single atomic load.
+/// * `increment` with no registered waiters is a single CAS.
 /// * `check` with an unsatisfied level finds-or-inserts the node for that
 ///   level and suspends on its condition variable; all threads waiting on the
 ///   same level share one node.
-/// * `increment` bumps the value and removes every node whose level the new
-///   value satisfies from the list, sets its signal flag, and broadcasts.
+/// * `increment` while waiters exist takes the lock, bumps the value and
+///   removes every node whose level the new value satisfies from the list,
+///   sets its signal flag, and broadcasts.
 ///
-/// Storage and operation time are proportional to the number of **distinct
-/// levels currently waited on**, not to the number of waiting threads.
+/// Storage and operation time on the slow path are proportional to the number
+/// of **distinct levels currently waited on**, not to the number of waiting
+/// threads; the fast paths cost no storage at all.
 ///
 /// # Example
 ///
@@ -49,6 +61,11 @@ pub(crate) struct Inner {
 /// c.check(5); // already satisfied: returns immediately
 /// ```
 pub struct Counter {
+    fast: FastWord,
+    /// `false` disables the lock-free tier so every operation takes the
+    /// mutex — the ablation baseline for experiment E8 and the mode used
+    /// while tracing (every transition must be recorded under the lock).
+    fast_enabled: bool,
     inner: Mutex<Inner>,
     stats: Stats,
     /// When present (via [`crate::TracingCounter`]), a structure snapshot is
@@ -66,7 +83,7 @@ impl std::fmt::Debug for Counter {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let inner = self.lock();
         f.debug_struct("Counter")
-            .field("value", &inner.value)
+            .field("value", &self.fast.locked_value(inner.wide))
             .field("waiting_levels", &inner.waiting.levels())
             .field("draining", &inner.draining.len())
             .finish()
@@ -76,9 +93,17 @@ impl std::fmt::Debug for Counter {
 impl Counter {
     /// Creates a counter with value zero and no waiting threads.
     pub fn new() -> Self {
+        Self::with_value(0)
+    }
+
+    /// Creates a counter starting at `value` (phase-reuse and resume
+    /// scenarios; equivalent to `new()` followed by `advance_to(value)`).
+    pub fn with_value(value: Value) -> Self {
         Counter {
+            fast: FastWord::new(value),
+            fast_enabled: true,
             inner: Mutex::new(Inner {
-                value: 0,
+                wide: value,
                 waiting: SortedList::new(),
                 draining: Vec::new(),
             }),
@@ -87,13 +112,26 @@ impl Counter {
         }
     }
 
+    /// Creates a counter with the fast path disabled: every operation takes
+    /// the mutex, exactly the seed Section 7 implementation. This is the
+    /// ablation baseline the E8 experiment compares the fast path against.
+    pub fn mutex_only() -> Self {
+        Counter {
+            fast_enabled: false,
+            ..Self::new()
+        }
+    }
+
     /// Creates a counter that records structure snapshots into the returned
-    /// log (used by [`crate::TracingCounter`]).
-    pub(crate) fn new_traced() -> (Self, Arc<TraceLog>) {
+    /// log (used by [`crate::TracingCounter`]). Tracing needs every value
+    /// transition to appear in the log, so the fast path (which bypasses the
+    /// lock, and therefore the log) is disabled.
+    pub(crate) fn new_traced(value: Value) -> (Self, Arc<TraceLog>) {
         let log = Arc::new(TraceLog::default());
         let counter = Counter {
             trace: Some(Arc::clone(&log)),
-            ..Self::new()
+            fast_enabled: false,
+            ..Self::with_value(value)
         };
         counter.record(&counter.lock());
         (counter, log)
@@ -102,7 +140,7 @@ impl Counter {
     /// Appends the current structure to the trace log, if tracing.
     fn record(&self, inner: &Inner) {
         if let Some(log) = &self.trace {
-            log.push(snapshot_of(inner));
+            log.push(snapshot_of(inner, self.fast.locked_value(inner.wide)));
         }
     }
 
@@ -113,24 +151,21 @@ impl Counter {
         self.inner.lock().expect("counter lock poisoned")
     }
 
-    /// Core of `increment`/`try_increment`: returns the satisfied nodes to
-    /// notify after the lock is released.
+    /// Core of the slow-path `increment`/`try_increment`: returns the
+    /// satisfied nodes to notify after the lock is released.
     fn raise(&self, amount: Value) -> Result<Vec<Arc<WaitNode>>, CounterOverflowError> {
         let mut inner = self.lock();
-        let new_value = inner
-            .value
-            .checked_add(amount)
-            .ok_or(CounterOverflowError {
-                value: inner.value,
-                amount,
-            })?;
-        inner.value = new_value;
+        self.stats.record_slow_entry();
+        let new_value = self.fast.locked_add(&mut inner.wide, amount)?;
         self.stats.record_increment();
         let satisfied = inner.waiting.remove_satisfied(new_value);
         for node in &satisfied {
             node.signal();
             inner.draining.push(Arc::clone(node));
             self.stats.record_notify();
+        }
+        if inner.waiting.is_empty() {
+            self.fast.clear_waiters();
         }
         self.record(&inner);
         Ok(satisfied)
@@ -159,13 +194,32 @@ impl Counter {
         inner.waiting.len() + inner.draining.len()
     }
 
-    pub(crate) fn with_inner<R>(&self, f: impl FnOnce(&Inner) -> R) -> R {
-        f(&self.lock())
+    /// Whether the packed word currently advertises waiters
+    /// (diagnostics/tests for the fast-path protocol).
+    #[cfg(test)]
+    pub(crate) fn advertises_waiters(&self) -> bool {
+        self.fast.has_waiters()
+    }
+
+    pub(crate) fn with_inner<R>(&self, f: impl FnOnce(&Inner, Value) -> R) -> R {
+        let inner = self.lock();
+        let value = self.fast.locked_value(inner.wide);
+        f(&inner, value)
     }
 }
 
 impl MonotonicCounter for Counter {
     fn increment(&self, amount: Value) {
+        if self.fast_enabled {
+            match self.fast.try_increment(amount) {
+                FastIncrement::Done => {
+                    self.stats.record_fast_increment();
+                    return;
+                }
+                FastIncrement::Overflow(e) => panic!("monotonic counter overflow: {e}"),
+                FastIncrement::Contended => {}
+            }
+        }
         let satisfied = self
             .raise(amount)
             .unwrap_or_else(|e| panic!("monotonic counter overflow: {e}"));
@@ -178,6 +232,16 @@ impl MonotonicCounter for Counter {
     }
 
     fn try_increment(&self, amount: Value) -> Result<(), CounterOverflowError> {
+        if self.fast_enabled {
+            match self.fast.try_increment(amount) {
+                FastIncrement::Done => {
+                    self.stats.record_fast_increment();
+                    return Ok(());
+                }
+                FastIncrement::Overflow(e) => return Err(e),
+                FastIncrement::Contended => {}
+            }
+        }
         let satisfied = self.raise(amount)?;
         for node in satisfied {
             node.cv.notify_all();
@@ -186,18 +250,31 @@ impl MonotonicCounter for Counter {
     }
 
     fn advance_to(&self, target: Value) {
+        if self.fast_enabled {
+            match self.fast.try_advance(target) {
+                FastAdvance::Raised => {
+                    self.stats.record_fast_increment();
+                    return;
+                }
+                FastAdvance::NoOp => return,
+                FastAdvance::Contended => {}
+            }
+        }
         let satisfied = {
             let mut inner = self.lock();
-            if target <= inner.value {
+            self.stats.record_slow_entry();
+            let Some(new_value) = self.fast.locked_advance(&mut inner.wide, target) else {
                 return;
-            }
-            inner.value = target;
+            };
             self.stats.record_increment();
-            let satisfied = inner.waiting.remove_satisfied(target);
+            let satisfied = inner.waiting.remove_satisfied(new_value);
             for node in &satisfied {
                 node.signal();
                 inner.draining.push(Arc::clone(node));
                 self.stats.record_notify();
+            }
+            if inner.waiting.is_empty() {
+                self.fast.clear_waiters();
             }
             self.record(&inner);
             satisfied
@@ -208,8 +285,21 @@ impl MonotonicCounter for Counter {
     }
 
     fn check(&self, level: Value) {
+        if self.fast_enabled && self.fast.is_satisfied(level) {
+            self.stats.record_fast_check();
+            return;
+        }
         let mut inner = self.lock();
-        if inner.value >= level {
+        self.stats.record_slow_entry();
+        // Announce intent to wait *before* re-reading the value: the
+        // register RMW and fast-path increment CASes hit the same word, so
+        // whichever is ordered later sees the other (no missed wakeup; see
+        // the fastpath module docs).
+        let value = self.fast.register_waiter(inner.wide);
+        if value >= level {
+            if inner.waiting.is_empty() {
+                self.fast.clear_waiters();
+            }
             self.stats.record_check_immediate();
             return;
         }
@@ -230,9 +320,18 @@ impl MonotonicCounter for Counter {
     }
 
     fn check_timeout(&self, level: Value, timeout: Duration) -> Result<(), CheckTimeoutError> {
+        if self.fast_enabled && self.fast.is_satisfied(level) {
+            self.stats.record_fast_check();
+            return Ok(());
+        }
         let deadline = Instant::now() + timeout;
         let mut inner = self.lock();
-        if inner.value >= level {
+        self.stats.record_slow_entry();
+        let value = self.fast.register_waiter(inner.wide);
+        if value >= level {
+            if inner.waiting.is_empty() {
+                self.fast.clear_waiters();
+            }
             self.stats.record_check_immediate();
             return Ok(());
         }
@@ -258,6 +357,9 @@ impl MonotonicCounter for Counter {
                 if node.remove_waiter() {
                     inner.waiting.remove_level(level);
                     self.stats.record_node_freed();
+                    if inner.waiting.is_empty() {
+                        self.fast.clear_waiters();
+                    }
                 }
                 self.record(&inner);
                 return Err(CheckTimeoutError { level });
@@ -269,18 +371,30 @@ impl MonotonicCounter for Counter {
             inner = guard;
         }
     }
+}
 
+impl Resettable for Counter {
     fn reset(&mut self) {
         let inner = self.inner.get_mut().expect("counter lock poisoned");
         debug_assert!(
             inner.waiting.is_empty() && inner.draining.is_empty(),
             "reset called while threads wait on the counter"
         );
-        inner.value = 0;
+        inner.wide = 0;
+        self.fast.reset(0);
     }
+}
 
+impl CounterDiagnostics for Counter {
     fn debug_value(&self) -> Value {
-        self.lock().value
+        // Below FAST_CAP the hint is exact, so no lock is needed; above it
+        // the exact value lives in `wide` under the lock.
+        let hint = self.fast.value_hint();
+        if hint < FAST_CAP {
+            hint
+        } else {
+            self.lock().wide
+        }
     }
 
     fn stats(&self) -> StatsSnapshot {
@@ -288,7 +402,11 @@ impl MonotonicCounter for Counter {
     }
 
     fn impl_name(&self) -> &'static str {
-        "waitlist"
+        if self.fast_enabled {
+            "waitlist"
+        } else {
+            "waitlist-mutex-only"
+        }
     }
 }
 
@@ -306,6 +424,15 @@ mod tests {
         let c = Counter::new();
         assert_eq!(c.debug_value(), 0);
         assert_eq!(c.live_nodes(), 0);
+    }
+
+    #[test]
+    fn with_value_starts_nonzero() {
+        let c = Counter::with_value(17);
+        assert_eq!(c.debug_value(), 17);
+        c.check(17); // immediately satisfied
+        c.increment(3);
+        assert_eq!(c.debug_value(), 20);
     }
 
     #[test]
@@ -335,6 +462,35 @@ mod tests {
         assert_eq!(s.immediate_checks, 2);
         assert_eq!(s.suspensions, 0);
         assert_eq!(s.nodes_created, 0);
+    }
+
+    #[test]
+    fn waiter_free_workload_never_takes_the_lock() {
+        let c = Counter::new();
+        for i in 0..100u64 {
+            c.increment(1);
+            c.check(i / 2);
+        }
+        c.advance_to(500);
+        let s = c.stats();
+        assert_eq!(s.slow_path_entries, 0, "no waiter ever existed");
+        assert_eq!(s.fast_increments, 101);
+        assert_eq!(s.fast_checks, 100);
+        assert_eq!(s.increments, 101);
+        assert_eq!(s.checks, 100);
+    }
+
+    #[test]
+    fn mutex_only_counter_reports_slow_entries() {
+        let c = Counter::mutex_only();
+        c.increment(2);
+        c.check(1);
+        let s = c.stats();
+        assert_eq!(s.fast_increments, 0);
+        assert_eq!(s.fast_checks, 0);
+        assert_eq!(s.slow_path_entries, 2);
+        assert_eq!(c.debug_value(), 2);
+        assert_eq!(c.impl_name(), "waitlist-mutex-only");
     }
 
     #[test]
@@ -423,6 +579,37 @@ mod tests {
     }
 
     #[test]
+    fn waiters_bit_clears_after_sweep() {
+        let c = Arc::new(Counter::new());
+        let c2 = Arc::clone(&c);
+        let h = thread::spawn(move || c2.check(5));
+        while c.live_nodes() == 0 {
+            thread::yield_now();
+        }
+        assert!(c.advertises_waiters(), "registered waiter must set the bit");
+        c.increment(5);
+        h.join().unwrap();
+        assert!(
+            !c.advertises_waiters(),
+            "bit must clear when the wait list empties"
+        );
+        // And increments take the fast path again.
+        let fast_before = c.stats().fast_increments;
+        c.increment(1);
+        assert_eq!(c.stats().fast_increments, fast_before + 1);
+    }
+
+    #[test]
+    fn waiters_bit_clears_when_last_timed_waiter_abandons() {
+        let c = Counter::new();
+        assert!(c.check_timeout(9, SHORT).is_err());
+        assert!(!c.advertises_waiters(), "abandoned waiter left the bit set");
+        let fast_before = c.stats().fast_increments;
+        c.increment(1);
+        assert_eq!(c.stats().fast_increments, fast_before + 1);
+    }
+
+    #[test]
     fn check_timeout_ok_when_already_satisfied() {
         let c = Counter::new();
         c.increment(1);
@@ -465,6 +652,10 @@ mod tests {
             1,
             "node must survive while a waiter remains"
         );
+        assert!(
+            c.advertises_waiters(),
+            "bit must survive while a waiter remains"
+        );
         c.increment(4);
         patient.join().unwrap();
         assert_eq!(c.live_nodes(), 0);
@@ -501,6 +692,23 @@ mod tests {
         }
         c.increment(u64::MAX);
         h.join().unwrap();
+    }
+
+    #[test]
+    fn values_beyond_the_hint_cap_stay_exact() {
+        // Crossing FAST_CAP moves the exact value under the lock; arithmetic
+        // and checks must remain exact u64 semantics throughout.
+        let c = Counter::new();
+        c.increment(FAST_CAP - 1);
+        assert_eq!(c.debug_value(), FAST_CAP - 1);
+        c.increment(2); // crosses the cap
+        assert_eq!(c.debug_value(), FAST_CAP + 1);
+        c.increment(1);
+        assert_eq!(c.debug_value(), FAST_CAP + 2);
+        c.check(FAST_CAP + 2);
+        c.advance_to(u64::MAX);
+        assert_eq!(c.debug_value(), u64::MAX);
+        assert!(c.try_increment(1).is_err());
     }
 
     #[test]

@@ -1,0 +1,435 @@
+//! The packed-word fast path shared by the lock-based counter
+//! implementations.
+//!
+//! One `AtomicU64` packs the counter state the hot paths need:
+//!
+//! ```text
+//!   bit 63 .. 1                         bit 0
+//! +-------------------------------+---------------+
+//! |  value hint (63 bits)         | has_waiters W |
+//! +-------------------------------+---------------+
+//! ```
+//!
+//! * A `check(level)` that observes `hint >= level` returns after a single
+//!   `Acquire` load: monotonicity means a satisfied level can never become
+//!   unsatisfied, so no lock and no re-check are needed.
+//! * An `increment` that observes `W == 0` (and no overflow hazard) publishes
+//!   the new value with one CAS: with no waiters registered there is nobody
+//!   to wake, so the Section 7 wait list is never touched.
+//! * Everything else — a check that must suspend, an increment while waiters
+//!   exist, values beyond the 63-bit hint range — funnels into the existing
+//!   mutex-protected wait-list slow path.
+//!
+//! # Why a wakeup can never be missed
+//!
+//! The classic hazard is the race between an incrementer deciding "no
+//! waiters, skip the lock" and a checker deciding "value too low, go to
+//! sleep". Both decisions here are made on the *same* atomic word, with
+//! read-modify-write operations, so the hardware's per-word coherence order
+//! decides the race — no fence subtleties, no store-buffering reordering
+//! (which would need `SeqCst` if value and flag were separate words, as a
+//! previous revision of `AtomicCounter` did):
+//!
+//! * The checker (holding the slow-path mutex) announces itself with
+//!   [`FastWord::register_waiter`] — `fetch_or(W)` — and examines the word
+//!   that RMW *returned* before deciding to sleep.
+//! * The incrementer's CAS either lands **before** that `fetch_or` in the
+//!   word's modification order — then the returned word already contains the
+//!   new value and the checker returns instead of sleeping — or it lands
+//!   **after**, in which case the CAS fails against the `W` bit it now
+//!   sees, and the incrementer falls into the slow path, where the mutex
+//!   forces it to wait until the checker is enqueued (the condvar releases
+//!   the lock only once the node is in the list), and its sweep signals the
+//!   node.
+//!
+//! Either way the wakeup is delivered. `AcqRel`/`Acquire` orderings suffice
+//! because every decision reads the result of an RMW on the single word.
+//!
+//! # The 63-bit hint and `u64::MAX` semantics
+//!
+//! Packing leaves 63 bits for the value, but the public API promises exact
+//! `u64` arithmetic (overflow errors at `u64::MAX`, `check(u64::MAX)`
+//! satisfiable). The word therefore stores a **hint**: `min(value,
+//! [`FAST_CAP`])`. While the true value is below [`FAST_CAP`] the hint is
+//! exact and fast paths are allowed; once an increment would reach
+//! [`FAST_CAP`] the transition happens under the lock, the hint sticks at
+//! [`FAST_CAP`], and the true value lives in the slow path's `wide` field.
+//! The hint is always `<=` the true value, so a fast `check` can only
+//! *under*-approximate — it may fall into the slow path needlessly (for
+//! astronomically large values), never return early wrongly. Reaching
+//! `FAST_CAP = 2^63 - 1` by honest counting is out of reach in practice, so
+//! real workloads never leave the fast regime.
+
+use crate::error::CounterOverflowError;
+use crate::Value;
+use std::sync::atomic::{
+    AtomicU64,
+    Ordering::{AcqRel, Acquire, Relaxed},
+};
+
+/// First value the packed hint cannot represent; the hint saturates here and
+/// the true value moves under the slow-path lock.
+pub(crate) const FAST_CAP: Value = (1 << 63) - 1;
+
+const WAITERS_BIT: u64 = 1;
+
+/// Outcome of a lock-free increment attempt.
+pub(crate) enum FastIncrement {
+    /// The increment was applied; no waiters existed, nothing to wake.
+    Done,
+    /// The addition would overflow [`Value`]; the counter is unchanged. Only
+    /// returned while the hint is exact, so the reported value is exact too.
+    Overflow(CounterOverflowError),
+    /// Waiters are registered, the word is saturated, or the result would
+    /// saturate: the caller must take the slow path.
+    Contended,
+}
+
+/// Outcome of a lock-free `advance_to` attempt.
+pub(crate) enum FastAdvance {
+    /// The value was raised to the target; no waiters existed.
+    Raised,
+    /// The target is already satisfied; `advance_to` is a no-op.
+    NoOp,
+    /// The caller must take the slow path.
+    Contended,
+}
+
+/// The packed `(value_hint, has_waiters)` word. See the module docs for the
+/// protocol.
+#[derive(Debug)]
+pub(crate) struct FastWord {
+    packed: AtomicU64,
+}
+
+impl FastWord {
+    /// Word for a counter starting at `value` (hint saturates at
+    /// [`FAST_CAP`]; the caller keeps the true value in its `wide` field).
+    pub(crate) fn new(value: Value) -> Self {
+        FastWord {
+            packed: AtomicU64::new(value.min(FAST_CAP) << 1),
+        }
+    }
+
+    fn decode(word: u64, wide: Value) -> Value {
+        let hint = word >> 1;
+        if hint >= FAST_CAP {
+            wide
+        } else {
+            hint
+        }
+    }
+
+    /// Current value hint (always `<=` the true value; exact below
+    /// [`FAST_CAP`]). `Acquire`: pairs with the `AcqRel` RMWs of increments
+    /// so data written before an increment is visible after a satisfied
+    /// check.
+    pub(crate) fn value_hint(&self) -> Value {
+        self.packed.load(Acquire) >> 1
+    }
+
+    /// Whether `check(level)` may return immediately without the lock.
+    pub(crate) fn is_satisfied(&self, level: Value) -> bool {
+        self.value_hint() >= level
+    }
+
+    /// Whether the waiters bit is currently set (diagnostics/tests).
+    #[cfg(test)]
+    pub(crate) fn has_waiters(&self) -> bool {
+        self.packed.load(Acquire) & WAITERS_BIT != 0
+    }
+
+    /// Lock-free increment attempt. Never touches the wait list: succeeds
+    /// only while no waiter is registered and the result stays below
+    /// [`FAST_CAP`].
+    pub(crate) fn try_increment(&self, amount: Value) -> FastIncrement {
+        let mut word = self.packed.load(Relaxed);
+        loop {
+            if word & WAITERS_BIT != 0 {
+                return FastIncrement::Contended;
+            }
+            let value = word >> 1;
+            if value >= FAST_CAP {
+                return FastIncrement::Contended;
+            }
+            let new = match value.checked_add(amount) {
+                Some(new) => new,
+                None => return FastIncrement::Overflow(CounterOverflowError { value, amount }),
+            };
+            if new >= FAST_CAP {
+                // The hint->wide transition must happen under the lock.
+                return FastIncrement::Contended;
+            }
+            match self
+                .packed
+                .compare_exchange_weak(word, new << 1, AcqRel, Relaxed)
+            {
+                Ok(_) => return FastIncrement::Done,
+                Err(current) => word = current,
+            }
+        }
+    }
+
+    /// Lock-free `advance_to` attempt, same preconditions as
+    /// [`try_increment`](Self::try_increment).
+    pub(crate) fn try_advance(&self, target: Value) -> FastAdvance {
+        let mut word = self.packed.load(Relaxed);
+        loop {
+            if word & WAITERS_BIT != 0 {
+                return FastAdvance::Contended;
+            }
+            let value = word >> 1;
+            if value >= FAST_CAP {
+                return FastAdvance::Contended;
+            }
+            if target <= value {
+                return FastAdvance::NoOp;
+            }
+            if target >= FAST_CAP {
+                return FastAdvance::Contended;
+            }
+            match self
+                .packed
+                .compare_exchange_weak(word, target << 1, AcqRel, Relaxed)
+            {
+                Ok(_) => return FastAdvance::Raised,
+                Err(current) => word = current,
+            }
+        }
+    }
+
+    /// Sets the waiters bit and returns the *previous* packed word.
+    ///
+    /// Must be called with the slow-path lock held, before the caller decides
+    /// to suspend. The returned word is the linearization pivot of the
+    /// missed-wakeup argument: decode it (against `wide`) and re-test the
+    /// level — any fast increment not visible in it is ordered after the
+    /// `fetch_or` and therefore guaranteed to observe the waiters bit.
+    pub(crate) fn register_waiter(&self, wide: Value) -> Value {
+        Self::decode(self.packed.fetch_or(WAITERS_BIT, AcqRel), wide)
+    }
+
+    /// Clears the waiters bit. Call with the lock held, only when the
+    /// unsatisfied wait list has just become empty (sweep, or the last timed
+    /// waiter abandoning); draining nodes never need the bit — their wakeup
+    /// is already signalled.
+    pub(crate) fn clear_waiters(&self) {
+        self.packed.fetch_and(!WAITERS_BIT, AcqRel);
+    }
+
+    /// True value while holding the slow-path lock.
+    pub(crate) fn locked_value(&self, wide: Value) -> Value {
+        Self::decode(self.packed.load(Acquire), wide)
+    }
+
+    /// Slow-path add, lock held. Returns the new true value.
+    ///
+    /// The add is applied with `fetch_update`, **never** a blind store:
+    /// while the waiters bit is clear, fast-path CASes may still race this
+    /// operation, and a plain store would erase their increments. Saturated
+    /// words can't race (fast paths bail out at [`FAST_CAP`]), so reading
+    /// `wide` inside the closure is stable under the lock.
+    pub(crate) fn locked_add(
+        &self,
+        wide: &mut Value,
+        amount: Value,
+    ) -> Result<Value, CounterOverflowError> {
+        let result = self.packed.fetch_update(AcqRel, Acquire, |word| {
+            let value = Self::decode(word, *wide);
+            value
+                .checked_add(amount)
+                .map(|new| (new.min(FAST_CAP) << 1) | (word & WAITERS_BIT))
+        });
+        match result {
+            Ok(prev) => {
+                // The closure's successful run checked this very addition.
+                let new = Self::decode(prev, *wide) + amount;
+                if new >= FAST_CAP {
+                    *wide = new;
+                }
+                Ok(new)
+            }
+            Err(prev) => Err(CounterOverflowError {
+                value: Self::decode(prev, *wide),
+                amount,
+            }),
+        }
+    }
+
+    /// Slow-path `advance_to`, lock held. Returns the new value if raised,
+    /// `None` when the target was already satisfied.
+    pub(crate) fn locked_advance(&self, wide: &mut Value, target: Value) -> Option<Value> {
+        let result = self.packed.fetch_update(AcqRel, Acquire, |word| {
+            let value = Self::decode(word, *wide);
+            (target > value).then(|| (target.min(FAST_CAP) << 1) | (word & WAITERS_BIT))
+        });
+        match result {
+            Ok(_) => {
+                if target >= FAST_CAP {
+                    *wide = target;
+                }
+                Some(target)
+            }
+            Err(_) => None,
+        }
+    }
+
+    /// Resets to `value` (exclusive access; used by `Resettable`). The
+    /// caller resets its `wide` field alongside.
+    pub(crate) fn reset(&mut self, value: Value) {
+        *self.packed.get_mut() = value.min(FAST_CAP) << 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn new_word_decodes_exactly_below_cap() {
+        let w = FastWord::new(41);
+        assert_eq!(w.value_hint(), 41);
+        assert!(w.is_satisfied(41));
+        assert!(!w.is_satisfied(42));
+        assert!(!w.has_waiters());
+    }
+
+    #[test]
+    fn new_word_saturates_at_cap() {
+        let w = FastWord::new(u64::MAX);
+        assert_eq!(w.value_hint(), FAST_CAP);
+        // Saturated: exact value must come from the lock-held `wide` copy.
+        assert_eq!(w.locked_value(u64::MAX), u64::MAX);
+    }
+
+    #[test]
+    fn fast_increment_applies_and_accumulates() {
+        let w = FastWord::new(0);
+        assert!(matches!(w.try_increment(5), FastIncrement::Done));
+        assert!(matches!(w.try_increment(0), FastIncrement::Done));
+        assert!(matches!(w.try_increment(7), FastIncrement::Done));
+        assert_eq!(w.value_hint(), 12);
+    }
+
+    #[test]
+    fn fast_increment_bails_when_waiters_registered() {
+        let w = FastWord::new(3);
+        w.register_waiter(0);
+        assert!(matches!(w.try_increment(1), FastIncrement::Contended));
+        assert_eq!(w.value_hint(), 3, "contended attempt must not mutate");
+        w.clear_waiters();
+        assert!(matches!(w.try_increment(1), FastIncrement::Done));
+    }
+
+    #[test]
+    fn fast_increment_bails_near_cap_and_reports_overflow() {
+        let w = FastWord::new(10);
+        assert!(matches!(
+            w.try_increment(FAST_CAP),
+            FastIncrement::Contended
+        ));
+        match w.try_increment(u64::MAX) {
+            FastIncrement::Overflow(e) => {
+                assert_eq!(e.value, 10);
+                assert_eq!(e.amount, u64::MAX);
+            }
+            _ => panic!("expected overflow"),
+        }
+    }
+
+    #[test]
+    fn register_waiter_returns_pre_rmw_value() {
+        let w = FastWord::new(9);
+        assert_eq!(w.register_waiter(0), 9);
+        assert!(w.has_waiters());
+        // Idempotent; still reports the value.
+        assert_eq!(w.register_waiter(0), 9);
+    }
+
+    #[test]
+    fn locked_add_preserves_waiters_bit() {
+        let w = FastWord::new(0);
+        let mut wide = 0;
+        w.register_waiter(wide);
+        assert_eq!(w.locked_add(&mut wide, 4), Ok(4));
+        assert!(w.has_waiters());
+        assert_eq!(w.value_hint(), 4);
+    }
+
+    #[test]
+    fn locked_add_crosses_into_wide_and_back_out_never() {
+        let w = FastWord::new(0);
+        let mut wide = 0;
+        assert_eq!(w.locked_add(&mut wide, u64::MAX - 1), Ok(u64::MAX - 1));
+        assert_eq!(w.value_hint(), FAST_CAP, "hint saturated");
+        assert_eq!(wide, u64::MAX - 1);
+        assert_eq!(w.locked_value(wide), u64::MAX - 1);
+        // Exact arithmetic continues in the wide regime.
+        assert_eq!(w.locked_add(&mut wide, 1), Ok(u64::MAX));
+        let err = w.locked_add(&mut wide, 1).unwrap_err();
+        assert_eq!(err.value, u64::MAX);
+        assert_eq!(err.amount, 1);
+        assert_eq!(w.locked_value(wide), u64::MAX);
+    }
+
+    #[test]
+    fn locked_advance_raises_only_forward() {
+        let w = FastWord::new(5);
+        let mut wide = 0;
+        assert_eq!(w.locked_advance(&mut wide, 3), None);
+        assert_eq!(w.locked_advance(&mut wide, 8), Some(8));
+        assert_eq!(w.value_hint(), 8);
+        assert_eq!(w.locked_advance(&mut wide, u64::MAX), Some(u64::MAX));
+        assert_eq!(w.locked_value(wide), u64::MAX);
+    }
+
+    #[test]
+    fn fast_advance_semantics() {
+        let w = FastWord::new(5);
+        assert!(matches!(w.try_advance(3), FastAdvance::NoOp));
+        assert!(matches!(w.try_advance(9), FastAdvance::Raised));
+        assert_eq!(w.value_hint(), 9);
+        assert!(matches!(w.try_advance(u64::MAX), FastAdvance::Contended));
+        w.register_waiter(0);
+        assert!(matches!(w.try_advance(100), FastAdvance::Contended));
+    }
+
+    #[test]
+    fn reset_clears_value_and_bit() {
+        let mut w = FastWord::new(0);
+        w.try_increment(9);
+        w.register_waiter(0);
+        w.reset(2);
+        assert_eq!(w.value_hint(), 2);
+        assert!(!w.has_waiters());
+    }
+
+    /// Fast CASes racing a locked `fetch_update` add must never lose an
+    /// increment — the reason `locked_add` is an RMW and not a store.
+    #[test]
+    fn concurrent_fast_and_locked_adds_preserve_sum() {
+        let w = Arc::new(FastWord::new(0));
+        let fast_threads = 4;
+        let per_thread = 10_000u64;
+        let mut handles = Vec::new();
+        for _ in 0..fast_threads {
+            let w = Arc::clone(&w);
+            handles.push(thread::spawn(move || {
+                for _ in 0..per_thread {
+                    assert!(matches!(w.try_increment(1), FastIncrement::Done));
+                }
+            }));
+        }
+        // "Slow path" adds interleave; uncontended wide stays at 0.
+        let mut wide = 0;
+        for _ in 0..per_thread {
+            w.locked_add(&mut wide, 1).unwrap();
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(w.value_hint(), (fast_threads as u64 + 1) * per_thread);
+    }
+}

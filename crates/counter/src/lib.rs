@@ -26,21 +26,42 @@
 //! [`MonotonicCounter`] trait, used by the paper-reproduction benchmarks to
 //! ablate the design of Section 7:
 //!
-//! | Type | Wait structure | Corresponds to |
-//! |------|----------------|----------------|
-//! | [`Counter`] | sorted singly-linked list of condvar nodes | the paper's Section 7 implementation, ported literally (including Figure 2's draining nodes) |
-//! | [`BTreeCounter`] | `BTreeMap` of condvar nodes | same algorithm, O(log L) level lookup |
-//! | [`NaiveCounter`] | one condvar, broadcast on every increment | the strawman the paper improves on: O(threads) wakeups |
-//! | [`ParkingCounter`] | `BTreeMap` of `parking_lot` condvar nodes | modern userspace-queue substrate |
-//! | [`AtomicCounter`] | lock-free fast path + `BTreeMap` slow path | an extension: uncontended `check`/`increment` take no lock |
-//! | [`SpinCounter`] | none — waiters busy-spin | the no-suspension-queue end of the design space |
-//! | [`MonitorCounter`] | one predicate monitor | counters expressed via Section 8's monitor comparison |
+//! | Type | Fast path | Wait structure | Corresponds to |
+//! |------|-----------|----------------|----------------|
+//! | [`Counter`] | packed-word | sorted singly-linked list of condvar nodes | the paper's Section 7 implementation (including Figure 2's draining nodes), with lock-free uncontended paths layered on top |
+//! | [`BTreeCounter`] | packed-word | `BTreeMap` of condvar nodes | same algorithm, O(log L) level lookup |
+//! | [`NaiveCounter`] | — | one condvar, broadcast on every increment | the strawman the paper improves on: O(threads) wakeups |
+//! | [`ParkingCounter`] | packed-word | `BTreeMap` of `parking_lot` condvar nodes | modern userspace-queue substrate |
+//! | [`AtomicCounter`] | packed-word | `BTreeMap` slow path | the minimal reference for the shared fast-path protocol |
+//! | [`SpinCounter`] | always | none — waiters busy-spin | the no-suspension-queue end of the design space |
+//! | [`MonitorCounter`] | — | one predicate monitor | counters expressed via Section 8's monitor comparison |
 //!
 //! The queue-structured implementations share the key complexity property of
 //! Section 7: storage and wakeup work are proportional to the **number of
 //! distinct levels being waited on**, not to the number of waiting threads.
 //! [`NaiveCounter`] and [`MonitorCounter`] are the single-queue baselines
 //! that lack it, and [`SpinCounter`] trades queues for CPU.
+//!
+//! "Packed-word" implementations share one protocol (the private `fastpath`
+//! module): a single `AtomicU64` packs the counter value with a has-waiters
+//! bit, so a `check` whose level is already satisfied is one atomic load and
+//! an `increment` with no registered waiters is one CAS — the mutex and node
+//! structure are touched only when a thread actually suspends or must be
+//! woken. [`StatsSnapshot`] exposes per-tier hit counters
+//! (`fast_increments`, `fast_checks`, `slow_path_entries`).
+//!
+//! ## API surface
+//!
+//! The trait surface is split so the type system enforces the paper's "no
+//! probe" rule:
+//!
+//! * [`MonotonicCounter`] — exactly the synchronization operations
+//!   (`increment`, `try_increment`, `check`, `check_timeout`, `advance_to`);
+//! * [`Resettable`] — phase reuse (`reset`), which takes `&mut self` because
+//!   it must not race with other operations;
+//! * [`CounterDiagnostics`] — observation for tests and benchmarks
+//!   (`debug_value`, `stats`, `impl_name`), fenced off so generic
+//!   synchronization code cannot branch on the instantaneous value.
 //!
 //! ## Quickstart
 //!
@@ -66,6 +87,7 @@ mod atomic;
 mod btree;
 mod counter;
 mod error;
+mod fastpath;
 mod list;
 mod monitor_impl;
 mod multi;
@@ -88,7 +110,7 @@ pub use parking::ParkingCounter;
 pub use spin::SpinCounter;
 pub use stats::StatsSnapshot;
 pub use trace::{CounterSnapshot, NodeSnapshot, TracingCounter};
-pub use traits::{CounterExt, MonotonicCounter};
+pub use traits::{CounterDiagnostics, CounterExt, MonotonicCounter, Resettable};
 
 /// The integer type used for counter values and levels.
 ///

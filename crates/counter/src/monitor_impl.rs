@@ -9,7 +9,7 @@
 
 use crate::error::{CheckTimeoutError, CounterOverflowError};
 use crate::stats::{Stats, StatsSnapshot};
-use crate::traits::MonotonicCounter;
+use crate::traits::{CounterDiagnostics, MonotonicCounter, Resettable};
 use crate::Value;
 use std::sync::{Condvar, Mutex};
 use std::time::{Duration, Instant};
@@ -31,8 +31,13 @@ impl Default for MonitorCounter {
 impl MonitorCounter {
     /// Creates a counter with value zero.
     pub fn new() -> Self {
+        Self::with_value(0)
+    }
+
+    /// Creates a counter starting at `value`.
+    pub fn with_value(value: Value) -> Self {
         MonitorCounter {
-            value: Mutex::new(0),
+            value: Mutex::new(value),
             cv: Condvar::new(),
             stats: Stats::default(),
         }
@@ -45,6 +50,7 @@ impl MonitorCounter {
         f: impl FnOnce(&mut Value) -> Result<(), CounterOverflowError>,
     ) -> Result<(), CounterOverflowError> {
         let mut value = self.value.lock().expect("counter lock poisoned");
+        self.stats.record_slow_entry();
         f(&mut value)?;
         drop(value);
         self.stats.record_notify();
@@ -75,6 +81,7 @@ impl MonotonicCounter for MonitorCounter {
 
     fn check(&self, level: Value) {
         let mut value = self.value.lock().expect("counter lock poisoned");
+        self.stats.record_slow_entry();
         if *value >= level {
             self.stats.record_check_immediate();
             return;
@@ -89,6 +96,7 @@ impl MonotonicCounter for MonitorCounter {
     fn check_timeout(&self, level: Value, timeout: Duration) -> Result<(), CheckTimeoutError> {
         let deadline = Instant::now() + timeout;
         let mut value = self.value.lock().expect("counter lock poisoned");
+        self.stats.record_slow_entry();
         if *value >= level {
             self.stats.record_check_immediate();
             return Ok(());
@@ -112,6 +120,7 @@ impl MonotonicCounter for MonitorCounter {
 
     fn advance_to(&self, target: Value) {
         let mut value = self.value.lock().expect("counter lock poisoned");
+        self.stats.record_slow_entry();
         if target <= *value {
             return;
         }
@@ -121,11 +130,15 @@ impl MonotonicCounter for MonitorCounter {
         self.stats.record_notify();
         self.cv.notify_all();
     }
+}
 
+impl Resettable for MonitorCounter {
     fn reset(&mut self) {
         *self.value.get_mut().expect("counter lock poisoned") = 0;
     }
+}
 
+impl CounterDiagnostics for MonitorCounter {
     fn debug_value(&self) -> Value {
         *self.value.lock().expect("counter lock poisoned")
     }

@@ -116,6 +116,7 @@ impl<C: MonotonicCounter> std::ops::Index<usize> for CounterSet<C> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::traits::CounterDiagnostics;
     use crate::Counter;
     use std::sync::Arc;
     use std::thread;

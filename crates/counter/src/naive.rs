@@ -8,7 +8,7 @@
 
 use crate::error::{CheckTimeoutError, CounterOverflowError};
 use crate::stats::{Stats, StatsSnapshot};
-use crate::traits::MonotonicCounter;
+use crate::traits::{CounterDiagnostics, MonotonicCounter, Resettable};
 use crate::Value;
 use std::sync::{Condvar, Mutex};
 use std::time::{Duration, Instant};
@@ -32,8 +32,13 @@ impl Default for NaiveCounter {
 impl NaiveCounter {
     /// Creates a counter with value zero.
     pub fn new() -> Self {
+        Self::with_value(0)
+    }
+
+    /// Creates a counter starting at `value`.
+    pub fn with_value(value: Value) -> Self {
         NaiveCounter {
-            value: Mutex::new(0),
+            value: Mutex::new(value),
             cv: Condvar::new(),
             stats: Stats::default(),
         }
@@ -48,6 +53,7 @@ impl MonotonicCounter for NaiveCounter {
 
     fn try_increment(&self, amount: Value) -> Result<(), CounterOverflowError> {
         let mut value = self.value.lock().expect("counter lock poisoned");
+        self.stats.record_slow_entry();
         *value = value.checked_add(amount).ok_or(CounterOverflowError {
             value: *value,
             amount,
@@ -63,6 +69,7 @@ impl MonotonicCounter for NaiveCounter {
 
     fn advance_to(&self, target: Value) {
         let mut value = self.value.lock().expect("counter lock poisoned");
+        self.stats.record_slow_entry();
         if target <= *value {
             return;
         }
@@ -75,6 +82,7 @@ impl MonotonicCounter for NaiveCounter {
 
     fn check(&self, level: Value) {
         let mut value = self.value.lock().expect("counter lock poisoned");
+        self.stats.record_slow_entry();
         if *value >= level {
             self.stats.record_check_immediate();
             return;
@@ -92,6 +100,7 @@ impl MonotonicCounter for NaiveCounter {
     fn check_timeout(&self, level: Value, timeout: Duration) -> Result<(), CheckTimeoutError> {
         let deadline = Instant::now() + timeout;
         let mut value = self.value.lock().expect("counter lock poisoned");
+        self.stats.record_slow_entry();
         if *value >= level {
             self.stats.record_check_immediate();
             return Ok(());
@@ -112,11 +121,15 @@ impl MonotonicCounter for NaiveCounter {
         self.stats.record_waiter_resumed();
         Ok(())
     }
+}
 
+impl Resettable for NaiveCounter {
     fn reset(&mut self) {
         *self.value.get_mut().expect("counter lock poisoned") = 0;
     }
+}
 
+impl CounterDiagnostics for NaiveCounter {
     fn debug_value(&self) -> Value {
         *self.value.lock().expect("counter lock poisoned")
     }

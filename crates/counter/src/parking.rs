@@ -2,11 +2,14 @@
 //!
 //! `parking_lot` queues waiters in userspace, which changes the constant
 //! factors of suspension and wakeup; experiment E7 compares it against the
-//! `std` condvar implementations.
+//! `std` condvar implementations. The packed-word fast path is the same as
+//! [`crate::Counter`]'s, so only suspending/waking operations reach the
+//! `parking_lot` mutex at all.
 
 use crate::error::{CheckTimeoutError, CounterOverflowError};
+use crate::fastpath::{FastAdvance, FastIncrement, FastWord, FAST_CAP};
 use crate::stats::{Stats, StatsSnapshot};
-use crate::traits::MonotonicCounter;
+use crate::traits::{CounterDiagnostics, MonotonicCounter, Resettable};
 use crate::Value;
 use parking_lot::{Condvar, Mutex};
 use std::collections::BTreeMap;
@@ -33,7 +36,8 @@ impl PlNode {
 }
 
 struct Inner {
-    value: Value,
+    /// Exact value once the packed hint saturates; see [`crate::fastpath`].
+    wide: Value,
     waiting: BTreeMap<Value, Arc<PlNode>>,
 }
 
@@ -42,6 +46,7 @@ struct Inner {
 /// Semantically interchangeable with [`crate::Counter`]; see the crate docs
 /// for the implementation comparison table.
 pub struct ParkingCounter {
+    fast: FastWord,
     inner: Mutex<Inner>,
     stats: Stats,
 }
@@ -55,9 +60,15 @@ impl Default for ParkingCounter {
 impl ParkingCounter {
     /// Creates a counter with value zero and no waiting threads.
     pub fn new() -> Self {
+        Self::with_value(0)
+    }
+
+    /// Creates a counter starting at `value`.
+    pub fn with_value(value: Value) -> Self {
         ParkingCounter {
+            fast: FastWord::new(value),
             inner: Mutex::new(Inner {
-                value: 0,
+                wide: value,
                 waiting: BTreeMap::new(),
             }),
             stats: Stats::default(),
@@ -79,68 +90,22 @@ impl ParkingCounter {
 
     fn raise(&self, amount: Value) -> Result<Vec<Arc<PlNode>>, CounterOverflowError> {
         let mut inner = self.inner.lock();
-        let new_value = inner
-            .value
-            .checked_add(amount)
-            .ok_or(CounterOverflowError {
-                value: inner.value,
-                amount,
-            })?;
-        inner.value = new_value;
+        self.stats.record_slow_entry();
+        let new_value = self.fast.locked_add(&mut inner.wide, amount)?;
         self.stats.record_increment();
         let satisfied = Self::remove_satisfied(&mut inner.waiting, new_value);
         for node in &satisfied {
             node.set.store(true, Relaxed);
             self.stats.record_notify();
         }
+        if inner.waiting.is_empty() {
+            self.fast.clear_waiters();
+        }
         Ok(satisfied)
     }
-}
 
-impl MonotonicCounter for ParkingCounter {
-    fn increment(&self, amount: Value) {
-        let satisfied = self
-            .raise(amount)
-            .unwrap_or_else(|e| panic!("monotonic counter overflow: {e}"));
-        for node in satisfied {
-            node.cv.notify_all();
-        }
-    }
-
-    fn try_increment(&self, amount: Value) -> Result<(), CounterOverflowError> {
-        let satisfied = self.raise(amount)?;
-        for node in satisfied {
-            node.cv.notify_all();
-        }
-        Ok(())
-    }
-
-    fn advance_to(&self, target: Value) {
-        let satisfied = {
-            let mut inner = self.inner.lock();
-            if target <= inner.value {
-                return;
-            }
-            inner.value = target;
-            self.stats.record_increment();
-            let satisfied = Self::remove_satisfied(&mut inner.waiting, target);
-            for node in &satisfied {
-                node.set.store(true, Relaxed);
-                self.stats.record_notify();
-            }
-            satisfied
-        };
-        for node in satisfied {
-            node.cv.notify_all();
-        }
-    }
-
-    fn check(&self, level: Value) {
-        let mut inner = self.inner.lock();
-        if inner.value >= level {
-            self.stats.record_check_immediate();
-            return;
-        }
+    /// Shared tail of `check`/`check_timeout` under the already-held lock.
+    fn enqueue(&self, inner: &mut Inner, level: Value) -> Arc<PlNode> {
         let mut inserted = false;
         let node = Arc::clone(inner.waiting.entry(level).or_insert_with(|| {
             inserted = true;
@@ -151,6 +116,91 @@ impl MonotonicCounter for ParkingCounter {
         }
         node.count.fetch_add(1, Relaxed);
         self.stats.record_check_suspended();
+        node
+    }
+}
+
+impl MonotonicCounter for ParkingCounter {
+    fn increment(&self, amount: Value) {
+        match self.fast.try_increment(amount) {
+            FastIncrement::Done => {
+                self.stats.record_fast_increment();
+                return;
+            }
+            FastIncrement::Overflow(e) => panic!("monotonic counter overflow: {e}"),
+            FastIncrement::Contended => {}
+        }
+        let satisfied = self
+            .raise(amount)
+            .unwrap_or_else(|e| panic!("monotonic counter overflow: {e}"));
+        for node in satisfied {
+            node.cv.notify_all();
+        }
+    }
+
+    fn try_increment(&self, amount: Value) -> Result<(), CounterOverflowError> {
+        match self.fast.try_increment(amount) {
+            FastIncrement::Done => {
+                self.stats.record_fast_increment();
+                return Ok(());
+            }
+            FastIncrement::Overflow(e) => return Err(e),
+            FastIncrement::Contended => {}
+        }
+        let satisfied = self.raise(amount)?;
+        for node in satisfied {
+            node.cv.notify_all();
+        }
+        Ok(())
+    }
+
+    fn advance_to(&self, target: Value) {
+        match self.fast.try_advance(target) {
+            FastAdvance::Raised => {
+                self.stats.record_fast_increment();
+                return;
+            }
+            FastAdvance::NoOp => return,
+            FastAdvance::Contended => {}
+        }
+        let satisfied = {
+            let mut inner = self.inner.lock();
+            self.stats.record_slow_entry();
+            let Some(new_value) = self.fast.locked_advance(&mut inner.wide, target) else {
+                return;
+            };
+            self.stats.record_increment();
+            let satisfied = Self::remove_satisfied(&mut inner.waiting, new_value);
+            for node in &satisfied {
+                node.set.store(true, Relaxed);
+                self.stats.record_notify();
+            }
+            if inner.waiting.is_empty() {
+                self.fast.clear_waiters();
+            }
+            satisfied
+        };
+        for node in satisfied {
+            node.cv.notify_all();
+        }
+    }
+
+    fn check(&self, level: Value) {
+        if self.fast.is_satisfied(level) {
+            self.stats.record_fast_check();
+            return;
+        }
+        let mut inner = self.inner.lock();
+        self.stats.record_slow_entry();
+        let value = self.fast.register_waiter(inner.wide);
+        if value >= level {
+            if inner.waiting.is_empty() {
+                self.fast.clear_waiters();
+            }
+            self.stats.record_check_immediate();
+            return;
+        }
+        let node = self.enqueue(&mut inner, level);
         while !node.set.load(Relaxed) {
             node.cv.wait(&mut inner);
         }
@@ -161,22 +211,22 @@ impl MonotonicCounter for ParkingCounter {
     }
 
     fn check_timeout(&self, level: Value, timeout: Duration) -> Result<(), CheckTimeoutError> {
+        if self.fast.is_satisfied(level) {
+            self.stats.record_fast_check();
+            return Ok(());
+        }
         let deadline = Instant::now() + timeout;
         let mut inner = self.inner.lock();
-        if inner.value >= level {
+        self.stats.record_slow_entry();
+        let value = self.fast.register_waiter(inner.wide);
+        if value >= level {
+            if inner.waiting.is_empty() {
+                self.fast.clear_waiters();
+            }
             self.stats.record_check_immediate();
             return Ok(());
         }
-        let mut inserted = false;
-        let node = Arc::clone(inner.waiting.entry(level).or_insert_with(|| {
-            inserted = true;
-            Arc::new(PlNode::new())
-        }));
-        if inserted {
-            self.stats.record_node_created();
-        }
-        node.count.fetch_add(1, Relaxed);
-        self.stats.record_check_suspended();
+        let node = self.enqueue(&mut inner, level);
         loop {
             if node.set.load(Relaxed) {
                 self.stats.record_waiter_resumed();
@@ -191,21 +241,34 @@ impl MonotonicCounter for ParkingCounter {
                 if node.count.fetch_sub(1, Relaxed) == 1 {
                     inner.waiting.remove(&level);
                     self.stats.record_node_freed();
+                    if inner.waiting.is_empty() {
+                        self.fast.clear_waiters();
+                    }
                 }
                 return Err(CheckTimeoutError { level });
             }
             node.cv.wait_for(&mut inner, deadline - now);
         }
     }
+}
 
+impl Resettable for ParkingCounter {
     fn reset(&mut self) {
         let inner = self.inner.get_mut();
         debug_assert!(inner.waiting.is_empty(), "reset called while threads wait");
-        inner.value = 0;
+        inner.wide = 0;
+        self.fast.reset(0);
     }
+}
 
+impl CounterDiagnostics for ParkingCounter {
     fn debug_value(&self) -> Value {
-        self.inner.lock().value
+        let hint = self.fast.value_hint();
+        if hint < FAST_CAP {
+            hint
+        } else {
+            self.inner.lock().wide
+        }
     }
 
     fn stats(&self) -> StatsSnapshot {
@@ -258,6 +321,8 @@ mod tests {
         let c = ParkingCounter::new();
         assert!(c.check_timeout(5, Duration::from_millis(20)).is_err());
         assert_eq!(c.stats().live_nodes, 0);
+        c.increment(1);
+        assert_eq!(c.stats().fast_increments, 1, "waiters bit must be clear");
     }
 
     #[test]
@@ -266,5 +331,16 @@ mod tests {
         c.increment(3);
         c.reset();
         assert_eq!(c.debug_value(), 0);
+    }
+
+    #[test]
+    fn waiter_free_workload_stays_on_fast_path() {
+        let c = ParkingCounter::new();
+        c.increment(2);
+        c.check(1);
+        let s = c.stats();
+        assert_eq!(s.slow_path_entries, 0);
+        assert_eq!(s.fast_increments, 1);
+        assert_eq!(s.fast_checks, 1);
     }
 }

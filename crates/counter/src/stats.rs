@@ -13,11 +13,16 @@ use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
 /// All fields are updated with relaxed atomics; the counters' own locks
 /// already order the updates, and readers only need eventually-consistent
 /// aggregate numbers.
+///
+/// Slow-path and fast-path operations bump *separate* counters and the
+/// totals are derived at snapshot time: a fast increment is one `fetch_add`,
+/// not two, keeping the instrumented fast path a genuinely short straight
+/// line (the E8 tables measure it with stats enabled).
 #[derive(Debug, Default)]
 pub(crate) struct Stats {
-    increments: AtomicU64,
-    checks: AtomicU64,
-    immediate_checks: AtomicU64,
+    slow_increments: AtomicU64,
+    slow_checks: AtomicU64,
+    slow_immediate_checks: AtomicU64,
     suspensions: AtomicU64,
     nodes_created: AtomicU64,
     nodes_freed: AtomicU64,
@@ -26,6 +31,9 @@ pub(crate) struct Stats {
     live_waiters: AtomicU64,
     max_live_waiters: AtomicU64,
     notifies: AtomicU64,
+    fast_increments: AtomicU64,
+    fast_checks: AtomicU64,
+    slow_path_entries: AtomicU64,
 }
 
 fn bump_max(max: &AtomicU64, candidate: u64) {
@@ -40,16 +48,16 @@ fn bump_max(max: &AtomicU64, candidate: u64) {
 
 impl Stats {
     pub(crate) fn record_increment(&self) {
-        self.increments.fetch_add(1, Relaxed);
+        self.slow_increments.fetch_add(1, Relaxed);
     }
 
     pub(crate) fn record_check_immediate(&self) {
-        self.checks.fetch_add(1, Relaxed);
-        self.immediate_checks.fetch_add(1, Relaxed);
+        self.slow_checks.fetch_add(1, Relaxed);
+        self.slow_immediate_checks.fetch_add(1, Relaxed);
     }
 
     pub(crate) fn record_check_suspended(&self) {
-        self.checks.fetch_add(1, Relaxed);
+        self.slow_checks.fetch_add(1, Relaxed);
         self.suspensions.fetch_add(1, Relaxed);
         let live = self.live_waiters.fetch_add(1, Relaxed) + 1;
         bump_max(&self.max_live_waiters, live);
@@ -74,12 +82,32 @@ impl Stats {
         self.notifies.fetch_add(1, Relaxed);
     }
 
+    /// An `increment`/`advance_to` that completed on the lock-free fast path.
+    ///
+    /// One `fetch_add`; the snapshot folds it into the `increments` total.
+    pub(crate) fn record_fast_increment(&self) {
+        self.fast_increments.fetch_add(1, Relaxed);
+    }
+
+    /// A `check` satisfied by a single atomic load, without the lock.
+    ///
+    /// One `fetch_add`; the snapshot folds it into the `checks` and
+    /// `immediate_checks` totals.
+    pub(crate) fn record_fast_check(&self) {
+        self.fast_checks.fetch_add(1, Relaxed);
+    }
+
+    /// Any operation that acquired the slow-path mutex.
+    pub(crate) fn record_slow_entry(&self) {
+        self.slow_path_entries.fetch_add(1, Relaxed);
+    }
+
     /// Clears all statistics (used when a counter is reset between phases).
     #[cfg(test)]
     pub(crate) fn reset(&self) {
-        self.increments.store(0, Relaxed);
-        self.checks.store(0, Relaxed);
-        self.immediate_checks.store(0, Relaxed);
+        self.slow_increments.store(0, Relaxed);
+        self.slow_checks.store(0, Relaxed);
+        self.slow_immediate_checks.store(0, Relaxed);
         self.suspensions.store(0, Relaxed);
         self.nodes_created.store(0, Relaxed);
         self.nodes_freed.store(0, Relaxed);
@@ -88,13 +116,18 @@ impl Stats {
         self.live_waiters.store(0, Relaxed);
         self.max_live_waiters.store(0, Relaxed);
         self.notifies.store(0, Relaxed);
+        self.fast_increments.store(0, Relaxed);
+        self.fast_checks.store(0, Relaxed);
+        self.slow_path_entries.store(0, Relaxed);
     }
 
     pub(crate) fn snapshot(&self) -> StatsSnapshot {
+        let fast_increments = self.fast_increments.load(Relaxed);
+        let fast_checks = self.fast_checks.load(Relaxed);
         StatsSnapshot {
-            increments: self.increments.load(Relaxed),
-            checks: self.checks.load(Relaxed),
-            immediate_checks: self.immediate_checks.load(Relaxed),
+            increments: self.slow_increments.load(Relaxed) + fast_increments,
+            checks: self.slow_checks.load(Relaxed) + fast_checks,
+            immediate_checks: self.slow_immediate_checks.load(Relaxed) + fast_checks,
             suspensions: self.suspensions.load(Relaxed),
             nodes_created: self.nodes_created.load(Relaxed),
             nodes_freed: self.nodes_freed.load(Relaxed),
@@ -103,13 +136,17 @@ impl Stats {
             live_waiters: self.live_waiters.load(Relaxed),
             max_live_waiters: self.max_live_waiters.load(Relaxed),
             notifies: self.notifies.load(Relaxed),
+            fast_increments,
+            fast_checks,
+            slow_path_entries: self.slow_path_entries.load(Relaxed),
         }
     }
 }
 
 /// A point-in-time copy of a counter's internal statistics.
 ///
-/// Obtained from [`MonotonicCounter::stats`](crate::MonotonicCounter::stats).
+/// Obtained from
+/// [`CounterDiagnostics::stats`](crate::CounterDiagnostics::stats).
 /// The node counts expose the paper's Section 7 complexity claim: a counter's
 /// storage is one wait node per **distinct level** currently waited on,
 /// regardless of how many threads wait at each level.
@@ -137,6 +174,17 @@ pub struct StatsSnapshot {
     pub max_live_waiters: u64,
     /// Condition-variable broadcast (`notify_all`) events issued.
     pub notifies: u64,
+    /// `increment`/`advance_to` operations completed on the lock-free fast
+    /// path (single CAS, wait list untouched). Zero for implementations
+    /// without a fast path.
+    pub fast_increments: u64,
+    /// `check` operations satisfied by a single atomic load, without the
+    /// lock. Always `<= immediate_checks`.
+    pub fast_checks: u64,
+    /// Operations (of any kind) that acquired the slow-path mutex. A
+    /// waiter-free workload on a fast-path counter reports **zero** here —
+    /// the acceptance criterion of the E8 experiment.
+    pub slow_path_entries: u64,
 }
 
 impl std::fmt::Display for StatsSnapshot {
@@ -144,7 +192,8 @@ impl std::fmt::Display for StatsSnapshot {
         write!(
             f,
             "inc {} | chk {} ({} immediate, {} suspended) | nodes {}/{} live/max \
-             (created {}, freed {}) | waiters {}/{} live/max | broadcasts {}",
+             (created {}, freed {}) | waiters {}/{} live/max | broadcasts {} | \
+             fast {} inc / {} chk | slow entries {}",
             self.increments,
             self.checks,
             self.immediate_checks,
@@ -155,7 +204,10 @@ impl std::fmt::Display for StatsSnapshot {
             self.nodes_freed,
             self.live_waiters,
             self.max_live_waiters,
-            self.notifies
+            self.notifies,
+            self.fast_increments,
+            self.fast_checks,
+            self.slow_path_entries
         )
     }
 }
@@ -228,6 +280,22 @@ mod tests {
         s.record_notify();
         s.reset();
         assert_eq!(s.snapshot(), StatsSnapshot::default());
+    }
+
+    #[test]
+    fn fast_and_slow_path_counters() {
+        let s = Stats::default();
+        s.record_fast_increment();
+        s.record_fast_increment();
+        s.record_fast_check();
+        s.record_slow_entry();
+        s.record_increment();
+        let snap = s.snapshot();
+        assert_eq!(snap.fast_increments, 2);
+        assert_eq!(snap.increments, 3, "fast increments count as increments");
+        assert_eq!(snap.fast_checks, 1);
+        assert_eq!(snap.immediate_checks, 1, "fast checks are immediate");
+        assert_eq!(snap.slow_path_entries, 1);
     }
 
     #[test]

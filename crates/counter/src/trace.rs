@@ -20,7 +20,7 @@
 use crate::counter::{Counter, Inner};
 use crate::error::{CheckTimeoutError, CounterOverflowError};
 use crate::stats::StatsSnapshot;
-use crate::traits::MonotonicCounter;
+use crate::traits::{CounterDiagnostics, MonotonicCounter, Resettable};
 use crate::Value;
 use std::fmt;
 use std::sync::{Arc, Mutex};
@@ -98,7 +98,10 @@ impl TraceLog {
     }
 }
 
-pub(crate) fn snapshot_of(inner: &Inner) -> CounterSnapshot {
+/// Builds a snapshot from a counter's locked state. The value is passed
+/// separately because `Inner` only stores the exact value in the saturated
+/// regime; the caller decodes it from the packed word under the lock.
+pub(crate) fn snapshot_of(inner: &Inner, value: Value) -> CounterSnapshot {
     let mut nodes: Vec<NodeSnapshot> = inner
         .waiting
         .nodes()
@@ -111,10 +114,7 @@ pub(crate) fn snapshot_of(inner: &Inner) -> CounterSnapshot {
         })
         .collect();
     nodes.sort_by_key(|n| n.level);
-    CounterSnapshot {
-        value: inner.value,
-        nodes,
-    }
+    CounterSnapshot { value, nodes }
 }
 
 /// A [`Counter`] that records a [`CounterSnapshot`] at every structural
@@ -136,7 +136,13 @@ impl TracingCounter {
     /// Creates a traced counter; the log starts with the construction state
     /// (Figure 2 (a)).
     pub fn new() -> Self {
-        let (counter, log) = Counter::new_traced();
+        Self::with_value(0)
+    }
+
+    /// Creates a traced counter starting at `value`; the log's construction
+    /// state records that value.
+    pub fn with_value(value: Value) -> Self {
+        let (counter, log) = Counter::new_traced(value);
         TracingCounter { counter, log }
     }
 
@@ -175,11 +181,15 @@ impl MonotonicCounter for TracingCounter {
     fn check_timeout(&self, level: Value, timeout: Duration) -> Result<(), CheckTimeoutError> {
         self.counter.check_timeout(level, timeout)
     }
+}
 
+impl Resettable for TracingCounter {
     fn reset(&mut self) {
         self.counter.reset();
     }
+}
 
+impl CounterDiagnostics for TracingCounter {
     fn debug_value(&self) -> Value {
         self.counter.debug_value()
     }

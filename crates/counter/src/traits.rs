@@ -1,6 +1,17 @@
-//! The [`MonotonicCounter`] trait: the programming interface of the paper's
-//! Section 2, plus the pragmatic extensions discussed there (`Reset`,
-//! timeouts) and diagnostics needed by the reproduction experiments.
+//! The core counter traits.
+//!
+//! [`MonotonicCounter`] is exactly the paper's Section 2 programming surface
+//! (plus the timeout/advance extensions discussed there): the operations a
+//! *program* may use without breaking the determinacy results. Everything
+//! that exists for other reasons lives in separate traits:
+//!
+//! * [`Resettable`] — phase-reuse (`Reset` in the paper's Section 2), which
+//!   must not race with other operations and therefore wants `&mut self`;
+//! * [`CounterDiagnostics`] — observation hooks for tests and the experiment
+//!   harness, deliberately fenced off from the synchronization API so that
+//!   code written against `dyn MonotonicCounter` *cannot* branch on the
+//!   instantaneous value (the paper's "no probe" rule, now enforced by the
+//!   type system rather than by documentation).
 
 use crate::error::{CheckTimeoutError, CounterOverflowError};
 use crate::stats::StatsSnapshot;
@@ -20,6 +31,10 @@ use std::time::Duration;
 ///   Section 6);
 /// * `check(level)` returns only when `value >= level`, and because the value
 ///   is monotonic the condition can never be un-satisfied afterwards.
+///
+/// Reuse (`reset`) and observation (`debug_value`, `stats`, `impl_name`) are
+/// deliberately **not** part of this trait — see [`Resettable`] and
+/// [`CounterDiagnostics`].
 ///
 /// The trait is object-safe, so heterogeneous collections of counters
 /// (`Box<dyn MonotonicCounter>`) work.
@@ -72,28 +87,37 @@ pub trait MonotonicCounter: Send + Sync {
     /// without coordinating amounts (e.g. "phase 3 reached" from whichever
     /// worker gets there first).
     fn advance_to(&self, target: Value);
+}
 
+/// Phase-reuse for counters: reset the value to zero between algorithm
+/// phases.
+///
+/// Per the paper's Section 2, `Reset` exists only "as a means of efficiently
+/// reusing counters between different phases of an algorithm" and **must not
+/// race with other operations**; taking `&mut self` makes that rule a
+/// compile-time guarantee in Rust. Split from [`MonotonicCounter`] so that
+/// shared-counter code (which only ever holds `&C` or `Arc<C>`) cannot even
+/// name the operation.
+pub trait Resettable {
     /// Resets the value to zero.
-    ///
-    /// Per the paper's Section 2, `Reset` exists only "as a means of
-    /// efficiently reusing counters between different phases of an algorithm"
-    /// and **must not race with other operations**; taking `&mut self` makes
-    /// that rule a compile-time guarantee in Rust.
     fn reset(&mut self);
+}
 
-    /// Returns the current value, for diagnostics and tests **only**.
-    ///
-    /// This is intentionally *not* a synchronization operation: the paper
-    /// excludes `Probe` so that no program decision can depend on the
-    /// instantaneous, timing-dependent value. Do not branch on this in
-    /// production code; it exists so the test-suite and the experiment
-    /// harness can observe counters.
+/// Observation hooks for tests, benchmarks, and the experiment harness.
+///
+/// None of these are synchronization operations — the paper excludes `Probe`
+/// so that no program decision can depend on the instantaneous,
+/// timing-dependent value. Keeping them in their own trait means a function
+/// generic over [`MonotonicCounter`] alone provably cannot break that rule.
+pub trait CounterDiagnostics {
+    /// Returns the current value, for diagnostics and tests **only**. Do not
+    /// branch on this in production code.
     fn debug_value(&self) -> Value;
 
     /// Returns a snapshot of this counter's internal statistics
-    /// (suspension-queue counts, wakeups, ...), used by the Section 7
-    /// experiments. Implementations with no meaningful queue structure may
-    /// return partial data.
+    /// (suspension-queue counts, wakeups, fast/slow-path hits, ...), used by
+    /// the Section 7 experiments. Implementations with no meaningful queue
+    /// structure may return partial data.
     fn stats(&self) -> StatsSnapshot;
 
     /// A short human-readable name for the implementation, used in benchmark
@@ -130,11 +154,28 @@ mod tests {
     use std::sync::Arc;
 
     #[test]
-    fn trait_is_object_safe() {
+    fn core_trait_is_object_safe() {
         let c: Box<dyn MonotonicCounter> = Box::new(Counter::new());
         c.increment(2);
         c.check(2);
-        assert_eq!(c.debug_value(), 2);
+    }
+
+    #[test]
+    fn diagnostics_trait_is_object_safe() {
+        let c: Box<dyn CounterDiagnostics> = Box::new(Counter::new());
+        assert_eq!(c.debug_value(), 0);
+        assert_eq!(c.impl_name(), "waitlist");
+    }
+
+    #[test]
+    fn both_trait_objects_via_supertrait_free_composition() {
+        // A concrete counter serves both surfaces; the split only prevents
+        // *generic* synchronization code from reaching the diagnostics.
+        let c = Arc::new(Counter::new());
+        let sync: Arc<dyn MonotonicCounter> = Arc::clone(&c) as _;
+        sync.increment(3);
+        let diag: &dyn CounterDiagnostics = &*c;
+        assert_eq!(diag.debug_value(), 3);
     }
 
     #[test]

@@ -3,21 +3,27 @@
 //! per implementation so a failure names the offender.
 
 use mc_counter::{
-    AtomicCounter, BTreeCounter, Counter, MonitorCounter, MonotonicCounter, NaiveCounter,
-    ParkingCounter, SpinCounter, TracingCounter,
+    AtomicCounter, BTreeCounter, Counter, CounterDiagnostics, MonitorCounter, MonotonicCounter,
+    NaiveCounter, ParkingCounter, Resettable, SpinCounter, TracingCounter,
 };
 use std::sync::Arc;
 use std::time::Duration;
 
 const SHORT: Duration = Duration::from_millis(40);
 
-fn starts_at_zero<C: MonotonicCounter + Default>() {
+/// The full surface a conforming implementation must provide: the
+/// synchronization core, the diagnostics used by the battery's assertions,
+/// phase reuse, and uniform construction.
+trait Conformant: MonotonicCounter + CounterDiagnostics + Resettable + Default {}
+impl<C: MonotonicCounter + CounterDiagnostics + Resettable + Default> Conformant for C {}
+
+fn starts_at_zero<C: Conformant>() {
     let c = C::default();
     assert_eq!(c.debug_value(), 0);
     c.check(0); // never suspends
 }
 
-fn increment_accumulates<C: MonotonicCounter + Default>() {
+fn increment_accumulates<C: Conformant>() {
     let c = C::default();
     c.increment(2);
     c.increment(0);
@@ -25,7 +31,7 @@ fn increment_accumulates<C: MonotonicCounter + Default>() {
     assert_eq!(c.debug_value(), 7);
 }
 
-fn check_blocks_until_level<C: MonotonicCounter + Default + 'static>() {
+fn check_blocks_until_level<C: Conformant + 'static>() {
     let c = Arc::new(C::default());
     let c2 = Arc::clone(&c);
     let h = std::thread::spawn(move || c2.check(3));
@@ -36,7 +42,7 @@ fn check_blocks_until_level<C: MonotonicCounter + Default + 'static>() {
     h.join().unwrap();
 }
 
-fn one_increment_many_levels<C: MonotonicCounter + Default + 'static>() {
+fn one_increment_many_levels<C: Conformant + 'static>() {
     let c = Arc::new(C::default());
     let mut handles = Vec::new();
     for level in [1u64, 2, 3, 4] {
@@ -52,7 +58,7 @@ fn one_increment_many_levels<C: MonotonicCounter + Default + 'static>() {
     }
 }
 
-fn timeout_err_then_success<C: MonotonicCounter + Default + 'static>() {
+fn timeout_err_then_success<C: Conformant + 'static>() {
     let c = Arc::new(C::default());
     assert!(c.check_timeout(1, SHORT).is_err());
     let c2 = Arc::clone(&c);
@@ -64,7 +70,7 @@ fn timeout_err_then_success<C: MonotonicCounter + Default + 'static>() {
     assert!(h.join().unwrap().is_ok());
 }
 
-fn try_increment_overflow<C: MonotonicCounter + Default>() {
+fn try_increment_overflow<C: Conformant>() {
     let c = C::default();
     c.increment(u64::MAX);
     let err = c.try_increment(1).unwrap_err();
@@ -72,7 +78,7 @@ fn try_increment_overflow<C: MonotonicCounter + Default>() {
     assert_eq!(c.debug_value(), u64::MAX);
 }
 
-fn advance_to_is_monotonic_max<C: MonotonicCounter + Default>() {
+fn advance_to_is_monotonic_max<C: Conformant>() {
     let c = C::default();
     c.advance_to(5);
     assert_eq!(c.debug_value(), 5);
@@ -85,7 +91,7 @@ fn advance_to_is_monotonic_max<C: MonotonicCounter + Default>() {
     c.check(9);
 }
 
-fn advance_to_wakes_waiters<C: MonotonicCounter + Default + 'static>() {
+fn advance_to_wakes_waiters<C: Conformant + 'static>() {
     let c = Arc::new(C::default());
     let mut handles = Vec::new();
     for level in [2u64, 7] {
@@ -102,7 +108,7 @@ fn advance_to_wakes_waiters<C: MonotonicCounter + Default + 'static>() {
     assert_eq!(c.debug_value(), 7);
 }
 
-fn concurrent_advance_to_takes_max<C: MonotonicCounter + Default + 'static>() {
+fn concurrent_advance_to_takes_max<C: Conformant + 'static>() {
     let c = Arc::new(C::default());
     std::thread::scope(|s| {
         for target in [3u64, 9, 5, 9, 1] {
@@ -117,7 +123,7 @@ fn concurrent_advance_to_takes_max<C: MonotonicCounter + Default + 'static>() {
     );
 }
 
-fn reset_restores_zero<C: MonotonicCounter + Default>() {
+fn reset_restores_zero<C: Conformant>() {
     let mut c = C::default();
     c.increment(4);
     c.reset();
@@ -126,7 +132,7 @@ fn reset_restores_zero<C: MonotonicCounter + Default>() {
     c.check(1);
 }
 
-fn same_level_waiters_all_wake<C: MonotonicCounter + Default + 'static>() {
+fn same_level_waiters_all_wake<C: Conformant + 'static>() {
     let c = Arc::new(C::default());
     let mut handles = Vec::new();
     for _ in 0..6 {
@@ -143,7 +149,7 @@ fn same_level_waiters_all_wake<C: MonotonicCounter + Default + 'static>() {
     assert_eq!(c.stats().live_waiters, 0);
 }
 
-fn impl_name_is_stable<C: MonotonicCounter + Default>() {
+fn impl_name_is_stable<C: Conformant>() {
     let c = C::default();
     assert!(!c.impl_name().is_empty());
     assert_eq!(c.impl_name(), C::default().impl_name());
@@ -201,6 +207,21 @@ macro_rules! conformance {
             #[test]
             fn impl_name_is_stable() {
                 super::impl_name_is_stable::<$ty>();
+            }
+            // `with_value` is an inherent constructor (uniform across all
+            // implementations), so it is exercised here via the macro rather
+            // than through a trait bound.
+            #[test]
+            fn with_value_starts_at_value() {
+                let c = <$ty>::with_value(17);
+                assert_eq!(c.debug_value(), 17);
+                c.check(17); // already satisfied
+                c.increment(3);
+                assert_eq!(c.debug_value(), 20);
+            }
+            #[test]
+            fn new_equals_default() {
+                assert_eq!(<$ty>::new().debug_value(), <$ty>::default().debug_value());
             }
         }
     };

@@ -13,7 +13,7 @@
 //! 5. The value is nondecreasing across the log (monotonicity).
 //! 6. The final state after all threads join is an empty structure.
 
-use mc_counter::{CounterSnapshot, MonotonicCounter, TracingCounter};
+use mc_counter::{CounterDiagnostics, CounterSnapshot, MonotonicCounter, TracingCounter};
 use proptest::prelude::*;
 use std::sync::Arc;
 

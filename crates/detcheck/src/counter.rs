@@ -2,7 +2,7 @@
 
 use crate::checker::ThreadCtx;
 use crate::vclock::VectorClock;
-use mc_counter::{Counter, MonotonicCounter, Value};
+use mc_counter::{Counter, CounterDiagnostics, MonotonicCounter, Value};
 use std::sync::Mutex;
 
 /// Clock history of a counter: after each increment, the cumulative join of

@@ -6,7 +6,7 @@
 //! increments broadcast availability, and each reader checks the prefix it
 //! needs. Writer and readers may each choose their own blocking granularity.
 
-use mc_counter::{Counter, MonotonicCounter, Value};
+use mc_counter::{Counter, CounterDiagnostics, MonotonicCounter, Value};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::OnceLock;
 

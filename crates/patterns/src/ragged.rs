@@ -7,7 +7,7 @@
 //! implements this with an array of counters, one per thread: the counter
 //! value **is** the thread's published progress.
 
-use mc_counter::{Counter, CounterSet, MonotonicCounter, Value};
+use mc_counter::{Counter, CounterDiagnostics, CounterSet, MonotonicCounter, Value};
 
 /// An array of per-participant progress counters.
 ///
@@ -91,7 +91,9 @@ impl<C: MonotonicCounter> RaggedBarrier<C> {
     pub fn wait_all(&self, deps: &[(usize, Value)]) {
         self.counters.check_pairs(deps);
     }
+}
 
+impl<C: MonotonicCounter + CounterDiagnostics> RaggedBarrier<C> {
     /// Participant `i`'s published progress (diagnostics/tests only).
     pub fn progress(&self, i: usize) -> Value {
         self.counters.get(i).debug_value()

@@ -6,7 +6,7 @@
 //! (floating-point sums, list appends) produces the same result on every
 //! execution — and the same result as the sequential program.
 
-use mc_counter::{Counter, MonotonicCounter, Value};
+use mc_counter::{Counter, CounterDiagnostics, MonotonicCounter, Value};
 
 /// A deterministic replacement for a lock: critical sections execute one at a
 /// time **and in ticket order** (0, 1, 2, ...).
@@ -79,7 +79,9 @@ impl<C: MonotonicCounter> Sequencer<C> {
             counter: &self.counter,
         }
     }
+}
 
+impl<C: MonotonicCounter + CounterDiagnostics> Sequencer<C> {
     /// The next ticket to be admitted (diagnostics/tests only).
     pub fn current(&self) -> Value {
         self.counter.debug_value()

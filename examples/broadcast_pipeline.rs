@@ -3,7 +3,7 @@
 //!
 //! Run with: `cargo run --release --example broadcast_pipeline`
 
-use monotonic_counters::patterns::{Broadcast, Pipeline};
+use monotonic_counters::prelude::*;
 use std::sync::Arc;
 use std::time::Instant;
 

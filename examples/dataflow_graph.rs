@@ -3,7 +3,7 @@
 //!
 //! Run with: `cargo run --release --example dataflow_graph`
 
-use monotonic_counters::patterns::DataflowGraph;
+use monotonic_counters::prelude::*;
 use std::time::Instant;
 
 fn main() {

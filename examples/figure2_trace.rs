@@ -3,7 +3,7 @@
 //!
 //! Run with: `cargo run --example figure2_trace`
 
-use monotonic_counters::counter::{MonotonicCounter, TracingCounter};
+use monotonic_counters::prelude::*;
 use std::sync::Arc;
 
 fn main() {

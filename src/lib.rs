@@ -45,10 +45,21 @@ pub use mc_primitives as primitives;
 pub use mc_sthreads as sthreads;
 
 /// The most commonly used items, for glob import.
+///
+/// Includes all three counter traits ([`MonotonicCounter`],
+/// [`Resettable`], [`CounterDiagnostics`]), every implementation, the common
+/// value/error/stats types, and the Section 5 patterns — everything the
+/// `examples/` directory needs from a single `use`.
+///
+/// [`MonotonicCounter`]: mc_counter::MonotonicCounter
+/// [`Resettable`]: mc_counter::Resettable
+/// [`CounterDiagnostics`]: mc_counter::CounterDiagnostics
 pub mod prelude {
     pub use mc_counter::{
-        check_all, AtomicCounter, BTreeCounter, Counter, CounterExt, CounterSet, MonitorCounter,
-        MonotonicCounter, NaiveCounter, ParkingCounter, SpinCounter,
+        check_all, AtomicCounter, BTreeCounter, CheckTimeoutError, Counter, CounterDiagnostics,
+        CounterExt, CounterOverflowError, CounterSet, MonitorCounter, MonotonicCounter,
+        NaiveCounter, ParkingCounter, Resettable, SpinCounter, StatsSnapshot, TracingCounter,
+        Value,
     };
     pub use mc_patterns::{Broadcast, DataflowGraph, Pipeline, RaggedBarrier, Sequencer};
     pub use mc_primitives::{

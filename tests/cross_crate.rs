@@ -8,7 +8,7 @@ use std::sync::{Arc, Mutex};
 /// Every counter implementation drives the Sequencer correctly.
 #[test]
 fn sequencer_over_every_counter_impl() {
-    fn run<C: MonotonicCounter + Default>() {
+    fn run<C: MonotonicCounter + CounterDiagnostics + Default>() {
         let seq: Sequencer<C> = Sequencer::with_counter();
         let log = Mutex::new(Vec::new());
         std::thread::scope(|s| {
@@ -29,7 +29,7 @@ fn sequencer_over_every_counter_impl() {
 /// Every counter implementation drives the ragged barrier correctly.
 #[test]
 fn ragged_barrier_over_every_counter_impl() {
-    fn run<C: MonotonicCounter + Default>() {
+    fn run<C: MonotonicCounter + CounterDiagnostics + Default>() {
         let rb: RaggedBarrier<C> = RaggedBarrier::with_counter(4);
         std::thread::scope(|s| {
             for i in 0..4usize {

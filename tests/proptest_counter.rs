@@ -2,7 +2,8 @@
 //! implementation against a simple reference model.
 
 use mc_counter::{
-    AtomicCounter, BTreeCounter, Counter, MonotonicCounter, NaiveCounter, ParkingCounter,
+    AtomicCounter, BTreeCounter, Counter, CounterDiagnostics, MonotonicCounter, NaiveCounter,
+    ParkingCounter,
 };
 use proptest::prelude::*;
 use std::sync::Arc;
@@ -29,7 +30,7 @@ fn op_strategy() -> impl Strategy<Value = Op> {
 
 /// Applies the script to an implementation and the model, asserting agreement
 /// after every step.
-fn run_script<C: MonotonicCounter + Default>(ops: &[Op]) {
+fn run_script<C: MonotonicCounter + CounterDiagnostics + Default>(ops: &[Op]) {
     let c = C::default();
     let mut model: u64 = 0;
     for op in ops {

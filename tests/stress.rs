@@ -3,8 +3,8 @@
 //! waiter wakes, values add up, storage is reclaimed) under load.
 
 use mc_counter::{
-    AtomicCounter, BTreeCounter, Counter, MonitorCounter, MonotonicCounter, NaiveCounter,
-    ParkingCounter, SpinCounter,
+    AtomicCounter, BTreeCounter, Counter, CounterDiagnostics, MonitorCounter, MonotonicCounter,
+    NaiveCounter, ParkingCounter, SpinCounter,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -13,7 +13,7 @@ use std::sync::Arc;
 /// Runs `waiters` checkers and `incrementers` incrementers with seeded random
 /// levels/amounts; verifies everyone terminates and the final value is the
 /// sum of all increments.
-fn hammer<C: MonotonicCounter + Default + 'static>(seed: u64) {
+fn hammer<C: MonotonicCounter + CounterDiagnostics + Default + 'static>(seed: u64) {
     let waiters = 24;
     let incrementers = 8;
     let per_incrementer = 50u64;

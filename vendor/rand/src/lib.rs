@@ -1,0 +1,186 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no network access to crates.io, so the workspace
+//! vendors the small slice of the `rand 0.8` API it actually uses: `StdRng`,
+//! `SeedableRng::seed_from_u64`, `Rng::gen_range` over integer and float
+//! ranges, and `Rng::gen_bool`. The generator is splitmix64 — statistically
+//! fine for the randomized tests and workload shufflers in this repo, not for
+//! anything security-sensitive.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Core trait producing raw random words.
+pub trait RngCore {
+    /// Returns the next random 64-bit word.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Construction of RNGs from seed material.
+pub trait SeedableRng: Sized {
+    /// Creates an RNG seeded from a single `u64`.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Types that can be sampled uniformly from a half-open or closed interval.
+///
+/// Mirrors `rand::distributions::uniform::SampleUniform` closely enough that
+/// `gen_range(0..100)` infers the literal's type from the call site (the
+/// `SampleRange` impls below are generic over `T`, exactly like real rand).
+pub trait SampleUniform: Sized {
+    /// Uniform sample from `[start, end)` (`inclusive = false`) or
+    /// `[start, end]` (`inclusive = true`).
+    fn sample_range(start: Self, end: Self, inclusive: bool, rng: &mut dyn RngCore) -> Self;
+}
+
+macro_rules! impl_int_sample_uniform {
+    ($($t:ty => $u:ty),* $(,)?) => {$(
+        impl SampleUniform for $t {
+            fn sample_range(start: $t, end: $t, inclusive: bool, rng: &mut dyn RngCore) -> $t {
+                // Work in the unsigned domain so signed spans don't overflow.
+                let span = (end as $u).wrapping_sub(start as $u);
+                let offset = if inclusive {
+                    assert!(start <= end, "cannot sample empty range");
+                    if span == <$u>::MAX {
+                        // Interval covers the whole domain; any word works.
+                        rng.next_u64() as $u
+                    } else {
+                        (rng.next_u64() % (span as u64 + 1)) as $u
+                    }
+                } else {
+                    assert!(start < end, "cannot sample empty range");
+                    (rng.next_u64() % span as u64) as $u
+                };
+                (start as $u).wrapping_add(offset) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_sample_uniform! {
+    u8 => u8, u16 => u16, u32 => u32, u64 => u64, usize => usize,
+    i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => usize,
+}
+
+impl SampleUniform for f64 {
+    fn sample_range(start: f64, end: f64, _inclusive: bool, rng: &mut dyn RngCore) -> f64 {
+        assert!(start < end, "cannot sample empty range");
+        let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        start + unit * (end - start)
+    }
+}
+
+/// A range that can produce a uniformly distributed sample.
+pub trait SampleRange<T> {
+    /// Draws one sample from `rng`.
+    fn sample(self, rng: &mut dyn RngCore) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample(self, rng: &mut dyn RngCore) -> T {
+        T::sample_range(self.start, self.end, false, rng)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample(self, rng: &mut dyn RngCore) -> T {
+        let (start, end) = self.into_inner();
+        T::sample_range(start, end, true, rng)
+    }
+}
+
+/// Convenience methods layered over [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples uniformly from `range`.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
+        let unit = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        unit < p
+    }
+}
+
+impl<T: RngCore> Rng for T {}
+
+/// Concrete RNG types.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard deterministic RNG (splitmix64).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            // splitmix64 (Steele, Lea, Flood 2014) — passes BigCrush as a
+            // 64-bit mixer, one add + three xor-shift-multiplies per draw.
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(state: u64) -> Self {
+            StdRng { state }
+        }
+    }
+}
+
+pub use rngs::StdRng;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x: i64 = rng.gen_range(-1000..1000);
+            assert!((-1000..1000).contains(&x));
+            let y: u64 = rng.gen_range(0..4);
+            assert!(y < 4);
+            let z: i32 = rng.gen_range(-20..=20);
+            assert!((-20..=20).contains(&z));
+            let f: f64 = rng.gen_range(0.5..2.0);
+            assert!((0.5..2.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..100 {
+            assert!(!rng.gen_bool(0.0));
+            assert!(rng.gen_bool(1.0));
+        }
+    }
+
+    #[test]
+    fn gen_range_varies() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let draws: Vec<u64> = (0..32).map(|_| rng.gen_range(0..1_000_000)).collect();
+        assert!(draws.windows(2).any(|w| w[0] != w[1]));
+    }
+}
