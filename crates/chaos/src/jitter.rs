@@ -75,6 +75,19 @@ impl Chaos {
     }
 }
 
+/// The chaos seed from the `MC_CHAOS_SEED` environment variable, or
+/// `default` when the variable is unset or unparsable.
+///
+/// CI's fault matrix pins this variable so every job explores a distinct —
+/// but reproducible — slice of the schedule space; a failing run's seed can
+/// be replayed locally with `MC_CHAOS_SEED=<seed> cargo test ...`.
+pub fn seed_from_env(default: u64) -> u64 {
+    std::env::var("MC_CHAOS_SEED")
+        .ok()
+        .and_then(|s| s.trim().parse().ok())
+        .unwrap_or(default)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

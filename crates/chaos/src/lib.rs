@@ -28,4 +28,4 @@ mod jitter;
 
 pub use counter::ChaosCounter;
 pub use explore::{explore, Outcomes};
-pub use jitter::{Chaos, ChaosConfig};
+pub use jitter::{seed_from_env, Chaos, ChaosConfig};

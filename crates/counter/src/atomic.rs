@@ -14,11 +14,11 @@
 //! (same fast-path cost, weaker orderings, and one fewer word to reason
 //! about). See the `fastpath` module docs for the missed-wakeup argument.
 
-use crate::error::{CheckTimeoutError, CounterOverflowError};
+use crate::error::{CheckError, CheckTimeoutError, CounterOverflowError, FailureInfo};
 use crate::fastpath::{FastAdvance, FastIncrement, FastWord, FAST_CAP};
 use crate::node::WaitNode;
 use crate::stats::{Stats, StatsSnapshot};
-use crate::traits::{CounterDiagnostics, MonotonicCounter, Resettable};
+use crate::traits::{CounterDiagnostics, MonotonicCounter, Resettable, WaitingLevel};
 use crate::Value;
 use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex, MutexGuard};
@@ -30,6 +30,8 @@ struct Inner {
     /// Exact value once the packed hint saturates; see [`crate::fastpath`].
     wide: Value,
     waiting: WaitMap,
+    /// The first poisoning cause, if any. Set at most once.
+    poisoned: Option<FailureInfo>,
 }
 
 /// A monotonic counter whose uncontended `check` and `increment` are
@@ -61,6 +63,7 @@ impl AtomicCounter {
             inner: Mutex::new(Inner {
                 wide: value,
                 waiting: BTreeMap::new(),
+                poisoned: None,
             }),
             stats: Stats::default(),
         }
@@ -153,12 +156,13 @@ impl MonotonicCounter for AtomicCounter {
         }
     }
 
-    fn check(&self, level: Value) {
+    fn wait(&self, level: Value) -> Result<(), CheckError> {
         // Lock-free fast path: monotonicity makes this sound — a satisfied
-        // level can never become unsatisfied.
+        // level can never become unsatisfied (and a satisfied level owes
+        // nothing to a failed thread, so the poison bit is not consulted).
         if self.fast.is_satisfied(level) {
             self.stats.record_fast_check();
-            return;
+            return Ok(());
         }
         let mut inner = self.lock();
         self.stats.record_slow_entry();
@@ -171,7 +175,14 @@ impl MonotonicCounter for AtomicCounter {
                 self.fast.clear_waiters();
             }
             self.stats.record_check_immediate();
-            return;
+            return Ok(());
+        }
+        if let Some(info) = &inner.poisoned {
+            let info = info.clone();
+            if inner.waiting.is_empty() {
+                self.fast.clear_waiters();
+            }
+            return Err(CheckError::Poisoned(info));
         }
         let mut inserted = false;
         let node = Arc::clone(inner.waiting.entry(level).or_insert_with(|| {
@@ -183,19 +194,28 @@ impl MonotonicCounter for AtomicCounter {
         }
         node.add_waiter();
         self.stats.record_check_suspended();
-        while !node.is_set() {
+        while !node.is_set() && !node.is_poisoned() {
             inner = node
                 .cv
                 .wait(inner)
                 .expect("counter lock poisoned while waiting");
         }
+        let poisoned = node.is_poisoned();
         self.stats.record_waiter_resumed();
         if node.remove_waiter() {
             self.stats.record_node_freed();
         }
+        if poisoned {
+            let info = inner
+                .poisoned
+                .clone()
+                .expect("poisoned wait node without a recorded cause");
+            return Err(CheckError::Poisoned(info));
+        }
+        Ok(())
     }
 
-    fn check_timeout(&self, level: Value, timeout: Duration) -> Result<(), CheckTimeoutError> {
+    fn wait_timeout(&self, level: Value, timeout: Duration) -> Result<(), CheckError> {
         if self.fast.is_satisfied(level) {
             self.stats.record_fast_check();
             return Ok(());
@@ -211,6 +231,13 @@ impl MonotonicCounter for AtomicCounter {
             self.stats.record_check_immediate();
             return Ok(());
         }
+        if let Some(info) = &inner.poisoned {
+            let info = info.clone();
+            if inner.waiting.is_empty() {
+                self.fast.clear_waiters();
+            }
+            return Err(CheckError::Poisoned(info));
+        }
         let mut inserted = false;
         let node = Arc::clone(inner.waiting.entry(level).or_insert_with(|| {
             inserted = true;
@@ -222,12 +249,25 @@ impl MonotonicCounter for AtomicCounter {
         node.add_waiter();
         self.stats.record_check_suspended();
         loop {
+            // Satisfied first, then poisoned (the node already left the map
+            // at poison time), then the deadline.
             if node.is_set() {
                 self.stats.record_waiter_resumed();
                 if node.remove_waiter() {
                     self.stats.record_node_freed();
                 }
                 return Ok(());
+            }
+            if node.is_poisoned() {
+                self.stats.record_waiter_resumed();
+                if node.remove_waiter() {
+                    self.stats.record_node_freed();
+                }
+                let info = inner
+                    .poisoned
+                    .clone()
+                    .expect("poisoned wait node without a recorded cause");
+                return Err(CheckError::Poisoned(info));
             }
             let now = Instant::now();
             if now >= deadline {
@@ -239,7 +279,7 @@ impl MonotonicCounter for AtomicCounter {
                         self.fast.clear_waiters();
                     }
                 }
-                return Err(CheckTimeoutError { level });
+                return Err(CheckError::Timeout(CheckTimeoutError { level }));
             }
             let (guard, _) = node
                 .cv
@@ -248,6 +288,34 @@ impl MonotonicCounter for AtomicCounter {
             inner = guard;
         }
     }
+
+    fn poison(&self, info: FailureInfo) {
+        let swept = {
+            let mut inner = self.lock();
+            if inner.poisoned.is_some() {
+                return;
+            }
+            self.fast.set_poison();
+            inner.poisoned = Some(info);
+            let swept = Self::remove_satisfied(&mut inner.waiting, Value::MAX);
+            for node in &swept {
+                node.poison();
+                self.stats.record_notify();
+            }
+            self.fast.clear_waiters();
+            swept
+        };
+        for node in swept {
+            node.cv.notify_all();
+        }
+    }
+
+    fn poison_info(&self) -> Option<FailureInfo> {
+        if !self.fast.is_poisoned() {
+            return None;
+        }
+        self.lock().poisoned.clone()
+    }
 }
 
 impl Resettable for AtomicCounter {
@@ -255,6 +323,7 @@ impl Resettable for AtomicCounter {
         let inner = self.inner.get_mut().expect("counter lock poisoned");
         debug_assert!(inner.waiting.is_empty(), "reset called while threads wait");
         inner.wide = 0;
+        inner.poisoned = None;
         self.fast.reset(0);
     }
 }
@@ -275,6 +344,17 @@ impl CounterDiagnostics for AtomicCounter {
 
     fn impl_name(&self) -> &'static str {
         "atomic-fastpath"
+    }
+
+    fn waiters(&self) -> Vec<WaitingLevel> {
+        self.lock()
+            .waiting
+            .values()
+            .map(|n| WaitingLevel {
+                level: n.level,
+                threads: n.waiter_count(),
+            })
+            .collect()
     }
 }
 
@@ -359,6 +439,23 @@ mod tests {
         c.increment(3);
         c.check(3);
         assert_eq!(c.stats().fast_increments, 1);
+    }
+
+    #[test]
+    fn poison_propagates_through_the_fast_word() {
+        let c = Arc::new(AtomicCounter::new());
+        let c2 = Arc::clone(&c);
+        let h = thread::spawn(move || c2.wait(6));
+        while c.stats().live_waiters == 0 {
+            thread::yield_now();
+        }
+        c.poison(FailureInfo::new("atomic failure"));
+        assert!(matches!(h.join().unwrap(), Err(CheckError::Poisoned(_))));
+        assert_eq!(c.stats().live_nodes, 0);
+        // The fast satisfied-check still works with the poison bit set.
+        c.increment(6);
+        c.check(6);
+        assert!(c.wait(7).is_err());
     }
 
     #[test]

@@ -5,11 +5,11 @@
 //! path; level lookup on the slow path is O(log L) rather than O(L).
 //! Experiment E7 ablates this choice.
 
-use crate::error::{CheckTimeoutError, CounterOverflowError};
+use crate::error::{CheckError, CheckTimeoutError, CounterOverflowError, FailureInfo};
 use crate::fastpath::{FastAdvance, FastIncrement, FastWord, FAST_CAP};
 use crate::node::WaitNode;
 use crate::stats::{Stats, StatsSnapshot};
-use crate::traits::{CounterDiagnostics, MonotonicCounter, Resettable};
+use crate::traits::{CounterDiagnostics, MonotonicCounter, Resettable, WaitingLevel};
 use crate::Value;
 use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex, MutexGuard};
@@ -19,6 +19,8 @@ struct Inner {
     /// Exact value once the packed hint saturates; see [`crate::fastpath`].
     wide: Value,
     waiting: BTreeMap<Value, Arc<WaitNode>>,
+    /// The first poisoning cause, if any. Set at most once.
+    poisoned: Option<FailureInfo>,
 }
 
 /// A monotonic counter whose per-level suspension queues live in a `BTreeMap`.
@@ -50,6 +52,7 @@ impl BTreeCounter {
             inner: Mutex::new(Inner {
                 wide: value,
                 waiting: BTreeMap::new(),
+                poisoned: None,
             }),
             stats: Stats::default(),
         }
@@ -172,10 +175,10 @@ impl MonotonicCounter for BTreeCounter {
         }
     }
 
-    fn check(&self, level: Value) {
+    fn wait(&self, level: Value) -> Result<(), CheckError> {
         if self.fast.is_satisfied(level) {
             self.stats.record_fast_check();
-            return;
+            return Ok(());
         }
         let mut inner = self.lock();
         self.stats.record_slow_entry();
@@ -185,22 +188,38 @@ impl MonotonicCounter for BTreeCounter {
                 self.fast.clear_waiters();
             }
             self.stats.record_check_immediate();
-            return;
+            return Ok(());
+        }
+        if let Some(info) = &inner.poisoned {
+            let info = info.clone();
+            if inner.waiting.is_empty() {
+                self.fast.clear_waiters();
+            }
+            return Err(CheckError::Poisoned(info));
         }
         let node = self.enqueue(&mut inner, level);
-        while !node.is_set() {
+        while !node.is_set() && !node.is_poisoned() {
             inner = node
                 .cv
                 .wait(inner)
                 .expect("counter lock poisoned while waiting");
         }
+        let poisoned = node.is_poisoned();
         self.stats.record_waiter_resumed();
         if node.remove_waiter() {
             self.stats.record_node_freed();
         }
+        if poisoned {
+            let info = inner
+                .poisoned
+                .clone()
+                .expect("poisoned wait node without a recorded cause");
+            return Err(CheckError::Poisoned(info));
+        }
+        Ok(())
     }
 
-    fn check_timeout(&self, level: Value, timeout: Duration) -> Result<(), CheckTimeoutError> {
+    fn wait_timeout(&self, level: Value, timeout: Duration) -> Result<(), CheckError> {
         if self.fast.is_satisfied(level) {
             self.stats.record_fast_check();
             return Ok(());
@@ -216,14 +235,35 @@ impl MonotonicCounter for BTreeCounter {
             self.stats.record_check_immediate();
             return Ok(());
         }
+        if let Some(info) = &inner.poisoned {
+            let info = info.clone();
+            if inner.waiting.is_empty() {
+                self.fast.clear_waiters();
+            }
+            return Err(CheckError::Poisoned(info));
+        }
         let node = self.enqueue(&mut inner, level);
         loop {
+            // Satisfied first, then poisoned (the node already left the map
+            // at poison time, so the timeout-removal branch must not run for
+            // it), then the deadline.
             if node.is_set() {
                 self.stats.record_waiter_resumed();
                 if node.remove_waiter() {
                     self.stats.record_node_freed();
                 }
                 return Ok(());
+            }
+            if node.is_poisoned() {
+                self.stats.record_waiter_resumed();
+                if node.remove_waiter() {
+                    self.stats.record_node_freed();
+                }
+                let info = inner
+                    .poisoned
+                    .clone()
+                    .expect("poisoned wait node without a recorded cause");
+                return Err(CheckError::Poisoned(info));
             }
             let now = Instant::now();
             if now >= deadline {
@@ -235,7 +275,7 @@ impl MonotonicCounter for BTreeCounter {
                         self.fast.clear_waiters();
                     }
                 }
-                return Err(CheckTimeoutError { level });
+                return Err(CheckError::Timeout(CheckTimeoutError { level }));
             }
             let (guard, _) = node
                 .cv
@@ -244,6 +284,34 @@ impl MonotonicCounter for BTreeCounter {
             inner = guard;
         }
     }
+
+    fn poison(&self, info: FailureInfo) {
+        let swept = {
+            let mut inner = self.lock();
+            if inner.poisoned.is_some() {
+                return;
+            }
+            self.fast.set_poison();
+            inner.poisoned = Some(info);
+            let swept = Self::remove_satisfied(&mut inner.waiting, Value::MAX);
+            for node in &swept {
+                node.poison();
+                self.stats.record_notify();
+            }
+            self.fast.clear_waiters();
+            swept
+        };
+        for node in swept {
+            node.cv.notify_all();
+        }
+    }
+
+    fn poison_info(&self) -> Option<FailureInfo> {
+        if !self.fast.is_poisoned() {
+            return None;
+        }
+        self.lock().poisoned.clone()
+    }
 }
 
 impl Resettable for BTreeCounter {
@@ -251,6 +319,7 @@ impl Resettable for BTreeCounter {
         let inner = self.inner.get_mut().expect("counter lock poisoned");
         debug_assert!(inner.waiting.is_empty(), "reset called while threads wait");
         inner.wide = 0;
+        inner.poisoned = None;
         self.fast.reset(0);
     }
 }
@@ -271,6 +340,17 @@ impl CounterDiagnostics for BTreeCounter {
 
     fn impl_name(&self) -> &'static str {
         "btree"
+    }
+
+    fn waiters(&self) -> Vec<WaitingLevel> {
+        self.lock()
+            .waiting
+            .values()
+            .map(|n| WaitingLevel {
+                level: n.level,
+                threads: n.waiter_count(),
+            })
+            .collect()
     }
 }
 
@@ -341,6 +421,30 @@ mod tests {
             h.join().unwrap();
         }
         assert_eq!(c.stats().nodes_created, 3);
+    }
+
+    #[test]
+    fn poison_wakes_and_frees_all_nodes() {
+        let c = Arc::new(BTreeCounter::new());
+        let mut handles = Vec::new();
+        for level in [4u64, 8, 12] {
+            let c = Arc::clone(&c);
+            handles.push(thread::spawn(move || c.wait(level)));
+        }
+        while c.stats().live_waiters < 3 {
+            thread::yield_now();
+        }
+        c.poison(FailureInfo::new("worker panicked"));
+        for h in handles {
+            assert!(matches!(h.join().unwrap(), Err(CheckError::Poisoned(_))));
+        }
+        let s = c.stats();
+        assert_eq!(s.nodes_created, s.nodes_freed);
+        assert_eq!(s.live_nodes, 0);
+        // Satisfied waits still succeed; would-block waits still fail.
+        c.increment(4);
+        assert!(c.wait(4).is_ok());
+        assert!(c.wait(5).is_err());
     }
 
     #[test]

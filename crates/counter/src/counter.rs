@@ -10,13 +10,13 @@
 //! so the mutex is only ever taken when a thread actually suspends or must be
 //! woken.
 
-use crate::error::{CheckTimeoutError, CounterOverflowError};
+use crate::error::{CheckError, CheckTimeoutError, CounterOverflowError, FailureInfo};
 use crate::fastpath::{FastAdvance, FastIncrement, FastWord, FAST_CAP};
 use crate::list::SortedList;
 use crate::node::WaitNode;
 use crate::stats::{Stats, StatsSnapshot};
 use crate::trace::{snapshot_of, TraceLog};
-use crate::traits::{CounterDiagnostics, MonotonicCounter, Resettable};
+use crate::traits::{CounterDiagnostics, MonotonicCounter, Resettable, WaitingLevel};
 use crate::Value;
 use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
@@ -31,8 +31,10 @@ pub(crate) struct Inner {
     /// Nodes whose level has been satisfied but whose waiters have not all
     /// resumed yet — these are the "set" nodes still drawn in the waiting
     /// structure of Figure 2 (e) and (f). The last waiter to resume removes
-    /// its node from here.
+    /// its node from here. Poisoned nodes drain through here too.
     pub(crate) draining: Vec<Arc<WaitNode>>,
+    /// The first poisoning cause, if any. Set at most once.
+    pub(crate) poisoned: Option<FailureInfo>,
 }
 
 /// The reference monotonic counter: a packed-word fast path over one lock
@@ -106,6 +108,7 @@ impl Counter {
                 wide: value,
                 waiting: SortedList::new(),
                 draining: Vec::new(),
+                poisoned: None,
             }),
             stats: Stats::default(),
             trace: None,
@@ -284,10 +287,10 @@ impl MonotonicCounter for Counter {
         }
     }
 
-    fn check(&self, level: Value) {
+    fn wait(&self, level: Value) -> Result<(), CheckError> {
         if self.fast_enabled && self.fast.is_satisfied(level) {
             self.stats.record_fast_check();
-            return;
+            return Ok(());
         }
         let mut inner = self.lock();
         self.stats.record_slow_entry();
@@ -301,7 +304,16 @@ impl MonotonicCounter for Counter {
                 self.fast.clear_waiters();
             }
             self.stats.record_check_immediate();
-            return;
+            return Ok(());
+        }
+        // A wait that would suspend on a poisoned counter fails immediately:
+        // the increments it depends on are owed by a thread that is gone.
+        if let Some(info) = &inner.poisoned {
+            let info = info.clone();
+            if inner.waiting.is_empty() {
+                self.fast.clear_waiters();
+            }
+            return Err(CheckError::Poisoned(info));
         }
         let (node, inserted) = inner.waiting.find_or_insert(level);
         if inserted {
@@ -310,16 +322,25 @@ impl MonotonicCounter for Counter {
         node.add_waiter();
         self.stats.record_check_suspended();
         self.record(&inner);
-        while !node.is_set() {
+        while !node.is_set() && !node.is_poisoned() {
             inner = node
                 .cv
                 .wait(inner)
                 .expect("counter lock poisoned while waiting");
         }
+        let poisoned = node.is_poisoned();
         self.resume_from(&mut inner, &node);
+        if poisoned {
+            let info = inner
+                .poisoned
+                .clone()
+                .expect("poisoned wait node without a recorded cause");
+            return Err(CheckError::Poisoned(info));
+        }
+        Ok(())
     }
 
-    fn check_timeout(&self, level: Value, timeout: Duration) -> Result<(), CheckTimeoutError> {
+    fn wait_timeout(&self, level: Value, timeout: Duration) -> Result<(), CheckError> {
         if self.fast_enabled && self.fast.is_satisfied(level) {
             self.stats.record_fast_check();
             return Ok(());
@@ -335,6 +356,13 @@ impl MonotonicCounter for Counter {
             self.stats.record_check_immediate();
             return Ok(());
         }
+        if let Some(info) = &inner.poisoned {
+            let info = info.clone();
+            if inner.waiting.is_empty() {
+                self.fast.clear_waiters();
+            }
+            return Err(CheckError::Poisoned(info));
+        }
         let (node, inserted) = inner.waiting.find_or_insert(level);
         if inserted {
             self.stats.record_node_created();
@@ -343,9 +371,22 @@ impl MonotonicCounter for Counter {
         self.stats.record_check_suspended();
         self.record(&inner);
         loop {
+            // Check order matters: satisfied first (a satisfied level owes
+            // nothing, even when poisoning raced in), then poisoned (the
+            // node already left the waiting list at poison time, so the
+            // timeout-removal branch below must not run for it), then the
+            // deadline.
             if node.is_set() {
                 self.resume_from(&mut inner, &node);
                 return Ok(());
+            }
+            if node.is_poisoned() {
+                self.resume_from(&mut inner, &node);
+                let info = inner
+                    .poisoned
+                    .clone()
+                    .expect("poisoned wait node without a recorded cause");
+                return Err(CheckError::Poisoned(info));
             }
             let now = Instant::now();
             if now >= deadline {
@@ -362,7 +403,7 @@ impl MonotonicCounter for Counter {
                     }
                 }
                 self.record(&inner);
-                return Err(CheckTimeoutError { level });
+                return Err(CheckError::Timeout(CheckTimeoutError { level }));
             }
             let (guard, _timed_out) = node
                 .cv
@@ -370,6 +411,43 @@ impl MonotonicCounter for Counter {
                 .expect("counter lock poisoned while waiting");
             inner = guard;
         }
+    }
+
+    fn poison(&self, info: FailureInfo) {
+        let swept = {
+            let mut inner = self.lock();
+            if inner.poisoned.is_some() {
+                return; // the first failure is the cause; later ones are noise
+            }
+            self.fast.set_poison();
+            inner.poisoned = Some(info);
+            // Sweep *every* waiting node (u64::MAX satisfies all levels):
+            // each is marked poisoned instead of set and drains through the
+            // same last-waiter-frees protocol as a satisfied node.
+            let swept = inner.waiting.remove_satisfied(Value::MAX);
+            for node in &swept {
+                node.poison();
+                inner.draining.push(Arc::clone(node));
+                self.stats.record_notify();
+            }
+            self.fast.clear_waiters();
+            self.record(&inner);
+            swept
+        };
+        // Broadcast outside the lock, exactly as `increment` does.
+        for node in swept {
+            node.cv.notify_all();
+        }
+    }
+
+    fn poison_info(&self) -> Option<FailureInfo> {
+        // The packed word's poison bit is set under the same lock that
+        // publishes the cause, so a clear bit means "not poisoned" without
+        // taking the lock.
+        if !self.fast.is_poisoned() {
+            return None;
+        }
+        self.lock().poisoned.clone()
     }
 }
 
@@ -381,6 +459,7 @@ impl Resettable for Counter {
             "reset called while threads wait on the counter"
         );
         inner.wide = 0;
+        inner.poisoned = None;
         self.fast.reset(0);
     }
 }
@@ -407,6 +486,18 @@ impl CounterDiagnostics for Counter {
         } else {
             "waitlist-mutex-only"
         }
+    }
+
+    fn waiters(&self) -> Vec<WaitingLevel> {
+        self.lock()
+            .waiting
+            .nodes()
+            .iter()
+            .map(|n| WaitingLevel {
+                level: n.level,
+                threads: n.waiter_count(),
+            })
+            .collect()
     }
 }
 
@@ -796,5 +887,169 @@ mod tests {
         c.increment(3);
         let s = format!("{c:?}");
         assert!(s.contains("value: 3"), "got {s}");
+    }
+
+    #[test]
+    fn poison_wakes_blocked_waiters_with_the_cause() {
+        let c = Arc::new(Counter::new());
+        let mut handles = Vec::new();
+        for level in [5u64, 9] {
+            let c = Arc::clone(&c);
+            handles.push(thread::spawn(move || c.wait(level)));
+        }
+        while c.live_nodes() < 2 {
+            thread::yield_now();
+        }
+        c.poison(FailureInfo::new("producer died"));
+        for h in handles {
+            let err = h.join().unwrap().unwrap_err();
+            assert_eq!(err.failure().unwrap().message(), "producer died");
+        }
+        assert_eq!(c.live_nodes(), 0, "poisoned nodes must drain and free");
+        let s = c.stats();
+        assert_eq!(s.nodes_created, s.nodes_freed);
+    }
+
+    #[test]
+    fn wait_on_poisoned_counter_fails_without_suspending() {
+        let c = Counter::new();
+        c.poison(FailureInfo::new("boom"));
+        let err = c.wait(1).unwrap_err();
+        assert!(matches!(err, CheckError::Poisoned(_)));
+        let err = c.wait_timeout(1, LONG).unwrap_err();
+        assert!(
+            matches!(err, CheckError::Poisoned(_)),
+            "poison must win over timeout"
+        );
+        assert_eq!(c.live_nodes(), 0);
+    }
+
+    #[test]
+    fn satisfied_levels_succeed_even_when_poisoned() {
+        let c = Counter::new();
+        c.increment(5);
+        c.poison(FailureInfo::new("boom"));
+        assert!(c.wait(5).is_ok());
+        assert!(c.wait_timeout(3, SHORT).is_ok());
+        c.check(0); // must not panic: level 0 owes nothing
+    }
+
+    #[test]
+    fn increments_still_apply_after_poison() {
+        let c = Counter::new();
+        c.poison(FailureInfo::new("boom"));
+        c.increment(4);
+        assert_eq!(c.debug_value(), 4);
+        assert!(c.wait(4).is_ok(), "newly satisfied level succeeds");
+        assert!(c.wait(5).is_err(), "would-block wait still fails");
+    }
+
+    #[test]
+    fn first_poison_wins() {
+        let c = Counter::new();
+        c.poison(FailureInfo::new("first"));
+        c.poison(FailureInfo::new("second"));
+        assert_eq!(c.poison_info().unwrap().message(), "first");
+    }
+
+    #[test]
+    fn poison_info_is_none_until_poisoned() {
+        let c = Counter::new();
+        assert!(c.poison_info().is_none());
+        c.poison(FailureInfo::new("x").with_level(3));
+        let info = c.poison_info().unwrap();
+        assert_eq!(info.level(), Some(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "monotonic counter poisoned")]
+    fn check_panics_on_poisoned_counter() {
+        let c = Counter::new();
+        c.poison(FailureInfo::new("dead increment owner"));
+        c.check(1);
+    }
+
+    #[test]
+    fn poisoned_timed_waiter_reports_poison_not_timeout() {
+        let c = Arc::new(Counter::new());
+        let c2 = Arc::clone(&c);
+        let h = thread::spawn(move || c2.wait_timeout(7, LONG));
+        while c.live_nodes() == 0 {
+            thread::yield_now();
+        }
+        c.poison(FailureInfo::new("late failure"));
+        let err = h.join().unwrap().unwrap_err();
+        assert!(matches!(err, CheckError::Poisoned(_)));
+        assert_eq!(c.live_nodes(), 0);
+    }
+
+    #[test]
+    fn poison_clears_waiters_bit_so_fast_increments_resume() {
+        let c = Arc::new(Counter::new());
+        let c2 = Arc::clone(&c);
+        let h = thread::spawn(move || c2.wait(5));
+        while c.live_nodes() == 0 {
+            thread::yield_now();
+        }
+        assert!(c.advertises_waiters());
+        c.poison(FailureInfo::new("x"));
+        h.join().unwrap().unwrap_err();
+        assert!(!c.advertises_waiters());
+        let fast_before = c.stats().fast_increments;
+        c.increment(1);
+        assert_eq!(
+            c.stats().fast_increments,
+            fast_before + 1,
+            "increments with only the poison bit set stay on the fast path"
+        );
+    }
+
+    #[test]
+    fn reset_clears_poison() {
+        let mut c = Counter::new();
+        c.poison(FailureInfo::new("old phase"));
+        c.reset();
+        assert!(c.poison_info().is_none());
+        c.increment(1);
+        // A would-block wait now times out (the fresh phase is merely
+        // unsatisfied), instead of reporting the stale poisoning.
+        assert!(matches!(
+            c.wait_timeout(2, SHORT),
+            Err(CheckError::Timeout(_))
+        ));
+    }
+
+    #[test]
+    fn waiters_reports_levels_and_thread_counts() {
+        let c = Arc::new(Counter::new());
+        let mut handles = Vec::new();
+        for level in [3u64, 3, 8] {
+            let c = Arc::clone(&c);
+            handles.push(thread::spawn(move || c.check(level)));
+        }
+        while c.stats().live_waiters < 3 {
+            thread::yield_now();
+        }
+        let w = c.waiters();
+        assert_eq!(w.len(), 2);
+        assert_eq!(
+            w[0],
+            WaitingLevel {
+                level: 3,
+                threads: 2
+            }
+        );
+        assert_eq!(
+            w[1],
+            WaitingLevel {
+                level: 8,
+                threads: 1
+            }
+        );
+        c.increment(8);
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(c.waiters().is_empty());
     }
 }

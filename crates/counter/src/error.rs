@@ -1,6 +1,8 @@
-//! Error types for fallible counter operations.
+//! Error types for fallible counter operations, and the [`FailureInfo`]
+//! record that travels with a poisoned counter.
 
 use std::fmt;
+use std::sync::Arc;
 
 /// Error returned by [`MonotonicCounter::check_timeout`] when the counter did
 /// not reach the requested level before the timeout elapsed.
@@ -48,6 +50,119 @@ impl fmt::Display for CounterOverflowError {
 
 impl std::error::Error for CounterOverflowError {}
 
+/// The captured cause of a counter poisoning: which thread failed, why, and
+/// (when known) the level context of the failure.
+///
+/// `FailureInfo` is deliberately cheap to clone (`Arc`-backed strings): one
+/// poisoning fans the same record out to every waiter, present and future.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FailureInfo {
+    thread: Arc<str>,
+    message: Arc<str>,
+    level: Option<crate::Value>,
+}
+
+impl FailureInfo {
+    /// Captures the calling thread's name alongside `message`.
+    pub fn new(message: impl Into<String>) -> Self {
+        let thread = std::thread::current();
+        FailureInfo {
+            thread: thread.name().unwrap_or("<unnamed>").into(),
+            message: message.into().into(),
+            level: None,
+        }
+    }
+
+    /// Builds a failure record from a caught panic payload, extracting the
+    /// conventional `&str`/`String` message (the payload of `panic!`), or a
+    /// placeholder for exotic payloads.
+    pub fn from_panic(payload: &(dyn std::any::Any + Send)) -> Self {
+        let message = if let Some(s) = payload.downcast_ref::<&str>() {
+            (*s).to_string()
+        } else if let Some(s) = payload.downcast_ref::<String>() {
+            s.clone()
+        } else {
+            "<non-string panic payload>".to_string()
+        };
+        Self::new(message)
+    }
+
+    /// Attaches the counter level the failing thread was responsible for
+    /// (e.g. the unfulfilled amount of an abandoned obligation).
+    pub fn with_level(mut self, level: crate::Value) -> Self {
+        self.level = Some(level);
+        self
+    }
+
+    /// Name of the thread that failed (`<unnamed>` for anonymous threads).
+    pub fn thread(&self) -> &str {
+        &self.thread
+    }
+
+    /// The failure description — a panic payload string or a supervisor
+    /// verdict.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+
+    /// The level context attached via [`with_level`](Self::with_level), if
+    /// any.
+    pub fn level(&self) -> Option<crate::Value> {
+        self.level
+    }
+}
+
+impl fmt::Display for FailureInfo {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "thread '{}' failed: {}", self.thread, self.message)?;
+        if let Some(level) = self.level {
+            write!(f, " (level context: {level})")?;
+        }
+        Ok(())
+    }
+}
+
+/// Error returned by the fallible wait operations
+/// ([`MonotonicCounter::wait`] / [`MonotonicCounter::wait_timeout`]).
+///
+/// [`MonotonicCounter::wait`]: crate::MonotonicCounter::wait
+/// [`MonotonicCounter::wait_timeout`]: crate::MonotonicCounter::wait_timeout
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CheckError {
+    /// The counter did not reach the level before the timeout elapsed.
+    Timeout(CheckTimeoutError),
+    /// The counter was poisoned while the level was still unsatisfied: the
+    /// increments this wait depends on will never arrive.
+    Poisoned(FailureInfo),
+}
+
+impl CheckError {
+    /// The poisoning cause, when this is a [`CheckError::Poisoned`].
+    pub fn failure(&self) -> Option<&FailureInfo> {
+        match self {
+            CheckError::Poisoned(info) => Some(info),
+            CheckError::Timeout(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for CheckError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckError::Timeout(e) => e.fmt(f),
+            CheckError::Poisoned(info) => write!(f, "counter poisoned: {info}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckError {}
+
+impl From<CheckTimeoutError> for CheckError {
+    fn from(e: CheckTimeoutError) -> Self {
+        CheckError::Timeout(e)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -74,5 +189,53 @@ mod tests {
         fn assert_err<E: std::error::Error>() {}
         assert_err::<CheckTimeoutError>();
         assert_err::<CounterOverflowError>();
+        assert_err::<CheckError>();
+    }
+
+    #[test]
+    fn failure_info_captures_thread_name() {
+        let info = std::thread::Builder::new()
+            .name("doomed-worker".into())
+            .spawn(|| FailureInfo::new("boom"))
+            .unwrap()
+            .join()
+            .unwrap();
+        assert_eq!(info.thread(), "doomed-worker");
+        assert_eq!(info.message(), "boom");
+        assert!(info.to_string().contains("doomed-worker"));
+        assert!(info.to_string().contains("boom"));
+    }
+
+    #[test]
+    fn failure_info_from_panic_extracts_payloads() {
+        let static_str = std::panic::catch_unwind(|| panic!("static cause")).unwrap_err();
+        assert_eq!(
+            FailureInfo::from_panic(&*static_str).message(),
+            "static cause"
+        );
+        let formatted = std::panic::catch_unwind(|| panic!("cause {}", 42)).unwrap_err();
+        assert_eq!(FailureInfo::from_panic(&*formatted).message(), "cause 42");
+        let exotic = std::panic::catch_unwind(|| std::panic::panic_any(7u32)).unwrap_err();
+        assert_eq!(
+            FailureInfo::from_panic(&*exotic).message(),
+            "<non-string panic payload>"
+        );
+    }
+
+    #[test]
+    fn failure_info_level_context_round_trips() {
+        let info = FailureInfo::new("died").with_level(9);
+        assert_eq!(info.level(), Some(9));
+        assert!(info.to_string().contains("level context: 9"));
+    }
+
+    #[test]
+    fn check_error_accessors_and_display() {
+        let t = CheckError::from(CheckTimeoutError { level: 3 });
+        assert!(t.failure().is_none());
+        assert!(t.to_string().contains("level 3"));
+        let p = CheckError::Poisoned(FailureInfo::new("dead producer"));
+        assert_eq!(p.failure().unwrap().message(), "dead producer");
+        assert!(p.to_string().contains("poisoned"));
     }
 }

@@ -4,10 +4,10 @@
 //! One `AtomicU64` packs the counter state the hot paths need:
 //!
 //! ```text
-//!   bit 63 .. 1                         bit 0
-//! +-------------------------------+---------------+
-//! |  value hint (63 bits)         | has_waiters W |
-//! +-------------------------------+---------------+
+//!   bit 63 .. 2                      bit 1       bit 0
+//! +-------------------------------+----------+---------------+
+//! |  value hint (62 bits)         | poison P | has_waiters W |
+//! +-------------------------------+----------+---------------+
 //! ```
 //!
 //! * A `check(level)` that observes `hint >= level` returns after a single
@@ -45,9 +45,21 @@
 //! Either way the wakeup is delivered. `AcqRel`/`Acquire` orderings suffice
 //! because every decision reads the result of an RMW on the single word.
 //!
-//! # The 63-bit hint and `u64::MAX` semantics
+//! # The poison bit
 //!
-//! Packing leaves 63 bits for the value, but the public API promises exact
+//! Bit 1 mirrors the slow path's poisoned state (set under the lock, never
+//! cleared except by `reset`). The satisfied-check fast tier deliberately
+//! ignores it: a level the hint already satisfies is *genuinely* satisfied —
+//! monotonicity holds regardless of poisoning — so `is_satisfied` stays one
+//! `Acquire` load with no extra atomics. Only waits that would block consult
+//! the poison state, and they are on the slow path anyway. Fast increments
+//! also proceed while only `P` is set (there are no waiters to wake; the
+//! flag bits are preserved by every CAS), so a poisoned counter keeps exact
+//! increment accounting.
+//!
+//! # The 62-bit hint and `u64::MAX` semantics
+//!
+//! Packing leaves 62 bits for the value, but the public API promises exact
 //! `u64` arithmetic (overflow errors at `u64::MAX`, `check(u64::MAX)`
 //! satisfiable). The word therefore stores a **hint**: `min(value,
 //! [`FAST_CAP`])`. While the true value is below [`FAST_CAP`] the hint is
@@ -57,7 +69,7 @@
 //! The hint is always `<=` the true value, so a fast `check` can only
 //! *under*-approximate — it may fall into the slow path needlessly (for
 //! astronomically large values), never return early wrongly. Reaching
-//! `FAST_CAP = 2^63 - 1` by honest counting is out of reach in practice, so
+//! `FAST_CAP = 2^62 - 1` by honest counting is out of reach in practice, so
 //! real workloads never leave the fast regime.
 
 use crate::error::CounterOverflowError;
@@ -69,9 +81,14 @@ use std::sync::atomic::{
 
 /// First value the packed hint cannot represent; the hint saturates here and
 /// the true value moves under the slow-path lock.
-pub(crate) const FAST_CAP: Value = (1 << 63) - 1;
+pub(crate) const FAST_CAP: Value = (1 << 62) - 1;
 
-const WAITERS_BIT: u64 = 1;
+/// Number of flag bits below the hint.
+const SHIFT: u32 = 2;
+
+const WAITERS_BIT: u64 = 0b01;
+const POISON_BIT: u64 = 0b10;
+const FLAG_MASK: u64 = WAITERS_BIT | POISON_BIT;
 
 /// Outcome of a lock-free increment attempt.
 pub(crate) enum FastIncrement {
@@ -107,12 +124,12 @@ impl FastWord {
     /// [`FAST_CAP`]; the caller keeps the true value in its `wide` field).
     pub(crate) fn new(value: Value) -> Self {
         FastWord {
-            packed: AtomicU64::new(value.min(FAST_CAP) << 1),
+            packed: AtomicU64::new(value.min(FAST_CAP) << SHIFT),
         }
     }
 
     fn decode(word: u64, wide: Value) -> Value {
-        let hint = word >> 1;
+        let hint = word >> SHIFT;
         if hint >= FAST_CAP {
             wide
         } else {
@@ -125,10 +142,14 @@ impl FastWord {
     /// so data written before an increment is visible after a satisfied
     /// check.
     pub(crate) fn value_hint(&self) -> Value {
-        self.packed.load(Acquire) >> 1
+        self.packed.load(Acquire) >> SHIFT
     }
 
     /// Whether `check(level)` may return immediately without the lock.
+    ///
+    /// One `Acquire` load; the poison bit is deliberately not consulted —
+    /// an already-satisfied level stays satisfied (monotonicity), poisoned
+    /// or not, so the satisfied-check hot path costs no extra atomics.
     pub(crate) fn is_satisfied(&self, level: Value) -> bool {
         self.value_hint() >= level
     }
@@ -137,6 +158,20 @@ impl FastWord {
     #[cfg(test)]
     pub(crate) fn has_waiters(&self) -> bool {
         self.packed.load(Acquire) & WAITERS_BIT != 0
+    }
+
+    /// Whether the poison bit is set. One `Acquire` load; used by
+    /// `poison_info` to skip the lock on the overwhelmingly common
+    /// not-poisoned case.
+    pub(crate) fn is_poisoned(&self) -> bool {
+        self.packed.load(Acquire) & POISON_BIT != 0
+    }
+
+    /// Sets the poison bit. Must be called with the slow-path lock held,
+    /// after storing the `FailureInfo`; the bit is a hint that `poison_info`
+    /// may need the lock, never a substitute for the locked state.
+    pub(crate) fn set_poison(&self) {
+        self.packed.fetch_or(POISON_BIT, AcqRel);
     }
 
     /// Lock-free increment attempt. Never touches the wait list: succeeds
@@ -148,7 +183,7 @@ impl FastWord {
             if word & WAITERS_BIT != 0 {
                 return FastIncrement::Contended;
             }
-            let value = word >> 1;
+            let value = word >> SHIFT;
             if value >= FAST_CAP {
                 return FastIncrement::Contended;
             }
@@ -160,10 +195,12 @@ impl FastWord {
                 // The hint->wide transition must happen under the lock.
                 return FastIncrement::Contended;
             }
-            match self
-                .packed
-                .compare_exchange_weak(word, new << 1, AcqRel, Relaxed)
-            {
+            match self.packed.compare_exchange_weak(
+                word,
+                (new << SHIFT) | (word & FLAG_MASK),
+                AcqRel,
+                Relaxed,
+            ) {
                 Ok(_) => return FastIncrement::Done,
                 Err(current) => word = current,
             }
@@ -178,7 +215,7 @@ impl FastWord {
             if word & WAITERS_BIT != 0 {
                 return FastAdvance::Contended;
             }
-            let value = word >> 1;
+            let value = word >> SHIFT;
             if value >= FAST_CAP {
                 return FastAdvance::Contended;
             }
@@ -188,10 +225,12 @@ impl FastWord {
             if target >= FAST_CAP {
                 return FastAdvance::Contended;
             }
-            match self
-                .packed
-                .compare_exchange_weak(word, target << 1, AcqRel, Relaxed)
-            {
+            match self.packed.compare_exchange_weak(
+                word,
+                (target << SHIFT) | (word & FLAG_MASK),
+                AcqRel,
+                Relaxed,
+            ) {
                 Ok(_) => return FastAdvance::Raised,
                 Err(current) => word = current,
             }
@@ -238,7 +277,7 @@ impl FastWord {
             let value = Self::decode(word, *wide);
             value
                 .checked_add(amount)
-                .map(|new| (new.min(FAST_CAP) << 1) | (word & WAITERS_BIT))
+                .map(|new| (new.min(FAST_CAP) << SHIFT) | (word & FLAG_MASK))
         });
         match result {
             Ok(prev) => {
@@ -261,7 +300,7 @@ impl FastWord {
     pub(crate) fn locked_advance(&self, wide: &mut Value, target: Value) -> Option<Value> {
         let result = self.packed.fetch_update(AcqRel, Acquire, |word| {
             let value = Self::decode(word, *wide);
-            (target > value).then(|| (target.min(FAST_CAP) << 1) | (word & WAITERS_BIT))
+            (target > value).then(|| (target.min(FAST_CAP) << SHIFT) | (word & FLAG_MASK))
         });
         match result {
             Ok(_) => {
@@ -274,10 +313,11 @@ impl FastWord {
         }
     }
 
-    /// Resets to `value` (exclusive access; used by `Resettable`). The
-    /// caller resets its `wide` field alongside.
+    /// Resets to `value`, clearing both flag bits (exclusive access; used by
+    /// `Resettable`). The caller resets its `wide` field and poisoned state
+    /// alongside.
     pub(crate) fn reset(&mut self, value: Value) {
-        *self.packed.get_mut() = value.min(FAST_CAP) << 1;
+        *self.packed.get_mut() = value.min(FAST_CAP) << SHIFT;
     }
 }
 
@@ -397,13 +437,62 @@ mod tests {
     }
 
     #[test]
-    fn reset_clears_value_and_bit() {
+    fn reset_clears_value_and_flags() {
         let mut w = FastWord::new(0);
         w.try_increment(9);
         w.register_waiter(0);
+        w.set_poison();
         w.reset(2);
         assert_eq!(w.value_hint(), 2);
         assert!(!w.has_waiters());
+        assert!(!w.is_poisoned());
+    }
+
+    #[test]
+    fn poison_bit_survives_fast_increments() {
+        let w = FastWord::new(3);
+        w.set_poison();
+        assert!(w.is_poisoned());
+        // Fast increments still run (no waiters to wake) and preserve P.
+        assert!(matches!(w.try_increment(2), FastIncrement::Done));
+        assert_eq!(w.value_hint(), 5);
+        assert!(w.is_poisoned());
+        assert!(matches!(w.try_advance(8), FastAdvance::Raised));
+        assert!(w.is_poisoned());
+        assert!(w.is_satisfied(8), "satisfied check ignores the poison bit");
+    }
+
+    #[test]
+    fn poison_bit_survives_locked_paths() {
+        let w = FastWord::new(0);
+        let mut wide = 0;
+        w.set_poison();
+        w.locked_add(&mut wide, 4).unwrap();
+        assert!(w.is_poisoned());
+        assert_eq!(w.value_hint(), 4);
+        w.locked_advance(&mut wide, 9).unwrap();
+        assert!(w.is_poisoned());
+        // clear_waiters must not clear the poison bit.
+        w.register_waiter(wide);
+        w.clear_waiters();
+        assert!(w.is_poisoned());
+    }
+
+    #[test]
+    fn waiters_and_poison_bits_are_independent() {
+        let w = FastWord::new(1);
+        w.register_waiter(0);
+        assert!(w.has_waiters());
+        assert!(!w.is_poisoned());
+        w.set_poison();
+        assert!(w.has_waiters());
+        assert!(w.is_poisoned());
+        // Waiters bit still forces increments into the slow path.
+        assert!(matches!(w.try_increment(1), FastIncrement::Contended));
+        w.clear_waiters();
+        assert!(!w.has_waiters());
+        assert!(w.is_poisoned());
+        assert_eq!(w.value_hint(), 1, "flag churn must not disturb the hint");
     }
 
     /// Fast CASes racing a locked `fetch_update` add must never lose an

@@ -56,12 +56,31 @@
 //! probe" rule:
 //!
 //! * [`MonotonicCounter`] — exactly the synchronization operations
-//!   (`increment`, `try_increment`, `check`, `check_timeout`, `advance_to`);
+//!   (`increment`, `try_increment`, `check`, `check_timeout`, `advance_to`,
+//!   plus the failure-aware `wait`/`wait_timeout`/`poison`);
 //! * [`Resettable`] — phase reuse (`reset`), which takes `&mut self` because
 //!   it must not race with other operations;
 //! * [`CounterDiagnostics`] — observation for tests and benchmarks
-//!   (`debug_value`, `stats`, `impl_name`), fenced off so generic
+//!   (`debug_value`, `stats`, `impl_name`, `waiters`), fenced off so generic
 //!   synchronization code cannot branch on the instantaneous value.
+//!
+//! ## Failure propagation
+//!
+//! The paper's deadlock-freedom result assumes every thread delivers its
+//! increments. When a thread may fail, three layers turn the silent hang
+//! into a propagated error:
+//!
+//! * **Poisoning** — [`MonotonicCounter::poison`] records a [`FailureInfo`]
+//!   and wakes every blocked waiter with [`CheckError::Poisoned`]; `check`
+//!   re-panics with the original cause. Satisfied levels keep succeeding —
+//!   poison only fails waits that would block forever.
+//! * **Obligations** — [`Obligation`] RAII guards
+//!   ([`CounterExt::obligation`]) deliver their increment on normal drop and
+//!   poison the counter when dropped during a panic unwind.
+//! * **Supervision** — the [`Supervisor`] registry snapshots registered
+//!   counters (value, outstanding obligations, waiting levels), diagnoses
+//!   stalls as *stuck* (no obligations can satisfy the waited level) versus
+//!   merely *slow*, and can poison provably-stuck counters.
 //!
 //! ## Quickstart
 //!
@@ -93,24 +112,32 @@ mod monitor_impl;
 mod multi;
 mod naive;
 mod node;
+mod obligation;
 mod parking;
 mod spin;
 mod stats;
+mod supervisor;
+pub mod testkit;
 mod trace;
 mod traits;
 
 pub use atomic::AtomicCounter;
 pub use btree::BTreeCounter;
 pub use counter::Counter;
-pub use error::{CheckTimeoutError, CounterOverflowError};
+pub use error::{CheckError, CheckTimeoutError, CounterOverflowError, FailureInfo};
 pub use monitor_impl::MonitorCounter;
 pub use multi::{check_all, CounterSet};
 pub use naive::NaiveCounter;
+pub use obligation::Obligation;
 pub use parking::ParkingCounter;
 pub use spin::SpinCounter;
 pub use stats::StatsSnapshot;
+pub use supervisor::{
+    CounterReport, StallReport, StallVerdict, SupervisedCounter, SupervisedObligation, Supervisor,
+    SupervisorConfig,
+};
 pub use trace::{CounterSnapshot, NodeSnapshot, TracingCounter};
-pub use traits::{CounterDiagnostics, CounterExt, MonotonicCounter, Resettable};
+pub use traits::{CounterDiagnostics, CounterExt, MonotonicCounter, Resettable, WaitingLevel};
 
 /// The integer type used for counter values and levels.
 ///

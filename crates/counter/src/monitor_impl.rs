@@ -7,17 +7,22 @@
 //! like [`crate::NaiveCounter`], every state change wakes every waiter.
 //! Included for the E7 ablation discussion.
 
-use crate::error::{CheckTimeoutError, CounterOverflowError};
+use crate::error::{CheckError, CheckTimeoutError, CounterOverflowError, FailureInfo};
 use crate::stats::{Stats, StatsSnapshot};
 use crate::traits::{CounterDiagnostics, MonotonicCounter, Resettable};
 use crate::Value;
 use std::sync::{Condvar, Mutex};
 use std::time::{Duration, Instant};
 
+struct State {
+    value: Value,
+    poisoned: Option<FailureInfo>,
+}
+
 /// A monotonic counter implemented in monitor style: one mutex-guarded value,
 /// one condition variable, predicate waits.
 pub struct MonitorCounter {
-    value: Mutex<Value>,
+    state: Mutex<State>,
     cv: Condvar,
     stats: Stats,
 }
@@ -37,7 +42,10 @@ impl MonitorCounter {
     /// Creates a counter starting at `value`.
     pub fn with_value(value: Value) -> Self {
         MonitorCounter {
-            value: Mutex::new(value),
+            state: Mutex::new(State {
+                value,
+                poisoned: None,
+            }),
             cv: Condvar::new(),
             stats: Stats::default(),
         }
@@ -49,10 +57,10 @@ impl MonitorCounter {
         &self,
         f: impl FnOnce(&mut Value) -> Result<(), CounterOverflowError>,
     ) -> Result<(), CounterOverflowError> {
-        let mut value = self.value.lock().expect("counter lock poisoned");
+        let mut state = self.state.lock().expect("counter lock poisoned");
         self.stats.record_slow_entry();
-        f(&mut value)?;
-        drop(value);
+        f(&mut state.value)?;
+        drop(state);
         self.stats.record_notify();
         self.cv.notify_all();
         Ok(())
@@ -79,54 +87,84 @@ impl MonotonicCounter for MonitorCounter {
         r
     }
 
-    fn check(&self, level: Value) {
-        let mut value = self.value.lock().expect("counter lock poisoned");
+    fn wait(&self, level: Value) -> Result<(), CheckError> {
+        let mut state = self.state.lock().expect("counter lock poisoned");
         self.stats.record_slow_entry();
-        if *value >= level {
-            self.stats.record_check_immediate();
-            return;
-        }
-        self.stats.record_check_suspended();
-        while *value < level {
-            value = self.cv.wait(value).expect("counter lock poisoned");
-        }
-        self.stats.record_waiter_resumed();
-    }
-
-    fn check_timeout(&self, level: Value, timeout: Duration) -> Result<(), CheckTimeoutError> {
-        let deadline = Instant::now() + timeout;
-        let mut value = self.value.lock().expect("counter lock poisoned");
-        self.stats.record_slow_entry();
-        if *value >= level {
+        if state.value >= level {
             self.stats.record_check_immediate();
             return Ok(());
         }
         self.stats.record_check_suspended();
-        while *value < level {
-            let now = Instant::now();
-            if now >= deadline {
+        while state.value < level {
+            if let Some(info) = &state.poisoned {
+                let info = info.clone();
                 self.stats.record_waiter_resumed();
-                return Err(CheckTimeoutError { level });
+                return Err(CheckError::Poisoned(info));
             }
-            let (guard, _) = self
-                .cv
-                .wait_timeout(value, deadline - now)
-                .expect("counter lock poisoned");
-            value = guard;
+            state = self.cv.wait(state).expect("counter lock poisoned");
         }
         self.stats.record_waiter_resumed();
         Ok(())
     }
 
-    fn advance_to(&self, target: Value) {
-        let mut value = self.value.lock().expect("counter lock poisoned");
+    fn wait_timeout(&self, level: Value, timeout: Duration) -> Result<(), CheckError> {
+        let deadline = Instant::now() + timeout;
+        let mut state = self.state.lock().expect("counter lock poisoned");
         self.stats.record_slow_entry();
-        if target <= *value {
+        if state.value >= level {
+            self.stats.record_check_immediate();
+            return Ok(());
+        }
+        self.stats.record_check_suspended();
+        while state.value < level {
+            if let Some(info) = &state.poisoned {
+                let info = info.clone();
+                self.stats.record_waiter_resumed();
+                return Err(CheckError::Poisoned(info));
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                self.stats.record_waiter_resumed();
+                return Err(CheckError::Timeout(CheckTimeoutError { level }));
+            }
+            let (guard, _) = self
+                .cv
+                .wait_timeout(state, deadline - now)
+                .expect("counter lock poisoned");
+            state = guard;
+        }
+        self.stats.record_waiter_resumed();
+        Ok(())
+    }
+
+    fn poison(&self, info: FailureInfo) {
+        let mut state = self.state.lock().expect("counter lock poisoned");
+        if state.poisoned.is_some() {
             return;
         }
-        *value = target;
+        state.poisoned = Some(info);
+        self.stats.record_notify();
+        drop(state);
+        self.cv.notify_all();
+    }
+
+    fn poison_info(&self) -> Option<FailureInfo> {
+        self.state
+            .lock()
+            .expect("counter lock poisoned")
+            .poisoned
+            .clone()
+    }
+
+    fn advance_to(&self, target: Value) {
+        let mut state = self.state.lock().expect("counter lock poisoned");
+        self.stats.record_slow_entry();
+        if target <= state.value {
+            return;
+        }
+        state.value = target;
         self.stats.record_increment();
-        drop(value);
+        drop(state);
         self.stats.record_notify();
         self.cv.notify_all();
     }
@@ -134,13 +172,15 @@ impl MonotonicCounter for MonitorCounter {
 
 impl Resettable for MonitorCounter {
     fn reset(&mut self) {
-        *self.value.get_mut().expect("counter lock poisoned") = 0;
+        let state = self.state.get_mut().expect("counter lock poisoned");
+        state.value = 0;
+        state.poisoned = None;
     }
 }
 
 impl CounterDiagnostics for MonitorCounter {
     fn debug_value(&self) -> Value {
-        *self.value.lock().expect("counter lock poisoned")
+        self.state.lock().expect("counter lock poisoned").value
     }
 
     fn stats(&self) -> StatsSnapshot {
@@ -172,6 +212,19 @@ mod tests {
         c.increment(1);
         c.increment(1);
         assert_eq!(c.stats().notifies, 2);
+    }
+
+    #[test]
+    fn poison_fails_the_predicate_wait() {
+        let c = Arc::new(MonitorCounter::new());
+        let c2 = Arc::clone(&c);
+        let h = std::thread::spawn(move || c2.wait(5));
+        while c.stats().live_waiters == 0 {
+            std::thread::yield_now();
+        }
+        c.poison(FailureInfo::new("monitor failure"));
+        assert!(matches!(h.join().unwrap(), Err(CheckError::Poisoned(_))));
+        assert_eq!(c.poison_info().unwrap().message(), "monitor failure");
     }
 
     #[test]

@@ -6,19 +6,24 @@
 //! work is O(total waiting threads) per increment instead of O(satisfied
 //! levels). Experiment E7 quantifies the difference.
 
-use crate::error::{CheckTimeoutError, CounterOverflowError};
+use crate::error::{CheckError, CheckTimeoutError, CounterOverflowError, FailureInfo};
 use crate::stats::{Stats, StatsSnapshot};
 use crate::traits::{CounterDiagnostics, MonotonicCounter, Resettable};
 use crate::Value;
 use std::sync::{Condvar, Mutex};
 use std::time::{Duration, Instant};
 
+struct State {
+    value: Value,
+    poisoned: Option<FailureInfo>,
+}
+
 /// A monotonic counter with a single shared suspension queue.
 ///
 /// Semantically interchangeable with [`crate::Counter`]; kept as the baseline
 /// for the implementation-ablation experiment.
 pub struct NaiveCounter {
-    value: Mutex<Value>,
+    state: Mutex<State>,
     cv: Condvar,
     stats: Stats,
 }
@@ -38,7 +43,10 @@ impl NaiveCounter {
     /// Creates a counter starting at `value`.
     pub fn with_value(value: Value) -> Self {
         NaiveCounter {
-            value: Mutex::new(value),
+            state: Mutex::new(State {
+                value,
+                poisoned: None,
+            }),
             cv: Condvar::new(),
             stats: Stats::default(),
         }
@@ -52,15 +60,18 @@ impl MonotonicCounter for NaiveCounter {
     }
 
     fn try_increment(&self, amount: Value) -> Result<(), CounterOverflowError> {
-        let mut value = self.value.lock().expect("counter lock poisoned");
+        let mut state = self.state.lock().expect("counter lock poisoned");
         self.stats.record_slow_entry();
-        *value = value.checked_add(amount).ok_or(CounterOverflowError {
-            value: *value,
-            amount,
-        })?;
+        state.value = state
+            .value
+            .checked_add(amount)
+            .ok_or(CounterOverflowError {
+                value: state.value,
+                amount,
+            })?;
         self.stats.record_increment();
         self.stats.record_notify();
-        drop(value);
+        drop(state);
         // Broadcast unconditionally: with one queue there is no way to know
         // which (if any) waiters are satisfied without waking them all.
         self.cv.notify_all();
@@ -68,70 +79,102 @@ impl MonotonicCounter for NaiveCounter {
     }
 
     fn advance_to(&self, target: Value) {
-        let mut value = self.value.lock().expect("counter lock poisoned");
+        let mut state = self.state.lock().expect("counter lock poisoned");
         self.stats.record_slow_entry();
-        if target <= *value {
+        if target <= state.value {
             return;
         }
-        *value = target;
+        state.value = target;
         self.stats.record_increment();
         self.stats.record_notify();
-        drop(value);
+        drop(state);
         self.cv.notify_all();
     }
 
-    fn check(&self, level: Value) {
-        let mut value = self.value.lock().expect("counter lock poisoned");
+    fn wait(&self, level: Value) -> Result<(), CheckError> {
+        let mut state = self.state.lock().expect("counter lock poisoned");
         self.stats.record_slow_entry();
-        if *value >= level {
-            self.stats.record_check_immediate();
-            return;
-        }
-        self.stats.record_check_suspended();
-        while *value < level {
-            value = self
-                .cv
-                .wait(value)
-                .expect("counter lock poisoned while waiting");
-        }
-        self.stats.record_waiter_resumed();
-    }
-
-    fn check_timeout(&self, level: Value, timeout: Duration) -> Result<(), CheckTimeoutError> {
-        let deadline = Instant::now() + timeout;
-        let mut value = self.value.lock().expect("counter lock poisoned");
-        self.stats.record_slow_entry();
-        if *value >= level {
+        if state.value >= level {
             self.stats.record_check_immediate();
             return Ok(());
         }
         self.stats.record_check_suspended();
-        while *value < level {
-            let now = Instant::now();
-            if now >= deadline {
+        while state.value < level {
+            if let Some(info) = &state.poisoned {
+                let info = info.clone();
                 self.stats.record_waiter_resumed();
-                return Err(CheckTimeoutError { level });
+                return Err(CheckError::Poisoned(info));
             }
-            let (guard, _) = self
+            state = self
                 .cv
-                .wait_timeout(value, deadline - now)
+                .wait(state)
                 .expect("counter lock poisoned while waiting");
-            value = guard;
         }
         self.stats.record_waiter_resumed();
         Ok(())
+    }
+
+    fn wait_timeout(&self, level: Value, timeout: Duration) -> Result<(), CheckError> {
+        let deadline = Instant::now() + timeout;
+        let mut state = self.state.lock().expect("counter lock poisoned");
+        self.stats.record_slow_entry();
+        if state.value >= level {
+            self.stats.record_check_immediate();
+            return Ok(());
+        }
+        self.stats.record_check_suspended();
+        while state.value < level {
+            if let Some(info) = &state.poisoned {
+                let info = info.clone();
+                self.stats.record_waiter_resumed();
+                return Err(CheckError::Poisoned(info));
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                self.stats.record_waiter_resumed();
+                return Err(CheckError::Timeout(CheckTimeoutError { level }));
+            }
+            let (guard, _) = self
+                .cv
+                .wait_timeout(state, deadline - now)
+                .expect("counter lock poisoned while waiting");
+            state = guard;
+        }
+        self.stats.record_waiter_resumed();
+        Ok(())
+    }
+
+    fn poison(&self, info: FailureInfo) {
+        let mut state = self.state.lock().expect("counter lock poisoned");
+        if state.poisoned.is_some() {
+            return;
+        }
+        state.poisoned = Some(info);
+        self.stats.record_notify();
+        drop(state);
+        self.cv.notify_all();
+    }
+
+    fn poison_info(&self) -> Option<FailureInfo> {
+        self.state
+            .lock()
+            .expect("counter lock poisoned")
+            .poisoned
+            .clone()
     }
 }
 
 impl Resettable for NaiveCounter {
     fn reset(&mut self) {
-        *self.value.get_mut().expect("counter lock poisoned") = 0;
+        let state = self.state.get_mut().expect("counter lock poisoned");
+        state.value = 0;
+        state.poisoned = None;
     }
 }
 
 impl CounterDiagnostics for NaiveCounter {
     fn debug_value(&self) -> Value {
-        *self.value.lock().expect("counter lock poisoned")
+        self.state.lock().expect("counter lock poisoned").value
     }
 
     fn stats(&self) -> StatsSnapshot {
@@ -185,6 +228,22 @@ mod tests {
         c.increment(u64::MAX);
         assert!(c.try_increment(1).is_err());
         assert_eq!(c.debug_value(), u64::MAX);
+    }
+
+    #[test]
+    fn poison_wakes_the_shared_queue() {
+        let c = Arc::new(NaiveCounter::new());
+        let c2 = Arc::clone(&c);
+        let h = thread::spawn(move || c2.wait(9));
+        while c.stats().live_waiters == 0 {
+            thread::yield_now();
+        }
+        c.poison(FailureInfo::new("naive failure"));
+        assert!(matches!(h.join().unwrap(), Err(CheckError::Poisoned(_))));
+        // Satisfied levels still succeed after poisoning.
+        c.increment(9);
+        assert!(c.wait(9).is_ok());
+        assert!(c.wait(10).is_err());
     }
 
     #[test]

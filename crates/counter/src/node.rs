@@ -27,6 +27,10 @@ pub(crate) struct WaitNode {
     /// The signal flag ("set" in Figure 2): true once `increment` has
     /// satisfied this level. Guards against spurious condvar wakeups.
     pub(crate) set: AtomicBool,
+    /// True once the counter was poisoned while this node's level was still
+    /// unsatisfied: every waiter wakes with `CheckError::Poisoned` instead
+    /// of resuming normally. Mutually exclusive with `set`.
+    pub(crate) poisoned: AtomicBool,
     /// The condition variable the node's threads suspend on. Always used with
     /// the owning counter's single mutex.
     pub(crate) cv: Condvar,
@@ -38,6 +42,7 @@ impl WaitNode {
             level,
             count: AtomicUsize::new(0),
             set: AtomicBool::new(false),
+            poisoned: AtomicBool::new(false),
             cv: Condvar::new(),
         }
     }
@@ -48,6 +53,14 @@ impl WaitNode {
 
     pub(crate) fn signal(&self) {
         self.set.store(true, Relaxed);
+    }
+
+    pub(crate) fn is_poisoned(&self) -> bool {
+        self.poisoned.load(Relaxed)
+    }
+
+    pub(crate) fn poison(&self) {
+        self.poisoned.store(true, Relaxed);
     }
 
     pub(crate) fn add_waiter(&self) {

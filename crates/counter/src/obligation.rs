@@ -1,0 +1,175 @@
+//! [`Obligation`]: RAII increment obligations.
+//!
+//! The paper's deadlock-freedom argument (Section 6) rests on every thread
+//! delivering its increments. An `Obligation` makes that duty a value: the
+//! guard either delivers its increment (normal drop or explicit
+//! [`fulfill`](Obligation::fulfill)) or — when dropped during a panic unwind
+//! — poisons the counter, so the threads depending on the increment fail
+//! with a cause instead of hanging forever. This is the "who still owes
+//! counts" discipline of the CountDownLatch verification literature, checked
+//! at runtime instead of in a proof system.
+
+use crate::error::FailureInfo;
+use crate::traits::MonotonicCounter;
+use crate::Value;
+
+/// An RAII guard for the duty to increment a counter by a fixed amount.
+///
+/// Created by [`CounterExt::obligation`](crate::CounterExt::obligation). On a
+/// normal drop the increment is delivered; on a drop during a panic unwind
+/// the counter is poisoned instead, with the owed amount recorded as level
+/// context. [`fulfill`](Self::fulfill) delivers early; [`abandon`](Self::abandon)
+/// poisons deliberately.
+///
+/// # Example
+///
+/// ```
+/// use mc_counter::{Counter, CounterExt, MonotonicCounter};
+/// let c = Counter::new();
+/// {
+///     let _ob = c.obligation(2);
+///     // ... produce the data the increment publishes ...
+/// } // guard dropped normally: increment(2) delivered here
+/// c.check(2);
+/// ```
+pub struct Obligation<'c, C: MonotonicCounter + ?Sized> {
+    counter: &'c C,
+    /// Amount still owed; zero once fulfilled or abandoned.
+    owed: Value,
+}
+
+impl<'c, C: MonotonicCounter + ?Sized> Obligation<'c, C> {
+    pub(crate) fn new(counter: &'c C, amount: Value) -> Self {
+        Obligation {
+            counter,
+            owed: amount,
+        }
+    }
+
+    /// The amount this obligation will deliver.
+    pub fn owed(&self) -> Value {
+        self.owed
+    }
+
+    /// Delivers the owed increment now, consuming the guard.
+    pub fn fulfill(mut self) {
+        self.counter.increment(self.owed);
+        self.owed = 0;
+    }
+
+    /// Deliberately abandons the obligation, poisoning the counter with
+    /// `info` (the owed amount is attached as level context). Use when a
+    /// thread discovers it cannot produce what it promised without
+    /// panicking.
+    pub fn abandon(mut self, info: FailureInfo) {
+        self.counter.poison(info.with_level(self.owed));
+        self.owed = 0;
+    }
+}
+
+impl<C: MonotonicCounter + ?Sized> Drop for Obligation<'_, C> {
+    fn drop(&mut self) {
+        if self.owed == 0 {
+            return;
+        }
+        if std::thread::panicking() {
+            // The panic payload is not reachable from Drop; supervised
+            // execution (mc-sthreads) catches the panic and re-poisons with
+            // the real payload — first-poison-wins makes that racy path
+            // benign, and this guard guarantees waiters wake even without a
+            // supervisor.
+            self.counter.poison(
+                FailureInfo::new("increment obligation abandoned by panicking thread")
+                    .with_level(self.owed),
+            );
+        } else {
+            self.counter.increment(self.owed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::CheckError;
+    use crate::traits::{CounterDiagnostics, CounterExt};
+    use crate::Counter;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn normal_drop_delivers_the_increment() {
+        let c = Counter::new();
+        {
+            let _ob = c.obligation(3);
+            assert_eq!(c.debug_value(), 0, "nothing delivered while held");
+        }
+        assert_eq!(c.debug_value(), 3);
+        assert!(c.poison_info().is_none());
+    }
+
+    #[test]
+    fn fulfill_delivers_early_exactly_once() {
+        let c = Counter::new();
+        let ob = c.obligation(5);
+        ob.fulfill();
+        assert_eq!(c.debug_value(), 5, "fulfilled amount delivered once");
+    }
+
+    #[test]
+    fn unwind_drop_poisons_with_owed_amount() {
+        let c = Counter::new();
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            let _ob = c.obligation(7);
+            panic!("producer exploded");
+        }));
+        assert!(result.is_err());
+        assert_eq!(c.debug_value(), 0, "no increment from a failed producer");
+        let info = c.poison_info().expect("unwind drop must poison");
+        assert_eq!(info.level(), Some(7));
+        assert!(info.message().contains("obligation abandoned"));
+    }
+
+    #[test]
+    fn abandon_poisons_with_caller_cause() {
+        let c = Counter::new();
+        let ob = c.obligation(2);
+        ob.abandon(FailureInfo::new("input file missing"));
+        let info = c.poison_info().unwrap();
+        assert_eq!(info.message(), "input file missing");
+        assert_eq!(info.level(), Some(2));
+    }
+
+    #[test]
+    fn panicking_holder_unblocks_waiters() {
+        let c = Arc::new(Counter::new());
+        let waiter = {
+            let c = Arc::clone(&c);
+            thread::spawn(move || c.wait(10))
+        };
+        while c.stats().live_waiters == 0 {
+            thread::yield_now();
+        }
+        let producer = {
+            let c = Arc::clone(&c);
+            thread::spawn(move || {
+                let _ob = c.obligation(10);
+                panic!("worker died mid-task");
+            })
+        };
+        assert!(producer.join().is_err());
+        let err = waiter.join().unwrap().unwrap_err();
+        assert!(matches!(err, CheckError::Poisoned(_)));
+    }
+
+    #[test]
+    fn obligation_works_through_dyn_counter() {
+        let c: Box<dyn MonotonicCounter> = Box::new(Counter::new());
+        {
+            let _ob = c.obligation(1);
+        }
+        // `check` returning proves the increment was delivered.
+        c.check(1);
+    }
+}

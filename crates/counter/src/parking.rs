@@ -6,10 +6,10 @@
 //! [`crate::Counter`]'s, so only suspending/waking operations reach the
 //! `parking_lot` mutex at all.
 
-use crate::error::{CheckTimeoutError, CounterOverflowError};
+use crate::error::{CheckError, CheckTimeoutError, CounterOverflowError, FailureInfo};
 use crate::fastpath::{FastAdvance, FastIncrement, FastWord, FAST_CAP};
 use crate::stats::{Stats, StatsSnapshot};
-use crate::traits::{CounterDiagnostics, MonotonicCounter, Resettable};
+use crate::traits::{CounterDiagnostics, MonotonicCounter, Resettable, WaitingLevel};
 use crate::Value;
 use parking_lot::{Condvar, Mutex};
 use std::collections::BTreeMap;
@@ -22,6 +22,7 @@ use std::time::{Duration, Instant};
 struct PlNode {
     count: AtomicUsize,
     set: AtomicBool,
+    poisoned: AtomicBool,
     cv: Condvar,
 }
 
@@ -30,6 +31,7 @@ impl PlNode {
         PlNode {
             count: AtomicUsize::new(0),
             set: AtomicBool::new(false),
+            poisoned: AtomicBool::new(false),
             cv: Condvar::new(),
         }
     }
@@ -39,6 +41,8 @@ struct Inner {
     /// Exact value once the packed hint saturates; see [`crate::fastpath`].
     wide: Value,
     waiting: BTreeMap<Value, Arc<PlNode>>,
+    /// The first poisoning cause, if any. Set at most once.
+    poisoned: Option<FailureInfo>,
 }
 
 /// A monotonic counter built on `parking_lot::{Mutex, Condvar}`.
@@ -70,6 +74,7 @@ impl ParkingCounter {
             inner: Mutex::new(Inner {
                 wide: value,
                 waiting: BTreeMap::new(),
+                poisoned: None,
             }),
             stats: Stats::default(),
         }
@@ -185,10 +190,10 @@ impl MonotonicCounter for ParkingCounter {
         }
     }
 
-    fn check(&self, level: Value) {
+    fn wait(&self, level: Value) -> Result<(), CheckError> {
         if self.fast.is_satisfied(level) {
             self.stats.record_fast_check();
-            return;
+            return Ok(());
         }
         let mut inner = self.inner.lock();
         self.stats.record_slow_entry();
@@ -198,19 +203,35 @@ impl MonotonicCounter for ParkingCounter {
                 self.fast.clear_waiters();
             }
             self.stats.record_check_immediate();
-            return;
+            return Ok(());
+        }
+        if let Some(info) = &inner.poisoned {
+            let info = info.clone();
+            if inner.waiting.is_empty() {
+                self.fast.clear_waiters();
+            }
+            return Err(CheckError::Poisoned(info));
         }
         let node = self.enqueue(&mut inner, level);
-        while !node.set.load(Relaxed) {
+        while !node.set.load(Relaxed) && !node.poisoned.load(Relaxed) {
             node.cv.wait(&mut inner);
         }
+        let poisoned = node.poisoned.load(Relaxed);
         self.stats.record_waiter_resumed();
         if node.count.fetch_sub(1, Relaxed) == 1 {
             self.stats.record_node_freed();
         }
+        if poisoned {
+            let info = inner
+                .poisoned
+                .clone()
+                .expect("poisoned wait node without a recorded cause");
+            return Err(CheckError::Poisoned(info));
+        }
+        Ok(())
     }
 
-    fn check_timeout(&self, level: Value, timeout: Duration) -> Result<(), CheckTimeoutError> {
+    fn wait_timeout(&self, level: Value, timeout: Duration) -> Result<(), CheckError> {
         if self.fast.is_satisfied(level) {
             self.stats.record_fast_check();
             return Ok(());
@@ -226,14 +247,34 @@ impl MonotonicCounter for ParkingCounter {
             self.stats.record_check_immediate();
             return Ok(());
         }
+        if let Some(info) = &inner.poisoned {
+            let info = info.clone();
+            if inner.waiting.is_empty() {
+                self.fast.clear_waiters();
+            }
+            return Err(CheckError::Poisoned(info));
+        }
         let node = self.enqueue(&mut inner, level);
         loop {
+            // Satisfied first, then poisoned (the node already left the map
+            // at poison time), then the deadline.
             if node.set.load(Relaxed) {
                 self.stats.record_waiter_resumed();
                 if node.count.fetch_sub(1, Relaxed) == 1 {
                     self.stats.record_node_freed();
                 }
                 return Ok(());
+            }
+            if node.poisoned.load(Relaxed) {
+                self.stats.record_waiter_resumed();
+                if node.count.fetch_sub(1, Relaxed) == 1 {
+                    self.stats.record_node_freed();
+                }
+                let info = inner
+                    .poisoned
+                    .clone()
+                    .expect("poisoned wait node without a recorded cause");
+                return Err(CheckError::Poisoned(info));
             }
             let now = Instant::now();
             if now >= deadline {
@@ -245,10 +286,38 @@ impl MonotonicCounter for ParkingCounter {
                         self.fast.clear_waiters();
                     }
                 }
-                return Err(CheckTimeoutError { level });
+                return Err(CheckError::Timeout(CheckTimeoutError { level }));
             }
             node.cv.wait_for(&mut inner, deadline - now);
         }
+    }
+
+    fn poison(&self, info: FailureInfo) {
+        let swept = {
+            let mut inner = self.inner.lock();
+            if inner.poisoned.is_some() {
+                return;
+            }
+            self.fast.set_poison();
+            inner.poisoned = Some(info);
+            let swept = Self::remove_satisfied(&mut inner.waiting, Value::MAX);
+            for node in &swept {
+                node.poisoned.store(true, Relaxed);
+                self.stats.record_notify();
+            }
+            self.fast.clear_waiters();
+            swept
+        };
+        for node in swept {
+            node.cv.notify_all();
+        }
+    }
+
+    fn poison_info(&self) -> Option<FailureInfo> {
+        if !self.fast.is_poisoned() {
+            return None;
+        }
+        self.inner.lock().poisoned.clone()
     }
 }
 
@@ -257,6 +326,7 @@ impl Resettable for ParkingCounter {
         let inner = self.inner.get_mut();
         debug_assert!(inner.waiting.is_empty(), "reset called while threads wait");
         inner.wide = 0;
+        inner.poisoned = None;
         self.fast.reset(0);
     }
 }
@@ -277,6 +347,18 @@ impl CounterDiagnostics for ParkingCounter {
 
     fn impl_name(&self) -> &'static str {
         "parking_lot"
+    }
+
+    fn waiters(&self) -> Vec<WaitingLevel> {
+        self.inner
+            .lock()
+            .waiting
+            .iter()
+            .map(|(level, n)| WaitingLevel {
+                level: *level,
+                threads: n.count.load(Relaxed),
+            })
+            .collect()
     }
 }
 
@@ -331,6 +413,20 @@ mod tests {
         c.increment(3);
         c.reset();
         assert_eq!(c.debug_value(), 0);
+    }
+
+    #[test]
+    fn poison_wakes_parked_waiters() {
+        let c = Arc::new(ParkingCounter::new());
+        let c2 = Arc::clone(&c);
+        let h = thread::spawn(move || c2.wait(11));
+        while c.stats().live_waiters == 0 {
+            thread::yield_now();
+        }
+        c.poison(FailureInfo::new("parked failure"));
+        assert!(matches!(h.join().unwrap(), Err(CheckError::Poisoned(_))));
+        assert_eq!(c.stats().live_nodes, 0);
+        assert_eq!(c.poison_info().unwrap().message(), "parked failure");
     }
 
     #[test]

@@ -7,19 +7,24 @@
 //! plentiful; pathological when waits are long or cores are scarce.
 //! Included for the E7 ablation.
 
-use crate::error::{CheckTimeoutError, CounterOverflowError};
+use crate::error::{CheckError, CheckTimeoutError, CounterOverflowError, FailureInfo};
 use crate::stats::{Stats, StatsSnapshot};
 use crate::traits::{CounterDiagnostics, MonotonicCounter, Resettable};
 use crate::Value;
-use std::sync::atomic::{AtomicU64, Ordering::SeqCst};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::SeqCst};
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 /// A monotonic counter whose waiters spin.
 ///
 /// Semantically interchangeable with [`crate::Counter`]; `check` burns CPU
-/// while waiting. Every operation is lock-free.
+/// while waiting. Every synchronization operation is lock-free (the poison
+/// flag is an atomic the spin loops poll; the mutex below only guards the
+/// cause record, off the hot paths).
 pub struct SpinCounter {
     value: AtomicU64,
+    poisoned: AtomicBool,
+    cause: Mutex<Option<FailureInfo>>,
     stats: Stats,
 }
 
@@ -39,8 +44,21 @@ impl SpinCounter {
     pub fn with_value(value: Value) -> Self {
         SpinCounter {
             value: AtomicU64::new(value),
+            poisoned: AtomicBool::new(false),
+            cause: Mutex::new(None),
             stats: Stats::default(),
         }
+    }
+
+    /// Reads the poisoning cause after observing the `poisoned` flag. The
+    /// flag is stored only after the cause is published (both SeqCst), so
+    /// this cannot observe the flag without the cause.
+    fn cause(&self) -> FailureInfo {
+        self.cause
+            .lock()
+            .expect("poison cause lock poisoned")
+            .clone()
+            .expect("poison flag set without a recorded cause")
     }
 }
 
@@ -69,14 +87,18 @@ impl MonotonicCounter for SpinCounter {
         }
     }
 
-    fn check(&self, level: Value) {
+    fn wait(&self, level: Value) -> Result<(), CheckError> {
         if self.value.load(SeqCst) >= level {
             self.stats.record_fast_check();
-            return;
+            return Ok(());
         }
         self.stats.record_check_suspended();
         let mut spins = 0u32;
         while self.value.load(SeqCst) < level {
+            if self.poisoned.load(SeqCst) {
+                self.stats.record_waiter_resumed();
+                return Err(CheckError::Poisoned(self.cause()));
+            }
             spins = spins.wrapping_add(1);
             if spins.is_multiple_of(64) {
                 // Give the producer a chance on oversubscribed machines.
@@ -86,9 +108,10 @@ impl MonotonicCounter for SpinCounter {
             }
         }
         self.stats.record_waiter_resumed();
+        Ok(())
     }
 
-    fn check_timeout(&self, level: Value, timeout: Duration) -> Result<(), CheckTimeoutError> {
+    fn wait_timeout(&self, level: Value, timeout: Duration) -> Result<(), CheckError> {
         if self.value.load(SeqCst) >= level {
             self.stats.record_fast_check();
             return Ok(());
@@ -97,9 +120,13 @@ impl MonotonicCounter for SpinCounter {
         let deadline = Instant::now() + timeout;
         let mut spins = 0u32;
         while self.value.load(SeqCst) < level {
+            if self.poisoned.load(SeqCst) {
+                self.stats.record_waiter_resumed();
+                return Err(CheckError::Poisoned(self.cause()));
+            }
             if Instant::now() >= deadline {
                 self.stats.record_waiter_resumed();
-                return Err(CheckTimeoutError { level });
+                return Err(CheckError::Timeout(CheckTimeoutError { level }));
             }
             spins = spins.wrapping_add(1);
             if spins.is_multiple_of(64) {
@@ -110,6 +137,24 @@ impl MonotonicCounter for SpinCounter {
         }
         self.stats.record_waiter_resumed();
         Ok(())
+    }
+
+    fn poison(&self, info: FailureInfo) {
+        let mut cause = self.cause.lock().expect("poison cause lock poisoned");
+        if cause.is_some() {
+            return;
+        }
+        *cause = Some(info);
+        // Publish the flag while still holding the cause lock: any spinner
+        // that sees the flag finds the cause already recorded.
+        self.poisoned.store(true, SeqCst);
+    }
+
+    fn poison_info(&self) -> Option<FailureInfo> {
+        if !self.poisoned.load(SeqCst) {
+            return None;
+        }
+        Some(self.cause())
     }
 
     fn advance_to(&self, target: Value) {
@@ -123,6 +168,8 @@ impl MonotonicCounter for SpinCounter {
 impl Resettable for SpinCounter {
     fn reset(&mut self) {
         *self.value.get_mut() = 0;
+        *self.poisoned.get_mut() = false;
+        *self.cause.get_mut().expect("poison cause lock poisoned") = None;
     }
 }
 
@@ -161,6 +208,21 @@ mod tests {
     fn timeout_expires_without_increment() {
         let c = SpinCounter::new();
         assert!(c.check_timeout(1, Duration::from_millis(10)).is_err());
+    }
+
+    #[test]
+    fn poison_breaks_the_spin_loop() {
+        let c = Arc::new(SpinCounter::new());
+        let c2 = Arc::clone(&c);
+        let h = std::thread::spawn(move || c2.wait(100));
+        while c.stats().live_waiters == 0 {
+            std::thread::yield_now();
+        }
+        c.poison(FailureInfo::new("spinner failure"));
+        assert!(matches!(h.join().unwrap(), Err(CheckError::Poisoned(_))));
+        // Value ops keep working and satisfied waits succeed.
+        c.increment(1);
+        assert!(c.wait(1).is_ok());
     }
 
     #[test]

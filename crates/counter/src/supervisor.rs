@@ -1,0 +1,661 @@
+//! [`Supervisor`]: a registry of counters that turns silent stalls into
+//! wait-graph diagnostics.
+//!
+//! The paper's Section 6 guarantees deadlock-freedom only when every thread
+//! delivers its increments. The supervisor closes the gap operationally: it
+//! holds weak references to registered counters, tracks outstanding
+//! [increment obligations](crate::Obligation), and on demand (or on a
+//! no-progress interval, from a background watch thread) reports per counter
+//! the value, the outstanding obligations, and the occupied waiting levels —
+//! and distinguishes a counter that is **never satisfiable** (some waited
+//! level exceeds `value + outstanding obligations`: no promised increment
+//! can reach it) from one that is merely slow. Optionally it poisons
+//! provably-stuck counters so the blocked threads fail with a cause.
+
+use crate::error::FailureInfo;
+use crate::traits::{CounterDiagnostics, MonotonicCounter, WaitingLevel};
+use crate::Value;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::{Arc, Condvar, Mutex, Weak};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// What a supervisor needs from a counter: the synchronization surface (to
+/// poison it) plus the diagnostics surface (to observe value and waiters).
+///
+/// Blanket-implemented for every type providing both, so any counter in this
+/// crate — and any wrapper that forwards both traits — can be registered.
+pub trait SupervisedCounter: MonotonicCounter + CounterDiagnostics {}
+
+impl<C: MonotonicCounter + CounterDiagnostics + ?Sized> SupervisedCounter for C {}
+
+/// Configuration for a [`Supervisor`]'s background watch thread.
+#[derive(Debug, Clone)]
+pub struct SupervisorConfig {
+    /// How often the watch thread samples the registered counters. Two
+    /// consecutive samples with no value progress while threads wait produce
+    /// a stall report.
+    pub interval: Duration,
+    /// When `true`, counters diagnosed [`StallVerdict::NeverSatisfiable`] in
+    /// a stall report are poisoned, converting the hang into propagated
+    /// failures.
+    pub poison_stuck: bool,
+}
+
+impl Default for SupervisorConfig {
+    fn default() -> Self {
+        SupervisorConfig {
+            interval: Duration::from_millis(200),
+            poison_stuck: false,
+        }
+    }
+}
+
+/// Per-counter stall classification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StallVerdict {
+    /// No thread is waiting on this counter.
+    Idle,
+    /// Threads wait, and every waited level is within reach of the value
+    /// plus the outstanding obligations: progress is possible ("slow").
+    Slow,
+    /// Some waited level exceeds `value + outstanding obligations`: no
+    /// promised increment can satisfy it, so the wait can never complete.
+    NeverSatisfiable,
+}
+
+/// The observed state of one registered counter.
+#[derive(Debug, Clone)]
+pub struct CounterReport {
+    /// The name the counter was registered under.
+    pub name: String,
+    /// The counter value at sampling time.
+    pub value: Value,
+    /// Sum of increment amounts still owed by live
+    /// [supervised obligations](Supervisor::obligation).
+    pub outstanding_obligations: Value,
+    /// Occupied waiting levels (empty for implementations without
+    /// introspectable queues).
+    pub waiters: Vec<WaitingLevel>,
+    /// The poisoning cause, if the counter is already poisoned.
+    pub poisoned: Option<FailureInfo>,
+    /// The stall classification for this counter.
+    pub verdict: StallVerdict,
+}
+
+/// A wait-graph diagnostic over every registered counter.
+#[derive(Debug, Clone)]
+pub struct StallReport {
+    /// One report per live registered counter.
+    pub counters: Vec<CounterReport>,
+}
+
+impl StallReport {
+    /// The counters whose waits can provably never complete.
+    pub fn stuck(&self) -> Vec<&CounterReport> {
+        self.counters
+            .iter()
+            .filter(|c| c.verdict == StallVerdict::NeverSatisfiable)
+            .collect()
+    }
+
+    /// Whether any registered counter has waiting threads.
+    pub fn has_waiters(&self) -> bool {
+        self.counters.iter().any(|c| !c.waiters.is_empty())
+    }
+}
+
+impl fmt::Display for StallReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "stall report ({} counters):", self.counters.len())?;
+        for c in &self.counters {
+            write!(
+                f,
+                "  '{}': value {}, outstanding obligations {}",
+                c.name, c.value, c.outstanding_obligations
+            )?;
+            if let Some(info) = &c.poisoned {
+                write!(f, ", poisoned ({info})")?;
+            }
+            writeln!(f)?;
+            for w in &c.waiters {
+                let reach = c.value.saturating_add(c.outstanding_obligations);
+                writeln!(
+                    f,
+                    "    level {}: {} thread(s) waiting{}",
+                    w.level,
+                    w.threads,
+                    if w.level > reach {
+                        " [never satisfiable]"
+                    } else {
+                        ""
+                    }
+                )?;
+            }
+        }
+        Ok(())
+    }
+}
+
+struct Entry {
+    name: String,
+    counter: Weak<dyn SupervisedCounter>,
+    /// Sum of amounts owed by live supervised obligations on this counter.
+    obligations: Arc<AtomicU64>,
+}
+
+/// Stop handshake for the watch thread. Lives in its own `Arc` so the
+/// sleeping thread holds no strong reference to [`Shared`] — the last
+/// [`Supervisor`] clone can then detect itself via `strong_count` and join.
+struct StopSignal {
+    stopped: Mutex<bool>,
+    cv: Condvar,
+}
+
+struct Shared {
+    entries: Mutex<Vec<Entry>>,
+    last_report: Mutex<Option<StallReport>>,
+    watch: Mutex<Option<JoinHandle<()>>>,
+    stop: Arc<StopSignal>,
+    config: SupervisorConfig,
+}
+
+/// A registry of counters with stall diagnostics; cheaply cloneable (clones
+/// share the registry). See the module docs.
+///
+/// # Example
+///
+/// ```
+/// use mc_counter::{Counter, Supervisor, StallVerdict, MonotonicCounter};
+/// use std::sync::Arc;
+///
+/// let sup = Supervisor::new();
+/// let done = Arc::new(Counter::new());
+/// sup.register("done", &done);
+/// let report = sup.diagnose();
+/// assert_eq!(report.counters[0].verdict, StallVerdict::Idle);
+/// ```
+pub struct Supervisor {
+    shared: Arc<Shared>,
+}
+
+impl Default for Supervisor {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clone for Supervisor {
+    fn clone(&self) -> Self {
+        Supervisor {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl Supervisor {
+    /// Creates a supervisor with the default configuration (no watch thread
+    /// until [`start`](Self::start) is called).
+    pub fn new() -> Self {
+        Self::with_config(SupervisorConfig::default())
+    }
+
+    /// Creates a supervisor with an explicit configuration.
+    pub fn with_config(config: SupervisorConfig) -> Self {
+        Supervisor {
+            shared: Arc::new(Shared {
+                entries: Mutex::new(Vec::new()),
+                last_report: Mutex::new(None),
+                watch: Mutex::new(None),
+                stop: Arc::new(StopSignal {
+                    stopped: Mutex::new(false),
+                    cv: Condvar::new(),
+                }),
+                config,
+            }),
+        }
+    }
+
+    /// Registers `counter` under `name`. The supervisor holds only a weak
+    /// reference: a dropped counter silently leaves the registry.
+    pub fn register<C>(&self, name: impl Into<String>, counter: &Arc<C>)
+    where
+        C: SupervisedCounter + 'static,
+    {
+        let weak: Weak<dyn SupervisedCounter> = Arc::downgrade(counter) as _;
+        self.shared
+            .entries
+            .lock()
+            .expect("supervisor poisoned")
+            .push(Entry {
+                name: name.into(),
+                counter: weak,
+                obligations: Arc::new(AtomicU64::new(0)),
+            });
+    }
+
+    /// Takes on a supervised obligation to increment the counter registered
+    /// under `name` by `amount`: like [`CounterExt::obligation`]
+    /// [`CounterExt::obligation`]: crate::CounterExt::obligation
+    /// (delivers on normal drop, poisons on unwind-drop), and additionally
+    /// counted in [`CounterReport::outstanding_obligations`] so the
+    /// supervisor can tell "increment still owed" from "never coming".
+    ///
+    /// Returns `None` when no live counter is registered under `name`.
+    pub fn obligation(&self, name: &str, amount: Value) -> Option<SupervisedObligation> {
+        let entries = self.shared.entries.lock().expect("supervisor poisoned");
+        let entry = entries.iter().find(|e| e.name == name)?;
+        let counter = entry.counter.upgrade()?;
+        entry.obligations.fetch_add(amount, Relaxed);
+        Some(SupervisedObligation {
+            counter,
+            tracker: Arc::clone(&entry.obligations),
+            owed: amount,
+        })
+    }
+
+    /// Samples every live registered counter and classifies its stall state.
+    pub fn diagnose(&self) -> StallReport {
+        Self::diagnose_shared(&self.shared)
+    }
+
+    fn diagnose_shared(shared: &Shared) -> StallReport {
+        let entries = shared.entries.lock().expect("supervisor poisoned");
+        let mut counters = Vec::with_capacity(entries.len());
+        for e in entries.iter() {
+            let Some(c) = e.counter.upgrade() else {
+                continue;
+            };
+            let value = c.debug_value();
+            let outstanding = e.obligations.load(Relaxed);
+            let waiters = c.waiters();
+            let reach = value.saturating_add(outstanding);
+            let verdict = if waiters.is_empty() {
+                StallVerdict::Idle
+            } else if waiters.iter().any(|w| w.level > reach) {
+                StallVerdict::NeverSatisfiable
+            } else {
+                StallVerdict::Slow
+            };
+            counters.push(CounterReport {
+                name: e.name.clone(),
+                value,
+                outstanding_obligations: outstanding,
+                waiters,
+                poisoned: c.poison_info(),
+                verdict,
+            });
+        }
+        StallReport { counters }
+    }
+
+    /// Poisons every live registered counter with `info`. Used by deadline
+    /// supervision ([`run_with_deadline`]) to unblock and terminate a stuck
+    /// program's threads.
+    ///
+    /// [`run_with_deadline`]: https://docs.rs/mc-sthreads
+    pub fn poison_all(&self, info: FailureInfo) {
+        let entries = self.shared.entries.lock().expect("supervisor poisoned");
+        for e in entries.iter() {
+            if let Some(c) = e.counter.upgrade() {
+                c.poison(info.clone());
+            }
+        }
+    }
+
+    /// Poisons the counters currently diagnosed
+    /// [`StallVerdict::NeverSatisfiable`]; returns how many were poisoned.
+    pub fn poison_stuck(&self, info: FailureInfo) -> usize {
+        let report = self.diagnose();
+        let entries = self.shared.entries.lock().expect("supervisor poisoned");
+        let mut poisoned = 0;
+        for c in report.stuck() {
+            let Some(entry) = entries.iter().find(|e| e.name == c.name) else {
+                continue;
+            };
+            if let Some(counter) = entry.counter.upgrade() {
+                counter.poison(info.clone());
+                poisoned += 1;
+            }
+        }
+        poisoned
+    }
+
+    /// The stall report produced by the watch thread's most recent
+    /// no-progress interval, if any.
+    pub fn last_report(&self) -> Option<StallReport> {
+        self.shared
+            .last_report
+            .lock()
+            .expect("supervisor poisoned")
+            .clone()
+    }
+
+    /// Starts the background watch thread (idempotent). Every
+    /// [`SupervisorConfig::interval`] it samples the registry; an interval
+    /// with no value progress while threads wait records a stall report
+    /// (see [`last_report`](Self::last_report)) and — with
+    /// [`SupervisorConfig::poison_stuck`] — poisons provably-stuck counters.
+    pub fn start(&self) {
+        let mut watch = self.shared.watch.lock().expect("supervisor poisoned");
+        if watch.is_some() {
+            return;
+        }
+        let weak = Arc::downgrade(&self.shared);
+        let stop = Arc::clone(&self.shared.stop);
+        let interval = self.shared.config.interval;
+        let handle = std::thread::Builder::new()
+            .name("mc-supervisor".into())
+            .spawn(move || {
+                let mut prev: HashMap<String, Value> = HashMap::new();
+                loop {
+                    {
+                        let stopped = stop.stopped.lock().expect("supervisor poisoned");
+                        let (stopped, _) = stop
+                            .cv
+                            .wait_timeout(stopped, interval)
+                            .expect("supervisor poisoned");
+                        if *stopped {
+                            break;
+                        }
+                    }
+                    let Some(shared) = weak.upgrade() else {
+                        break;
+                    };
+                    Self::tick(&shared, &mut prev);
+                }
+            })
+            .expect("failed to spawn supervisor watch thread");
+        *watch = Some(handle);
+    }
+
+    /// One watch-thread sample: diagnose, detect no-progress, record/poison.
+    fn tick(shared: &Shared, prev: &mut HashMap<String, Value>) {
+        let report = Self::diagnose_shared(shared);
+        let progressed = report
+            .counters
+            .iter()
+            .any(|c| prev.get(&c.name).is_none_or(|&v| v != c.value));
+        *prev = report
+            .counters
+            .iter()
+            .map(|c| (c.name.clone(), c.value))
+            .collect();
+        if progressed || !report.has_waiters() {
+            return;
+        }
+        if shared.config.poison_stuck {
+            let entries = shared.entries.lock().expect("supervisor poisoned");
+            for c in report.stuck() {
+                if let Some(counter) = entries
+                    .iter()
+                    .find(|e| e.name == c.name)
+                    .and_then(|e| e.counter.upgrade())
+                {
+                    counter.poison(FailureInfo::new(format!(
+                        "supervisor: counter '{}' is stuck (value {} + {} outstanding \
+                         obligations cannot satisfy waited levels)",
+                        c.name, c.value, c.outstanding_obligations
+                    )));
+                }
+            }
+        }
+        *shared.last_report.lock().expect("supervisor poisoned") = Some(report);
+    }
+
+    /// Stops the watch thread and waits for it to exit (no-op if never
+    /// started). Also called automatically when the last clone is dropped.
+    pub fn stop(&self) {
+        {
+            let mut stopped = self
+                .shared
+                .stop
+                .stopped
+                .lock()
+                .expect("supervisor poisoned");
+            *stopped = true;
+        }
+        self.shared.stop.cv.notify_all();
+        if let Some(h) = self
+            .shared
+            .watch
+            .lock()
+            .expect("supervisor poisoned")
+            .take()
+        {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Supervisor {
+    fn drop(&mut self) {
+        // The watch thread only holds `Shared` weakly (and only transiently
+        // strongly during a tick), so the last user-held clone sees count 1.
+        if Arc::strong_count(&self.shared) == 1 {
+            self.stop();
+        }
+    }
+}
+
+/// A supervised increment obligation: the RAII contract of
+/// [`Obligation`](crate::Obligation) (deliver on normal drop, poison on
+/// unwind-drop), plus supervisor accounting — while the guard lives its
+/// amount is counted in [`CounterReport::outstanding_obligations`].
+pub struct SupervisedObligation {
+    counter: Arc<dyn SupervisedCounter>,
+    tracker: Arc<AtomicU64>,
+    owed: Value,
+}
+
+impl SupervisedObligation {
+    /// The amount this obligation will deliver.
+    pub fn owed(&self) -> Value {
+        self.owed
+    }
+
+    /// Delivers the owed increment now, consuming the guard.
+    pub fn fulfill(mut self) {
+        self.resolve(false);
+    }
+
+    fn resolve(&mut self, panicking: bool) {
+        if self.owed == 0 {
+            return;
+        }
+        let owed = self.owed;
+        self.owed = 0;
+        self.tracker.fetch_sub(owed, Relaxed);
+        if panicking {
+            self.counter.poison(
+                FailureInfo::new("increment obligation abandoned by panicking thread")
+                    .with_level(owed),
+            );
+        } else {
+            self.counter.increment(owed);
+        }
+    }
+}
+
+impl Drop for SupervisedObligation {
+    fn drop(&mut self) {
+        self.resolve(std::thread::panicking());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::CheckError;
+    use crate::{Counter, SpinCounter};
+    use std::thread;
+
+    #[test]
+    fn empty_supervisor_reports_nothing() {
+        let sup = Supervisor::new();
+        let report = sup.diagnose();
+        assert!(report.counters.is_empty());
+        assert!(!report.has_waiters());
+        assert!(report.stuck().is_empty());
+    }
+
+    #[test]
+    fn idle_counter_is_idle() {
+        let sup = Supervisor::new();
+        let c = Arc::new(Counter::new());
+        sup.register("c", &c);
+        c.increment(4);
+        let report = sup.diagnose();
+        assert_eq!(report.counters.len(), 1);
+        assert_eq!(report.counters[0].value, 4);
+        assert_eq!(report.counters[0].verdict, StallVerdict::Idle);
+    }
+
+    #[test]
+    fn dropped_counter_leaves_the_registry() {
+        let sup = Supervisor::new();
+        let c = Arc::new(Counter::new());
+        sup.register("gone", &c);
+        drop(c);
+        assert!(sup.diagnose().counters.is_empty());
+    }
+
+    #[test]
+    fn stuck_vs_slow_distinction() {
+        let sup = Supervisor::new();
+        let slow = Arc::new(Counter::new());
+        let stuck = Arc::new(Counter::new());
+        sup.register("slow", &slow);
+        sup.register("stuck", &stuck);
+
+        // "slow": a waiter at level 2, with an obligation for 5 outstanding
+        // — satisfiable once the obligation is delivered.
+        let ob = sup.obligation("slow", 5).unwrap();
+        let slow2 = Arc::clone(&slow);
+        let h_slow = thread::spawn(move || slow2.wait(2));
+        // "stuck": a waiter at level 9 with nothing promised.
+        let stuck2 = Arc::clone(&stuck);
+        let h_stuck = thread::spawn(move || stuck2.wait_timeout(9, Duration::from_secs(10)));
+        while slow.waiters().is_empty() || stuck.waiters().is_empty() {
+            thread::yield_now();
+        }
+
+        let report = sup.diagnose();
+        let by_name = |n: &str| report.counters.iter().find(|c| c.name == n).unwrap();
+        assert_eq!(by_name("slow").verdict, StallVerdict::Slow);
+        assert_eq!(by_name("slow").outstanding_obligations, 5);
+        assert_eq!(by_name("stuck").verdict, StallVerdict::NeverSatisfiable);
+        let shown = report.to_string();
+        assert!(shown.contains("never satisfiable"), "got: {shown}");
+
+        // Poisoning only the stuck counter releases its waiter with a cause
+        // while the slow one proceeds normally.
+        assert_eq!(sup.poison_stuck(FailureInfo::new("diagnosed stall")), 1);
+        assert!(matches!(
+            h_stuck.join().unwrap(),
+            Err(CheckError::Poisoned(_))
+        ));
+        ob.fulfill();
+        assert!(h_slow.join().unwrap().is_ok());
+        assert!(slow.poison_info().is_none(), "slow counter untouched");
+    }
+
+    #[test]
+    fn obligation_accounting_tracks_lifecycle() {
+        let sup = Supervisor::new();
+        let c = Arc::new(Counter::new());
+        sup.register("c", &c);
+        let ob = sup.obligation("c", 3).unwrap();
+        assert_eq!(sup.diagnose().counters[0].outstanding_obligations, 3);
+        ob.fulfill();
+        assert_eq!(sup.diagnose().counters[0].outstanding_obligations, 0);
+        assert_eq!(c.debug_value(), 3);
+        assert!(sup.obligation("missing", 1).is_none());
+    }
+
+    #[test]
+    fn supervised_obligation_poisons_on_unwind() {
+        let sup = Supervisor::new();
+        let c = Arc::new(Counter::new());
+        sup.register("c", &c);
+        let sup2 = sup.clone();
+        let h = thread::spawn(move || {
+            let _ob = sup2.obligation("c", 4).unwrap();
+            panic!("supervised producer died");
+        });
+        assert!(h.join().is_err());
+        assert!(c.poison_info().is_some());
+        assert_eq!(
+            sup.diagnose().counters[0].outstanding_obligations,
+            0,
+            "abandoned obligation must release its accounting"
+        );
+    }
+
+    #[test]
+    fn watch_thread_diagnoses_and_poisons_stuck_counter() {
+        let sup = Supervisor::with_config(SupervisorConfig {
+            interval: Duration::from_millis(20),
+            poison_stuck: true,
+        });
+        let c = Arc::new(Counter::new());
+        sup.register("stuck", &c);
+        sup.start();
+        let c2 = Arc::clone(&c);
+        let h = thread::spawn(move || c2.wait(100));
+        // The waiter blocks at level 100 with no obligations: within two
+        // intervals the watch thread must poison it.
+        let err = h.join().unwrap().unwrap_err();
+        let CheckError::Poisoned(info) = err else {
+            panic!("expected poisoning, got {err:?}");
+        };
+        assert!(info.message().contains("stuck"), "got: {}", info.message());
+        let report = sup.last_report().expect("stall report recorded");
+        assert_eq!(report.counters[0].verdict, StallVerdict::NeverSatisfiable);
+        sup.stop();
+    }
+
+    #[test]
+    fn watch_thread_leaves_progressing_counters_alone() {
+        let sup = Supervisor::with_config(SupervisorConfig {
+            interval: Duration::from_millis(10),
+            poison_stuck: true,
+        });
+        let c = Arc::new(Counter::new());
+        sup.register("busy", &c);
+        sup.start();
+        // Keep making progress: the supervisor must never poison.
+        for _ in 0..10 {
+            c.increment(1);
+            thread::sleep(Duration::from_millis(5));
+        }
+        assert!(c.poison_info().is_none());
+        sup.stop();
+    }
+
+    #[test]
+    fn drop_of_last_clone_joins_watch_thread() {
+        let sup = Supervisor::with_config(SupervisorConfig {
+            interval: Duration::from_millis(10),
+            poison_stuck: false,
+        });
+        sup.start();
+        let clone = sup.clone();
+        drop(sup);
+        drop(clone); // must not hang and must reap the thread
+    }
+
+    #[test]
+    fn works_with_queueless_impls() {
+        // SpinCounter has no introspectable waiters: diagnosis degrades to
+        // value + obligations without error.
+        let sup = Supervisor::new();
+        let c = Arc::new(SpinCounter::new());
+        sup.register("spin", &c);
+        let report = sup.diagnose();
+        assert_eq!(report.counters[0].verdict, StallVerdict::Idle);
+        assert!(report.counters[0].waiters.is_empty());
+    }
+}

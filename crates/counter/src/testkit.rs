@@ -1,0 +1,251 @@
+//! Shared test helpers for auditing counter *wrappers*.
+//!
+//! Wrapper types (chaos injection, tracing, clock tracking) must forward the
+//! **entire** [`MonotonicCounter`] surface: a wrapper that silently relies on
+//! a provided default for a method it means to intercept, or that drops a
+//! forwarding when the trait grows, reintroduces exactly the silent-hang
+//! failure modes the poisoning machinery exists to remove. This module
+//! provides a [`RecordingCounter`] that logs every trait-method invocation,
+//! and a driver ([`exercise_all`]) + strict assertion
+//! ([`assert_all_forwarded`]) pair that downstream crates reuse as a shared
+//! forwarding-conformance test.
+//!
+//! ```
+//! use mc_counter::testkit::{self, RecordingCounter};
+//!
+//! let rec = RecordingCounter::new();
+//! testkit::exercise_all(&rec); // drive the full surface, non-blockingly
+//! testkit::assert_all_forwarded(&rec);
+//! ```
+
+use crate::error::{CheckError, CheckTimeoutError, CounterOverflowError, FailureInfo};
+use crate::stats::StatsSnapshot;
+use crate::traits::{CounterDiagnostics, MonotonicCounter, Resettable, WaitingLevel};
+use crate::{Counter, Value};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Every [`MonotonicCounter`] method, including the provided ones: the names
+/// [`assert_all_forwarded`] requires to appear in a [`RecordingCounter`] log.
+pub const ALL_METHODS: [&str; 9] = [
+    "increment",
+    "try_increment",
+    "advance_to",
+    "wait",
+    "wait_timeout",
+    "check",
+    "check_timeout",
+    "poison",
+    "poison_info",
+];
+
+/// A fully functional counter (backed by [`Counter`]) that records the name
+/// of every [`MonotonicCounter`] method invoked on it.
+///
+/// Wrap it in the adapter under test, drive the adapter with
+/// [`exercise_all`], then call [`assert_all_forwarded`]: any method the
+/// adapter fails to forward is reported by name.
+pub struct RecordingCounter {
+    inner: Counter,
+    calls: Mutex<Vec<&'static str>>,
+}
+
+impl Default for RecordingCounter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RecordingCounter {
+    /// Creates a recording counter with value zero and an empty log.
+    pub fn new() -> Self {
+        RecordingCounter {
+            inner: Counter::new(),
+            calls: Mutex::new(Vec::new()),
+        }
+    }
+
+    fn record(&self, name: &'static str) {
+        self.calls
+            .lock()
+            .expect("recording log poisoned")
+            .push(name);
+    }
+
+    /// The method names invoked so far, in call order.
+    pub fn calls(&self) -> Vec<&'static str> {
+        self.calls.lock().expect("recording log poisoned").clone()
+    }
+
+    /// The entries of [`ALL_METHODS`] *not* yet invoked.
+    pub fn missing_calls(&self) -> Vec<&'static str> {
+        let seen = self.calls();
+        ALL_METHODS
+            .iter()
+            .copied()
+            .filter(|m| !seen.contains(m))
+            .collect()
+    }
+}
+
+impl MonotonicCounter for RecordingCounter {
+    fn increment(&self, amount: Value) {
+        self.record("increment");
+        self.inner.increment(amount);
+    }
+
+    fn try_increment(&self, amount: Value) -> Result<(), CounterOverflowError> {
+        self.record("try_increment");
+        self.inner.try_increment(amount)
+    }
+
+    fn advance_to(&self, target: Value) {
+        self.record("advance_to");
+        self.inner.advance_to(target);
+    }
+
+    fn wait(&self, level: Value) -> Result<(), CheckError> {
+        self.record("wait");
+        self.inner.wait(level)
+    }
+
+    fn wait_timeout(&self, level: Value, timeout: Duration) -> Result<(), CheckError> {
+        self.record("wait_timeout");
+        self.inner.wait_timeout(level, timeout)
+    }
+
+    fn check(&self, level: Value) {
+        self.record("check");
+        self.inner.check(level);
+    }
+
+    fn check_timeout(&self, level: Value, timeout: Duration) -> Result<(), CheckTimeoutError> {
+        self.record("check_timeout");
+        self.inner.check_timeout(level, timeout)
+    }
+
+    fn poison(&self, info: FailureInfo) {
+        self.record("poison");
+        self.inner.poison(info);
+    }
+
+    fn poison_info(&self) -> Option<FailureInfo> {
+        self.record("poison_info");
+        self.inner.poison_info()
+    }
+}
+
+impl Resettable for RecordingCounter {
+    fn reset(&mut self) {
+        self.record("reset");
+        self.inner.reset();
+    }
+}
+
+impl CounterDiagnostics for RecordingCounter {
+    fn debug_value(&self) -> Value {
+        self.inner.debug_value()
+    }
+
+    fn stats(&self) -> StatsSnapshot {
+        self.inner.stats()
+    }
+
+    fn impl_name(&self) -> &'static str {
+        "recording"
+    }
+
+    fn waiters(&self) -> Vec<WaitingLevel> {
+        self.inner.waiters()
+    }
+}
+
+/// Drives every [`MonotonicCounter`] method on `counter` exactly as a
+/// single-threaded program can — no call blocks — and asserts the expected
+/// semantics along the way. Ends with the counter poisoned (cause message
+/// `"testkit exercise"`), value 6.
+pub fn exercise_all<C: MonotonicCounter + ?Sized>(counter: &C) {
+    assert!(
+        counter.try_increment(1).is_ok(),
+        "try_increment must succeed"
+    );
+    counter.increment(2);
+    counter.advance_to(5);
+    assert!(counter.wait(5).is_ok(), "satisfied wait must return Ok");
+    assert!(
+        matches!(
+            counter.wait_timeout(6, Duration::from_millis(1)),
+            Err(CheckError::Timeout(_))
+        ),
+        "unsatisfied wait_timeout must time out"
+    );
+    counter.check(5);
+    assert!(
+        counter.check_timeout(6, Duration::from_millis(1)).is_err(),
+        "unsatisfied check_timeout must time out"
+    );
+    assert!(
+        counter.poison_info().is_none(),
+        "poison_info must be None before poisoning"
+    );
+    counter.poison(FailureInfo::new("testkit exercise"));
+    let info = counter
+        .poison_info()
+        .expect("poison_info must report the cause after poisoning");
+    assert_eq!(info.message(), "testkit exercise");
+    assert!(
+        matches!(counter.wait(100), Err(CheckError::Poisoned(_))),
+        "blocked wait on a poisoned counter must fail"
+    );
+    counter.increment(1);
+    assert!(
+        counter.wait(6).is_ok(),
+        "satisfied wait must succeed even when poisoned"
+    );
+}
+
+/// Panics with the missing method names unless every entry of
+/// [`ALL_METHODS`] was invoked on `rec` — the strict half of the shared
+/// forwarding-conformance test.
+pub fn assert_all_forwarded(rec: &RecordingCounter) {
+    let missing = rec.missing_calls();
+    assert!(
+        missing.is_empty(),
+        "wrapper failed to forward MonotonicCounter methods: {missing:?} \
+         (recorded calls: {:?})",
+        rec.calls()
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exercise_all_hits_every_method_on_a_bare_recording_counter() {
+        let rec = RecordingCounter::new();
+        exercise_all(&rec);
+        assert_all_forwarded(&rec);
+        assert_eq!(rec.debug_value(), 6);
+    }
+
+    #[test]
+    fn missing_calls_reports_undriven_methods() {
+        let rec = RecordingCounter::new();
+        rec.increment(1);
+        let missing = rec.missing_calls();
+        assert!(!missing.contains(&"increment"));
+        assert!(missing.contains(&"poison"));
+        assert_eq!(missing.len(), ALL_METHODS.len() - 1);
+    }
+
+    #[test]
+    fn tracing_counter_forwards_the_full_surface() {
+        // TracingCounter wraps the concrete `Counter` directly, so the
+        // recording technique cannot interpose; instead verify behaviorally
+        // that the full surface works through it.
+        let c = crate::TracingCounter::new();
+        exercise_all(&c);
+        assert_eq!(c.debug_value(), 6);
+    }
+}

@@ -18,9 +18,9 @@
 //! nondeterministic.
 
 use crate::counter::{Counter, Inner};
-use crate::error::{CheckTimeoutError, CounterOverflowError};
+use crate::error::{CheckError, CheckTimeoutError, CounterOverflowError, FailureInfo};
 use crate::stats::StatsSnapshot;
-use crate::traits::{CounterDiagnostics, MonotonicCounter, Resettable};
+use crate::traits::{CounterDiagnostics, MonotonicCounter, Resettable, WaitingLevel};
 use crate::Value;
 use std::fmt;
 use std::sync::{Arc, Mutex};
@@ -174,6 +174,22 @@ impl MonotonicCounter for TracingCounter {
         self.counter.advance_to(target);
     }
 
+    fn wait(&self, level: Value) -> Result<(), CheckError> {
+        self.counter.wait(level)
+    }
+
+    fn wait_timeout(&self, level: Value, timeout: Duration) -> Result<(), CheckError> {
+        self.counter.wait_timeout(level, timeout)
+    }
+
+    fn poison(&self, info: FailureInfo) {
+        self.counter.poison(info);
+    }
+
+    fn poison_info(&self) -> Option<FailureInfo> {
+        self.counter.poison_info()
+    }
+
     fn check(&self, level: Value) {
         self.counter.check(level);
     }
@@ -200,6 +216,10 @@ impl CounterDiagnostics for TracingCounter {
 
     fn impl_name(&self) -> &'static str {
         "waitlist-traced"
+    }
+
+    fn waiters(&self) -> Vec<WaitingLevel> {
+        self.counter.waiters()
     }
 }
 

@@ -13,7 +13,7 @@
 //!   instantaneous value (the paper's "no probe" rule, now enforced by the
 //!   type system rather than by documentation).
 
-use crate::error::{CheckTimeoutError, CounterOverflowError};
+use crate::error::{CheckError, CheckTimeoutError, CounterOverflowError, FailureInfo};
 use crate::stats::StatsSnapshot;
 use crate::Value;
 use std::time::Duration;
@@ -60,6 +60,35 @@ pub trait MonotonicCounter: Send + Sync {
     fn try_increment(&self, amount: Value) -> Result<(), CounterOverflowError>;
 
     /// Suspends the calling thread until the counter value is greater than or
+    /// equal to `level`, or until the counter is poisoned.
+    ///
+    /// This is the fallible core of [`check`](Self::check). Returns `Ok(())`
+    /// immediately when the value already satisfies `level` — **even if the
+    /// counter has been poisoned**, because satisfied levels owe nothing to
+    /// the failed thread (and this keeps the satisfied fast path a single
+    /// atomic load). A wait that would block on a poisoned counter instead
+    /// returns [`CheckError::Poisoned`] with the captured cause, since the
+    /// increments it depends on will never arrive.
+    fn wait(&self, level: Value) -> Result<(), CheckError>;
+
+    /// Like [`wait`](Self::wait), but additionally gives up with
+    /// [`CheckError::Timeout`] after `timeout`.
+    fn wait_timeout(&self, level: Value, timeout: Duration) -> Result<(), CheckError>;
+
+    /// Marks the counter as failed, waking **every** currently suspended
+    /// waiter with [`CheckError::Poisoned`] and failing every future wait
+    /// that would block. The first poisoning wins; later calls are no-ops.
+    ///
+    /// Poisoning does not change the value, and increments continue to apply
+    /// afterwards — a poisoned counter still satisfies levels its value
+    /// reaches, it just refuses to *suspend* anyone on promises a dead thread
+    /// can no longer keep.
+    fn poison(&self, info: FailureInfo);
+
+    /// The cause of the poisoning, if the counter has been poisoned.
+    fn poison_info(&self) -> Option<FailureInfo>;
+
+    /// Suspends the calling thread until the counter value is greater than or
     /// equal to `level`.
     ///
     /// Returns immediately when the value already satisfies `level` — in
@@ -67,14 +96,38 @@ pub trait MonotonicCounter: Send + Sync {
     /// share one suspension queue; threads waiting on distinct levels occupy
     /// distinct queues (the "dynamically varying number of thread suspension
     /// queues" of the paper's Sections 1 and 7).
-    fn check(&self, level: Value);
+    ///
+    /// # Panics
+    ///
+    /// Panics with the propagated [`FailureInfo`] cause if the counter is
+    /// poisoned while this level is unsatisfied: the failure of the thread
+    /// that owed the increments resurfaces in every thread that depended on
+    /// them, instead of a silent hang. Use [`wait`](Self::wait) to handle
+    /// poisoning as a value.
+    fn check(&self, level: Value) {
+        if let Err(CheckError::Poisoned(info)) = self.wait(level) {
+            panic!("monotonic counter poisoned: {info}");
+        }
+    }
 
     /// Like [`check`](Self::check), but gives up after `timeout`.
     ///
     /// This is an extension for testability (deadlock detection in test
     /// harnesses); the paper's programming model never needs it because
     /// counter programs whose sequential executions terminate cannot deadlock.
-    fn check_timeout(&self, level: Value, timeout: Duration) -> Result<(), CheckTimeoutError>;
+    ///
+    /// # Panics
+    ///
+    /// Panics like [`check`](Self::check) when the counter is poisoned.
+    fn check_timeout(&self, level: Value, timeout: Duration) -> Result<(), CheckTimeoutError> {
+        match self.wait_timeout(level, timeout) {
+            Ok(()) => Ok(()),
+            Err(CheckError::Timeout(e)) => Err(e),
+            Err(CheckError::Poisoned(info)) => {
+                panic!("monotonic counter poisoned: {info}");
+            }
+        }
+    }
 
     /// Raises the value to `target` if it is currently lower; no-op
     /// otherwise. Waiters at levels `<= target` wake exactly as for
@@ -103,6 +156,17 @@ pub trait Resettable {
     fn reset(&mut self);
 }
 
+/// One occupied suspension queue, as reported by
+/// [`CounterDiagnostics::waiters`]: a level and how many threads are
+/// suspended waiting for it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WaitingLevel {
+    /// The level the threads are waiting for.
+    pub level: Value,
+    /// How many threads are suspended at this level.
+    pub threads: usize,
+}
+
 /// Observation hooks for tests, benchmarks, and the experiment harness.
 ///
 /// None of these are synchronization operations — the paper excludes `Probe`
@@ -123,6 +187,16 @@ pub trait CounterDiagnostics {
     /// A short human-readable name for the implementation, used in benchmark
     /// tables.
     fn impl_name(&self) -> &'static str;
+
+    /// The currently occupied suspension queues, in ascending level order,
+    /// for stall diagnostics (the supervisor's wait-graph reports).
+    ///
+    /// Implementations without introspectable queue structure (spin loops,
+    /// plain monitors) return an empty list — the supervisor then reports
+    /// value and obligations only.
+    fn waiters(&self) -> Vec<WaitingLevel> {
+        Vec::new()
+    }
 }
 
 /// Convenience extensions over any [`MonotonicCounter`].
@@ -142,6 +216,15 @@ pub trait CounterExt: MonotonicCounter {
         let r = f();
         self.increment(1);
         r
+    }
+
+    /// Takes on the obligation to increment this counter by `amount`: returns
+    /// an RAII guard that delivers the increment when dropped normally and
+    /// **poisons** the counter when dropped during a panic unwind — so a
+    /// crashing thread converts the hang it would have caused into a
+    /// propagated failure.
+    fn obligation(&self, amount: Value) -> crate::Obligation<'_, Self> {
+        crate::Obligation::new(self, amount)
     }
 }
 

@@ -3,11 +3,12 @@
 //! per implementation so a failure names the offender.
 
 use mc_counter::{
-    AtomicCounter, BTreeCounter, Counter, CounterDiagnostics, MonitorCounter, MonotonicCounter,
-    NaiveCounter, ParkingCounter, Resettable, SpinCounter, TracingCounter,
+    AtomicCounter, BTreeCounter, CheckError, Counter, CounterDiagnostics, FailureInfo,
+    MonitorCounter, MonotonicCounter, NaiveCounter, ParkingCounter, Resettable, SpinCounter,
+    TracingCounter,
 };
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 const SHORT: Duration = Duration::from_millis(40);
 
@@ -155,6 +156,120 @@ fn impl_name_is_stable<C: Conformant>() {
     assert_eq!(c.impl_name(), C::default().impl_name());
 }
 
+fn poison_wakes_blocked_waiters<C: Conformant + 'static>() {
+    let c = Arc::new(C::default());
+    let mut handles = Vec::new();
+    for level in [5u64, 5, 9] {
+        let c = Arc::clone(&c);
+        handles.push(std::thread::spawn(move || c.wait(level)));
+    }
+    while c.stats().live_waiters < 3 {
+        std::thread::yield_now();
+    }
+    c.poison(FailureInfo::new("producer failed"));
+    for h in handles {
+        match h.join().unwrap() {
+            Err(CheckError::Poisoned(info)) => {
+                assert_eq!(info.message(), "producer failed");
+            }
+            other => panic!("expected Poisoned, got {other:?}"),
+        }
+    }
+    // Future blocked waits fail immediately with the same cause.
+    assert!(matches!(c.wait(100), Err(CheckError::Poisoned(_))));
+    assert_eq!(c.poison_info().unwrap().message(), "producer failed");
+}
+
+fn check_panics_with_the_poison_cause<C: Conformant + 'static>() {
+    let c = C::default();
+    c.poison(FailureInfo::new("root cause here"));
+    let payload = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| c.check(1)))
+        .expect_err("check on a poisoned counter must panic");
+    let msg = payload
+        .downcast_ref::<String>()
+        .expect("poison panic carries a String message");
+    assert!(
+        msg.contains("monotonic counter poisoned") && msg.contains("root cause here"),
+        "got: {msg}"
+    );
+}
+
+fn satisfied_levels_survive_poison<C: Conformant>() {
+    let c = C::default();
+    c.increment(3);
+    c.poison(FailureInfo::new("late failure"));
+    assert!(c.wait(3).is_ok(), "satisfied waits owe the failure nothing");
+    c.check(2); // must not panic
+    assert!(c.check_timeout(3, SHORT).is_ok());
+    // Increments still apply after poison, satisfying new levels.
+    c.increment(2);
+    assert!(c.wait(5).is_ok());
+    assert_eq!(c.debug_value(), 5);
+}
+
+fn first_poison_wins<C: Conformant>() {
+    let c = C::default();
+    c.poison(FailureInfo::new("first"));
+    c.poison(FailureInfo::new("second"));
+    assert_eq!(c.poison_info().unwrap().message(), "first");
+}
+
+fn check_timeout_waits_at_least_the_timeout<C: Conformant>() {
+    let c = C::default();
+    let t0 = Instant::now();
+    let err = c.check_timeout(1, SHORT).unwrap_err();
+    let elapsed = t0.elapsed();
+    assert_eq!(err.level, 1);
+    assert!(
+        elapsed >= SHORT,
+        "returned after {elapsed:?}, before the {SHORT:?} timeout"
+    );
+    // Liveness: a loose upper bound that survives CI scheduling noise but
+    // catches a wait that effectively never wakes.
+    assert!(elapsed < SHORT * 100, "timed wait overshot: {elapsed:?}");
+}
+
+fn timed_wait_with_poison_bit_set_stays_live<C: Conformant>() {
+    let c = C::default();
+    c.increment(2);
+    c.poison(FailureInfo::new("poisoned early"));
+    // Satisfied level: must succeed promptly even though the poison flag is
+    // set (the satisfied fast tier ignores it).
+    let t0 = Instant::now();
+    assert!(c.wait_timeout(2, Duration::from_secs(10)).is_ok());
+    // Unsatisfied level: must report Poisoned (not Timeout), promptly.
+    match c.wait_timeout(3, Duration::from_secs(10)) {
+        Err(CheckError::Poisoned(info)) => assert_eq!(info.message(), "poisoned early"),
+        other => panic!("expected Poisoned, got {other:?}"),
+    }
+    assert!(
+        t0.elapsed() < Duration::from_secs(5),
+        "poison-aware timed waits must not consume their timeouts"
+    );
+}
+
+fn poison_reclaims_waiter_nodes<C: Conformant + 'static>() {
+    let c = Arc::new(C::default());
+    let mut handles = Vec::new();
+    for level in [4u64, 4, 6, 8] {
+        let c = Arc::clone(&c);
+        handles.push(std::thread::spawn(move || c.wait(level)));
+    }
+    while c.stats().live_waiters < 4 {
+        std::thread::yield_now();
+    }
+    c.poison(FailureInfo::new("sweep"));
+    for h in handles {
+        assert!(h.join().unwrap().is_err());
+    }
+    let stats = c.stats();
+    assert_eq!(stats.live_waiters, 0, "no waiter survives the sweep");
+    assert_eq!(
+        stats.nodes_created, stats.nodes_freed,
+        "poisoning must not leak waiter nodes"
+    );
+}
+
 macro_rules! conformance {
     ($module:ident, $ty:ty) => {
         mod $module {
@@ -208,6 +323,34 @@ macro_rules! conformance {
             fn impl_name_is_stable() {
                 super::impl_name_is_stable::<$ty>();
             }
+            #[test]
+            fn poison_wakes_blocked_waiters() {
+                super::poison_wakes_blocked_waiters::<$ty>();
+            }
+            #[test]
+            fn check_panics_with_the_poison_cause() {
+                super::check_panics_with_the_poison_cause::<$ty>();
+            }
+            #[test]
+            fn satisfied_levels_survive_poison() {
+                super::satisfied_levels_survive_poison::<$ty>();
+            }
+            #[test]
+            fn first_poison_wins() {
+                super::first_poison_wins::<$ty>();
+            }
+            #[test]
+            fn check_timeout_waits_at_least_the_timeout() {
+                super::check_timeout_waits_at_least_the_timeout::<$ty>();
+            }
+            #[test]
+            fn timed_wait_with_poison_bit_set_stays_live() {
+                super::timed_wait_with_poison_bit_set_stays_live::<$ty>();
+            }
+            #[test]
+            fn poison_reclaims_waiter_nodes() {
+                super::poison_reclaims_waiter_nodes::<$ty>();
+            }
             // `with_value` is an inherent constructor (uniform across all
             // implementations), so it is exercised here via the macro rather
             // than through a trait bound.
@@ -222,6 +365,27 @@ macro_rules! conformance {
             #[test]
             fn new_equals_default() {
                 assert_eq!(<$ty>::new().debug_value(), <$ty>::default().debug_value());
+            }
+            // Near `u64::MAX` the packed-word hint saturates, so
+            // implementations fall back to their slow paths; timeouts must
+            // remain precise and satisfied checks live in that regime too.
+            #[test]
+            fn timeout_liveness_near_saturation() {
+                use std::time::{Duration, Instant};
+                const SHORT: Duration = Duration::from_millis(30);
+                let c = <$ty>::with_value(u64::MAX - 5);
+                // Satisfied: returns promptly regardless of the hint regime.
+                assert!(c
+                    .check_timeout(u64::MAX - 5, Duration::from_secs(10))
+                    .is_ok());
+                // Unsatisfied: times out, and waits at least the timeout.
+                let t0 = Instant::now();
+                assert!(c.check_timeout(u64::MAX - 1, SHORT).is_err());
+                assert!(t0.elapsed() >= SHORT, "timed out early near saturation");
+                c.increment(4);
+                assert!(c
+                    .check_timeout(u64::MAX - 1, Duration::from_secs(10))
+                    .is_ok());
             }
         }
     };

@@ -2,7 +2,7 @@
 
 use crate::checker::ThreadCtx;
 use crate::vclock::VectorClock;
-use mc_counter::{Counter, CounterDiagnostics, MonotonicCounter, Value};
+use mc_counter::{CheckError, Counter, CounterDiagnostics, FailureInfo, MonotonicCounter, Value};
 use std::sync::Mutex;
 
 /// Clock history of a counter: after each increment, the cumulative join of
@@ -73,6 +73,23 @@ impl TrackedCounter {
     /// prefix that satisfied `level`.
     pub fn check(&self, ctx: &ThreadCtx, level: Value) {
         self.counter.check(level);
+        self.acquire_prefix(ctx, level);
+    }
+
+    /// [`MonotonicCounter::wait`]: like [`check`](Self::check) but returns
+    /// [`CheckError::Poisoned`] instead of panicking when the counter is
+    /// poisoned before `level` is satisfied. A failed wait acquires
+    /// **nothing** — poisoning is a failure channel, not a synchronization
+    /// edge, so it must not manufacture happens-before order.
+    pub fn wait(&self, ctx: &ThreadCtx, level: Value) -> Result<(), CheckError> {
+        self.counter.wait(level)?;
+        self.acquire_prefix(ctx, level);
+        Ok(())
+    }
+
+    /// Acquires the clocks of the satisfying increment prefix after a
+    /// successful suspension, then ticks the caller.
+    fn acquire_prefix(&self, ctx: &ThreadCtx, level: Value) {
         if level > 0 {
             let h = self.history.lock().expect("tracked counter lock poisoned");
             // First entry whose value satisfies the level; it must exist
@@ -85,6 +102,18 @@ impl TrackedCounter {
             ctx.core().join_into(ctx.tid(), clock);
         }
         ctx.core().tick(ctx.tid());
+    }
+
+    /// [`MonotonicCounter::poison`]: forwards to the underlying counter so a
+    /// failed thread's dependents are released (and flagged) instead of
+    /// hanging the checked program.
+    pub fn poison(&self, info: FailureInfo) {
+        self.counter.poison(info);
+    }
+
+    /// [`MonotonicCounter::poison_info`]: the failure cause, if poisoned.
+    pub fn poison_info(&self) -> Option<FailureInfo> {
+        self.counter.poison_info()
     }
 
     /// The underlying counter's current value (diagnostics/tests only).
@@ -219,6 +248,38 @@ mod tests {
         c2.check(&b, 1);
         assert_eq!(x.read(&b), 1);
         assert!(checker.report().is_clean());
+    }
+
+    #[test]
+    fn failed_wait_acquires_no_order() {
+        let checker = Checker::new();
+        let root = checker.register_root();
+        let a = root.fork();
+        let b = root.fork();
+        let c = TrackedCounter::new();
+        c.increment(&a, 1);
+        c.poison(FailureInfo::new("producer died"));
+        // b waits for a level the poisoned counter will never reach: the
+        // wait fails, and crucially does NOT acquire a's clock.
+        assert!(matches!(c.wait(&b, 5), Err(CheckError::Poisoned(_))));
+        assert!(
+            a.clock().concurrent_with(&b.clock()),
+            "a failed wait must not create happens-before order"
+        );
+        assert_eq!(c.poison_info().unwrap().message(), "producer died");
+    }
+
+    #[test]
+    fn successful_wait_acquires_like_check() {
+        let checker = Checker::new();
+        let root = checker.register_root();
+        let a = root.fork();
+        let b = root.fork();
+        let c = TrackedCounter::new();
+        let a_before = a.clock();
+        c.increment(&a, 1);
+        assert!(c.wait(&b, 1).is_ok());
+        assert!(a_before.le(&b.clock()));
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! increments broadcast availability, and each reader checks the prefix it
 //! needs. Writer and readers may each choose their own blocking granularity.
 
-use mc_counter::{Counter, CounterDiagnostics, MonotonicCounter, Value};
+use mc_counter::{CheckError, Counter, CounterDiagnostics, FailureInfo, MonotonicCounter, Value};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::OnceLock;
 
@@ -114,12 +114,43 @@ impl<T> Broadcast<T> {
     }
 
     /// Suspends until item `index` is available and returns it.
+    ///
+    /// # Panics
+    ///
+    /// Panics with the propagated cause if the broadcast fails (its writer
+    /// panicked or [`poison`](Self::poison) was called) before the item was
+    /// published. Use [`try_get`](Self::try_get) to handle failure as a
+    /// value.
     pub fn get(&self, index: usize) -> &T {
         assert!(index < self.slots.len(), "index {index} out of capacity");
         self.count.check(index as Value + 1);
         self.slots[index]
             .get()
             .expect("counter satisfied but slot empty: writer protocol violated")
+    }
+
+    /// Like [`get`](Self::get), but returns [`CheckError::Poisoned`] instead
+    /// of panicking when the broadcast fails before the item is published.
+    pub fn try_get(&self, index: usize) -> Result<&T, CheckError> {
+        assert!(index < self.slots.len(), "index {index} out of capacity");
+        self.count.wait(index as Value + 1)?;
+        Ok(self.slots[index]
+            .get()
+            .expect("counter satisfied but slot empty: writer protocol violated"))
+    }
+
+    /// Marks the broadcast as failed: every reader blocked on an unpublished
+    /// item is released (panicking via `check` or receiving
+    /// [`CheckError::Poisoned`] via [`try_get`](Self::try_get)), and items
+    /// already published stay readable. Called automatically when the writer
+    /// is dropped during a panic unwind.
+    pub fn poison(&self, info: FailureInfo) {
+        self.count.poison(info);
+    }
+
+    /// The failure cause, if the broadcast has failed.
+    pub fn failure(&self) -> Option<FailureInfo> {
+        self.count.poison_info()
     }
 
     /// Items published so far (diagnostics/tests only).
@@ -205,8 +236,24 @@ impl<T> BroadcastWriter<'_, T> {
 
 impl<T> Drop for BroadcastWriter<'_, T> {
     fn drop(&mut self) {
-        // The paper's final `dataCount->Increment(n % blockSize)`.
+        // The paper's final `dataCount->Increment(n % blockSize)`. Items
+        // already pushed are fully constructed, so the exact written prefix
+        // is published even when the writer is unwinding.
         self.flush();
+        if std::thread::panicking() && self.next < self.buffer.capacity() {
+            // The writer died mid-sequence: the remaining items will never
+            // be published. Poison so readers of the unpublished suffix
+            // fail with the cause instead of hanging; the flushed prefix
+            // stays readable (satisfied levels ignore poison).
+            self.buffer.poison(
+                FailureInfo::new(format!(
+                    "broadcast writer panicked after publishing {} of {} items",
+                    self.next,
+                    self.buffer.capacity()
+                ))
+                .with_level(self.next as Value),
+            );
+        }
     }
 }
 
@@ -218,10 +265,34 @@ pub struct BroadcastReader<'a, T> {
     block: usize,
 }
 
-impl<T> BroadcastReader<'_, T> {
+impl<'a, T> BroadcastReader<'a, T> {
     /// Items consumed so far.
     pub fn consumed(&self) -> usize {
         self.next
+    }
+
+    /// Like [`Iterator::next`], but when the broadcast fails before the next
+    /// item is published, returns [`CheckError::Poisoned`] instead of
+    /// panicking — so a reader can consume the exact published prefix of a
+    /// failed sequence.
+    ///
+    /// Waits item-by-item regardless of the reader's block granularity; do
+    /// not interleave with [`Iterator::next`], whose block-boundary
+    /// synchronization assumes it performed every preceding wait itself.
+    pub fn try_next(&mut self) -> Result<Option<&'a T>, CheckError> {
+        let n = self.buffer.capacity();
+        if self.next >= n {
+            return Ok(None);
+        }
+        // Wait item-by-item rather than block-by-block: a block-granular
+        // wait could fail on poison even though the next few items are
+        // already published.
+        self.buffer.count.wait(self.next as Value + 1)?;
+        let item = self.buffer.slots[self.next]
+            .get()
+            .expect("counter satisfied but slot empty: writer protocol violated");
+        self.next += 1;
+        Ok(Some(item))
     }
 }
 
@@ -258,6 +329,7 @@ mod tests {
     use super::*;
     use std::sync::Arc;
     use std::thread;
+    use std::time::Duration;
 
     #[test]
     fn writer_then_reader_sequentially() {
@@ -362,7 +434,7 @@ mod tests {
         let b = Arc::new(Broadcast::new(3));
         let b2 = Arc::clone(&b);
         let h = thread::spawn(move || *b2.get(2));
-        thread::sleep(std::time::Duration::from_millis(20));
+        thread::sleep(Duration::from_millis(20));
         assert!(!h.is_finished());
         let mut w = b.writer();
         w.push(10);
@@ -393,5 +465,99 @@ mod tests {
         assert_eq!(b.reader().count(), 0);
         let w = b.writer();
         drop(w);
+    }
+
+    #[test]
+    fn panicking_writer_poisons_with_published_prefix_intact() {
+        let b = Broadcast::new(5);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut w = b.writer_with_block(2);
+            w.push(10);
+            w.push(20);
+            w.push(30); // unflushed: one item past the block boundary
+            panic!("source dried up");
+        }));
+        assert!(result.is_err());
+        let info = b.failure().expect("failed broadcast must be poisoned");
+        assert!(info.message().contains("3 of 5"), "got: {}", info.message());
+        // The exact written prefix — including the partial block — is
+        // published and readable.
+        assert_eq!(b.published(), 3);
+        assert_eq!(b.try_get(2), Ok(&30));
+        // The unpublished suffix fails with the cause instead of hanging.
+        assert!(matches!(b.try_get(3), Err(CheckError::Poisoned(_))));
+    }
+
+    #[test]
+    fn blocked_reader_is_released_by_writer_panic() {
+        let b = Arc::new(Broadcast::new(3));
+        let b2 = Arc::clone(&b);
+        let reader = thread::spawn(move || b2.try_get(2).copied());
+        let b3 = Arc::clone(&b);
+        let writer = thread::spawn(move || {
+            let mut w = b3.writer();
+            w.push(1);
+            panic!("writer died");
+        });
+        assert!(writer.join().is_err());
+        assert!(matches!(
+            reader.join().unwrap(),
+            Err(CheckError::Poisoned(_))
+        ));
+    }
+
+    #[test]
+    fn try_next_consumes_the_exact_prefix_of_a_failed_sequence() {
+        let b = Broadcast::new(4);
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut w = b.writer();
+            w.push(7);
+            w.push(8);
+            panic!("interrupted");
+        }));
+        let mut r = b.reader();
+        let mut prefix = Vec::new();
+        loop {
+            match r.try_next() {
+                Ok(Some(&v)) => prefix.push(v),
+                Ok(None) => panic!("sequence cannot complete"),
+                Err(CheckError::Poisoned(info)) => {
+                    assert!(info.message().contains("2 of 4"));
+                    break;
+                }
+                Err(e) => panic!("unexpected {e:?}"),
+            }
+        }
+        assert_eq!(prefix, vec![7, 8]);
+    }
+
+    #[test]
+    fn completed_writer_panicking_later_does_not_poison() {
+        let b = Broadcast::new(2);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut w = b.writer();
+            w.push(1);
+            w.push(2);
+            panic!("panic after a complete sequence");
+        }));
+        assert!(result.is_err());
+        assert!(
+            b.failure().is_none(),
+            "a fully published sequence owes readers nothing"
+        );
+        assert_eq!(b.reader().count(), 2);
+    }
+
+    #[test]
+    fn explicit_poison_releases_get() {
+        let b: Arc<Broadcast<u32>> = Arc::new(Broadcast::new(1));
+        let b2 = Arc::clone(&b);
+        let h = thread::spawn(move || {
+            let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| b2.get(0)));
+            r.is_err()
+        });
+        thread::sleep(Duration::from_millis(20));
+        b.poison(mc_counter::FailureInfo::new("upstream cancelled"));
+        assert!(h.join().unwrap(), "blocked get must panic with the cause");
     }
 }

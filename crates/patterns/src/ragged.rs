@@ -7,7 +7,10 @@
 //! implements this with an array of counters, one per thread: the counter
 //! value **is** the thread's published progress.
 
-use mc_counter::{Counter, CounterDiagnostics, CounterSet, MonotonicCounter, Value};
+use mc_counter::{
+    CheckError, Counter, CounterDiagnostics, CounterExt, CounterSet, FailureInfo, MonotonicCounter,
+    Obligation, Value,
+};
 
 /// An array of per-participant progress counters.
 ///
@@ -90,6 +93,44 @@ impl<C: MonotonicCounter> RaggedBarrier<C> {
     /// Correct as a conjunction because progress is monotonic.
     pub fn wait_all(&self, deps: &[(usize, Value)]) {
         self.counters.check_pairs(deps);
+    }
+
+    /// Like [`wait`](Self::wait), but returns [`CheckError::Poisoned`]
+    /// instead of panicking when participant `i` fails before reaching
+    /// `level`.
+    pub fn try_wait(&self, i: usize, level: Value) -> Result<(), CheckError> {
+        self.counters.get(i).wait(level)
+    }
+
+    /// Takes on the obligation for participant `i` to publish `steps` more
+    /// steps: the returned guard delivers the progress when dropped normally
+    /// and poisons participant `i`'s counter when dropped during a panic
+    /// unwind — neighbours waiting on the failed participant then fail with
+    /// the cause instead of hanging.
+    ///
+    /// Typical use: a worker claims `obligation(i, steps_per_phase)` before
+    /// entering a phase and lets the drop publish its arrival.
+    pub fn obligation(&self, i: usize, steps: Value) -> Obligation<'_, C> {
+        self.counters.get(i).obligation(steps)
+    }
+
+    /// Marks participant `i` as failed, releasing every thread waiting on
+    /// its progress with the given cause.
+    pub fn fail(&self, i: usize, info: FailureInfo) {
+        self.counters.get(i).poison(info);
+    }
+
+    /// Marks every participant as failed — for tearing down a stencil whose
+    /// continuation is known to be impossible.
+    pub fn fail_all(&self, info: FailureInfo) {
+        for i in 0..self.counters.len() {
+            self.counters.get(i).poison(info.clone());
+        }
+    }
+
+    /// The failure cause recorded for participant `i`, if any.
+    pub fn failure(&self, i: usize) -> Option<FailureInfo> {
+        self.counters.get(i).poison_info()
     }
 }
 
@@ -203,5 +244,53 @@ mod tests {
         let rb: RaggedBarrier<mc_counter::AtomicCounter> = RaggedBarrier::with_counter(2);
         rb.arrive(0);
         rb.wait(0, 1);
+    }
+
+    #[test]
+    fn obligation_publishes_on_normal_drop() {
+        let rb = RaggedBarrier::new(2);
+        {
+            let _ob = rb.obligation(0, 3);
+            assert_eq!(rb.progress(0), 0, "nothing published while held");
+        }
+        assert_eq!(rb.progress(0), 3);
+        rb.wait(0, 3); // immediate
+    }
+
+    #[test]
+    fn failed_participant_releases_waiting_neighbours() {
+        use mc_counter::CheckError;
+        let rb = Arc::new(RaggedBarrier::new(2));
+        let rb2 = Arc::clone(&rb);
+        let neighbour = thread::spawn(move || rb2.try_wait(1, 5));
+        let rb3 = Arc::clone(&rb);
+        let failer = thread::spawn(move || {
+            let _ob = rb3.obligation(1, 5);
+            panic!("participant 1 crashed mid-phase");
+        });
+        assert!(failer.join().is_err());
+        assert!(matches!(
+            neighbour.join().unwrap(),
+            Err(CheckError::Poisoned(_))
+        ));
+        assert!(rb.failure(1).is_some());
+        assert!(rb.failure(0).is_none(), "other participants untouched");
+    }
+
+    #[test]
+    fn fail_all_tears_down_every_waiter() {
+        use mc_counter::{CheckError, FailureInfo};
+        let rb = Arc::new(RaggedBarrier::new(3));
+        let waiters: Vec<_> = (0..3)
+            .map(|i| {
+                let rb = Arc::clone(&rb);
+                thread::spawn(move || rb.try_wait(i, 1))
+            })
+            .collect();
+        thread::sleep(Duration::from_millis(20));
+        rb.fail_all(FailureInfo::new("stencil aborted"));
+        for w in waiters {
+            assert!(matches!(w.join().unwrap(), Err(CheckError::Poisoned(_))));
+        }
     }
 }

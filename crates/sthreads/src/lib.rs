@@ -30,12 +30,18 @@
 mod chunk;
 mod mode;
 mod run;
+mod supervise;
 mod watchdog;
 
 pub use chunk::{chunk_of, chunks};
 pub use mode::ExecutionMode;
 pub use run::{multithreaded_chunks, multithreaded_for, multithreaded_tasks, par_for};
+pub use supervise::{supervised_for, supervised_tasks};
 pub use watchdog::{run_with_deadline, DeadlineExceeded};
+
+// Re-exported so deadline-supervised programs (whose closures receive a
+// `&Supervisor`) need not depend on mc-counter directly.
+pub use mc_counter::Supervisor;
 
 /// Runs each block as an asynchronous thread and joins them all — the
 /// paper's `multithreaded { stmt ... stmt }` construct.

@@ -1,0 +1,329 @@
+//! Supervised variants of the structured-multithreading constructs.
+//!
+//! The plain constructs ([`multithreaded_for`](crate::multithreaded_for),
+//! [`multithreaded_tasks`](crate::multithreaded_tasks)) follow `std` panic
+//! semantics: an iteration that panics aborts the whole scope. Worse, in a
+//! counter-synchronized program the panicking iteration's *increments never
+//! arrive*, so siblings suspended on those levels would hang forever if the
+//! panic were merely caught.
+//!
+//! The supervised variants close that gap: each iteration runs under
+//! `catch_unwind`; on a panic the registered counters are poisoned with the
+//! real panic payload (as a [`FailureInfo`]), so blocked siblings fail fast
+//! with the cause while unblocked siblings finish normally; after the join,
+//! the first panic payload is re-raised so the construct still propagates
+//! failure to its caller exactly like the unsupervised form.
+
+use crate::mode::ExecutionMode;
+use mc_counter::{FailureInfo, MonotonicCounter};
+use std::any::Any;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::Mutex;
+
+type Payload = Box<dyn Any + Send + 'static>;
+
+/// Collects the first panic payload across iterations and poisons the
+/// registered counters on every failure.
+struct PanicCollector<'a> {
+    counters: &'a [&'a dyn MonotonicCounter],
+    first: Mutex<Option<Payload>>,
+}
+
+impl<'a> PanicCollector<'a> {
+    fn new(counters: &'a [&'a dyn MonotonicCounter]) -> Self {
+        PanicCollector {
+            counters,
+            first: Mutex::new(None),
+        }
+    }
+
+    /// Runs one iteration under `catch_unwind`, converting a panic into
+    /// counter poisoning plus payload capture.
+    fn run(&self, f: impl FnOnce()) {
+        if let Err(payload) = catch_unwind(AssertUnwindSafe(f)) {
+            // Poison with the real cause before recording the payload: by
+            // the time the caller can observe the re-raised panic, every
+            // sibling blocked on these counters has already been released.
+            // (An `Obligation` inside the iteration may have poisoned first
+            // with its generic message — first-poison-wins makes that
+            // harmless.)
+            let info = FailureInfo::from_panic(payload.as_ref());
+            for c in self.counters {
+                c.poison(info.clone());
+            }
+            let mut first = self.first.lock().expect("panic collector poisoned");
+            if first.is_none() {
+                *first = Some(payload);
+            }
+        }
+    }
+
+    /// Re-raises the first captured panic, if any.
+    fn finish(self) {
+        let payload = self.first.into_inner().expect("panic collector poisoned");
+        if let Some(payload) = payload {
+            resume_unwind(payload);
+        }
+    }
+}
+
+/// A [`multithreaded_for`](crate::multithreaded_for) whose iterations are
+/// supervised: a panicking iteration poisons every counter in `counters`
+/// (releasing siblings blocked on increments that will now never arrive),
+/// the remaining iterations run to completion or fail fast on the poisoned
+/// counters, and the **first** panic is re-raised after all iterations have
+/// joined.
+///
+/// In [`ExecutionMode::Sequential`] a panicking iteration still poisons the
+/// counters, and the panic propagates immediately (later iterations do not
+/// run) — the standard sequential reading of the program text.
+///
+/// # Example
+///
+/// ```
+/// use mc_counter::{CheckError, Counter, MonotonicCounter};
+/// use mc_sthreads::{supervised_for, ExecutionMode};
+///
+/// let done = Counter::new();
+/// let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+///     supervised_for(ExecutionMode::Multithreaded, 0..4u64, &[&done], |i| {
+///         if i == 2 {
+///             panic!("worker {i} failed");
+///         }
+///         // A sibling waiting on the failed worker's increment fails fast
+///         // instead of hanging:
+///         if i == 3 {
+///             assert!(matches!(done.wait(10), Err(CheckError::Poisoned(_))));
+///         }
+///     });
+/// }));
+/// assert!(result.is_err(), "the panic is re-raised after the join");
+/// assert!(done.poison_info().is_some());
+/// ```
+pub fn supervised_for<I, F>(
+    mode: ExecutionMode,
+    iter: I,
+    counters: &[&dyn MonotonicCounter],
+    body: F,
+) where
+    I: IntoIterator,
+    I::Item: Send,
+    F: Fn(I::Item) + Sync,
+{
+    let collector = PanicCollector::new(counters);
+    match mode {
+        ExecutionMode::Sequential => {
+            for item in iter {
+                collector.run(|| body(item));
+                // Sequential semantics: a panic stops the loop at once.
+                if collector
+                    .first
+                    .lock()
+                    .expect("panic collector poisoned")
+                    .is_some()
+                {
+                    break;
+                }
+            }
+        }
+        ExecutionMode::Multithreaded => {
+            let body = &body;
+            let collector = &collector;
+            std::thread::scope(|scope| {
+                for item in iter {
+                    scope.spawn(move || collector.run(|| body(item)));
+                }
+            });
+        }
+    }
+    collector.finish();
+}
+
+/// A [`multithreaded_tasks`](crate::multithreaded_tasks) whose tasks are
+/// supervised exactly like [`supervised_for`] iterations: a panicking task
+/// poisons every counter in `counters`, siblings finish or fail fast, and
+/// the first panic is re-raised after the join.
+pub fn supervised_tasks<'env>(
+    mode: ExecutionMode,
+    counters: &[&dyn MonotonicCounter],
+    tasks: Vec<Box<dyn FnOnce() + Send + 'env>>,
+) {
+    let collector = PanicCollector::new(counters);
+    match mode {
+        ExecutionMode::Sequential => {
+            for task in tasks {
+                collector.run(task);
+                if collector
+                    .first
+                    .lock()
+                    .expect("panic collector poisoned")
+                    .is_some()
+                {
+                    break;
+                }
+            }
+        }
+        ExecutionMode::Multithreaded => {
+            let collector = &collector;
+            std::thread::scope(|scope| {
+                for task in tasks {
+                    scope.spawn(move || collector.run(task));
+                }
+            });
+        }
+    }
+    collector.finish();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mc_counter::{CheckError, Counter, CounterDiagnostics, CounterExt};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn panic_free_run_behaves_like_the_plain_construct() {
+        for mode in ExecutionMode::ALL {
+            let done = Counter::new();
+            let hits = AtomicUsize::new(0);
+            supervised_for(mode, 0..8u64, &[&done], |_| {
+                hits.fetch_add(1, Ordering::SeqCst);
+                done.increment(1);
+            });
+            assert_eq!(hits.load(Ordering::SeqCst), 8, "{mode:?}");
+            assert_eq!(done.debug_value(), 8, "{mode:?}");
+            assert!(done.poison_info().is_none(), "{mode:?}");
+        }
+    }
+
+    #[test]
+    fn panicking_iteration_poisons_with_the_real_payload() {
+        let done = Counter::new();
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            supervised_for(ExecutionMode::Multithreaded, 0..4u64, &[&done], |i| {
+                if i == 1 {
+                    panic!("iteration {i} exploded");
+                }
+                done.increment(1);
+            });
+        }));
+        assert!(result.is_err(), "first panic must be re-raised");
+        let info = done.poison_info().expect("counter must be poisoned");
+        assert_eq!(info.message(), "iteration 1 exploded");
+    }
+
+    #[test]
+    fn blocked_sibling_fails_fast_instead_of_hanging() {
+        let done = Arc::new(Counter::new());
+        let saw_poison = Arc::new(AtomicUsize::new(0));
+        let result = {
+            let done = Arc::clone(&done);
+            let saw_poison = Arc::clone(&saw_poison);
+            catch_unwind(AssertUnwindSafe(move || {
+                supervised_for(
+                    ExecutionMode::Multithreaded,
+                    0..2u64,
+                    &[done.as_ref()],
+                    |i| {
+                        if i == 0 {
+                            // Wait for the increment iteration 1 owes — it
+                            // will never arrive.
+                            if matches!(done.wait(5), Err(CheckError::Poisoned(_))) {
+                                saw_poison.fetch_add(1, Ordering::SeqCst);
+                            }
+                        } else {
+                            let _ob = done.obligation(5);
+                            panic!("producer died");
+                        }
+                    },
+                );
+            }))
+        };
+        assert!(result.is_err());
+        assert_eq!(saw_poison.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn unblocked_siblings_run_to_completion() {
+        let done = Counter::new();
+        let completed = AtomicUsize::new(0);
+        let _ = catch_unwind(AssertUnwindSafe(|| {
+            supervised_for(ExecutionMode::Multithreaded, 0..6u64, &[&done], |i| {
+                if i == 0 {
+                    panic!("one bad apple");
+                }
+                completed.fetch_add(1, Ordering::SeqCst);
+            });
+        }));
+        assert_eq!(
+            completed.load(Ordering::SeqCst),
+            5,
+            "siblings must not be cancelled"
+        );
+    }
+
+    #[test]
+    fn sequential_mode_poisons_then_propagates_immediately() {
+        let done = Counter::new();
+        let ran = AtomicUsize::new(0);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            supervised_for(ExecutionMode::Sequential, 0..5u64, &[&done], |i| {
+                ran.fetch_add(1, Ordering::SeqCst);
+                if i == 2 {
+                    panic!("sequential failure");
+                }
+            });
+        }));
+        assert!(result.is_err());
+        assert_eq!(
+            ran.load(Ordering::SeqCst),
+            3,
+            "iterations after the panic must not run sequentially"
+        );
+        assert!(done.poison_info().is_some());
+    }
+
+    #[test]
+    fn first_panic_wins_when_several_iterations_fail() {
+        let done = Counter::new();
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            supervised_for(ExecutionMode::Sequential, 0..3u64, &[&done], |i| {
+                panic!("failure {i}");
+            });
+        }));
+        let payload = result.unwrap_err();
+        let msg = payload
+            .downcast_ref::<String>()
+            .expect("string panic payload");
+        assert_eq!(msg, "failure 0");
+    }
+
+    #[test]
+    fn supervised_tasks_poison_and_reraise() {
+        for mode in ExecutionMode::ALL {
+            let done = Counter::new();
+            let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = vec![
+                Box::new(|| done.increment(1)),
+                Box::new(|| panic!("task failed")),
+            ];
+            let result = catch_unwind(AssertUnwindSafe(|| supervised_tasks(mode, &[&done], tasks)));
+            assert!(result.is_err(), "{mode:?}");
+            let info = done.poison_info().expect("counter must be poisoned");
+            assert_eq!(info.message(), "task failed", "{mode:?}");
+        }
+    }
+
+    #[test]
+    fn multiple_counters_are_all_poisoned() {
+        let a = Counter::new();
+        let b = Counter::new();
+        let _ = catch_unwind(AssertUnwindSafe(|| {
+            supervised_for(ExecutionMode::Sequential, 0..1u64, &[&a, &b], |_| {
+                panic!("both must learn of this");
+            });
+        }));
+        assert!(a.poison_info().is_some());
+        assert!(b.poison_info().is_some());
+    }
+}

@@ -4,28 +4,46 @@
 //! execution terminates cannot deadlock when multithreaded. The test-suite
 //! verifies contrapositives too — programs that *would* deadlock — and needs
 //! to observe the deadlock without hanging the test run. `run_with_deadline`
-//! runs a program on a supervised thread and reports if it overruns.
+//! runs a program on a supervised thread; on overrun it **poisons every
+//! counter the program registered** with the provided [`Supervisor`], so
+//! threads blocked in counter waits are released with a cause and the
+//! runaway program actually terminates instead of leaking detached threads.
 
+use mc_counter::{FailureInfo, Supervisor};
 use std::fmt;
 use std::sync::mpsc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
+
+/// How long after poisoning the watchdog polls for the overrunning program
+/// to terminate before giving up and leaving it detached.
+const TERMINATION_GRACE: Duration = Duration::from_millis(500);
 
 /// Error returned when the supervised program did not finish in time.
 ///
-/// The runaway thread is left detached (there is no safe way to cancel it);
-/// callers in tests should treat this as the "program deadlocked" verdict.
+/// On the deadline, every counter the program registered with its
+/// [`Supervisor`] is poisoned; `terminated` reports whether that sufficed to
+/// end the program within a short grace period. Programs stuck purely in
+/// counter waits terminate; programs stuck in foreign blocking (mutexes,
+/// channels) are left detached, as before.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DeadlineExceeded {
     /// The deadline that was exceeded.
     pub deadline: Duration,
+    /// Whether poisoning the registered counters terminated the program.
+    pub terminated: bool,
 }
 
 impl fmt::Display for DeadlineExceeded {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "program did not finish within {:?} (deadlock?)",
-            self.deadline
+            "program did not finish within {:?} (deadlock?); {}",
+            self.deadline,
+            if self.terminated {
+                "terminated by counter poisoning"
+            } else {
+                "left detached (not blocked on supervised counters)"
+            }
         )
     }
 }
@@ -34,53 +52,135 @@ impl std::error::Error for DeadlineExceeded {}
 
 /// Runs `f` on a fresh thread and waits at most `deadline` for its result.
 ///
-/// Returns `Ok(result)` if the program finished in time, `Err` otherwise (in
-/// which case the thread keeps running detached — use only in tests).
+/// `f` receives a [`Supervisor`]; counters it registers there are poisoned
+/// if the deadline expires, converting counter-blocked hangs into clean
+/// thread termination (a wait released by poisoning panics via `check`,
+/// which unwinds the program thread). Returns `Ok(result)` on time,
+/// `Err(DeadlineExceeded)` otherwise. If `f` itself panics, the panic is
+/// propagated on the calling thread.
 ///
 /// # Example
 ///
 /// ```
+/// use mc_counter::{Counter, MonotonicCounter};
 /// use mc_sthreads::run_with_deadline;
+/// use std::sync::Arc;
 /// use std::time::Duration;
 ///
-/// let ok = run_with_deadline(Duration::from_secs(5), || 21 * 2);
+/// let ok = run_with_deadline(Duration::from_secs(5), |_sup| 21 * 2);
 /// assert_eq!(ok.unwrap(), 42);
 ///
-/// let hung = run_with_deadline(Duration::from_millis(50), || loop {
-///     std::thread::yield_now();
+/// // A genuinely stuck counter program: the wait can never be satisfied.
+/// let hung = run_with_deadline(Duration::from_millis(50), |sup| {
+///     let never = Arc::new(Counter::new());
+///     sup.register("never", &never);
+///     let _ = never.wait(1); // poisoned at the deadline: returns Err
 /// });
-/// assert!(hung.is_err());
+/// let err = hung.unwrap_err();
+/// assert!(err.terminated, "poisoning must release the counter wait");
 /// ```
 pub fn run_with_deadline<R: Send + 'static>(
     deadline: Duration,
-    f: impl FnOnce() -> R + Send + 'static,
+    f: impl FnOnce(&Supervisor) -> R + Send + 'static,
 ) -> Result<R, DeadlineExceeded> {
+    let supervisor = Supervisor::new();
     let (tx, rx) = mpsc::channel();
-    std::thread::spawn(move || {
-        // The receiver may have given up; a send error is then expected.
-        let _ = tx.send(f());
-    });
-    rx.recv_timeout(deadline)
-        .map_err(|_| DeadlineExceeded { deadline })
+    let handle = {
+        let supervisor = supervisor.clone();
+        std::thread::Builder::new()
+            .name("mc-deadline".into())
+            .spawn(move || {
+                // The receiver may have given up; a send error is then
+                // expected. A panic in `f` unwinds past the send, dropping
+                // `tx` — observed below as a disconnect.
+                let _ = tx.send(f(&supervisor));
+            })
+            .expect("failed to spawn supervised thread")
+    };
+    match rx.recv_timeout(deadline) {
+        Ok(result) => {
+            let _ = handle.join();
+            Ok(result)
+        }
+        Err(mpsc::RecvTimeoutError::Disconnected) => {
+            // `f` panicked before sending: propagate its panic here.
+            match handle.join() {
+                Err(payload) => std::panic::resume_unwind(payload),
+                Ok(()) => unreachable!("sender dropped without panic or send"),
+            }
+        }
+        Err(mpsc::RecvTimeoutError::Timeout) => {
+            supervisor.poison_all(FailureInfo::new(format!(
+                "deadline supervisor: program exceeded its {deadline:?} deadline"
+            )));
+            let grace_end = Instant::now() + TERMINATION_GRACE;
+            while !handle.is_finished() && Instant::now() < grace_end {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            let terminated = handle.is_finished();
+            if terminated {
+                // Reap the thread; a panic here is the expected result of
+                // `check` observing the poisoning.
+                let _ = handle.join();
+            }
+            Err(DeadlineExceeded {
+                deadline,
+                terminated,
+            })
+        }
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use mc_counter::{CheckError, Counter, MonotonicCounter};
+    use std::sync::Arc;
 
     #[test]
     fn fast_program_returns_result() {
         assert_eq!(
-            run_with_deadline(Duration::from_secs(1), || "done"),
+            run_with_deadline(Duration::from_secs(1), |_sup| "done"),
             Ok("done")
         );
     }
 
     #[test]
-    fn deadlocked_program_reports_deadline() {
-        use std::sync::{Arc, Mutex};
-        // A genuine self-deadlock: lock the same (non-reentrant) mutex twice.
-        let err = run_with_deadline(Duration::from_millis(100), || {
+    fn counter_blocked_program_is_terminated_by_poisoning() {
+        let err = run_with_deadline(Duration::from_millis(100), |sup| {
+            let never = Arc::new(Counter::new());
+            sup.register("never", &never);
+            match never.wait(1) {
+                Err(CheckError::Poisoned(info)) => {
+                    assert!(info.message().contains("deadline"), "got: {info}");
+                }
+                other => panic!("expected poisoning, got {other:?}"),
+            }
+        })
+        .unwrap_err();
+        assert_eq!(err.deadline, Duration::from_millis(100));
+        assert!(err.terminated, "poisoned wait must end the program");
+        assert!(err.to_string().contains("terminated"));
+    }
+
+    #[test]
+    fn check_blocked_program_terminates_by_unwinding() {
+        // A program using the panicking `check` surface still terminates:
+        // poisoning turns the check into a panic that unwinds the thread.
+        let err = run_with_deadline(Duration::from_millis(100), |sup| {
+            let never = Arc::new(Counter::new());
+            sup.register("never", &never);
+            never.check(1);
+        })
+        .unwrap_err();
+        assert!(err.terminated);
+    }
+
+    #[test]
+    fn foreign_blocking_is_reported_untermintable() {
+        use std::sync::Mutex;
+        // A genuine non-counter self-deadlock: poisoning cannot help.
+        let err = run_with_deadline(Duration::from_millis(50), |_sup| {
             let m = Arc::new(Mutex::new(()));
             let _g1 = m.lock().unwrap();
             let m2 = Arc::clone(&m);
@@ -88,15 +188,28 @@ mod tests {
             let _g2 = m2.lock().unwrap();
         })
         .unwrap_err();
-        assert_eq!(err.deadline, Duration::from_millis(100));
+        assert!(!err.terminated);
         assert!(err.to_string().contains("deadlock"));
+    }
+
+    #[test]
+    fn panic_in_program_propagates_to_caller() {
+        let result = std::panic::catch_unwind(|| {
+            let _ = run_with_deadline(Duration::from_secs(1), |_sup| {
+                panic!("program bug");
+            });
+        });
+        let payload = result.unwrap_err();
+        assert_eq!(payload.downcast_ref::<&str>(), Some(&"program bug"));
     }
 
     #[test]
     fn result_is_from_the_supervised_thread() {
         let tid = std::thread::current().id();
-        let other =
-            run_with_deadline(Duration::from_secs(1), move || std::thread::current().id()).unwrap();
+        let other = run_with_deadline(Duration::from_secs(1), move |_sup| {
+            std::thread::current().id()
+        })
+        .unwrap();
         assert_ne!(tid, other);
     }
 }

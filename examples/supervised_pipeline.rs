@@ -1,0 +1,95 @@
+//! Failure-aware counter programs: obligations, poisoning, and the stall
+//! supervisor.
+//!
+//! The paper's model assumes every thread completes its increments; this
+//! example shows what the library does when that assumption breaks. A
+//! producer that panics while holding an increment *obligation* poisons its
+//! counter, so dependents fail with the original cause instead of hanging;
+//! a [`Supervisor`] watches registered counters and tells a merely *slow*
+//! counter apart from one that is *provably stuck*.
+//!
+//! Run with: `cargo run --release --example supervised_pipeline`
+
+use monotonic_counters::prelude::*;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn main() {
+    // 1. A panicking producer poisons its counter through the obligation
+    //    guard; the blocked consumer is released with the cause.
+    let c = Arc::new(Counter::new());
+    let consumer = {
+        let c = Arc::clone(&c);
+        std::thread::spawn(move || c.wait(10))
+    };
+    let producer = {
+        let c = Arc::clone(&c);
+        std::thread::spawn(move || {
+            let _ob = c.obligation(10); // duty to increment by 10
+            panic!("input stream corrupted");
+        })
+    };
+    let _ = producer.join();
+    match consumer.join().unwrap() {
+        Err(CheckError::Poisoned(info)) => {
+            println!("consumer released with cause: {info}");
+        }
+        other => unreachable!("expected poisoning, got {other:?}"),
+    }
+
+    // 2. The same failure inside a pipeline: the poison cascades stage by
+    //    stage, and `run` re-raises the *root* cause, not a casualty.
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        Pipeline::new()
+            .stage(8, |r, w| {
+                for (i, &x) in r.enumerate() {
+                    if i == 3 {
+                        panic!("stage 1 failed at item {i}");
+                    }
+                    w.push(x * 2);
+                }
+            })
+            .stage(8, |r, w| {
+                for &x in r {
+                    w.push(x + 1);
+                }
+            })
+            .run((0..8u64).collect())
+    }));
+    let payload = result.expect_err("the pipeline must fail");
+    println!(
+        "pipeline re-raised the root cause: {:?}",
+        payload.downcast_ref::<String>().unwrap()
+    );
+
+    // 3. The stall supervisor: a counter whose waiter demands more than the
+    //    value plus all outstanding obligations can deliver is *provably*
+    //    stuck; one covered by an obligation is merely slow.
+    let supervisor = Supervisor::with_config(SupervisorConfig {
+        interval: Duration::from_millis(50),
+        ..Default::default()
+    });
+    let slow = Arc::new(Counter::new());
+    let stuck = Arc::new(Counter::new());
+    supervisor.register("slow", &slow);
+    supervisor.register("stuck", &stuck);
+    let pending = supervisor.obligation("slow", 4).unwrap();
+    let slow_waiter = {
+        let c = Arc::clone(&slow);
+        std::thread::spawn(move || c.wait(4))
+    };
+    let stuck_waiter = {
+        let c = Arc::clone(&stuck);
+        std::thread::spawn(move || c.wait(1))
+    };
+    while slow.waiters().is_empty() || stuck.waiters().is_empty() {
+        std::thread::yield_now();
+    }
+    println!("\nsupervisor diagnosis:\n{}", supervisor.diagnose());
+    let poisoned = supervisor.poison_stuck(FailureInfo::new("no obligation covers this wait"));
+    println!("poisoned {poisoned} provably-stuck counter(s)");
+    assert!(stuck_waiter.join().unwrap().is_err());
+    pending.fulfill(); // the slow counter's producer finally delivers
+    assert!(slow_waiter.join().unwrap().is_ok());
+    println!("slow counter completed normally once its obligation was met");
+}

@@ -56,14 +56,17 @@ pub use mc_sthreads as sthreads;
 /// [`CounterDiagnostics`]: mc_counter::CounterDiagnostics
 pub mod prelude {
     pub use mc_counter::{
-        check_all, AtomicCounter, BTreeCounter, CheckTimeoutError, Counter, CounterDiagnostics,
-        CounterExt, CounterOverflowError, CounterSet, MonitorCounter, MonotonicCounter,
-        NaiveCounter, ParkingCounter, Resettable, SpinCounter, StatsSnapshot, TracingCounter,
-        Value,
+        check_all, AtomicCounter, BTreeCounter, CheckError, CheckTimeoutError, Counter,
+        CounterDiagnostics, CounterExt, CounterOverflowError, CounterSet, FailureInfo,
+        MonitorCounter, MonotonicCounter, NaiveCounter, Obligation, ParkingCounter, Resettable,
+        SpinCounter, StallReport, StallVerdict, StatsSnapshot, Supervisor, SupervisorConfig,
+        TracingCounter, Value,
     };
     pub use mc_patterns::{Broadcast, DataflowGraph, Pipeline, RaggedBarrier, Sequencer};
     pub use mc_primitives::{
         Barrier, Event, Exchanger, Latch, Monitor, Semaphore, SingleAssignment,
     };
-    pub use mc_sthreads::{multithreaded, multithreaded_for, ExecutionMode};
+    pub use mc_sthreads::{
+        multithreaded, multithreaded_for, supervised_for, supervised_tasks, ExecutionMode,
+    };
 }

@@ -1,7 +1,10 @@
 //! Failure injection: what happens when threads panic, abandon waits, or
 //! violate protocols. These tests pin down the library's failure semantics
-//! so they are deliberate rather than accidental.
+//! so they are deliberate rather than accidental: panicking producers poison
+//! their counters, blocked dependents fail with the original cause instead
+//! of hanging, and every waiter node is reclaimed on the way out.
 
+use monotonic_counters::chaos::{Chaos, ChaosCounter};
 use monotonic_counters::prelude::*;
 use monotonic_counters::sthreads::run_with_deadline;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -50,28 +53,168 @@ fn panicking_bystander_is_harmless() {
     c.check(1);
 }
 
-/// A panicking *incrementer* is the dangerous case the paper's model rules
-/// out (its programs always complete their increments): dependent waiters
-/// hang. The watchdog documents that behaviour.
+/// A producer that panics while holding an increment obligation poisons its
+/// counter: the blocked dependent is *released* with the failure as cause
+/// instead of hanging — the scenario the paper's model rules out (programs
+/// always complete their increments) now degrades cleanly.
 #[test]
-fn missing_increment_hangs_dependents() {
-    let hung = run_with_deadline(Duration::from_millis(200), || {
+fn panicking_obligation_holder_poisons_its_counter() {
+    let c = Arc::new(Counter::new());
+    let waiter = {
+        let c = Arc::clone(&c);
+        std::thread::spawn(move || c.wait(1))
+    };
+    while c.stats().live_waiters == 0 {
+        std::thread::yield_now();
+    }
+    let producer = {
+        let c = Arc::clone(&c);
+        std::thread::spawn(move || {
+            let _ob = c.obligation(1);
+            panic!("producer failed"); // dies before its increment
+        })
+    };
+    assert!(producer.join().is_err());
+    // The blocked wait returns the poisoning, not a hang.
+    let err = waiter.join().unwrap().unwrap_err();
+    match err {
+        CheckError::Poisoned(info) => {
+            assert!(info.message().contains("obligation abandoned"), "{info}");
+            assert_eq!(info.level(), Some(1), "the owed amount is recorded");
+        }
+        other => panic!("expected poisoning, got {other:?}"),
+    }
+    // No leaked waiter nodes.
+    let s = c.stats();
+    assert_eq!(s.live_waiters, 0);
+    assert_eq!(s.nodes_created, s.nodes_freed);
+}
+
+/// The panicking `check` surface propagates the original cause: a dependent
+/// using `check` panics with a message containing the poisoning info.
+#[test]
+fn check_panics_with_the_original_cause() {
+    let c = Counter::new();
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        let _ob = c.obligation(5);
+        panic!("disk on fire");
+    }));
+    assert!(result.is_err());
+    let panic = catch_unwind(AssertUnwindSafe(|| c.check(5))).unwrap_err();
+    let msg = panic
+        .downcast_ref::<String>()
+        .expect("check panics with a String payload");
+    assert!(msg.contains("monotonic counter poisoned"), "{msg}");
+    assert!(msg.contains("obligation abandoned"), "{msg}");
+}
+
+/// A lost increment with no obligation guard still hangs dependents — but
+/// the deadline supervisor now *terminates* the hung program by poisoning
+/// its registered counters, instead of leaking a detached thread.
+#[test]
+fn missing_increment_hang_is_terminated_by_supervisor() {
+    let hung = run_with_deadline(Duration::from_millis(200), |sup| {
         let c = Arc::new(Counter::new());
+        sup.register("dependents", &c);
         let waiter = {
             let c = Arc::clone(&c);
             std::thread::spawn(move || c.check(1))
         };
         let producer = std::thread::spawn(move || {
-            // Dies before its increment.
+            // Dies before its increment, holding no obligation.
             panic!("producer failed");
         });
         let _ = producer.join();
         waiter.join().unwrap();
     });
+    let err = hung.expect_err("a lost increment must manifest as a hang");
     assert!(
-        hung.is_err(),
-        "a lost increment must manifest as a hang, not corruption"
+        err.terminated,
+        "deadline poisoning must terminate the hung program: {err}"
     );
+}
+
+/// The stall supervisor distinguishes a *never satisfiable* wait (level
+/// beyond value plus outstanding obligations) from one that is merely slow.
+#[test]
+fn supervisor_diagnoses_stuck_vs_slow() {
+    let sup = Supervisor::new();
+    let slow = Arc::new(Counter::new());
+    let stuck = Arc::new(Counter::new());
+    sup.register("slow", &slow);
+    sup.register("stuck", &stuck);
+    // The slow counter has an outstanding obligation covering its waiter.
+    let ob = sup.obligation("slow", 5).unwrap();
+    let hs = {
+        let c = Arc::clone(&slow);
+        std::thread::spawn(move || c.wait(5))
+    };
+    let hx = {
+        let c = Arc::clone(&stuck);
+        std::thread::spawn(move || c.wait(3))
+    };
+    while slow.waiters().is_empty() || stuck.waiters().is_empty() {
+        std::thread::yield_now();
+    }
+    let report = sup.diagnose();
+    let stuck_names: Vec<&str> = report.stuck().iter().map(|r| r.name.as_str()).collect();
+    assert_eq!(stuck_names, ["stuck"], "{report}");
+    // Poisoning only the provably-stuck counter releases its waiter...
+    assert_eq!(sup.poison_stuck(FailureInfo::new("stuck by diagnosis")), 1);
+    assert!(matches!(hx.join().unwrap(), Err(CheckError::Poisoned(_))));
+    // ...while the slow counter completes normally via its obligation.
+    ob.fulfill();
+    assert!(hs.join().unwrap().is_ok());
+    assert!(slow.poison_info().is_none());
+}
+
+/// Supervised structured multithreading: one failing iteration poisons the
+/// registered counters so blocked siblings fail fast, and the first panic is
+/// re-raised after all threads are joined.
+#[test]
+fn supervised_for_fails_fast_and_reraises() {
+    let c = Counter::new();
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        supervised_for(ExecutionMode::Multithreaded, 0..4u64, &[&c], |i| match i {
+            0 => panic!("iteration 0 failed"),
+            // Siblings blocked on the counter are released by the
+            // poisoning instead of hanging the join.
+            _ => assert!(matches!(c.wait(100), Err(CheckError::Poisoned(_)))),
+        });
+    }));
+    let payload = result.unwrap_err();
+    assert_eq!(
+        payload.downcast_ref::<&str>(),
+        Some(&"iteration 0 failed"),
+        "the original panic is re-raised after join"
+    );
+    assert!(c.poison_info().unwrap().message().contains("iteration 0"));
+}
+
+/// Chaos fault injection: an abandoned increment (a producer dying
+/// mid-protocol on a seeded schedule) poisons rather than hangs.
+#[test]
+fn chaos_abandoned_increment_poisons_waiters() {
+    let seed = monotonic_counters::chaos::seed_from_env(42);
+    let chaos = Arc::new(Chaos::new(seed));
+    let c = Arc::new(ChaosCounter::with_abandon_after(Counter::new(), chaos, 3));
+    let waiter = {
+        let c = Arc::clone(&c);
+        std::thread::spawn(move || c.wait(5))
+    };
+    for _ in 0..5 {
+        c.increment(1); // the third is abandoned: poison instead
+    }
+    let err = waiter.join().unwrap().unwrap_err();
+    match err {
+        CheckError::Poisoned(info) => assert!(info.message().contains("abandoned"), "{info}"),
+        other => panic!("expected poisoning, got {other:?}"),
+    }
+    // Non-abandoned increments still applied.
+    assert_eq!(c.debug_value(), 4);
+    let s = c.stats();
+    assert_eq!(s.live_waiters, 0, "poisoning must reclaim waiter nodes");
+    assert_eq!(s.nodes_created, s.nodes_freed);
 }
 
 /// `Sequencer::execute` admits the next ticket even when a section panics,
@@ -118,12 +261,45 @@ fn partial_writer_yields_exact_prefix() {
     for i in 0..6 {
         assert_eq!(*b.get(i as usize), i);
     }
-    // Item 6 never arrives.
+    // Item 6 never arrives (a clean early stop is not a failure, so the
+    // sequence is not poisoned — `try_get` on the missing suffix blocks).
     let b2 = Arc::clone(&b);
-    let hung = run_with_deadline(Duration::from_millis(150), move || {
+    let hung = run_with_deadline(Duration::from_millis(150), move |_sup| {
         let _ = b2.get(6);
     });
     assert!(hung.is_err());
+}
+
+/// A writer that *panics* mid-sequence poisons the broadcast: blocked
+/// readers fail with the cause instead of hanging.
+#[test]
+fn panicking_writer_releases_blocked_readers() {
+    let b = Arc::new(Broadcast::<u64>::new(10));
+    let reader = {
+        let b = Arc::clone(&b);
+        std::thread::spawn(move || b.try_get(8).copied())
+    };
+    let writer = {
+        let b = Arc::clone(&b);
+        std::thread::spawn(move || {
+            let mut w = b.writer();
+            w.push(1);
+            w.push(2);
+            panic!("source stream broke");
+        })
+    };
+    assert!(writer.join().is_err());
+    let err = reader.join().unwrap().unwrap_err();
+    match err {
+        CheckError::Poisoned(info) => {
+            assert!(info.message().contains("2 of 10"), "{info}");
+        }
+        other => panic!("expected poisoning, got {other:?}"),
+    }
+    // The published prefix survives the failure.
+    assert_eq!(b.published(), 2);
+    assert_eq!(*b.get(0), 1);
+    assert_eq!(*b.get(1), 2);
 }
 
 /// A barrier participant that panics before passing strands the rest — the
@@ -132,7 +308,7 @@ fn partial_writer_yields_exact_prefix() {
 /// in the same way a lost increment does).
 #[test]
 fn barrier_strands_peers_on_participant_panic() {
-    let hung = run_with_deadline(Duration::from_millis(200), || {
+    let hung = run_with_deadline(Duration::from_millis(200), |_sup| {
         let b = Arc::new(Barrier::new(2));
         let b2 = Arc::clone(&b);
         let dead = std::thread::spawn(move || {
@@ -143,6 +319,29 @@ fn barrier_strands_peers_on_participant_panic() {
         b.pass(); // waits for a participant that will never come
     });
     assert!(hung.is_err());
+}
+
+/// The ragged barrier's obligation-based variant does better: a panicking
+/// participant fails its column, and neighbours get an error, not a hang.
+#[test]
+fn ragged_barrier_obligation_fails_neighbours_fast() {
+    let b = Arc::new(RaggedBarrier::<Counter>::new(3));
+    let neighbour = {
+        let b = Arc::clone(&b);
+        std::thread::spawn(move || b.try_wait(1, 1))
+    };
+    let failing = {
+        let b = Arc::clone(&b);
+        std::thread::spawn(move || {
+            let _ob = b.obligation(1, 1);
+            panic!("cell (1,1) failed");
+        })
+    };
+    assert!(failing.join().is_err());
+    assert!(matches!(
+        neighbour.join().unwrap(),
+        Err(CheckError::Poisoned(_))
+    ));
 }
 
 /// TracingCounter keeps recording correctly across failed timeouts.

@@ -76,8 +76,8 @@ fn broadcast_multithreaded_equals_sequential() {
 /// precondition being necessary.
 #[test]
 fn out_of_order_program_deadlocks_sequentially_only() {
-    fn build(mode: ExecutionMode) -> impl FnOnce() + Send {
-        move || {
+    fn build(mode: ExecutionMode) -> impl FnOnce(&Supervisor) + Send {
+        move |_sup| {
             let c = Arc::new(Counter::new());
             let mut tasks: Vec<Box<dyn FnOnce() + Send>> = Vec::new();
             {

@@ -10,6 +10,12 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::sync::Arc;
 
+/// Base seed for the hammer runs: CI's fault matrix pins `MC_CHAOS_SEED` so
+/// each job stresses a distinct, reproducible slice of the schedule space.
+fn seed_base() -> u64 {
+    mc_chaos::seed_from_env(0)
+}
+
 /// Runs `waiters` checkers and `incrementers` incrementers with seeded random
 /// levels/amounts; verifies everyone terminates and the final value is the
 /// sum of all increments.
@@ -51,42 +57,42 @@ fn hammer<C: MonotonicCounter + CounterDiagnostics + Default + 'static>(seed: u6
 #[test]
 fn hammer_waitlist() {
     for seed in 0..3 {
-        hammer::<Counter>(seed);
+        hammer::<Counter>(seed_base() + seed);
     }
 }
 
 #[test]
 fn hammer_btree() {
     for seed in 0..3 {
-        hammer::<BTreeCounter>(seed);
+        hammer::<BTreeCounter>(seed_base() + seed);
     }
 }
 
 #[test]
 fn hammer_naive() {
     for seed in 0..3 {
-        hammer::<NaiveCounter>(seed);
+        hammer::<NaiveCounter>(seed_base() + seed);
     }
 }
 
 #[test]
 fn hammer_parking_lot() {
     for seed in 0..3 {
-        hammer::<ParkingCounter>(seed);
+        hammer::<ParkingCounter>(seed_base() + seed);
     }
 }
 
 #[test]
 fn hammer_atomic() {
     for seed in 0..3 {
-        hammer::<AtomicCounter>(seed);
+        hammer::<AtomicCounter>(seed_base() + seed);
     }
 }
 
 #[test]
 fn hammer_monitor() {
     for seed in 0..3 {
-        hammer::<MonitorCounter>(seed);
+        hammer::<MonitorCounter>(seed_base() + seed);
     }
 }
 
@@ -94,7 +100,7 @@ fn hammer_monitor() {
 fn hammer_spin() {
     // Fewer seeds: 24 spinning waiters on few cores is deliberately the
     // implementation's worst case.
-    hammer::<SpinCounter>(0);
+    hammer::<SpinCounter>(seed_base());
 }
 
 /// Two hundred threads on one counter, one level each: a worst case for the
