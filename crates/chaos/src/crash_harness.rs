@@ -1,0 +1,184 @@
+//! Process-level crash testing: re-execute the current test binary as a
+//! child, SIGKILL it at a fault-injected point mid-protocol, and hand the
+//! evidence back to the parent for recovery assertions.
+//!
+//! # Protocol
+//!
+//! A crash test is **one** `#[test]` function acting as the parent plus a
+//! second `#[test]` function acting as the child workload:
+//!
+//! * The child test starts with [`child_role`]: in a normal test run it
+//!   returns `None` and the test is a no-op; when re-executed by the
+//!   harness it returns the scratch directory and the function runs the
+//!   workload — printing one line to stdout for every event the parent
+//!   must be able to trust (e.g. `ACK 7` after a durable increment).
+//! * The parent builds a [`CrashScenario`] naming the child test and calls
+//!   [`run`]: the harness re-executes the current binary with the libtest
+//!   filter pinned to the child test, reads the child's stdout line by
+//!   line, and delivers SIGKILL after a configured number of matching
+//!   lines — mid-protocol by construction, since the child only prints
+//!   between protocol steps.
+//! * [`CrashReport::lines`] then contains every matching line the child
+//!   managed to write before dying. Lines are read from a pipe the kernel
+//!   owns, so everything the child printed (and nothing it didn't) is
+//!   visible — the ground truth for "acked before the crash".
+//!
+//! The kill point is derived from the scenario's seed, so a CI matrix over
+//! `MC_CHAOS_SEED` values (see [`seed_from_env`](crate::seed_from_env))
+//! crashes the protocol at different depths.
+
+use std::io::{BufRead, BufReader};
+use std::path::PathBuf;
+use std::process::{Command, Stdio};
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+/// Environment variable naming the child test the harness re-executed.
+pub const CHILD_ENV: &str = "MC_CRASH_CHILD";
+/// Environment variable carrying the scratch directory to the child.
+pub const DIR_ENV: &str = "MC_CRASH_DIR";
+
+/// One crash-test configuration: which child workload to run, where its
+/// durable state lives, and when to kill it.
+#[derive(Debug, Clone)]
+pub struct CrashScenario {
+    /// Name of the `#[test]` function (as libtest knows it, e.g.
+    /// `"child_increments"`) that runs the child workload.
+    pub child_test: &'static str,
+    /// Scratch directory passed to the child via [`DIR_ENV`]; shared state
+    /// the parent recovers after the kill.
+    pub dir: PathBuf,
+    /// Only stdout lines starting with this prefix count as protocol
+    /// events (libtest banner noise is ignored).
+    pub line_prefix: &'static str,
+    /// SIGKILL the child after this many matching lines.
+    pub kill_after_lines: u64,
+    /// Abort the scenario (kill the child anyway) if the child produces no
+    /// matching line for this long.
+    pub timeout: Duration,
+    /// Extra environment variables for the child (e.g. `MC_CHAOS_WAL=1` to
+    /// arm torn-tail injection in the durability layer).
+    pub env: Vec<(String, String)>,
+}
+
+impl CrashScenario {
+    /// A scenario with the default 30s stall timeout and no extra
+    /// environment, killing after `kill_after_lines` lines prefixed with
+    /// `line_prefix`.
+    pub fn new(
+        child_test: &'static str,
+        dir: impl Into<PathBuf>,
+        line_prefix: &'static str,
+        kill_after_lines: u64,
+    ) -> Self {
+        CrashScenario {
+            child_test,
+            dir: dir.into(),
+            line_prefix,
+            kill_after_lines,
+            timeout: Duration::from_secs(30),
+            env: Vec::new(),
+        }
+    }
+
+    /// Adds an environment variable for the child process.
+    pub fn with_env(mut self, key: impl Into<String>, value: impl Into<String>) -> Self {
+        self.env.push((key.into(), value.into()));
+        self
+    }
+}
+
+/// What the harness observed before (and while) killing the child.
+#[derive(Debug)]
+pub struct CrashReport {
+    /// Every matching stdout line the child wrote before it died, in
+    /// order — including lines that were still in the pipe when the kill
+    /// landed. These are the events the child provably reached.
+    pub lines: Vec<String>,
+    /// `true` when the harness delivered the kill; `false` when the child
+    /// exited on its own first (usually a child-side bug — assert on it).
+    pub killed: bool,
+}
+
+/// Returns the scratch directory when the current process **is** the
+/// re-executed child for `child_test`, `None` in a normal test run.
+pub fn child_role(child_test: &str) -> Option<PathBuf> {
+    if std::env::var(CHILD_ENV).as_deref() == Ok(child_test) {
+        // libtest has printed `test <name> ... ` with no newline; terminate
+        // that line so the child's first protocol line is not glued to the
+        // banner (which would hide it from the parent's prefix match).
+        println!();
+        Some(PathBuf::from(
+            std::env::var(DIR_ENV).expect("crash child must receive MC_CRASH_DIR"),
+        ))
+    } else {
+        None
+    }
+}
+
+/// Re-executes the current test binary as the scenario's child, SIGKILLs
+/// it after the configured number of protocol lines, and returns the
+/// evidence. See the module docs for the protocol.
+///
+/// # Errors
+///
+/// Propagates spawn/pipe I/O failures. A child that stalls past
+/// `scenario.timeout` is killed and reported with `killed: true`.
+pub fn run(scenario: &CrashScenario) -> std::io::Result<CrashReport> {
+    let exe = std::env::current_exe()?;
+    let mut cmd = Command::new(exe);
+    cmd.arg(scenario.child_test)
+        .arg("--exact")
+        .arg("--nocapture")
+        .arg("--test-threads")
+        .arg("1")
+        .env(CHILD_ENV, scenario.child_test)
+        .env(DIR_ENV, &scenario.dir)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .stdin(Stdio::null());
+    for (k, v) in &scenario.env {
+        cmd.env(k, v);
+    }
+    let mut child = cmd.spawn()?;
+    let stdout = child.stdout.take().expect("stdout piped");
+
+    // A reader thread decouples the blocking pipe read from the kill
+    // decision, so a stalled child cannot wedge the harness.
+    let (tx, rx) = mpsc::channel::<String>();
+    let prefix = scenario.line_prefix.to_string();
+    let reader = std::thread::spawn(move || {
+        for line in BufReader::new(stdout).lines() {
+            let Ok(line) = line else { break };
+            if line.starts_with(&prefix) && tx.send(line).is_err() {
+                break;
+            }
+        }
+    });
+
+    let mut lines = Vec::new();
+    let deadline = Instant::now() + scenario.timeout;
+    let mut killed = false;
+    while (lines.len() as u64) < scenario.kill_after_lines {
+        let left = deadline.saturating_duration_since(Instant::now());
+        match rx.recv_timeout(left) {
+            Ok(line) => lines.push(line),
+            // Disconnected: the child closed stdout (exited) early.
+            // Timeout: the child stalled. Either way, stop waiting.
+            Err(_) => break,
+        }
+    }
+    if (lines.len() as u64) >= scenario.kill_after_lines || Instant::now() >= deadline {
+        // SIGKILL on unix: no destructors, no flushes — a real crash.
+        child.kill()?;
+        killed = true;
+    }
+    let _ = child.wait()?;
+    reader.join().expect("reader thread");
+    // Drain lines that were already in the pipe when the kill landed: the
+    // child printed them pre-crash, so they count as reached events.
+    while let Ok(line) = rx.try_recv() {
+        lines.push(line);
+    }
+    Ok(CrashReport { lines, killed })
+}

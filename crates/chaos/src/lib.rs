@@ -22,10 +22,18 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+//!
+//! Beyond schedule perturbation, [`crash_harness`] widens the failure space
+//! to whole-process death: it re-executes the test binary as a subprocess
+//! and SIGKILLs it mid-protocol, for crash-recovery testing of the
+//! durability layer.
+
 mod counter;
+pub mod crash_harness;
 mod explore;
 mod jitter;
 
 pub use counter::ChaosCounter;
+pub use crash_harness::{CrashReport, CrashScenario};
 pub use explore::{explore, Outcomes};
 pub use jitter::{seed_from_env, Chaos, ChaosConfig};

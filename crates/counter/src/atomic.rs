@@ -18,7 +18,9 @@ use crate::error::{CheckError, CheckTimeoutError, CounterOverflowError, FailureI
 use crate::fastpath::{FastAdvance, FastIncrement, FastWord, FAST_CAP};
 use crate::node::WaitNode;
 use crate::stats::{Stats, StatsSnapshot};
-use crate::traits::{CounterDiagnostics, MonotonicCounter, Resettable, WaitingLevel};
+use crate::traits::{
+    CounterDiagnostics, MonotonicCounter, Resettable, ResumableCounter, WaitingLevel,
+};
 use crate::Value;
 use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex, MutexGuard};
@@ -315,6 +317,12 @@ impl MonotonicCounter for AtomicCounter {
             return None;
         }
         self.lock().poisoned.clone()
+    }
+}
+
+impl ResumableCounter for AtomicCounter {
+    fn resume_from(value: Value) -> Self {
+        Self::with_value(value)
     }
 }
 

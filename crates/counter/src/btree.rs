@@ -9,7 +9,9 @@ use crate::error::{CheckError, CheckTimeoutError, CounterOverflowError, FailureI
 use crate::fastpath::{FastAdvance, FastIncrement, FastWord, FAST_CAP};
 use crate::node::WaitNode;
 use crate::stats::{Stats, StatsSnapshot};
-use crate::traits::{CounterDiagnostics, MonotonicCounter, Resettable, WaitingLevel};
+use crate::traits::{
+    CounterDiagnostics, MonotonicCounter, Resettable, ResumableCounter, WaitingLevel,
+};
 use crate::Value;
 use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex, MutexGuard};
@@ -311,6 +313,12 @@ impl MonotonicCounter for BTreeCounter {
             return None;
         }
         self.lock().poisoned.clone()
+    }
+}
+
+impl ResumableCounter for BTreeCounter {
+    fn resume_from(value: Value) -> Self {
+        Self::with_value(value)
     }
 }
 

@@ -16,7 +16,9 @@ use crate::list::SortedList;
 use crate::node::WaitNode;
 use crate::stats::{Stats, StatsSnapshot};
 use crate::trace::{snapshot_of, TraceLog};
-use crate::traits::{CounterDiagnostics, MonotonicCounter, Resettable, WaitingLevel};
+use crate::traits::{
+    CounterDiagnostics, MonotonicCounter, Resettable, ResumableCounter, WaitingLevel,
+};
 use crate::Value;
 use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
@@ -448,6 +450,12 @@ impl MonotonicCounter for Counter {
             return None;
         }
         self.lock().poisoned.clone()
+    }
+}
+
+impl ResumableCounter for Counter {
+    fn resume_from(value: Value) -> Self {
+        Self::with_value(value)
     }
 }
 

@@ -94,6 +94,14 @@ impl FailureInfo {
         self
     }
 
+    /// Overrides the recorded thread name. Used when *reconstructing* a
+    /// failure from persisted state (crash recovery), where the original
+    /// failing thread — not the recovering one — must be reported.
+    pub fn with_thread(mut self, thread: impl Into<String>) -> Self {
+        self.thread = thread.into().into();
+        self
+    }
+
     /// Name of the thread that failed (`<unnamed>` for anonymous threads).
     pub fn thread(&self) -> &str {
         &self.thread

@@ -133,11 +133,13 @@ pub use parking::ParkingCounter;
 pub use spin::SpinCounter;
 pub use stats::StatsSnapshot;
 pub use supervisor::{
-    CounterReport, StallReport, StallVerdict, SupervisedCounter, SupervisedObligation, Supervisor,
-    SupervisorConfig,
+    CounterRecovery, CounterReport, RecoveredCounter, RecoveryReport, StallReport, StallVerdict,
+    SupervisedCounter, SupervisedObligation, Supervisor, SupervisorConfig,
 };
 pub use trace::{CounterSnapshot, NodeSnapshot, TracingCounter};
-pub use traits::{CounterDiagnostics, CounterExt, MonotonicCounter, Resettable, WaitingLevel};
+pub use traits::{
+    CounterDiagnostics, CounterExt, MonotonicCounter, Resettable, ResumableCounter, WaitingLevel,
+};
 
 /// The integer type used for counter values and levels.
 ///

@@ -9,7 +9,7 @@
 
 use crate::error::{CheckError, CheckTimeoutError, CounterOverflowError, FailureInfo};
 use crate::stats::{Stats, StatsSnapshot};
-use crate::traits::{CounterDiagnostics, MonotonicCounter, Resettable};
+use crate::traits::{CounterDiagnostics, MonotonicCounter, Resettable, ResumableCounter};
 use crate::Value;
 use std::sync::{Condvar, Mutex};
 use std::time::{Duration, Instant};
@@ -167,6 +167,12 @@ impl MonotonicCounter for MonitorCounter {
         drop(state);
         self.stats.record_notify();
         self.cv.notify_all();
+    }
+}
+
+impl ResumableCounter for MonitorCounter {
+    fn resume_from(value: Value) -> Self {
+        Self::with_value(value)
     }
 }
 

@@ -8,7 +8,7 @@
 
 use crate::error::{CheckError, CheckTimeoutError, CounterOverflowError, FailureInfo};
 use crate::stats::{Stats, StatsSnapshot};
-use crate::traits::{CounterDiagnostics, MonotonicCounter, Resettable};
+use crate::traits::{CounterDiagnostics, MonotonicCounter, Resettable, ResumableCounter};
 use crate::Value;
 use std::sync::{Condvar, Mutex};
 use std::time::{Duration, Instant};
@@ -161,6 +161,12 @@ impl MonotonicCounter for NaiveCounter {
             .expect("counter lock poisoned")
             .poisoned
             .clone()
+    }
+}
+
+impl ResumableCounter for NaiveCounter {
+    fn resume_from(value: Value) -> Self {
+        Self::with_value(value)
     }
 }
 

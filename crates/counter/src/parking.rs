@@ -9,7 +9,9 @@
 use crate::error::{CheckError, CheckTimeoutError, CounterOverflowError, FailureInfo};
 use crate::fastpath::{FastAdvance, FastIncrement, FastWord, FAST_CAP};
 use crate::stats::{Stats, StatsSnapshot};
-use crate::traits::{CounterDiagnostics, MonotonicCounter, Resettable, WaitingLevel};
+use crate::traits::{
+    CounterDiagnostics, MonotonicCounter, Resettable, ResumableCounter, WaitingLevel,
+};
 use crate::Value;
 use parking_lot::{Condvar, Mutex};
 use std::collections::BTreeMap;
@@ -318,6 +320,12 @@ impl MonotonicCounter for ParkingCounter {
             return None;
         }
         self.inner.lock().poisoned.clone()
+    }
+}
+
+impl ResumableCounter for ParkingCounter {
+    fn resume_from(value: Value) -> Self {
+        Self::with_value(value)
     }
 }
 

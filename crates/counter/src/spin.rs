@@ -9,7 +9,7 @@
 
 use crate::error::{CheckError, CheckTimeoutError, CounterOverflowError, FailureInfo};
 use crate::stats::{Stats, StatsSnapshot};
-use crate::traits::{CounterDiagnostics, MonotonicCounter, Resettable};
+use crate::traits::{CounterDiagnostics, MonotonicCounter, Resettable, ResumableCounter};
 use crate::Value;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::SeqCst};
 use std::sync::Mutex;
@@ -162,6 +162,12 @@ impl MonotonicCounter for SpinCounter {
         if prev < target {
             self.stats.record_fast_increment();
         }
+    }
+}
+
+impl ResumableCounter for SpinCounter {
+    fn resume_from(value: Value) -> Self {
+        Self::with_value(value)
     }
 }
 

@@ -17,7 +17,7 @@ use crate::traits::{CounterDiagnostics, MonotonicCounter, WaitingLevel};
 use crate::Value;
 use std::collections::HashMap;
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering::Relaxed};
 use std::sync::{Arc, Condvar, Mutex, Weak};
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -139,6 +139,103 @@ impl fmt::Display for StallReport {
     }
 }
 
+/// The outcome of recovering one durable counter from its on-disk state.
+///
+/// Produced by the durability layer (`mc-durable`) and collected by the
+/// supervisor via [`Supervisor::note_recovery`] into a [`RecoveryReport`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CounterRecovery {
+    /// The value the counter was restored to.
+    pub value: Value,
+    /// How many intact log records were replayed (on top of any snapshot).
+    pub records_replayed: u64,
+    /// Bytes discarded from a torn log tail (zero for a clean shutdown).
+    pub tail_bytes_discarded: u64,
+    /// Whether a persisted poison state was restored.
+    pub poison_restored: bool,
+}
+
+/// One named entry in a [`RecoveryReport`].
+#[derive(Debug, Clone)]
+pub struct RecoveredCounter {
+    /// The name the counter was recovered (and registered) under.
+    pub name: String,
+    /// The per-counter recovery outcome.
+    pub recovery: CounterRecovery,
+}
+
+/// Aggregate crash-recovery summary over every counter whose recovery was
+/// reported to this supervisor ([`Supervisor::note_recovery`]).
+#[derive(Debug, Clone, Default)]
+pub struct RecoveryReport {
+    /// One entry per reported recovery, in reporting order.
+    pub counters: Vec<RecoveredCounter>,
+}
+
+impl RecoveryReport {
+    /// How many counters were recovered.
+    pub fn counters_recovered(&self) -> usize {
+        self.counters.len()
+    }
+
+    /// Total log records replayed across all recoveries.
+    pub fn records_replayed(&self) -> u64 {
+        self.counters
+            .iter()
+            .map(|c| c.recovery.records_replayed)
+            .sum()
+    }
+
+    /// Total torn-tail bytes discarded across all recoveries.
+    pub fn tail_bytes_discarded(&self) -> u64 {
+        self.counters
+            .iter()
+            .map(|c| c.recovery.tail_bytes_discarded)
+            .sum()
+    }
+
+    /// How many recoveries restored a persisted poison state.
+    pub fn poison_restored(&self) -> usize {
+        self.counters
+            .iter()
+            .filter(|c| c.recovery.poison_restored)
+            .count()
+    }
+
+    /// Whether any recovery has been reported.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty()
+    }
+}
+
+impl fmt::Display for RecoveryReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "recovery report: {} counter(s), {} record(s) replayed, {} torn tail byte(s) discarded",
+            self.counters_recovered(),
+            self.records_replayed(),
+            self.tail_bytes_discarded()
+        )?;
+        for c in &self.counters {
+            writeln!(
+                f,
+                "  '{}': value {}, {} replayed, {} discarded{}",
+                c.name,
+                c.recovery.value,
+                c.recovery.records_replayed,
+                c.recovery.tail_bytes_discarded,
+                if c.recovery.poison_restored {
+                    ", poison restored"
+                } else {
+                    ""
+                }
+            )?;
+        }
+        Ok(())
+    }
+}
+
 struct Entry {
     name: String,
     counter: Weak<dyn SupervisedCounter>,
@@ -157,8 +254,18 @@ struct StopSignal {
 struct Shared {
     entries: Mutex<Vec<Entry>>,
     last_report: Mutex<Option<StallReport>>,
+    recoveries: Mutex<RecoveryReport>,
     watch: Mutex<Option<JoinHandle<()>>>,
+    /// Set (to `true`) by the watch thread as its very last action, even on
+    /// unwind. Lets tests assert the thread was actually reaped.
+    watch_exited: Mutex<Option<Arc<AtomicBool>>>,
     stop: Arc<StopSignal>,
+    /// Number of live user-held `Supervisor` clones. The watch thread's
+    /// transient upgrade of its `Weak<Shared>` during a tick makes
+    /// `Arc::strong_count` unreliable for last-clone detection, so clones
+    /// are counted explicitly: the drop that brings this to zero stops and
+    /// joins the watch thread.
+    user_clones: AtomicUsize,
     config: SupervisorConfig,
 }
 
@@ -189,6 +296,7 @@ impl Default for Supervisor {
 
 impl Clone for Supervisor {
     fn clone(&self) -> Self {
+        self.shared.user_clones.fetch_add(1, Relaxed);
         Supervisor {
             shared: Arc::clone(&self.shared),
         }
@@ -208,11 +316,14 @@ impl Supervisor {
             shared: Arc::new(Shared {
                 entries: Mutex::new(Vec::new()),
                 last_report: Mutex::new(None),
+                recoveries: Mutex::new(RecoveryReport::default()),
                 watch: Mutex::new(None),
+                watch_exited: Mutex::new(None),
                 stop: Arc::new(StopSignal {
                     stopped: Mutex::new(false),
                     cv: Condvar::new(),
                 }),
+                user_clones: AtomicUsize::new(1),
                 config,
             }),
         }
@@ -346,13 +457,31 @@ impl Supervisor {
         let weak = Arc::downgrade(&self.shared);
         let stop = Arc::clone(&self.shared.stop);
         let interval = self.shared.config.interval;
+        let exited = Arc::new(AtomicBool::new(false));
+        *self
+            .shared
+            .watch_exited
+            .lock()
+            .expect("supervisor poisoned") = Some(Arc::clone(&exited));
         let handle = std::thread::Builder::new()
             .name("mc-supervisor".into())
             .spawn(move || {
+                // Raised even if a tick unwinds, so drop-join regression
+                // tests can observe that the loop actually terminated.
+                struct ExitFlag(Arc<AtomicBool>);
+                impl Drop for ExitFlag {
+                    fn drop(&mut self) {
+                        self.0.store(true, Relaxed);
+                    }
+                }
+                let _exit = ExitFlag(exited);
                 let mut prev: HashMap<String, Value> = HashMap::new();
                 loop {
                     {
                         let stopped = stop.stopped.lock().expect("supervisor poisoned");
+                        if *stopped {
+                            break;
+                        }
                         let (stopped, _) = stop
                             .cv
                             .wait_timeout(stopped, interval)
@@ -369,6 +498,32 @@ impl Supervisor {
             })
             .expect("failed to spawn supervisor watch thread");
         *watch = Some(handle);
+    }
+
+    /// Records the outcome of recovering a durable counter (normally called
+    /// by the durability layer right after `recover`/`open`). Accumulated
+    /// into [`recovery_report`](Self::recovery_report).
+    pub fn note_recovery(&self, name: impl Into<String>, recovery: CounterRecovery) {
+        self.shared
+            .recoveries
+            .lock()
+            .expect("supervisor poisoned")
+            .counters
+            .push(RecoveredCounter {
+                name: name.into(),
+                recovery,
+            });
+    }
+
+    /// The accumulated crash-recovery summary: every recovery reported via
+    /// [`note_recovery`](Self::note_recovery) since this supervisor was
+    /// created.
+    pub fn recovery_report(&self) -> RecoveryReport {
+        self.shared
+            .recoveries
+            .lock()
+            .expect("supervisor poisoned")
+            .clone()
     }
 
     /// One watch-thread sample: diagnose, detect no-progress, record/poison.
@@ -432,9 +587,12 @@ impl Supervisor {
 
 impl Drop for Supervisor {
     fn drop(&mut self) {
-        // The watch thread only holds `Shared` weakly (and only transiently
-        // strongly during a tick), so the last user-held clone sees count 1.
-        if Arc::strong_count(&self.shared) == 1 {
+        // `Arc::strong_count` would race with the watch thread's transient
+        // `Weak::upgrade` during a tick (count momentarily 2 while the last
+        // user clone drops, leaking the thread unjoined). The explicit clone
+        // count has no such window: exactly one drop observes 1 -> 0, and
+        // that drop stops and joins the watch thread.
+        if self.shared.user_clones.fetch_sub(1, Relaxed) == 1 {
             self.stop();
         }
     }
@@ -645,6 +803,72 @@ mod tests {
         let clone = sup.clone();
         drop(sup);
         drop(clone); // must not hang and must reap the thread
+    }
+
+    /// Regression test for the drop/join race: `Arc::strong_count` could see
+    /// the watch thread's transient upgrade mid-tick and skip the join,
+    /// leaking the thread. Drop must always reap it — asserted via a flag
+    /// the watch loop sets on exit.
+    #[test]
+    fn drop_always_reaps_watch_thread() {
+        for _ in 0..50 {
+            let sup = Supervisor::with_config(SupervisorConfig {
+                // Zero interval keeps the thread ticking (and thus holding
+                // its transient strong reference) almost continuously, which
+                // is exactly the window the old strong_count check raced with.
+                interval: Duration::from_millis(0),
+                poison_stuck: false,
+            });
+            let c = Arc::new(Counter::new());
+            sup.register("c", &c);
+            sup.start();
+            let exited = sup
+                .shared
+                .watch_exited
+                .lock()
+                .unwrap()
+                .clone()
+                .expect("watch thread started");
+            drop(sup);
+            assert!(
+                exited.load(Relaxed),
+                "watch thread survived supervisor drop"
+            );
+        }
+    }
+
+    #[test]
+    fn recovery_report_accumulates_and_displays() {
+        let sup = Supervisor::new();
+        assert!(sup.recovery_report().is_empty());
+        sup.note_recovery(
+            "jobs",
+            CounterRecovery {
+                value: 41,
+                records_replayed: 7,
+                tail_bytes_discarded: 13,
+                poison_restored: false,
+            },
+        );
+        sup.clone().note_recovery(
+            "stage",
+            CounterRecovery {
+                value: 5,
+                records_replayed: 2,
+                tail_bytes_discarded: 0,
+                poison_restored: true,
+            },
+        );
+        let report = sup.recovery_report();
+        assert_eq!(report.counters_recovered(), 2);
+        assert_eq!(report.records_replayed(), 9);
+        assert_eq!(report.tail_bytes_discarded(), 13);
+        assert_eq!(report.poison_restored(), 1);
+        let shown = report.to_string();
+        assert!(
+            shown.contains("'jobs'") && shown.contains("poison restored"),
+            "got: {shown}"
+        );
     }
 
     #[test]

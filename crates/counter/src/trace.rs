@@ -20,7 +20,9 @@
 use crate::counter::{Counter, Inner};
 use crate::error::{CheckError, CheckTimeoutError, CounterOverflowError, FailureInfo};
 use crate::stats::StatsSnapshot;
-use crate::traits::{CounterDiagnostics, MonotonicCounter, Resettable, WaitingLevel};
+use crate::traits::{
+    CounterDiagnostics, MonotonicCounter, Resettable, ResumableCounter, WaitingLevel,
+};
 use crate::Value;
 use std::fmt;
 use std::sync::{Arc, Mutex};
@@ -196,6 +198,12 @@ impl MonotonicCounter for TracingCounter {
 
     fn check_timeout(&self, level: Value, timeout: Duration) -> Result<(), CheckTimeoutError> {
         self.counter.check_timeout(level, timeout)
+    }
+}
+
+impl ResumableCounter for TracingCounter {
+    fn resume_from(value: Value) -> Self {
+        Self::with_value(value)
     }
 }
 

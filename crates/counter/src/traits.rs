@@ -156,6 +156,23 @@ pub trait Resettable {
     fn reset(&mut self);
 }
 
+/// Construction from a recovered value: the hook the durability layer
+/// (`mc-durable`) uses to rebuild an arbitrary counter implementation from
+/// persisted state.
+///
+/// This is **not** a synchronization operation — it constructs a *new*
+/// counter whose value starts at `value`, exactly as if that many increments
+/// had already been delivered. Because counters are monotonic, resuming from
+/// any durably recorded value is always safe: no waiter decision that was
+/// enabled before the crash can become disabled after recovery.
+///
+/// Every implementation in this crate provides it via its `with_value`
+/// constructor.
+pub trait ResumableCounter: MonotonicCounter + Sized {
+    /// Creates a counter whose value starts at `value`.
+    fn resume_from(value: Value) -> Self;
+}
+
 /// One occupied suspension queue, as reported by
 /// [`CounterDiagnostics::waiters`]: a level and how many threads are
 /// suspended waiting for it.

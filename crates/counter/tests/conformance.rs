@@ -248,6 +248,49 @@ fn timed_wait_with_poison_bit_set_stays_live<C: Conformant>() {
     );
 }
 
+/// Deadline-drift pin: a timed wait hit by a storm of sub-level increments
+/// (each one a spurious-style wakeup for the waiter — single-queue
+/// implementations broadcast on every increment) must still time out close
+/// to its deadline. An implementation that re-passes the *full* duration to
+/// its condvar on each wakeup instead of recomputing `deadline - now` from
+/// the saved `Instant` drifts by one full timeout per wakeup and blows far
+/// past the upper bound.
+fn timed_wait_does_not_drift_under_wakeup_storm<C: Conformant + 'static>() {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    let c = Arc::new(C::default());
+    let timeout = Duration::from_millis(80);
+    // The storm outlives the correct deadline by several multiples, so a
+    // drifting implementation (deadline pushed back on every wakeup) cannot
+    // time out before the bound below.
+    let storm_for = timeout * 5;
+    let stop = Arc::new(AtomicBool::new(false));
+    let stormer = {
+        let c = Arc::clone(&c);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let t0 = Instant::now();
+            while t0.elapsed() < storm_for && !stop.load(Ordering::Relaxed) {
+                c.increment(1); // never reaches the waited level
+                std::thread::sleep(Duration::from_millis(2));
+            }
+        })
+    };
+    let t0 = Instant::now();
+    let err = c.wait_timeout(u64::MAX / 2, timeout).unwrap_err();
+    let elapsed = t0.elapsed();
+    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    stormer.join().unwrap();
+    assert!(matches!(err, CheckError::Timeout(_)));
+    assert!(
+        elapsed >= timeout,
+        "timed out early under storm: {elapsed:?}"
+    );
+    assert!(
+        elapsed < storm_for - timeout,
+        "deadline drifted under wakeup storm: waited {elapsed:?} for a {timeout:?} timeout"
+    );
+}
+
 fn poison_reclaims_waiter_nodes<C: Conformant + 'static>() {
     let c = Arc::new(C::default());
     let mut handles = Vec::new();
@@ -348,8 +391,20 @@ macro_rules! conformance {
                 super::timed_wait_with_poison_bit_set_stays_live::<$ty>();
             }
             #[test]
+            fn timed_wait_does_not_drift_under_wakeup_storm() {
+                super::timed_wait_does_not_drift_under_wakeup_storm::<$ty>();
+            }
+            #[test]
             fn poison_reclaims_waiter_nodes() {
                 super::poison_reclaims_waiter_nodes::<$ty>();
+            }
+            #[test]
+            fn resume_from_restores_value() {
+                use mc_counter::ResumableCounter;
+                let c = <$ty as ResumableCounter>::resume_from(23);
+                assert_eq!(c.debug_value(), 23);
+                c.check(23); // recovered value satisfies waiters immediately
+                assert!(c.poison_info().is_none());
             }
             // `with_value` is an inherent constructor (uniform across all
             // implementations), so it is exercised here via the macro rather

@@ -1,0 +1,542 @@
+//! [`DurableCounter`]: a crash-durable wrapper over any
+//! [`MonotonicCounter`], logging increments and poison events to a
+//! CRC32-framed write-ahead log with group-commit batching, periodic
+//! snapshots, and torn-tail recovery.
+//!
+//! # Group commit, guarded by monotonic counters
+//!
+//! The flusher is a dedicated thread; writers never touch the file. The
+//! coordination is the paper's own primitive, dogfooded:
+//!
+//! * `rounds` — writers bump it (at most once per flush round, via a dirty
+//!   flag) to signal work; the flusher `wait`s on it for the next round.
+//! * `durable` — advanced by the flusher to the last fsynced value; a
+//!   strict-mode writer `wait`s on it for its target value, so one fsync
+//!   acknowledges every increment that enqueued before it (group commit).
+//! * `poisons_synced` — advanced per persisted poison event, so `poison`
+//!   returns only after its cause is durable in **both** modes.
+//!
+//! Monotonicity does the heavy lifting: log records carry *absolute* values
+//! (replay = running max, idempotent), and in batched mode the flusher can
+//! read the inner counter's value directly — any snapshot of a monotone
+//! value is a correct durable point, which is why a batched increment costs
+//! only the in-memory increment plus one atomic load.
+
+use crate::frame::WalRecord;
+use crate::recover::{recover_dir, write_snapshot, WAL_FILE};
+use crate::wal::{wal_factory_from_env, WalError, WalFactory, WalFile};
+use mc_counter::{
+    CheckError, Counter, CounterDiagnostics, CounterOverflowError, CounterRecovery, FailureInfo,
+    MonotonicCounter, ResumableCounter, StatsSnapshot, Supervisor, Value, WaitingLevel,
+};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::SeqCst};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+/// When a durable counter acknowledges an increment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DurabilityMode {
+    /// `increment` returns only after the increment is fsync-durable, and
+    /// the in-memory value (what waiters observe) is applied *after*
+    /// durability — an acked level can never outrun the log. Concurrent
+    /// increments share one fsync (group commit).
+    Strict,
+    /// `increment` applies in memory and returns immediately; the flusher
+    /// continuously coalesces the current value into the log. Increments
+    /// since the last completed flush round can be lost to a crash (never
+    /// reordered or inflated — recovery is still a verified monotone
+    /// prefix). Poison events remain strict even in this mode.
+    Batched,
+}
+
+/// Configuration for [`DurableCounter::open`].
+#[derive(Debug, Clone)]
+pub struct DurableOptions {
+    /// When increments are acknowledged. Default: [`DurabilityMode::Strict`].
+    pub mode: DurabilityMode,
+    /// Write a snapshot (and truncate the log) after this many log records.
+    /// `0` disables snapshotting. Default: 1024.
+    pub snapshot_every: u64,
+}
+
+impl Default for DurableOptions {
+    fn default() -> Self {
+        DurableOptions {
+            mode: DurabilityMode::Strict,
+            snapshot_every: 1024,
+        }
+    }
+}
+
+/// Durability-layer statistics (see [`DurableCounter::wal_stats`]).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WalStats {
+    /// Completed fsync rounds.
+    pub fsyncs: u64,
+    /// Records appended to the log (advances + poisons).
+    pub records_logged: u64,
+    /// Snapshots written (each truncates the log).
+    pub snapshots: u64,
+}
+
+struct Shared {
+    mode: DurabilityMode,
+    /// Strict mode: the requested durable value (sum of all enqueued
+    /// increments / advance targets). The flusher logs up to this.
+    enqueued: AtomicU64,
+    /// Set by writers after enqueueing, cleared by the flusher before it
+    /// reads the target: guarantees at most one `rounds` bump per flush
+    /// round without a lock on the hot path.
+    dirty: AtomicBool,
+    /// Flush-round signal: writers bump, the flusher waits.
+    rounds: Counter,
+    /// The last fsync-durable value; strict writers wait on it.
+    durable: Counter,
+    /// Poison events requested but not yet persisted.
+    poison_requests: Mutex<Vec<FailureInfo>>,
+    poisons_enqueued: AtomicU64,
+    /// Count of persisted poison events; `poison` waits on it.
+    poisons_synced: Counter,
+    stop: AtomicBool,
+    fsyncs: AtomicU64,
+    records_logged: AtomicU64,
+    snapshots: AtomicU64,
+}
+
+impl Shared {
+    /// Signals the flusher that new work is enqueued, bumping `rounds` at
+    /// most once per flush round. All operations are `SeqCst`: the flusher
+    /// clears `dirty` *before* reading the target, so in the seq-cst total
+    /// order every writer either lands before the read (covered by this
+    /// round) or observes `dirty == false` and opens the next round.
+    fn signal(&self) {
+        if !self.dirty.load(SeqCst) && !self.dirty.swap(true, SeqCst) {
+            self.rounds.increment(1);
+        }
+    }
+
+    /// Adds `amount` to the strict-mode target, rejecting overflow.
+    fn enqueue(&self, amount: Value) -> Result<Value, CounterOverflowError> {
+        let mut cur = self.enqueued.load(SeqCst);
+        loop {
+            let Some(next) = cur.checked_add(amount) else {
+                return Err(CounterOverflowError { value: cur, amount });
+            };
+            match self
+                .enqueued
+                .compare_exchange_weak(cur, next, SeqCst, SeqCst)
+            {
+                Ok(_) => return Ok(next),
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    /// Raises the strict-mode target to at least `target`; returns the
+    /// effective target.
+    fn enqueue_to(&self, target: Value) -> Value {
+        let prev = self.enqueued.fetch_max(target, SeqCst);
+        prev.max(target)
+    }
+}
+
+/// A crash-durable wrapper around a [`MonotonicCounter`] implementation
+/// `C`: increments (and poison events) are logged to a CRC32-framed
+/// append-only WAL in the counter's directory before being acknowledged
+/// (see [`DurabilityMode`]), and [`open`](Self::open) recovers value and
+/// poison state after a crash.
+///
+/// Dropping the counter stops the flusher after a final drain: a clean
+/// shutdown loses nothing, in either mode.
+pub struct DurableCounter<C: MonotonicCounter> {
+    inner: Arc<C>,
+    shared: Arc<Shared>,
+    flusher: Mutex<Option<JoinHandle<()>>>,
+}
+
+struct Flusher<C> {
+    inner: Arc<C>,
+    shared: Arc<Shared>,
+    wal: Box<dyn WalFile>,
+    dir: PathBuf,
+    next_seq: u64,
+    /// The last value written to the log (== the durable value once synced).
+    logged_value: Value,
+    /// The persisted poison cause, if any (survives into snapshots).
+    poison: Option<FailureInfo>,
+    records_since_snapshot: u64,
+    snapshot_every: u64,
+}
+
+impl<C: MonotonicCounter + CounterDiagnostics> Flusher<C> {
+    fn run(mut self) {
+        let mut round: Value = 0;
+        loop {
+            let mut stopping = self.shared.stop.load(SeqCst);
+            if !stopping {
+                round += 1;
+                let _ = self.shared.rounds.wait(round);
+                stopping = self.shared.stop.load(SeqCst);
+            }
+            if let Err(e) = self.flush_once() {
+                let info = FailureInfo::new(format!("durable counter wal failure: {e}"));
+                // Wake strict waiters and fail future operations with the
+                // cause instead of hanging them on durability that will
+                // never come.
+                self.shared.durable.poison(info.clone());
+                self.shared.poisons_synced.poison(info.clone());
+                self.inner.poison(info);
+                return;
+            }
+            if stopping {
+                return;
+            }
+            // Batched mode reads the inner value outside any writer-side
+            // fence; re-run immediately if it moved during the flush so the
+            // unsynced window stays one round wide.
+            if self.shared.mode == DurabilityMode::Batched
+                && self.inner.debug_value() > self.logged_value
+            {
+                self.shared.signal();
+            }
+        }
+    }
+
+    /// One group-commit round: clear the dirty flag, read the target,
+    /// append + fsync, then publish durability to the waiting counters.
+    fn flush_once(&mut self) -> std::io::Result<()> {
+        self.shared.dirty.store(false, SeqCst);
+        let target = match self.shared.mode {
+            DurabilityMode::Strict => self.shared.enqueued.load(SeqCst),
+            DurabilityMode::Batched => self.inner.debug_value(),
+        };
+        let poisons: Vec<FailureInfo> = {
+            let mut reqs = self.shared.poison_requests.lock().expect("poison queue");
+            std::mem::take(&mut *reqs)
+        };
+
+        let mut batch = Vec::new();
+        let mut records = 0u64;
+        if target > self.logged_value {
+            batch.extend_from_slice(
+                &WalRecord::Advance {
+                    seq: self.next_seq,
+                    value: target,
+                }
+                .encode_framed(),
+            );
+            self.next_seq += 1;
+            self.records_since_snapshot += 1;
+            records += 1;
+        }
+        for info in &poisons {
+            batch.extend_from_slice(
+                &WalRecord::Poison {
+                    seq: self.next_seq,
+                    thread: info.thread().to_string(),
+                    message: info.message().to_string(),
+                    level: info.level(),
+                }
+                .encode_framed(),
+            );
+            self.next_seq += 1;
+            self.records_since_snapshot += 1;
+            records += 1;
+            if self.poison.is_none() {
+                self.poison = Some(info.clone());
+            }
+        }
+
+        if !batch.is_empty() {
+            self.wal.append(&batch)?;
+            self.wal.sync()?;
+            self.shared.fsyncs.fetch_add(1, SeqCst);
+            self.shared.records_logged.fetch_add(records, SeqCst);
+            self.logged_value = self.logged_value.max(target);
+        }
+
+        // Publish durability: one advance acknowledges every writer whose
+        // target the fsync covered (group commit).
+        self.shared.durable.advance_to(self.logged_value);
+        if !poisons.is_empty() {
+            self.shared.poisons_synced.increment(poisons.len() as u64);
+        }
+
+        if self.snapshot_every > 0 && self.records_since_snapshot >= self.snapshot_every {
+            write_snapshot(
+                &self.dir,
+                self.next_seq.saturating_sub(1),
+                self.logged_value,
+                self.poison.as_ref(),
+            )?;
+            self.wal.truncate_all()?;
+            self.records_since_snapshot = 0;
+            self.shared.snapshots.fetch_add(1, SeqCst);
+        }
+        Ok(())
+    }
+}
+
+impl<C> DurableCounter<C>
+where
+    C: ResumableCounter + CounterDiagnostics + Send + Sync + 'static,
+{
+    /// Opens (or creates) the durable counter stored in `dir` with default
+    /// options, recovering any persisted state: replays the verified log
+    /// prefix over the snapshot, truncates a torn tail at the first bad
+    /// frame, and restores value and poison state.
+    pub fn open(dir: impl AsRef<Path>) -> Result<(Self, CounterRecovery), WalError> {
+        Self::open_with(dir, DurableOptions::default())
+    }
+
+    /// [`open`](Self::open) with explicit options. The log file is opened
+    /// through [`wal_factory_from_env`]: setting `MC_CHAOS_WAL=1` injects
+    /// the torn-tail [`ChaosWal`](crate::ChaosWal) (used by the crash
+    /// harness).
+    pub fn open_with(
+        dir: impl AsRef<Path>,
+        options: DurableOptions,
+    ) -> Result<(Self, CounterRecovery), WalError> {
+        Self::open_with_wal(dir, options, &*wal_factory_from_env())
+    }
+
+    /// [`open_with`](Self::open_with) using an explicit [`WalFactory`] for
+    /// fault injection.
+    pub fn open_with_wal(
+        dir: impl AsRef<Path>,
+        options: DurableOptions,
+        factory: &WalFactory,
+    ) -> Result<(Self, CounterRecovery), WalError> {
+        let dir = dir.as_ref().to_path_buf();
+        let recovered = recover_dir(&dir)?;
+        let recovery = CounterRecovery {
+            value: recovered.value,
+            records_replayed: recovered.records_replayed,
+            tail_bytes_discarded: recovered.tail_bytes_discarded,
+            poison_restored: recovered.poison.is_some(),
+        };
+
+        let inner = Arc::new(C::resume_from(recovered.value));
+        if let Some(info) = recovered.poison.clone() {
+            inner.poison(info);
+        }
+        let shared = Arc::new(Shared {
+            mode: options.mode,
+            enqueued: AtomicU64::new(recovered.value),
+            dirty: AtomicBool::new(false),
+            rounds: Counter::new(),
+            durable: Counter::with_value(recovered.value),
+            poison_requests: Mutex::new(Vec::new()),
+            poisons_enqueued: AtomicU64::new(0),
+            poisons_synced: Counter::new(),
+            stop: AtomicBool::new(false),
+            fsyncs: AtomicU64::new(0),
+            records_logged: AtomicU64::new(0),
+            snapshots: AtomicU64::new(0),
+        });
+        let wal = factory(&dir.join(WAL_FILE))?;
+        let flusher = Flusher {
+            inner: Arc::clone(&inner),
+            shared: Arc::clone(&shared),
+            wal,
+            dir,
+            next_seq: recovered.next_seq,
+            logged_value: recovered.value,
+            poison: recovered.poison,
+            records_since_snapshot: 0,
+            snapshot_every: options.snapshot_every,
+        };
+        let handle = std::thread::Builder::new()
+            .name("mc-durable-flusher".into())
+            .spawn(move || flusher.run())
+            .map_err(WalError::Io)?;
+        Ok((
+            DurableCounter {
+                inner,
+                shared,
+                flusher: Mutex::new(Some(handle)),
+            },
+            recovery,
+        ))
+    }
+
+    /// [`open_with`](Self::open_with), plus supervisor integration: the
+    /// recovered counter is registered under `name` and its
+    /// [`CounterRecovery`] reported via [`Supervisor::note_recovery`], so it
+    /// shows up in [`Supervisor::recovery_report`].
+    pub fn open_supervised(
+        dir: impl AsRef<Path>,
+        options: DurableOptions,
+        supervisor: &Supervisor,
+        name: &str,
+    ) -> Result<(Arc<Self>, CounterRecovery), WalError> {
+        let (counter, recovery) = Self::open_with(dir, options)?;
+        let counter = Arc::new(counter);
+        supervisor.register(name, &counter);
+        supervisor.note_recovery(name, recovery.clone());
+        Ok((counter, recovery))
+    }
+}
+
+impl<C: MonotonicCounter + CounterDiagnostics> DurableCounter<C> {
+    /// The wrapped in-memory counter.
+    pub fn inner(&self) -> &C {
+        &self.inner
+    }
+
+    /// Durability-layer statistics: fsync rounds, records logged, snapshots.
+    pub fn wal_stats(&self) -> WalStats {
+        WalStats {
+            fsyncs: self.shared.fsyncs.load(SeqCst),
+            records_logged: self.shared.records_logged.load(SeqCst),
+            snapshots: self.shared.snapshots.load(SeqCst),
+        }
+    }
+
+    /// Blocks until everything enqueued so far is fsync-durable. A no-op in
+    /// strict mode (increments are already acked durable); in batched mode
+    /// this is the explicit persistence point.
+    ///
+    /// # Errors
+    ///
+    /// Returns the poisoning cause if the WAL failed.
+    pub fn sync(&self) -> Result<(), FailureInfo> {
+        let target = match self.shared.mode {
+            DurabilityMode::Strict => self.shared.enqueued.load(SeqCst),
+            DurabilityMode::Batched => self.inner.debug_value(),
+        };
+        self.shared.signal();
+        match self.shared.durable.wait(target) {
+            Ok(()) => Ok(()),
+            Err(CheckError::Poisoned(info)) => Err(info),
+            Err(CheckError::Timeout(_)) => unreachable!("untimed wait cannot time out"),
+        }
+    }
+
+    fn ack_durable(&self, target: Value) {
+        if let Err(CheckError::Poisoned(info)) = self.shared.durable.wait(target) {
+            // The WAL is wedged: make the failure visible on the counter
+            // itself, then surface it to the caller.
+            self.inner.poison(info.clone());
+            panic!("durable increment could not be persisted: {info}");
+        }
+    }
+}
+
+impl<C: MonotonicCounter + CounterDiagnostics> MonotonicCounter for DurableCounter<C> {
+    fn increment(&self, amount: Value) {
+        if amount == 0 {
+            return;
+        }
+        match self.shared.mode {
+            DurabilityMode::Strict => {
+                let target = match self.shared.enqueue(amount) {
+                    Ok(t) => t,
+                    Err(e) => panic!("monotonic counter overflow: {e}"),
+                };
+                self.shared.signal();
+                self.ack_durable(target);
+                // Applied only after durability: a level observed satisfied
+                // can never be lost to a crash.
+                self.inner.increment(amount);
+            }
+            DurabilityMode::Batched => {
+                self.inner.increment(amount);
+                self.shared.signal();
+            }
+        }
+    }
+
+    fn try_increment(&self, amount: Value) -> Result<(), CounterOverflowError> {
+        if amount == 0 {
+            return Ok(());
+        }
+        match self.shared.mode {
+            DurabilityMode::Strict => {
+                let target = self.shared.enqueue(amount)?;
+                self.shared.signal();
+                self.ack_durable(target);
+                self.inner.increment(amount);
+                Ok(())
+            }
+            DurabilityMode::Batched => {
+                self.inner.try_increment(amount)?;
+                self.shared.signal();
+                Ok(())
+            }
+        }
+    }
+
+    fn wait(&self, level: Value) -> Result<(), CheckError> {
+        self.inner.wait(level)
+    }
+
+    fn wait_timeout(&self, level: Value, timeout: std::time::Duration) -> Result<(), CheckError> {
+        self.inner.wait_timeout(level, timeout)
+    }
+
+    fn poison(&self, info: FailureInfo) {
+        // Persist the cause before poisoning in memory, in both modes:
+        // poison must survive restart.
+        let n = {
+            let mut reqs = self.shared.poison_requests.lock().expect("poison queue");
+            reqs.push(info.clone());
+            self.shared.poisons_enqueued.fetch_add(1, SeqCst) + 1
+        };
+        self.shared.signal();
+        // If the WAL itself failed, the flusher poisons `poisons_synced`;
+        // either way the in-memory poison proceeds.
+        let _ = self.shared.poisons_synced.wait(n);
+        self.inner.poison(info);
+    }
+
+    fn poison_info(&self) -> Option<FailureInfo> {
+        self.inner.poison_info()
+    }
+
+    fn advance_to(&self, target: Value) {
+        match self.shared.mode {
+            DurabilityMode::Strict => {
+                let target = self.shared.enqueue_to(target);
+                self.shared.signal();
+                self.ack_durable(target);
+                self.inner.advance_to(target);
+            }
+            DurabilityMode::Batched => {
+                self.inner.advance_to(target);
+                self.shared.signal();
+            }
+        }
+    }
+}
+
+impl<C: MonotonicCounter + CounterDiagnostics> CounterDiagnostics for DurableCounter<C> {
+    fn debug_value(&self) -> Value {
+        self.inner.debug_value()
+    }
+
+    fn stats(&self) -> StatsSnapshot {
+        self.inner.stats()
+    }
+
+    fn impl_name(&self) -> &'static str {
+        "durable"
+    }
+
+    fn waiters(&self) -> Vec<WaitingLevel> {
+        self.inner.waiters()
+    }
+}
+
+impl<C: MonotonicCounter> Drop for DurableCounter<C> {
+    fn drop(&mut self) {
+        self.shared.stop.store(true, SeqCst);
+        // Unconditional bump: wake the flusher even if the dirty flag is
+        // already set (its owner may have signalled before our stop store).
+        self.shared.rounds.increment(1);
+        if let Some(h) = self.flusher.lock().expect("flusher handle").take() {
+            let _ = h.join();
+        }
+    }
+}

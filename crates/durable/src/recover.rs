@@ -1,0 +1,328 @@
+//! Snapshot encoding and directory recovery: replay the verified log
+//! prefix over the snapshot baseline, truncate the torn tail, restore
+//! value and poison state.
+
+use crate::frame::{read_frame, write_frame, FrameRead, WalRecord};
+use crate::wal::WalError;
+use mc_counter::{FailureInfo, Value};
+use std::fs;
+use std::io::Write;
+use std::path::Path;
+
+/// File name of the append-only log inside a durable counter's directory.
+pub const WAL_FILE: &str = "wal.log";
+/// File name of the snapshot inside a durable counter's directory.
+pub const SNAPSHOT_FILE: &str = "snapshot";
+const SNAPSHOT_TMP: &str = "snapshot.tmp";
+const SNAPSHOT_MAGIC: &[u8; 4] = b"MCSN";
+
+/// The state recovered from a durable counter's directory.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct RecoveredState {
+    /// The recovered counter value (max over snapshot and verified log).
+    pub value: Value,
+    /// The sequence number the next log record must use.
+    pub next_seq: u64,
+    /// The restored poison cause, if the counter was poisoned before the
+    /// crash (first poison wins, exactly as in-process).
+    pub poison: Option<FailureInfo>,
+    /// Intact log records replayed on top of the snapshot.
+    pub records_replayed: u64,
+    /// Torn-tail bytes discarded (and physically truncated) from the log.
+    pub tail_bytes_discarded: u64,
+}
+
+/// The persisted poison fields of a snapshot or a replayed record.
+fn poison_from_parts(thread: &str, message: &str, level: Option<Value>) -> FailureInfo {
+    let info = FailureInfo::new(message).with_thread(thread);
+    match level {
+        Some(l) => info.with_level(l),
+        None => info,
+    }
+}
+
+/// Snapshot payload: magic, last covered sequence number, value, optional
+/// poison (same field encoding as a poison record).
+pub(crate) fn encode_snapshot(seq: u64, value: Value, poison: Option<&FailureInfo>) -> Vec<u8> {
+    let mut payload = Vec::with_capacity(64);
+    payload.extend_from_slice(SNAPSHOT_MAGIC);
+    payload.extend_from_slice(&seq.to_le_bytes());
+    payload.extend_from_slice(&value.to_le_bytes());
+    match poison {
+        None => payload.push(0),
+        Some(info) => {
+            payload.push(1);
+            match info.level() {
+                Some(l) => {
+                    payload.push(1);
+                    payload.extend_from_slice(&l.to_le_bytes());
+                }
+                None => payload.push(0),
+            }
+            let thread = info.thread().as_bytes();
+            payload.extend_from_slice(&(thread.len() as u32).to_le_bytes());
+            payload.extend_from_slice(thread);
+            let message = info.message().as_bytes();
+            payload.extend_from_slice(&(message.len() as u32).to_le_bytes());
+            payload.extend_from_slice(message);
+        }
+    }
+    let mut framed = Vec::with_capacity(payload.len() + crate::frame::FRAME_HEADER);
+    write_frame(&mut framed, &payload);
+    framed
+}
+
+fn decode_snapshot(bytes: &[u8]) -> Result<(u64, Value, Option<FailureInfo>), WalError> {
+    let corrupt = |why: &str| WalError::CorruptSnapshot(why.to_string());
+    let FrameRead::Frame { payload, next } = read_frame(bytes, 0) else {
+        return Err(corrupt("unreadable frame"));
+    };
+    if next != bytes.len() {
+        return Err(corrupt("trailing bytes after snapshot frame"));
+    }
+    if payload.get(..4) != Some(SNAPSHOT_MAGIC.as_slice()) {
+        return Err(corrupt("bad magic"));
+    }
+    let seq = u64::from_le_bytes(payload[4..12].try_into().map_err(|_| corrupt("short"))?);
+    let value = u64::from_le_bytes(payload[12..20].try_into().map_err(|_| corrupt("short"))?);
+    let rest = payload.get(20..).ok_or_else(|| corrupt("short"))?;
+    let poison = match rest.first() {
+        Some(0) if rest.len() == 1 => None,
+        Some(1) => {
+            let rest = &rest[1..];
+            let (level, rest) = match rest.first() {
+                Some(0) => (None, rest.get(1..).ok_or_else(|| corrupt("short"))?),
+                Some(1) => {
+                    let l = rest
+                        .get(1..9)
+                        .ok_or_else(|| corrupt("short"))?
+                        .try_into()
+                        .map_err(|_| corrupt("short"))?;
+                    (
+                        Some(u64::from_le_bytes(l)),
+                        rest.get(9..).ok_or_else(|| corrupt("short"))?,
+                    )
+                }
+                _ => return Err(corrupt("bad poison level tag")),
+            };
+            let read_str = |rest: &[u8]| -> Result<(String, usize), WalError> {
+                let len = u32::from_le_bytes(
+                    rest.get(..4)
+                        .ok_or_else(|| corrupt("short"))?
+                        .try_into()
+                        .map_err(|_| corrupt("short"))?,
+                ) as usize;
+                let s = std::str::from_utf8(rest.get(4..4 + len).ok_or_else(|| corrupt("short"))?)
+                    .map_err(|_| corrupt("bad utf-8"))?;
+                Ok((s.to_string(), 4 + len))
+            };
+            let (thread, used) = read_str(rest)?;
+            let (message, used2) = read_str(&rest[used..])?;
+            if used + used2 != rest.len() {
+                return Err(corrupt("trailing bytes in poison"));
+            }
+            Some(poison_from_parts(&thread, &message, level))
+        }
+        _ => return Err(corrupt("bad poison tag")),
+    };
+    Ok((seq, value, poison))
+}
+
+/// Durably writes a snapshot: temp file, fsync, atomic rename, directory
+/// fsync. A crash at any point leaves either the old or the new snapshot
+/// intact, never a torn one.
+pub(crate) fn write_snapshot(
+    dir: &Path,
+    seq: u64,
+    value: Value,
+    poison: Option<&FailureInfo>,
+) -> std::io::Result<()> {
+    let tmp = dir.join(SNAPSHOT_TMP);
+    let framed = encode_snapshot(seq, value, poison);
+    {
+        let mut f = fs::File::create(&tmp)?;
+        f.write_all(&framed)?;
+        f.sync_all()?;
+    }
+    fs::rename(&tmp, dir.join(SNAPSHOT_FILE))?;
+    // Make the rename itself durable. Directory fsync can be unsupported on
+    // exotic filesystems; the rename is still atomic, so degrade gracefully.
+    if let Ok(d) = fs::File::open(dir) {
+        let _ = d.sync_all();
+    }
+    Ok(())
+}
+
+/// Recovers a durable counter's directory: loads the snapshot (if any),
+/// replays every verified log record, truncates the torn tail at the first
+/// bad frame, and returns the reconstructed state.
+///
+/// Replay is the running **maximum** over absolute-value records, so it is
+/// idempotent: records covered by both the snapshot and the log (a crash
+/// between snapshot rename and log truncation) cannot inflate the value.
+pub(crate) fn recover_dir(dir: &Path) -> Result<RecoveredState, WalError> {
+    fs::create_dir_all(dir)?;
+    // A leftover temp snapshot is an aborted snapshot write: discard.
+    let _ = fs::remove_file(dir.join(SNAPSHOT_TMP));
+
+    let mut state = RecoveredState::default();
+    let snapshot_path = dir.join(SNAPSHOT_FILE);
+    match fs::read(&snapshot_path) {
+        Ok(bytes) => {
+            let (seq, value, poison) = decode_snapshot(&bytes)?;
+            state.value = value;
+            state.next_seq = seq + 1;
+            state.poison = poison;
+        }
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+        Err(e) => return Err(e.into()),
+    }
+
+    let wal_path = dir.join(WAL_FILE);
+    let bytes = match fs::read(&wal_path) {
+        Ok(bytes) => bytes,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(state),
+        Err(e) => return Err(e.into()),
+    };
+    let mut offset = 0usize;
+    loop {
+        match read_frame(&bytes, offset) {
+            FrameRead::End => break,
+            FrameRead::Corrupt => break,
+            FrameRead::Frame { payload, next } => {
+                // A CRC-verified frame with an undecodable payload is treated
+                // exactly like a corrupt frame: the verified prefix ends here.
+                let Some(record) = WalRecord::decode(payload) else {
+                    break;
+                };
+                match record {
+                    WalRecord::Advance { seq, value } => {
+                        state.value = state.value.max(value);
+                        state.next_seq = state.next_seq.max(seq + 1);
+                    }
+                    WalRecord::Poison {
+                        seq,
+                        thread,
+                        message,
+                        level,
+                    } => {
+                        if state.poison.is_none() {
+                            state.poison = Some(poison_from_parts(&thread, &message, level));
+                        }
+                        state.next_seq = state.next_seq.max(seq + 1);
+                    }
+                }
+                state.records_replayed += 1;
+                offset = next;
+            }
+        }
+    }
+    state.tail_bytes_discarded = (bytes.len() - offset) as u64;
+    if state.tail_bytes_discarded > 0 {
+        // Physically truncate the torn tail so the next appended frame
+        // starts at a verified boundary.
+        let f = fs::OpenOptions::new().write(true).open(&wal_path)?;
+        f.set_len(offset as u64)?;
+        f.sync_all()?;
+    }
+    Ok(state)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_dir_recovers_to_zero() {
+        let dir = crate::test_dir("recover-empty");
+        let state = recover_dir(&dir).unwrap();
+        assert_eq!(state.value, 0);
+        assert_eq!(state.next_seq, 0);
+        assert!(state.poison.is_none());
+        assert_eq!(state.records_replayed, 0);
+        assert_eq!(state.tail_bytes_discarded, 0);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn log_replay_is_running_max_and_truncates_torn_tail() {
+        let dir = crate::test_dir("recover-replay");
+        fs::create_dir_all(&dir).unwrap();
+        let mut log = Vec::new();
+        for (seq, value) in [(0u64, 3u64), (1, 7), (2, 7), (3, 12)] {
+            log.extend_from_slice(&WalRecord::Advance { seq, value }.encode_framed());
+        }
+        let clean_len = log.len();
+        // Torn tail: half a frame.
+        let torn = &WalRecord::Advance { seq: 4, value: 99 }.encode_framed();
+        log.extend_from_slice(&torn[..torn.len() / 2]);
+        fs::write(dir.join(WAL_FILE), &log).unwrap();
+
+        let state = recover_dir(&dir).unwrap();
+        assert_eq!(state.value, 12, "torn record must not contribute");
+        assert_eq!(state.next_seq, 4);
+        assert_eq!(state.records_replayed, 4);
+        assert_eq!(state.tail_bytes_discarded as usize, log.len() - clean_len);
+        // The tail is physically gone: recovering again is clean.
+        let again = recover_dir(&dir).unwrap();
+        assert_eq!(again.tail_bytes_discarded, 0);
+        assert_eq!(again.value, 12);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn snapshot_plus_stale_log_records_do_not_inflate() {
+        let dir = crate::test_dir("recover-snap");
+        fs::create_dir_all(&dir).unwrap();
+        write_snapshot(&dir, 5, 40, None).unwrap();
+        // Crash-between-rename-and-truncate: the log still holds records the
+        // snapshot already covers, plus one newer record.
+        let mut log = Vec::new();
+        log.extend_from_slice(&WalRecord::Advance { seq: 4, value: 30 }.encode_framed());
+        log.extend_from_slice(&WalRecord::Advance { seq: 6, value: 41 }.encode_framed());
+        fs::write(dir.join(WAL_FILE), &log).unwrap();
+        let state = recover_dir(&dir).unwrap();
+        assert_eq!(state.value, 41);
+        assert_eq!(state.next_seq, 7);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn poison_round_trips_through_snapshot_and_log() {
+        let dir = crate::test_dir("recover-poison");
+        fs::create_dir_all(&dir).unwrap();
+        let info = FailureInfo::new("producer died")
+            .with_thread("worker-7")
+            .with_level(9);
+        write_snapshot(&dir, 2, 10, Some(&info)).unwrap();
+        let state = recover_dir(&dir).unwrap();
+        let restored = state.poison.expect("poison restored");
+        assert_eq!(restored.thread(), "worker-7");
+        assert_eq!(restored.message(), "producer died");
+        assert_eq!(restored.level(), Some(9));
+
+        // A later log poison must NOT override the snapshot's (first wins).
+        let rec = WalRecord::Poison {
+            seq: 3,
+            thread: "other".into(),
+            message: "second".into(),
+            level: None,
+        };
+        fs::write(dir.join(WAL_FILE), rec.encode_framed()).unwrap();
+        let state = recover_dir(&dir).unwrap();
+        assert_eq!(state.poison.unwrap().message(), "producer died");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_snapshot_is_a_typed_error() {
+        let dir = crate::test_dir("recover-corrupt-snap");
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(dir.join(SNAPSHOT_FILE), b"garbage").unwrap();
+        match recover_dir(&dir) {
+            Err(WalError::CorruptSnapshot(_)) => {}
+            other => panic!("expected CorruptSnapshot, got {other:?}"),
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

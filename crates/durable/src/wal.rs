@@ -1,0 +1,195 @@
+//! The injectable log-file surface: [`WalFile`], its production
+//! implementation [`FsWal`], and the fault-injecting [`ChaosWal`] used by
+//! the kill-9 crash harness to exercise the window *between* write and
+//! fsync.
+
+use std::fs::{File, OpenOptions};
+use std::io;
+use std::path::Path;
+
+/// Error type for durable-counter operations.
+#[derive(Debug)]
+pub enum WalError {
+    /// An I/O operation on the log, snapshot, or directory failed.
+    Io(io::Error),
+    /// The snapshot file exists but fails verification. Unlike a torn log
+    /// tail (recoverable by truncation), a corrupt snapshot means the
+    /// baseline state is unreadable, so recovery refuses to guess.
+    CorruptSnapshot(String),
+}
+
+impl std::fmt::Display for WalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WalError::Io(e) => write!(f, "wal io error: {e}"),
+            WalError::CorruptSnapshot(why) => write!(f, "corrupt snapshot: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for WalError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            WalError::Io(e) => Some(e),
+            WalError::CorruptSnapshot(_) => None,
+        }
+    }
+}
+
+impl From<io::Error> for WalError {
+    fn from(e: io::Error) -> Self {
+        WalError::Io(e)
+    }
+}
+
+/// The append-only log file surface the durability layer writes through.
+///
+/// Injectable so the crash harness can substitute [`ChaosWal`], which holds
+/// appended bytes in user memory until `sync` — a SIGKILL between `append`
+/// and `sync` then drops exactly the tail bytes a power loss between a
+/// kernel write and an fsync would, forcing recovery down the torn-tail
+/// path.
+pub trait WalFile: Send {
+    /// Appends `buf` at the end of the log.
+    fn append(&mut self, buf: &[u8]) -> io::Result<()>;
+    /// Makes every previously appended byte durable before returning.
+    fn sync(&mut self) -> io::Result<()>;
+    /// Discards the entire log (used after a snapshot supersedes it).
+    fn truncate_all(&mut self) -> io::Result<()>;
+}
+
+/// Production [`WalFile`]: a real file, `write_all` + `sync_data`.
+pub struct FsWal {
+    file: File,
+}
+
+impl FsWal {
+    /// Opens (creating if absent) the log at `path` for appending.
+    pub fn open(path: &Path) -> io::Result<Self> {
+        let file = OpenOptions::new().create(true).append(true).open(path)?;
+        Ok(FsWal { file })
+    }
+}
+
+impl WalFile for FsWal {
+    fn append(&mut self, buf: &[u8]) -> io::Result<()> {
+        use io::Write;
+        self.file.write_all(buf)
+    }
+
+    fn sync(&mut self) -> io::Result<()> {
+        self.file.sync_data()
+    }
+
+    fn truncate_all(&mut self) -> io::Result<()> {
+        self.file.set_len(0)
+    }
+}
+
+/// Fault-injecting [`WalFile`]: appends accumulate in user memory and only
+/// reach the file (followed by an fsync) on [`sync`](WalFile::sync).
+///
+/// Under SIGKILL this reproduces the crash window between a log write and
+/// its fsync: bytes appended but not yet synced vanish entirely, so the
+/// on-disk log ends wherever the last `sync` left it — including, when the
+/// kill lands mid-`write_all`, a torn partial frame.
+pub struct ChaosWal {
+    file: File,
+    buffered: Vec<u8>,
+}
+
+impl ChaosWal {
+    /// Opens (creating if absent) the log at `path` for buffered appending.
+    pub fn open(path: &Path) -> io::Result<Self> {
+        let file = OpenOptions::new().create(true).append(true).open(path)?;
+        Ok(ChaosWal {
+            file,
+            buffered: Vec::new(),
+        })
+    }
+
+    /// Drops every byte appended since the last `sync`, simulating in
+    /// process what a SIGKILL would do to the buffer. For in-process
+    /// torn-tail tests.
+    pub fn lose_unsynced_tail(&mut self) {
+        self.buffered.clear();
+    }
+
+    /// Bytes currently buffered (appended but not yet durable).
+    pub fn unsynced_len(&self) -> usize {
+        self.buffered.len()
+    }
+}
+
+impl WalFile for ChaosWal {
+    fn append(&mut self, buf: &[u8]) -> io::Result<()> {
+        self.buffered.extend_from_slice(buf);
+        Ok(())
+    }
+
+    fn sync(&mut self) -> io::Result<()> {
+        use io::Write;
+        self.file.write_all(&self.buffered)?;
+        self.buffered.clear();
+        self.file.sync_data()
+    }
+
+    fn truncate_all(&mut self) -> io::Result<()> {
+        self.buffered.clear();
+        self.file.set_len(0)
+    }
+}
+
+/// How log files are opened — lets tests and the crash harness inject
+/// [`ChaosWal`] without changing call sites.
+pub type WalFactory = dyn Fn(&Path) -> io::Result<Box<dyn WalFile>> + Send + Sync;
+
+/// The environment variable that, when set to `1`, makes
+/// [`wal_factory_from_env`] produce [`ChaosWal`] instead of [`FsWal`].
+pub const CHAOS_WAL_ENV: &str = "MC_CHAOS_WAL";
+
+/// The default factory: [`FsWal`], or [`ChaosWal`] when [`CHAOS_WAL_ENV`]
+/// is `1` (how the crash harness arms torn-tail injection in a child
+/// process it re-executes).
+pub fn wal_factory_from_env() -> Box<WalFactory> {
+    if std::env::var(CHAOS_WAL_ENV).as_deref() == Ok("1") {
+        Box::new(|path| Ok(Box::new(ChaosWal::open(path)?) as Box<dyn WalFile>))
+    } else {
+        Box::new(|path| Ok(Box::new(FsWal::open(path)?) as Box<dyn WalFile>))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chaos_wal_drops_unsynced_tail() {
+        let dir = crate::test_dir("chaos-wal");
+        let path = dir.join("wal.log");
+        let mut wal = ChaosWal::open(&path).unwrap();
+        wal.append(b"synced").unwrap();
+        wal.sync().unwrap();
+        wal.append(b" lost").unwrap();
+        assert_eq!(wal.unsynced_len(), 5);
+        wal.lose_unsynced_tail();
+        wal.sync().unwrap();
+        drop(wal);
+        assert_eq!(std::fs::read(&path).unwrap(), b"synced");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn fs_wal_appends_and_truncates() {
+        let dir = crate::test_dir("fs-wal");
+        let path = dir.join("wal.log");
+        let mut wal = FsWal::open(&path).unwrap();
+        wal.append(b"abc").unwrap();
+        wal.sync().unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"abc");
+        wal.truncate_all().unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"");
+        drop(wal);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -13,7 +13,9 @@
 //!   a sequence of items, with an independent blocking granularity per
 //!   thread; one counter synchronizes the writer and any number of readers.
 //! * [`Pipeline`] — chains of broadcasts for producer/consumer stage graphs
-//!   (the Paraffins-style dataflow the paper cites).
+//!   (the Paraffins-style dataflow the paper cites);
+//!   [`CheckpointedPipeline`] adds a durable checkpoint at every completed
+//!   stage boundary, so a crashed run resumes instead of recomputing.
 //! * [`DataflowGraph`] — a counter-gated DAG executor: the ragged-barrier
 //!   idea generalized from a 1-D stencil to arbitrary task dependence
 //!   graphs, with a sequential-execution mode for Section 6 equivalence
@@ -23,12 +25,14 @@
 #![forbid(unsafe_code)]
 
 mod broadcast;
+mod checkpoint;
 mod dataflow;
 mod pipeline;
 mod ragged;
 mod sequencer;
 
 pub use broadcast::{Broadcast, BroadcastReader, BroadcastWriter};
+pub use checkpoint::{CheckpointedPipeline, ResumeReport};
 pub use dataflow::{DataflowGraph, NodeId};
 pub use pipeline::{Pipeline, Stage};
 pub use ragged::RaggedBarrier;

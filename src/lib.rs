@@ -21,7 +21,11 @@
 //! * [`algos`] — the evaluation workloads (Floyd–Warshall, heat diffusion,
 //!   ordered accumulation, Paraffins, wavefront LCS).
 //! * [`chaos`] — schedule perturbation for testing the Section 6 determinacy
-//!   claims across many interleavings.
+//!   claims across many interleavings, plus a kill-9 crash harness for the
+//!   durability layer.
+//! * [`durable`] — crash-durable counters: a CRC32-framed write-ahead log
+//!   with group-commit batching, snapshot + truncation, and recovery that
+//!   restores both value and poison state after a crash.
 //!
 //! See `README.md` for a tour, `DESIGN.md` for the system inventory, and
 //! `EXPERIMENTS.md` for the reproduction results.
@@ -40,6 +44,7 @@ pub use mc_algos as algos;
 pub use mc_chaos as chaos;
 pub use mc_counter as counter;
 pub use mc_detcheck as detcheck;
+pub use mc_durable as durable;
 pub use mc_patterns as patterns;
 pub use mc_primitives as primitives;
 pub use mc_sthreads as sthreads;
@@ -62,7 +67,10 @@ pub mod prelude {
         SpinCounter, StallReport, StallVerdict, StatsSnapshot, Supervisor, SupervisorConfig,
         TracingCounter, Value,
     };
-    pub use mc_patterns::{Broadcast, DataflowGraph, Pipeline, RaggedBarrier, Sequencer};
+    pub use mc_durable::{DurabilityMode, DurableCounter, DurableOptions};
+    pub use mc_patterns::{
+        Broadcast, CheckpointedPipeline, DataflowGraph, Pipeline, RaggedBarrier, Sequencer,
+    };
     pub use mc_primitives::{
         Barrier, Event, Exchanger, Latch, Monitor, Semaphore, SingleAssignment,
     };
