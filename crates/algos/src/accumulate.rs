@@ -10,7 +10,7 @@
 
 use mc_patterns::Sequencer;
 use mc_sthreads::par_for;
-use std::sync::Mutex;
+use std::sync::Mutex; // lint:allow(raw-sync): lock-based comparison baseline
 
 /// Lock-based accumulation: `result` is folded in scheduler order.
 ///
@@ -23,6 +23,7 @@ where
     C: Fn(usize) -> S + Sync,
     A: Fn(&mut T, S) + Sync,
 {
+    // lint:allow(raw-sync): the lock is the subject of this baseline
     let result = Mutex::new(init);
     par_for(0..n, |i| {
         let subresult = compute(i);
@@ -49,6 +50,7 @@ where
     let sequencer = Sequencer::new();
     // The sequencer already excludes concurrent folds; the mutex is the safe
     // Rust handle for the shared mutable result and is never contended.
+    // lint:allow(raw-sync): the lock is the subject of this baseline
     let result = Mutex::new(init);
     par_for(0..n, |i| {
         let subresult = compute(i);

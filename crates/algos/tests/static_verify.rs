@@ -1,0 +1,137 @@
+//! Static certification of the `mc-algos` synchronization protocols.
+//!
+//! `mc_verify::models` contains skeletons mirroring the counter discipline
+//! of each algorithm (same counters, same levels, same guarded accesses).
+//! These tests certify the skeletons over **all** interleavings — a proof
+//! the runtime tests, which sample schedules, cannot give — and pin the
+//! skeletons to the implementations by running each algorithm at the same
+//! parameters and checking the result.
+
+use mc_algos::{floyd_warshall, graph, heat, sorting, wavefront};
+use mc_verify::{models, verify};
+
+#[test]
+fn heat_ragged_protocol_certified() {
+    // Skeleton at the same shape as the real run below.
+    let sk = models::heat(4, 3);
+    let v = verify(&sk);
+    let cert = v.certificate().unwrap_or_else(|| {
+        panic!("heat skeleton rejected:\n{}", v.render(&sk));
+    });
+    assert_eq!(cert.threads, 4 + 2); // interior + 2 boundary pseudo-threads
+
+    // The implementation at those parameters agrees with its sequential
+    // version — the determinism the certificate promises.
+    let rod = heat::hot_left_rod(6, 100.0); // 4 interior cells
+    assert_eq!(heat::with_ragged(&rod, 3), heat::sequential(&rod, 3));
+}
+
+#[test]
+fn floyd_warshall_counter_protocol_certified() {
+    let sk = models::floyd_warshall(3, 8);
+    let v = verify(&sk);
+    let cert = v.certificate().unwrap_or_else(|| {
+        panic!("floyd-warshall skeleton rejected:\n{}", v.render(&sk));
+    });
+    // One k-iteration counter gates everything.
+    assert_eq!(cert.counters, 1);
+
+    let g = graph::random_graph(8, 0.4, 7);
+    assert_eq!(
+        floyd_warshall::with_counter(&g, 3),
+        floyd_warshall::sequential(&g)
+    );
+}
+
+#[test]
+fn wavefront_band_protocol_certified() {
+    let sk = models::wavefront(4, 5);
+    let v = verify(&sk);
+    assert!(
+        v.is_certified(),
+        "wavefront skeleton rejected:\n{}",
+        v.render(&sk)
+    );
+    // Forward-only band dependencies: also sequentially equivalent.
+    assert!(v.certificate().unwrap().sequentially_equivalent());
+
+    let a = b"counter-synchronized";
+    let b = b"bands-of-blocks";
+    assert_eq!(
+        wavefront::lcs_wavefront(a, b, 4, 4),
+        wavefront::lcs_sequential(a, b)
+    );
+}
+
+#[test]
+fn odd_even_sort_protocol_certified() {
+    let sk = models::odd_even_sort(8, 8);
+    let v = verify(&sk);
+    assert!(
+        v.is_certified(),
+        "odd-even sort skeleton rejected:\n{}",
+        v.render(&sk)
+    );
+
+    let input = [9i64, -3, 7, 0, 7, 2, -8, 5];
+    let mut expect = input.to_vec();
+    expect.sort_unstable();
+    assert_eq!(sorting::odd_even_counters(&input), expect);
+}
+
+#[test]
+fn sequenced_accumulate_protocol_certified() {
+    let sk = models::sequenced_accumulate(6);
+    let v = verify(&sk);
+    let cert = v.certificate().expect("sequenced accumulation certifies");
+    // Every worker's slot write is ordered before the combiner's read.
+    assert_eq!(cert.pairs_proved, 6);
+    assert!(cert.sequentially_equivalent());
+}
+
+#[test]
+fn breaking_heat_mutations_are_caught() {
+    // Not every dropped arrival breaks the ragged protocol — removing an
+    // interior thread's arrival only makes its neighbours wait for a *later*
+    // event of that thread (stronger ordering), and the final write-arrival
+    // level is never waited on, so the fixpoint rightly certifies those
+    // mutants. What must always be caught:
+    let sk = models::heat(3, 2);
+
+    // (a) Dropping a boundary thread's bulk arrival starves its neighbour's
+    // write phases forever: a deadlock.
+    for m in mc_verify::all_mutations(&sk) {
+        if matches!(m, mc_verify::Mutation::DropIncrement(_)) && m.site().thread == 0 {
+            let mutant = m.apply(&sk);
+            let v = verify(&mutant);
+            let rej = v
+                .rejection()
+                .unwrap_or_else(|| panic!("`{}` should deadlock", m.describe(&sk)));
+            assert!(rej.deadlock.is_some());
+        }
+    }
+
+    // (b) Dropping any nontrivial check against an *interior* neighbour
+    // unguards a shared-cell access: a race. (Checks against the boundary
+    // counters order no accesses — the boundary threads touch no cells —
+    // so dropping those is benign, and the verifier rightly says so.)
+    let interior = 1..=3;
+    let mut check_mutations = 0;
+    for m in mc_verify::all_mutations(&sk) {
+        let on_interior = matches!(
+            sk.op(m.site()),
+            mc_verify::Op::Check { counter, .. } if interior.contains(&counter.0)
+        );
+        if matches!(m, mc_verify::Mutation::DropCheck(_)) && on_interior {
+            check_mutations += 1;
+            let mutant = m.apply(&sk);
+            let v = verify(&mutant);
+            assert!(
+                !v.is_certified(),
+                "mutation `{}` should be rejected",
+                m.describe(&sk)
+            );
+        }
+    }
+    assert!(check_mutations > 0);
+}

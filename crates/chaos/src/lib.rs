@@ -32,8 +32,10 @@ mod counter;
 pub mod crash_harness;
 mod explore;
 mod jitter;
+pub mod skeleton;
 
 pub use counter::ChaosCounter;
 pub use crash_harness::{CrashReport, CrashScenario};
 pub use explore::{explore, Outcomes};
 pub use jitter::{seed_from_env, Chaos, ChaosConfig};
+pub use skeleton::{explore_skeleton, replay_schedule, run_random, ReplayError, SkeletonOutcome};

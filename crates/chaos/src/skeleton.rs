@@ -1,0 +1,342 @@
+//! Bounded dynamic exploration of synchronization skeletons.
+//!
+//! The static verifier (`mc-verify`) proves properties over **all**
+//! interleavings; this module samples interleavings of the same
+//! [`Skeleton`] IR with a seeded random scheduler, and can replay an
+//! explicit schedule — including the witness schedules the static analyses
+//! emit — so static counterexamples are confirmed dynamically.
+//!
+//! An interleaving's observable *outcome* is its dataflow: which write each
+//! read observed, each variable's final writer, and whether every thread
+//! completed. A skeleton is dynamically deterministic over a seed set when
+//! all sampled schedules produce the same outcome.
+
+use std::fmt;
+
+use mc_verify::{greedy_cut_limited, Op, OpRef, Skeleton};
+
+/// The schedule-observable result of one interleaving.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SkeletonOutcome {
+    /// True if every thread ran to completion.
+    pub completed: bool,
+    /// For each executed read (in position order): the write it observed,
+    /// if any.
+    pub reads: Vec<(OpRef, Option<OpRef>)>,
+    /// Final writer of each variable, by variable index.
+    pub final_writes: Vec<Option<OpRef>>,
+    /// Where each thread stopped (its length if it completed).
+    pub stopped_at: Vec<usize>,
+}
+
+impl fmt::Display for SkeletonOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "completed={}, {} reads, final writers {:?}",
+            self.completed,
+            self.reads.len(),
+            self.final_writes
+        )
+    }
+}
+
+/// Interpreter state while executing a skeleton one operation at a time.
+struct Interp<'a> {
+    sk: &'a Skeleton,
+    positions: Vec<usize>,
+    values: Vec<u64>,
+    last_write: Vec<Option<OpRef>>,
+    reads: Vec<(OpRef, Option<OpRef>)>,
+}
+
+impl<'a> Interp<'a> {
+    fn new(sk: &'a Skeleton) -> Self {
+        Interp {
+            sk,
+            positions: vec![0; sk.num_threads()],
+            values: vec![0; sk.num_counters()],
+            last_write: vec![None; sk.num_vars()],
+            reads: Vec::new(),
+        }
+    }
+
+    /// Threads whose next operation is executable right now.
+    fn enabled(&self) -> Vec<usize> {
+        (0..self.sk.num_threads())
+            .filter(|&t| {
+                let i = self.positions[t];
+                if i >= self.sk.ops(t).len() {
+                    return false;
+                }
+                match self.sk.ops(t)[i] {
+                    Op::Check { counter, level } => self.values[counter.0] >= level,
+                    _ => true,
+                }
+            })
+            .collect()
+    }
+
+    /// Execute thread `t`'s next operation. Panics if not enabled.
+    fn step(&mut self, t: usize) -> OpRef {
+        let i = self.positions[t];
+        let r = OpRef {
+            thread: t,
+            index: i,
+        };
+        match self.sk.op(r) {
+            Op::Inc { counter, amount } => {
+                self.values[counter.0] = self.values[counter.0]
+                    .checked_add(amount)
+                    .expect("counter overflow in skeleton interpreter");
+            }
+            Op::Check { counter, level } => {
+                assert!(
+                    self.values[counter.0] >= level,
+                    "stepped a disabled check: {}",
+                    self.sk.describe(r)
+                );
+            }
+            Op::Read { var } => self.reads.push((r, self.last_write[var.0])),
+            Op::Write { var } => self.last_write[var.0] = Some(r),
+        }
+        self.positions[t] = i + 1;
+        r
+    }
+
+    fn outcome(self) -> SkeletonOutcome {
+        let completed = self
+            .positions
+            .iter()
+            .enumerate()
+            .all(|(t, &p)| p >= self.sk.ops(t).len());
+        // Reads are pushed in interleaving order; normalize to position
+        // order so outcomes compare by dataflow, not by schedule.
+        let mut reads = self.reads;
+        reads.sort_unstable_by_key(|(r, _)| *r);
+        SkeletonOutcome {
+            completed,
+            reads,
+            final_writes: self.last_write,
+            stopped_at: self.positions,
+        }
+    }
+}
+
+/// SplitMix64 step (same generator as [`crate::Chaos`]).
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E3779B97F4A7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+/// Execute one maximal interleaving chosen by a seeded uniform scheduler:
+/// at each step, a uniformly random enabled thread executes its next
+/// operation, until no thread is enabled.
+pub fn run_random(sk: &Skeleton, seed: u64) -> SkeletonOutcome {
+    let mut state = seed;
+    let mut interp = Interp::new(sk);
+    loop {
+        let enabled = interp.enabled();
+        if enabled.is_empty() {
+            return interp.outcome();
+        }
+        let pick = (splitmix(&mut state) % enabled.len() as u64) as usize;
+        interp.step(enabled[pick]);
+    }
+}
+
+/// Sample one outcome per seed and collect the distinct ones, with a
+/// witness seed for each.
+pub fn explore_skeleton(
+    sk: &Skeleton,
+    seeds: impl IntoIterator<Item = u64>,
+) -> crate::Outcomes<SkeletonOutcome> {
+    crate::explore(seeds, |seed| run_random(sk, seed))
+}
+
+/// An error replaying an explicit schedule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReplayError {
+    /// The schedule asks a thread to execute an operation out of program
+    /// order.
+    OutOfOrder {
+        /// The offending schedule entry.
+        at: OpRef,
+        /// The position the thread was actually at.
+        expected_index: usize,
+    },
+    /// The schedule executes a check whose level is not yet satisfied.
+    CheckNotSatisfied {
+        /// The offending schedule entry.
+        at: OpRef,
+    },
+}
+
+impl fmt::Display for ReplayError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReplayError::OutOfOrder { at, expected_index } => write!(
+                f,
+                "schedule entry {at} is out of program order (thread is at index {expected_index})"
+            ),
+            ReplayError::CheckNotSatisfied { at } => {
+                write!(f, "schedule executes unsatisfied check at {at}")
+            }
+        }
+    }
+}
+
+/// Execute an explicit schedule (e.g. a witness emitted by `mc-verify`),
+/// validating that every step is executable, then let every thread run to
+/// quiescence greedily. Returns the outcome of the completed run.
+pub fn replay_schedule(sk: &Skeleton, schedule: &[OpRef]) -> Result<SkeletonOutcome, ReplayError> {
+    let mut interp = Interp::new(sk);
+    for &r in schedule {
+        if interp.positions[r.thread] != r.index {
+            return Err(ReplayError::OutOfOrder {
+                at: r,
+                expected_index: interp.positions[r.thread],
+            });
+        }
+        if let Op::Check { counter, level } = sk.op(r) {
+            if interp.values[counter.0] < level {
+                return Err(ReplayError::CheckNotSatisfied { at: r });
+            }
+        }
+        interp.step(r.thread);
+    }
+    // Drain: run the remainder greedily so the outcome covers a maximal
+    // execution extending the prescribed prefix.
+    loop {
+        let enabled = interp.enabled();
+        if enabled.is_empty() {
+            return Ok(interp.outcome());
+        }
+        interp.step(enabled[0]);
+    }
+}
+
+/// Convenience: does the maximal greedy execution complete? (Mirrors the
+/// static fixpoint; exposed for tests that want the dynamic view only.)
+pub fn completes(sk: &Skeleton) -> bool {
+    let limits: Vec<usize> = (0..sk.num_threads()).map(|t| sk.ops(t).len()).collect();
+    let cut = greedy_cut_limited(sk, &limits);
+    cut.positions.iter().zip(&limits).all(|(p, l)| p >= l)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mc_verify::SkeletonBuilder;
+
+    fn guarded() -> Skeleton {
+        let mut b = SkeletonBuilder::new();
+        let c = b.counter("c");
+        let x = b.var("x");
+        b.thread("w").write(x).inc(c, 1);
+        b.thread("r").check(c, 1).read(x);
+        b.build()
+    }
+
+    fn unguarded() -> Skeleton {
+        let mut b = SkeletonBuilder::new();
+        let x = b.var("x");
+        b.thread("w").write(x);
+        b.thread("r").read(x);
+        b.build()
+    }
+
+    #[test]
+    fn guarded_skeleton_is_deterministic_over_seeds() {
+        let sk = guarded();
+        let outcomes = explore_skeleton(&sk, 0..64);
+        assert!(outcomes.is_deterministic(), "{outcomes}");
+        let o = outcomes.unique().expect("deterministic");
+        assert!(o.completed);
+        assert_eq!(
+            o.reads,
+            vec![(
+                OpRef {
+                    thread: 1,
+                    index: 1
+                },
+                Some(OpRef {
+                    thread: 0,
+                    index: 0
+                })
+            )]
+        );
+    }
+
+    #[test]
+    fn unguarded_skeleton_shows_nondeterminism() {
+        let sk = unguarded();
+        let outcomes = explore_skeleton(&sk, 0..64);
+        assert!(
+            !outcomes.is_deterministic(),
+            "64 seeds should hit both orders of a 2-op race"
+        );
+    }
+
+    #[test]
+    fn replay_validates_program_order() {
+        let sk = guarded();
+        let bad = [OpRef {
+            thread: 0,
+            index: 1,
+        }];
+        assert!(matches!(
+            replay_schedule(&sk, &bad),
+            Err(ReplayError::OutOfOrder { .. })
+        ));
+    }
+
+    #[test]
+    fn replay_validates_check_levels() {
+        let sk = guarded();
+        let bad = [OpRef {
+            thread: 1,
+            index: 0,
+        }];
+        assert_eq!(
+            replay_schedule(&sk, &bad),
+            Err(ReplayError::CheckNotSatisfied {
+                at: OpRef {
+                    thread: 1,
+                    index: 0
+                }
+            })
+        );
+    }
+
+    #[test]
+    fn replay_executes_witness_order() {
+        let sk = unguarded();
+        // Reader first, then writer: the read observes no write.
+        let schedule = [
+            OpRef {
+                thread: 1,
+                index: 0,
+            },
+            OpRef {
+                thread: 0,
+                index: 0,
+            },
+        ];
+        let o = replay_schedule(&sk, &schedule).expect("schedule is valid");
+        assert_eq!(
+            o.reads,
+            vec![(
+                OpRef {
+                    thread: 1,
+                    index: 0
+                },
+                None
+            )]
+        );
+        assert!(o.completed);
+    }
+}

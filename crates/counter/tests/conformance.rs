@@ -406,6 +406,10 @@ macro_rules! conformance {
                 c.check(23); // recovered value satisfies waiters immediately
                 assert!(c.poison_info().is_none());
             }
+            #[test]
+            fn resumable_surface_conforms() {
+                mc_counter::testkit::exercise_resumable::<$ty>();
+            }
             // `with_value` is an inherent constructor (uniform across all
             // implementations), so it is exercised here via the macro rather
             // than through a trait bound.

@@ -81,6 +81,7 @@ impl<T> Broadcast<T> {
     pub fn writer_with_block(&self, block: usize) -> BroadcastWriter<'_, T> {
         assert!(block > 0, "block size must be positive");
         assert!(
+            // lint:allow(raw-sync): one-shot writer-claim flag, ordering-insensitive
             !self.writer_claimed.swap(true, Ordering::SeqCst),
             "broadcast already has a writer"
         );

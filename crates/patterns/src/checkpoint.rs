@@ -28,7 +28,7 @@ use std::fs::File;
 use std::io::{self, Write};
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
-use std::sync::Mutex;
+use std::sync::Mutex; // lint:allow(raw-sync): panic/io-error capture slots
 
 /// Magic bytes opening every checkpoint file's header frame.
 const CKPT_MAGIC: &[u8; 4] = b"MCCK";
@@ -168,7 +168,9 @@ impl<T: Send + Sync> CheckpointedPipeline<T> {
         // Mirrors `Pipeline::run`'s failure handling; additionally each
         // stage thread, after its stage function returns, reads back its own
         // completed output and writes the stage checkpoint.
+        // lint:allow(raw-sync): uncontended panic-capture slot
         let first_panic: Mutex<Option<(Box<dyn std::any::Any + Send>, bool)>> = Mutex::new(None);
+        // lint:allow(raw-sync): uncontended io-error capture slot
         let first_io_error: Mutex<Option<io::Error>> = Mutex::new(None);
         let checkpoints_written = std::sync::atomic::AtomicUsize::new(0);
         std::thread::scope(|scope| {

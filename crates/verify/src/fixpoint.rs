@@ -1,0 +1,353 @@
+//! The monotone fixpoint: maximum achievable counter values and the maximal
+//! reachable cut.
+//!
+//! Because counters only grow and `check` is the only blocking operation, an
+//! operation that becomes enabled can never become disabled: the transition
+//! system is *monotone* in the sense of "Lost in Abstraction". Greedy
+//! scheduling — repeatedly advancing every thread as far as it can go — is
+//! therefore confluent and computes the unique maximal reachable cut,
+//! independent of interleaving. This makes the analysis exact on the skeleton
+//! IR, not merely sound: an operation is reachable in *some* schedule iff it
+//! is inside the greedy cut, and the program deadlocks in some schedule iff
+//! it deadlocks in every maximal schedule.
+
+use std::fmt;
+
+use mc_counter::Value;
+
+use crate::ir::{CounterId, Op, OpRef, Skeleton};
+
+/// The unique maximal reachable cut of a skeleton (optionally with some
+/// threads truncated).
+#[derive(Clone, Debug)]
+pub struct Cut {
+    /// For each thread, the index of the first operation it could **not**
+    /// execute (== the thread's length if it ran to completion / truncation).
+    pub positions: Vec<usize>,
+    /// Final counter values at the cut — each counter's maximum achievable
+    /// value.
+    pub values: Vec<Value>,
+    /// One witness schedule reaching the cut (greedy order).
+    pub schedule: Vec<OpRef>,
+}
+
+impl Cut {
+    /// True if every thread executed all of its (possibly truncated) ops.
+    pub fn complete(&self, limits: &[usize]) -> bool {
+        self.positions.iter().zip(limits).all(|(p, l)| p >= l)
+    }
+
+    /// True if the given position was executed.
+    pub fn reached(&self, r: OpRef) -> bool {
+        r.index < self.positions[r.thread]
+    }
+}
+
+/// Compute the maximal reachable cut with per-thread limits.
+///
+/// `limits[t]` caps how many operations thread `t` may execute; pass
+/// `sk.lens()` for the untruncated program. Runs in
+/// `O(total_ops * blocking_rounds)`.
+pub fn greedy_cut_limited(sk: &Skeleton, limits: &[usize]) -> Cut {
+    let nthreads = sk.num_threads();
+    debug_assert_eq!(limits.len(), nthreads);
+    let mut positions = vec![0usize; nthreads];
+    let mut values = vec![0 as Value; sk.num_counters()];
+    let mut schedule = Vec::new();
+    let mut progressed = true;
+    while progressed {
+        progressed = false;
+        for t in 0..nthreads {
+            let ops = sk.ops(t);
+            let limit = limits[t].min(ops.len());
+            while positions[t] < limit {
+                let i = positions[t];
+                match ops[i] {
+                    Op::Check { counter, level } if values[counter.0] < level => break,
+                    Op::Inc { counter, amount } => {
+                        values[counter.0] = values[counter.0]
+                            .checked_add(amount)
+                            .expect("counter value overflow in skeleton fixpoint");
+                    }
+                    _ => {}
+                }
+                schedule.push(OpRef {
+                    thread: t,
+                    index: i,
+                });
+                positions[t] = i + 1;
+                progressed = true;
+            }
+        }
+    }
+    Cut {
+        positions,
+        values,
+        schedule,
+    }
+}
+
+/// Compute the maximal reachable cut of the whole skeleton.
+pub fn greedy_cut(sk: &Skeleton) -> Cut {
+    greedy_cut_limited(sk, &sk.lens())
+}
+
+/// Why a thread can never pass its blocking check.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum StuckReason {
+    /// Even if every unexecuted increment in the whole program were
+    /// delivered, the counter could not reach the waited level.
+    InsufficientIncrements {
+        /// Maximum value the counter could ever reach: achieved value plus
+        /// every increment remaining in any thread's unexecuted suffix.
+        max_possible: Value,
+    },
+    /// Enough increments exist textually, but the threads holding them are
+    /// themselves blocked — a deadlock cycle.
+    WaitsOn {
+        /// Blocked threads holding unexecuted increments of this counter.
+        threads: Vec<usize>,
+    },
+}
+
+/// One thread stuck at the fixpoint frontier.
+#[derive(Clone, Debug)]
+pub struct BlockedThread {
+    /// The check the thread is stuck at.
+    pub at: OpRef,
+    /// The counter it waits on.
+    pub counter: CounterId,
+    /// The level it waits for.
+    pub level: Value,
+    /// The counter's maximum achievable value (at the fixpoint).
+    pub value: Value,
+    /// Why the check can never be satisfied.
+    pub reason: StuckReason,
+}
+
+/// A whole-program deadlock: the maximal cut leaves threads blocked.
+///
+/// This is the static analogue of [`mc_counter::StallVerdict::NeverSatisfiable`]:
+/// every blocked thread here is stuck in **all** schedules, by confluence of
+/// the monotone fixpoint.
+#[derive(Clone, Debug)]
+pub struct DeadlockFinding {
+    /// Every thread stuck at the frontier.
+    pub blocked: Vec<BlockedThread>,
+    /// A wait-for cycle among blocked threads, if one exists.
+    pub cycle: Option<Vec<usize>>,
+    /// A witness schedule: executing exactly these operations (in order)
+    /// leaves every blocked thread stuck with no enabled operation left.
+    pub witness: Vec<OpRef>,
+}
+
+impl DeadlockFinding {
+    /// Render the finding with skeleton names.
+    pub fn render(&self, sk: &Skeleton) -> String {
+        let mut out = String::new();
+        out.push_str("deadlock: maximal cut leaves threads blocked\n");
+        for b in &self.blocked {
+            out.push_str(&format!(
+                "  {} — {} has max achievable value {}",
+                sk.describe(b.at),
+                sk.counter_name(b.counter),
+                b.value
+            ));
+            match &b.reason {
+                StuckReason::InsufficientIncrements { max_possible } => {
+                    out.push_str(&format!(
+                        " (even with every remaining increment: {max_possible} < {})\n",
+                        b.level
+                    ));
+                }
+                StuckReason::WaitsOn { threads } => {
+                    let names: Vec<&str> = threads.iter().map(|&t| sk.thread_name(t)).collect();
+                    out.push_str(&format!(
+                        " (remaining increments held by blocked {})\n",
+                        names.join(", ")
+                    ));
+                }
+            }
+        }
+        if let Some(cycle) = &self.cycle {
+            let names: Vec<&str> = cycle.iter().map(|&t| sk.thread_name(t)).collect();
+            out.push_str(&format!("  wait-for cycle: {}\n", names.join(" -> ")));
+        }
+        out.push_str(&format!(
+            "  witness schedule ({} ops) reaches the stuck state\n",
+            self.witness.len()
+        ));
+        out
+    }
+}
+
+impl fmt::Display for DeadlockFinding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "deadlock: {} thread(s) blocked at the maximal cut",
+            self.blocked.len()
+        )
+    }
+}
+
+/// Run the fixpoint and classify any stuck threads.
+///
+/// Returns `None` when every thread runs to completion in the maximal cut —
+/// which, by monotonicity, means no schedule of the skeleton can deadlock.
+pub fn deadlock_analysis(sk: &Skeleton) -> Option<DeadlockFinding> {
+    let lens = sk.lens();
+    let cut = greedy_cut_limited(sk, &lens);
+    if cut.complete(&lens) {
+        return None;
+    }
+
+    // Remaining (unexecuted) increments per counter, and which blocked
+    // thread holds them.
+    let ncounters = sk.num_counters();
+    let mut remaining = vec![0 as Value; ncounters];
+    let mut holders: Vec<Vec<usize>> = vec![Vec::new(); ncounters];
+    for t in 0..sk.num_threads() {
+        for op in &sk.ops(t)[cut.positions[t]..] {
+            if let Op::Inc { counter, amount } = *op {
+                remaining[counter.0] = remaining[counter.0].saturating_add(amount);
+                if !holders[counter.0].contains(&t) {
+                    holders[counter.0].push(t);
+                }
+            }
+        }
+    }
+
+    let mut blocked = Vec::new();
+    let mut waits_on: Vec<(usize, Vec<usize>)> = Vec::new();
+    for (t, (&pos, &len)) in cut.positions.iter().zip(lens.iter()).enumerate() {
+        if pos >= len {
+            continue;
+        }
+        let at = OpRef {
+            thread: t,
+            index: pos,
+        };
+        let Op::Check { counter, level } = sk.op(at) else {
+            unreachable!("fixpoint can only block on Check");
+        };
+        let value = cut.values[counter.0];
+        let max_possible = value.saturating_add(remaining[counter.0]);
+        let reason = if max_possible < level {
+            StuckReason::InsufficientIncrements { max_possible }
+        } else {
+            let threads = holders[counter.0].clone();
+            waits_on.push((t, threads.clone()));
+            StuckReason::WaitsOn { threads }
+        };
+        blocked.push(BlockedThread {
+            at,
+            counter,
+            level,
+            value,
+            reason,
+        });
+    }
+
+    let cycle = find_cycle(&waits_on);
+    Some(DeadlockFinding {
+        blocked,
+        cycle,
+        witness: cut.schedule,
+    })
+}
+
+/// Find a cycle in the blocked-thread wait-for graph, if any.
+fn find_cycle(edges: &[(usize, Vec<usize>)]) -> Option<Vec<usize>> {
+    // Walk successor chains; a revisited node closes a cycle. The graph is
+    // tiny (blocked threads only), so a simple path walk per start suffices.
+    let succ = |t: usize| -> &[usize] {
+        edges
+            .iter()
+            .find(|(from, _)| *from == t)
+            .map(|(_, to)| to.as_slice())
+            .unwrap_or(&[])
+    };
+    for &(start, _) in edges {
+        let mut path = vec![start];
+        let mut cur = start;
+        // Follow the first blocked successor at each node (deterministic
+        // walk).
+        while let Some(&next) = succ(cur)
+            .iter()
+            .find(|&&n| !succ(n).is_empty() || n == start)
+        {
+            if let Some(pos) = path.iter().position(|&p| p == next) {
+                let mut cycle = path[pos..].to_vec();
+                cycle.push(next);
+                return Some(cycle);
+            }
+            path.push(next);
+            cur = next;
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::SkeletonBuilder;
+
+    #[test]
+    fn complete_program_has_exact_values() {
+        let mut b = SkeletonBuilder::new();
+        let c = b.counter("c");
+        b.thread("a").inc(c, 2).check(c, 3);
+        b.thread("b").check(c, 1).inc(c, 1);
+        let sk = b.build();
+        let cut = greedy_cut(&sk);
+        assert!(cut.complete(&sk.lens()));
+        assert_eq!(cut.values, vec![3]);
+        assert!(deadlock_analysis(&sk).is_none());
+    }
+
+    #[test]
+    fn insufficient_increments_detected() {
+        let mut b = SkeletonBuilder::new();
+        let c = b.counter("c");
+        b.thread("a").inc(c, 1).check(c, 5);
+        let sk = b.build();
+        let finding = deadlock_analysis(&sk).expect("must deadlock");
+        assert_eq!(finding.blocked.len(), 1);
+        assert_eq!(
+            finding.blocked[0].reason,
+            StuckReason::InsufficientIncrements { max_possible: 1 }
+        );
+        assert!(finding.cycle.is_none());
+    }
+
+    #[test]
+    fn cross_wait_cycle_detected() {
+        let mut b = SkeletonBuilder::new();
+        let c = b.counter("c");
+        let d = b.counter("d");
+        b.thread("a").check(d, 1).inc(c, 1);
+        b.thread("b").check(c, 1).inc(d, 1);
+        let sk = b.build();
+        let finding = deadlock_analysis(&sk).expect("must deadlock");
+        assert_eq!(finding.blocked.len(), 2);
+        let cycle = finding.cycle.expect("cycle exists");
+        assert!(cycle.len() >= 2);
+        for b in &finding.blocked {
+            assert!(matches!(b.reason, StuckReason::WaitsOn { .. }));
+        }
+    }
+
+    #[test]
+    fn truncation_limits_respected() {
+        let mut b = SkeletonBuilder::new();
+        let c = b.counter("c");
+        b.thread("a").inc(c, 1).inc(c, 1);
+        b.thread("b").check(c, 2);
+        let sk = b.build();
+        let cut = greedy_cut_limited(&sk, &[1, 1]);
+        assert_eq!(cut.positions, vec![1, 0]);
+        assert_eq!(cut.values, vec![1]);
+    }
+}

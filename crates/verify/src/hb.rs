@@ -1,0 +1,136 @@
+//! Static must-happen-before: ordering that holds in **all** interleavings.
+//!
+//! The key fact, again from monotonicity: operation `b` of thread `u` can
+//! execute before operation `a` of thread `t` in *some* schedule iff `b` is
+//! reachable in the maximal cut of the skeleton with thread `t` truncated
+//! just before `a`. (If `b` is reachable without `a`, greedily run that
+//! schedule first and then let `t` continue; conversely any schedule placing
+//! `b` before `a` is itself such a truncated execution.) So
+//!
+//! > `a` must-happen-before `b`  ⟺  `b` is **not** reachable with `a`'s
+//! > thread truncated at `a`.
+//!
+//! One greedy fixpoint per (thread, position) pair precomputes every query,
+//! including transitive chains through third threads — no explicit closure
+//! is needed.
+
+use crate::fixpoint::greedy_cut_limited;
+use crate::ir::{OpRef, Skeleton};
+
+/// Precomputed must-happen-before relation for one skeleton.
+pub struct MustOrder {
+    lens: Vec<usize>,
+    /// `cuts[t][i][u]` = position thread `u` reaches when thread `t` is
+    /// truncated just before its operation `i`.
+    cuts: Vec<Vec<Vec<usize>>>,
+}
+
+impl MustOrder {
+    /// Build the relation; costs one fixpoint run per operation.
+    pub fn new(sk: &Skeleton) -> Self {
+        let lens = sk.lens();
+        let mut cuts = Vec::with_capacity(lens.len());
+        for (t, &len) in lens.iter().enumerate() {
+            let mut per_pos = Vec::with_capacity(len);
+            for i in 0..len {
+                let mut limits = lens.clone();
+                limits[t] = i;
+                per_pos.push(greedy_cut_limited(sk, &limits).positions);
+            }
+            cuts.push(per_pos);
+        }
+        MustOrder { lens, cuts }
+    }
+
+    /// Does `a` execute before `b` in **every** schedule that executes both?
+    pub fn must_precede(&self, a: OpRef, b: OpRef) -> bool {
+        if a.thread == b.thread {
+            return a.index < b.index;
+        }
+        // b unreachable when a's thread stops short of a  ⇒  every schedule
+        // executing b has already executed a.
+        b.index >= self.cuts[a.thread][a.index][b.thread]
+    }
+
+    /// Are the two operations ordered (one way or the other) in all
+    /// schedules?
+    pub fn ordered(&self, a: OpRef, b: OpRef) -> bool {
+        self.must_precede(a, b) || self.must_precede(b, a)
+    }
+
+    /// The positions every other thread can reach when `a`'s thread is
+    /// truncated just before `a`.
+    pub fn truncated_positions(&self, a: OpRef) -> &[usize] {
+        &self.cuts[a.thread][a.index]
+    }
+
+    /// Number of fixpoint runs the precomputation performed.
+    pub fn runs(&self) -> usize {
+        self.lens.iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::SkeletonBuilder;
+
+    fn r(thread: usize, index: usize) -> OpRef {
+        OpRef { thread, index }
+    }
+
+    #[test]
+    fn counter_edge_orders_across_threads() {
+        let mut b = SkeletonBuilder::new();
+        let c = b.counter("c");
+        let x = b.var("x");
+        b.thread("w").write(x).inc(c, 1);
+        b.thread("r").check(c, 1).read(x);
+        let sk = b.build();
+        let mo = MustOrder::new(&sk);
+        // write -> inc -> check -> read is forced.
+        assert!(mo.must_precede(r(0, 0), r(1, 1)));
+        assert!(mo.must_precede(r(0, 1), r(1, 0)));
+        // The reverse is impossible.
+        assert!(!mo.must_precede(r(1, 1), r(0, 0)));
+        assert!(mo.ordered(r(0, 0), r(1, 1)));
+    }
+
+    #[test]
+    fn unguarded_accesses_are_unordered() {
+        let mut b = SkeletonBuilder::new();
+        let x = b.var("x");
+        b.thread("a").write(x);
+        b.thread("b").read(x);
+        let sk = b.build();
+        let mo = MustOrder::new(&sk);
+        assert!(!mo.ordered(r(0, 0), r(1, 0)));
+    }
+
+    #[test]
+    fn transitive_chain_through_third_thread() {
+        let mut b = SkeletonBuilder::new();
+        let c = b.counter("c");
+        let d = b.counter("d");
+        let x = b.var("x");
+        b.thread("a").write(x).inc(c, 1);
+        b.thread("relay").check(c, 1).inc(d, 1);
+        b.thread("b").check(d, 1).read(x);
+        let sk = b.build();
+        let mo = MustOrder::new(&sk);
+        // a's write is ordered before b's read only via the relay.
+        assert!(mo.must_precede(r(0, 0), r(2, 1)));
+        assert!(mo.ordered(r(0, 0), r(2, 1)));
+    }
+
+    #[test]
+    fn program_order_is_must_order() {
+        let mut b = SkeletonBuilder::new();
+        let x = b.var("x");
+        b.thread("a").write(x).read(x);
+        let sk = b.build();
+        let mo = MustOrder::new(&sk);
+        assert!(mo.must_precede(r(0, 0), r(0, 1)));
+        assert!(!mo.must_precede(r(0, 1), r(0, 0)));
+    }
+}

@@ -1,0 +1,174 @@
+//! Protocol mutations for validating the verifier: each mutation injects a
+//! classic counter-protocol bug into a skeleton, and the analyses must
+//! report it (cross-validated against dynamic exploration in the
+//! integration tests).
+
+use crate::ir::{Op, OpRef, Skeleton};
+
+/// A single protocol-breaking edit.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Mutation {
+    /// Remove an increment (the thread "forgets" to arrive).
+    DropIncrement(OpRef),
+    /// Reduce an increment's amount by one (partial arrival).
+    ReduceAmount(OpRef),
+    /// Swap a check with the operation following it in program order
+    /// (the guard fires too late).
+    ReorderCheckAfterNext(OpRef),
+    /// Remove a check entirely (unguarded access).
+    DropCheck(OpRef),
+}
+
+impl Mutation {
+    /// The position the mutation edits.
+    pub fn site(&self) -> OpRef {
+        match *self {
+            Mutation::DropIncrement(r)
+            | Mutation::ReduceAmount(r)
+            | Mutation::ReorderCheckAfterNext(r)
+            | Mutation::DropCheck(r) => r,
+        }
+    }
+
+    /// Apply to a copy of the skeleton.
+    pub fn apply(&self, sk: &Skeleton) -> Skeleton {
+        let mut out = sk.clone();
+        let r = self.site();
+        let ops = &mut out.threads[r.thread].ops;
+        match *self {
+            Mutation::DropIncrement(_) => {
+                debug_assert!(matches!(ops[r.index], Op::Inc { .. }));
+                ops.remove(r.index);
+            }
+            Mutation::ReduceAmount(_) => {
+                let Op::Inc { counter, amount } = ops[r.index] else {
+                    panic!("ReduceAmount must target an Inc");
+                };
+                debug_assert!(amount >= 1);
+                ops[r.index] = Op::Inc {
+                    counter,
+                    amount: amount - 1,
+                };
+            }
+            Mutation::ReorderCheckAfterNext(_) => {
+                debug_assert!(matches!(ops[r.index], Op::Check { .. }));
+                debug_assert!(r.index + 1 < ops.len());
+                ops.swap(r.index, r.index + 1);
+            }
+            Mutation::DropCheck(_) => {
+                debug_assert!(matches!(ops[r.index], Op::Check { .. }));
+                ops.remove(r.index);
+            }
+        }
+        out
+    }
+
+    /// Human-readable description against the original skeleton.
+    pub fn describe(&self, sk: &Skeleton) -> String {
+        let kind = match self {
+            Mutation::DropIncrement(_) => "drop increment",
+            Mutation::ReduceAmount(_) => "reduce amount",
+            Mutation::ReorderCheckAfterNext(_) => "reorder check after next op",
+            Mutation::DropCheck(_) => "drop check",
+        };
+        format!("{kind} at {}", sk.describe(self.site()))
+    }
+}
+
+/// Enumerate every applicable mutation of a skeleton.
+///
+/// `ReduceAmount` is only generated for amounts >= 2 (reducing a 1 to a 0
+/// is equivalent to `DropIncrement` for the analyses).
+/// `ReorderCheckAfterNext` is only generated when the following operation
+/// is not itself a check (swapping two checks is a no-op for reachability).
+pub fn all_mutations(sk: &Skeleton) -> Vec<Mutation> {
+    let mut out = Vec::new();
+    for t in 0..sk.num_threads() {
+        let ops = sk.ops(t);
+        for (i, op) in ops.iter().enumerate() {
+            let r = OpRef {
+                thread: t,
+                index: i,
+            };
+            match *op {
+                Op::Inc { amount, .. } => {
+                    out.push(Mutation::DropIncrement(r));
+                    if amount >= 2 {
+                        out.push(Mutation::ReduceAmount(r));
+                    }
+                }
+                Op::Check { level, .. } => {
+                    if level > 0 {
+                        out.push(Mutation::DropCheck(r));
+                    }
+                    if i + 1 < ops.len() && !matches!(ops[i + 1], Op::Check { .. }) {
+                        out.push(Mutation::ReorderCheckAfterNext(r));
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::SkeletonBuilder;
+    use crate::verdict::verify;
+
+    fn producer_consumer() -> Skeleton {
+        let mut b = SkeletonBuilder::new();
+        let c = b.counter("done");
+        let x = b.var("x");
+        b.thread("producer").write(x).inc(c, 2);
+        b.thread("consumer").check(c, 2).read(x);
+        b.build()
+    }
+
+    #[test]
+    fn every_mutation_of_producer_consumer_is_rejected() {
+        let sk = producer_consumer();
+        assert!(verify(&sk).is_certified());
+        let muts = all_mutations(&sk);
+        // inc: drop + reduce; check: drop + reorder.
+        assert_eq!(muts.len(), 4);
+        for m in muts {
+            let mutant = m.apply(&sk);
+            let v = verify(&mutant);
+            assert!(
+                !v.is_certified(),
+                "mutation `{}` should be caught",
+                m.describe(&sk)
+            );
+        }
+    }
+
+    #[test]
+    fn drop_increment_causes_deadlock_finding() {
+        let sk = producer_consumer();
+        let mutant = Mutation::DropIncrement(OpRef {
+            thread: 0,
+            index: 1,
+        })
+        .apply(&sk);
+        let v = verify(&mutant);
+        let rej = v.rejection().unwrap();
+        assert!(rej.deadlock.is_some());
+    }
+
+    #[test]
+    fn reorder_check_causes_race_finding() {
+        let sk = producer_consumer();
+        // Swap consumer's check with its read: the read is now unguarded.
+        let mutant = Mutation::ReorderCheckAfterNext(OpRef {
+            thread: 1,
+            index: 0,
+        })
+        .apply(&sk);
+        let v = verify(&mutant);
+        let rej = v.rejection().unwrap();
+        assert!(!rej.races.is_empty());
+    }
+}

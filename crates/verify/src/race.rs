@@ -1,0 +1,288 @@
+//! Static race analysis: prove every conflicting shared-variable access pair
+//! is ordered by counter edges in all interleavings, or produce a concrete
+//! unordered schedule.
+
+use crate::fixpoint::{greedy_cut_limited, Cut};
+use crate::hb::MustOrder;
+use crate::ir::{Op, OpRef, Skeleton, VarId};
+
+/// Whether an access reads or writes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AccessKind {
+    /// Shared-variable read.
+    Read,
+    /// Shared-variable write.
+    Write,
+}
+
+/// A pair of conflicting accesses not ordered by counter synchronization.
+#[derive(Clone, Debug)]
+pub struct RaceFinding {
+    /// The variable both accesses touch.
+    pub var: VarId,
+    /// The access that fires *first* in the witness schedule — chosen as the
+    /// textually *later* access so the witness demonstrates order reversal.
+    pub first: (OpRef, AccessKind),
+    /// The access appended at the end of the witness schedule.
+    pub second: (OpRef, AccessKind),
+    /// A minimal executable schedule fragment in which `first` executes and
+    /// then `second` executes immediately after — demonstrating the pair is
+    /// unordered (program order alone would run `second`'s thread earlier).
+    pub witness: Vec<OpRef>,
+}
+
+impl RaceFinding {
+    /// Render the finding with skeleton names.
+    pub fn render(&self, sk: &Skeleton) -> String {
+        let mut out = format!(
+            "race on {}: {} and {} are unordered\n",
+            sk.var_name(self.var),
+            sk.describe(self.first.0),
+            sk.describe(self.second.0),
+        );
+        out.push_str("  witness schedule (unordered fragment):\n");
+        for r in &self.witness {
+            out.push_str(&format!("    {}\n", sk.describe(*r)));
+        }
+        out
+    }
+}
+
+/// Check every conflicting pair of reachable accesses.
+///
+/// `full` must be the untruncated maximal cut (accesses beyond it can never
+/// execute and so cannot race). Returns the unordered pairs; an empty vector
+/// is a proof of determinacy of shared-variable contents (Section 6): every
+/// write is ordered with every conflicting access in all interleavings, so
+/// each read observes the same writer in every schedule.
+pub fn race_analysis(sk: &Skeleton, mo: &MustOrder, full: &Cut) -> Vec<RaceFinding> {
+    // Collect reachable accesses per variable.
+    let mut accesses: Vec<Vec<(OpRef, AccessKind)>> = vec![Vec::new(); sk.num_vars()];
+    for t in 0..sk.num_threads() {
+        for (i, op) in sk.ops(t).iter().enumerate() {
+            let r = OpRef {
+                thread: t,
+                index: i,
+            };
+            if !full.reached(r) {
+                break;
+            }
+            if let Some((var, is_write)) = op.accessed_var() {
+                let kind = if is_write {
+                    AccessKind::Write
+                } else {
+                    AccessKind::Read
+                };
+                accesses[var.0].push((r, kind));
+            }
+        }
+    }
+
+    let mut findings = Vec::new();
+    for (v, accs) in accesses.iter().enumerate() {
+        for (ai, &(a, ka)) in accs.iter().enumerate() {
+            for &(b, kb) in &accs[ai + 1..] {
+                if a.thread == b.thread {
+                    continue;
+                }
+                if ka == AccessKind::Read && kb == AccessKind::Read {
+                    continue;
+                }
+                if mo.ordered(a, b) {
+                    continue;
+                }
+                // Unordered conflicting pair. Build a witness in which the
+                // pair executes in *reverse* of the natural (thread-index)
+                // order, demonstrating both orders are schedulable. `a`
+                // belongs to the lower-indexed thread, so run `b` first.
+                findings.push(make_finding(sk, VarId(v), (a, ka), (b, kb)));
+            }
+        }
+    }
+    findings
+}
+
+/// Build the witness: truncate `late`'s thread just before `late`, greedily
+/// run (this must execute `early` since the pair is unordered), prune the
+/// schedule to the operations actually needed, then append `late`.
+fn make_finding(
+    sk: &Skeleton,
+    var: VarId,
+    late: (OpRef, AccessKind),
+    early: (OpRef, AccessKind),
+) -> RaceFinding {
+    let (a, _) = late;
+    let (b, _) = early;
+    let mut limits = sk.lens();
+    limits[a.thread] = a.index;
+    let cut = greedy_cut_limited(sk, &limits);
+    debug_assert!(cut.reached(b), "unordered pair must be co-reachable");
+    debug_assert!(
+        cut.positions[a.thread] == a.index,
+        "late thread reaches its access"
+    );
+
+    // Prune to minimal per-thread prefixes, then re-run the fixpoint on just
+    // those prefixes so the emitted schedule is executable by construction.
+    // If pruning accidentally cut an op the orderings need, fall back to the
+    // full truncated schedule (always executable).
+    let needed = prune(sk, &cut, a, b);
+    let pruned = greedy_cut_limited(sk, &needed);
+    let mut witness = if pruned.positions == needed {
+        pruned.schedule
+    } else {
+        cut.schedule.clone()
+    };
+    witness.push(a);
+    RaceFinding {
+        var,
+        first: early,
+        second: late,
+        witness,
+    }
+}
+
+/// Compute minimal per-thread prefixes that still execute `b` and enable `a`:
+/// program-order predecessors of both, plus (transitively) enough increments
+/// to satisfy every check inside the kept prefixes.
+fn prune(sk: &Skeleton, cut: &Cut, a: OpRef, b: OpRef) -> Vec<usize> {
+    let mut needed = vec![0usize; sk.num_threads()];
+    needed[a.thread] = needed[a.thread].max(a.index); // a appended separately
+    needed[b.thread] = needed[b.thread].max(b.index + 1);
+    loop {
+        // Total increments supplied by the kept prefixes, per counter.
+        let mut supplied = vec![0u64; sk.num_counters()];
+        for (t, &kept) in needed.iter().enumerate() {
+            for op in &sk.ops(t)[..kept] {
+                if let Op::Inc { counter, amount } = *op {
+                    supplied[counter.0] += amount;
+                }
+            }
+        }
+        // Find an unsatisfied check inside a kept prefix.
+        let mut deficit: Option<(usize, u64)> = None; // (counter, still missing)
+        'scan: for (t, &kept) in needed.iter().enumerate() {
+            for op in &sk.ops(t)[..kept] {
+                if let Op::Check { counter, level } = *op {
+                    if supplied[counter.0] < level {
+                        deficit = Some((counter.0, level - supplied[counter.0]));
+                        break 'scan;
+                    }
+                }
+            }
+        }
+        let Some((counter, mut missing)) = deficit else {
+            return needed;
+        };
+        // Extend prefixes with further increments of that counter, taking
+        // them in greedy-schedule order (earliest available first).
+        let mut extended = false;
+        for r in &cut.schedule {
+            if missing == 0 {
+                break;
+            }
+            if r.index < needed[r.thread] {
+                continue; // already kept
+            }
+            if let Op::Inc { counter: c, amount } = sk.op(*r) {
+                if c.0 == counter {
+                    needed[r.thread] = needed[r.thread].max(r.index + 1);
+                    missing = missing.saturating_sub(amount);
+                    extended = true;
+                }
+            }
+        }
+        debug_assert!(
+            extended,
+            "greedy schedule satisfied every check it executed, so increments must exist"
+        );
+        if !extended {
+            return needed; // defensive: fall back to unpruned prefixes
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixpoint::greedy_cut;
+    use crate::ir::SkeletonBuilder;
+
+    #[test]
+    fn guarded_pair_is_race_free() {
+        let mut b = SkeletonBuilder::new();
+        let c = b.counter("c");
+        let x = b.var("x");
+        b.thread("w").write(x).inc(c, 1);
+        b.thread("r").check(c, 1).read(x);
+        let sk = b.build();
+        let mo = MustOrder::new(&sk);
+        let full = greedy_cut(&sk);
+        assert!(race_analysis(&sk, &mo, &full).is_empty());
+    }
+
+    #[test]
+    fn unguarded_pair_reported_with_executable_witness() {
+        let mut b = SkeletonBuilder::new();
+        let c = b.counter("c");
+        let x = b.var("x");
+        // Reader checks level 0: a no-op guard.
+        b.thread("w").write(x).inc(c, 1);
+        b.thread("r").check(c, 0).read(x);
+        let sk = b.build();
+        let mo = MustOrder::new(&sk);
+        let full = greedy_cut(&sk);
+        let findings = race_analysis(&sk, &mo, &full);
+        assert_eq!(findings.len(), 1);
+        let f = &findings[0];
+        assert_eq!(sk.var_name(f.var), "x");
+        // The witness must execute the read before the write.
+        let read = OpRef {
+            thread: 1,
+            index: 1,
+        };
+        let write = OpRef {
+            thread: 0,
+            index: 0,
+        };
+        let pos_read = f.witness.iter().position(|r| *r == read).unwrap();
+        let pos_write = f.witness.iter().position(|r| *r == write).unwrap();
+        assert!(pos_read < pos_write);
+    }
+
+    #[test]
+    fn witness_is_pruned_to_relevant_threads() {
+        let mut b = SkeletonBuilder::new();
+        let c = b.counter("c");
+        let x = b.var("x");
+        let y = b.var("y");
+        b.thread("w").write(x);
+        b.thread("r").read(x);
+        // An unrelated well-synchronized pair that should not bloat the witness.
+        b.thread("other-w").write(y).inc(c, 1);
+        b.thread("other-r").check(c, 1).read(y);
+        let sk = b.build();
+        let mo = MustOrder::new(&sk);
+        let full = greedy_cut(&sk);
+        let findings = race_analysis(&sk, &mo, &full);
+        assert_eq!(findings.len(), 1);
+        for r in &findings[0].witness {
+            assert!(
+                r.thread < 2,
+                "witness should only involve the racing threads"
+            );
+        }
+    }
+
+    #[test]
+    fn two_unordered_writes_race() {
+        let mut b = SkeletonBuilder::new();
+        let x = b.var("x");
+        b.thread("a").write(x);
+        b.thread("b").write(x);
+        let sk = b.build();
+        let mo = MustOrder::new(&sk);
+        let full = greedy_cut(&sk);
+        assert_eq!(race_analysis(&sk, &mo, &full).len(), 1);
+    }
+}

@@ -1,0 +1,287 @@
+//! Top-level verification: run all three analyses and produce either a
+//! determinacy certificate or a rejection with concrete counterexamples.
+
+use std::fmt;
+
+use mc_counter::Value;
+
+use crate::fixpoint::{deadlock_analysis, greedy_cut, DeadlockFinding};
+use crate::hb::MustOrder;
+use crate::ir::Skeleton;
+use crate::race::{race_analysis, AccessKind, RaceFinding};
+use crate::seqeq::{sequential_equivalence, SeqEqViolation};
+
+/// Proof summary for a skeleton that passed the whole-program analyses.
+///
+/// What the certificate asserts, for **every** interleaving of the skeleton:
+///
+/// 1. *Deadlock-freedom* — every thread runs to completion (the monotone
+///    fixpoint reaches the end of every thread).
+/// 2. *Determinacy* — every pair of conflicting shared-variable accesses is
+///    ordered by counter edges, so each read observes the same write and each
+///    variable's final writer is the same in all schedules (Section 6).
+///
+/// Additionally, [`sequentially_equivalent`](Certificate::sequentially_equivalent)
+/// records whether the Section 6 theorem's *sequential* precondition also
+/// holds: executing the threads one after another in declared order
+/// satisfies every check, in which case the (unique) concurrent result
+/// equals the sequential one. Protocols with cyclic neighbour dependencies
+/// (heat, odd–even sort, Floyd–Warshall) are deterministic but genuinely
+/// concurrent: no serial order of whole threads can execute them.
+#[derive(Clone, Debug)]
+pub struct Certificate {
+    /// Threads in the skeleton.
+    pub threads: usize,
+    /// Total operations analysed.
+    pub ops: usize,
+    /// Counters in the skeleton.
+    pub counters: usize,
+    /// Shared variables in the skeleton.
+    pub vars: usize,
+    /// Final value of every counter (identical in all schedules, by
+    /// confluence of the monotone fixpoint).
+    pub final_values: Vec<Value>,
+    /// Whether declared thread order satisfies every check it reaches
+    /// (`None`), or the first check it fails (`Some`).
+    pub seq_eq_violation: Option<SeqEqViolation>,
+    /// Conflicting access pairs proved ordered.
+    pub pairs_proved: usize,
+    /// Checks discharged by the fixpoint.
+    pub checks_discharged: usize,
+    /// Fixpoint runs performed by the must-happen-before precomputation.
+    pub fixpoint_runs: usize,
+}
+
+impl Certificate {
+    /// True when the Section 6 sequential precondition also holds.
+    pub fn sequentially_equivalent(&self) -> bool {
+        self.seq_eq_violation.is_none()
+    }
+}
+
+impl fmt::Display for Certificate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "determinacy certificate: {} threads / {} ops / {} counters / {} vars; \
+             {} conflicting pairs ordered, {} checks discharged, {} fixpoint runs; \
+             sequentially equivalent: {}",
+            self.threads,
+            self.ops,
+            self.counters,
+            self.vars,
+            self.pairs_proved,
+            self.checks_discharged,
+            self.fixpoint_runs,
+            self.seq_eq_violation.is_none()
+        )
+    }
+}
+
+/// Everything the analyses found wrong with a skeleton.
+///
+/// A skeleton is rejected on a deadlock or a race — both falsify the
+/// certificate's all-interleavings guarantees. A sequential-equivalence
+/// violation alone does not reject (see [`Certificate`]); when the skeleton
+/// is rejected anyway, the violation is included here for completeness.
+#[derive(Clone, Debug, Default)]
+pub struct Rejection {
+    /// Deadlock at the maximal cut, if any.
+    pub deadlock: Option<DeadlockFinding>,
+    /// Unordered conflicting access pairs, each with a witness schedule.
+    pub races: Vec<RaceFinding>,
+    /// Sequential-order check failure, if any.
+    pub seq_eq: Option<SeqEqViolation>,
+}
+
+impl Rejection {
+    /// Render every finding with skeleton names.
+    pub fn render(&self, sk: &Skeleton) -> String {
+        let mut out = String::new();
+        if let Some(d) = &self.deadlock {
+            out.push_str(&d.render(sk));
+        }
+        for r in &self.races {
+            out.push_str(&r.render(sk));
+        }
+        if let Some(s) = &self.seq_eq {
+            out.push_str(&s.render(sk));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Total number of findings.
+    pub fn count(&self) -> usize {
+        self.deadlock.is_some() as usize + self.races.len() + self.seq_eq.is_some() as usize
+    }
+}
+
+impl fmt::Display for Rejection {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "rejected: deadlock={}, races={}, seq-eq-violation={}",
+            self.deadlock.is_some(),
+            self.races.len(),
+            self.seq_eq.is_some()
+        )
+    }
+}
+
+/// Result of [`verify`].
+#[derive(Clone, Debug)]
+pub enum Verdict {
+    /// All three analyses passed.
+    Certified(Certificate),
+    /// At least one analysis found a violation.
+    Rejected(Rejection),
+}
+
+impl Verdict {
+    /// True if the skeleton was certified.
+    pub fn is_certified(&self) -> bool {
+        matches!(self, Verdict::Certified(_))
+    }
+
+    /// The certificate, if certified.
+    pub fn certificate(&self) -> Option<&Certificate> {
+        match self {
+            Verdict::Certified(c) => Some(c),
+            Verdict::Rejected(_) => None,
+        }
+    }
+
+    /// The rejection, if rejected.
+    pub fn rejection(&self) -> Option<&Rejection> {
+        match self {
+            Verdict::Certified(_) => None,
+            Verdict::Rejected(r) => Some(r),
+        }
+    }
+
+    /// Render the verdict with skeleton names.
+    pub fn render(&self, sk: &Skeleton) -> String {
+        match self {
+            Verdict::Certified(c) => c.to_string(),
+            Verdict::Rejected(r) => r.render(sk),
+        }
+    }
+}
+
+/// Run all three static analyses on a skeleton.
+pub fn verify(sk: &Skeleton) -> Verdict {
+    // (1) Monotone fixpoint: deadlock / never-satisfiable checks.
+    let deadlock = deadlock_analysis(sk);
+
+    // (2) Static happens-before race analysis over reachable accesses.
+    let full = greedy_cut(sk);
+    let mo = MustOrder::new(sk);
+    let races = race_analysis(sk, &mo, &full);
+
+    // (3) Sequential-equivalence precondition (informative; see Rejection).
+    let seq_eq_violation = sequential_equivalence(sk).err();
+
+    if deadlock.is_some() || !races.is_empty() {
+        return Verdict::Rejected(Rejection {
+            deadlock,
+            races,
+            seq_eq: seq_eq_violation,
+        });
+    }
+
+    let checks_discharged = full
+        .schedule
+        .iter()
+        .filter(|r| matches!(sk.op(**r), crate::ir::Op::Check { .. }))
+        .count();
+    let pairs_proved = count_conflicting_pairs(sk, &full);
+    Verdict::Certified(Certificate {
+        threads: sk.num_threads(),
+        ops: sk.total_ops(),
+        counters: sk.num_counters(),
+        vars: sk.num_vars(),
+        final_values: full.values,
+        seq_eq_violation,
+        pairs_proved,
+        checks_discharged,
+        fixpoint_runs: mo.runs() + 1,
+    })
+}
+
+/// Count conflicting (cross-thread, at-least-one-write) reachable pairs —
+/// after a clean race analysis every one of them is proved ordered.
+fn count_conflicting_pairs(sk: &Skeleton, full: &crate::fixpoint::Cut) -> usize {
+    let mut accesses: Vec<Vec<(usize, AccessKind)>> = vec![Vec::new(); sk.num_vars()];
+    for t in 0..sk.num_threads() {
+        for (i, op) in sk.ops(t).iter().enumerate() {
+            let r = crate::ir::OpRef {
+                thread: t,
+                index: i,
+            };
+            if !full.reached(r) {
+                break;
+            }
+            if let Some((var, is_write)) = op.accessed_var() {
+                let kind = if is_write {
+                    AccessKind::Write
+                } else {
+                    AccessKind::Read
+                };
+                accesses[var.0].push((t, kind));
+            }
+        }
+    }
+    let mut pairs = 0;
+    for accs in &accesses {
+        for (i, &(t1, k1)) in accs.iter().enumerate() {
+            for &(t2, k2) in &accs[i + 1..] {
+                if t1 != t2 && (k1 == AccessKind::Write || k2 == AccessKind::Write) {
+                    pairs += 1;
+                }
+            }
+        }
+    }
+    pairs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::SkeletonBuilder;
+
+    #[test]
+    fn producer_consumer_certified() {
+        let mut b = SkeletonBuilder::new();
+        let c = b.counter("done");
+        let x = b.var("x");
+        b.thread("producer").write(x).inc(c, 1);
+        b.thread("consumer").check(c, 1).read(x);
+        let sk = b.build();
+        let v = verify(&sk);
+        let cert = v.certificate().expect("should certify");
+        assert_eq!(cert.final_values, vec![1]);
+        assert_eq!(cert.pairs_proved, 1);
+        assert_eq!(cert.checks_discharged, 1);
+        assert!(cert.sequentially_equivalent());
+    }
+
+    #[test]
+    fn all_three_analyses_fire() {
+        let mut b = SkeletonBuilder::new();
+        let c = b.counter("c");
+        let d = b.counter("never");
+        let x = b.var("x");
+        // Thread order q-then-p violates seq-eq; x is unguarded; d never
+        // reaches 1.
+        b.thread("q").check(c, 1).write(x).check(d, 1);
+        b.thread("p").inc(c, 1).write(x);
+        let sk = b.build();
+        let r = verify(&sk);
+        let rej = r.rejection().expect("should reject");
+        assert!(rej.deadlock.is_some());
+        assert_eq!(rej.races.len(), 1);
+        assert!(rej.seq_eq.is_some());
+        assert!(rej.render(&sk).contains("race on x"));
+    }
+}

@@ -1,0 +1,105 @@
+//! The supervisor's *dynamic* stall diagnosis must agree with the *static*
+//! deadlock verdict on the same skeleton.
+//!
+//! `run_concrete` executes a skeleton on real `Counter`s with no upfront
+//! obligations and waits for quiescence; by monotonicity the quiescent state
+//! is exactly the static greedy fixpoint. At that point:
+//!
+//! * statically complete  ⇒ every thread finished and every counter `Idle`;
+//! * statically stuck     ⇒ the blocked threads match, each blocking counter
+//!   is diagnosed `NeverSatisfiable`, and — crucially — *nothing* is
+//!   diagnosed `Slow`: a quiescent stall is never misread as slowness.
+
+use std::time::Duration;
+
+use mc_counter::StallVerdict;
+use mc_verify::concrete::run_concrete;
+use mc_verify::{all_mutations, greedy_cut, models, verify, Verdict};
+
+const TIMEOUT: Duration = Duration::from_secs(30);
+
+#[test]
+fn complete_models_finish_idle() {
+    for (name, sk) in models::corpus() {
+        assert!(verify(&sk).is_certified(), "{name} should certify");
+        let run = run_concrete(&sk, TIMEOUT);
+        assert!(run.completed, "{name}: concrete run should complete");
+        assert_eq!(run.blocked_threads, 0, "{name}");
+        for cr in &run.report.counters {
+            assert_eq!(
+                cr.verdict,
+                StallVerdict::Idle,
+                "{name}: counter {} not idle at completion",
+                cr.name
+            );
+        }
+    }
+}
+
+#[test]
+fn statically_stuck_mutants_are_diagnosed_never_satisfiable() {
+    let mut exercised = 0usize;
+    for (name, sk) in models::corpus() {
+        // Concrete runs spawn real threads and poll for quiescence; a few
+        // deadlocking mutants per model keep the test fast while covering
+        // every model's counter topology.
+        let mut per_model = 0usize;
+        for m in all_mutations(&sk) {
+            if per_model == 3 {
+                break;
+            }
+            let mutant = m.apply(&sk);
+            let Verdict::Rejected(rej) = verify(&mutant) else {
+                continue;
+            };
+            let Some(dl) = &rej.deadlock else {
+                continue;
+            };
+            per_model += 1;
+            exercised += 1;
+            let label = format!("{name} + {}", m.describe(&sk));
+
+            let run = run_concrete(&mutant, TIMEOUT);
+            assert!(!run.completed, "{label}: statically stuck but completed");
+            assert_eq!(
+                run.blocked_threads,
+                dl.blocked.len(),
+                "{label}: blocked-thread count disagrees with the static finding"
+            );
+
+            // Quiescence == greedy fixpoint: counter values must match it
+            // exactly, so the diagnosis is taken in the maximal cut.
+            let cut = greedy_cut(&mutant);
+            for cr in &run.report.counters {
+                let idx = (0..mutant.num_counters())
+                    .find(|&i| mutant.counter_name(mc_verify::CounterId(i)) == cr.name)
+                    .expect("report names a registered counter");
+                assert_eq!(
+                    cr.value, cut.values[idx],
+                    "{label}: counter {} not at its fixpoint value",
+                    cr.name
+                );
+            }
+
+            // Every counter a statically-blocked thread waits on must be
+            // called NeverSatisfiable, and nothing may be called Slow.
+            let stuck: Vec<&str> = run.report.stuck().iter().map(|c| c.name.as_str()).collect();
+            for b in &dl.blocked {
+                let cname = mutant.counter_name(b.counter);
+                assert!(
+                    stuck.contains(&cname),
+                    "{label}: {cname} blocks a thread but is not NeverSatisfiable"
+                );
+            }
+            for cr in &run.report.counters {
+                assert_ne!(
+                    cr.verdict,
+                    StallVerdict::Slow,
+                    "{label}: counter {} misdiagnosed Slow in a quiescent stall",
+                    cr.name
+                );
+            }
+        }
+    }
+    assert!(exercised >= 8, "too few deadlocking mutants: {exercised}");
+}

@@ -1,0 +1,133 @@
+//! Cross-validation of the static verifier against bounded dynamic
+//! exploration.
+//!
+//! `mc-verify` claims its verdicts hold over **all** interleavings; the
+//! monotonicity of counter operations is what makes the claim checkable
+//! (greedy execution is confluent, so deadlock is schedule-independent).
+//! These tests confront every verdict with `mc-chaos`'s seeded random
+//! scheduler, over the whole model corpus *and* every single-op mutation of
+//! it, and require zero disagreements in either direction:
+//!
+//! * certified       ⇒ every sampled run completes with the same outcome;
+//! * deadlock found  ⇒ *no* sampled run completes, and the static witness
+//!   replays to the exact stuck frontier;
+//! * race found      ⇒ the static witness schedule really executes, with the
+//!   reversed access order it claims to demonstrate;
+//! * sampled nondeterminism or incompletion ⇒ the skeleton was rejected.
+
+use mc_chaos::{explore_skeleton, replay_schedule};
+use mc_verify::{all_mutations, models, verify, Verdict};
+
+const SEEDS: std::ops::Range<u64> = 0..32;
+
+/// One direction of the agreement check: every dynamic observation must be
+/// compatible with the static verdict, and every static counterexample must
+/// replay dynamically. Panics with the model/mutation name on disagreement.
+fn check_agreement(name: &str, sk: &mc_verify::Skeleton) {
+    let verdict = verify(sk);
+    let outcomes = explore_skeleton(sk, SEEDS);
+    let all_complete = outcomes.iter().all(|(o, _, _)| o.completed);
+    let none_complete = outcomes.iter().all(|(o, _, _)| !o.completed);
+
+    match &verdict {
+        Verdict::Certified(_) => {
+            // Determinacy + deadlock-freedom were proved for all
+            // interleavings; 32 sampled interleavings must not contradict.
+            assert!(
+                all_complete,
+                "{name}: certified statically but a sampled run deadlocked"
+            );
+            assert!(
+                outcomes.is_deterministic(),
+                "{name}: certified statically but dynamically nondeterministic \
+                 ({} distinct outcomes)",
+                outcomes.distinct()
+            );
+        }
+        Verdict::Rejected(rej) => {
+            if let Some(dl) = &rej.deadlock {
+                // Deadlock on this IR is schedule-independent: every maximal
+                // execution gets stuck at the same frontier.
+                assert!(
+                    none_complete,
+                    "{name}: statically stuck-forever but a sampled run completed"
+                );
+                // The witness schedule must be executable and must end at
+                // the stuck frontier the finding describes.
+                let out = replay_schedule(sk, &dl.witness)
+                    .unwrap_or_else(|e| panic!("{name}: deadlock witness not executable: {e}"));
+                assert!(!out.completed);
+                for b in &dl.blocked {
+                    assert_eq!(
+                        out.stopped_at[b.at.thread], b.at.index,
+                        "{name}: thread {} should be stuck exactly at its blocked check",
+                        b.at.thread
+                    );
+                }
+            }
+            for race in &rej.races {
+                // The witness demonstrates the unordered pair by executing
+                // `first` strictly before `second` — the reverse of the
+                // natural order — and must be a real schedule.
+                replay_schedule(sk, &race.witness)
+                    .unwrap_or_else(|e| panic!("{name}: race witness not executable: {e}"));
+                let pos_first = race.witness.iter().position(|r| *r == race.first.0);
+                let pos_second = race.witness.iter().position(|r| *r == race.second.0);
+                match (pos_first, pos_second) {
+                    (Some(f), Some(s)) => assert!(
+                        f < s,
+                        "{name}: race witness must run the reversed order it claims"
+                    ),
+                    _ => panic!("{name}: race witness omits one of the racing accesses"),
+                }
+            }
+            assert!(
+                rej.deadlock.is_some() || !rej.races.is_empty(),
+                "{name}: rejection must carry a concrete finding"
+            );
+        }
+    }
+
+    // The opposite direction, stated once more without reference to the
+    // verdict shape: any dynamically observed misbehaviour requires a
+    // rejection.
+    if !all_complete || !outcomes.is_deterministic() {
+        assert!(
+            !verdict.is_certified(),
+            "{name}: dynamic exploration observed misbehaviour the verifier missed"
+        );
+    }
+}
+
+#[test]
+fn corpus_models_agree_with_dynamic_exploration() {
+    for (name, sk) in models::corpus() {
+        check_agreement(name, &sk);
+        // All corpus models are known-good; make the baseline explicit.
+        assert!(verify(&sk).is_certified(), "{name} should certify");
+    }
+}
+
+#[test]
+fn all_corpus_mutations_agree_with_dynamic_exploration() {
+    let mut total = 0usize;
+    let mut rejected = 0usize;
+    for (name, sk) in models::corpus() {
+        for m in all_mutations(&sk) {
+            let mutant = m.apply(&sk);
+            let label = format!("{name} + {}", m.describe(&sk));
+            check_agreement(&label, &mutant);
+            total += 1;
+            if !verify(&mutant).is_certified() {
+                rejected += 1;
+            }
+        }
+    }
+    // The sweep must actually exercise both branches: plenty of mutations,
+    // and a substantial share of them caught.
+    assert!(total > 100, "mutation sweep too small: {total}");
+    assert!(
+        rejected * 2 > total,
+        "suspiciously few mutations caught: {rejected}/{total}"
+    );
+}
