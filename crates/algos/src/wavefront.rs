@@ -54,7 +54,7 @@ pub fn lcs_wavefront(a: &[u8], b: &[u8], bands: usize, block: usize) -> u32 {
     let boundaries: Vec<Vec<AtomicU32>> = (0..bands)
         .map(|_| (0..n + 1).map(|_| AtomicU32::new(0)).collect())
         .collect();
-    let progress: Vec<Counter> = (0..bands).map(|_| Counter::new()).collect();
+    let progress: Vec<Counter> = (0..bands).map(|_| Counter::default()).collect();
 
     std::thread::scope(|scope| {
         for (t, rows) in row_bands.iter().cloned().enumerate() {

@@ -16,11 +16,11 @@ fn bench_ops(c: &mut Criterion) {
 
     // Uncontended operations on an empty counter.
     group.bench_function("increment_uncontended", |b| {
-        let c = Counter::new();
+        let c = Counter::default();
         b.iter(|| c.increment(1));
     });
     group.bench_function("check_satisfied", |b| {
-        let c = Counter::new();
+        let c = Counter::default();
         c.increment(u64::MAX / 2);
         let mut level = 0u64;
         b.iter(|| {
@@ -35,7 +35,7 @@ fn bench_ops(c: &mut Criterion) {
             BenchmarkId::new("increment0_with_waiters", levels),
             &levels,
             |b, &levels| {
-                let c = Arc::new(Counter::new());
+                let c = Arc::new(Counter::default());
                 let mut handles = Vec::new();
                 for i in 0..levels {
                     let c = Arc::clone(&c);

@@ -23,7 +23,7 @@ fn bench_increment(c: &mut Criterion) {
         .measurement_time(Duration::from_secs(1));
 
     group.bench_function("waitlist_fastpath", |b| {
-        let c = Counter::new();
+        let c = Counter::default();
         b.iter(|| c.increment(1));
     });
     group.bench_function("waitlist_mutex_only", |b| {
@@ -31,19 +31,19 @@ fn bench_increment(c: &mut Criterion) {
         b.iter(|| c.increment(1));
     });
     group.bench_function("btree", |b| {
-        let c = BTreeCounter::new();
+        let c = BTreeCounter::default();
         b.iter(|| c.increment(1));
     });
     group.bench_function("parking_lot", |b| {
-        let c = ParkingCounter::new();
+        let c = ParkingCounter::default();
         b.iter(|| c.increment(1));
     });
     group.bench_function("atomic", |b| {
-        let c = AtomicCounter::new();
+        let c = AtomicCounter::default();
         b.iter(|| c.increment(1));
     });
     group.bench_function("spin", |b| {
-        let c = SpinCounter::new();
+        let c = SpinCounter::default();
         b.iter(|| c.increment(1));
     });
     group.finish();
@@ -109,7 +109,7 @@ fn bench_slow_path(c: &mut Criterion) {
     // takes the slow path: this is the fast path's worst case and should
     // cost about the same as the mutex-only ablation's increments.
     group.bench_function("waitlist_fastpath", |b| {
-        let c = Arc::new(Counter::new());
+        let c = Arc::new(Counter::default());
         let c2 = Arc::clone(&c);
         let h = std::thread::spawn(move || c2.check(u64::MAX / 2));
         while c.stats().live_waiters == 0 {

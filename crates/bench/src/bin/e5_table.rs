@@ -18,7 +18,7 @@ use std::sync::Arc;
 /// release_time).
 fn park_and_release(threads: usize, levels: usize) -> (u64, u64, std::time::Duration) {
     assert!(levels <= threads);
-    let c = Arc::new(Counter::new());
+    let c = Arc::new(Counter::default());
     let mut handles = Vec::with_capacity(threads);
     for i in 0..threads {
         let c = Arc::clone(&c);
@@ -92,7 +92,7 @@ fn main() {
     );
     let sweep: &[usize] = if quick { &[0, 64] } else { &[0, 16, 256, 1024] };
     for &l in sweep {
-        let c = Arc::new(Counter::new());
+        let c = Arc::new(Counter::default());
         let mut handles = Vec::new();
         for i in 0..l {
             let c = Arc::clone(&c);

@@ -126,37 +126,49 @@ fn main() {
     );
     let fast = bench_impl::<Counter>(
         "waitlist fast-path",
-        &Counter::new,
+        &Counter::default,
         &mut table,
         quick,
         Some(&base),
     );
-    bench_impl::<BTreeCounter>("btree", &BTreeCounter::new, &mut table, quick, Some(&base));
+    bench_impl::<BTreeCounter>(
+        "btree",
+        &BTreeCounter::default,
+        &mut table,
+        quick,
+        Some(&base),
+    );
     bench_impl::<ParkingCounter>(
         "parking_lot",
-        &ParkingCounter::new,
+        &ParkingCounter::default,
         &mut table,
         quick,
         Some(&base),
     );
     bench_impl::<AtomicCounter>(
         "atomic-fastpath",
-        &AtomicCounter::new,
+        &AtomicCounter::default,
         &mut table,
         quick,
         Some(&base),
     );
-    bench_impl::<SpinCounter>("spin", &SpinCounter::new, &mut table, quick, Some(&base));
+    bench_impl::<SpinCounter>(
+        "spin",
+        &SpinCounter::default,
+        &mut table,
+        quick,
+        Some(&base),
+    );
     bench_impl::<NaiveCounter>(
         "naive-broadcast",
-        &NaiveCounter::new,
+        &NaiveCounter::default,
         &mut table,
         quick,
         Some(&base),
     );
     bench_impl::<MonitorCounter>(
         "monitor",
-        &MonitorCounter::new,
+        &MonitorCounter::default,
         &mut table,
         quick,
         Some(&base),

@@ -65,7 +65,7 @@ fn open(tag: &str, mode: DurabilityMode) -> DurableCounter<Counter> {
 /// Per-op nanoseconds for `ops` uncontended in-memory increments.
 fn time_memory(ops: usize, runs: usize) -> f64 {
     let t = median(runs, || {
-        let c = Counter::new();
+        let c = Counter::default();
         let start = Instant::now();
         for _ in 0..ops {
             c.increment(1);

@@ -8,7 +8,7 @@ use mc_counter::{CounterSnapshot, MonotonicCounter, TracingCounter};
 use std::sync::Arc;
 
 fn main() {
-    let c = Arc::new(TracingCounter::new());
+    let c = Arc::new(TracingCounter::default());
     println!("Figure 2: the structure of counter c after each operation.\n");
     println!("(a) construction:               {}", c.snapshot());
 

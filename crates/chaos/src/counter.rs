@@ -26,7 +26,7 @@ use std::time::Duration;
 /// use std::sync::Arc;
 ///
 /// let chaos = Arc::new(Chaos::new(42));
-/// let c = ChaosCounter::new(Counter::new(), chaos);
+/// let c = ChaosCounter::new(Counter::default(), chaos);
 /// c.increment(1);
 /// c.check(1);
 /// ```
@@ -186,7 +186,7 @@ mod tests {
     #[test]
     fn semantics_preserved_under_jitter() {
         let chaos = Arc::new(Chaos::new(99));
-        let c = Arc::new(ChaosCounter::new(Counter::new(), Arc::clone(&chaos)));
+        let c = Arc::new(ChaosCounter::new(Counter::default(), Arc::clone(&chaos)));
         let c2 = Arc::clone(&c);
         let h = std::thread::spawn(move || c2.check(10));
         for _ in 0..10 {
@@ -200,7 +200,7 @@ mod tests {
     #[test]
     fn timeout_and_overflow_pass_through() {
         let chaos = Arc::new(Chaos::new(1));
-        let c = ChaosCounter::new(Counter::new(), chaos);
+        let c = ChaosCounter::new(Counter::default(), chaos);
         assert!(c.check_timeout(5, Duration::from_millis(10)).is_err());
         c.increment(u64::MAX);
         assert!(c.try_increment(1).is_err());
@@ -209,7 +209,7 @@ mod tests {
     #[test]
     fn advance_and_reset_pass_through() {
         let chaos = Arc::new(Chaos::new(1));
-        let mut c = ChaosCounter::new(Counter::new(), chaos);
+        let mut c = ChaosCounter::new(Counter::default(), chaos);
         c.advance_to(7);
         assert_eq!(c.debug_value(), 7);
         c.reset();
@@ -230,7 +230,7 @@ mod tests {
     #[test]
     fn abandon_fault_poisons_on_the_nth_increment() {
         let chaos = Arc::new(Chaos::new(11));
-        let c = ChaosCounter::with_abandon_after(Counter::new(), chaos, 3);
+        let c = ChaosCounter::with_abandon_after(Counter::default(), chaos, 3);
         c.increment(1);
         c.increment(1);
         assert!(c.poison_info().is_none());
@@ -246,7 +246,11 @@ mod tests {
     #[test]
     fn abandon_fault_releases_blocked_waiters() {
         let chaos = Arc::new(Chaos::new(12));
-        let c = Arc::new(ChaosCounter::with_abandon_after(Counter::new(), chaos, 2));
+        let c = Arc::new(ChaosCounter::with_abandon_after(
+            Counter::default(),
+            chaos,
+            2,
+        ));
         let c2 = Arc::clone(&c);
         let h = std::thread::spawn(move || c2.wait(10));
         while c.waiters().is_empty() {
@@ -260,7 +264,7 @@ mod tests {
     #[test]
     fn unarmed_wrapper_never_faults() {
         let chaos = Arc::new(Chaos::new(13));
-        let c = ChaosCounter::new(Counter::new(), chaos);
+        let c = ChaosCounter::new(Counter::default(), chaos);
         for _ in 0..1000 {
             c.increment(1);
         }

@@ -1,7 +1,7 @@
 //! The Section 6 determinacy claims, tested across perturbed schedules.
 
 use mc_chaos::{explore, Chaos, ChaosCounter};
-use mc_counter::{Counter, CounterExt, MonotonicCounter};
+use mc_counter::{Counter, CounterExt, MonotonicCounter, ShardedCounter};
 use std::sync::{Arc, Mutex};
 
 /// The Section 5.2 ordered accumulation, run under a chaos-wrapped counter:
@@ -10,7 +10,7 @@ use std::sync::{Arc, Mutex};
 fn ordered_accumulation_deterministic_across_seeds() {
     let outcomes = explore(0..40, |seed| {
         let chaos = Arc::new(Chaos::new(seed));
-        let counter = Arc::new(ChaosCounter::new(Counter::new(), chaos));
+        let counter = Arc::new(ChaosCounter::new(Counter::default(), chaos));
         let log = Arc::new(Mutex::new(Vec::new()));
         std::thread::scope(|s| {
             for i in (0..12u64).rev() {
@@ -31,7 +31,7 @@ fn ordered_accumulation_deterministic_across_seeds() {
 fn section6_example_deterministic_across_seeds() {
     let outcomes = explore(0..60, |seed| {
         let chaos = Arc::new(Chaos::new(seed));
-        let c = Arc::new(ChaosCounter::new(Counter::new(), chaos));
+        let c = Arc::new(ChaosCounter::new(Counter::default(), chaos));
         let x = Arc::new(Mutex::new(3i64));
         std::thread::scope(|s| {
             let (c1, x1) = (Arc::clone(&c), Arc::clone(&x));
@@ -61,7 +61,7 @@ fn section6_example_deterministic_across_seeds() {
 fn unchained_variant_shows_both_interleavings() {
     let outcomes = explore(0..200, |seed| {
         let chaos = Arc::new(Chaos::new(seed));
-        let c = Arc::new(ChaosCounter::new(Counter::new(), Arc::clone(&chaos)));
+        let c = Arc::new(ChaosCounter::new(Counter::default(), Arc::clone(&chaos)));
         let x = Arc::new(Mutex::new(3i64));
         std::thread::scope(|s| {
             let (c1, x1, ch1) = (Arc::clone(&c), Arc::clone(&x), Arc::clone(&chaos));
@@ -144,7 +144,7 @@ fn floyd_warshall_like_chain_deterministic() {
     // each "iteration" publishes the next row value.
     let outcomes = explore(0..25, |seed| {
         let chaos = Arc::new(Chaos::new(seed));
-        let c = Arc::new(ChaosCounter::new(Counter::new(), chaos));
+        let c = Arc::new(ChaosCounter::new(Counter::default(), chaos));
         let rows = Arc::new(Mutex::new(vec![0u64; 9]));
         std::thread::scope(|s| {
             for t in 0..3 {
@@ -165,4 +165,43 @@ fn floyd_warshall_like_chain_deterministic() {
         Arc::try_unwrap(rows).unwrap().into_inner().unwrap()
     });
     assert!(outcomes.is_deterministic(), "{outcomes}");
+}
+
+/// The sharded counter's combiner racing its waiters under perturbed
+/// schedules: the ordered accumulation stays deterministic even though
+/// increments park in striped cells before publication, and a waiter-free
+/// burst between rounds forces the lazy-combine path into the mix.
+#[test]
+fn sharded_combiner_vs_waiters_deterministic_across_seeds() {
+    let outcomes = explore(0..40, |seed| {
+        let chaos = Arc::new(Chaos::new(seed));
+        let sharded = ShardedCounter::builder().shards(4).build();
+        let counter = Arc::new(ChaosCounter::new(sharded, chaos));
+        let log = Arc::new(Mutex::new(Vec::new()));
+        std::thread::scope(|s| {
+            // A lazy burst first: deltas sit in cells until the combiner (or
+            // a later waiter registration) publishes them.
+            {
+                let counter = Arc::clone(&counter);
+                s.spawn(move || {
+                    for _ in 0..100 {
+                        counter.increment(1);
+                    }
+                });
+            }
+            for i in (0..12u64).rev() {
+                let (counter, log) = (Arc::clone(&counter), Arc::clone(&log));
+                s.spawn(move || {
+                    // Sequence above the burst so every waiter must observe
+                    // published-burst state plus the chain.
+                    counter.check(100 + i);
+                    log.lock().unwrap().push(i);
+                    counter.increment(1);
+                });
+            }
+        });
+        Arc::try_unwrap(log).unwrap().into_inner().unwrap()
+    });
+    assert!(outcomes.is_deterministic(), "{outcomes}");
+    assert_eq!(outcomes.unique(), Some(&(0..12u64).collect::<Vec<_>>()));
 }

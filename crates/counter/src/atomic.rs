@@ -14,6 +14,7 @@
 //! (same fast-path cost, weaker orderings, and one fewer word to reason
 //! about). See the `fastpath` module docs for the missed-wakeup argument.
 
+use crate::builder::{BuildConfig, Buildable, CounterBuilder};
 use crate::error::{CheckError, CheckTimeoutError, CounterOverflowError, FailureInfo};
 use crate::fastpath::{FastAdvance, FastIncrement, FastWord, FAST_CAP};
 use crate::node::WaitNode;
@@ -44,31 +45,46 @@ pub struct AtomicCounter {
     fast: FastWord,
     inner: Mutex<Inner>,
     stats: Stats,
+    poison_enabled: bool,
 }
 
 impl Default for AtomicCounter {
     fn default() -> Self {
-        Self::new()
+        Self::builder().build()
+    }
+}
+
+impl Buildable for AtomicCounter {
+    fn from_config(cfg: &BuildConfig) -> Self {
+        AtomicCounter {
+            fast: FastWord::new(cfg.initial()),
+            inner: Mutex::new(Inner {
+                wide: cfg.initial(),
+                waiting: BTreeMap::new(),
+                poisoned: None,
+            }),
+            stats: Stats::with_enabled(cfg.stats_enabled()),
+            poison_enabled: cfg.poison_propagates(),
+        }
     }
 }
 
 impl AtomicCounter {
+    /// Starts building a counter; see [`CounterBuilder`].
+    pub fn builder() -> CounterBuilder<Self> {
+        CounterBuilder::new()
+    }
+
     /// Creates a counter with value zero and no waiting threads.
+    #[deprecated(note = "use CounterBuilder: `AtomicCounter::builder().build()`")]
     pub fn new() -> Self {
-        Self::with_value(0)
+        Self::builder().build()
     }
 
     /// Creates a counter starting at `value`.
+    #[deprecated(note = "use CounterBuilder: `AtomicCounter::builder().initial(value).build()`")]
     pub fn with_value(value: Value) -> Self {
-        AtomicCounter {
-            fast: FastWord::new(value),
-            inner: Mutex::new(Inner {
-                wide: value,
-                waiting: BTreeMap::new(),
-                poisoned: None,
-            }),
-            stats: Stats::default(),
-        }
+        Self::builder().initial(value).build()
     }
 
     fn lock(&self) -> MutexGuard<'_, Inner> {
@@ -292,6 +308,9 @@ impl MonotonicCounter for AtomicCounter {
     }
 
     fn poison(&self, info: FailureInfo) {
+        if !self.poison_enabled {
+            return;
+        }
         let swept = {
             let mut inner = self.lock();
             if inner.poisoned.is_some() {
@@ -322,7 +341,7 @@ impl MonotonicCounter for AtomicCounter {
 
 impl ResumableCounter for AtomicCounter {
     fn resume_from(value: Value) -> Self {
-        Self::with_value(value)
+        Self::builder().initial(value).build()
     }
 }
 
@@ -373,7 +392,7 @@ mod tests {
 
     #[test]
     fn fast_path_check_takes_no_suspension() {
-        let c = AtomicCounter::new();
+        let c = AtomicCounter::default();
         c.increment(5);
         c.check(5);
         c.check(0);
@@ -386,7 +405,7 @@ mod tests {
 
     #[test]
     fn slow_path_wait_and_wake() {
-        let c = Arc::new(AtomicCounter::new());
+        let c = Arc::new(AtomicCounter::default());
         let c2 = Arc::clone(&c);
         let h = thread::spawn(move || c2.check(9));
         while c.stats().live_waiters == 0 {
@@ -408,7 +427,7 @@ mod tests {
         // Race increments against checks at all levels; every check must
         // terminate. Run several rounds to exercise the waiters-bit protocol.
         for _ in 0..20 {
-            let c = Arc::new(AtomicCounter::new());
+            let c = Arc::new(AtomicCounter::default());
             let mut handles = Vec::new();
             for level in 1..=8u64 {
                 let c = Arc::clone(&c);
@@ -431,7 +450,7 @@ mod tests {
 
     #[test]
     fn overflow_detected_in_cas_loop() {
-        let c = AtomicCounter::new();
+        let c = AtomicCounter::default();
         c.increment(u64::MAX - 1);
         assert!(c.try_increment(5).is_err());
         c.increment(1);
@@ -440,7 +459,7 @@ mod tests {
 
     #[test]
     fn timeout_clears_flag_when_last_waiter_leaves() {
-        let c = AtomicCounter::new();
+        let c = AtomicCounter::default();
         assert!(c.check_timeout(3, Duration::from_millis(20)).is_err());
         assert_eq!(c.stats().live_nodes, 0);
         // Counter still fully functional and back on the fast path.
@@ -451,7 +470,7 @@ mod tests {
 
     #[test]
     fn poison_propagates_through_the_fast_word() {
-        let c = Arc::new(AtomicCounter::new());
+        let c = Arc::new(AtomicCounter::default());
         let c2 = Arc::clone(&c);
         let h = thread::spawn(move || c2.wait(6));
         while c.stats().live_waiters == 0 {
@@ -468,7 +487,7 @@ mod tests {
 
     #[test]
     fn exact_values_above_the_hint_cap() {
-        let c = AtomicCounter::with_value(FAST_CAP);
+        let c = AtomicCounter::builder().initial(FAST_CAP).build();
         assert_eq!(c.debug_value(), FAST_CAP);
         c.increment(1);
         assert_eq!(c.debug_value(), FAST_CAP + 1);

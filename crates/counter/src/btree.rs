@@ -5,6 +5,7 @@
 //! path; level lookup on the slow path is O(log L) rather than O(L).
 //! Experiment E7 ablates this choice.
 
+use crate::builder::{BuildConfig, Buildable, CounterBuilder};
 use crate::error::{CheckError, CheckTimeoutError, CounterOverflowError, FailureInfo};
 use crate::fastpath::{FastAdvance, FastIncrement, FastWord, FAST_CAP};
 use crate::node::WaitNode;
@@ -33,31 +34,46 @@ pub struct BTreeCounter {
     fast: FastWord,
     inner: Mutex<Inner>,
     stats: Stats,
+    poison_enabled: bool,
 }
 
 impl Default for BTreeCounter {
     fn default() -> Self {
-        Self::new()
+        Self::builder().build()
+    }
+}
+
+impl Buildable for BTreeCounter {
+    fn from_config(cfg: &BuildConfig) -> Self {
+        BTreeCounter {
+            fast: FastWord::new(cfg.initial()),
+            inner: Mutex::new(Inner {
+                wide: cfg.initial(),
+                waiting: BTreeMap::new(),
+                poisoned: None,
+            }),
+            stats: Stats::with_enabled(cfg.stats_enabled()),
+            poison_enabled: cfg.poison_propagates(),
+        }
     }
 }
 
 impl BTreeCounter {
+    /// Starts building a counter; see [`CounterBuilder`].
+    pub fn builder() -> CounterBuilder<Self> {
+        CounterBuilder::new()
+    }
+
     /// Creates a counter with value zero and no waiting threads.
+    #[deprecated(note = "use CounterBuilder: `BTreeCounter::builder().build()`")]
     pub fn new() -> Self {
-        Self::with_value(0)
+        Self::builder().build()
     }
 
     /// Creates a counter starting at `value`.
+    #[deprecated(note = "use CounterBuilder: `BTreeCounter::builder().initial(value).build()`")]
     pub fn with_value(value: Value) -> Self {
-        BTreeCounter {
-            fast: FastWord::new(value),
-            inner: Mutex::new(Inner {
-                wide: value,
-                waiting: BTreeMap::new(),
-                poisoned: None,
-            }),
-            stats: Stats::default(),
-        }
+        Self::builder().initial(value).build()
     }
 
     fn lock(&self) -> MutexGuard<'_, Inner> {
@@ -288,6 +304,9 @@ impl MonotonicCounter for BTreeCounter {
     }
 
     fn poison(&self, info: FailureInfo) {
+        if !self.poison_enabled {
+            return;
+        }
         let swept = {
             let mut inner = self.lock();
             if inner.poisoned.is_some() {
@@ -318,7 +337,7 @@ impl MonotonicCounter for BTreeCounter {
 
 impl ResumableCounter for BTreeCounter {
     fn resume_from(value: Value) -> Self {
-        Self::with_value(value)
+        Self::builder().initial(value).build()
     }
 }
 
@@ -369,7 +388,7 @@ mod tests {
 
     #[test]
     fn basic_wait_and_wake() {
-        let c = Arc::new(BTreeCounter::new());
+        let c = Arc::new(BTreeCounter::default());
         let c2 = Arc::clone(&c);
         let h = thread::spawn(move || c2.check(10));
         while c.stats().live_waiters == 0 {
@@ -404,7 +423,7 @@ mod tests {
 
     #[test]
     fn timeout_cleans_map_entry() {
-        let c = BTreeCounter::new();
+        let c = BTreeCounter::default();
         assert!(c.check_timeout(9, Duration::from_millis(30)).is_err());
         assert_eq!(c.stats().live_nodes, 0);
         // The abandoned waiter must also clear the waiters bit so increments
@@ -415,7 +434,7 @@ mod tests {
 
     #[test]
     fn distinct_levels_distinct_nodes() {
-        let c = Arc::new(BTreeCounter::new());
+        let c = Arc::new(BTreeCounter::default());
         let mut handles = Vec::new();
         for level in [3u64, 6, 9] {
             let c = Arc::clone(&c);
@@ -433,7 +452,7 @@ mod tests {
 
     #[test]
     fn poison_wakes_and_frees_all_nodes() {
-        let c = Arc::new(BTreeCounter::new());
+        let c = Arc::new(BTreeCounter::default());
         let mut handles = Vec::new();
         for level in [4u64, 8, 12] {
             let c = Arc::clone(&c);
@@ -457,7 +476,7 @@ mod tests {
 
     #[test]
     fn waiter_free_workload_stays_on_fast_path() {
-        let c = BTreeCounter::with_value(5);
+        let c = BTreeCounter::builder().initial(5).build();
         c.check(3);
         c.increment(4);
         c.advance_to(100);

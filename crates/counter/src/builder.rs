@@ -1,0 +1,245 @@
+//! [`CounterBuilder`]: the single construction path for every counter
+//! implementation.
+//!
+//! Before the builder, each implementation grew its own ad-hoc constructors
+//! (`new`, `with_value`, tracing and ablation variants), and adding a knob
+//! meant touching every one of them. The builder centralizes construction:
+//!
+//! ```
+//! use mc_counter::{Counter, ShardedCounter, MonotonicCounter};
+//!
+//! let c = Counter::builder().initial(10).build();
+//! c.check(10);
+//!
+//! let s = ShardedCounter::builder()
+//!     .shards(8)       // increment stripes (sharded counters only)
+//!     .capacity(256)   // max unpublished backlog per stripe
+//!     .build();
+//! s.increment(1);
+//! ```
+//!
+//! Every implementation accepts every knob; knobs that do not apply to an
+//! implementation (e.g. `shards` on a mutex-only counter) are documented as
+//! ignored rather than rejected, so generic code can configure a
+//! `CounterBuilder<C>` without knowing `C`. The legacy `new`/`with_value`
+//! constructors remain as deprecated shims forwarding here.
+
+use crate::Value;
+use std::marker::PhantomData;
+
+/// What [`MonotonicCounter::poison`](crate::MonotonicCounter::poison) does.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PoisonPolicy {
+    /// Record the failure and wake all blocked waiters with
+    /// [`CheckError::Poisoned`](crate::CheckError::Poisoned) — the default,
+    /// and the PR-2 failure-propagation semantics.
+    #[default]
+    Propagate,
+    /// Ignore `poison` calls entirely: waits keep blocking until satisfied.
+    /// For harnesses that inject failures elsewhere and want the counter
+    /// itself inert.
+    Ignore,
+}
+
+/// The resolved knob set a [`CounterBuilder`] hands to
+/// [`Buildable::from_config`].
+///
+/// Public so external implementations of [`Buildable`] can read the knobs;
+/// constructed only through the builder.
+#[derive(Debug, Clone)]
+pub struct BuildConfig {
+    initial: Value,
+    shards: Option<usize>,
+    capacity: Option<usize>,
+    stats: bool,
+    poison: PoisonPolicy,
+}
+
+impl Default for BuildConfig {
+    fn default() -> Self {
+        BuildConfig {
+            initial: 0,
+            shards: None,
+            capacity: None,
+            stats: true,
+            poison: PoisonPolicy::Propagate,
+        }
+    }
+}
+
+impl BuildConfig {
+    /// The starting value (default 0).
+    pub fn initial(&self) -> Value {
+        self.initial
+    }
+
+    /// Requested increment-stripe count, if set. Only sharded
+    /// implementations consult it.
+    pub fn shards(&self) -> Option<usize> {
+        self.shards
+    }
+
+    /// Requested capacity bound, if set. For sharded implementations this
+    /// bounds the unpublished per-stripe backlog; others ignore it.
+    pub fn capacity(&self) -> Option<usize> {
+        self.capacity
+    }
+
+    /// Whether statistics collection is on (default true).
+    pub fn stats_enabled(&self) -> bool {
+        self.stats
+    }
+
+    /// The poison policy (default [`PoisonPolicy::Propagate`]).
+    pub fn poison_policy(&self) -> PoisonPolicy {
+        self.poison
+    }
+
+    /// Convenience: `poison_policy() == PoisonPolicy::Propagate`.
+    pub fn poison_propagates(&self) -> bool {
+        self.poison == PoisonPolicy::Propagate
+    }
+}
+
+/// Implemented by every counter that can be constructed from a
+/// [`BuildConfig`] — the hook [`CounterBuilder::build`] calls.
+pub trait Buildable: Sized {
+    /// Constructs the counter from the resolved knob set. Implementations
+    /// must honor `initial`, `stats_enabled` and `poison_policy`, and may
+    /// ignore knobs that do not apply to their design (documenting so).
+    fn from_config(cfg: &BuildConfig) -> Self;
+}
+
+/// Fluent construction for any counter implementation.
+///
+/// Obtain one from the implementation's inherent `builder()` method (e.g.
+/// [`Counter::builder`](crate::Counter::builder)) or, in generic code, from
+/// `CounterBuilder::<C>::new()`.
+#[derive(Debug)]
+pub struct CounterBuilder<C: Buildable> {
+    cfg: BuildConfig,
+    _counter: PhantomData<fn() -> C>,
+}
+
+impl<C: Buildable> Default for CounterBuilder<C> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<C: Buildable> CounterBuilder<C> {
+    /// A builder with all knobs at their defaults: initial value 0, stats
+    /// on, poisoning propagates, implementation-chosen shards/capacity.
+    pub fn new() -> Self {
+        CounterBuilder {
+            cfg: BuildConfig::default(),
+            _counter: PhantomData,
+        }
+    }
+
+    /// Starting value (phase-reuse and resume scenarios; equivalent to
+    /// building at 0 and calling `advance_to(value)`).
+    pub fn initial(mut self, value: Value) -> Self {
+        self.cfg.initial = value;
+        self
+    }
+
+    /// Number of increment stripes for sharded implementations (rounded up
+    /// to a power of two; implementation-clamped). Ignored by unsharded
+    /// implementations.
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.cfg.shards = Some(shards);
+        self
+    }
+
+    /// Capacity bound. For sharded implementations: the maximum unpublished
+    /// backlog a stripe may accumulate before a flush is forced. Ignored by
+    /// implementations without internal buffering.
+    pub fn capacity(mut self, capacity: usize) -> Self {
+        self.cfg.capacity = Some(capacity);
+        self
+    }
+
+    /// Turns statistics collection on or off (default on). With stats off,
+    /// [`CounterDiagnostics::stats`](crate::CounterDiagnostics::stats)
+    /// reports zeros — including `live_waiters`, which tests often poll — so
+    /// leave stats on anywhere diagnostics matter.
+    pub fn stats(mut self, enabled: bool) -> Self {
+        self.cfg.stats = enabled;
+        self
+    }
+
+    /// Sets the poison policy (default [`PoisonPolicy::Propagate`]).
+    pub fn poison_policy(mut self, policy: PoisonPolicy) -> Self {
+        self.cfg.poison = policy;
+        self
+    }
+
+    /// Constructs the counter.
+    pub fn build(self) -> C {
+        C::from_config(&self.cfg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{
+        AtomicCounter, BTreeCounter, Counter, CounterDiagnostics, FailureInfo, MonitorCounter,
+        MonotonicCounter, NaiveCounter, ParkingCounter, ShardedCounter, SpinCounter,
+        TracingCounter,
+    };
+
+    fn exercise<C: Buildable + MonotonicCounter + CounterDiagnostics>() {
+        let c = CounterBuilder::<C>::new().initial(5).build();
+        assert_eq!(c.debug_value(), 5);
+        c.increment(2);
+        c.check(7);
+    }
+
+    #[test]
+    fn every_impl_builds_with_initial_value() {
+        exercise::<Counter>();
+        exercise::<BTreeCounter>();
+        exercise::<NaiveCounter>();
+        exercise::<ParkingCounter>();
+        exercise::<AtomicCounter>();
+        exercise::<TracingCounter>();
+        exercise::<SpinCounter>();
+        exercise::<MonitorCounter>();
+        exercise::<ShardedCounter>();
+    }
+
+    #[test]
+    fn stats_off_reports_zeros() {
+        let c = Counter::builder().stats(false).build();
+        c.increment(3);
+        c.check(1);
+        let s = c.stats();
+        assert_eq!(s.increments, 0);
+        assert_eq!(s.checks, 0);
+        assert_eq!(s.slow_path_entries, 0);
+    }
+
+    #[test]
+    fn poison_ignore_keeps_waits_alive() {
+        let c = Counter::builder()
+            .poison_policy(PoisonPolicy::Ignore)
+            .build();
+        c.poison(FailureInfo::new("ignored"));
+        assert!(c.poison_info().is_none());
+        // A satisfied wait still works; an unsatisfied one would block, so
+        // only probe the satisfied side here.
+        c.increment(1);
+        assert_eq!(c.wait(1), Ok(()));
+    }
+
+    #[test]
+    fn defaults_match_the_legacy_constructors() {
+        let built = Counter::builder().build();
+        assert_eq!(built.debug_value(), 0);
+        assert!(built.poison_info().is_none());
+        let snap = built.stats();
+        assert_eq!(snap, crate::StatsSnapshot::default());
+    }
+}

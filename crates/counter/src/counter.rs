@@ -10,6 +10,7 @@
 //! so the mutex is only ever taken when a thread actually suspends or must be
 //! woken.
 
+use crate::builder::{BuildConfig, Buildable, CounterBuilder};
 use crate::error::{CheckError, CheckTimeoutError, CounterOverflowError, FailureInfo};
 use crate::fastpath::{FastAdvance, FastIncrement, FastWord, FAST_CAP};
 use crate::list::SortedList;
@@ -60,7 +61,7 @@ pub(crate) struct Inner {
 ///
 /// ```
 /// use mc_counter::{Counter, MonotonicCounter};
-/// let c = Counter::new();
+/// let c = Counter::builder().build();
 /// c.increment(5);
 /// c.check(5); // already satisfied: returns immediately
 /// ```
@@ -72,6 +73,10 @@ pub struct Counter {
     fast_enabled: bool,
     inner: Mutex<Inner>,
     stats: Stats,
+    /// `false` turns `poison` into a no-op ([`PoisonPolicy::Ignore`]).
+    ///
+    /// [`PoisonPolicy::Ignore`]: crate::PoisonPolicy::Ignore
+    poison_enabled: bool,
     /// When present (via [`crate::TracingCounter`]), a structure snapshot is
     /// appended at every transition, under the lock.
     trace: Option<Arc<TraceLog>>,
@@ -79,7 +84,25 @@ pub struct Counter {
 
 impl Default for Counter {
     fn default() -> Self {
-        Self::new()
+        Self::builder().build()
+    }
+}
+
+impl Buildable for Counter {
+    fn from_config(cfg: &BuildConfig) -> Self {
+        Counter {
+            fast: FastWord::new(cfg.initial()),
+            fast_enabled: true,
+            inner: Mutex::new(Inner {
+                wide: cfg.initial(),
+                waiting: SortedList::new(),
+                draining: Vec::new(),
+                poisoned: None,
+            }),
+            stats: Stats::with_enabled(cfg.stats_enabled()),
+            poison_enabled: cfg.poison_propagates(),
+            trace: None,
+        }
     }
 }
 
@@ -95,26 +118,24 @@ impl std::fmt::Debug for Counter {
 }
 
 impl Counter {
+    /// Starts building a counter: set the knobs, then
+    /// [`build`](CounterBuilder::build).
+    pub fn builder() -> CounterBuilder<Self> {
+        CounterBuilder::new()
+    }
+
     /// Creates a counter with value zero and no waiting threads.
+    #[deprecated(note = "use CounterBuilder: `Counter::builder().build()`")]
     pub fn new() -> Self {
-        Self::with_value(0)
+        Self::builder().build()
     }
 
     /// Creates a counter starting at `value` (phase-reuse and resume
-    /// scenarios; equivalent to `new()` followed by `advance_to(value)`).
+    /// scenarios; equivalent to building at 0 followed by
+    /// `advance_to(value)`).
+    #[deprecated(note = "use CounterBuilder: `Counter::builder().initial(value).build()`")]
     pub fn with_value(value: Value) -> Self {
-        Counter {
-            fast: FastWord::new(value),
-            fast_enabled: true,
-            inner: Mutex::new(Inner {
-                wide: value,
-                waiting: SortedList::new(),
-                draining: Vec::new(),
-                poisoned: None,
-            }),
-            stats: Stats::default(),
-            trace: None,
-        }
+        Self::builder().initial(value).build()
     }
 
     /// Creates a counter with the fast path disabled: every operation takes
@@ -123,7 +144,7 @@ impl Counter {
     pub fn mutex_only() -> Self {
         Counter {
             fast_enabled: false,
-            ..Self::new()
+            ..Self::builder().build()
         }
     }
 
@@ -131,12 +152,12 @@ impl Counter {
     /// log (used by [`crate::TracingCounter`]). Tracing needs every value
     /// transition to appear in the log, so the fast path (which bypasses the
     /// lock, and therefore the log) is disabled.
-    pub(crate) fn new_traced(value: Value) -> (Self, Arc<TraceLog>) {
+    pub(crate) fn new_traced(cfg: &BuildConfig) -> (Self, Arc<TraceLog>) {
         let log = Arc::new(TraceLog::default());
         let counter = Counter {
             trace: Some(Arc::clone(&log)),
             fast_enabled: false,
-            ..Self::with_value(value)
+            ..Self::from_config(cfg)
         };
         counter.record(&counter.lock());
         (counter, log)
@@ -416,6 +437,9 @@ impl MonotonicCounter for Counter {
     }
 
     fn poison(&self, info: FailureInfo) {
+        if !self.poison_enabled {
+            return;
+        }
         let swept = {
             let mut inner = self.lock();
             if inner.poisoned.is_some() {
@@ -455,7 +479,7 @@ impl MonotonicCounter for Counter {
 
 impl ResumableCounter for Counter {
     fn resume_from(value: Value) -> Self {
-        Self::with_value(value)
+        Self::builder().initial(value).build()
     }
 }
 
@@ -520,14 +544,14 @@ mod tests {
 
     #[test]
     fn new_counter_is_zero() {
-        let c = Counter::new();
+        let c = Counter::default();
         assert_eq!(c.debug_value(), 0);
         assert_eq!(c.live_nodes(), 0);
     }
 
     #[test]
     fn with_value_starts_nonzero() {
-        let c = Counter::with_value(17);
+        let c = Counter::builder().initial(17).build();
         assert_eq!(c.debug_value(), 17);
         c.check(17); // immediately satisfied
         c.increment(3);
@@ -536,14 +560,14 @@ mod tests {
 
     #[test]
     fn check_zero_never_suspends() {
-        let c = Counter::new();
+        let c = Counter::default();
         c.check(0);
         assert_eq!(c.stats().immediate_checks, 1);
     }
 
     #[test]
     fn increment_accumulates() {
-        let c = Counter::new();
+        let c = Counter::default();
         c.increment(3);
         c.increment(0);
         c.increment(4);
@@ -553,7 +577,7 @@ mod tests {
 
     #[test]
     fn check_satisfied_level_is_immediate() {
-        let c = Counter::new();
+        let c = Counter::default();
         c.increment(10);
         c.check(10);
         c.check(1);
@@ -565,7 +589,7 @@ mod tests {
 
     #[test]
     fn waiter_free_workload_never_takes_the_lock() {
-        let c = Counter::new();
+        let c = Counter::default();
         for i in 0..100u64 {
             c.increment(1);
             c.check(i / 2);
@@ -594,7 +618,7 @@ mod tests {
 
     #[test]
     fn single_waiter_wakes_at_exact_level() {
-        let c = Arc::new(Counter::new());
+        let c = Arc::new(Counter::default());
         let c2 = Arc::clone(&c);
         let h = thread::spawn(move || c2.check(5));
         // Raise to just below the level: waiter must stay suspended.
@@ -608,7 +632,7 @@ mod tests {
 
     #[test]
     fn one_increment_wakes_multiple_levels() {
-        let c = Arc::new(Counter::new());
+        let c = Arc::new(Counter::default());
         let mut handles = Vec::new();
         for level in [2u64, 4, 6] {
             let c = Arc::clone(&c);
@@ -630,7 +654,7 @@ mod tests {
 
     #[test]
     fn threads_on_same_level_share_one_node() {
-        let c = Arc::new(Counter::new());
+        let c = Arc::new(Counter::default());
         let mut handles = Vec::new();
         for _ in 0..8 {
             let c = Arc::clone(&c);
@@ -656,7 +680,7 @@ mod tests {
 
     #[test]
     fn partial_increment_wakes_only_satisfied_levels() {
-        let c = Arc::new(Counter::new());
+        let c = Arc::new(Counter::default());
         let low = {
             let c = Arc::clone(&c);
             thread::spawn(move || c.check(2))
@@ -679,7 +703,7 @@ mod tests {
 
     #[test]
     fn waiters_bit_clears_after_sweep() {
-        let c = Arc::new(Counter::new());
+        let c = Arc::new(Counter::default());
         let c2 = Arc::clone(&c);
         let h = thread::spawn(move || c2.check(5));
         while c.live_nodes() == 0 {
@@ -700,7 +724,7 @@ mod tests {
 
     #[test]
     fn waiters_bit_clears_when_last_timed_waiter_abandons() {
-        let c = Counter::new();
+        let c = Counter::default();
         assert!(c.check_timeout(9, SHORT).is_err());
         assert!(!c.advertises_waiters(), "abandoned waiter left the bit set");
         let fast_before = c.stats().fast_increments;
@@ -710,14 +734,14 @@ mod tests {
 
     #[test]
     fn check_timeout_ok_when_already_satisfied() {
-        let c = Counter::new();
+        let c = Counter::default();
         c.increment(1);
         assert_eq!(c.check_timeout(1, SHORT), Ok(()));
     }
 
     #[test]
     fn check_timeout_expires_and_cleans_up_node() {
-        let c = Counter::new();
+        let c = Counter::default();
         let err = c.check_timeout(5, SHORT).unwrap_err();
         assert_eq!(err.level, 5);
         assert_eq!(c.live_nodes(), 0, "abandoned node must be removed");
@@ -726,7 +750,7 @@ mod tests {
 
     #[test]
     fn check_timeout_succeeds_when_increment_arrives_in_time() {
-        let c = Arc::new(Counter::new());
+        let c = Arc::new(Counter::default());
         let c2 = Arc::clone(&c);
         let h = thread::spawn(move || c2.check_timeout(3, LONG));
         while c.live_nodes() == 0 {
@@ -738,7 +762,7 @@ mod tests {
 
     #[test]
     fn timed_out_waiter_does_not_strand_others_at_same_level() {
-        let c = Arc::new(Counter::new());
+        let c = Arc::new(Counter::default());
         let c1 = Arc::clone(&c);
         let patient = thread::spawn(move || c1.check(4));
         while c.live_nodes() == 0 {
@@ -762,7 +786,7 @@ mod tests {
 
     #[test]
     fn try_increment_overflow_leaves_counter_usable() {
-        let c = Counter::new();
+        let c = Counter::default();
         c.increment(u64::MAX - 1);
         let err = c.try_increment(2).unwrap_err();
         assert_eq!(err.value, u64::MAX - 1);
@@ -776,14 +800,14 @@ mod tests {
     #[test]
     #[should_panic(expected = "overflow")]
     fn increment_overflow_panics() {
-        let c = Counter::new();
+        let c = Counter::default();
         c.increment(u64::MAX);
         c.increment(1);
     }
 
     #[test]
     fn check_at_u64_max_level_is_satisfiable() {
-        let c = Arc::new(Counter::new());
+        let c = Arc::new(Counter::default());
         let c2 = Arc::clone(&c);
         let h = thread::spawn(move || c2.check(u64::MAX));
         while c.live_nodes() == 0 {
@@ -797,7 +821,7 @@ mod tests {
     fn values_beyond_the_hint_cap_stay_exact() {
         // Crossing FAST_CAP moves the exact value under the lock; arithmetic
         // and checks must remain exact u64 semantics throughout.
-        let c = Counter::new();
+        let c = Counter::default();
         c.increment(FAST_CAP - 1);
         assert_eq!(c.debug_value(), FAST_CAP - 1);
         c.increment(2); // crosses the cap
@@ -812,7 +836,7 @@ mod tests {
 
     #[test]
     fn reset_restores_zero() {
-        let mut c = Counter::new();
+        let mut c = Counter::default();
         c.increment(9);
         c.reset();
         assert_eq!(c.debug_value(), 0);
@@ -825,7 +849,7 @@ mod tests {
     fn waker_order_is_fifo_per_level_completion() {
         // All waiters at distinct ascending levels; a sequence of unit
         // increments must release them in level order.
-        let c = Arc::new(Counter::new());
+        let c = Arc::new(Counter::default());
         let order = Arc::new(Mutex::new(Vec::new()));
         let mut handles = Vec::new();
         for level in 1..=6u64 {
@@ -857,7 +881,7 @@ mod tests {
 
     #[test]
     fn stress_many_threads_many_levels() {
-        let c = Arc::new(Counter::new());
+        let c = Arc::new(Counter::default());
         let resumed = Arc::new(AtomicUsize::new(0));
         let threads = 32;
         let mut handles = Vec::new();
@@ -891,7 +915,7 @@ mod tests {
 
     #[test]
     fn debug_format_shows_structure() {
-        let c = Counter::new();
+        let c = Counter::default();
         c.increment(3);
         let s = format!("{c:?}");
         assert!(s.contains("value: 3"), "got {s}");
@@ -899,7 +923,7 @@ mod tests {
 
     #[test]
     fn poison_wakes_blocked_waiters_with_the_cause() {
-        let c = Arc::new(Counter::new());
+        let c = Arc::new(Counter::default());
         let mut handles = Vec::new();
         for level in [5u64, 9] {
             let c = Arc::clone(&c);
@@ -920,7 +944,7 @@ mod tests {
 
     #[test]
     fn wait_on_poisoned_counter_fails_without_suspending() {
-        let c = Counter::new();
+        let c = Counter::default();
         c.poison(FailureInfo::new("boom"));
         let err = c.wait(1).unwrap_err();
         assert!(matches!(err, CheckError::Poisoned(_)));
@@ -934,7 +958,7 @@ mod tests {
 
     #[test]
     fn satisfied_levels_succeed_even_when_poisoned() {
-        let c = Counter::new();
+        let c = Counter::default();
         c.increment(5);
         c.poison(FailureInfo::new("boom"));
         assert!(c.wait(5).is_ok());
@@ -944,7 +968,7 @@ mod tests {
 
     #[test]
     fn increments_still_apply_after_poison() {
-        let c = Counter::new();
+        let c = Counter::default();
         c.poison(FailureInfo::new("boom"));
         c.increment(4);
         assert_eq!(c.debug_value(), 4);
@@ -954,7 +978,7 @@ mod tests {
 
     #[test]
     fn first_poison_wins() {
-        let c = Counter::new();
+        let c = Counter::default();
         c.poison(FailureInfo::new("first"));
         c.poison(FailureInfo::new("second"));
         assert_eq!(c.poison_info().unwrap().message(), "first");
@@ -962,7 +986,7 @@ mod tests {
 
     #[test]
     fn poison_info_is_none_until_poisoned() {
-        let c = Counter::new();
+        let c = Counter::default();
         assert!(c.poison_info().is_none());
         c.poison(FailureInfo::new("x").with_level(3));
         let info = c.poison_info().unwrap();
@@ -972,14 +996,14 @@ mod tests {
     #[test]
     #[should_panic(expected = "monotonic counter poisoned")]
     fn check_panics_on_poisoned_counter() {
-        let c = Counter::new();
+        let c = Counter::default();
         c.poison(FailureInfo::new("dead increment owner"));
         c.check(1);
     }
 
     #[test]
     fn poisoned_timed_waiter_reports_poison_not_timeout() {
-        let c = Arc::new(Counter::new());
+        let c = Arc::new(Counter::default());
         let c2 = Arc::clone(&c);
         let h = thread::spawn(move || c2.wait_timeout(7, LONG));
         while c.live_nodes() == 0 {
@@ -993,7 +1017,7 @@ mod tests {
 
     #[test]
     fn poison_clears_waiters_bit_so_fast_increments_resume() {
-        let c = Arc::new(Counter::new());
+        let c = Arc::new(Counter::default());
         let c2 = Arc::clone(&c);
         let h = thread::spawn(move || c2.wait(5));
         while c.live_nodes() == 0 {
@@ -1014,7 +1038,7 @@ mod tests {
 
     #[test]
     fn reset_clears_poison() {
-        let mut c = Counter::new();
+        let mut c = Counter::default();
         c.poison(FailureInfo::new("old phase"));
         c.reset();
         assert!(c.poison_info().is_none());
@@ -1029,7 +1053,7 @@ mod tests {
 
     #[test]
     fn waiters_reports_levels_and_thread_counts() {
-        let c = Arc::new(Counter::new());
+        let c = Arc::new(Counter::default());
         let mut handles = Vec::new();
         for level in [3u64, 3, 8] {
             let c = Arc::clone(&c);

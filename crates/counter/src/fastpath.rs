@@ -154,8 +154,9 @@ impl FastWord {
         self.value_hint() >= level
     }
 
-    /// Whether the waiters bit is currently set (diagnostics/tests).
-    #[cfg(test)]
+    /// Whether the waiters bit is currently set. One `Acquire` load; the
+    /// sharded counter's increment fast path reads it (after a `SeqCst`
+    /// fence) to decide between eager and lazy publication.
     pub(crate) fn has_waiters(&self) -> bool {
         self.packed.load(Acquire) & WAITERS_BIT != 0
     }

@@ -35,6 +35,7 @@
 //! | [`AtomicCounter`] | packed-word | `BTreeMap` slow path | the minimal reference for the shared fast-path protocol |
 //! | [`SpinCounter`] | always | none — waiters busy-spin | the no-suspension-queue end of the design space |
 //! | [`MonitorCounter`] | — | one predicate monitor | counters expressed via Section 8's monitor comparison |
+//! | [`ShardedCounter`] | packed-word + striped cells | sorted list of condvar nodes | high-contention extension: increments land in per-thread cells and a combiner publishes into the packed word |
 //!
 //! The queue-structured implementations share the key complexity property of
 //! Section 7: storage and wakeup work are proportional to the **number of
@@ -82,13 +83,21 @@
 //!   stalls as *stuck* (no obligations can satisfy the waited level) versus
 //!   merely *slow*, and can poison provably-stuck counters.
 //!
+//! ## Construction
+//!
+//! Every implementation is built through one fluent path, [`CounterBuilder`]
+//! (reachable as `Type::builder()`), which exposes the knobs shared across
+//! implementations: initial value, shard count, capacity, statistics
+//! collection, and [`PoisonPolicy`]. The legacy `new`/`with_value`
+//! constructors remain as deprecated shims.
+//!
 //! ## Quickstart
 //!
 //! ```
 //! use mc_counter::{Counter, MonotonicCounter};
 //! use std::sync::Arc;
 //!
-//! let c = Arc::new(Counter::new());
+//! let c = Arc::new(Counter::builder().build());
 //! let c2 = Arc::clone(&c);
 //! let handle = std::thread::spawn(move || {
 //!     c2.check(3); // suspends until the counter reaches 3
@@ -104,6 +113,7 @@
 
 mod atomic;
 mod btree;
+mod builder;
 mod counter;
 mod error;
 mod fastpath;
@@ -114,6 +124,7 @@ mod naive;
 mod node;
 mod obligation;
 mod parking;
+mod sharded;
 mod spin;
 mod stats;
 mod supervisor;
@@ -123,6 +134,7 @@ mod traits;
 
 pub use atomic::AtomicCounter;
 pub use btree::BTreeCounter;
+pub use builder::{BuildConfig, Buildable, CounterBuilder, PoisonPolicy};
 pub use counter::Counter;
 pub use error::{CheckError, CheckTimeoutError, CounterOverflowError, FailureInfo};
 pub use monitor_impl::MonitorCounter;
@@ -130,6 +142,7 @@ pub use multi::{check_all, CounterSet};
 pub use naive::NaiveCounter;
 pub use obligation::Obligation;
 pub use parking::ParkingCounter;
+pub use sharded::ShardedCounter;
 pub use spin::SpinCounter;
 pub use stats::StatsSnapshot;
 pub use supervisor::{
@@ -147,3 +160,11 @@ pub use traits::{
 /// programs (e.g. a broadcast counter incremented once per item) cannot
 /// overflow in practice. Overflow on [`MonotonicCounter::increment`] panics.
 pub type Value = u64;
+
+/// A shared, type-erased monotonic counter.
+///
+/// [`MonotonicCounter`] is object-safe and already requires `Send + Sync`, so
+/// any implementation can be handed around as one of these when the concrete
+/// type should not leak into signatures (plugin boundaries, heterogeneous
+/// collections, config-selected implementations).
+pub type DynCounter = std::sync::Arc<dyn MonotonicCounter>;

@@ -7,6 +7,7 @@
 //! like [`crate::NaiveCounter`], every state change wakes every waiter.
 //! Included for the E7 ablation discussion.
 
+use crate::builder::{BuildConfig, Buildable, CounterBuilder};
 use crate::error::{CheckError, CheckTimeoutError, CounterOverflowError, FailureInfo};
 use crate::stats::{Stats, StatsSnapshot};
 use crate::traits::{CounterDiagnostics, MonotonicCounter, Resettable, ResumableCounter};
@@ -25,30 +26,45 @@ pub struct MonitorCounter {
     state: Mutex<State>,
     cv: Condvar,
     stats: Stats,
+    poison_enabled: bool,
 }
 
 impl Default for MonitorCounter {
     fn default() -> Self {
-        Self::new()
+        Self::builder().build()
+    }
+}
+
+impl Buildable for MonitorCounter {
+    fn from_config(cfg: &BuildConfig) -> Self {
+        MonitorCounter {
+            state: Mutex::new(State {
+                value: cfg.initial(),
+                poisoned: None,
+            }),
+            cv: Condvar::new(),
+            stats: Stats::with_enabled(cfg.stats_enabled()),
+            poison_enabled: cfg.poison_propagates(),
+        }
     }
 }
 
 impl MonitorCounter {
+    /// Starts building a counter; see [`CounterBuilder`].
+    pub fn builder() -> CounterBuilder<Self> {
+        CounterBuilder::new()
+    }
+
     /// Creates a counter with value zero.
+    #[deprecated(note = "use CounterBuilder: `MonitorCounter::builder().build()`")]
     pub fn new() -> Self {
-        Self::with_value(0)
+        Self::builder().build()
     }
 
     /// Creates a counter starting at `value`.
+    #[deprecated(note = "use CounterBuilder: `MonitorCounter::builder().initial(value).build()`")]
     pub fn with_value(value: Value) -> Self {
-        MonitorCounter {
-            state: Mutex::new(State {
-                value,
-                poisoned: None,
-            }),
-            cv: Condvar::new(),
-            stats: Stats::default(),
-        }
+        Self::builder().initial(value).build()
     }
 
     /// Monitor-style update: mutate under the lock, then signal all waiters
@@ -138,6 +154,9 @@ impl MonotonicCounter for MonitorCounter {
     }
 
     fn poison(&self, info: FailureInfo) {
+        if !self.poison_enabled {
+            return;
+        }
         let mut state = self.state.lock().expect("counter lock poisoned");
         if state.poisoned.is_some() {
             return;
@@ -172,7 +191,7 @@ impl MonotonicCounter for MonitorCounter {
 
 impl ResumableCounter for MonitorCounter {
     fn resume_from(value: Value) -> Self {
-        Self::with_value(value)
+        Self::builder().initial(value).build()
     }
 }
 
@@ -205,7 +224,7 @@ mod tests {
 
     #[test]
     fn wait_and_wake() {
-        let c = Arc::new(MonitorCounter::new());
+        let c = Arc::new(MonitorCounter::default());
         let c2 = Arc::clone(&c);
         let h = std::thread::spawn(move || c2.check(3));
         c.increment(3);
@@ -214,7 +233,7 @@ mod tests {
 
     #[test]
     fn every_increment_signals() {
-        let c = MonitorCounter::new();
+        let c = MonitorCounter::default();
         c.increment(1);
         c.increment(1);
         assert_eq!(c.stats().notifies, 2);
@@ -222,7 +241,7 @@ mod tests {
 
     #[test]
     fn poison_fails_the_predicate_wait() {
-        let c = Arc::new(MonitorCounter::new());
+        let c = Arc::new(MonitorCounter::default());
         let c2 = Arc::clone(&c);
         let h = std::thread::spawn(move || c2.wait(5));
         while c.stats().live_waiters == 0 {
@@ -235,7 +254,7 @@ mod tests {
 
     #[test]
     fn overflow_does_not_signal() {
-        let c = MonitorCounter::new();
+        let c = MonitorCounter::default();
         c.increment(u64::MAX);
         let before = c.stats().notifies;
         assert!(c.try_increment(1).is_err());

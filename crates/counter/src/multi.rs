@@ -21,8 +21,8 @@ use crate::Value;
 ///
 /// ```
 /// use mc_counter::{check_all, Counter, MonotonicCounter};
-/// let a = Counter::new();
-/// let b = Counter::new();
+/// let a = Counter::default();
+/// let b = Counter::default();
 /// a.increment(2);
 /// b.increment(1);
 /// check_all([(&a, 2), (&b, 1)]); // both already satisfied: returns at once
@@ -123,8 +123,8 @@ mod tests {
 
     #[test]
     fn check_all_on_satisfied_pairs_returns() {
-        let a = Counter::new();
-        let b = Counter::new();
+        let a = Counter::default();
+        let b = Counter::default();
         a.increment(1);
         b.increment(2);
         check_all([(&a, 1), (&b, 2)]);
@@ -132,8 +132,8 @@ mod tests {
 
     #[test]
     fn check_all_waits_for_every_counter() {
-        let a = Arc::new(Counter::new());
-        let b = Arc::new(Counter::new());
+        let a = Arc::new(Counter::default());
+        let b = Arc::new(Counter::default());
         let (a2, b2) = (Arc::clone(&a), Arc::clone(&b));
         let h = thread::spawn(move || check_all([(&*a2, 3), (&*b2, 3)]));
         a.increment(3);

@@ -6,6 +6,7 @@
 //! work is O(total waiting threads) per increment instead of O(satisfied
 //! levels). Experiment E7 quantifies the difference.
 
+use crate::builder::{BuildConfig, Buildable, CounterBuilder};
 use crate::error::{CheckError, CheckTimeoutError, CounterOverflowError, FailureInfo};
 use crate::stats::{Stats, StatsSnapshot};
 use crate::traits::{CounterDiagnostics, MonotonicCounter, Resettable, ResumableCounter};
@@ -26,30 +27,45 @@ pub struct NaiveCounter {
     state: Mutex<State>,
     cv: Condvar,
     stats: Stats,
+    poison_enabled: bool,
 }
 
 impl Default for NaiveCounter {
     fn default() -> Self {
-        Self::new()
+        Self::builder().build()
+    }
+}
+
+impl Buildable for NaiveCounter {
+    fn from_config(cfg: &BuildConfig) -> Self {
+        NaiveCounter {
+            state: Mutex::new(State {
+                value: cfg.initial(),
+                poisoned: None,
+            }),
+            cv: Condvar::new(),
+            stats: Stats::with_enabled(cfg.stats_enabled()),
+            poison_enabled: cfg.poison_propagates(),
+        }
     }
 }
 
 impl NaiveCounter {
+    /// Starts building a counter; see [`CounterBuilder`].
+    pub fn builder() -> CounterBuilder<Self> {
+        CounterBuilder::new()
+    }
+
     /// Creates a counter with value zero.
+    #[deprecated(note = "use CounterBuilder: `NaiveCounter::builder().build()`")]
     pub fn new() -> Self {
-        Self::with_value(0)
+        Self::builder().build()
     }
 
     /// Creates a counter starting at `value`.
+    #[deprecated(note = "use CounterBuilder: `NaiveCounter::builder().initial(value).build()`")]
     pub fn with_value(value: Value) -> Self {
-        NaiveCounter {
-            state: Mutex::new(State {
-                value,
-                poisoned: None,
-            }),
-            cv: Condvar::new(),
-            stats: Stats::default(),
-        }
+        Self::builder().initial(value).build()
     }
 }
 
@@ -145,6 +161,9 @@ impl MonotonicCounter for NaiveCounter {
     }
 
     fn poison(&self, info: FailureInfo) {
+        if !self.poison_enabled {
+            return;
+        }
         let mut state = self.state.lock().expect("counter lock poisoned");
         if state.poisoned.is_some() {
             return;
@@ -166,7 +185,7 @@ impl MonotonicCounter for NaiveCounter {
 
 impl ResumableCounter for NaiveCounter {
     fn resume_from(value: Value) -> Self {
-        Self::with_value(value)
+        Self::builder().initial(value).build()
     }
 }
 
@@ -200,7 +219,7 @@ mod tests {
 
     #[test]
     fn wait_and_wake() {
-        let c = Arc::new(NaiveCounter::new());
+        let c = Arc::new(NaiveCounter::default());
         let c2 = Arc::clone(&c);
         let h = thread::spawn(move || c2.check(4));
         while c.stats().live_waiters == 0 {
@@ -215,7 +234,7 @@ mod tests {
 
     #[test]
     fn every_increment_broadcasts() {
-        let c = NaiveCounter::new();
+        let c = NaiveCounter::default();
         c.increment(1);
         c.increment(1);
         c.increment(1);
@@ -224,13 +243,13 @@ mod tests {
 
     #[test]
     fn timeout_expires() {
-        let c = NaiveCounter::new();
+        let c = NaiveCounter::default();
         assert!(c.check_timeout(1, Duration::from_millis(20)).is_err());
     }
 
     #[test]
     fn overflow_is_fallible() {
-        let c = NaiveCounter::new();
+        let c = NaiveCounter::default();
         c.increment(u64::MAX);
         assert!(c.try_increment(1).is_err());
         assert_eq!(c.debug_value(), u64::MAX);
@@ -238,7 +257,7 @@ mod tests {
 
     #[test]
     fn poison_wakes_the_shared_queue() {
-        let c = Arc::new(NaiveCounter::new());
+        let c = Arc::new(NaiveCounter::default());
         let c2 = Arc::clone(&c);
         let h = thread::spawn(move || c2.wait(9));
         while c.stats().live_waiters == 0 {
@@ -254,7 +273,7 @@ mod tests {
 
     #[test]
     fn many_waiters_all_resume() {
-        let c = Arc::new(NaiveCounter::new());
+        let c = Arc::new(NaiveCounter::default());
         let mut handles = Vec::new();
         for level in 1..=16u64 {
             let c = Arc::clone(&c);

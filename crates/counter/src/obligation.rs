@@ -25,7 +25,7 @@ use crate::Value;
 ///
 /// ```
 /// use mc_counter::{Counter, CounterExt, MonotonicCounter};
-/// let c = Counter::new();
+/// let c = Counter::default();
 /// {
 ///     let _ob = c.obligation(2);
 ///     // ... produce the data the increment publishes ...
@@ -100,7 +100,7 @@ mod tests {
 
     #[test]
     fn normal_drop_delivers_the_increment() {
-        let c = Counter::new();
+        let c = Counter::default();
         {
             let _ob = c.obligation(3);
             assert_eq!(c.debug_value(), 0, "nothing delivered while held");
@@ -111,7 +111,7 @@ mod tests {
 
     #[test]
     fn fulfill_delivers_early_exactly_once() {
-        let c = Counter::new();
+        let c = Counter::default();
         let ob = c.obligation(5);
         ob.fulfill();
         assert_eq!(c.debug_value(), 5, "fulfilled amount delivered once");
@@ -119,7 +119,7 @@ mod tests {
 
     #[test]
     fn unwind_drop_poisons_with_owed_amount() {
-        let c = Counter::new();
+        let c = Counter::default();
         let result = catch_unwind(AssertUnwindSafe(|| {
             let _ob = c.obligation(7);
             panic!("producer exploded");
@@ -133,7 +133,7 @@ mod tests {
 
     #[test]
     fn abandon_poisons_with_caller_cause() {
-        let c = Counter::new();
+        let c = Counter::default();
         let ob = c.obligation(2);
         ob.abandon(FailureInfo::new("input file missing"));
         let info = c.poison_info().unwrap();
@@ -143,7 +143,7 @@ mod tests {
 
     #[test]
     fn panicking_holder_unblocks_waiters() {
-        let c = Arc::new(Counter::new());
+        let c = Arc::new(Counter::default());
         let waiter = {
             let c = Arc::clone(&c);
             thread::spawn(move || c.wait(10))
@@ -165,7 +165,7 @@ mod tests {
 
     #[test]
     fn obligation_works_through_dyn_counter() {
-        let c: Box<dyn MonotonicCounter> = Box::new(Counter::new());
+        let c: Box<dyn MonotonicCounter> = Box::new(Counter::default());
         {
             let _ob = c.obligation(1);
         }

@@ -6,6 +6,7 @@
 //! [`crate::Counter`]'s, so only suspending/waking operations reach the
 //! `parking_lot` mutex at all.
 
+use crate::builder::{BuildConfig, Buildable, CounterBuilder};
 use crate::error::{CheckError, CheckTimeoutError, CounterOverflowError, FailureInfo};
 use crate::fastpath::{FastAdvance, FastIncrement, FastWord, FAST_CAP};
 use crate::stats::{Stats, StatsSnapshot};
@@ -55,31 +56,46 @@ pub struct ParkingCounter {
     fast: FastWord,
     inner: Mutex<Inner>,
     stats: Stats,
+    poison_enabled: bool,
 }
 
 impl Default for ParkingCounter {
     fn default() -> Self {
-        Self::new()
+        Self::builder().build()
+    }
+}
+
+impl Buildable for ParkingCounter {
+    fn from_config(cfg: &BuildConfig) -> Self {
+        ParkingCounter {
+            fast: FastWord::new(cfg.initial()),
+            inner: Mutex::new(Inner {
+                wide: cfg.initial(),
+                waiting: BTreeMap::new(),
+                poisoned: None,
+            }),
+            stats: Stats::with_enabled(cfg.stats_enabled()),
+            poison_enabled: cfg.poison_propagates(),
+        }
     }
 }
 
 impl ParkingCounter {
+    /// Starts building a counter; see [`CounterBuilder`].
+    pub fn builder() -> CounterBuilder<Self> {
+        CounterBuilder::new()
+    }
+
     /// Creates a counter with value zero and no waiting threads.
+    #[deprecated(note = "use CounterBuilder: `ParkingCounter::builder().build()`")]
     pub fn new() -> Self {
-        Self::with_value(0)
+        Self::builder().build()
     }
 
     /// Creates a counter starting at `value`.
+    #[deprecated(note = "use CounterBuilder: `ParkingCounter::builder().initial(value).build()`")]
     pub fn with_value(value: Value) -> Self {
-        ParkingCounter {
-            fast: FastWord::new(value),
-            inner: Mutex::new(Inner {
-                wide: value,
-                waiting: BTreeMap::new(),
-                poisoned: None,
-            }),
-            stats: Stats::default(),
-        }
+        Self::builder().initial(value).build()
     }
 
     fn remove_satisfied(
@@ -295,6 +311,9 @@ impl MonotonicCounter for ParkingCounter {
     }
 
     fn poison(&self, info: FailureInfo) {
+        if !self.poison_enabled {
+            return;
+        }
         let swept = {
             let mut inner = self.inner.lock();
             if inner.poisoned.is_some() {
@@ -325,7 +344,7 @@ impl MonotonicCounter for ParkingCounter {
 
 impl ResumableCounter for ParkingCounter {
     fn resume_from(value: Value) -> Self {
-        Self::with_value(value)
+        Self::builder().initial(value).build()
     }
 }
 
@@ -377,7 +396,7 @@ mod tests {
 
     #[test]
     fn wait_and_wake() {
-        let c = Arc::new(ParkingCounter::new());
+        let c = Arc::new(ParkingCounter::default());
         let c2 = Arc::clone(&c);
         let h = thread::spawn(move || c2.check(7));
         while c.stats().live_waiters == 0 {
@@ -390,7 +409,7 @@ mod tests {
 
     #[test]
     fn same_level_shares_node() {
-        let c = Arc::new(ParkingCounter::new());
+        let c = Arc::new(ParkingCounter::default());
         let mut handles = Vec::new();
         for _ in 0..4 {
             let c = Arc::clone(&c);
@@ -408,7 +427,7 @@ mod tests {
 
     #[test]
     fn timeout_expires_and_cleans_up() {
-        let c = ParkingCounter::new();
+        let c = ParkingCounter::default();
         assert!(c.check_timeout(5, Duration::from_millis(20)).is_err());
         assert_eq!(c.stats().live_nodes, 0);
         c.increment(1);
@@ -417,7 +436,7 @@ mod tests {
 
     #[test]
     fn reset_after_use() {
-        let mut c = ParkingCounter::new();
+        let mut c = ParkingCounter::default();
         c.increment(3);
         c.reset();
         assert_eq!(c.debug_value(), 0);
@@ -425,7 +444,7 @@ mod tests {
 
     #[test]
     fn poison_wakes_parked_waiters() {
-        let c = Arc::new(ParkingCounter::new());
+        let c = Arc::new(ParkingCounter::default());
         let c2 = Arc::clone(&c);
         let h = thread::spawn(move || c2.wait(11));
         while c.stats().live_waiters == 0 {
@@ -439,7 +458,7 @@ mod tests {
 
     #[test]
     fn waiter_free_workload_stays_on_fast_path() {
-        let c = ParkingCounter::new();
+        let c = ParkingCounter::default();
         c.increment(2);
         c.check(1);
         let s = c.stats();

@@ -1,0 +1,935 @@
+//! [`ShardedCounter`]: striped increments for write-heavy contention.
+//!
+//! Every other packed-word implementation funnels all increments through one
+//! CAS word, so under all-writer contention the cache line holding that word
+//! ping-pongs between cores and throughput *drops* as threads are added. A
+//! `ShardedCounter` splits the increment hot path across per-thread,
+//! cache-line-padded cells:
+//!
+//! ```text
+//!   increment(a) ──► cells[thread_slot].fetch_add(a)      (private line)
+//!                              │
+//!                              ▼   (combiner: eager when waiters exist,
+//!                                   lazy at the adaptive flush threshold)
+//!   published ◄──── FastWord  (value hint | poison | has-waiters)
+//!                              │
+//!   check(level) ───► one Acquire load of the published word
+//! ```
+//!
+//! The *published* value lives in the same [`FastWord`] the other
+//! implementations use, so the read side is completely unchanged: a satisfied
+//! `check` is still a single `Acquire` load, and the suspend/wake slow path is
+//! the Section 7 waitlist (one node per distinct level, satisfied nodes swept
+//! on publication). Only the write side changes: an increment lands in a
+//! striped cell and becomes *visible to checks* when a combiner publishes the
+//! accumulated deltas into the word.
+//!
+//! # Publication rules (the combiner)
+//!
+//! Increments must not linger in cells while somebody waits — that would turn
+//! the paper's "wake exactly when satisfied" semantics into "wake when the
+//! flush timer feels like it". Publication is therefore **waiter-aware**:
+//!
+//! * **Eager** — when the packed word's has-waiters bit is set, every
+//!   increment drains all cells and publishes under the lock (exactly the
+//!   slow path every other implementation takes when waiters exist), so a
+//!   waited-on level is crossed the moment the increment that crosses it
+//!   returns.
+//! * **Lazy** — with no waiters registered, a cell accumulates until its
+//!   pending delta reaches the *adaptive flush threshold*; the flush drains
+//!   all cells and publishes with one CAS (lock-free, nobody to wake). The
+//!   threshold starts low and doubles on every quiet flush (up to the
+//!   builder's `capacity` backlog bound), so sustained write storms publish
+//!   rarely, while a counter that just lost its waiters stays fresh.
+//!
+//! Waits themselves self-serve: a `check` that is not satisfied by the
+//! published value first drains and publishes the cells itself (lock-free in
+//! the common case) and re-tests before suspending — so a value that has
+//! logically been reached never blocks its own observer.
+//!
+//! # Why the waiter/flush race cannot lose a wakeup
+//!
+//! The hazard: an incrementer parks a delta in its cell and sees "no
+//! waiters", while a checker simultaneously drains the cells, sees "level
+//! unreached", and goes to sleep — with the parked delta satisfying its
+//! level. The handshake mirrors the [`FastWord`] protocol one level up, with
+//! `SeqCst` fences standing in for the single-word RMW trick:
+//!
+//! * The incrementer performs the cell RMW, then a `SeqCst` fence, then
+//!   loads the packed word to test the has-waiters bit.
+//! * The checker (holding the slow-path mutex) sets the has-waiters bit with
+//!   an RMW, then a `SeqCst` fence, then drains the cells with RMW swaps.
+//!
+//! If the incrementer misses the bit, its cell RMW is ordered before the
+//! checker's drain by the fence pair, so the drain collects the delta and the
+//! checker's locked re-test sees the published value. If it sees the bit, it
+//! takes the locked publish path, which the mutex serializes after the
+//! checker's node is enqueued (the condvar releases the lock only once the
+//! node is in the list), and the publish sweep signals the node. Either way
+//! the wakeup is delivered.
+//!
+//! # Exactness
+//!
+//! The cells-only fast tier is restricted to a regime where overflow is
+//! impossible: amounts at most 2^30, per-cell backlogs at most the capacity
+//! bound, and a published hint below 2^61 (half the [`FastWord`] hint
+//! range). Everything outside that regime — huge amounts, values near
+//! saturation — funnels through the lock, where [`FastWord::locked_add`]
+//! keeps exact `u64` arithmetic and exact overflow errors, pending deltas
+//! included (they are drained and published before the fallible add).
+
+use crate::builder::{BuildConfig, Buildable, CounterBuilder};
+use crate::error::{CheckError, CheckTimeoutError, CounterOverflowError, FailureInfo};
+use crate::fastpath::{FastAdvance, FastIncrement, FastWord};
+use crate::node::WaitNode;
+use crate::stats::{Stats, StatsSnapshot};
+use crate::traits::{
+    CounterDiagnostics, MonotonicCounter, Resettable, ResumableCounter, WaitingLevel,
+};
+use crate::Value;
+use std::collections::BTreeMap;
+use std::sync::atomic::{
+    fence, AtomicU64, AtomicUsize,
+    Ordering::{AcqRel, Relaxed, SeqCst},
+};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+/// Largest amount the cells-only fast tier accepts; bigger increments take
+/// the exact locked path. Keeps any conceivable pending sum far below the
+/// regime where `u64` arithmetic could wrap.
+const MAX_FAST_AMOUNT: Value = 1 << 30;
+
+/// Published values at or above this route every increment through the lock:
+/// pending sums then cannot push the true value anywhere near `u64::MAX`, so
+/// overflow checking stays exact without per-increment global arithmetic.
+const FAST_REGIME_LIMIT: Value = 1 << 61;
+
+/// Lower bound of the adaptive flush threshold — a fresh counter (or one
+/// that recently had waiters) publishes after this many pending units.
+const MIN_FLUSH_THRESHOLD: u64 = 8;
+
+/// Default upper bound of the adaptive flush threshold (per cell), i.e. the
+/// default of the builder's `capacity` knob for sharded counters.
+const DEFAULT_MAX_BACKLOG: u64 = 1024;
+
+/// One increment stripe, padded to its own cache line so writers on
+/// different shards never invalidate each other.
+#[derive(Debug, Default)]
+#[repr(align(128))]
+struct Cell {
+    pending: AtomicU64,
+}
+
+type WaitMap = BTreeMap<Value, Arc<WaitNode>>;
+
+struct Inner {
+    /// Exact value once the packed hint saturates; see [`crate::fastpath`].
+    wide: Value,
+    waiting: WaitMap,
+    /// The first poisoning cause, if any. Set at most once.
+    poisoned: Option<FailureInfo>,
+}
+
+/// A monotonic counter whose increments are striped across cache-line-padded
+/// per-thread cells, for write-heavy contention.
+///
+/// Semantically interchangeable with [`crate::Counter`]: checks and wake-ups
+/// observe a single monotonically published value, waiters suspend on the
+/// Section 7 waitlist, and poisoning behaves identically. The difference is
+/// purely operational: uncontended *and contended* increments are one
+/// `fetch_add` on a private cache line, and the running sum is published
+/// into the packed fast word by a waiter-aware combiner (see the module
+/// docs).
+///
+/// Construct via [`ShardedCounter::builder`]; the builder's `shards` knob
+/// sets the stripe count (rounded up to a power of two, default derived from
+/// [`std::thread::available_parallelism`]) and its `capacity` knob bounds
+/// the per-cell unpublished backlog.
+pub struct ShardedCounter {
+    fast: FastWord,
+    cells: Box<[Cell]>,
+    /// `cells.len() - 1`; cell count is always a power of two.
+    mask: usize,
+    /// Adaptive lazy-flush threshold, in `[MIN_FLUSH_THRESHOLD,
+    /// max_backlog]`. Doubled on quiet flushes, reset when a waiter
+    /// registers.
+    flush_threshold: AtomicU64,
+    /// Upper bound for `flush_threshold` (the builder's `capacity`).
+    max_backlog: u64,
+    inner: Mutex<Inner>,
+    stats: Stats,
+    poison_enabled: bool,
+}
+
+impl Default for ShardedCounter {
+    fn default() -> Self {
+        Self::builder().build()
+    }
+}
+
+impl std::fmt::Debug for ShardedCounter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedCounter")
+            .field("published", &self.fast.value_hint())
+            .field("pending", &self.pending())
+            .field("shards", &self.cells.len())
+            .finish()
+    }
+}
+
+/// Round-robin allocator for per-thread stripe slots: the first counter a
+/// thread touches assigns it a process-wide slot, reused for every sharded
+/// counter (distinct counters have distinct cell arrays, so sharing the slot
+/// keeps a thread on one line per counter without per-counter registration).
+fn thread_slot() -> usize {
+    static NEXT_SLOT: AtomicUsize = AtomicUsize::new(0);
+    thread_local! {
+        static SLOT: usize = NEXT_SLOT.fetch_add(1, Relaxed);
+    }
+    SLOT.with(|s| *s)
+}
+
+/// Default stripe count: the machine's parallelism rounded up to a power of
+/// two, clamped to `[4, 64]` (a floor of 4 keeps striping observable on
+/// small hosts; 64 bounds the drain cost and the footprint).
+fn default_shards() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .clamp(4, 64)
+}
+
+impl ShardedCounter {
+    /// Starts building a sharded counter: set `shards`, `capacity`,
+    /// `initial`, then [`build`](CounterBuilder::build).
+    pub fn builder() -> CounterBuilder<Self> {
+        CounterBuilder::new()
+    }
+
+    /// Creates a counter with value zero and the default shard count.
+    #[deprecated(note = "use CounterBuilder: `ShardedCounter::builder().build()`")]
+    pub fn new() -> Self {
+        Self::builder().build()
+    }
+
+    /// Creates a counter starting at `value` with the default shard count.
+    #[deprecated(note = "use CounterBuilder: `ShardedCounter::builder().initial(value).build()`")]
+    pub fn with_value(value: Value) -> Self {
+        Self::builder().initial(value).build()
+    }
+
+    /// The number of increment stripes (always a power of two).
+    pub fn shard_count(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Sum of the not-yet-published per-cell deltas. Diagnostics only: the
+    /// snapshot is not atomic across cells.
+    pub fn pending(&self) -> Value {
+        self.cells.iter().map(|c| c.pending.load(Relaxed)).sum()
+    }
+
+    /// The current adaptive flush threshold (diagnostics/tests).
+    pub fn flush_threshold(&self) -> u64 {
+        self.flush_threshold.load(Relaxed)
+    }
+
+    fn lock(&self) -> MutexGuard<'_, Inner> {
+        self.inner.lock().expect("counter lock poisoned")
+    }
+
+    fn cell(&self) -> &Cell {
+        &self.cells[thread_slot() & self.mask]
+    }
+
+    /// Drains every cell. The caller must publish the returned sum (the
+    /// deltas are no longer anywhere else); every call site publishes before
+    /// returning to the user.
+    fn drain_cells(&self) -> Value {
+        self.cells.iter().map(|c| c.pending.swap(0, AcqRel)).sum()
+    }
+
+    /// Publishes `pending` into the fast word under the lock and sweeps the
+    /// newly satisfied waiters. Returns the new published value and the
+    /// swept nodes (signalled, not yet notified — the caller decides whether
+    /// to notify under or after the lock). Infallible: pending sums are
+    /// accumulated only in the overflow-free fast regime.
+    ///
+    /// Deliberately does **not** clear the waiters bit on an emptied map:
+    /// `register_and_drain` calls this between setting the bit and the
+    /// caller's node insertion, where clearing would let increments go lazy
+    /// under a live waiter. Call sites where no registration is in flight
+    /// clear the bit themselves.
+    fn publish_locked(&self, inner: &mut Inner, pending: Value) -> (Value, Vec<Arc<WaitNode>>) {
+        if pending == 0 {
+            return (self.fast.locked_value(inner.wide), Vec::new());
+        }
+        let new_value = self
+            .fast
+            .locked_add(&mut inner.wide, pending)
+            .expect("pending publication cannot overflow: fast regime is bounded");
+        let satisfied = Self::remove_satisfied(&mut inner.waiting, new_value);
+        for node in &satisfied {
+            node.signal();
+            self.stats.record_notify();
+        }
+        (new_value, satisfied)
+    }
+
+    /// Drains the cells and publishes, taking the lock only when waiters (or
+    /// word saturation) force it. Called from the lazy-flush trigger and from
+    /// the self-service tier of `wait`.
+    fn combine(&self) {
+        let pending = self.drain_cells();
+        if pending == 0 {
+            return;
+        }
+        match self.fast.try_increment(pending) {
+            FastIncrement::Done => {}
+            // Waiters registered or hint saturated: publish under the lock
+            // so the sweep runs. Overflow is impossible for a pending sum.
+            FastIncrement::Contended | FastIncrement::Overflow(_) => {
+                let satisfied = {
+                    let mut inner = self.lock();
+                    self.stats.record_slow_entry();
+                    let satisfied = self.publish_locked(&mut inner, pending).1;
+                    if inner.waiting.is_empty() {
+                        self.fast.clear_waiters();
+                    }
+                    satisfied
+                };
+                for node in satisfied {
+                    node.cv.notify_all();
+                }
+            }
+        }
+    }
+
+    /// The eager (waiter-aware) publication path: the caller observed the
+    /// has-waiters bit after parking a delta, so drain and publish under the
+    /// lock, waking whoever the new value satisfies.
+    fn flush_for_waiters(&self) {
+        let satisfied = {
+            let mut inner = self.lock();
+            self.stats.record_slow_entry();
+            let pending = self.drain_cells();
+            let satisfied = self.publish_locked(&mut inner, pending).1;
+            if inner.waiting.is_empty() {
+                self.fast.clear_waiters();
+            }
+            satisfied
+        };
+        for node in satisfied {
+            node.cv.notify_all();
+        }
+    }
+
+    /// Grows the adaptive threshold after a flush no waiter was hurt by.
+    fn relax_threshold(&self) {
+        let cur = self.flush_threshold.load(Relaxed);
+        if cur < self.max_backlog {
+            // Racy doubling is fine: the threshold is a heuristic, and every
+            // transition keeps it within [MIN_FLUSH_THRESHOLD, max_backlog].
+            self.flush_threshold
+                .store((cur * 2).min(self.max_backlog), Relaxed);
+        }
+    }
+
+    /// Snaps the threshold back to eager when a waiter shows up, so the
+    /// published value stays fresh while anybody might be watching.
+    fn tighten_threshold(&self) {
+        self.flush_threshold.store(MIN_FLUSH_THRESHOLD, Relaxed);
+    }
+
+    fn remove_satisfied(waiting: &mut WaitMap, value: Value) -> Vec<Arc<WaitNode>> {
+        match value.checked_add(1) {
+            Some(next) => {
+                let rest = waiting.split_off(&next);
+                std::mem::replace(waiting, rest).into_values().collect()
+            }
+            None => std::mem::take(waiting).into_values().collect(),
+        }
+    }
+
+    /// Slow path of `increment`: drain, publish pending, then apply `amount`
+    /// with exact overflow checking, sweeping and waking as one atomic step
+    /// under the lock.
+    fn raise(&self, amount: Value) -> Result<(), CounterOverflowError> {
+        let satisfied = {
+            let mut inner = self.lock();
+            self.stats.record_slow_entry();
+            let pending = self.drain_cells();
+            let mut satisfied = self.publish_locked(&mut inner, pending).1;
+            let new_value = self.fast.locked_add(&mut inner.wide, amount)?;
+            self.stats.record_increment();
+            let mut more = Self::remove_satisfied(&mut inner.waiting, new_value);
+            for node in &more {
+                node.signal();
+                self.stats.record_notify();
+            }
+            satisfied.append(&mut more);
+            if inner.waiting.is_empty() {
+                self.fast.clear_waiters();
+            }
+            satisfied
+        };
+        for node in satisfied {
+            node.cv.notify_all();
+        }
+        Ok(())
+    }
+
+    /// Registers the waiter bit, drains the cells (the fence pair with the
+    /// increment fast path — see the module docs), publishes, and returns
+    /// the resulting value. Lock held.
+    fn register_and_drain(&self, inner: &mut Inner) -> Value {
+        let registered = self.fast.register_waiter(inner.wide);
+        fence(SeqCst);
+        let pending = self.drain_cells();
+        if pending == 0 {
+            return registered;
+        }
+        let (value, satisfied) = self.publish_locked(inner, pending);
+        for node in satisfied {
+            // Notifying while holding the lock is safe (waiters re-acquire
+            // it inside `Condvar::wait` anyway) and keeps this path simple.
+            node.cv.notify_all();
+        }
+        value
+    }
+}
+
+impl MonotonicCounter for ShardedCounter {
+    fn increment(&self, amount: Value) {
+        self.try_increment(amount)
+            .unwrap_or_else(|e| panic!("monotonic counter overflow: {e}"));
+    }
+
+    fn try_increment(&self, amount: Value) -> Result<(), CounterOverflowError> {
+        // Fast-regime gate: one read-mostly load. Outside it (huge amounts,
+        // waiters already known, values near saturation) take the exact
+        // locked path directly instead of parking the delta.
+        if amount > MAX_FAST_AMOUNT || self.fast.value_hint() >= FAST_REGIME_LIMIT {
+            return self.raise(amount);
+        }
+        let cell = &self.cell().pending;
+        let pend = cell.fetch_add(amount, AcqRel) + amount;
+        self.stats.record_fast_increment();
+        // Dekker handshake with a registering waiter: cell RMW, fence, then
+        // the waiters-bit test (the waiter does bit RMW, fence, cell drain).
+        fence(SeqCst);
+        if self.fast.has_waiters() {
+            self.flush_for_waiters();
+        } else if pend >= self.flush_threshold.load(Relaxed) {
+            self.combine();
+            self.relax_threshold();
+        }
+        Ok(())
+    }
+
+    fn advance_to(&self, target: Value) {
+        // Published ≥ target ⇒ the true value is too: nothing to do.
+        if self.fast.is_satisfied(target) {
+            return;
+        }
+        // Self-service combine: the logical value may already satisfy the
+        // target even though the published word lags.
+        self.combine();
+        match self.fast.try_advance(target) {
+            FastAdvance::Raised => {
+                self.stats.record_fast_increment();
+                return;
+            }
+            FastAdvance::NoOp => return,
+            FastAdvance::Contended => {}
+        }
+        let satisfied = {
+            let mut inner = self.lock();
+            self.stats.record_slow_entry();
+            let pending = self.drain_cells();
+            let mut satisfied = self.publish_locked(&mut inner, pending).1;
+            let Some(new_value) = self.fast.locked_advance(&mut inner.wide, target) else {
+                if inner.waiting.is_empty() {
+                    self.fast.clear_waiters();
+                }
+                for node in satisfied {
+                    node.cv.notify_all();
+                }
+                return;
+            };
+            self.stats.record_increment();
+            let mut more = Self::remove_satisfied(&mut inner.waiting, new_value);
+            for node in &more {
+                node.signal();
+                self.stats.record_notify();
+            }
+            satisfied.append(&mut more);
+            if inner.waiting.is_empty() {
+                self.fast.clear_waiters();
+            }
+            satisfied
+        };
+        for node in satisfied {
+            node.cv.notify_all();
+        }
+    }
+
+    fn wait(&self, level: Value) -> Result<(), CheckError> {
+        // Tier 1: one Acquire load of the published word (identical to every
+        // other packed-word implementation — sharding does not touch this).
+        if self.fast.is_satisfied(level) {
+            self.stats.record_fast_check();
+            return Ok(());
+        }
+        // Tier 2: self-service combine — publish the cells and re-test, so a
+        // logically reached value never suspends its observer. Lock-free
+        // while no waiters are registered.
+        self.combine();
+        if self.fast.is_satisfied(level) {
+            self.stats.record_fast_check();
+            return Ok(());
+        }
+        // Tier 3: the Section 7 waitlist.
+        self.tighten_threshold();
+        let mut inner = self.lock();
+        self.stats.record_slow_entry();
+        let value = self.register_and_drain(&mut inner);
+        if value >= level {
+            if inner.waiting.is_empty() {
+                self.fast.clear_waiters();
+            }
+            self.stats.record_check_immediate();
+            return Ok(());
+        }
+        if let Some(info) = &inner.poisoned {
+            let info = info.clone();
+            if inner.waiting.is_empty() {
+                self.fast.clear_waiters();
+            }
+            return Err(CheckError::Poisoned(info));
+        }
+        let mut inserted = false;
+        let node = Arc::clone(inner.waiting.entry(level).or_insert_with(|| {
+            inserted = true;
+            Arc::new(WaitNode::new(level))
+        }));
+        if inserted {
+            self.stats.record_node_created();
+        }
+        node.add_waiter();
+        self.stats.record_check_suspended();
+        while !node.is_set() && !node.is_poisoned() {
+            inner = node
+                .cv
+                .wait(inner)
+                .expect("counter lock poisoned while waiting");
+        }
+        let poisoned = node.is_poisoned();
+        self.stats.record_waiter_resumed();
+        if node.remove_waiter() {
+            self.stats.record_node_freed();
+        }
+        if poisoned {
+            let info = inner
+                .poisoned
+                .clone()
+                .expect("poisoned wait node without a recorded cause");
+            return Err(CheckError::Poisoned(info));
+        }
+        Ok(())
+    }
+
+    fn wait_timeout(&self, level: Value, timeout: Duration) -> Result<(), CheckError> {
+        if self.fast.is_satisfied(level) {
+            self.stats.record_fast_check();
+            return Ok(());
+        }
+        self.combine();
+        if self.fast.is_satisfied(level) {
+            self.stats.record_fast_check();
+            return Ok(());
+        }
+        let deadline = Instant::now() + timeout;
+        self.tighten_threshold();
+        let mut inner = self.lock();
+        self.stats.record_slow_entry();
+        let value = self.register_and_drain(&mut inner);
+        if value >= level {
+            if inner.waiting.is_empty() {
+                self.fast.clear_waiters();
+            }
+            self.stats.record_check_immediate();
+            return Ok(());
+        }
+        if let Some(info) = &inner.poisoned {
+            let info = info.clone();
+            if inner.waiting.is_empty() {
+                self.fast.clear_waiters();
+            }
+            return Err(CheckError::Poisoned(info));
+        }
+        let mut inserted = false;
+        let node = Arc::clone(inner.waiting.entry(level).or_insert_with(|| {
+            inserted = true;
+            Arc::new(WaitNode::new(level))
+        }));
+        if inserted {
+            self.stats.record_node_created();
+        }
+        node.add_waiter();
+        self.stats.record_check_suspended();
+        loop {
+            // Satisfied first, then poisoned, then the deadline — the same
+            // precedence as every other implementation.
+            if node.is_set() {
+                self.stats.record_waiter_resumed();
+                if node.remove_waiter() {
+                    self.stats.record_node_freed();
+                }
+                return Ok(());
+            }
+            if node.is_poisoned() {
+                self.stats.record_waiter_resumed();
+                if node.remove_waiter() {
+                    self.stats.record_node_freed();
+                }
+                let info = inner
+                    .poisoned
+                    .clone()
+                    .expect("poisoned wait node without a recorded cause");
+                return Err(CheckError::Poisoned(info));
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                self.stats.record_waiter_resumed();
+                if node.remove_waiter() {
+                    inner.waiting.remove(&level);
+                    self.stats.record_node_freed();
+                    if inner.waiting.is_empty() {
+                        self.fast.clear_waiters();
+                    }
+                }
+                return Err(CheckError::Timeout(CheckTimeoutError { level }));
+            }
+            let (guard, _) = node
+                .cv
+                .wait_timeout(inner, deadline - now)
+                .expect("counter lock poisoned while waiting");
+            inner = guard;
+        }
+    }
+
+    fn poison(&self, info: FailureInfo) {
+        if !self.poison_enabled {
+            return;
+        }
+        let swept = {
+            let mut inner = self.lock();
+            if inner.poisoned.is_some() {
+                return;
+            }
+            // Publish pending deltas first: waiters whose levels the true
+            // value already satisfies wake successfully (satisfied-first
+            // semantics), only genuinely unsatisfiable ones are poisoned.
+            let pending = self.drain_cells();
+            let mut swept = self.publish_locked(&mut inner, pending).1;
+            self.fast.set_poison();
+            inner.poisoned = Some(info);
+            let rest = Self::remove_satisfied(&mut inner.waiting, Value::MAX);
+            for node in &rest {
+                node.poison();
+                self.stats.record_notify();
+            }
+            swept.extend(rest);
+            self.fast.clear_waiters();
+            swept
+        };
+        for node in swept {
+            node.cv.notify_all();
+        }
+    }
+
+    fn poison_info(&self) -> Option<FailureInfo> {
+        if !self.fast.is_poisoned() {
+            return None;
+        }
+        self.lock().poisoned.clone()
+    }
+}
+
+impl Buildable for ShardedCounter {
+    fn from_config(cfg: &BuildConfig) -> Self {
+        let shards = cfg
+            .shards()
+            .unwrap_or_else(default_shards)
+            .clamp(1, 1024)
+            .next_power_of_two();
+        let max_backlog = cfg
+            .capacity()
+            .map(|c| (c as u64).max(MIN_FLUSH_THRESHOLD))
+            .unwrap_or(DEFAULT_MAX_BACKLOG);
+        ShardedCounter {
+            fast: FastWord::new(cfg.initial()),
+            cells: (0..shards).map(|_| Cell::default()).collect(),
+            mask: shards - 1,
+            flush_threshold: AtomicU64::new(MIN_FLUSH_THRESHOLD),
+            max_backlog,
+            inner: Mutex::new(Inner {
+                wide: cfg.initial(),
+                waiting: BTreeMap::new(),
+                poisoned: None,
+            }),
+            stats: Stats::with_enabled(cfg.stats_enabled()),
+            poison_enabled: cfg.poison_propagates(),
+        }
+    }
+}
+
+impl ResumableCounter for ShardedCounter {
+    fn resume_from(value: Value) -> Self {
+        Self::builder().initial(value).build()
+    }
+}
+
+impl Resettable for ShardedCounter {
+    fn reset(&mut self) {
+        let inner = self.inner.get_mut().expect("counter lock poisoned");
+        debug_assert!(inner.waiting.is_empty(), "reset called while threads wait");
+        for cell in self.cells.iter_mut() {
+            *cell.pending.get_mut() = 0;
+        }
+        inner.wide = 0;
+        inner.poisoned = None;
+        self.fast.reset(0);
+        *self.flush_threshold.get_mut() = MIN_FLUSH_THRESHOLD;
+    }
+}
+
+impl CounterDiagnostics for ShardedCounter {
+    fn debug_value(&self) -> Value {
+        // Published plus unpublished. Racy across cells (diagnostics only),
+        // exact whenever the counter is quiescent.
+        let hint = self.fast.value_hint();
+        let published = if hint < crate::fastpath::FAST_CAP {
+            hint
+        } else {
+            self.lock().wide
+        };
+        published + self.pending()
+    }
+
+    fn stats(&self) -> StatsSnapshot {
+        self.stats.snapshot()
+    }
+
+    fn impl_name(&self) -> &'static str {
+        "sharded"
+    }
+
+    fn waiters(&self) -> Vec<WaitingLevel> {
+        self.lock()
+            .waiting
+            .values()
+            .map(|n| WaitingLevel {
+                level: n.level,
+                threads: n.waiter_count(),
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MonotonicCounter;
+    use std::thread;
+
+    #[test]
+    fn increments_park_in_cells_until_the_threshold() {
+        let c = ShardedCounter::builder().build();
+        c.increment(1);
+        assert_eq!(c.pending(), 1, "small increments stay in the cell");
+        assert_eq!(c.debug_value(), 1, "debug_value includes pending");
+        // Cross the minimum threshold: everything publishes.
+        c.increment(MIN_FLUSH_THRESHOLD);
+        assert_eq!(c.pending(), 0, "threshold flush drains the cells");
+        assert_eq!(c.debug_value(), MIN_FLUSH_THRESHOLD + 1);
+    }
+
+    #[test]
+    fn satisfied_check_is_fast_even_with_pending() {
+        let c = ShardedCounter::builder().build();
+        c.increment(20); // crosses the threshold, publishes
+        c.check(20);
+        let s = c.stats();
+        assert_eq!(s.fast_checks, 1);
+        assert_eq!(s.slow_path_entries, 0);
+    }
+
+    #[test]
+    fn check_self_serves_pending_deltas() {
+        let c = ShardedCounter::builder().build();
+        c.increment(3); // below threshold: parked
+                        // The published word says 0, but the check must not suspend.
+        c.check(3);
+        assert_eq!(c.pending(), 0, "the check published the cells itself");
+        let s = c.stats();
+        assert_eq!(s.suspensions, 0);
+    }
+
+    #[test]
+    fn threshold_adapts_up_and_snaps_back() {
+        let c = ShardedCounter::builder().capacity(64).build();
+        assert_eq!(c.flush_threshold(), MIN_FLUSH_THRESHOLD);
+        for _ in 0..100 {
+            c.increment(MIN_FLUSH_THRESHOLD);
+        }
+        assert!(
+            c.flush_threshold() > MIN_FLUSH_THRESHOLD,
+            "quiet flushes must relax the threshold"
+        );
+        assert!(c.flush_threshold() <= 64, "capacity bounds the threshold");
+        // An (unsatisfied) wait snaps it back to eager.
+        let _ = c.wait_timeout(u64::MAX / 2, Duration::from_millis(1));
+        assert_eq!(c.flush_threshold(), MIN_FLUSH_THRESHOLD);
+    }
+
+    #[test]
+    fn waiter_forces_eager_publication() {
+        let c = Arc::new(ShardedCounter::builder().build());
+        let c2 = Arc::clone(&c);
+        let h = thread::spawn(move || c2.check(3));
+        while c.stats().live_waiters == 0 {
+            thread::yield_now();
+        }
+        // Each increment must publish eagerly now: one single-unit increment
+        // at a time, far below any threshold.
+        c.increment(1);
+        c.increment(1);
+        c.increment(1);
+        h.join().unwrap();
+        assert_eq!(c.pending(), 0);
+    }
+
+    #[test]
+    fn no_lost_increments_across_threads() {
+        let c = Arc::new(ShardedCounter::builder().shards(8).build());
+        let threads = 8;
+        let per_thread = 10_000u64;
+        let mut handles = Vec::new();
+        for _ in 0..threads {
+            let c = Arc::clone(&c);
+            handles.push(thread::spawn(move || {
+                for _ in 0..per_thread {
+                    c.increment(1);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(c.debug_value(), threads as u64 * per_thread);
+        c.check(threads as u64 * per_thread);
+    }
+
+    #[test]
+    fn writers_race_waiters_without_losing_wakeups() {
+        for _ in 0..20 {
+            let c = Arc::new(ShardedCounter::builder().shards(4).build());
+            let mut handles = Vec::new();
+            for level in 1..=8u64 {
+                let c = Arc::clone(&c);
+                handles.push(thread::spawn(move || {
+                    c.check_timeout(level * 4, Duration::from_secs(10))
+                }));
+            }
+            for _ in 0..8 {
+                let c = Arc::clone(&c);
+                handles.push(thread::spawn(move || {
+                    for _ in 0..4 {
+                        c.increment(1);
+                    }
+                    Ok(())
+                }));
+            }
+            for h in handles {
+                assert_eq!(h.join().unwrap(), Ok(()));
+            }
+            assert_eq!(c.debug_value(), 32);
+        }
+    }
+
+    #[test]
+    fn exact_overflow_errors_with_pending_deltas() {
+        let c = ShardedCounter::builder().build();
+        c.increment(5); // parked
+        c.increment(u64::MAX - 6); // huge: locked path, publishes the 5 first
+        assert_eq!(c.debug_value(), u64::MAX - 1);
+        let err = c.try_increment(2).unwrap_err();
+        assert_eq!(err.value, u64::MAX - 1);
+        assert_eq!(err.amount, 2);
+        c.increment(1);
+        assert_eq!(c.debug_value(), u64::MAX);
+        c.check(u64::MAX);
+    }
+
+    #[test]
+    fn advance_to_respects_pending_deltas() {
+        let c = ShardedCounter::builder().build();
+        c.increment(5); // parked: published word still 0
+        c.advance_to(3); // below the true value: must be a no-op
+        assert_eq!(c.debug_value(), 5, "advance below the true value raised it");
+        c.advance_to(9);
+        assert_eq!(c.debug_value(), 9);
+    }
+
+    #[test]
+    fn poison_publishes_before_sweeping() {
+        let c = Arc::new(ShardedCounter::builder().build());
+        let sat = {
+            let c = Arc::clone(&c);
+            thread::spawn(move || c.wait(2))
+        };
+        let unsat = {
+            let c = Arc::clone(&c);
+            thread::spawn(move || c.wait(100))
+        };
+        while c.stats().live_waiters < 2 {
+            thread::yield_now();
+        }
+        // Parked via the eager path (waiters exist), so both are published;
+        // then poison. The level-2 waiter must succeed, the level-100 one
+        // must fail.
+        c.increment(2);
+        c.poison(FailureInfo::new("writer died"));
+        assert_eq!(sat.join().unwrap(), Ok(()));
+        assert!(matches!(
+            unsat.join().unwrap(),
+            Err(CheckError::Poisoned(_))
+        ));
+    }
+
+    #[test]
+    fn shard_count_is_power_of_two_and_clamped() {
+        assert_eq!(ShardedCounter::builder().shards(3).build().shard_count(), 4);
+        assert_eq!(ShardedCounter::builder().shards(1).build().shard_count(), 1);
+        let d = ShardedCounter::builder().build().shard_count();
+        assert!(d.is_power_of_two() && (4..=64).contains(&d));
+    }
+
+    #[test]
+    fn reset_clears_cells_and_threshold() {
+        let mut c = ShardedCounter::builder().build();
+        c.increment(3);
+        for _ in 0..50 {
+            c.increment(MIN_FLUSH_THRESHOLD);
+        }
+        c.reset();
+        assert_eq!(c.debug_value(), 0);
+        assert_eq!(c.pending(), 0);
+        assert_eq!(c.flush_threshold(), MIN_FLUSH_THRESHOLD);
+        c.increment(1);
+        c.check(1);
+    }
+}

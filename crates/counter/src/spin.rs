@@ -7,6 +7,7 @@
 //! plentiful; pathological when waits are long or cores are scarce.
 //! Included for the E7 ablation.
 
+use crate::builder::{BuildConfig, Buildable, CounterBuilder};
 use crate::error::{CheckError, CheckTimeoutError, CounterOverflowError, FailureInfo};
 use crate::stats::{Stats, StatsSnapshot};
 use crate::traits::{CounterDiagnostics, MonotonicCounter, Resettable, ResumableCounter};
@@ -26,28 +27,43 @@ pub struct SpinCounter {
     poisoned: AtomicBool,
     cause: Mutex<Option<FailureInfo>>,
     stats: Stats,
+    poison_enabled: bool,
 }
 
 impl Default for SpinCounter {
     fn default() -> Self {
-        Self::new()
+        Self::builder().build()
+    }
+}
+
+impl Buildable for SpinCounter {
+    fn from_config(cfg: &BuildConfig) -> Self {
+        SpinCounter {
+            value: AtomicU64::new(cfg.initial()),
+            poisoned: AtomicBool::new(false),
+            cause: Mutex::new(None),
+            stats: Stats::with_enabled(cfg.stats_enabled()),
+            poison_enabled: cfg.poison_propagates(),
+        }
     }
 }
 
 impl SpinCounter {
+    /// Starts building a counter; see [`CounterBuilder`].
+    pub fn builder() -> CounterBuilder<Self> {
+        CounterBuilder::new()
+    }
+
     /// Creates a counter with value zero.
+    #[deprecated(note = "use CounterBuilder: `SpinCounter::builder().build()`")]
     pub fn new() -> Self {
-        Self::with_value(0)
+        Self::builder().build()
     }
 
     /// Creates a counter starting at `value`.
+    #[deprecated(note = "use CounterBuilder: `SpinCounter::builder().initial(value).build()`")]
     pub fn with_value(value: Value) -> Self {
-        SpinCounter {
-            value: AtomicU64::new(value),
-            poisoned: AtomicBool::new(false),
-            cause: Mutex::new(None),
-            stats: Stats::default(),
-        }
+        Self::builder().initial(value).build()
     }
 
     /// Reads the poisoning cause after observing the `poisoned` flag. The
@@ -140,6 +156,9 @@ impl MonotonicCounter for SpinCounter {
     }
 
     fn poison(&self, info: FailureInfo) {
+        if !self.poison_enabled {
+            return;
+        }
         let mut cause = self.cause.lock().expect("poison cause lock poisoned");
         if cause.is_some() {
             return;
@@ -167,7 +186,7 @@ impl MonotonicCounter for SpinCounter {
 
 impl ResumableCounter for SpinCounter {
     fn resume_from(value: Value) -> Self {
-        Self::with_value(value)
+        Self::builder().initial(value).build()
     }
 }
 
@@ -200,7 +219,7 @@ mod tests {
 
     #[test]
     fn wait_and_wake() {
-        let c = Arc::new(SpinCounter::new());
+        let c = Arc::new(SpinCounter::default());
         let c2 = Arc::clone(&c);
         let h = std::thread::spawn(move || c2.check(5));
         for _ in 0..5 {
@@ -212,13 +231,13 @@ mod tests {
 
     #[test]
     fn timeout_expires_without_increment() {
-        let c = SpinCounter::new();
+        let c = SpinCounter::default();
         assert!(c.check_timeout(1, Duration::from_millis(10)).is_err());
     }
 
     #[test]
     fn poison_breaks_the_spin_loop() {
-        let c = Arc::new(SpinCounter::new());
+        let c = Arc::new(SpinCounter::default());
         let c2 = Arc::clone(&c);
         let h = std::thread::spawn(move || c2.wait(100));
         while c.stats().live_waiters == 0 {
@@ -233,7 +252,7 @@ mod tests {
 
     #[test]
     fn concurrent_increments_sum() {
-        let c = Arc::new(SpinCounter::new());
+        let c = Arc::new(SpinCounter::default());
         std::thread::scope(|s| {
             for _ in 0..8 {
                 let c = Arc::clone(&c);

@@ -20,6 +20,10 @@ use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
 /// line (the E8 tables measure it with stats enabled).
 #[derive(Debug, Default)]
 pub(crate) struct Stats {
+    /// Set when the counter was built with `.stats(false)`: every record
+    /// method becomes a no-op and snapshots report zeros. `false` (the
+    /// `Default`) keeps the historical always-on behavior.
+    disabled: bool,
     slow_increments: AtomicU64,
     slow_checks: AtomicU64,
     slow_immediate_checks: AtomicU64,
@@ -47,16 +51,34 @@ fn bump_max(max: &AtomicU64, candidate: u64) {
 }
 
 impl Stats {
+    /// A stats block honoring the builder's `.stats(enabled)` knob; the
+    /// `Default` construction is the always-on equivalent.
+    pub(crate) fn with_enabled(enabled: bool) -> Self {
+        Stats {
+            disabled: !enabled,
+            ..Stats::default()
+        }
+    }
+
     pub(crate) fn record_increment(&self) {
+        if self.disabled {
+            return;
+        }
         self.slow_increments.fetch_add(1, Relaxed);
     }
 
     pub(crate) fn record_check_immediate(&self) {
+        if self.disabled {
+            return;
+        }
         self.slow_checks.fetch_add(1, Relaxed);
         self.slow_immediate_checks.fetch_add(1, Relaxed);
     }
 
     pub(crate) fn record_check_suspended(&self) {
+        if self.disabled {
+            return;
+        }
         self.slow_checks.fetch_add(1, Relaxed);
         self.suspensions.fetch_add(1, Relaxed);
         let live = self.live_waiters.fetch_add(1, Relaxed) + 1;
@@ -64,21 +86,33 @@ impl Stats {
     }
 
     pub(crate) fn record_waiter_resumed(&self) {
+        if self.disabled {
+            return;
+        }
         self.live_waiters.fetch_sub(1, Relaxed);
     }
 
     pub(crate) fn record_node_created(&self) {
+        if self.disabled {
+            return;
+        }
         self.nodes_created.fetch_add(1, Relaxed);
         let live = self.live_nodes.fetch_add(1, Relaxed) + 1;
         bump_max(&self.max_live_nodes, live);
     }
 
     pub(crate) fn record_node_freed(&self) {
+        if self.disabled {
+            return;
+        }
         self.nodes_freed.fetch_add(1, Relaxed);
         self.live_nodes.fetch_sub(1, Relaxed);
     }
 
     pub(crate) fn record_notify(&self) {
+        if self.disabled {
+            return;
+        }
         self.notifies.fetch_add(1, Relaxed);
     }
 
@@ -86,6 +120,9 @@ impl Stats {
     ///
     /// One `fetch_add`; the snapshot folds it into the `increments` total.
     pub(crate) fn record_fast_increment(&self) {
+        if self.disabled {
+            return;
+        }
         self.fast_increments.fetch_add(1, Relaxed);
     }
 
@@ -94,11 +131,17 @@ impl Stats {
     /// One `fetch_add`; the snapshot folds it into the `checks` and
     /// `immediate_checks` totals.
     pub(crate) fn record_fast_check(&self) {
+        if self.disabled {
+            return;
+        }
         self.fast_checks.fetch_add(1, Relaxed);
     }
 
     /// Any operation that acquired the slow-path mutex.
     pub(crate) fn record_slow_entry(&self) {
+        if self.disabled {
+            return;
+        }
         self.slow_path_entries.fetch_add(1, Relaxed);
     }
 

@@ -279,7 +279,7 @@ struct Shared {
 /// use std::sync::Arc;
 ///
 /// let sup = Supervisor::new();
-/// let done = Arc::new(Counter::new());
+/// let done = Arc::new(Counter::default());
 /// sup.register("done", &done);
 /// let report = sup.diagnose();
 /// assert_eq!(report.counters[0].verdict, StallVerdict::Idle);
@@ -348,8 +348,8 @@ impl Supervisor {
     }
 
     /// Takes on a supervised obligation to increment the counter registered
-    /// under `name` by `amount`: like [`CounterExt::obligation`]
-    /// [`CounterExt::obligation`]: crate::CounterExt::obligation
+    /// under `name` by `amount`: like
+    /// [`CounterExt::obligation`](crate::CounterExt::obligation)
     /// (delivers on normal drop, poisons on unwind-drop), and additionally
     /// counted in [`CounterReport::outstanding_obligations`] so the
     /// supervisor can tell "increment still owed" from "never coming".
@@ -662,7 +662,7 @@ mod tests {
     #[test]
     fn idle_counter_is_idle() {
         let sup = Supervisor::new();
-        let c = Arc::new(Counter::new());
+        let c = Arc::new(Counter::default());
         sup.register("c", &c);
         c.increment(4);
         let report = sup.diagnose();
@@ -674,7 +674,7 @@ mod tests {
     #[test]
     fn dropped_counter_leaves_the_registry() {
         let sup = Supervisor::new();
-        let c = Arc::new(Counter::new());
+        let c = Arc::new(Counter::default());
         sup.register("gone", &c);
         drop(c);
         assert!(sup.diagnose().counters.is_empty());
@@ -683,8 +683,8 @@ mod tests {
     #[test]
     fn stuck_vs_slow_distinction() {
         let sup = Supervisor::new();
-        let slow = Arc::new(Counter::new());
-        let stuck = Arc::new(Counter::new());
+        let slow = Arc::new(Counter::default());
+        let stuck = Arc::new(Counter::default());
         sup.register("slow", &slow);
         sup.register("stuck", &stuck);
 
@@ -723,7 +723,7 @@ mod tests {
     #[test]
     fn obligation_accounting_tracks_lifecycle() {
         let sup = Supervisor::new();
-        let c = Arc::new(Counter::new());
+        let c = Arc::new(Counter::default());
         sup.register("c", &c);
         let ob = sup.obligation("c", 3).unwrap();
         assert_eq!(sup.diagnose().counters[0].outstanding_obligations, 3);
@@ -736,7 +736,7 @@ mod tests {
     #[test]
     fn supervised_obligation_poisons_on_unwind() {
         let sup = Supervisor::new();
-        let c = Arc::new(Counter::new());
+        let c = Arc::new(Counter::default());
         sup.register("c", &c);
         let sup2 = sup.clone();
         let h = thread::spawn(move || {
@@ -758,7 +758,7 @@ mod tests {
             interval: Duration::from_millis(20),
             poison_stuck: true,
         });
-        let c = Arc::new(Counter::new());
+        let c = Arc::new(Counter::default());
         sup.register("stuck", &c);
         sup.start();
         let c2 = Arc::clone(&c);
@@ -781,7 +781,7 @@ mod tests {
             interval: Duration::from_millis(10),
             poison_stuck: true,
         });
-        let c = Arc::new(Counter::new());
+        let c = Arc::new(Counter::default());
         sup.register("busy", &c);
         sup.start();
         // Keep making progress: the supervisor must never poison.
@@ -819,7 +819,7 @@ mod tests {
                 interval: Duration::from_millis(0),
                 poison_stuck: false,
             });
-            let c = Arc::new(Counter::new());
+            let c = Arc::new(Counter::default());
             sup.register("c", &c);
             sup.start();
             let exited = sup
@@ -876,7 +876,7 @@ mod tests {
         // SpinCounter has no introspectable waiters: diagnosis degrades to
         // value + obligations without error.
         let sup = Supervisor::new();
-        let c = Arc::new(SpinCounter::new());
+        let c = Arc::new(SpinCounter::default());
         sup.register("spin", &c);
         let report = sup.diagnose();
         assert_eq!(report.counters[0].verdict, StallVerdict::Idle);

@@ -62,7 +62,7 @@ impl RecordingCounter {
     /// Creates a recording counter with value zero and an empty log.
     pub fn new() -> Self {
         RecordingCounter {
-            inner: Counter::new(),
+            inner: Counter::builder().build(),
             calls: Mutex::new(Vec::new()),
         }
     }
@@ -262,9 +262,31 @@ pub fn assert_all_forwarded(rec: &RecordingCounter) {
     );
 }
 
+/// Coerces a counter to [`crate::DynCounter`] and drives the full erased
+/// surface. Call this once per implementation: it fails to compile if the
+/// trait stops being object-safe, and fails at runtime if erased dispatch
+/// misbehaves.
+pub fn exercise_erased<C: MonotonicCounter + 'static>(counter: C) {
+    let erased: crate::DynCounter = std::sync::Arc::new(counter);
+    exercise_all(erased.as_ref());
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn every_implementation_coerces_to_dyn_counter() {
+        exercise_erased(crate::Counter::default());
+        exercise_erased(crate::AtomicCounter::default());
+        exercise_erased(crate::BTreeCounter::default());
+        exercise_erased(crate::ParkingCounter::default());
+        exercise_erased(crate::NaiveCounter::default());
+        exercise_erased(crate::SpinCounter::default());
+        exercise_erased(crate::MonitorCounter::default());
+        exercise_erased(crate::TracingCounter::default());
+        exercise_erased(crate::ShardedCounter::default());
+    }
 
     #[test]
     fn exercise_all_hits_every_method_on_a_bare_recording_counter() {
@@ -308,7 +330,7 @@ mod tests {
         // TracingCounter wraps the concrete `Counter` directly, so the
         // recording technique cannot interpose; instead verify behaviorally
         // that the full surface works through it.
-        let c = crate::TracingCounter::new();
+        let c = crate::TracingCounter::default();
         exercise_all(&c);
         assert_eq!(c.debug_value(), 6);
     }

@@ -17,6 +17,7 @@
 //! sequence of states is captured even though thread scheduling is
 //! nondeterministic.
 
+use crate::builder::{BuildConfig, Buildable, CounterBuilder};
 use crate::counter::{Counter, Inner};
 use crate::error::{CheckError, CheckTimeoutError, CounterOverflowError, FailureInfo};
 use crate::stats::StatsSnapshot;
@@ -130,22 +131,36 @@ pub struct TracingCounter {
 
 impl Default for TracingCounter {
     fn default() -> Self {
-        Self::new()
+        Self::builder().build()
+    }
+}
+
+impl Buildable for TracingCounter {
+    fn from_config(cfg: &BuildConfig) -> Self {
+        let (counter, log) = Counter::new_traced(cfg);
+        TracingCounter { counter, log }
     }
 }
 
 impl TracingCounter {
+    /// Starts building a counter; see [`CounterBuilder`]. The log starts with
+    /// the construction state (Figure 2 (a)).
+    pub fn builder() -> CounterBuilder<Self> {
+        CounterBuilder::new()
+    }
+
     /// Creates a traced counter; the log starts with the construction state
     /// (Figure 2 (a)).
+    #[deprecated(note = "use CounterBuilder: `TracingCounter::builder().build()`")]
     pub fn new() -> Self {
-        Self::with_value(0)
+        Self::builder().build()
     }
 
     /// Creates a traced counter starting at `value`; the log's construction
     /// state records that value.
+    #[deprecated(note = "use CounterBuilder: `TracingCounter::builder().initial(value).build()`")]
     pub fn with_value(value: Value) -> Self {
-        let (counter, log) = Counter::new_traced(value);
-        TracingCounter { counter, log }
+        Self::builder().initial(value).build()
     }
 
     /// The sequence of structure snapshots recorded so far, oldest first.
@@ -203,7 +218,7 @@ impl MonotonicCounter for TracingCounter {
 
 impl ResumableCounter for TracingCounter {
     fn resume_from(value: Value) -> Self {
-        Self::with_value(value)
+        Self::builder().initial(value).build()
     }
 }
 
@@ -238,7 +253,7 @@ mod tests {
 
     #[test]
     fn construction_records_state_a() {
-        let c = TracingCounter::new();
+        let c = TracingCounter::default();
         assert_eq!(c.log(), vec![CounterSnapshot::of(0, &[])]);
     }
 
@@ -263,7 +278,7 @@ mod tests {
     /// The full Figure 2 reproduction: states (a) through (g).
     #[test]
     fn figure2_sequence_is_reproduced() {
-        let c = Arc::new(TracingCounter::new());
+        let c = Arc::new(TracingCounter::default());
 
         // (b) T1: Check(5). Wait until the node is registered.
         let t1 = {

@@ -255,14 +255,14 @@ mod tests {
 
     #[test]
     fn core_trait_is_object_safe() {
-        let c: Box<dyn MonotonicCounter> = Box::new(Counter::new());
+        let c: Box<dyn MonotonicCounter> = Box::new(Counter::default());
         c.increment(2);
         c.check(2);
     }
 
     #[test]
     fn diagnostics_trait_is_object_safe() {
-        let c: Box<dyn CounterDiagnostics> = Box::new(Counter::new());
+        let c: Box<dyn CounterDiagnostics> = Box::new(Counter::default());
         assert_eq!(c.debug_value(), 0);
         assert_eq!(c.impl_name(), "waitlist");
     }
@@ -271,7 +271,7 @@ mod tests {
     fn both_trait_objects_via_supertrait_free_composition() {
         // A concrete counter serves both surfaces; the split only prevents
         // *generic* synchronization code from reaching the diagnostics.
-        let c = Arc::new(Counter::new());
+        let c = Arc::new(Counter::default());
         let sync: Arc<dyn MonotonicCounter> = Arc::clone(&c) as _;
         sync.increment(3);
         let diag: &dyn CounterDiagnostics = &*c;
@@ -280,7 +280,7 @@ mod tests {
 
     #[test]
     fn bump_increments_by_one() {
-        let c = Counter::new();
+        let c = Counter::default();
         c.bump();
         c.bump();
         assert_eq!(c.debug_value(), 2);
@@ -288,7 +288,7 @@ mod tests {
 
     #[test]
     fn sequenced_orders_sections() {
-        let c = Arc::new(Counter::new());
+        let c = Arc::new(Counter::default());
         let out = Arc::new(std::sync::Mutex::new(Vec::new()));
         std::thread::scope(|s| {
             // Spawn in reverse order to make unordered execution likely
@@ -306,7 +306,7 @@ mod tests {
 
     #[test]
     fn sequenced_returns_closure_value() {
-        let c = Counter::new();
+        let c = Counter::default();
         let v = c.sequenced(0, || 7 * 6);
         assert_eq!(v, 42);
         assert_eq!(c.debug_value(), 1);

@@ -4,8 +4,8 @@
 
 use mc_counter::{
     AtomicCounter, BTreeCounter, CheckError, Counter, CounterDiagnostics, FailureInfo,
-    MonitorCounter, MonotonicCounter, NaiveCounter, ParkingCounter, Resettable, SpinCounter,
-    TracingCounter,
+    MonitorCounter, MonotonicCounter, NaiveCounter, ParkingCounter, Resettable, ShardedCounter,
+    SpinCounter, TracingCounter,
 };
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -410,20 +410,23 @@ macro_rules! conformance {
             fn resumable_surface_conforms() {
                 mc_counter::testkit::exercise_resumable::<$ty>();
             }
-            // `with_value` is an inherent constructor (uniform across all
-            // implementations), so it is exercised here via the macro rather
-            // than through a trait bound.
             #[test]
-            fn with_value_starts_at_value() {
-                let c = <$ty>::with_value(17);
+            fn builder_initial_starts_at_value() {
+                let c = <$ty>::builder().initial(17).build();
                 assert_eq!(c.debug_value(), 17);
                 c.check(17); // already satisfied
                 c.increment(3);
                 assert_eq!(c.debug_value(), 20);
             }
+            // The deprecated shims must keep forwarding to the builder with
+            // identical behavior for as long as they exist.
             #[test]
-            fn new_equals_default() {
+            #[allow(deprecated)]
+            fn deprecated_constructors_match_builder() {
                 assert_eq!(<$ty>::new().debug_value(), <$ty>::default().debug_value());
+                let legacy = <$ty>::with_value(17);
+                let built = <$ty>::builder().initial(17).build();
+                assert_eq!(legacy.debug_value(), built.debug_value());
             }
             // Near `u64::MAX` the packed-word hint saturates, so
             // implementations fall back to their slow paths; timeouts must
@@ -432,7 +435,7 @@ macro_rules! conformance {
             fn timeout_liveness_near_saturation() {
                 use std::time::{Duration, Instant};
                 const SHORT: Duration = Duration::from_millis(30);
-                let c = <$ty>::with_value(u64::MAX - 5);
+                let c = <$ty>::builder().initial(u64::MAX - 5).build();
                 // Satisfied: returns promptly regardless of the hint regime.
                 assert!(c
                     .check_timeout(u64::MAX - 5, Duration::from_secs(10))
@@ -458,3 +461,4 @@ conformance!(atomic, AtomicCounter);
 conformance!(traced, TracingCounter);
 conformance!(spin, SpinCounter);
 conformance!(monitor, MonitorCounter);
+conformance!(sharded, ShardedCounter);

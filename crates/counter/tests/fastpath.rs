@@ -15,6 +15,7 @@
 
 use mc_counter::{
     AtomicCounter, BTreeCounter, Counter, CounterDiagnostics, MonotonicCounter, ParkingCounter,
+    ShardedCounter,
 };
 use proptest::prelude::*;
 use std::sync::Arc;
@@ -150,7 +151,7 @@ macro_rules! fastpath_battery {
             }
             #[test]
             fn saturated_regime_is_exact() {
-                super::saturated_regime_is_exact(<$ty>::with_value);
+                super::saturated_regime_is_exact(|v| <$ty>::builder().initial(v).build());
             }
 
             proptest! {
@@ -171,6 +172,7 @@ fastpath_battery!(waitlist, Counter);
 fastpath_battery!(btree, BTreeCounter);
 fastpath_battery!(parking, ParkingCounter);
 fastpath_battery!(atomic, AtomicCounter);
+fastpath_battery!(sharded, ShardedCounter);
 
 /// The ablation counter must do the same work entirely under the mutex.
 #[test]

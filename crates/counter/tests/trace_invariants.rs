@@ -35,7 +35,7 @@ fn assert_snapshot_invariants(snap: &CounterSnapshot) {
 }
 
 fn run_workload(levels: Vec<u64>, increments: Vec<u64>) {
-    let c = Arc::new(TracingCounter::new());
+    let c = Arc::new(TracingCounter::default());
     let total: u64 = increments.iter().sum();
     // Only spawn waiters that are guaranteed to be released.
     let levels: Vec<u64> = levels.into_iter().map(|l| l % (total + 1)).collect();
@@ -82,7 +82,7 @@ proptest! {
         targets in proptest::collection::vec(1u64..100, 1..8),
         levels in proptest::collection::vec(0u64..100, 0..6),
     ) {
-        let c = Arc::new(TracingCounter::new());
+        let c = Arc::new(TracingCounter::default());
         let max = *targets.iter().max().unwrap();
         let levels: Vec<u64> = levels.into_iter().map(|l| l % (max + 1)).collect();
         std::thread::scope(|s| {
@@ -105,7 +105,7 @@ proptest! {
 #[test]
 fn deterministic_single_thread_log() {
     // Without concurrency the log is fully deterministic; pin it exactly.
-    let c = TracingCounter::new();
+    let c = TracingCounter::default();
     c.increment(2);
     c.increment(3);
     let log = c.log();

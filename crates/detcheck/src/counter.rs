@@ -55,7 +55,7 @@ impl TrackedCounter {
     /// when recording skeleton events).
     pub fn named(label: impl Into<String>) -> Self {
         TrackedCounter {
-            counter: Counter::new(),
+            counter: Counter::default(),
             history: Mutex::new(History {
                 value: 0,
                 cumulative: VectorClock::new(),

@@ -325,11 +325,11 @@ where
             mode: options.mode,
             enqueued: AtomicU64::new(recovered.value),
             dirty: AtomicBool::new(false),
-            rounds: Counter::new(),
-            durable: Counter::with_value(recovered.value),
+            rounds: Counter::default(),
+            durable: Counter::builder().initial(recovered.value).build(),
             poison_requests: Mutex::new(Vec::new()),
             poisons_enqueued: AtomicU64::new(0),
-            poisons_synced: Counter::new(),
+            poisons_synced: Counter::default(),
             stop: AtomicBool::new(false),
             fsyncs: AtomicU64::new(0),
             records_logged: AtomicU64::new(0),

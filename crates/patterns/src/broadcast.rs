@@ -50,7 +50,7 @@ impl<T> Broadcast<T> {
     pub fn new(capacity: usize) -> Self {
         Broadcast {
             slots: (0..capacity).map(|_| OnceLock::new()).collect(),
-            count: Counter::new(),
+            count: Counter::default(),
             writer_claimed: AtomicBool::new(false),
         }
     }

@@ -37,7 +37,7 @@ impl Sequencer<Counter> {
     /// Creates a sequencer whose next admitted ticket is 0.
     pub fn new() -> Self {
         Sequencer {
-            counter: Counter::new(),
+            counter: Counter::default(),
         }
     }
 }

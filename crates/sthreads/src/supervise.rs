@@ -84,7 +84,7 @@ impl<'a> PanicCollector<'a> {
 /// use mc_counter::{CheckError, Counter, MonotonicCounter};
 /// use mc_sthreads::{supervised_for, ExecutionMode};
 ///
-/// let done = Counter::new();
+/// let done = Counter::default();
 /// let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
 ///     supervised_for(ExecutionMode::Multithreaded, 0..4u64, &[&done], |i| {
 ///         if i == 2 {
@@ -185,7 +185,7 @@ mod tests {
     #[test]
     fn panic_free_run_behaves_like_the_plain_construct() {
         for mode in ExecutionMode::ALL {
-            let done = Counter::new();
+            let done = Counter::default();
             let hits = AtomicUsize::new(0);
             supervised_for(mode, 0..8u64, &[&done], |_| {
                 hits.fetch_add(1, Ordering::SeqCst);
@@ -199,7 +199,7 @@ mod tests {
 
     #[test]
     fn panicking_iteration_poisons_with_the_real_payload() {
-        let done = Counter::new();
+        let done = Counter::default();
         let result = catch_unwind(AssertUnwindSafe(|| {
             supervised_for(ExecutionMode::Multithreaded, 0..4u64, &[&done], |i| {
                 if i == 1 {
@@ -215,7 +215,7 @@ mod tests {
 
     #[test]
     fn blocked_sibling_fails_fast_instead_of_hanging() {
-        let done = Arc::new(Counter::new());
+        let done = Arc::new(Counter::default());
         let saw_poison = Arc::new(AtomicUsize::new(0));
         let result = {
             let done = Arc::clone(&done);
@@ -246,7 +246,7 @@ mod tests {
 
     #[test]
     fn unblocked_siblings_run_to_completion() {
-        let done = Counter::new();
+        let done = Counter::default();
         let completed = AtomicUsize::new(0);
         let _ = catch_unwind(AssertUnwindSafe(|| {
             supervised_for(ExecutionMode::Multithreaded, 0..6u64, &[&done], |i| {
@@ -265,7 +265,7 @@ mod tests {
 
     #[test]
     fn sequential_mode_poisons_then_propagates_immediately() {
-        let done = Counter::new();
+        let done = Counter::default();
         let ran = AtomicUsize::new(0);
         let result = catch_unwind(AssertUnwindSafe(|| {
             supervised_for(ExecutionMode::Sequential, 0..5u64, &[&done], |i| {
@@ -286,7 +286,7 @@ mod tests {
 
     #[test]
     fn first_panic_wins_when_several_iterations_fail() {
-        let done = Counter::new();
+        let done = Counter::default();
         let result = catch_unwind(AssertUnwindSafe(|| {
             supervised_for(ExecutionMode::Sequential, 0..3u64, &[&done], |i| {
                 panic!("failure {i}");
@@ -302,7 +302,7 @@ mod tests {
     #[test]
     fn supervised_tasks_poison_and_reraise() {
         for mode in ExecutionMode::ALL {
-            let done = Counter::new();
+            let done = Counter::default();
             let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = vec![
                 Box::new(|| done.increment(1)),
                 Box::new(|| panic!("task failed")),
@@ -316,8 +316,8 @@ mod tests {
 
     #[test]
     fn multiple_counters_are_all_poisoned() {
-        let a = Counter::new();
-        let b = Counter::new();
+        let a = Counter::default();
+        let b = Counter::default();
         let _ = catch_unwind(AssertUnwindSafe(|| {
             supervised_for(ExecutionMode::Sequential, 0..1u64, &[&a, &b], |_| {
                 panic!("both must learn of this");

@@ -72,7 +72,7 @@ impl std::error::Error for DeadlineExceeded {}
 ///
 /// // A genuinely stuck counter program: the wait can never be satisfied.
 /// let hung = run_with_deadline(Duration::from_millis(50), |sup| {
-///     let never = Arc::new(Counter::new());
+///     let never = Arc::new(Counter::default());
 ///     sup.register("never", &never);
 ///     let _ = never.wait(1); // poisoned at the deadline: returns Err
 /// });
@@ -148,7 +148,7 @@ mod tests {
     #[test]
     fn counter_blocked_program_is_terminated_by_poisoning() {
         let err = run_with_deadline(Duration::from_millis(100), |sup| {
-            let never = Arc::new(Counter::new());
+            let never = Arc::new(Counter::default());
             sup.register("never", &never);
             match never.wait(1) {
                 Err(CheckError::Poisoned(info)) => {
@@ -168,7 +168,7 @@ mod tests {
         // A program using the panicking `check` surface still terminates:
         // poisoning turns the check into a panic that unwinds the thread.
         let err = run_with_deadline(Duration::from_millis(100), |sup| {
-            let never = Arc::new(Counter::new());
+            let never = Arc::new(Counter::default());
             sup.register("never", &never);
             never.check(1);
         })

@@ -39,7 +39,7 @@ pub struct ConcreteRun {
 /// the counters themselves, not a property of the skeleton).
 pub fn run_concrete(sk: &Skeleton, timeout: Duration) -> ConcreteRun {
     let counters: Vec<Arc<Counter>> = (0..sk.num_counters())
-        .map(|_| Arc::new(Counter::new()))
+        .map(|_| Arc::new(Counter::default()))
         .collect();
     let supervisor = Supervisor::new();
     for (i, c) in counters.iter().enumerate() {

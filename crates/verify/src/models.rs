@@ -251,6 +251,36 @@ pub fn ragged_stencil(participants: usize, steps: usize) -> Skeleton {
     b.build()
 }
 
+/// The `ShardedCounter` combiner discipline of `mc-counter`: each writer
+/// accumulates deltas in its own striped cell (private writes — the cell is
+/// keyed by thread), and every delta is eventually published into the
+/// counter the waiters watch. A waiter checks the full total before draining
+/// the cells, so its reads are ordered after every writer's last store by
+/// the publication chain — the skeleton form of the eager-flush/lazy-combine
+/// correctness argument.
+pub fn sharded_combiner(writers: usize, deltas: usize) -> Skeleton {
+    assert!(writers >= 1);
+    let mut b = SkeletonBuilder::new();
+    let published = b.counter("published");
+    let cells: Vec<_> = (0..writers).map(|w| b.var(format!("cell[{w}]"))).collect();
+    let total = (writers * deltas) as u64;
+    for (w, &cell) in cells.iter().enumerate() {
+        let mut tb = b.thread(format!("writer{w}"));
+        for _ in 0..deltas {
+            tb = tb.write(cell).inc(published, 1);
+        }
+        let _ = tb;
+    }
+    {
+        let mut tb = b.thread("waiter").check(published, total);
+        for &cell in &cells {
+            tb = tb.read(cell);
+        }
+        let _ = tb;
+    }
+    b.build()
+}
+
 /// All models at small exercise sizes, with names — the corpus used by the
 /// cross-validation tests and the E10 experiment.
 pub fn corpus() -> Vec<(&'static str, Skeleton)> {
@@ -263,6 +293,7 @@ pub fn corpus() -> Vec<(&'static str, Skeleton)> {
         ("broadcast", broadcast(3, 4)),
         ("pipeline", pipeline(3, 4)),
         ("ragged_stencil", ragged_stencil(3, 3)),
+        ("sharded_combiner", sharded_combiner(3, 2)),
     ]
 }
 
@@ -297,6 +328,7 @@ mod tests {
             ("broadcast", true),
             ("pipeline", true),
             ("ragged_stencil", false),
+            ("sharded_combiner", true),
         ];
         for (name, sk) in corpus() {
             let v = verify(&sk);

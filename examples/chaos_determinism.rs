@@ -10,7 +10,7 @@ use std::sync::{Arc, Mutex};
 
 fn counter_program(seed: u64, chained: bool) -> i64 {
     let chaos = Arc::new(Chaos::new(seed));
-    let c = Arc::new(ChaosCounter::new(Counter::new(), Arc::clone(&chaos)));
+    let c = Arc::new(ChaosCounter::new(Counter::default(), Arc::clone(&chaos)));
     let x = Arc::new(Mutex::new(3i64));
     std::thread::scope(|s| {
         let (c1, x1) = (Arc::clone(&c), Arc::clone(&x));

@@ -7,7 +7,7 @@ use monotonic_counters::prelude::*;
 use std::sync::Arc;
 
 fn main() {
-    let c = Arc::new(TracingCounter::new());
+    let c = Arc::new(TracingCounter::default());
     println!("(a) after construction:          {}", c.snapshot());
 
     // (b) T1: Check(5)

@@ -7,7 +7,7 @@ use std::sync::Arc;
 
 fn main() {
     // 1. A counter starts at zero; Check(level) suspends until value >= level.
-    let ready = Arc::new(Counter::new());
+    let ready = Arc::new(Counter::default());
     let worker = {
         let ready = Arc::clone(&ready);
         std::thread::spawn(move || {
@@ -60,7 +60,7 @@ fn main() {
 
     // 4. No decrement, no probe: once a level is reached it stays reached,
     //    so checks can never race.
-    let c = Counter::new();
+    let c = Counter::default();
     c.increment(10);
     c.check(10); // immediate now and forever
     println!("counter value (debug only): {}", c.debug_value());

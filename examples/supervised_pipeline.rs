@@ -17,7 +17,7 @@ use std::time::Duration;
 fn main() {
     // 1. A panicking producer poisons its counter through the obligation
     //    guard; the blocked consumer is released with the cause.
-    let c = Arc::new(Counter::new());
+    let c = Arc::new(Counter::default());
     let consumer = {
         let c = Arc::clone(&c);
         std::thread::spawn(move || c.wait(10))
@@ -69,8 +69,8 @@ fn main() {
         interval: Duration::from_millis(50),
         ..Default::default()
     });
-    let slow = Arc::new(Counter::new());
-    let stuck = Arc::new(Counter::new());
+    let slow = Arc::new(Counter::default());
+    let stuck = Arc::new(Counter::default());
     supervisor.register("slow", &slow);
     supervisor.register("stuck", &stuck);
     let pending = supervisor.obligation("slow", 4).unwrap();

@@ -35,10 +35,14 @@
 //! ```
 //! use monotonic_counters::prelude::*;
 //!
-//! let c = Counter::new();
+//! let c = Counter::default();
 //! c.increment(1);
 //! c.check(1);
 //! ```
+
+mod error;
+
+pub use error::Error;
 
 pub use mc_algos as algos;
 pub use mc_chaos as chaos;
@@ -60,12 +64,14 @@ pub use mc_sthreads as sthreads;
 /// [`Resettable`]: mc_counter::Resettable
 /// [`CounterDiagnostics`]: mc_counter::CounterDiagnostics
 pub mod prelude {
+    pub use crate::Error;
     pub use mc_counter::{
-        check_all, AtomicCounter, BTreeCounter, CheckError, CheckTimeoutError, Counter,
-        CounterDiagnostics, CounterExt, CounterOverflowError, CounterSet, FailureInfo,
-        MonitorCounter, MonotonicCounter, NaiveCounter, Obligation, ParkingCounter, Resettable,
-        SpinCounter, StallReport, StallVerdict, StatsSnapshot, Supervisor, SupervisorConfig,
-        TracingCounter, Value,
+        check_all, AtomicCounter, BTreeCounter, BuildConfig, Buildable, CheckError,
+        CheckTimeoutError, Counter, CounterBuilder, CounterDiagnostics, CounterExt,
+        CounterOverflowError, CounterSet, DynCounter, FailureInfo, MonitorCounter,
+        MonotonicCounter, NaiveCounter, Obligation, ParkingCounter, PoisonPolicy, Resettable,
+        ShardedCounter, SpinCounter, StallReport, StallVerdict, StatsSnapshot, Supervisor,
+        SupervisorConfig, TracingCounter, Value,
     };
     pub use mc_durable::{DurabilityMode, DurableCounter, DurableOptions};
     pub use mc_patterns::{

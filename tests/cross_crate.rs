@@ -24,6 +24,7 @@ fn sequencer_over_every_counter_impl() {
     run::<NaiveCounter>();
     run::<ParkingCounter>();
     run::<AtomicCounter>();
+    run::<ShardedCounter>();
 }
 
 /// Every counter implementation drives the ragged barrier correctly.
@@ -65,7 +66,7 @@ fn ragged_barrier_over_every_counter_impl() {
 fn mixed_primitive_program() {
     let n = 6;
     let start = Arc::new(Latch::new(1));
-    let order = Arc::new(Counter::new());
+    let order = Arc::new(Counter::default());
     let phase_end = Arc::new(Barrier::new(n));
     let done = Arc::new(Event::new());
     let log = Arc::new(Mutex::new(Vec::new()));
@@ -99,7 +100,7 @@ fn mixed_primitive_program() {
 fn broadcast_into_ordered_fold() {
     let n = 100;
     let b = Arc::new(Broadcast::new(n));
-    let order = Arc::new(Counter::new());
+    let order = Arc::new(Counter::default());
     let folded = Arc::new(Mutex::new(String::new()));
     std::thread::scope(|s| {
         let bw = Arc::clone(&b);
@@ -128,8 +129,8 @@ fn broadcast_into_ordered_fold() {
 #[test]
 fn check_all_spans_heterogeneous_sources() {
     use mc_counter::check_all;
-    let a = Arc::new(Counter::new());
-    let b = Arc::new(Counter::new());
+    let a = Arc::new(Counter::default());
+    let b = Arc::new(Counter::default());
     let (a2, b2) = (Arc::clone(&a), Arc::clone(&b));
     let waiter = std::thread::spawn(move || {
         check_all([(&*a2, 2u64), (&*b2, 3u64)]);
@@ -144,11 +145,13 @@ fn check_all_spans_heterogeneous_sources() {
 /// The facade prelude exposes everything the README promises.
 #[test]
 fn prelude_surface() {
-    let _c: Counter = Counter::new();
-    let _n: NaiveCounter = NaiveCounter::new();
-    let _b: BTreeCounter = BTreeCounter::new();
-    let _p: ParkingCounter = ParkingCounter::new();
-    let _a: AtomicCounter = AtomicCounter::new();
+    let _c: Counter = Counter::default();
+    let _n: NaiveCounter = NaiveCounter::default();
+    let _b: BTreeCounter = BTreeCounter::default();
+    let _p: ParkingCounter = ParkingCounter::default();
+    let _a: AtomicCounter = AtomicCounter::default();
+    let _sh: ShardedCounter = ShardedCounter::builder().shards(4).build();
+    let _dyn: DynCounter = Arc::new(Counter::builder().build());
     let _set: CounterSet<Counter> = CounterSet::new(2);
     let _bar = Barrier::new(1);
     let _ev = Event::new();
@@ -160,4 +163,48 @@ fn prelude_surface() {
     let _bc: Broadcast<u8> = Broadcast::new(0);
     let _pl: Pipeline<u8> = Pipeline::new();
     multithreaded_for(ExecutionMode::Sequential, 0..2, |_| {});
+}
+
+/// The unified `Error` lets one function `?` across synchronization,
+/// overflow, and durability failures.
+#[test]
+fn unified_error_spans_layers() {
+    use std::time::Duration;
+
+    fn mixed(c: &Counter) -> Result<&'static str, Error> {
+        c.try_increment(2)?;
+        c.check_timeout(2, Duration::from_secs(5))?;
+        c.wait(2)?;
+        Ok("all layers consulted")
+    }
+    let c = Counter::default();
+    assert_eq!(mixed(&c).unwrap(), "all layers consulted");
+
+    // Timeout converts (from both the bare and the enum form).
+    let t = c.check_timeout(10, Duration::from_millis(10)).unwrap_err();
+    assert!(matches!(Error::from(t), Error::Timeout(_)));
+    let t = c.wait_timeout(10, Duration::from_millis(10)).unwrap_err();
+    assert!(matches!(Error::from(t), Error::Timeout(_)));
+
+    // Overflow converts.
+    c.advance_to(u64::MAX);
+    let o = c.try_increment(1).unwrap_err();
+    assert!(matches!(Error::from(o), Error::Overflow(_)));
+
+    // Poison converts and the cause survives.
+    let p = Counter::default();
+    p.poison(FailureInfo::new("producer died"));
+    let e: Error = p.wait(1).unwrap_err().into();
+    match e {
+        Error::Poisoned(info) => assert!(info.to_string().contains("producer died")),
+        other => panic!("expected Poisoned, got {other}"),
+    }
+
+    // Durability errors convert, including via io::Error, and Display/source
+    // forward to the underlying layer's reporting.
+    let io = std::io::Error::other("disk gone");
+    let e: Error = io.into();
+    assert!(matches!(e, Error::Wal(_)));
+    assert!(e.to_string().contains("disk gone"));
+    assert!(std::error::Error::source(&e).is_some());
 }

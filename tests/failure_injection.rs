@@ -15,7 +15,7 @@ use std::time::Duration;
 /// everyone else, with its node reclaimed.
 #[test]
 fn abandoned_wait_does_not_disturb_others() {
-    let c = Arc::new(Counter::new());
+    let c = Arc::new(Counter::default());
     // Patient waiter at the same level as the one that will abandon.
     let patient_same = {
         let c = Arc::clone(&c);
@@ -42,7 +42,7 @@ fn abandoned_wait_does_not_disturb_others() {
 /// working.
 #[test]
 fn panicking_bystander_is_harmless() {
-    let c = Arc::new(Counter::new());
+    let c = Arc::new(Counter::default());
     let c2 = Arc::clone(&c);
     let h = std::thread::spawn(move || {
         c2.check(0); // immediate
@@ -59,7 +59,7 @@ fn panicking_bystander_is_harmless() {
 /// always complete their increments) now degrades cleanly.
 #[test]
 fn panicking_obligation_holder_poisons_its_counter() {
-    let c = Arc::new(Counter::new());
+    let c = Arc::new(Counter::default());
     let waiter = {
         let c = Arc::clone(&c);
         std::thread::spawn(move || c.wait(1))
@@ -94,7 +94,7 @@ fn panicking_obligation_holder_poisons_its_counter() {
 /// using `check` panics with a message containing the poisoning info.
 #[test]
 fn check_panics_with_the_original_cause() {
-    let c = Counter::new();
+    let c = Counter::default();
     let result = catch_unwind(AssertUnwindSafe(|| {
         let _ob = c.obligation(5);
         panic!("disk on fire");
@@ -114,7 +114,7 @@ fn check_panics_with_the_original_cause() {
 #[test]
 fn missing_increment_hang_is_terminated_by_supervisor() {
     let hung = run_with_deadline(Duration::from_millis(200), |sup| {
-        let c = Arc::new(Counter::new());
+        let c = Arc::new(Counter::default());
         sup.register("dependents", &c);
         let waiter = {
             let c = Arc::clone(&c);
@@ -139,8 +139,8 @@ fn missing_increment_hang_is_terminated_by_supervisor() {
 #[test]
 fn supervisor_diagnoses_stuck_vs_slow() {
     let sup = Supervisor::new();
-    let slow = Arc::new(Counter::new());
-    let stuck = Arc::new(Counter::new());
+    let slow = Arc::new(Counter::default());
+    let stuck = Arc::new(Counter::default());
     sup.register("slow", &slow);
     sup.register("stuck", &stuck);
     // The slow counter has an outstanding obligation covering its waiter.
@@ -173,7 +173,7 @@ fn supervisor_diagnoses_stuck_vs_slow() {
 /// re-raised after all threads are joined.
 #[test]
 fn supervised_for_fails_fast_and_reraises() {
-    let c = Counter::new();
+    let c = Counter::default();
     let result = catch_unwind(AssertUnwindSafe(|| {
         supervised_for(ExecutionMode::Multithreaded, 0..4u64, &[&c], |i| match i {
             0 => panic!("iteration 0 failed"),
@@ -197,7 +197,11 @@ fn supervised_for_fails_fast_and_reraises() {
 fn chaos_abandoned_increment_poisons_waiters() {
     let seed = monotonic_counters::chaos::seed_from_env(42);
     let chaos = Arc::new(Chaos::new(seed));
-    let c = Arc::new(ChaosCounter::with_abandon_after(Counter::new(), chaos, 3));
+    let c = Arc::new(ChaosCounter::with_abandon_after(
+        Counter::default(),
+        chaos,
+        3,
+    ));
     let waiter = {
         let c = Arc::clone(&c);
         std::thread::spawn(move || c.wait(5))
@@ -348,7 +352,7 @@ fn ragged_barrier_obligation_fails_neighbours_fast() {
 #[test]
 fn tracing_counter_logs_abandonment() {
     use monotonic_counters::counter::TracingCounter;
-    let c = TracingCounter::new();
+    let c = TracingCounter::default();
     assert!(c.check_timeout(3, Duration::from_millis(20)).is_err());
     let log = c.log();
     // Last state: empty waiting list again (the abandoned node removed).
@@ -361,7 +365,7 @@ fn tracing_counter_logs_abandonment() {
 /// corrupting, and the counter continues to work.
 #[test]
 fn overflow_is_contained() {
-    let c = Arc::new(Counter::new());
+    let c = Arc::new(Counter::default());
     c.increment(u64::MAX - 10);
     let waiter = {
         let c = Arc::clone(&c);

@@ -33,7 +33,7 @@ fn section5_1_boundary_exchange() {
 #[test]
 fn section5_2_ordered_append() {
     let result = Arc::new(Mutex::new(Vec::new()));
-    let result_count = Arc::new(Counter::new());
+    let result_count = Arc::new(Counter::default());
     std::thread::scope(|s| {
         for i in 0..10u64 {
             let (result, result_count) = (Arc::clone(&result), Arc::clone(&result_count));
@@ -106,7 +106,7 @@ fn section5_3_blocked_broadcast() {
 fn section6_counter_program_is_deterministic() {
     for _ in 0..20 {
         let x = Arc::new(Mutex::new(3i64));
-        let x_count = Arc::new(Counter::new());
+        let x_count = Arc::new(Counter::default());
         multithreaded! {
             {
                 x_count.check(0);
@@ -143,7 +143,7 @@ fn section6_lock_program_outcomes_are_the_two_interleavings() {
 /// immediately; the initial value is zero; increments accumulate.
 #[test]
 fn section2_interface_semantics() {
-    let c = Counter::new();
+    let c = Counter::default();
     c.check(0); // value 0 satisfies level 0
     c.increment(3);
     c.increment(2);
@@ -156,7 +156,7 @@ fn section2_interface_semantics() {
 /// concurrent misuse unrepresentable.
 #[test]
 fn section2_reset_between_phases() {
-    let mut c = Counter::new();
+    let mut c = Counter::default();
     for _phase in 0..3 {
         c.increment(4);
         c.check(4);

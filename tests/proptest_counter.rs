@@ -100,7 +100,7 @@ proptest! {
         levels in proptest::collection::vec(1u64..100, 1..12),
         extra in 0u64..50,
     ) {
-        let c = Arc::new(Counter::new());
+        let c = Arc::new(Counter::default());
         let max = *levels.iter().max().unwrap();
         let distinct = {
             let mut d = levels.clone();
@@ -135,7 +135,7 @@ proptest! {
         initial in 0u64..1000,
         later in proptest::collection::vec(0u64..100, 0..10),
     ) {
-        let c = Counter::new();
+        let c = Counter::default();
         c.increment(initial);
         c.check(initial);
         for amount in later {
@@ -154,7 +154,7 @@ proptest! {
     ) {
         use mc_counter::check_all;
         let counters: Vec<Counter> = values.iter().map(|&v| {
-            let c = Counter::new();
+            let c = Counter::default();
             c.increment(v);
             c
         }).collect();

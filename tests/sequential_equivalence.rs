@@ -13,7 +13,7 @@ use std::time::Duration;
 /// sequentially). Runs it in a given mode and returns the shared result.
 fn ordered_pipeline(mode: ExecutionMode) -> Vec<u64> {
     let log = Arc::new(Mutex::new(Vec::new()));
-    let c = Arc::new(Counter::new());
+    let c = Arc::new(Counter::default());
     let mut tasks: Vec<Box<dyn FnOnce() + Send>> = Vec::new();
     for i in 0..12u64 {
         let (log, c) = (Arc::clone(&log), Arc::clone(&c));
@@ -78,7 +78,7 @@ fn broadcast_multithreaded_equals_sequential() {
 fn out_of_order_program_deadlocks_sequentially_only() {
     fn build(mode: ExecutionMode) -> impl FnOnce(&Supervisor) + Send {
         move |_sup| {
-            let c = Arc::new(Counter::new());
+            let c = Arc::new(Counter::default());
             let mut tasks: Vec<Box<dyn FnOnce() + Send>> = Vec::new();
             {
                 let c = Arc::clone(&c);

@@ -108,7 +108,7 @@ fn hammer_spin() {
 #[test]
 fn two_hundred_distinct_levels() {
     let n = 200u64;
-    let c = Arc::new(Counter::new());
+    let c = Arc::new(Counter::default());
     let mut handles = Vec::new();
     for i in 1..=n {
         let c = Arc::clone(&c);
