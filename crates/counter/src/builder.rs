@@ -153,7 +153,9 @@ impl<C: Buildable> CounterBuilder<C> {
     }
 
     /// Capacity bound. For sharded implementations: the maximum unpublished
-    /// backlog a stripe may accumulate before a flush is forced. Ignored by
+    /// backlog a stripe may accumulate before a flush is forced, clamped to
+    /// `[8, 2^30]` — the upper bound keeps pending sums far below the range
+    /// where publication arithmetic could overflow. Ignored by
     /// implementations without internal buffering.
     pub fn capacity(mut self, capacity: usize) -> Self {
         self.cfg.capacity = Some(capacity);

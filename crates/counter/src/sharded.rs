@@ -72,11 +72,21 @@
 //!
 //! The cells-only fast tier is restricted to a regime where overflow is
 //! impossible: amounts at most 2^30, per-cell backlogs at most the capacity
-//! bound, and a published hint below 2^61 (half the [`FastWord`] hint
-//! range). Everything outside that regime — huge amounts, values near
-//! saturation — funnels through the lock, where [`FastWord::locked_add`]
-//! keeps exact `u64` arithmetic and exact overflow errors, pending deltas
-//! included (they are drained and published before the fallible add).
+//! bound (itself clamped to 2^30), and a published hint below 2^61 (half
+//! the [`FastWord`] hint range). Everything outside that regime — huge
+//! amounts, values near saturation — funnels through the lock, where
+//! [`FastWord::locked_add`] keeps exact `u64` arithmetic and exact overflow
+//! errors, pending deltas included (they are drained and published before
+//! the fallible add).
+//!
+//! One racy corner remains: the regime gate is a load, so a delta can park
+//! concurrently with an `advance_to`/`raise` that jumps the published value
+//! near `u64::MAX`. The incrementer re-checks the gate after parking and
+//! flushes through the lock immediately if it lost that race; if the delta
+//! is nonetheless flushed against a value it no longer fits above,
+//! publication saturates at `u64::MAX` (a valid linearization — the parked
+//! increment overlapped the jump and is ordered before it) instead of
+//! failing.
 
 use crate::builder::{BuildConfig, Buildable, CounterBuilder};
 use crate::error::{CheckError, CheckTimeoutError, CounterOverflowError, FailureInfo};
@@ -112,6 +122,13 @@ const MIN_FLUSH_THRESHOLD: u64 = 8;
 /// Default upper bound of the adaptive flush threshold (per cell), i.e. the
 /// default of the builder's `capacity` knob for sharded counters.
 const DEFAULT_MAX_BACKLOG: u64 = 1024;
+
+/// Hard ceiling on the builder's `capacity` knob. Per-cell backlogs must
+/// stay far below the headroom between [`FAST_REGIME_LIMIT`] and
+/// `u64::MAX`, or the "pending sums cannot overflow" regime argument the
+/// combiner relies on stops holding; an unbounded user value like
+/// `usize::MAX` would break it outright.
+const MAX_BACKLOG_LIMIT: u64 = 1 << 30;
 
 /// One increment stripe, padded to its own cache line so writers on
 /// different shards never invalidate each other.
@@ -253,8 +270,10 @@ impl ShardedCounter {
     /// Publishes `pending` into the fast word under the lock and sweeps the
     /// newly satisfied waiters. Returns the new published value and the
     /// swept nodes (signalled, not yet notified — the caller decides whether
-    /// to notify under or after the lock). Infallible: pending sums are
-    /// accumulated only in the overflow-free fast regime.
+    /// to notify under or after the lock). Infallible: pending sums stay far
+    /// below overflow while the published value is in the fast regime, and
+    /// the one way out of that regime mid-park (a concurrent jump, below)
+    /// saturates instead of failing.
     ///
     /// Deliberately does **not** clear the waiters bit on an emptied map:
     /// `register_and_drain` calls this between setting the bit and the
@@ -265,10 +284,22 @@ impl ShardedCounter {
         if pending == 0 {
             return (self.fast.locked_value(inner.wide), Vec::new());
         }
-        let new_value = self
-            .fast
-            .locked_add(&mut inner.wide, pending)
-            .expect("pending publication cannot overflow: fast regime is bounded");
+        // Deltas are parked only while the published value is inside the
+        // fast regime, but the gate load in `try_increment` races concurrent
+        // `advance_to`/`raise` jumps that can land the value near
+        // `u64::MAX` before the delta is flushed. Such a delta necessarily
+        // overlapped the jump (a non-overlapping increment re-reads the word
+        // and takes the exact locked path), so linearizing it *before* the
+        // jump — where it fits below the jump target and is subsumed by it —
+        // is a valid history: saturate at `u64::MAX`, the counter's terminal
+        // value, rather than panic in whichever thread flushes next.
+        let new_value = match self.fast.locked_add(&mut inner.wide, pending) {
+            Ok(value) => value,
+            Err(_) => self
+                .fast
+                .locked_advance(&mut inner.wide, Value::MAX)
+                .unwrap_or(Value::MAX),
+        };
         let satisfied = Self::remove_satisfied(&mut inner.waiting, new_value);
         for node in &satisfied {
             node.signal();
@@ -288,7 +319,8 @@ impl ShardedCounter {
         match self.fast.try_increment(pending) {
             FastIncrement::Done => {}
             // Waiters registered or hint saturated: publish under the lock
-            // so the sweep runs. Overflow is impossible for a pending sum.
+            // so the sweep runs (`publish_locked` absorbs the saturation
+            // corner, so no error can surface here).
             FastIncrement::Contended | FastIncrement::Overflow(_) => {
                 let satisfied = {
                     let mut inner = self.lock();
@@ -306,9 +338,10 @@ impl ShardedCounter {
         }
     }
 
-    /// The eager (waiter-aware) publication path: the caller observed the
-    /// has-waiters bit after parking a delta, so drain and publish under the
-    /// lock, waking whoever the new value satisfies.
+    /// The eager publication path: the caller observed the has-waiters bit
+    /// (or a published value outside the fast regime) after parking a delta,
+    /// so drain and publish under the lock, waking whoever the new value
+    /// satisfies.
     fn flush_for_waiters(&self) {
         let satisfied = {
             let mut inner = self.lock();
@@ -361,7 +394,22 @@ impl ShardedCounter {
             self.stats.record_slow_entry();
             let pending = self.drain_cells();
             let mut satisfied = self.publish_locked(&mut inner, pending).1;
-            let new_value = self.fast.locked_add(&mut inner.wide, amount)?;
+            // The pending publication may have signalled waiters (already
+            // removed from the map), so the overflow arm must still notify
+            // them — an early `?` here would strand them in `Condvar::wait`.
+            let new_value = match self.fast.locked_add(&mut inner.wide, amount) {
+                Ok(value) => value,
+                Err(e) => {
+                    if inner.waiting.is_empty() {
+                        self.fast.clear_waiters();
+                    }
+                    drop(inner);
+                    for node in satisfied {
+                        node.cv.notify_all();
+                    }
+                    return Err(e);
+                }
+            };
             self.stats.record_increment();
             let mut more = Self::remove_satisfied(&mut inner.waiting, new_value);
             for node in &more {
@@ -419,7 +467,13 @@ impl MonotonicCounter for ShardedCounter {
         // Dekker handshake with a registering waiter: cell RMW, fence, then
         // the waiters-bit test (the waiter does bit RMW, fence, cell drain).
         fence(SeqCst);
-        if self.fast.has_waiters() {
+        if self.fast.value_hint() >= FAST_REGIME_LIMIT {
+            // A concurrent advance/raise jumped the published value past the
+            // regime gate while we parked. Flush through the lock right away
+            // so the delta is folded in (or saturated, see `publish_locked`)
+            // instead of lingering in a cell outside the bounded regime.
+            self.flush_for_waiters();
+        } else if self.fast.has_waiters() {
             self.flush_for_waiters();
         } else if pend >= self.flush_threshold.load(Relaxed) {
             self.combine();
@@ -667,7 +721,7 @@ impl Buildable for ShardedCounter {
             .next_power_of_two();
         let max_backlog = cfg
             .capacity()
-            .map(|c| (c as u64).max(MIN_FLUSH_THRESHOLD))
+            .map(|c| (c as u64).clamp(MIN_FLUSH_THRESHOLD, MAX_BACKLOG_LIMIT))
             .unwrap_or(DEFAULT_MAX_BACKLOG);
         ShardedCounter {
             fast: FastWord::new(cfg.initial()),
@@ -908,6 +962,57 @@ mod tests {
             unsat.join().unwrap(),
             Err(CheckError::Poisoned(_))
         ));
+    }
+
+    /// Regression: an overflowing `raise` used to early-return after the
+    /// pending publication had already signalled-and-removed waiters,
+    /// skipping their `notify_all` — the waiter below would hang forever.
+    #[test]
+    fn overflowing_raise_still_wakes_swept_waiters() {
+        let c = Arc::new(ShardedCounter::builder().build());
+        let waiter = {
+            let c = Arc::clone(&c);
+            thread::spawn(move || c.wait(1))
+        };
+        while c.stats().live_waiters == 0 {
+            thread::yield_now();
+        }
+        // Park a delta directly in a cell, bypassing the eager flush — the
+        // in-flight window between an increment's fetch_add and its
+        // waiters-bit test.
+        c.cells[0].pending.fetch_add(1, AcqRel);
+        // The huge increment drains and publishes the delta (satisfying the
+        // waiter) and then overflows in the same critical section.
+        let err = c.try_increment(u64::MAX).unwrap_err();
+        assert_eq!(err.value, 1);
+        assert_eq!(err.amount, u64::MAX);
+        assert_eq!(waiter.join().unwrap(), Ok(()));
+    }
+
+    /// Regression: a delta parked behind a stale fast-regime gate used to
+    /// panic the next flusher when a concurrent jump pushed the published
+    /// value to `u64::MAX`; publication now saturates.
+    #[test]
+    fn flush_after_value_jump_saturates_instead_of_panicking() {
+        let c = ShardedCounter::builder().build();
+        c.advance_to(u64::MAX);
+        // Simulate the racy incrementer whose gate load predated the jump.
+        c.cells[0].pending.fetch_add(5, AcqRel);
+        c.combine();
+        assert_eq!(c.debug_value(), u64::MAX);
+        c.check(u64::MAX);
+        // Exact overflow errors continue at the terminal value.
+        let err = c.try_increment(1).unwrap_err();
+        assert_eq!(err.value, u64::MAX);
+        assert_eq!(err.amount, 1);
+    }
+
+    #[test]
+    fn capacity_is_clamped_to_safe_bounds() {
+        let huge = ShardedCounter::builder().capacity(usize::MAX).build();
+        assert_eq!(huge.max_backlog, MAX_BACKLOG_LIMIT);
+        let tiny = ShardedCounter::builder().capacity(0).build();
+        assert_eq!(tiny.max_backlog, MIN_FLUSH_THRESHOLD);
     }
 
     #[test]
