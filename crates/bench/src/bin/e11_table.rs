@@ -154,8 +154,10 @@ fn main() {
     // ≥3x criterion specifically assumes the 8 writers actually run in
     // parallel. Latency degradation is checked wherever the host allows.
     if cores < 2 {
+        // Machine-greppable: the experiments loop matches `SKIPPED(<reason>)`
+        // to distinguish an environment skip from a silent pass.
         println!(
-            "Shape check SKIPPED: single-core host ({cores} hw thread) — \
+            "Shape check SKIPPED(single-core-host): {cores} hw thread — \
              all-writer contention cannot manifest."
         );
         return;

@@ -28,14 +28,23 @@
 //! and SIGKILLs it mid-protocol, for crash-recovery testing of the
 //! durability layer.
 
+//!
+//! [`failpoints`] injects *IO faults* rather than schedule jitter: named,
+//! seed-deterministic fault sites compiled into the durability layer's
+//! syscall paths, configured via `MC_CHAOS_FAILPOINTS`, with [`torture`]
+//! deriving replayable per-seed fault schedules over them.
+
 mod counter;
 pub mod crash_harness;
 mod explore;
+pub mod failpoints;
 mod jitter;
 pub mod skeleton;
+pub mod torture;
 
 pub use counter::ChaosCounter;
 pub use crash_harness::{CrashReport, CrashScenario};
 pub use explore::{explore, Outcomes};
+pub use failpoints::{FailConfig, Failpoints, Trigger, FAILPOINTS_ENV};
 pub use jitter::{seed_from_env, Chaos, ChaosConfig};
 pub use skeleton::{explore_skeleton, replay_schedule, run_random, ReplayError, SkeletonOutcome};

@@ -39,6 +39,14 @@ pub enum PoisonPolicy {
     /// For harnesses that inject failures elsewhere and want the counter
     /// itself inert.
     Ignore,
+    /// Degrade instead of poisoning when the counter's *backing resource*
+    /// fails (the durability layer's WAL): the counter keeps serving from
+    /// the in-memory fast path, reports `Degraded` health, and self-heals
+    /// when the resource recovers. Explicit `poison` calls still propagate
+    /// exactly as under [`Propagate`] — the policy only reroutes *internal*
+    /// resource failures. Purely in-memory counters have no backing resource
+    /// to degrade on, so for them this behaves identically to `Propagate`.
+    Degrade,
 }
 
 /// The resolved knob set a [`CounterBuilder`] hands to
@@ -95,9 +103,12 @@ impl BuildConfig {
         self.poison
     }
 
-    /// Convenience: `poison_policy() == PoisonPolicy::Propagate`.
+    /// Convenience: whether explicit `poison` calls take effect. True for
+    /// [`PoisonPolicy::Propagate`] and [`PoisonPolicy::Degrade`] (which only
+    /// reroutes internal resource failures), false for
+    /// [`PoisonPolicy::Ignore`].
     pub fn poison_propagates(&self) -> bool {
-        self.poison == PoisonPolicy::Propagate
+        self.poison != PoisonPolicy::Ignore
     }
 }
 

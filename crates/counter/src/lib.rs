@@ -151,7 +151,8 @@ pub use supervisor::{
 };
 pub use trace::{CounterSnapshot, NodeSnapshot, TracingCounter};
 pub use traits::{
-    CounterDiagnostics, CounterExt, MonotonicCounter, Resettable, ResumableCounter, WaitingLevel,
+    CounterDiagnostics, CounterExt, HealthStatus, MonotonicCounter, Resettable, ResumableCounter,
+    WaitingLevel,
 };
 
 /// The integer type used for counter values and levels.

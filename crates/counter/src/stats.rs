@@ -182,6 +182,7 @@ impl Stats {
             fast_increments,
             fast_checks,
             slow_path_entries: self.slow_path_entries.load(Relaxed),
+            io_retries: 0,
         }
     }
 }
@@ -228,6 +229,10 @@ pub struct StatsSnapshot {
     /// waiter-free workload on a fast-path counter reports **zero** here —
     /// the acceptance criterion of the E8 experiment.
     pub slow_path_entries: u64,
+    /// IO operations that were retried after a transient failure. Always
+    /// zero for in-memory counters; filled in by wrappers backed by fallible
+    /// external resources (the durability layer's retry policy).
+    pub io_retries: u64,
 }
 
 impl std::fmt::Display for StatsSnapshot {
@@ -236,7 +241,7 @@ impl std::fmt::Display for StatsSnapshot {
             f,
             "inc {} | chk {} ({} immediate, {} suspended) | nodes {}/{} live/max \
              (created {}, freed {}) | waiters {}/{} live/max | broadcasts {} | \
-             fast {} inc / {} chk | slow entries {}",
+             fast {} inc / {} chk | slow entries {} | io retries {}",
             self.increments,
             self.checks,
             self.immediate_checks,
@@ -250,7 +255,8 @@ impl std::fmt::Display for StatsSnapshot {
             self.notifies,
             self.fast_increments,
             self.fast_checks,
-            self.slow_path_entries
+            self.slow_path_entries,
+            self.io_retries
         )
     }
 }

@@ -13,14 +13,26 @@
 //! provably-stuck counters so the blocked threads fail with a cause.
 
 use crate::error::FailureInfo;
-use crate::traits::{CounterDiagnostics, MonotonicCounter, WaitingLevel};
+use crate::traits::{CounterDiagnostics, HealthStatus, MonotonicCounter, WaitingLevel};
 use crate::Value;
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering::Relaxed};
-use std::sync::{Arc, Condvar, Mutex, Weak};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError, Weak};
 use std::thread::JoinHandle;
 use std::time::Duration;
+
+/// Lock recovery for the supervisor's internal mutexes: a thread that
+/// panicked while holding one (a user clone mid-`register`, a tick that
+/// unwound) must not cascade a `PoisonError` panic into unrelated threads —
+/// in particular the background watch thread, whose silent death would turn
+/// the stall detector itself into a silent stall. Every structure guarded
+/// here (registry `Vec`, report `Option`, handle `Option`) is valid at every
+/// intermediate step of its critical sections, so recovering the guard is
+/// sound.
+fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// What a supervisor needs from a counter: the synchronization surface (to
 /// poison it) plus the diagnostics surface (to observe value and waiters).
@@ -42,6 +54,12 @@ pub struct SupervisorConfig {
     /// a stall report are poisoned, converting the hang into propagated
     /// failures.
     pub poison_stuck: bool,
+    /// When set, a counter reporting [`HealthStatus::Degraded`] for longer
+    /// than this deadline is force-poisoned by the watch thread: degraded
+    /// mode is a *temporary* availability trade, and a disk that never comes
+    /// back must eventually become a propagated failure rather than an
+    /// unbounded replay queue. `None` (the default) never force-poisons.
+    pub degrade_deadline: Option<Duration>,
 }
 
 impl Default for SupervisorConfig {
@@ -49,6 +67,7 @@ impl Default for SupervisorConfig {
         SupervisorConfig {
             interval: Duration::from_millis(200),
             poison_stuck: false,
+            degrade_deadline: None,
         }
     }
 }
@@ -83,6 +102,9 @@ pub struct CounterReport {
     pub poisoned: Option<FailureInfo>,
     /// The stall classification for this counter.
     pub verdict: StallVerdict,
+    /// The counter's backing-resource health at sampling time
+    /// ([`CounterDiagnostics::health`], with poisoned taking precedence).
+    pub health: HealthStatus,
 }
 
 /// A wait-graph diagnostic over every registered counter.
@@ -105,6 +127,15 @@ impl StallReport {
     pub fn has_waiters(&self) -> bool {
         self.counters.iter().any(|c| !c.waiters.is_empty())
     }
+
+    /// The counters currently serving in degraded mode (backing resource
+    /// down, operations queued for replay).
+    pub fn degraded(&self) -> Vec<&CounterReport> {
+        self.counters
+            .iter()
+            .filter(|c| c.health.is_degraded())
+            .collect()
+    }
 }
 
 impl fmt::Display for StallReport {
@@ -118,6 +149,9 @@ impl fmt::Display for StallReport {
             )?;
             if let Some(info) = &c.poisoned {
                 write!(f, ", poisoned ({info})")?;
+            }
+            if c.health.is_degraded() {
+                write!(f, ", {}", c.health)?;
             }
             writeln!(f)?;
             for w in &c.waiters {
@@ -336,15 +370,11 @@ impl Supervisor {
         C: SupervisedCounter + 'static,
     {
         let weak: Weak<dyn SupervisedCounter> = Arc::downgrade(counter) as _;
-        self.shared
-            .entries
-            .lock()
-            .expect("supervisor poisoned")
-            .push(Entry {
-                name: name.into(),
-                counter: weak,
-                obligations: Arc::new(AtomicU64::new(0)),
-            });
+        lock_recover(&self.shared.entries).push(Entry {
+            name: name.into(),
+            counter: weak,
+            obligations: Arc::new(AtomicU64::new(0)),
+        });
     }
 
     /// Takes on a supervised obligation to increment the counter registered
@@ -356,7 +386,7 @@ impl Supervisor {
     ///
     /// Returns `None` when no live counter is registered under `name`.
     pub fn obligation(&self, name: &str, amount: Value) -> Option<SupervisedObligation> {
-        let entries = self.shared.entries.lock().expect("supervisor poisoned");
+        let entries = lock_recover(&self.shared.entries);
         let entry = entries.iter().find(|e| e.name == name)?;
         let counter = entry.counter.upgrade()?;
         entry.obligations.fetch_add(amount, Relaxed);
@@ -373,7 +403,7 @@ impl Supervisor {
     }
 
     fn diagnose_shared(shared: &Shared) -> StallReport {
-        let entries = shared.entries.lock().expect("supervisor poisoned");
+        let entries = lock_recover(&shared.entries);
         let mut counters = Vec::with_capacity(entries.len());
         for e in entries.iter() {
             let Some(c) = e.counter.upgrade() else {
@@ -390,13 +420,20 @@ impl Supervisor {
             } else {
                 StallVerdict::Slow
             };
+            let poisoned = c.poison_info();
+            let health = if poisoned.is_some() {
+                HealthStatus::Poisoned
+            } else {
+                c.health()
+            };
             counters.push(CounterReport {
                 name: e.name.clone(),
                 value,
                 outstanding_obligations: outstanding,
                 waiters,
-                poisoned: c.poison_info(),
+                poisoned,
                 verdict,
+                health,
             });
         }
         StallReport { counters }
@@ -408,7 +445,7 @@ impl Supervisor {
     ///
     /// [`run_with_deadline`]: https://docs.rs/mc-sthreads
     pub fn poison_all(&self, info: FailureInfo) {
-        let entries = self.shared.entries.lock().expect("supervisor poisoned");
+        let entries = lock_recover(&self.shared.entries);
         for e in entries.iter() {
             if let Some(c) = e.counter.upgrade() {
                 c.poison(info.clone());
@@ -420,7 +457,7 @@ impl Supervisor {
     /// [`StallVerdict::NeverSatisfiable`]; returns how many were poisoned.
     pub fn poison_stuck(&self, info: FailureInfo) -> usize {
         let report = self.diagnose();
-        let entries = self.shared.entries.lock().expect("supervisor poisoned");
+        let entries = lock_recover(&self.shared.entries);
         let mut poisoned = 0;
         for c in report.stuck() {
             let Some(entry) = entries.iter().find(|e| e.name == c.name) else {
@@ -434,14 +471,52 @@ impl Supervisor {
         poisoned
     }
 
+    /// Force-poisons every registered counter that has been
+    /// [`HealthStatus::Degraded`] for at least `deadline`, with `info` as
+    /// the cause; returns how many were poisoned. The watch thread calls
+    /// this automatically when [`SupervisorConfig::degrade_deadline`] is
+    /// set.
+    pub fn poison_degraded(&self, deadline: Duration, info: FailureInfo) -> usize {
+        Self::poison_degraded_shared(&self.shared, &self.diagnose(), deadline, Some(info))
+    }
+
+    fn poison_degraded_shared(
+        shared: &Shared,
+        report: &StallReport,
+        deadline: Duration,
+        info: Option<FailureInfo>,
+    ) -> usize {
+        let entries = lock_recover(&shared.entries);
+        let mut poisoned = 0;
+        for c in &report.counters {
+            let HealthStatus::Degraded { since, queued } = c.health else {
+                continue;
+            };
+            if since.elapsed() < deadline {
+                continue;
+            }
+            if let Some(counter) = entries
+                .iter()
+                .find(|e| e.name == c.name)
+                .and_then(|e| e.counter.upgrade())
+            {
+                counter.poison(info.clone().unwrap_or_else(|| {
+                    FailureInfo::new(format!(
+                        "supervisor: counter '{}' degraded beyond deadline ({deadline:?}, \
+                         {queued} queued record(s) unsynced)",
+                        c.name
+                    ))
+                }));
+                poisoned += 1;
+            }
+        }
+        poisoned
+    }
+
     /// The stall report produced by the watch thread's most recent
     /// no-progress interval, if any.
     pub fn last_report(&self) -> Option<StallReport> {
-        self.shared
-            .last_report
-            .lock()
-            .expect("supervisor poisoned")
-            .clone()
+        lock_recover(&self.shared.last_report).clone()
     }
 
     /// Starts the background watch thread (idempotent). Every
@@ -450,7 +525,7 @@ impl Supervisor {
     /// (see [`last_report`](Self::last_report)) and — with
     /// [`SupervisorConfig::poison_stuck`] — poisons provably-stuck counters.
     pub fn start(&self) {
-        let mut watch = self.shared.watch.lock().expect("supervisor poisoned");
+        let mut watch = lock_recover(&self.shared.watch);
         if watch.is_some() {
             return;
         }
@@ -458,11 +533,7 @@ impl Supervisor {
         let stop = Arc::clone(&self.shared.stop);
         let interval = self.shared.config.interval;
         let exited = Arc::new(AtomicBool::new(false));
-        *self
-            .shared
-            .watch_exited
-            .lock()
-            .expect("supervisor poisoned") = Some(Arc::clone(&exited));
+        *lock_recover(&self.shared.watch_exited) = Some(Arc::clone(&exited));
         let handle = std::thread::Builder::new()
             .name("mc-supervisor".into())
             .spawn(move || {
@@ -478,14 +549,14 @@ impl Supervisor {
                 let mut prev: HashMap<String, Value> = HashMap::new();
                 loop {
                     {
-                        let stopped = stop.stopped.lock().expect("supervisor poisoned");
+                        let stopped = lock_recover(&stop.stopped);
                         if *stopped {
                             break;
                         }
                         let (stopped, _) = stop
                             .cv
                             .wait_timeout(stopped, interval)
-                            .expect("supervisor poisoned");
+                            .unwrap_or_else(PoisonError::into_inner);
                         if *stopped {
                             break;
                         }
@@ -504,10 +575,7 @@ impl Supervisor {
     /// by the durability layer right after `recover`/`open`). Accumulated
     /// into [`recovery_report`](Self::recovery_report).
     pub fn note_recovery(&self, name: impl Into<String>, recovery: CounterRecovery) {
-        self.shared
-            .recoveries
-            .lock()
-            .expect("supervisor poisoned")
+        lock_recover(&self.shared.recoveries)
             .counters
             .push(RecoveredCounter {
                 name: name.into(),
@@ -519,16 +587,19 @@ impl Supervisor {
     /// [`note_recovery`](Self::note_recovery) since this supervisor was
     /// created.
     pub fn recovery_report(&self) -> RecoveryReport {
-        self.shared
-            .recoveries
-            .lock()
-            .expect("supervisor poisoned")
-            .clone()
+        lock_recover(&self.shared.recoveries).clone()
     }
 
-    /// One watch-thread sample: diagnose, detect no-progress, record/poison.
+    /// One watch-thread sample: diagnose, enforce the degrade deadline,
+    /// detect no-progress, record/poison.
     fn tick(shared: &Shared, prev: &mut HashMap<String, Value>) {
         let report = Self::diagnose_shared(shared);
+        // Degrade-deadline enforcement runs on every tick, independent of
+        // the no-progress detector: a degraded counter can keep making
+        // in-memory progress forever while its replay queue never drains.
+        if let Some(deadline) = shared.config.degrade_deadline {
+            Self::poison_degraded_shared(shared, &report, deadline, None);
+        }
         let progressed = report
             .counters
             .iter()
@@ -542,7 +613,7 @@ impl Supervisor {
             return;
         }
         if shared.config.poison_stuck {
-            let entries = shared.entries.lock().expect("supervisor poisoned");
+            let entries = lock_recover(&shared.entries);
             for c in report.stuck() {
                 if let Some(counter) = entries
                     .iter()
@@ -557,29 +628,18 @@ impl Supervisor {
                 }
             }
         }
-        *shared.last_report.lock().expect("supervisor poisoned") = Some(report);
+        *lock_recover(&shared.last_report) = Some(report);
     }
 
     /// Stops the watch thread and waits for it to exit (no-op if never
     /// started). Also called automatically when the last clone is dropped.
     pub fn stop(&self) {
         {
-            let mut stopped = self
-                .shared
-                .stop
-                .stopped
-                .lock()
-                .expect("supervisor poisoned");
+            let mut stopped = lock_recover(&self.shared.stop.stopped);
             *stopped = true;
         }
         self.shared.stop.cv.notify_all();
-        if let Some(h) = self
-            .shared
-            .watch
-            .lock()
-            .expect("supervisor poisoned")
-            .take()
-        {
+        if let Some(h) = lock_recover(&self.shared.watch).take() {
             let _ = h.join();
         }
     }
@@ -757,6 +817,7 @@ mod tests {
         let sup = Supervisor::with_config(SupervisorConfig {
             interval: Duration::from_millis(20),
             poison_stuck: true,
+            degrade_deadline: None,
         });
         let c = Arc::new(Counter::default());
         sup.register("stuck", &c);
@@ -780,6 +841,7 @@ mod tests {
         let sup = Supervisor::with_config(SupervisorConfig {
             interval: Duration::from_millis(10),
             poison_stuck: true,
+            degrade_deadline: None,
         });
         let c = Arc::new(Counter::default());
         sup.register("busy", &c);
@@ -798,6 +860,7 @@ mod tests {
         let sup = Supervisor::with_config(SupervisorConfig {
             interval: Duration::from_millis(10),
             poison_stuck: false,
+            degrade_deadline: None,
         });
         sup.start();
         let clone = sup.clone();
@@ -818,6 +881,7 @@ mod tests {
                 // is exactly the window the old strong_count check raced with.
                 interval: Duration::from_millis(0),
                 poison_stuck: false,
+                degrade_deadline: None,
             });
             let c = Arc::new(Counter::default());
             sup.register("c", &c);

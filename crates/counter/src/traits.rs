@@ -173,6 +173,67 @@ pub trait ResumableCounter: MonotonicCounter + Sized {
     fn resume_from(value: Value) -> Self;
 }
 
+/// The availability of a counter's backing resources, as reported by
+/// [`CounterDiagnostics::health`].
+///
+/// Purely in-memory counters are always [`Healthy`](HealthStatus::Healthy).
+/// Wrappers backed by fallible external resources (the durability layer's
+/// WAL) report [`Degraded`](HealthStatus::Degraded) while serving from
+/// memory during a resource outage, and [`Poisoned`](HealthStatus::Poisoned)
+/// once the counter has terminally failed. Poisoned always wins over
+/// degraded: a poisoned counter's degradation details no longer matter to a
+/// supervisor deciding what to do with it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HealthStatus {
+    /// Every acknowledged operation is fully backed (for durable counters:
+    /// fsync-durable on disk).
+    Healthy,
+    /// The backing resource is unavailable; operations are served from
+    /// memory and queued for replay. Self-healing: the owner is probing the
+    /// resource and returns to [`Healthy`](HealthStatus::Healthy) when it
+    /// recovers.
+    Degraded {
+        /// When the counter entered degraded mode.
+        since: std::time::Instant,
+        /// Unsynced records queued for replay (collapsed: pending monotone
+        /// advances count as one record, plus any queued poison events).
+        queued: u64,
+    },
+    /// The counter is poisoned: waits fail with the captured cause.
+    Poisoned,
+}
+
+impl HealthStatus {
+    /// Whether this is [`HealthStatus::Healthy`].
+    pub fn is_healthy(&self) -> bool {
+        matches!(self, HealthStatus::Healthy)
+    }
+
+    /// Whether this is [`HealthStatus::Degraded`].
+    pub fn is_degraded(&self) -> bool {
+        matches!(self, HealthStatus::Degraded { .. })
+    }
+
+    /// Whether this is [`HealthStatus::Poisoned`].
+    pub fn is_poisoned(&self) -> bool {
+        matches!(self, HealthStatus::Poisoned)
+    }
+}
+
+impl std::fmt::Display for HealthStatus {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HealthStatus::Healthy => write!(f, "healthy"),
+            HealthStatus::Degraded { since, queued } => write!(
+                f,
+                "degraded ({:?} elapsed, {queued} queued)",
+                since.elapsed()
+            ),
+            HealthStatus::Poisoned => write!(f, "poisoned"),
+        }
+    }
+}
+
 /// One occupied suspension queue, as reported by
 /// [`CounterDiagnostics::waiters`]: a level and how many threads are
 /// suspended waiting for it.
@@ -213,6 +274,16 @@ pub trait CounterDiagnostics {
     /// value and obligations only.
     fn waiters(&self) -> Vec<WaitingLevel> {
         Vec::new()
+    }
+
+    /// The availability of this counter's backing resources. The default —
+    /// always [`HealthStatus::Healthy`] — is correct for every in-memory
+    /// implementation; wrappers over fallible resources (the durability
+    /// layer) override it. Note the poison state is reported separately via
+    /// [`MonotonicCounter::poison_info`](crate::MonotonicCounter::poison_info);
+    /// the supervisor combines both, with poisoned taking precedence.
+    fn health(&self) -> HealthStatus {
+        HealthStatus::Healthy
     }
 }
 

@@ -1,7 +1,8 @@
 //! [`DurableCounter`]: a crash-durable wrapper over any
 //! [`MonotonicCounter`], logging increments and poison events to a
 //! CRC32-framed write-ahead log with group-commit batching, periodic
-//! snapshots, and torn-tail recovery.
+//! snapshots, torn-tail recovery, bounded I/O retry, and degraded-mode
+//! self-healing.
 //!
 //! # Group commit, guarded by monotonic counters
 //!
@@ -10,9 +11,10 @@
 //!
 //! * `rounds` — writers bump it (at most once per flush round, via a dirty
 //!   flag) to signal work; the flusher `wait`s on it for the next round.
-//! * `durable` — advanced by the flusher to the last fsynced value; a
-//!   strict-mode writer `wait`s on it for its target value, so one fsync
-//!   acknowledges every increment that enqueued before it (group commit).
+//! * `durable` — advanced by the flusher to the last acknowledged-durable
+//!   value; a strict-mode writer `wait`s on it for its target value, so one
+//!   fsync acknowledges every increment that enqueued before it (group
+//!   commit).
 //! * `poisons_synced` — advanced per persisted poison event, so `poison`
 //!   returns only after its cause is durable in **both** modes.
 //!
@@ -21,18 +23,56 @@
 //! read the inner counter's value directly — any snapshot of a monotone
 //! value is a correct durable point, which is why a batched increment costs
 //! only the in-memory increment plus one atomic load.
+//!
+//! # Fault tolerance
+//!
+//! Three layers stand between an I/O error and a poisoned counter:
+//!
+//! 1. **Retry** — transient failures (`ENOSPC`, `EINTR`, `EWOULDBLOCK`,
+//!    timeouts; see [`WalError::is_transient`]) are retried under
+//!    [`RetryPolicy`] with jittered exponential backoff. Retries are
+//!    counted in [`StatsSnapshot::io_retries`] and [`WalStats::retries`].
+//!    Retrying a whole append+fsync batch is safe because records carry
+//!    absolute values: a duplicated record replays as a no-op running max.
+//! 2. **Degraded mode** — with [`PoisonPolicy::Degrade`], exhausting the
+//!    retry budget parks the log instead of poisoning: increments keep
+//!    serving from the in-memory fast path, acknowledgements come from a
+//!    *replay-budget*-bounded memory watermark, and
+//!    [`health`](DurableCounter::health) reports
+//!    [`HealthStatus::Degraded`]. Because a monotone counter's unsynced
+//!    state collapses to one absolute value (plus queued poison causes),
+//!    the replay buffer is O(1) regardless of how long the outage lasts.
+//! 3. **Self-healing** — while degraded the flusher probes the directory
+//!    every `resync_interval`: full [`recover_dir`] (which also repairs any
+//!    torn tail the failed write left — appending after a torn frame would
+//!    strand the new records behind it), reopen through the factory, append
+//!    one collapsed advance plus the queued poisons, fsync, and the counter
+//!    returns to [`HealthStatus::Healthy`]. Every fault site in this path
+//!    is failpoint-instrumented, so chaos schedules can crash a counter
+//!    *during* resync.
+//!
+//! Under the default [`PoisonPolicy::Propagate`] (and `Ignore`, which only
+//! concerns explicit in-memory poisoning), a post-retry failure poisons the
+//! counter with the cause — the pre-degraded-mode semantics.
 
 use crate::frame::WalRecord;
 use crate::recover::{recover_dir, write_snapshot, WAL_FILE};
-use crate::wal::{wal_factory_from_env, WalError, WalFactory, WalFile};
+use crate::retry::{with_retry, JitterRng};
+use crate::wal::{
+    wal_factory_from_env, FailpointWal, WalError, WalFactory, WalFile, SITE_WAL_OPEN,
+};
+use crate::RetryPolicy;
+use mc_chaos::Failpoints;
 use mc_counter::{
     CheckError, Counter, CounterDiagnostics, CounterOverflowError, CounterRecovery, FailureInfo,
-    MonotonicCounter, ResumableCounter, StatsSnapshot, Supervisor, Value, WaitingLevel,
+    HealthStatus, MonotonicCounter, PoisonPolicy, ResumableCounter, StatsSnapshot, Supervisor,
+    Value, WaitingLevel,
 };
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::SeqCst};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 /// When a durable counter acknowledges an increment.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -58,6 +98,26 @@ pub struct DurableOptions {
     /// Write a snapshot (and truncate the log) after this many log records.
     /// `0` disables snapshotting. Default: 1024.
     pub snapshot_every: u64,
+    /// Retry policy for transient WAL I/O failures. Default:
+    /// [`RetryPolicy::default`] (4 retries, 1ms..50ms backoff);
+    /// [`RetryPolicy::none`] surfaces every error on first occurrence.
+    pub retry: RetryPolicy,
+    /// What a post-retry WAL failure does. [`PoisonPolicy::Degrade`] enters
+    /// degraded mode (see the module docs); anything else poisons the
+    /// counter with the cause. Default: [`PoisonPolicy::Propagate`].
+    pub poison_policy: PoisonPolicy,
+    /// The failpoint registry instrumenting this counter's I/O. `None`
+    /// (default) uses the process-global registry armed from
+    /// `MC_CHAOS_FAILPOINTS`; tests pass a private registry so schedules
+    /// don't leak between counters.
+    pub failpoints: Option<Arc<Failpoints>>,
+    /// Degraded mode: how far (in counter value) memory acknowledgements
+    /// may run ahead of the last truly-durable value before strict writers
+    /// block awaiting resync. Default: 4096.
+    pub replay_budget: u64,
+    /// Degraded mode: how often the flusher probes for recovery.
+    /// Default: 50ms.
+    pub resync_interval: Duration,
 }
 
 impl Default for DurableOptions {
@@ -65,6 +125,11 @@ impl Default for DurableOptions {
         DurableOptions {
             mode: DurabilityMode::Strict,
             snapshot_every: 1024,
+            retry: RetryPolicy::default(),
+            poison_policy: PoisonPolicy::Propagate,
+            failpoints: None,
+            replay_budget: 4096,
+            resync_interval: Duration::from_millis(50),
         }
     }
 }
@@ -78,10 +143,31 @@ pub struct WalStats {
     pub records_logged: u64,
     /// Snapshots written (each truncates the log).
     pub snapshots: u64,
+    /// Transient I/O errors absorbed by retry (also in
+    /// [`StatsSnapshot::io_retries`]).
+    pub retries: u64,
+    /// Times the counter entered degraded mode.
+    pub degraded_entries: u64,
+    /// Successful resyncs (degraded → healthy transitions).
+    pub resyncs: u64,
+}
+
+/// Recovers a mutex whose holder panicked: the protected data (a queue of
+/// poison requests, a join handle) stays structurally valid across a
+/// panicking `push`, so the guard is safe to reuse — but the *event* must
+/// not be silently swallowed. Call sites that drain the queue pair this
+/// with [`Shared::note_queue_poison`] so a panicking writer surfaces as a
+/// counter poison instead of a propagated `PoisonError` panic.
+fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    match m.lock() {
+        Ok(g) => g,
+        Err(p) => p.into_inner(),
+    }
 }
 
 struct Shared {
     mode: DurabilityMode,
+    policy: PoisonPolicy,
     /// Strict mode: the requested durable value (sum of all enqueued
     /// increments / advance targets). The flusher logs up to this.
     enqueued: AtomicU64,
@@ -91,17 +177,35 @@ struct Shared {
     dirty: AtomicBool,
     /// Flush-round signal: writers bump, the flusher waits.
     rounds: Counter,
-    /// The last fsync-durable value; strict writers wait on it.
+    /// The last *acknowledged*-durable value; strict writers wait on it.
+    /// Healthy: equals the fsynced value. Degraded: may run up to
+    /// `replay_budget` ahead of [`Self::disk_durable`].
     durable: Counter,
-    /// Poison events requested but not yet persisted.
+    /// The last truly-fsynced value — the crash-survivable watermark.
+    /// Written by the flusher *before* it advances `durable`, so any value
+    /// acknowledged through the disk path is already covered here.
+    disk_durable: AtomicU64,
+    /// Poison events requested but not yet drained by the flusher.
     poison_requests: Mutex<Vec<FailureInfo>>,
     poisons_enqueued: AtomicU64,
-    /// Count of persisted poison events; `poison` waits on it.
+    /// Count of drained-and-acknowledged poison events; `poison` waits on
+    /// it. Degraded mode acknowledges from memory before persistence.
     poisons_synced: Counter,
+    /// Memory-acknowledged poison causes awaiting persistence (degraded).
+    queued_poisons: AtomicU64,
+    /// `Some(entry time)` while degraded. Taken by the flusher, read by
+    /// [`DurableCounter::health`].
+    degraded_since: Mutex<Option<Instant>>,
+    /// Set once if the poison-request mutex is ever found poisoned, so the
+    /// synthesized failure is reported exactly once.
+    queue_poison_reported: AtomicBool,
     stop: AtomicBool,
+    io_retries: AtomicU64,
     fsyncs: AtomicU64,
     records_logged: AtomicU64,
     snapshots: AtomicU64,
+    degraded_entries: AtomicU64,
+    resyncs: AtomicU64,
 }
 
 impl Shared {
@@ -139,16 +243,39 @@ impl Shared {
         let prev = self.enqueued.fetch_max(target, SeqCst);
         prev.max(target)
     }
+
+    /// The value the flusher should make durable right now.
+    fn flush_target(&self, inner: &dyn CounterDiagnostics) -> Value {
+        match self.mode {
+            DurabilityMode::Strict => self.enqueued.load(SeqCst),
+            DurabilityMode::Batched => inner.debug_value(),
+        }
+    }
+
+    /// Records (once) that the poison-request mutex was poisoned by a
+    /// panicking holder, returning the synthesized failure to enqueue.
+    fn note_queue_poison(&self) -> Option<FailureInfo> {
+        if self.queue_poison_reported.swap(true, SeqCst) {
+            None
+        } else {
+            Some(FailureInfo::new(
+                "durable poison queue mutex poisoned by a panicking holder",
+            ))
+        }
+    }
 }
 
 /// A crash-durable wrapper around a [`MonotonicCounter`] implementation
 /// `C`: increments (and poison events) are logged to a CRC32-framed
 /// append-only WAL in the counter's directory before being acknowledged
 /// (see [`DurabilityMode`]), and [`open`](Self::open) recovers value and
-/// poison state after a crash.
+/// poison state after a crash. Transient I/O errors are retried, and with
+/// [`PoisonPolicy::Degrade`] a persistent outage degrades (and later
+/// self-heals) instead of poisoning — see the module docs.
 ///
 /// Dropping the counter stops the flusher after a final drain: a clean
-/// shutdown loses nothing, in either mode.
+/// shutdown loses nothing, in either mode. A counter dropped while
+/// degraded makes one last resync attempt on the way out.
 pub struct DurableCounter<C: MonotonicCounter> {
     inner: Arc<C>,
     shared: Arc<Shared>,
@@ -158,13 +285,27 @@ pub struct DurableCounter<C: MonotonicCounter> {
 struct Flusher<C> {
     inner: Arc<C>,
     shared: Arc<Shared>,
-    wal: Box<dyn WalFile>,
+    /// `Some` while healthy; `None` while degraded (the handle to a failed
+    /// log is useless — resync reopens through the factory).
+    wal: Option<Box<dyn WalFile>>,
+    factory: Box<WalFactory>,
+    fp: Arc<Failpoints>,
+    retry: RetryPolicy,
+    jitter: JitterRng,
+    resync_interval: Duration,
+    replay_budget: u64,
     dir: PathBuf,
     next_seq: u64,
     /// The last value written to the log (== the durable value once synced).
     logged_value: Value,
     /// The persisted poison cause, if any (survives into snapshots).
     poison: Option<FailureInfo>,
+    /// Drained poison requests not yet persisted. Entries survive a failed
+    /// flush here, so no accepted poison cause can be dropped.
+    pending_poisons: Vec<FailureInfo>,
+    /// How many of `pending_poisons` were already memory-acknowledged
+    /// while degraded (their `poisons_synced` bump must not repeat).
+    acked_pending: usize,
     records_since_snapshot: u64,
     snapshot_every: u64,
 }
@@ -176,18 +317,37 @@ impl<C: MonotonicCounter + CounterDiagnostics> Flusher<C> {
             let mut stopping = self.shared.stop.load(SeqCst);
             if !stopping {
                 round += 1;
-                let _ = self.shared.rounds.wait(round);
+                if self.wal.is_some() {
+                    let _ = self.shared.rounds.wait(round);
+                } else if let Err(CheckError::Timeout(_)) =
+                    self.shared.rounds.wait_timeout(round, self.resync_interval)
+                {
+                    // Resync tick, not a work signal: the round was not
+                    // consumed.
+                    round -= 1;
+                }
                 stopping = self.shared.stop.load(SeqCst);
             }
+
+            if self.wal.is_none() {
+                self.serve_from_memory();
+                self.try_resync();
+                if stopping {
+                    return;
+                }
+                continue;
+            }
+
             if let Err(e) = self.flush_once() {
-                let info = FailureInfo::new(format!("durable counter wal failure: {e}"));
-                // Wake strict waiters and fail future operations with the
-                // cause instead of hanging them on durability that will
-                // never come.
-                self.shared.durable.poison(info.clone());
-                self.shared.poisons_synced.poison(info.clone());
-                self.inner.poison(info);
-                return;
+                if !self.enter_degraded(e) {
+                    return; // poisoned under Propagate: the thread is done
+                }
+                self.serve_from_memory();
+                if stopping {
+                    self.try_resync();
+                    return;
+                }
+                continue;
             }
             if stopping {
                 return;
@@ -203,77 +363,244 @@ impl<C: MonotonicCounter + CounterDiagnostics> Flusher<C> {
         }
     }
 
+    /// Moves requested poison events into the pending buffer. A poisoned
+    /// request mutex is recovered and surfaced as a synthesized poison —
+    /// the panicking holder translates to counter poison, never to a
+    /// propagated `PoisonError` panic on the flusher.
+    fn drain_requests(&mut self) {
+        let drained = match self.shared.poison_requests.lock() {
+            Ok(mut g) => std::mem::take(&mut *g),
+            Err(p) => {
+                let mut g = p.into_inner();
+                let mut v = std::mem::take(&mut *g);
+                if let Some(info) = self.shared.note_queue_poison() {
+                    // No caller is waiting on this synthesized event, so
+                    // apply the in-memory poison here too.
+                    self.inner.poison(info.clone());
+                    v.push(info);
+                }
+                v
+            }
+        };
+        self.pending_poisons.extend(drained);
+        if self.poison.is_none() {
+            self.poison = self.pending_poisons.first().cloned();
+        }
+    }
+
     /// One group-commit round: clear the dirty flag, read the target,
-    /// append + fsync, then publish durability to the waiting counters.
-    fn flush_once(&mut self) -> std::io::Result<()> {
+    /// append + fsync (with retry), then publish durability to the waiting
+    /// counters.
+    fn flush_once(&mut self) -> Result<(), WalError> {
         self.shared.dirty.store(false, SeqCst);
-        let target = match self.shared.mode {
-            DurabilityMode::Strict => self.shared.enqueued.load(SeqCst),
-            DurabilityMode::Batched => self.inner.debug_value(),
-        };
-        let poisons: Vec<FailureInfo> = {
-            let mut reqs = self.shared.poison_requests.lock().expect("poison queue");
-            std::mem::take(&mut *reqs)
-        };
+        let target = self.shared.flush_target(&*self.inner);
+        self.drain_requests();
 
         let mut batch = Vec::new();
+        let mut seq = self.next_seq;
         let mut records = 0u64;
         if target > self.logged_value {
-            batch.extend_from_slice(
-                &WalRecord::Advance {
-                    seq: self.next_seq,
-                    value: target,
-                }
-                .encode_framed(),
-            );
-            self.next_seq += 1;
-            self.records_since_snapshot += 1;
+            batch.extend_from_slice(&WalRecord::Advance { seq, value: target }.encode_framed());
+            seq += 1;
             records += 1;
         }
-        for info in &poisons {
+        for info in &self.pending_poisons {
             batch.extend_from_slice(
                 &WalRecord::Poison {
-                    seq: self.next_seq,
+                    seq,
                     thread: info.thread().to_string(),
                     message: info.message().to_string(),
                     level: info.level(),
                 }
                 .encode_framed(),
             );
-            self.next_seq += 1;
-            self.records_since_snapshot += 1;
+            seq += 1;
             records += 1;
-            if self.poison.is_none() {
-                self.poison = Some(info.clone());
-            }
         }
 
         if !batch.is_empty() {
-            self.wal.append(&batch)?;
-            self.wal.sync()?;
+            let wal = self.wal.as_mut().expect("flush_once requires a live wal");
+            // Retrying the whole append+fsync is sound: records are
+            // absolute, so a duplicate replays as a running-max no-op, and
+            // the degrade path's recover_dir repairs any torn partial
+            // write before new bytes follow it.
+            with_retry(
+                &self.retry,
+                &mut self.jitter,
+                &self.shared.io_retries,
+                || {
+                    wal.append(&batch)?;
+                    wal.sync()?;
+                    Ok(())
+                },
+            )?;
+            self.next_seq = seq;
+            self.records_since_snapshot += records;
             self.shared.fsyncs.fetch_add(1, SeqCst);
             self.shared.records_logged.fetch_add(records, SeqCst);
             self.logged_value = self.logged_value.max(target);
         }
 
-        // Publish durability: one advance acknowledges every writer whose
-        // target the fsync covered (group commit).
-        self.shared.durable.advance_to(self.logged_value);
-        if !poisons.is_empty() {
-            self.shared.poisons_synced.increment(poisons.len() as u64);
-        }
+        self.publish_durable();
 
         if self.snapshot_every > 0 && self.records_since_snapshot >= self.snapshot_every {
-            write_snapshot(
-                &self.dir,
+            let (dir, fp, retry) = (&self.dir, &self.fp, &self.retry);
+            let (seq, value, poison) = (
                 self.next_seq.saturating_sub(1),
                 self.logged_value,
                 self.poison.as_ref(),
-            )?;
-            self.wal.truncate_all()?;
+            );
+            with_retry(retry, &mut self.jitter, &self.shared.io_retries, || {
+                write_snapshot(dir, seq, value, poison, fp)?;
+                Ok(())
+            })?;
+            // A truncate failure after a successful snapshot leaves
+            // records the snapshot already covers — harmless (replay is a
+            // running max) but still worth the degrade/resync cycle so the
+            // log handle is known-good.
+            let wal = self.wal.as_mut().expect("flush_once requires a live wal");
+            with_retry(retry, &mut self.jitter, &self.shared.io_retries, || {
+                wal.truncate_all()?;
+                Ok(())
+            })?;
             self.records_since_snapshot = 0;
             self.shared.snapshots.fetch_add(1, SeqCst);
         }
+        Ok(())
+    }
+
+    /// Publishes full durability after a successful append+fsync: the disk
+    /// watermark first (so [`DurableCounter::sync`]'s post-wait check is
+    /// never falsely degraded), then the acknowledgement counter, then the
+    /// poison acknowledgements.
+    fn publish_durable(&mut self) {
+        self.shared
+            .disk_durable
+            .fetch_max(self.logged_value, SeqCst);
+        self.shared.durable.advance_to(self.logged_value);
+        let newly_acked = self.pending_poisons.len() - self.acked_pending;
+        if newly_acked > 0 {
+            self.shared.poisons_synced.increment(newly_acked as u64);
+        }
+        self.pending_poisons.clear();
+        self.acked_pending = 0;
+        self.shared.queued_poisons.store(0, SeqCst);
+    }
+
+    /// Switches to degraded mode (dropping the dead log handle) under
+    /// [`PoisonPolicy::Degrade`]; otherwise poisons everything with the
+    /// cause and reports `false` (the flusher must exit).
+    fn enter_degraded(&mut self, e: WalError) -> bool {
+        if self.shared.policy == PoisonPolicy::Degrade {
+            self.wal = None;
+            let mut since = lock_recover(&self.shared.degraded_since);
+            if since.is_none() {
+                *since = Some(Instant::now());
+                self.shared.degraded_entries.fetch_add(1, SeqCst);
+            }
+            true
+        } else {
+            let info = FailureInfo::new(format!("durable counter wal failure: {e}"));
+            // Wake strict waiters and fail future operations with the
+            // cause instead of hanging them on durability that will never
+            // come.
+            self.shared.durable.poison(info.clone());
+            self.shared.poisons_synced.poison(info.clone());
+            self.inner.poison(info);
+            false
+        }
+    }
+
+    /// Degraded-mode service tick: acknowledge what the replay budget
+    /// allows from memory so the in-memory fast path keeps moving while
+    /// the log is down.
+    fn serve_from_memory(&mut self) {
+        self.shared.dirty.store(false, SeqCst);
+        self.drain_requests();
+        let unacked = self.pending_poisons.len() - self.acked_pending;
+        if unacked > 0 {
+            let first = self.pending_poisons[self.acked_pending].clone();
+            self.shared.queued_poisons.fetch_add(unacked as u64, SeqCst);
+            // Memory-acknowledge: the poison() caller unblocks now and
+            // applies the in-memory poison; persistence happens at resync.
+            self.shared.poisons_synced.increment(unacked as u64);
+            self.acked_pending = self.pending_poisons.len();
+            // A poisoned counter is permanently failed, so strict writers
+            // blocked past the replay budget must fail with the cause
+            // rather than wait for a durability acknowledgement that no
+            // longer means anything.
+            self.shared.durable.poison(first);
+        }
+        // Memory acknowledgement, bounded by the replay budget past the
+        // last truly-durable value: beyond it, strict writers block until
+        // resync catches the log up (backpressure instead of unbounded
+        // acked-but-volatile state).
+        let target = self.shared.flush_target(&*self.inner);
+        let disk = self.shared.disk_durable.load(SeqCst);
+        let capped = target.min(disk.saturating_add(self.replay_budget));
+        self.shared.durable.advance_to(capped);
+    }
+
+    /// One self-healing probe: recover the directory (repairing any torn
+    /// tail the failed write left — appending after a torn frame would
+    /// strand everything behind it), reopen the log, persist the collapsed
+    /// degraded backlog, and return to healthy. Failure leaves the counter
+    /// degraded for the next tick.
+    fn try_resync(&mut self) {
+        if self.wal.is_some() {
+            return;
+        }
+        if let Ok(()) = self.resync() {
+            *lock_recover(&self.shared.degraded_since) = None;
+            self.shared.resyncs.fetch_add(1, SeqCst);
+        }
+    }
+
+    fn resync(&mut self) -> Result<(), WalError> {
+        self.fp.hit(SITE_WAL_OPEN)?;
+        let recovered = recover_dir(&self.dir, &self.fp)?;
+        let mut wal: Box<dyn WalFile> = Box::new(FailpointWal::new(
+            (self.factory)(&self.dir.join(WAL_FILE))?,
+            Arc::clone(&self.fp),
+        ));
+        // Rebuild the log view from what recovery actually found on disk,
+        // then persist the entire degraded backlog: monotonicity collapses
+        // every memory-served increment into ONE absolute advance record.
+        let target = self.shared.flush_target(&*self.inner);
+        let mut seq = recovered.next_seq;
+        let logged = recovered.value;
+        let mut batch = Vec::new();
+        let mut records = 0u64;
+        if target > logged {
+            batch.extend_from_slice(&WalRecord::Advance { seq, value: target }.encode_framed());
+            seq += 1;
+            records += 1;
+        }
+        for info in &self.pending_poisons {
+            batch.extend_from_slice(
+                &WalRecord::Poison {
+                    seq,
+                    thread: info.thread().to_string(),
+                    message: info.message().to_string(),
+                    level: info.level(),
+                }
+                .encode_framed(),
+            );
+            seq += 1;
+            records += 1;
+        }
+        if !batch.is_empty() {
+            wal.append(&batch)?;
+            wal.sync()?;
+            self.shared.fsyncs.fetch_add(1, SeqCst);
+            self.shared.records_logged.fetch_add(records, SeqCst);
+        }
+        // Committed: swap the live handle back in and publish.
+        self.next_seq = seq;
+        self.logged_value = logged.max(target);
+        self.records_since_snapshot += records;
+        self.wal = Some(wal);
+        self.publish_durable();
         Ok(())
     }
 }
@@ -298,18 +625,24 @@ where
         dir: impl AsRef<Path>,
         options: DurableOptions,
     ) -> Result<(Self, CounterRecovery), WalError> {
-        Self::open_with_wal(dir, options, &*wal_factory_from_env())
+        Self::open_with_wal(dir, options, wal_factory_from_env())
     }
 
     /// [`open_with`](Self::open_with) using an explicit [`WalFactory`] for
-    /// fault injection.
+    /// fault injection. The factory is retained: degraded-mode resync
+    /// reopens the log through it.
     pub fn open_with_wal(
         dir: impl AsRef<Path>,
         options: DurableOptions,
-        factory: &WalFactory,
+        factory: Box<WalFactory>,
     ) -> Result<(Self, CounterRecovery), WalError> {
         let dir = dir.as_ref().to_path_buf();
-        let recovered = recover_dir(&dir)?;
+        let fp = options
+            .failpoints
+            .clone()
+            .unwrap_or_else(|| Arc::clone(mc_chaos::failpoints::global()));
+        fp.hit(SITE_WAL_OPEN)?;
+        let recovered = recover_dir(&dir, &fp)?;
         let recovery = CounterRecovery {
             value: recovered.value,
             records_replayed: recovered.records_replayed,
@@ -323,27 +656,47 @@ where
         }
         let shared = Arc::new(Shared {
             mode: options.mode,
+            policy: options.poison_policy,
             enqueued: AtomicU64::new(recovered.value),
             dirty: AtomicBool::new(false),
             rounds: Counter::default(),
             durable: Counter::builder().initial(recovered.value).build(),
+            disk_durable: AtomicU64::new(recovered.value),
             poison_requests: Mutex::new(Vec::new()),
             poisons_enqueued: AtomicU64::new(0),
             poisons_synced: Counter::default(),
+            queued_poisons: AtomicU64::new(0),
+            degraded_since: Mutex::new(None),
+            queue_poison_reported: AtomicBool::new(false),
             stop: AtomicBool::new(false),
+            io_retries: AtomicU64::new(0),
             fsyncs: AtomicU64::new(0),
             records_logged: AtomicU64::new(0),
             snapshots: AtomicU64::new(0),
+            degraded_entries: AtomicU64::new(0),
+            resyncs: AtomicU64::new(0),
         });
-        let wal = factory(&dir.join(WAL_FILE))?;
+        let wal: Box<dyn WalFile> = Box::new(FailpointWal::new(
+            factory(&dir.join(WAL_FILE))?,
+            Arc::clone(&fp),
+        ));
+        let jitter = JitterRng::new(fp.seed() ^ 0xD1CE_D00D_5EED_0B0Fu64);
         let flusher = Flusher {
             inner: Arc::clone(&inner),
             shared: Arc::clone(&shared),
-            wal,
+            wal: Some(wal),
+            factory,
+            fp,
+            retry: options.retry,
+            jitter,
+            resync_interval: options.resync_interval.max(Duration::from_millis(1)),
+            replay_budget: options.replay_budget,
             dir,
             next_seq: recovered.next_seq,
             logged_value: recovered.value,
             poison: recovered.poison,
+            pending_poisons: Vec::new(),
+            acked_pending: 0,
             records_since_snapshot: 0,
             snapshot_every: options.snapshot_every,
         };
@@ -385,30 +738,76 @@ impl<C: MonotonicCounter + CounterDiagnostics> DurableCounter<C> {
         &self.inner
     }
 
-    /// Durability-layer statistics: fsync rounds, records logged, snapshots.
+    /// Durability-layer statistics: fsync rounds, records logged,
+    /// snapshots, retries, degraded-mode entries and resyncs.
     pub fn wal_stats(&self) -> WalStats {
         WalStats {
             fsyncs: self.shared.fsyncs.load(SeqCst),
             records_logged: self.shared.records_logged.load(SeqCst),
             snapshots: self.shared.snapshots.load(SeqCst),
+            retries: self.shared.io_retries.load(SeqCst),
+            degraded_entries: self.shared.degraded_entries.load(SeqCst),
+            resyncs: self.shared.resyncs.load(SeqCst),
         }
     }
 
-    /// Blocks until everything enqueued so far is fsync-durable. A no-op in
-    /// strict mode (increments are already acked durable); in batched mode
-    /// this is the explicit persistence point.
+    /// The last value known to be fsync-durable — what a crash right now
+    /// is guaranteed to recover. While degraded this lags the in-memory
+    /// value; healthy strict operation keeps it at the acked value.
+    pub fn durable_value(&self) -> Value {
+        self.shared.disk_durable.load(SeqCst)
+    }
+
+    /// The counter's durability health: [`HealthStatus::Poisoned`] if the
+    /// counter is poisoned (which wins over degradation),
+    /// [`HealthStatus::Degraded`] while serving from memory with the log
+    /// down, else [`HealthStatus::Healthy`].
+    pub fn health(&self) -> HealthStatus {
+        if self.inner.poison_info().is_some() {
+            return HealthStatus::Poisoned;
+        }
+        let since = *lock_recover(&self.shared.degraded_since);
+        match since {
+            Some(since) => {
+                // The unsynced backlog collapses to one absolute advance
+                // (monotonicity) plus the queued poison causes.
+                let gap =
+                    self.shared.flush_target(&*self.inner) > self.shared.disk_durable.load(SeqCst);
+                HealthStatus::Degraded {
+                    since,
+                    queued: u64::from(gap) + self.shared.queued_poisons.load(SeqCst),
+                }
+            }
+            None => HealthStatus::Healthy,
+        }
+    }
+
+    /// Blocks until everything enqueued so far is *fsync*-durable. A no-op
+    /// in healthy strict mode (increments are already acked durable); in
+    /// batched mode this is the explicit persistence point.
     ///
     /// # Errors
     ///
-    /// Returns the poisoning cause if the WAL failed.
+    /// Returns the poisoning cause if the WAL failed terminally, or a
+    /// degradation notice if the acknowledgement came from the in-memory
+    /// watermark while the log is down (the data is *not* yet
+    /// crash-survivable — callers needing hard durability should retry
+    /// after [`health`](Self::health) returns healthy).
     pub fn sync(&self) -> Result<(), FailureInfo> {
-        let target = match self.shared.mode {
-            DurabilityMode::Strict => self.shared.enqueued.load(SeqCst),
-            DurabilityMode::Batched => self.inner.debug_value(),
-        };
+        let target = self.shared.flush_target(&*self.inner);
         self.shared.signal();
         match self.shared.durable.wait(target) {
-            Ok(()) => Ok(()),
+            Ok(()) => {
+                if self.shared.disk_durable.load(SeqCst) >= target {
+                    Ok(())
+                } else {
+                    Err(FailureInfo::new(format!(
+                        "durable counter degraded: value {target} acknowledged from memory, \
+                         disk watermark at {}",
+                        self.shared.disk_durable.load(SeqCst)
+                    )))
+                }
+            }
             Err(CheckError::Poisoned(info)) => Err(info),
             Err(CheckError::Timeout(_)) => unreachable!("untimed wait cannot time out"),
         }
@@ -416,8 +815,9 @@ impl<C: MonotonicCounter + CounterDiagnostics> DurableCounter<C> {
 
     fn ack_durable(&self, target: Value) {
         if let Err(CheckError::Poisoned(info)) = self.shared.durable.wait(target) {
-            // The WAL is wedged: make the failure visible on the counter
-            // itself, then surface it to the caller.
+            // The WAL is wedged (or the counter was poisoned while its
+            // backlog was still memory-only): make the failure visible on
+            // the counter itself, then surface it to the caller.
             self.inner.poison(info.clone());
             panic!("durable increment could not be persisted: {info}");
         }
@@ -478,15 +878,28 @@ impl<C: MonotonicCounter + CounterDiagnostics> MonotonicCounter for DurableCount
 
     fn poison(&self, info: FailureInfo) {
         // Persist the cause before poisoning in memory, in both modes:
-        // poison must survive restart.
+        // poison must survive restart. (Degraded mode memory-acknowledges
+        // the event and persists it at resync.)
         let n = {
-            let mut reqs = self.shared.poison_requests.lock().expect("poison queue");
+            let mut reqs = match self.shared.poison_requests.lock() {
+                Ok(g) => g,
+                Err(p) => {
+                    // A holder panicked mid-operation; the queue itself is
+                    // still valid. Surface the event as its own poison.
+                    let mut g = p.into_inner();
+                    if let Some(extra) = self.shared.note_queue_poison() {
+                        g.push(extra);
+                        self.shared.poisons_enqueued.fetch_add(1, SeqCst);
+                    }
+                    g
+                }
+            };
             reqs.push(info.clone());
             self.shared.poisons_enqueued.fetch_add(1, SeqCst) + 1
         };
         self.shared.signal();
-        // If the WAL itself failed, the flusher poisons `poisons_synced`;
-        // either way the in-memory poison proceeds.
+        // If the WAL itself failed terminally, the flusher poisons
+        // `poisons_synced`; either way the in-memory poison proceeds.
         let _ = self.shared.poisons_synced.wait(n);
         self.inner.poison(info);
     }
@@ -517,7 +930,9 @@ impl<C: MonotonicCounter + CounterDiagnostics> CounterDiagnostics for DurableCou
     }
 
     fn stats(&self) -> StatsSnapshot {
-        self.inner.stats()
+        let mut stats = self.inner.stats();
+        stats.io_retries = self.shared.io_retries.load(SeqCst);
+        stats
     }
 
     fn impl_name(&self) -> &'static str {
@@ -527,6 +942,10 @@ impl<C: MonotonicCounter + CounterDiagnostics> CounterDiagnostics for DurableCou
     fn waiters(&self) -> Vec<WaitingLevel> {
         self.inner.waiters()
     }
+
+    fn health(&self) -> HealthStatus {
+        DurableCounter::health(self)
+    }
 }
 
 impl<C: MonotonicCounter> Drop for DurableCounter<C> {
@@ -535,8 +954,262 @@ impl<C: MonotonicCounter> Drop for DurableCounter<C> {
         // Unconditional bump: wake the flusher even if the dirty flag is
         // already set (its owner may have signalled before our stop store).
         self.shared.rounds.increment(1);
-        if let Some(h) = self.flusher.lock().expect("flusher handle").take() {
+        if let Some(h) = lock_recover(&self.flusher).take() {
             let _ = h.join();
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_dir;
+    use mc_chaos::FailConfig;
+    use std::io;
+
+    fn wait_for(what: &str, mut pred: impl FnMut() -> bool) {
+        let deadline = Instant::now() + Duration::from_secs(20);
+        while !pred() {
+            assert!(Instant::now() < deadline, "timed out waiting for {what}");
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    }
+
+    fn degrade_options(fp: &Arc<Failpoints>) -> DurableOptions {
+        DurableOptions {
+            poison_policy: PoisonPolicy::Degrade,
+            failpoints: Some(Arc::clone(fp)),
+            retry: RetryPolicy::none(),
+            resync_interval: Duration::from_millis(5),
+            ..DurableOptions::default()
+        }
+    }
+
+    #[test]
+    fn degrade_then_self_heal() {
+        let dir = test_dir("degrade-heal");
+        let fp = Arc::new(Failpoints::new(42));
+        let (c, _) = DurableCounter::<Counter>::open_with(&dir, degrade_options(&fp)).unwrap();
+        c.increment(1);
+        assert!(c.health().is_healthy());
+        assert_eq!(c.durable_value(), 1);
+
+        // Kill the fsync path persistently: the next flush degrades.
+        fp.arm(
+            crate::SITE_WAL_FSYNC,
+            FailConfig::always(io::ErrorKind::StorageFull),
+        );
+        c.increment(1); // acked from the in-memory watermark
+        wait_for("degraded health", || c.health().is_degraded());
+        assert_eq!(c.debug_value(), 2);
+        assert_eq!(c.durable_value(), 1, "disk watermark must not move");
+        match c.health() {
+            HealthStatus::Degraded { queued, .. } => assert!(queued >= 1),
+            other => panic!("expected degraded, got {other:?}"),
+        }
+        // sync() must refuse to report memory-only state as durable.
+        let err = c.sync().expect_err("sync while degraded");
+        assert!(err.message().contains("degraded"), "{err}");
+
+        // Fault clears: the resync probe heals the counter.
+        fp.disarm(crate::SITE_WAL_FSYNC);
+        wait_for("healthy health", || c.health().is_healthy());
+        assert_eq!(c.durable_value(), 2);
+        assert!(c.sync().is_ok());
+        let stats = c.wal_stats();
+        assert_eq!(stats.degraded_entries, 1);
+        assert!(stats.resyncs >= 1);
+        drop(c);
+
+        let (c, recovery) = DurableCounter::<Counter>::open(&dir).unwrap();
+        assert_eq!(recovery.value, 2, "healed state survives restart");
+        drop(c);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn replay_budget_blocks_strict_writers_until_resync() {
+        let dir = test_dir("degrade-budget");
+        let fp = Arc::new(Failpoints::new(7));
+        let opts = DurableOptions {
+            replay_budget: 2,
+            ..degrade_options(&fp)
+        };
+        // Armed before the first increment: the log never accepts a byte.
+        fp.arm(
+            crate::SITE_WAL_APPEND,
+            FailConfig::always(io::ErrorKind::StorageFull),
+        );
+        let (c, _) = DurableCounter::<Counter>::open_with(&dir, opts).unwrap();
+        let c = Arc::new(c);
+        c.increment(1);
+        c.increment(1); // both memory-acked: within the budget of 2
+        wait_for("degraded health", || c.health().is_degraded());
+
+        let writer = {
+            let c = Arc::clone(&c);
+            std::thread::spawn(move || c.increment(1)) // beyond the budget
+        };
+        std::thread::sleep(Duration::from_millis(60));
+        assert!(
+            !writer.is_finished(),
+            "writer past the replay budget must block until resync"
+        );
+
+        fp.disarm(crate::SITE_WAL_APPEND);
+        writer.join().expect("writer completes after resync");
+        wait_for("healthy health", || c.health().is_healthy());
+        assert_eq!(c.debug_value(), 3);
+        assert!(c.durable_value() >= 3);
+        drop(c);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn poison_during_degraded_mode_persists_at_resync() {
+        let dir = test_dir("degrade-poison");
+        let fp = Arc::new(Failpoints::new(3));
+        let (c, _) = DurableCounter::<Counter>::open_with(&dir, degrade_options(&fp)).unwrap();
+        c.increment(1);
+        fp.arm(
+            crate::SITE_WAL_FSYNC,
+            FailConfig::always(io::ErrorKind::TimedOut),
+        );
+        c.increment(1);
+        wait_for("degraded health", || c.health().is_degraded());
+
+        // Poison while the log is down: acknowledged from memory (the call
+        // must not hang), then persisted by the resync.
+        c.poison(FailureInfo::new("worker died mid-phase"));
+        assert!(c.health().is_poisoned(), "poison outranks degraded");
+
+        fp.disarm(crate::SITE_WAL_FSYNC);
+        wait_for("resync", || c.wal_stats().resyncs >= 1);
+        drop(c);
+
+        let (c, recovery) = DurableCounter::<Counter>::open(&dir).unwrap();
+        assert!(recovery.poison_restored, "poison cause survived the outage");
+        assert_eq!(recovery.value, 2);
+        assert_eq!(
+            c.poison_info().expect("restored").message(),
+            "worker died mid-phase"
+        );
+        drop(c);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn retry_absorbs_transient_faults_without_degrading() {
+        let dir = test_dir("retry-transient");
+        let fp = Arc::new(Failpoints::new(11));
+        let opts = DurableOptions {
+            retry: RetryPolicy {
+                max_retries: 4,
+                base_delay: Duration::from_micros(50),
+                max_delay: Duration::from_millis(1),
+            },
+            ..degrade_options(&fp)
+        };
+        let (c, _) = DurableCounter::<Counter>::open_with(&dir, opts).unwrap();
+        // One EINTR on the first fsync, one ENOSPC blip on the second: both
+        // inside the retry budget, so the counter never leaves healthy.
+        fp.arm(
+            crate::SITE_WAL_FSYNC,
+            FailConfig::once_at(1, io::ErrorKind::Interrupted),
+        );
+        c.increment(5);
+        assert!(c.health().is_healthy());
+        assert_eq!(c.durable_value(), 5);
+        fp.arm(
+            crate::SITE_WAL_APPEND,
+            FailConfig::once_at(1, io::ErrorKind::StorageFull),
+        );
+        c.increment(5);
+        assert!(c.health().is_healthy());
+        assert_eq!(c.durable_value(), 10);
+        let stats = c.wal_stats();
+        assert!(stats.retries >= 2, "retries: {}", stats.retries);
+        assert_eq!(stats.degraded_entries, 0);
+        assert_eq!(c.stats().io_retries, stats.retries);
+        drop(c);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn propagate_policy_still_poisons_on_wal_failure() {
+        let dir = test_dir("propagate-poison");
+        let fp = Arc::new(Failpoints::new(5));
+        let opts = DurableOptions {
+            mode: DurabilityMode::Batched,
+            poison_policy: PoisonPolicy::Propagate,
+            failpoints: Some(Arc::clone(&fp)),
+            retry: RetryPolicy::none(),
+            ..DurableOptions::default()
+        };
+        let (c, _) = DurableCounter::<Counter>::open_with(&dir, opts).unwrap();
+        fp.arm(
+            crate::SITE_WAL_FSYNC,
+            FailConfig::always(io::ErrorKind::StorageFull),
+        );
+        c.increment(1);
+        let err = c.sync().expect_err("wal failure must poison");
+        assert!(err.message().contains("wal failure"), "{err}");
+        wait_for("poisoned counter", || c.poison_info().is_some());
+        assert!(c.health().is_poisoned());
+        drop(c);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn snapshot_faults_degrade_and_heal_too() {
+        let dir = test_dir("degrade-snapshot");
+        let fp = Arc::new(Failpoints::new(17));
+        let opts = DurableOptions {
+            snapshot_every: 1,
+            ..degrade_options(&fp)
+        };
+        let (c, _) = DurableCounter::<Counter>::open_with(&dir, opts).unwrap();
+        c.increment(1); // snapshot after every record: one exists now
+        fp.arm(
+            crate::SITE_SNAPSHOT_RENAME,
+            FailConfig::always(io::ErrorKind::StorageFull),
+        );
+        c.increment(1);
+        wait_for("degraded health", || c.health().is_degraded());
+        fp.disarm(crate::SITE_SNAPSHOT_RENAME);
+        wait_for("healthy health", || c.health().is_healthy());
+        // Nothing acked may be lost across the outage-and-heal cycle.
+        drop(c);
+        let (c, recovery) = DurableCounter::<Counter>::open(&dir).unwrap();
+        assert_eq!(recovery.value, 2);
+        drop(c);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn poisoned_request_mutex_becomes_counter_poison() {
+        let dir = test_dir("queue-mutex-poison");
+        let (c, _) = DurableCounter::<Counter>::open(&dir).unwrap();
+        // Poison the request mutex the way production would: a holder
+        // panicking mid-critical-section.
+        {
+            let shared = Arc::clone(&c.shared);
+            let orig = std::panic::take_hook();
+            std::panic::set_hook(Box::new(|_| {})); // keep the log quiet
+            let _ = std::thread::spawn(move || {
+                let _guard = shared.poison_requests.lock().unwrap();
+                panic!("holder dies");
+            })
+            .join();
+            std::panic::set_hook(orig);
+        }
+        // The next flusher pass recovers the mutex and translates the
+        // event into a counter poison — no PoisonError propagates.
+        c.increment(1);
+        wait_for("synthesized poison", || c.poison_info().is_some());
+        let info = c.poison_info().unwrap();
+        assert!(info.message().contains("poison queue mutex"), "{info}");
+        drop(c);
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -48,15 +48,22 @@
 mod counter;
 pub mod frame;
 mod recover;
+mod retry;
 mod wal;
 
 pub use counter::{DurabilityMode, DurableCounter, DurableOptions, WalStats};
 pub use frame::{
     crc32, read_frame, write_frame, FrameRead, WalRecord, FRAME_HEADER, MAX_FRAME_LEN,
 };
-pub use recover::{SNAPSHOT_FILE, WAL_FILE};
+pub use recover::{
+    SITE_RECOVER_READ_SNAPSHOT, SITE_RECOVER_READ_WAL, SITE_RECOVER_TRUNCATE, SITE_SNAPSHOT_CREATE,
+    SITE_SNAPSHOT_DIRSYNC, SITE_SNAPSHOT_FSYNC, SITE_SNAPSHOT_RENAME, SITE_SNAPSHOT_WRITE,
+    SNAPSHOT_FILE, WAL_FILE,
+};
+pub use retry::RetryPolicy;
 pub use wal::{
-    wal_factory_from_env, ChaosWal, FsWal, WalError, WalFactory, WalFile, CHAOS_WAL_ENV,
+    wal_factory_from_env, ChaosWal, FailpointWal, FsWal, WalError, WalFactory, WalFile,
+    CHAOS_WAL_ENV, SITE_WAL_APPEND, SITE_WAL_FSYNC, SITE_WAL_OPEN, SITE_WAL_TRUNCATE,
 };
 
 /// A unique per-test scratch directory under the system temp dir (unit
@@ -186,6 +193,7 @@ mod tests {
                 DurableOptions {
                     mode: DurabilityMode::Strict,
                     snapshot_every: 5,
+                    ..DurableOptions::default()
                 },
             )
             .unwrap();

@@ -4,6 +4,7 @@
 
 use crate::frame::{read_frame, write_frame, FrameRead, WalRecord};
 use crate::wal::WalError;
+use mc_chaos::Failpoints;
 use mc_counter::{FailureInfo, Value};
 use std::fs;
 use std::io::Write;
@@ -15,6 +16,23 @@ pub const WAL_FILE: &str = "wal.log";
 pub const SNAPSHOT_FILE: &str = "snapshot";
 const SNAPSHOT_TMP: &str = "snapshot.tmp";
 const SNAPSHOT_MAGIC: &[u8; 4] = b"MCSN";
+
+/// Failpoint site hit before creating the snapshot temp file.
+pub const SITE_SNAPSHOT_CREATE: &str = "snapshot.create";
+/// Failpoint site hit before writing the snapshot payload.
+pub const SITE_SNAPSHOT_WRITE: &str = "snapshot.write";
+/// Failpoint site hit before fsyncing the snapshot temp file.
+pub const SITE_SNAPSHOT_FSYNC: &str = "snapshot.fsync";
+/// Failpoint site hit before the atomic rename into place.
+pub const SITE_SNAPSHOT_RENAME: &str = "snapshot.rename";
+/// Failpoint site hit before the directory fsync sealing the rename.
+pub const SITE_SNAPSHOT_DIRSYNC: &str = "snapshot.dirsync";
+/// Failpoint site hit before reading the snapshot during recovery.
+pub const SITE_RECOVER_READ_SNAPSHOT: &str = "recover.read.snapshot";
+/// Failpoint site hit before reading the log during recovery.
+pub const SITE_RECOVER_READ_WAL: &str = "recover.read.wal";
+/// Failpoint site hit before physically truncating a torn log tail.
+pub const SITE_RECOVER_TRUNCATE: &str = "recover.truncate";
 
 /// The state recovered from a durable counter's directory.
 #[derive(Debug, Clone, Default)]
@@ -136,17 +154,25 @@ pub(crate) fn write_snapshot(
     seq: u64,
     value: Value,
     poison: Option<&FailureInfo>,
+    fp: &Failpoints,
 ) -> std::io::Result<()> {
     let tmp = dir.join(SNAPSHOT_TMP);
     let framed = encode_snapshot(seq, value, poison);
     {
+        fp.hit(SITE_SNAPSHOT_CREATE)?;
         let mut f = fs::File::create(&tmp)?;
+        fp.hit(SITE_SNAPSHOT_WRITE)?;
         f.write_all(&framed)?;
+        fp.hit(SITE_SNAPSHOT_FSYNC)?;
         f.sync_all()?;
     }
+    fp.hit(SITE_SNAPSHOT_RENAME)?;
     fs::rename(&tmp, dir.join(SNAPSHOT_FILE))?;
-    // Make the rename itself durable. Directory fsync can be unsupported on
-    // exotic filesystems; the rename is still atomic, so degrade gracefully.
+    // Make the rename itself durable. The injectable site fails hard (a
+    // chaos schedule must be able to observe a dirsync fault), but the real
+    // directory fsync can be unsupported on exotic filesystems; the rename
+    // is still atomic there, so the genuine syscall degrades gracefully.
+    fp.hit(SITE_SNAPSHOT_DIRSYNC)?;
     if let Ok(d) = fs::File::open(dir) {
         let _ = d.sync_all();
     }
@@ -160,13 +186,14 @@ pub(crate) fn write_snapshot(
 /// Replay is the running **maximum** over absolute-value records, so it is
 /// idempotent: records covered by both the snapshot and the log (a crash
 /// between snapshot rename and log truncation) cannot inflate the value.
-pub(crate) fn recover_dir(dir: &Path) -> Result<RecoveredState, WalError> {
+pub(crate) fn recover_dir(dir: &Path, fp: &Failpoints) -> Result<RecoveredState, WalError> {
     fs::create_dir_all(dir)?;
     // A leftover temp snapshot is an aborted snapshot write: discard.
     let _ = fs::remove_file(dir.join(SNAPSHOT_TMP));
 
     let mut state = RecoveredState::default();
     let snapshot_path = dir.join(SNAPSHOT_FILE);
+    fp.hit(SITE_RECOVER_READ_SNAPSHOT)?;
     match fs::read(&snapshot_path) {
         Ok(bytes) => {
             let (seq, value, poison) = decode_snapshot(&bytes)?;
@@ -179,6 +206,7 @@ pub(crate) fn recover_dir(dir: &Path) -> Result<RecoveredState, WalError> {
     }
 
     let wal_path = dir.join(WAL_FILE);
+    fp.hit(SITE_RECOVER_READ_WAL)?;
     let bytes = match fs::read(&wal_path) {
         Ok(bytes) => bytes,
         Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(state),
@@ -221,6 +249,7 @@ pub(crate) fn recover_dir(dir: &Path) -> Result<RecoveredState, WalError> {
     if state.tail_bytes_discarded > 0 {
         // Physically truncate the torn tail so the next appended frame
         // starts at a verified boundary.
+        fp.hit(SITE_RECOVER_TRUNCATE)?;
         let f = fs::OpenOptions::new().write(true).open(&wal_path)?;
         f.set_len(offset as u64)?;
         f.sync_all()?;
@@ -232,10 +261,50 @@ pub(crate) fn recover_dir(dir: &Path) -> Result<RecoveredState, WalError> {
 mod tests {
     use super::*;
 
+    /// Failpoints with nothing armed — recovery behaves as in production.
+    fn fp() -> Failpoints {
+        Failpoints::new(0)
+    }
+
+    #[test]
+    fn snapshot_failpoints_surface_and_leave_old_snapshot_intact() {
+        use mc_chaos::FailConfig;
+        let dir = crate::test_dir("recover-snap-fp");
+        fs::create_dir_all(&dir).unwrap();
+        let fp = fp();
+        write_snapshot(&dir, 1, 10, None, &fp).unwrap();
+
+        // Every snapshot site, injected one at a time, must fail the write
+        // while leaving the previous snapshot readable (crash atomicity).
+        for site in [
+            SITE_SNAPSHOT_CREATE,
+            SITE_SNAPSHOT_WRITE,
+            SITE_SNAPSHOT_FSYNC,
+            SITE_SNAPSHOT_RENAME,
+            SITE_SNAPSHOT_DIRSYNC,
+        ] {
+            fp.arm(
+                site,
+                FailConfig::always(std::io::ErrorKind::StorageFull).oneshot(),
+            );
+            let err = write_snapshot(&dir, 2, 20, None, &fp).unwrap_err();
+            assert_eq!(err.kind(), std::io::ErrorKind::StorageFull, "{site}");
+            let state = recover_dir(&dir, &fp).unwrap();
+            // dirsync fires after the rename lands, so the new value is
+            // durable from that site onward; earlier sites keep the old one.
+            assert!(
+                state.value == 10 || site == SITE_SNAPSHOT_DIRSYNC,
+                "{site}: recovered {}",
+                state.value
+            );
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
     #[test]
     fn empty_dir_recovers_to_zero() {
         let dir = crate::test_dir("recover-empty");
-        let state = recover_dir(&dir).unwrap();
+        let state = recover_dir(&dir, &fp()).unwrap();
         assert_eq!(state.value, 0);
         assert_eq!(state.next_seq, 0);
         assert!(state.poison.is_none());
@@ -258,13 +327,13 @@ mod tests {
         log.extend_from_slice(&torn[..torn.len() / 2]);
         fs::write(dir.join(WAL_FILE), &log).unwrap();
 
-        let state = recover_dir(&dir).unwrap();
+        let state = recover_dir(&dir, &fp()).unwrap();
         assert_eq!(state.value, 12, "torn record must not contribute");
         assert_eq!(state.next_seq, 4);
         assert_eq!(state.records_replayed, 4);
         assert_eq!(state.tail_bytes_discarded as usize, log.len() - clean_len);
         // The tail is physically gone: recovering again is clean.
-        let again = recover_dir(&dir).unwrap();
+        let again = recover_dir(&dir, &fp()).unwrap();
         assert_eq!(again.tail_bytes_discarded, 0);
         assert_eq!(again.value, 12);
         fs::remove_dir_all(&dir).unwrap();
@@ -274,14 +343,14 @@ mod tests {
     fn snapshot_plus_stale_log_records_do_not_inflate() {
         let dir = crate::test_dir("recover-snap");
         fs::create_dir_all(&dir).unwrap();
-        write_snapshot(&dir, 5, 40, None).unwrap();
+        write_snapshot(&dir, 5, 40, None, &fp()).unwrap();
         // Crash-between-rename-and-truncate: the log still holds records the
         // snapshot already covers, plus one newer record.
         let mut log = Vec::new();
         log.extend_from_slice(&WalRecord::Advance { seq: 4, value: 30 }.encode_framed());
         log.extend_from_slice(&WalRecord::Advance { seq: 6, value: 41 }.encode_framed());
         fs::write(dir.join(WAL_FILE), &log).unwrap();
-        let state = recover_dir(&dir).unwrap();
+        let state = recover_dir(&dir, &fp()).unwrap();
         assert_eq!(state.value, 41);
         assert_eq!(state.next_seq, 7);
         fs::remove_dir_all(&dir).unwrap();
@@ -294,8 +363,8 @@ mod tests {
         let info = FailureInfo::new("producer died")
             .with_thread("worker-7")
             .with_level(9);
-        write_snapshot(&dir, 2, 10, Some(&info)).unwrap();
-        let state = recover_dir(&dir).unwrap();
+        write_snapshot(&dir, 2, 10, Some(&info), &fp()).unwrap();
+        let state = recover_dir(&dir, &fp()).unwrap();
         let restored = state.poison.expect("poison restored");
         assert_eq!(restored.thread(), "worker-7");
         assert_eq!(restored.message(), "producer died");
@@ -309,7 +378,7 @@ mod tests {
             level: None,
         };
         fs::write(dir.join(WAL_FILE), rec.encode_framed()).unwrap();
-        let state = recover_dir(&dir).unwrap();
+        let state = recover_dir(&dir, &fp()).unwrap();
         assert_eq!(state.poison.unwrap().message(), "producer died");
         fs::remove_dir_all(&dir).unwrap();
     }
@@ -319,7 +388,7 @@ mod tests {
         let dir = crate::test_dir("recover-corrupt-snap");
         fs::create_dir_all(&dir).unwrap();
         fs::write(dir.join(SNAPSHOT_FILE), b"garbage").unwrap();
-        match recover_dir(&dir) {
+        match recover_dir(&dir, &fp()) {
             Err(WalError::CorruptSnapshot(_)) => {}
             other => panic!("expected CorruptSnapshot, got {other:?}"),
         }

@@ -1,16 +1,29 @@
 //! The injectable log-file surface: [`WalFile`], its production
-//! implementation [`FsWal`], and the fault-injecting [`ChaosWal`] used by
-//! the kill-9 crash harness to exercise the window *between* write and
-//! fsync.
+//! implementation [`FsWal`], the fault-injecting [`ChaosWal`] used by the
+//! kill-9 crash harness to exercise the window *between* write and fsync,
+//! and the [`FailpointWal`] wrapper routing every log syscall through named
+//! [`mc_chaos::failpoints`] sites.
 
+use mc_chaos::Failpoints;
 use std::fs::{File, OpenOptions};
 use std::io;
 use std::path::Path;
+use std::sync::Arc;
 
-/// Error type for durable-counter operations.
+/// Error type for durable-counter operations, classified by recoverability:
+/// [`is_transient`](Self::is_transient) tells the retry layer which failures
+/// are worth retrying (an interrupted syscall, a disk-full blip an operator
+/// may clear) and which are terminal.
 #[derive(Debug)]
 pub enum WalError {
-    /// An I/O operation on the log, snapshot, or directory failed.
+    /// The disk is out of space (`ENOSPC`). Transient: operators free space
+    /// and the counter self-heals, so the retry/degrade machinery treats
+    /// this as recoverable rather than terminal.
+    DiskFull(io::Error),
+    /// An I/O operation was interrupted (`EINTR`). Transient by definition —
+    /// the operation can simply be reissued.
+    Interrupted(io::Error),
+    /// Any other I/O failure on the log, snapshot, or directory.
     Io(io::Error),
     /// The snapshot file exists but fails verification. Unlike a torn log
     /// tail (recoverable by truncation), a corrupt snapshot means the
@@ -18,10 +31,41 @@ pub enum WalError {
     CorruptSnapshot(String),
 }
 
+impl WalError {
+    /// Whether a retry (or a degraded-mode resync probe) can plausibly
+    /// succeed: `true` for [`DiskFull`](Self::DiskFull),
+    /// [`Interrupted`](Self::Interrupted), and `Io` errors whose kind is
+    /// `WouldBlock`/`TimedOut`; `false` for everything else — in particular
+    /// [`CorruptSnapshot`](Self::CorruptSnapshot), where retrying re-reads
+    /// the same bad bytes.
+    pub fn is_transient(&self) -> bool {
+        match self {
+            WalError::DiskFull(_) | WalError::Interrupted(_) => true,
+            WalError::Io(e) => matches!(
+                e.kind(),
+                io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+            ),
+            WalError::CorruptSnapshot(_) => false,
+        }
+    }
+
+    /// The underlying [`io::ErrorKind`], when the error wraps an I/O
+    /// failure. Lets callers match `ENOSPC` vs `EINTR` without re-parsing
+    /// the display string.
+    pub fn io_kind(&self) -> Option<io::ErrorKind> {
+        match self {
+            WalError::DiskFull(e) | WalError::Interrupted(e) | WalError::Io(e) => Some(e.kind()),
+            WalError::CorruptSnapshot(_) => None,
+        }
+    }
+}
+
 impl std::fmt::Display for WalError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            WalError::Io(e) => write!(f, "wal io error: {e}"),
+            WalError::DiskFull(e) => write!(f, "wal disk full [{:?}]: {e}", e.kind()),
+            WalError::Interrupted(e) => write!(f, "wal io interrupted [{:?}]: {e}", e.kind()),
+            WalError::Io(e) => write!(f, "wal io error [{:?}]: {e}", e.kind()),
             WalError::CorruptSnapshot(why) => write!(f, "corrupt snapshot: {why}"),
         }
     }
@@ -30,7 +74,7 @@ impl std::fmt::Display for WalError {
 impl std::error::Error for WalError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
-            WalError::Io(e) => Some(e),
+            WalError::DiskFull(e) | WalError::Interrupted(e) | WalError::Io(e) => Some(e),
             WalError::CorruptSnapshot(_) => None,
         }
     }
@@ -38,7 +82,11 @@ impl std::error::Error for WalError {
 
 impl From<io::Error> for WalError {
     fn from(e: io::Error) -> Self {
-        WalError::Io(e)
+        match e.kind() {
+            io::ErrorKind::StorageFull => WalError::DiskFull(e),
+            io::ErrorKind::Interrupted => WalError::Interrupted(e),
+            _ => WalError::Io(e),
+        }
     }
 }
 
@@ -140,6 +188,57 @@ impl WalFile for ChaosWal {
     }
 }
 
+/// A [`WalFile`] wrapper that routes every log operation through a named
+/// [`Failpoints`] site before forwarding to the wrapped file:
+///
+/// | operation | site |
+/// |-----------|------|
+/// | [`append`](WalFile::append) | `wal.append.write` |
+/// | [`sync`](WalFile::sync) | `wal.flush.fsync` |
+/// | [`truncate_all`](WalFile::truncate_all) | `wal.truncate` |
+///
+/// The durability layer wraps whatever the [`WalFactory`] produces in one of
+/// these, so fault schedules armed via `MC_CHAOS_FAILPOINTS` (or
+/// programmatically) hit production and chaos WALs alike. With no sites
+/// armed the overhead is a single relaxed atomic load per operation.
+pub struct FailpointWal {
+    inner: Box<dyn WalFile>,
+    fp: Arc<Failpoints>,
+}
+
+/// Failpoint site hit before every WAL append.
+pub const SITE_WAL_APPEND: &str = "wal.append.write";
+/// Failpoint site hit before every WAL fsync.
+pub const SITE_WAL_FSYNC: &str = "wal.flush.fsync";
+/// Failpoint site hit before every WAL truncation (post-snapshot reset).
+pub const SITE_WAL_TRUNCATE: &str = "wal.truncate";
+/// Failpoint site hit when (re-)opening a WAL file through a factory.
+pub const SITE_WAL_OPEN: &str = "wal.open";
+
+impl FailpointWal {
+    /// Wraps `inner` so its operations consult `fp` first.
+    pub fn new(inner: Box<dyn WalFile>, fp: Arc<Failpoints>) -> Self {
+        FailpointWal { inner, fp }
+    }
+}
+
+impl WalFile for FailpointWal {
+    fn append(&mut self, buf: &[u8]) -> io::Result<()> {
+        self.fp.hit(SITE_WAL_APPEND)?;
+        self.inner.append(buf)
+    }
+
+    fn sync(&mut self) -> io::Result<()> {
+        self.fp.hit(SITE_WAL_FSYNC)?;
+        self.inner.sync()
+    }
+
+    fn truncate_all(&mut self) -> io::Result<()> {
+        self.fp.hit(SITE_WAL_TRUNCATE)?;
+        self.inner.truncate_all()
+    }
+}
+
 /// How log files are opened — lets tests and the crash harness inject
 /// [`ChaosWal`] without changing call sites.
 pub type WalFactory = dyn Fn(&Path) -> io::Result<Box<dyn WalFile>> + Send + Sync;
@@ -176,6 +275,60 @@ mod tests {
         wal.sync().unwrap();
         drop(wal);
         assert_eq!(std::fs::read(&path).unwrap(), b"synced");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn wal_error_classifies_io_kinds() {
+        // ENOSPC → DiskFull, transient; EINTR → Interrupted, transient.
+        let enospc: WalError = io::Error::from_raw_os_error(28).into();
+        assert!(matches!(enospc, WalError::DiskFull(_)));
+        assert!(enospc.is_transient());
+        assert_eq!(enospc.io_kind(), Some(io::ErrorKind::StorageFull));
+        assert!(enospc.to_string().contains("StorageFull"));
+
+        let eintr: WalError = io::Error::from(io::ErrorKind::Interrupted).into();
+        assert!(matches!(eintr, WalError::Interrupted(_)));
+        assert!(eintr.is_transient());
+
+        let hard: WalError = io::Error::from(io::ErrorKind::PermissionDenied).into();
+        assert!(matches!(hard, WalError::Io(_)));
+        assert!(!hard.is_transient());
+        assert!(hard.to_string().contains("PermissionDenied"));
+
+        let soft: WalError = io::Error::from(io::ErrorKind::WouldBlock).into();
+        assert!(soft.is_transient());
+
+        let corrupt = WalError::CorruptSnapshot("bad crc".into());
+        assert!(!corrupt.is_transient());
+        assert_eq!(corrupt.io_kind(), None);
+    }
+
+    #[test]
+    fn failpoint_wal_injects_per_site() {
+        use mc_chaos::FailConfig;
+        let dir = crate::test_dir("failpoint-wal");
+        let path = dir.join("wal.log");
+        let fp = Arc::new(Failpoints::new(7));
+        let mut wal = FailpointWal::new(
+            Box::new(FsWal::open(&path).unwrap()) as Box<dyn WalFile>,
+            Arc::clone(&fp),
+        );
+        // Nothing armed: all operations pass through.
+        wal.append(b"ok").unwrap();
+        wal.sync().unwrap();
+        // Arm fsync with a one-shot ENOSPC: append still works, one sync
+        // fails with StorageFull, the next succeeds.
+        fp.arm(
+            SITE_WAL_FSYNC,
+            FailConfig::always(io::ErrorKind::StorageFull).oneshot(),
+        );
+        wal.append(b"more").unwrap();
+        let err = wal.sync().unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::StorageFull);
+        wal.sync().unwrap();
+        assert_eq!(fp.injected(SITE_WAL_FSYNC), 1);
+        drop(wal);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -47,6 +47,7 @@ fn child_increments() {
         DurableOptions {
             mode: DurabilityMode::Strict,
             snapshot_every: 7, // exercise snapshot+truncate under crashes
+            ..DurableOptions::default()
         },
     )
     .expect("child open");
@@ -73,6 +74,7 @@ fn child_increments_sharded() {
         DurableOptions {
             mode: DurabilityMode::Strict,
             snapshot_every: 7,
+            ..DurableOptions::default()
         },
     )
     .expect("child open");

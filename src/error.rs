@@ -75,6 +75,10 @@ impl From<WalError> for Error {
 
 impl From<std::io::Error> for Error {
     fn from(e: std::io::Error) -> Self {
-        Error::Wal(WalError::Io(e))
+        // Route through WalError's classifier so the transient/permanent
+        // distinction (ENOSPC → DiskFull, EINTR → Interrupted) and the
+        // ErrorKind survive the facade — callers can match on
+        // `Error::Wal(w) if w.is_transient()` or on `w.io_kind()`.
+        Error::Wal(WalError::from(e))
     }
 }

@@ -65,15 +65,18 @@ pub use mc_sthreads as sthreads;
 /// [`CounterDiagnostics`]: mc_counter::CounterDiagnostics
 pub mod prelude {
     pub use crate::Error;
+    pub use mc_chaos::{FailConfig, Failpoints};
     pub use mc_counter::{
         check_all, AtomicCounter, BTreeCounter, BuildConfig, Buildable, CheckError,
         CheckTimeoutError, Counter, CounterBuilder, CounterDiagnostics, CounterExt,
-        CounterOverflowError, CounterSet, DynCounter, FailureInfo, MonitorCounter,
+        CounterOverflowError, CounterSet, DynCounter, FailureInfo, HealthStatus, MonitorCounter,
         MonotonicCounter, NaiveCounter, Obligation, ParkingCounter, PoisonPolicy, Resettable,
         ShardedCounter, SpinCounter, StallReport, StallVerdict, StatsSnapshot, Supervisor,
         SupervisorConfig, TracingCounter, Value,
     };
-    pub use mc_durable::{DurabilityMode, DurableCounter, DurableOptions};
+    pub use mc_durable::{
+        DurabilityMode, DurableCounter, DurableOptions, RetryPolicy, WalError, WalStats,
+    };
     pub use mc_patterns::{
         Broadcast, CheckpointedPipeline, DataflowGraph, Pipeline, RaggedBarrier, Sequencer,
     };

@@ -208,3 +208,51 @@ fn unified_error_spans_layers() {
     assert!(e.to_string().contains("disk gone"));
     assert!(std::error::Error::source(&e).is_some());
 }
+
+/// The `io::ErrorKind` survives the facade: an ENOSPC and an EINTR arriving
+/// as raw `io::Error`s stay distinguishable through `mc::Error::Wal` —
+/// classified variant, `io_kind()`, transience, and Display all preserve it.
+#[test]
+fn wal_error_kind_is_preserved_through_the_facade() {
+    use std::io::ErrorKind;
+
+    // ENOSPC (errno 28) classifies as DiskFull: transient, kind preserved.
+    let enospc: Error = std::io::Error::from_raw_os_error(28).into();
+    match &enospc {
+        Error::Wal(w @ WalError::DiskFull(_)) => {
+            assert_eq!(w.io_kind(), Some(ErrorKind::StorageFull));
+            assert!(w.is_transient());
+        }
+        other => panic!("expected DiskFull, got {other}"),
+    }
+    assert!(enospc.to_string().contains("disk full"), "{enospc}");
+
+    // EINTR (errno 4) classifies as Interrupted: transient, kind preserved.
+    let eintr: Error = std::io::Error::from_raw_os_error(4).into();
+    match &eintr {
+        Error::Wal(w @ WalError::Interrupted(_)) => {
+            assert_eq!(w.io_kind(), Some(ErrorKind::Interrupted));
+            assert!(w.is_transient());
+        }
+        other => panic!("expected Interrupted, got {other}"),
+    }
+
+    // A permanent kind stays a plain (non-transient) Io error, and its
+    // kind shows up in the Display output for callers matching on text.
+    let eio: Error = std::io::Error::new(ErrorKind::PermissionDenied, "ro fs").into();
+    match &eio {
+        Error::Wal(w @ WalError::Io(_)) => {
+            assert_eq!(w.io_kind(), Some(ErrorKind::PermissionDenied));
+            assert!(!w.is_transient());
+        }
+        other => panic!("expected Io, got {other}"),
+    }
+    assert!(eio.to_string().contains("PermissionDenied"), "{eio}");
+
+    // So a caller can branch on the cause across the facade boundary:
+    let kind_of = |e: &Error| match e {
+        Error::Wal(w) => w.io_kind(),
+        _ => None,
+    };
+    assert_ne!(kind_of(&enospc), kind_of(&eintr));
+}

@@ -221,6 +221,158 @@ fn chaos_abandoned_increment_poisons_waiters() {
     assert_eq!(s.nodes_created, s.nodes_freed);
 }
 
+/// Battery: `ChaosCounter::with_abandon_after` under a running `Supervisor`
+/// watch thread. A chaos producer that dies *before* reaching its armed
+/// abandonment point loses its increments silently — no poison, just
+/// stranded waiters. The supervisor must classify that stall
+/// [`StallVerdict::NeverSatisfiable`] (not merely `Slow`), and the watch
+/// thread's `poison_stuck` must wake **every** parked waiter with the
+/// diagnosis as cause — while a genuinely slow counter (an outstanding
+/// obligation covers its waiter) is left untouched.
+#[test]
+fn watch_thread_poisons_stranded_chaos_counter_and_wakes_all_waiters() {
+    let seed = monotonic_counters::chaos::seed_from_env(7);
+    let chaos = Arc::new(Chaos::new(seed));
+    let sup = Supervisor::with_config(SupervisorConfig {
+        interval: Duration::from_millis(10),
+        poison_stuck: true,
+        degrade_deadline: None,
+    });
+    // Armed far beyond what the producer will deliver: the thread dies
+    // first, so the loss is silent — exactly the hang poison_stuck exists
+    // to convert into a propagated failure.
+    let stranded = Arc::new(ChaosCounter::with_abandon_after(
+        Counter::default(),
+        Arc::clone(&chaos),
+        100,
+    ));
+    let slow = Arc::new(ChaosCounter::new(Counter::default(), chaos));
+    sup.register("stranded", &stranded);
+    sup.register("slow", &slow);
+    let ob = sup.obligation("slow", 10).unwrap();
+
+    let waiters: Vec<_> = (6u64..9)
+        .map(|level| {
+            let c = Arc::clone(&stranded);
+            std::thread::spawn(move || c.wait(level))
+        })
+        .collect();
+    let slow_waiter = {
+        let c = Arc::clone(&slow);
+        std::thread::spawn(move || c.wait(10))
+    };
+    while stranded.waiters().len() < 3 || slow.waiters().is_empty() {
+        std::thread::yield_now();
+    }
+
+    let producer = {
+        let c = Arc::clone(&stranded);
+        std::thread::spawn(move || {
+            for _ in 0..4 {
+                c.increment(1);
+            }
+            panic!("producer dies before its abandonment point");
+        })
+    };
+    assert!(producer.join().is_err());
+
+    // Pin the verdicts before any poisoning: the stranded counter is
+    // provably stuck (value 4, no obligations, waiters at 6..9), the
+    // obligation-covered one merely slow.
+    let report = sup.diagnose();
+    let verdict = |name: &str| {
+        report
+            .counters
+            .iter()
+            .find(|c| c.name == name)
+            .unwrap()
+            .verdict
+    };
+    assert_eq!(
+        verdict("stranded"),
+        StallVerdict::NeverSatisfiable,
+        "{report}"
+    );
+    assert_eq!(
+        verdict("slow"),
+        StallVerdict::Slow,
+        "an obligation-covered waiter is slow, not stuck: {report}"
+    );
+
+    // The watch thread takes it from here: every parked waiter wakes with
+    // the stall diagnosis instead of hanging.
+    sup.start();
+    for w in waiters {
+        match w.join().unwrap() {
+            Err(CheckError::Poisoned(info)) => {
+                assert!(info.message().contains("is stuck"), "{info}");
+                assert!(info.message().contains("stranded"), "{info}");
+            }
+            other => panic!("expected stall poisoning, got {other:?}"),
+        }
+    }
+    // The slow counter was never poisoned and completes via its obligation.
+    assert!(slow.poison_info().is_none());
+    ob.fulfill();
+    assert!(slow_waiter.join().unwrap().is_ok());
+    sup.stop();
+}
+
+/// The armed abandonment firing *while* the watch thread runs: the
+/// wrapper's own poison wakes the parked waiters, and later watch ticks
+/// must not clobber the original chaos cause with a stall diagnosis —
+/// first poison wins.
+#[test]
+fn chaos_abandonment_under_watch_thread_preserves_the_original_cause() {
+    let seed = monotonic_counters::chaos::seed_from_env(21);
+    let chaos = Arc::new(Chaos::new(seed));
+    let sup = Supervisor::with_config(SupervisorConfig {
+        interval: Duration::from_millis(5),
+        poison_stuck: true,
+        degrade_deadline: None,
+    });
+    let c = Arc::new(ChaosCounter::with_abandon_after(
+        Counter::default(),
+        chaos,
+        2,
+    ));
+    sup.register("lossy", &c);
+
+    let waiters: Vec<_> = (10u64..13)
+        .map(|level| {
+            let c = Arc::clone(&c);
+            std::thread::spawn(move || c.wait(level))
+        })
+        .collect();
+    // `waiters()` reports occupied *levels*, hence the distinct targets.
+    while c.waiters().len() < 3 {
+        std::thread::yield_now();
+    }
+    c.increment(1);
+    c.increment(9); // abandoned: poisons with the chaos cause
+    for w in waiters {
+        match w.join().unwrap() {
+            Err(CheckError::Poisoned(info)) => {
+                assert!(info.message().contains("abandoned"), "{info}")
+            }
+            other => panic!("expected chaos poisoning, got {other:?}"),
+        }
+    }
+    // Now run the watch thread over the already-poisoned counter for
+    // several intervals: the original cause must survive.
+    sup.start();
+    std::thread::sleep(Duration::from_millis(30));
+    let info = c.poison_info().expect("still poisoned");
+    assert!(
+        info.message().contains("abandoned"),
+        "watch thread must not clobber the first cause: {info}"
+    );
+    let report = sup.diagnose();
+    assert!(report.counters[0].poisoned.is_some(), "{report}");
+    assert_eq!(report.counters[0].verdict, StallVerdict::Idle, "{report}");
+    sup.stop();
+}
+
 /// `Sequencer::execute` admits the next ticket even when a section panics,
 /// so one failure does not deadlock the pipeline (the panic still
 /// propagates).
