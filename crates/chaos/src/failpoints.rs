@@ -27,7 +27,12 @@
 //! * error kind (optional): `eio` (default), `enospc`, `eintr`, `eagain`,
 //!   `timedout`;
 //! * `oneshot` (optional): disarm the site after its first injected fault
-//!   (default: persistent — the site keeps evaluating its trigger).
+//!   (default: persistent — the site keeps evaluating its trigger);
+//! * `partial` (optional): on buffer-carrying sites (log appends), perform
+//!   a prefix of the operation before failing — a syscall torn mid-write
+//!   (`write_all` stopping short on `ENOSPC`) rather than one that never
+//!   started. Sites evaluated through [`Failpoints::hit`] treat it as a
+//!   plain fault.
 //!
 //! The seed comes from `MC_CHAOS_SEED` (see
 //! [`seed_from_env`](crate::seed_from_env)); the same two variables drive
@@ -65,6 +70,11 @@ pub struct FailConfig {
     /// Disarm after the first injected fault (`true`) or keep evaluating the
     /// trigger on every hit (`false`).
     pub oneshot: bool,
+    /// On buffer-carrying sites (evaluated via
+    /// [`Failpoints::hit_buffered`]), perform a deterministic prefix of the
+    /// operation before failing — a torn mid-write fault instead of a clean
+    /// no-op failure. Plain [`Failpoints::hit`] sites ignore this.
+    pub partial: bool,
 }
 
 impl FailConfig {
@@ -75,6 +85,7 @@ impl FailConfig {
             trigger: Trigger::Always,
             kind,
             oneshot: false,
+            partial: false,
         }
     }
 
@@ -85,6 +96,7 @@ impl FailConfig {
             trigger: Trigger::Nth(nth),
             kind,
             oneshot: true,
+            partial: false,
         }
     }
 
@@ -94,6 +106,7 @@ impl FailConfig {
             trigger: Trigger::Probability(p.clamp(0.0, 1.0)),
             kind,
             oneshot: false,
+            partial: false,
         }
     }
 
@@ -103,6 +116,32 @@ impl FailConfig {
         self.oneshot = true;
         self
     }
+
+    /// Makes this configuration partial: buffer-carrying sites perform a
+    /// deterministic prefix of the operation before failing.
+    pub fn partial(mut self) -> Self {
+        self.partial = true;
+        self
+    }
+}
+
+/// The outcome of evaluating a buffer-carrying fault site via
+/// [`Failpoints::hit_buffered`].
+#[derive(Debug)]
+pub enum BufInjection {
+    /// The site passed: perform the real operation in full.
+    Pass,
+    /// Fail without performing any of the operation.
+    Fail(io::Error),
+    /// Perform the operation on exactly the first `prefix` bytes of the
+    /// buffer, then return the error — a syscall torn mid-write.
+    Partial {
+        /// Bytes (1-based count, strictly less than the buffer length) to
+        /// write before failing.
+        prefix: usize,
+        /// The injected error to return after the partial write.
+        error: io::Error,
+    },
 }
 
 /// Mutable per-site state: the armed config plus the site's private
@@ -244,15 +283,29 @@ impl Failpoints {
     /// error if the site fires, `Ok(())` otherwise. With nothing armed this
     /// is one relaxed atomic load.
     pub fn hit(&self, site: &str) -> io::Result<()> {
+        match self.hit_buffered(site, 0) {
+            BufInjection::Pass => Ok(()),
+            BufInjection::Fail(e) | BufInjection::Partial { error: e, .. } => Err(e),
+        }
+    }
+
+    /// [`hit`](Self::hit) for buffer-carrying operations (`len` bytes about
+    /// to be written): a firing site whose config is
+    /// [`partial`](FailConfig::partial) asks the caller to perform the
+    /// operation on a deterministic nonzero prefix of the buffer before
+    /// failing — the torn mid-write shape a real `write_all` leaves when a
+    /// disk fills partway through. The prefix draw comes from the site's
+    /// seeded stream, so it replays with the schedule.
+    pub fn hit_buffered(&self, site: &str, len: usize) -> BufInjection {
         if self.armed.load(Relaxed) == 0 {
-            return Ok(());
+            return BufInjection::Pass;
         }
         let mut sites = lock_sites(&self.sites);
         let Some(state) = sites.get_mut(site) else {
-            return Ok(());
+            return BufInjection::Pass;
         };
         let Some(config) = state.config.clone() else {
-            return Ok(());
+            return BufInjection::Pass;
         };
         state.hits += 1;
         let fires = match config.trigger {
@@ -264,18 +317,29 @@ impl Failpoints {
             }
         };
         if !fires {
-            return Ok(());
+            return BufInjection::Pass;
         }
         state.injected += 1;
         self.total_injected.fetch_add(1, Relaxed);
+        // A torn write needs at least one byte written and one withheld.
+        let prefix = (config.partial && len > 1)
+            .then(|| 1 + (splitmix(&mut state.rng) % (len as u64 - 1)) as usize);
         if config.oneshot {
             state.config = None;
             self.armed.fetch_sub(1, Relaxed);
         }
-        Err(io::Error::new(
+        let detail = match prefix {
+            Some(p) => format!(" after {p}-byte partial write"),
+            None => String::new(),
+        };
+        let error = io::Error::new(
             config.kind,
-            format!("chaos failpoint '{site}' injected {:?}", config.kind),
-        ))
+            format!("chaos failpoint '{site}' injected {:?}{detail}", config.kind),
+        );
+        match prefix {
+            Some(prefix) => BufInjection::Partial { prefix, error },
+            None => BufInjection::Fail(error),
+        }
     }
 
     /// How many times `site` has been evaluated while registered (armed hits
@@ -344,6 +408,7 @@ fn parse_spec(spec: &str) -> Result<FailConfig, String> {
     };
     let mut kind = io::ErrorKind::Other;
     let mut oneshot = false;
+    let mut partial = false;
     for field in fields {
         match field {
             "eio" => kind = io::ErrorKind::Other,
@@ -352,6 +417,7 @@ fn parse_spec(spec: &str) -> Result<FailConfig, String> {
             "eagain" => kind = io::ErrorKind::WouldBlock,
             "timedout" => kind = io::ErrorKind::TimedOut,
             "oneshot" => oneshot = true,
+            "partial" => partial = true,
             other => return Err(format!("'{other}': unknown field")),
         }
     }
@@ -359,6 +425,7 @@ fn parse_spec(spec: &str) -> Result<FailConfig, String> {
         trigger,
         kind,
         oneshot,
+        partial,
     })
 }
 
@@ -416,6 +483,7 @@ mod tests {
                 trigger: Trigger::Nth(2),
                 kind: io::ErrorKind::Other,
                 oneshot: false,
+                partial: false,
             },
         );
         assert!(fp.hit("x").is_ok());
@@ -460,6 +528,65 @@ mod tests {
         assert!(fp.hit("snapshot.rename").is_err());
         assert!(fp.hit("snapshot.rename").is_ok());
         assert_eq!(fp.hit("x").unwrap_err().kind(), io::ErrorKind::Interrupted);
+    }
+
+    #[test]
+    fn partial_configs_ask_for_a_strict_nonzero_prefix() {
+        let fp = Failpoints::new(11);
+        fp.arm(
+            "x",
+            FailConfig::always(io::ErrorKind::StorageFull).partial(),
+        );
+        for len in [2usize, 3, 64, 4096] {
+            match fp.hit_buffered("x", len) {
+                BufInjection::Partial { prefix, error } => {
+                    assert!((1..len).contains(&prefix), "len {len}: prefix {prefix}");
+                    assert_eq!(error.kind(), io::ErrorKind::StorageFull);
+                }
+                other => panic!("len {len}: expected Partial, got {other:?}"),
+            }
+        }
+        // A buffer too small to tear degenerates to a clean failure.
+        for len in [0usize, 1] {
+            assert!(matches!(
+                fp.hit_buffered("x", len),
+                BufInjection::Fail(_)
+            ));
+        }
+        // Plain hit() treats the same config as a clean failure.
+        assert!(fp.hit("x").is_err());
+    }
+
+    #[test]
+    fn partial_prefix_draws_replay_per_seed() {
+        let run = |seed: u64| -> Vec<usize> {
+            let fp = Failpoints::new(seed);
+            fp.arm("x", FailConfig::always(io::ErrorKind::Other).partial());
+            (0..16)
+                .map(|_| match fp.hit_buffered("x", 1000) {
+                    BufInjection::Partial { prefix, .. } => prefix,
+                    other => panic!("expected Partial, got {other:?}"),
+                })
+                .collect()
+        };
+        assert_eq!(run(5), run(5), "same seed, same prefixes");
+        assert_ne!(run(5), run(6), "different seed, different prefixes");
+    }
+
+    #[test]
+    fn partial_spec_field_parses_and_oneshot_disarms_after_partial() {
+        let fp = Failpoints::from_spec(3, "wal.append.write=nth1:enospc:oneshot:partial").unwrap();
+        match fp.hit_buffered("wal.append.write", 100) {
+            BufInjection::Partial { error, .. } => {
+                assert_eq!(error.kind(), io::ErrorKind::StorageFull)
+            }
+            other => panic!("expected Partial, got {other:?}"),
+        }
+        assert!(!fp.any_armed(), "oneshot must disarm after the partial");
+        assert!(matches!(
+            fp.hit_buffered("wal.append.write", 100),
+            BufInjection::Pass
+        ));
     }
 
     #[test]

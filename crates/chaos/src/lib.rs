@@ -45,6 +45,6 @@ pub mod torture;
 pub use counter::ChaosCounter;
 pub use crash_harness::{CrashReport, CrashScenario};
 pub use explore::{explore, Outcomes};
-pub use failpoints::{FailConfig, Failpoints, Trigger, FAILPOINTS_ENV};
+pub use failpoints::{BufInjection, FailConfig, Failpoints, Trigger, FAILPOINTS_ENV};
 pub use jitter::{seed_from_env, Chaos, ChaosConfig};
 pub use skeleton::{explore_skeleton, replay_schedule, run_random, ReplayError, SkeletonOutcome};

@@ -40,7 +40,10 @@ fn splitmix(state: &mut u64) -> u64 {
 /// Roughly a third of sites get an `Nth`-hit spike (one-shot, fires once
 /// then clears), the rest a persistent per-hit probability in `0.05..=0.45`
 /// — high enough to exhaust small retry budgets sometimes, low enough that
-/// progress is always eventually possible once the plan is cleared.
+/// progress is always eventually possible once the plan is cleared. Half of
+/// all configs are additionally `partial`, so buffer-carrying sites (log
+/// appends) cover torn mid-write faults, not just clean no-op failures;
+/// non-buffered sites ignore the flag.
 pub fn fault_plan(seed: u64, sites: &[&str]) -> Vec<(String, FailConfig)> {
     let mut rng = seed ^ 0xA55A_5AA5_D00D_F00D;
     sites
@@ -48,11 +51,13 @@ pub fn fault_plan(seed: u64, sites: &[&str]) -> Vec<(String, FailConfig)> {
         .map(|site| {
             let kind = KINDS[(splitmix(&mut rng) % KINDS.len() as u64) as usize];
             let roll = splitmix(&mut rng);
+            let partial = splitmix(&mut rng).is_multiple_of(2);
             let config = if roll.is_multiple_of(3) {
                 FailConfig {
                     trigger: Trigger::Nth(1 + splitmix(&mut rng) % 8),
                     kind,
                     oneshot: true,
+                    partial,
                 }
             } else {
                 let p = 0.05 + (splitmix(&mut rng) % 41) as f64 / 100.0;
@@ -60,6 +65,7 @@ pub fn fault_plan(seed: u64, sites: &[&str]) -> Vec<(String, FailConfig)> {
                     trigger: Trigger::Probability(p),
                     kind,
                     oneshot: false,
+                    partial,
                 }
             };
             (site.to_string(), config)
@@ -97,7 +103,8 @@ pub fn plan_to_spec(plan: &[(String, FailConfig)]) -> String {
                 _ => ":eio",
             };
             let oneshot = if config.oneshot { ":oneshot" } else { "" };
-            format!("{site}={trigger}{kind}{oneshot}")
+            let partial = if config.partial { ":partial" } else { "" };
+            format!("{site}={trigger}{kind}{oneshot}{partial}")
         })
         .collect::<Vec<_>>()
         .join(",")

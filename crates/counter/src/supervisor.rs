@@ -445,11 +445,16 @@ impl Supervisor {
     ///
     /// [`run_with_deadline`]: https://docs.rs/mc-sthreads
     pub fn poison_all(&self, info: FailureInfo) {
-        let entries = lock_recover(&self.shared.entries);
-        for e in entries.iter() {
-            if let Some(c) = e.counter.upgrade() {
-                c.poison(info.clone());
-            }
+        // Upgrade under the lock, poison outside it: a durable counter's
+        // poison() blocks until its flusher acknowledges (up to a resync
+        // interval while degraded), and register()/diagnose() must not
+        // stall behind that.
+        let targets: Vec<_> = {
+            let entries = lock_recover(&self.shared.entries);
+            entries.iter().filter_map(|e| e.counter.upgrade()).collect()
+        };
+        for c in targets {
+            c.poison(info.clone());
         }
     }
 
@@ -457,16 +462,24 @@ impl Supervisor {
     /// [`StallVerdict::NeverSatisfiable`]; returns how many were poisoned.
     pub fn poison_stuck(&self, info: FailureInfo) -> usize {
         let report = self.diagnose();
-        let entries = lock_recover(&self.shared.entries);
-        let mut poisoned = 0;
-        for c in report.stuck() {
-            let Some(entry) = entries.iter().find(|e| e.name == c.name) else {
-                continue;
-            };
-            if let Some(counter) = entry.counter.upgrade() {
-                counter.poison(info.clone());
-                poisoned += 1;
-            }
+        // Upgrade under the lock, poison after dropping it (see
+        // [`poison_all`](Self::poison_all)).
+        let targets: Vec<_> = {
+            let entries = lock_recover(&self.shared.entries);
+            report
+                .stuck()
+                .into_iter()
+                .filter_map(|c| {
+                    entries
+                        .iter()
+                        .find(|e| e.name == c.name)
+                        .and_then(|e| e.counter.upgrade())
+                })
+                .collect()
+        };
+        let poisoned = targets.len();
+        for counter in targets {
+            counter.poison(info.clone());
         }
         poisoned
     }
@@ -486,29 +499,40 @@ impl Supervisor {
         deadline: Duration,
         info: Option<FailureInfo>,
     ) -> usize {
-        let entries = lock_recover(&shared.entries);
-        let mut poisoned = 0;
-        for c in &report.counters {
-            let HealthStatus::Degraded { since, queued } = c.health else {
-                continue;
-            };
-            if since.elapsed() < deadline {
-                continue;
+        // Collect the targets (and their causes) under the lock, then
+        // poison after dropping it: a degraded durable counter's poison()
+        // blocks until the flusher's next serve/ack tick — up to a resync
+        // interval — and every register()/diagnose()/obligation() call
+        // would stall behind that.
+        let mut targets = Vec::new();
+        {
+            let entries = lock_recover(&shared.entries);
+            for c in &report.counters {
+                let HealthStatus::Degraded { since, queued } = c.health else {
+                    continue;
+                };
+                if since.elapsed() < deadline {
+                    continue;
+                }
+                if let Some(counter) = entries
+                    .iter()
+                    .find(|e| e.name == c.name)
+                    .and_then(|e| e.counter.upgrade())
+                {
+                    let cause = info.clone().unwrap_or_else(|| {
+                        FailureInfo::new(format!(
+                            "supervisor: counter '{}' degraded beyond deadline ({deadline:?}, \
+                             {queued} queued record(s) unsynced)",
+                            c.name
+                        ))
+                    });
+                    targets.push((counter, cause));
+                }
             }
-            if let Some(counter) = entries
-                .iter()
-                .find(|e| e.name == c.name)
-                .and_then(|e| e.counter.upgrade())
-            {
-                counter.poison(info.clone().unwrap_or_else(|| {
-                    FailureInfo::new(format!(
-                        "supervisor: counter '{}' degraded beyond deadline ({deadline:?}, \
-                         {queued} queued record(s) unsynced)",
-                        c.name
-                    ))
-                }));
-                poisoned += 1;
-            }
+        }
+        let poisoned = targets.len();
+        for (counter, cause) in targets {
+            counter.poison(cause);
         }
         poisoned
     }
@@ -613,19 +637,34 @@ impl Supervisor {
             return;
         }
         if shared.config.poison_stuck {
-            let entries = lock_recover(&shared.entries);
-            for c in report.stuck() {
-                if let Some(counter) = entries
-                    .iter()
-                    .find(|e| e.name == c.name)
-                    .and_then(|e| e.counter.upgrade())
-                {
-                    counter.poison(FailureInfo::new(format!(
-                        "supervisor: counter '{}' is stuck (value {} + {} outstanding \
-                         obligations cannot satisfy waited levels)",
-                        c.name, c.value, c.outstanding_obligations
-                    )));
-                }
+            // Upgrade under the lock, poison after dropping it (see
+            // `poison_degraded_shared`): poison() may block on a flusher
+            // tick, and the registry must stay responsive meanwhile.
+            let targets: Vec<_> = {
+                let entries = lock_recover(&shared.entries);
+                report
+                    .stuck()
+                    .into_iter()
+                    .filter_map(|c| {
+                        entries
+                            .iter()
+                            .find(|e| e.name == c.name)
+                            .and_then(|e| e.counter.upgrade())
+                            .map(|counter| {
+                                (
+                                    counter,
+                                    FailureInfo::new(format!(
+                                        "supervisor: counter '{}' is stuck (value {} + {} \
+                                         outstanding obligations cannot satisfy waited levels)",
+                                        c.name, c.value, c.outstanding_obligations
+                                    )),
+                                )
+                            })
+                    })
+                    .collect()
+            };
+            for (counter, cause) in targets {
+                counter.poison(cause);
             }
         }
         *lock_recover(&shared.last_report) = Some(report);

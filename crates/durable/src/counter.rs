@@ -33,7 +33,10 @@
 //!    [`RetryPolicy`] with jittered exponential backoff. Retries are
 //!    counted in [`StatsSnapshot::io_retries`] and [`WalStats::retries`].
 //!    Retrying a whole append+fsync batch is safe because records carry
-//!    absolute values: a duplicated record replays as a no-op running max.
+//!    absolute values (a duplicated record replays as a no-op running max)
+//!    and every retry first rewinds the log to its last synced length, so
+//!    a partial write torn mid-frame by the failed attempt can never sit
+//!    ahead of the retried frames as mid-log corruption.
 //! 2. **Degraded mode** — with [`PoisonPolicy::Degrade`], exhausting the
 //!    retry budget parks the log instead of poisoning: increments keep
 //!    serving from the in-memory fast path, acknowledgements come from a
@@ -298,6 +301,11 @@ struct Flusher<C> {
     next_seq: u64,
     /// The last value written to the log (== the durable value once synced).
     logged_value: Value,
+    /// Byte length of the log at the last known-good point (open, resync,
+    /// successful sync, or truncation). Append retries rewind to this
+    /// watermark first, so a torn partial write from the failed attempt can
+    /// never precede the retried records as a corrupt frame mid-log.
+    synced_len: u64,
     /// The persisted poison cause, if any (survives into snapshots).
     poison: Option<FailureInfo>,
     /// Drained poison requests not yet persisted. Entries survive a failed
@@ -420,20 +428,29 @@ impl<C: MonotonicCounter + CounterDiagnostics> Flusher<C> {
 
         if !batch.is_empty() {
             let wal = self.wal.as_mut().expect("flush_once requires a live wal");
-            // Retrying the whole append+fsync is sound: records are
-            // absolute, so a duplicate replays as a running-max no-op, and
-            // the degrade path's recover_dir repairs any torn partial
-            // write before new bytes follow it.
+            // Records are absolute, so a duplicated batch replays as a
+            // running-max no-op — but a failed attempt may have left a torn
+            // partial frame (a `write_all` stopped short by ENOSPC), and
+            // appending the retry after it would strand everything behind a
+            // corrupt frame at recovery. Rewind to the last synced length
+            // first so every attempt starts at a verified frame boundary.
+            let good_len = self.synced_len;
+            let mut first_attempt = true;
             with_retry(
                 &self.retry,
                 &mut self.jitter,
                 &self.shared.io_retries,
                 || {
+                    if !first_attempt {
+                        wal.rewind_to(good_len)?;
+                    }
+                    first_attempt = false;
                     wal.append(&batch)?;
                     wal.sync()?;
                     Ok(())
                 },
             )?;
+            self.synced_len = good_len + batch.len() as u64;
             self.next_seq = seq;
             self.records_since_snapshot += records;
             self.shared.fsyncs.fetch_add(1, SeqCst);
@@ -463,6 +480,7 @@ impl<C: MonotonicCounter + CounterDiagnostics> Flusher<C> {
                 wal.truncate_all()?;
                 Ok(())
             })?;
+            self.synced_len = 0;
             self.records_since_snapshot = 0;
             self.shared.snapshots.fetch_add(1, SeqCst);
         }
@@ -591,13 +609,21 @@ impl<C: MonotonicCounter + CounterDiagnostics> Flusher<C> {
         }
         if !batch.is_empty() {
             wal.append(&batch)?;
-            wal.sync()?;
-            self.shared.fsyncs.fetch_add(1, SeqCst);
+        }
+        // Sync unconditionally, even with nothing new to append: the
+        // recovered log may contain frames the failed handle appended but
+        // never fsynced (an append that succeeded before the fsync fault),
+        // and returning to Healthy must never claim page-cache-only bytes
+        // as crash-durable.
+        wal.sync()?;
+        self.shared.fsyncs.fetch_add(1, SeqCst);
+        if records > 0 {
             self.shared.records_logged.fetch_add(records, SeqCst);
         }
         // Committed: swap the live handle back in and publish.
         self.next_seq = seq;
         self.logged_value = logged.max(target);
+        self.synced_len = recovered.log_len + batch.len() as u64;
         self.records_since_snapshot += records;
         self.wal = Some(wal);
         self.publish_durable();
@@ -694,6 +720,7 @@ where
             dir,
             next_seq: recovered.next_seq,
             logged_value: recovered.value,
+            synced_len: recovered.log_len,
             poison: recovered.poison,
             pending_poisons: Vec::new(),
             acked_pending: 0,

@@ -63,7 +63,8 @@ pub use recover::{
 pub use retry::RetryPolicy;
 pub use wal::{
     wal_factory_from_env, ChaosWal, FailpointWal, FsWal, WalError, WalFactory, WalFile,
-    CHAOS_WAL_ENV, SITE_WAL_APPEND, SITE_WAL_FSYNC, SITE_WAL_OPEN, SITE_WAL_TRUNCATE,
+    CHAOS_WAL_ENV, SITE_WAL_APPEND, SITE_WAL_FSYNC, SITE_WAL_OPEN, SITE_WAL_REWIND,
+    SITE_WAL_TRUNCATE,
 };
 
 /// A unique per-test scratch directory under the system temp dir (unit

@@ -48,6 +48,10 @@ pub(crate) struct RecoveredState {
     pub records_replayed: u64,
     /// Torn-tail bytes discarded (and physically truncated) from the log.
     pub tail_bytes_discarded: u64,
+    /// Byte length of the verified log after recovery (the truncation
+    /// point). Seeds the flusher's synced-length watermark, which the
+    /// append-retry path rewinds to before re-appending.
+    pub log_len: u64,
 }
 
 /// The persisted poison fields of a snapshot or a replayed record.
@@ -246,6 +250,7 @@ pub(crate) fn recover_dir(dir: &Path, fp: &Failpoints) -> Result<RecoveredState,
         }
     }
     state.tail_bytes_discarded = (bytes.len() - offset) as u64;
+    state.log_len = offset as u64;
     if state.tail_bytes_discarded > 0 {
         // Physically truncate the torn tail so the next appended frame
         // starts at a verified boundary.

@@ -4,7 +4,7 @@
 //! and the [`FailpointWal`] wrapper routing every log syscall through named
 //! [`mc_chaos::failpoints`] sites.
 
-use mc_chaos::Failpoints;
+use mc_chaos::{BufInjection, Failpoints};
 use std::fs::{File, OpenOptions};
 use std::io;
 use std::path::Path;
@@ -104,6 +104,15 @@ pub trait WalFile: Send {
     fn sync(&mut self) -> io::Result<()>;
     /// Discards the entire log (used after a snapshot supersedes it).
     fn truncate_all(&mut self) -> io::Result<()>;
+    /// Restores the log to exactly the state it had at the last successful
+    /// [`sync`](Self::sync) (or open/truncate) that left it `len` bytes
+    /// long, discarding any partial bytes a failed append or sync left
+    /// behind. The flusher calls this before re-appending on retry: without
+    /// it, a `write_all` torn mid-frame followed by a retried batch would
+    /// leave a corrupt frame mid-log, and recovery truncates everything
+    /// after the first corrupt frame — losing records acknowledged durable
+    /// by the successful retry.
+    fn rewind_to(&mut self, len: u64) -> io::Result<()>;
 }
 
 /// Production [`WalFile`]: a real file, `write_all` + `sync_data`.
@@ -131,6 +140,12 @@ impl WalFile for FsWal {
 
     fn truncate_all(&mut self) -> io::Result<()> {
         self.file.set_len(0)
+    }
+
+    fn rewind_to(&mut self, len: u64) -> io::Result<()> {
+        // The file is opened in append mode, so the next write lands at the
+        // truncated end — no seek needed.
+        self.file.set_len(len)
     }
 }
 
@@ -186,6 +201,14 @@ impl WalFile for ChaosWal {
         self.buffered.clear();
         self.file.set_len(0)
     }
+
+    fn rewind_to(&mut self, len: u64) -> io::Result<()> {
+        // At the last successful sync the buffer was empty and the file was
+        // `len` bytes, so restoring that state drops both the in-memory
+        // tail and any bytes a torn flush pushed past `len`.
+        self.buffered.clear();
+        self.file.set_len(len)
+    }
 }
 
 /// A [`WalFile`] wrapper that routes every log operation through a named
@@ -196,6 +219,12 @@ impl WalFile for ChaosWal {
 /// | [`append`](WalFile::append) | `wal.append.write` |
 /// | [`sync`](WalFile::sync) | `wal.flush.fsync` |
 /// | [`truncate_all`](WalFile::truncate_all) | `wal.truncate` |
+/// | [`rewind_to`](WalFile::rewind_to) | `wal.rewind` |
+///
+/// The append site is buffer-aware: armed with a `partial` config it writes
+/// a deterministic prefix of the batch through to the wrapped file before
+/// returning the error, reproducing the torn mid-frame shape a real
+/// `write_all` leaves when the disk fills partway through.
 ///
 /// The durability layer wraps whatever the [`WalFactory`] produces in one of
 /// these, so fault schedules armed via `MC_CHAOS_FAILPOINTS` (or
@@ -214,6 +243,9 @@ pub const SITE_WAL_FSYNC: &str = "wal.flush.fsync";
 pub const SITE_WAL_TRUNCATE: &str = "wal.truncate";
 /// Failpoint site hit when (re-)opening a WAL file through a factory.
 pub const SITE_WAL_OPEN: &str = "wal.open";
+/// Failpoint site hit before rewinding the log to its last synced length
+/// (the pre-retry torn-byte repair).
+pub const SITE_WAL_REWIND: &str = "wal.rewind";
 
 impl FailpointWal {
     /// Wraps `inner` so its operations consult `fp` first.
@@ -224,8 +256,16 @@ impl FailpointWal {
 
 impl WalFile for FailpointWal {
     fn append(&mut self, buf: &[u8]) -> io::Result<()> {
-        self.fp.hit(SITE_WAL_APPEND)?;
-        self.inner.append(buf)
+        match self.fp.hit_buffered(SITE_WAL_APPEND, buf.len()) {
+            BufInjection::Pass => self.inner.append(buf),
+            BufInjection::Fail(e) => Err(e),
+            BufInjection::Partial { prefix, error } => {
+                // Best effort: if even the prefix write fails the log is
+                // simply torn earlier, which is the same fault shape.
+                let _ = self.inner.append(&buf[..prefix]);
+                Err(error)
+            }
+        }
     }
 
     fn sync(&mut self) -> io::Result<()> {
@@ -236,6 +276,11 @@ impl WalFile for FailpointWal {
     fn truncate_all(&mut self) -> io::Result<()> {
         self.fp.hit(SITE_WAL_TRUNCATE)?;
         self.inner.truncate_all()
+    }
+
+    fn rewind_to(&mut self, len: u64) -> io::Result<()> {
+        self.fp.hit(SITE_WAL_REWIND)?;
+        self.inner.rewind_to(len)
     }
 }
 
@@ -275,6 +320,76 @@ mod tests {
         wal.sync().unwrap();
         drop(wal);
         assert_eq!(std::fs::read(&path).unwrap(), b"synced");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn fs_wal_rewind_discards_torn_bytes_and_appends_at_boundary() {
+        let dir = crate::test_dir("fswal-rewind");
+        let path = dir.join("wal.log");
+        let mut wal = FsWal::open(&path).unwrap();
+        wal.append(b"good").unwrap();
+        wal.sync().unwrap();
+        // A failed attempt left torn bytes; rewinding to the synced length
+        // must drop them, and the retried append must land right after the
+        // verified prefix (O_APPEND writes at the truncated EOF).
+        wal.append(b"to").unwrap();
+        wal.rewind_to(4).unwrap();
+        wal.append(b"retry").unwrap();
+        wal.sync().unwrap();
+        drop(wal);
+        assert_eq!(std::fs::read(&path).unwrap(), b"goodretry");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn chaos_wal_rewind_drops_buffer_and_torn_file_bytes() {
+        let dir = crate::test_dir("chaos-wal-rewind");
+        let path = dir.join("wal.log");
+        let mut wal = ChaosWal::open(&path).unwrap();
+        wal.append(b"good").unwrap();
+        wal.sync().unwrap();
+        // Simulate a torn flush: bytes past the synced length on disk plus
+        // a stale buffer. Rewind restores exactly the last synced state.
+        std::fs::write(&path, b"goodTORN").unwrap();
+        wal.append(b"stale").unwrap();
+        wal.rewind_to(4).unwrap();
+        assert_eq!(wal.unsynced_len(), 0);
+        wal.append(b"retry").unwrap();
+        wal.sync().unwrap();
+        drop(wal);
+        assert_eq!(std::fs::read(&path).unwrap(), b"goodretry");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn failpoint_partial_append_writes_a_strict_prefix() {
+        use mc_chaos::FailConfig;
+        let dir = crate::test_dir("fp-partial-append");
+        let path = dir.join("wal.log");
+        let fp = Arc::new(Failpoints::new(9));
+        fp.arm(
+            SITE_WAL_APPEND,
+            FailConfig::once_at(1, io::ErrorKind::StorageFull).partial(),
+        );
+        let mut wal = FailpointWal::new(Box::new(FsWal::open(&path).unwrap()), fp);
+        let frame = b"0123456789abcdef";
+        let err = wal.append(frame).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::StorageFull);
+        wal.sync().unwrap();
+        let torn = std::fs::read(&path).unwrap();
+        assert!(
+            !torn.is_empty() && torn.len() < frame.len(),
+            "partial append must leave a strict prefix, got {} bytes",
+            torn.len()
+        );
+        assert_eq!(&frame[..torn.len()], &torn[..]);
+        // The disarmed site lets the retry through after a rewind.
+        wal.rewind_to(0).unwrap();
+        wal.append(frame).unwrap();
+        wal.sync().unwrap();
+        drop(wal);
+        assert_eq!(std::fs::read(&path).unwrap(), frame);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -305,6 +305,64 @@ fn kill9_during_degraded_resync_loses_no_durable_claim() {
     std::fs::remove_dir_all(&dir).unwrap();
 }
 
+/// Regression: a transient append fault that tears a frame mid-write (a
+/// `write_all` stopped short by ENOSPC) must not corrupt the log when the
+/// retry succeeds. Before the pre-retry rewind, the retried batch landed
+/// *after* the torn bytes, recovery stopped at the corrupt frame, and every
+/// record acked durable by the successful retry was lost on reopen.
+#[test]
+fn partial_append_fault_retried_without_torn_frame_loss() {
+    let dir = scratch_dir("partial-retry");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let fp = Arc::new(Failpoints::new(13));
+    let options = DurableOptions {
+        mode: DurabilityMode::Strict,
+        retry: RetryPolicy::default(),
+        // Propagate: any durability claim below must come from the retry
+        // path alone, not from degraded-mode memory acks.
+        poison_policy: PoisonPolicy::Propagate,
+        failpoints: Some(Arc::clone(&fp)),
+        ..DurableOptions::default()
+    };
+    let (counter, _) = DurableCounter::<Counter>::open_with(&dir, options).expect("open");
+
+    counter.increment(1);
+    assert_eq!(counter.durable_value(), 1);
+    // The next append tears mid-frame, then the disarmed site lets the
+    // retry through; strict mode acks only after the retry fsyncs.
+    fp.arm(
+        SITE_WAL_APPEND,
+        FailConfig::once_at(1, std::io::ErrorKind::StorageFull).partial(),
+    );
+    counter.increment(1);
+    assert_eq!(counter.durable_value(), 2);
+    assert_eq!(fp.injected(SITE_WAL_APPEND), 1, "the fault must have fired");
+    assert!(counter.wal_stats().retries > 0, "the retry path must absorb it");
+    assert!(
+        matches!(counter.health(), HealthStatus::Healthy),
+        "a retried transient fault must not degrade or poison"
+    );
+    drop(counter);
+
+    let quiet = DurableOptions {
+        failpoints: Some(Arc::new(Failpoints::new(0))),
+        ..DurableOptions::default()
+    };
+    let (reopened, recovery) =
+        DurableCounter::<Counter>::open_with(&dir, quiet).expect("reopen");
+    assert_eq!(
+        recovery.value, 2,
+        "value acked durable through the retried append was lost"
+    );
+    assert_eq!(
+        recovery.tail_bytes_discarded, 0,
+        "the pre-retry rewind must leave no torn bytes in the log"
+    );
+    drop(reopened);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
 /// Supervisor escalation: a counter degraded past
 /// [`SupervisorConfig::degrade_deadline`] is force-poisoned by the watch
 /// thread — the availability trade is bounded, a disk that never returns
