@@ -175,6 +175,10 @@ impl<C: CounterDiagnostics> CounterDiagnostics for ChaosCounter<C> {
     fn waiters(&self) -> Vec<WaitingLevel> {
         self.inner.waiters()
     }
+
+    fn durable_watermark(&self) -> Option<Value> {
+        self.inner.durable_watermark()
+    }
 }
 
 #[cfg(test)]

@@ -237,8 +237,12 @@ impl Failpoints {
             }
             let (site, cfg) = entry
                 .split_once('=')
-                .ok_or_else(|| format!("'{entry}': expected site=spec"))?;
-            fp.arm(site.trim(), parse_spec(cfg.trim())?);
+                .ok_or_else(|| format!("clause '{entry}': expected site=spec"))?;
+            let site = site.trim();
+            if site.is_empty() {
+                return Err(format!("clause '{entry}': empty site name"));
+            }
+            fp.arm(site, parse_spec(site, cfg.trim())?);
         }
         Ok(fp)
     }
@@ -334,7 +338,10 @@ impl Failpoints {
         };
         let error = io::Error::new(
             config.kind,
-            format!("chaos failpoint '{site}' injected {:?}{detail}", config.kind),
+            format!(
+                "chaos failpoint '{site}' injected {:?}{detail}",
+                config.kind
+            ),
         );
         match prefix {
             Some(prefix) => BufInjection::Partial { prefix, error },
@@ -377,34 +384,33 @@ fn lock_sites(
     m.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
-fn parse_spec(spec: &str) -> Result<FailConfig, String> {
+/// Parses one clause's `spec` half. `site` is the clause's site name, so
+/// every error names both the offending token and the site it rode in on —
+/// in a CI matrix arming a dozen sites, "bad probability" without the site
+/// is a needle hunt.
+fn parse_spec(site: &str, spec: &str) -> Result<FailConfig, String> {
+    let err = |token: &str, what: &str| format!("failpoint '{site}': {what} in token '{token}'");
     let mut fields = spec.split(':');
     let trigger_str = fields
         .next()
         .filter(|s| !s.is_empty())
-        .ok_or_else(|| format!("'{spec}': empty spec"))?;
+        .ok_or_else(|| format!("failpoint '{site}': empty spec"))?;
     let trigger = if trigger_str == "always" {
         Trigger::Always
     } else if let Some(p) = trigger_str.strip_prefix('p') {
-        let p: f64 = p
-            .parse()
-            .map_err(|_| format!("'{trigger_str}': bad probability"))?;
+        let p: f64 = p.parse().map_err(|_| err(trigger_str, "bad probability"))?;
         if !(0.0..=1.0).contains(&p) {
-            return Err(format!("'{trigger_str}': probability outside 0..=1"));
+            return Err(err(trigger_str, "probability outside 0..=1"));
         }
         Trigger::Probability(p)
     } else if let Some(n) = trigger_str.strip_prefix("nth") {
-        let n: u64 = n
-            .parse()
-            .map_err(|_| format!("'{trigger_str}': bad hit index"))?;
+        let n: u64 = n.parse().map_err(|_| err(trigger_str, "bad hit index"))?;
         if n == 0 {
-            return Err(format!("'{trigger_str}': hit index is 1-based"));
+            return Err(err(trigger_str, "hit index is 1-based"));
         }
         Trigger::Nth(n)
     } else {
-        return Err(format!(
-            "'{trigger_str}': expected always, p<float>, or nth<N>"
-        ));
+        return Err(err(trigger_str, "expected always, p<float>, or nth<N>"));
     };
     let mut kind = io::ErrorKind::Other;
     let mut oneshot = false;
@@ -418,7 +424,10 @@ fn parse_spec(spec: &str) -> Result<FailConfig, String> {
             "timedout" => kind = io::ErrorKind::TimedOut,
             "oneshot" => oneshot = true,
             "partial" => partial = true,
-            other => return Err(format!("'{other}': unknown field")),
+            other => return Err(err(
+                other,
+                "unknown field (expected eio, enospc, eintr, eagain, timedout, oneshot, or partial)",
+            )),
         }
     }
     Ok(FailConfig {
@@ -548,10 +557,7 @@ mod tests {
         }
         // A buffer too small to tear degenerates to a clean failure.
         for len in [0usize, 1] {
-            assert!(matches!(
-                fp.hit_buffered("x", len),
-                BufInjection::Fail(_)
-            ));
+            assert!(matches!(fp.hit_buffered("x", len), BufInjection::Fail(_)));
         }
         // Plain hit() treats the same config as a clean failure.
         assert!(fp.hit("x").is_err());
@@ -589,19 +595,80 @@ mod tests {
         ));
     }
 
-    #[test]
-    fn malformed_specs_are_rejected_with_context() {
-        for bad in [
-            "no-equals",
-            "x=",
-            "x=p1.5",
-            "x=nth0",
-            "x=maybe",
-            "x=always:ebadness",
-        ] {
-            let err = Failpoints::from_spec(0, bad).unwrap_err();
-            assert!(!err.is_empty(), "{bad} must be rejected");
+    /// Asserts `spec` is rejected and that the error names every expected
+    /// fragment — the offending token and its site.
+    fn assert_rejected_with(spec: &str, fragments: &[&str]) {
+        let err = Failpoints::from_spec(0, spec).unwrap_err();
+        for fragment in fragments {
+            assert!(
+                err.contains(fragment),
+                "error for {spec:?} must name {fragment:?}, got: {err}"
+            );
         }
+    }
+
+    #[test]
+    fn clause_without_equals_is_rejected_naming_the_clause() {
+        assert_rejected_with("no-equals", &["'no-equals'", "expected site=spec"]);
+    }
+
+    #[test]
+    fn clause_with_empty_site_is_rejected() {
+        assert_rejected_with("=always:eio", &["'=always:eio'", "empty site name"]);
+    }
+
+    #[test]
+    fn empty_spec_is_rejected_naming_the_site() {
+        assert_rejected_with("wal.fsync=", &["failpoint 'wal.fsync'", "empty spec"]);
+    }
+
+    #[test]
+    fn bad_probability_is_rejected_naming_token_and_site() {
+        assert_rejected_with("x=pten", &["failpoint 'x'", "'pten'", "bad probability"]);
+    }
+
+    #[test]
+    fn out_of_range_probability_is_rejected_naming_token_and_site() {
+        assert_rejected_with(
+            "wal.append.write=p1.5",
+            &["failpoint 'wal.append.write'", "'p1.5'", "outside 0..=1"],
+        );
+    }
+
+    #[test]
+    fn bad_hit_index_is_rejected_naming_token_and_site() {
+        assert_rejected_with("x=nthX", &["failpoint 'x'", "'nthX'", "bad hit index"]);
+    }
+
+    #[test]
+    fn zero_hit_index_is_rejected_naming_token_and_site() {
+        assert_rejected_with("x=nth0", &["failpoint 'x'", "'nth0'", "1-based"]);
+    }
+
+    #[test]
+    fn unknown_trigger_is_rejected_naming_token_and_site() {
+        assert_rejected_with(
+            "x=maybe",
+            &[
+                "failpoint 'x'",
+                "'maybe'",
+                "expected always, p<float>, or nth<N>",
+            ],
+        );
+    }
+
+    #[test]
+    fn unknown_field_is_rejected_naming_token_and_site() {
+        assert_rejected_with(
+            "snapshot.rename=always:ebadness",
+            &["failpoint 'snapshot.rename'", "'ebadness'", "unknown field"],
+        );
+    }
+
+    #[test]
+    fn error_names_the_failing_site_even_in_a_multi_clause_spec() {
+        // The first clause is fine; the error must point at the second.
+        assert_rejected_with("a=always:eio,b=nth0:enospc", &["failpoint 'b'", "'nth0'"]);
     }
 
     #[test]

@@ -146,8 +146,9 @@ pub use sharded::ShardedCounter;
 pub use spin::SpinCounter;
 pub use stats::StatsSnapshot;
 pub use supervisor::{
-    CounterRecovery, CounterReport, RecoveredCounter, RecoveryReport, StallReport, StallVerdict,
-    SupervisedCounter, SupervisedObligation, Supervisor, SupervisorConfig,
+    CounterRecovery, CounterReport, RecoveredCounter, RecoveryReport, RestartableObligation,
+    StallReport, StallVerdict, SupervisedCounter, SupervisedObligation, Supervisor,
+    SupervisorConfig,
 };
 pub use trace::{CounterSnapshot, NodeSnapshot, TracingCounter};
 pub use traits::{

@@ -83,6 +83,34 @@ pub enum StallVerdict {
     /// Some waited level exceeds `value + outstanding obligations`: no
     /// promised increment can satisfy it, so the wait can never complete.
     NeverSatisfiable,
+    /// The counter's producer is being restarted by a supervision tree
+    /// (reported via [`Supervisor::note_restarting`]): the missing
+    /// increments are expected back once the replacement worker runs, so
+    /// the counter must be neither classified stuck nor poisoned while the
+    /// restart is pending.
+    Restarting {
+        /// How many times the producer has been restarted so far.
+        attempt: u32,
+        /// The backoff delay before the replacement worker starts.
+        next_backoff: Duration,
+    },
+}
+
+impl fmt::Display for StallVerdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StallVerdict::Idle => f.write_str("idle"),
+            StallVerdict::Slow => f.write_str("slow"),
+            StallVerdict::NeverSatisfiable => f.write_str("never satisfiable"),
+            StallVerdict::Restarting {
+                attempt,
+                next_backoff,
+            } => write!(
+                f,
+                "restarting (attempt {attempt}, backoff {next_backoff:?})"
+            ),
+        }
+    }
 }
 
 /// The observed state of one registered counter.
@@ -105,6 +133,36 @@ pub struct CounterReport {
     /// The counter's backing-resource health at sampling time
     /// ([`CounterDiagnostics::health`], with poisoned taking precedence).
     pub health: HealthStatus,
+}
+
+impl fmt::Display for CounterReport {
+    /// One log-friendly line:
+    /// `'jobs': value 41 +5 owed, waiters [9×1], never satisfiable`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "'{}': value {} +{} owed",
+            self.name, self.value, self.outstanding_obligations
+        )?;
+        if !self.waiters.is_empty() {
+            write!(f, ", waiters [")?;
+            for (i, w) in self.waiters.iter().enumerate() {
+                if i > 0 {
+                    write!(f, " ")?;
+                }
+                write!(f, "{}\u{d7}{}", w.level, w.threads)?;
+            }
+            write!(f, "]")?;
+        }
+        write!(f, ", {}", self.verdict)?;
+        if let Some(info) = &self.poisoned {
+            write!(f, ", poisoned: {}", info.message())?;
+        }
+        if self.health.is_degraded() {
+            write!(f, ", {}", self.health)?;
+        }
+        Ok(())
+    }
 }
 
 /// A wait-graph diagnostic over every registered counter.
@@ -139,35 +197,12 @@ impl StallReport {
 }
 
 impl fmt::Display for StallReport {
+    /// One log-friendly line: a counter count followed by each counter's
+    /// one-line [`CounterReport`] summary, `|`-separated.
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "stall report ({} counters):", self.counters.len())?;
+        write!(f, "stall report: {} counter(s)", self.counters.len())?;
         for c in &self.counters {
-            write!(
-                f,
-                "  '{}': value {}, outstanding obligations {}",
-                c.name, c.value, c.outstanding_obligations
-            )?;
-            if let Some(info) = &c.poisoned {
-                write!(f, ", poisoned ({info})")?;
-            }
-            if c.health.is_degraded() {
-                write!(f, ", {}", c.health)?;
-            }
-            writeln!(f)?;
-            for w in &c.waiters {
-                let reach = c.value.saturating_add(c.outstanding_obligations);
-                writeln!(
-                    f,
-                    "    level {}: {} thread(s) waiting{}",
-                    w.level,
-                    w.threads,
-                    if w.level > reach {
-                        " [never satisfiable]"
-                    } else {
-                        ""
-                    }
-                )?;
-            }
+            write!(f, " | {c}")?;
         }
         Ok(())
     }
@@ -243,18 +278,20 @@ impl RecoveryReport {
 }
 
 impl fmt::Display for RecoveryReport {
+    /// One log-friendly line: aggregate totals followed by each counter's
+    /// summary, `|`-separated.
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(
+        write!(
             f,
-            "recovery report: {} counter(s), {} record(s) replayed, {} torn tail byte(s) discarded",
+            "recovery report: {} counter(s), {} record(s) replayed, {} torn byte(s) discarded",
             self.counters_recovered(),
             self.records_replayed(),
             self.tail_bytes_discarded()
         )?;
         for c in &self.counters {
-            writeln!(
+            write!(
                 f,
-                "  '{}': value {}, {} replayed, {} discarded{}",
+                " | '{}': value {}, {} replayed, {} discarded{}",
                 c.name,
                 c.recovery.value,
                 c.recovery.records_replayed,
@@ -287,6 +324,11 @@ struct StopSignal {
 
 struct Shared {
     entries: Mutex<Vec<Entry>>,
+    /// Counters whose producer is mid-restart (`name -> (attempt,
+    /// next_backoff)`), reported by a supervision tree via
+    /// [`Supervisor::note_restarting`]. Overrides the stall verdict so the
+    /// watch thread never poisons a counter whose increments are coming back.
+    restarting: Mutex<HashMap<String, (u32, Duration)>>,
     last_report: Mutex<Option<StallReport>>,
     recoveries: Mutex<RecoveryReport>,
     watch: Mutex<Option<JoinHandle<()>>>,
@@ -349,6 +391,7 @@ impl Supervisor {
         Supervisor {
             shared: Arc::new(Shared {
                 entries: Mutex::new(Vec::new()),
+                restarting: Mutex::new(HashMap::new()),
                 last_report: Mutex::new(None),
                 recoveries: Mutex::new(RecoveryReport::default()),
                 watch: Mutex::new(None),
@@ -377,6 +420,52 @@ impl Supervisor {
         });
     }
 
+    /// [`register`](Self::register) for a counter that is already
+    /// type-erased (`Arc<dyn SupervisedCounter>`) — how supervision trees
+    /// register the counters their child specs collected.
+    pub fn register_dyn(&self, name: impl Into<String>, counter: &Arc<dyn SupervisedCounter>) {
+        lock_recover(&self.shared.entries).push(Entry {
+            name: name.into(),
+            counter: Arc::downgrade(counter),
+            obligations: Arc::new(AtomicU64::new(0)),
+        });
+    }
+
+    /// Removes every entry registered under `name`; returns `true` when at
+    /// least one entry was removed. Any pending
+    /// [`note_restarting`](Self::note_restarting) state for `name` is
+    /// discarded with it.
+    ///
+    /// Unregistering is optional — a dropped counter leaves the registry on
+    /// its own — but lets a supervision tree retire a child's counters
+    /// eagerly while other clones still hold the `Arc`.
+    pub fn unregister(&self, name: &str) -> bool {
+        let removed = {
+            let mut entries = lock_recover(&self.shared.entries);
+            let before = entries.len();
+            entries.retain(|e| e.name != name);
+            entries.len() != before
+        };
+        lock_recover(&self.shared.restarting).remove(name);
+        removed
+    }
+
+    /// Marks the counter registered under `name` as having its producer
+    /// restarted: until [`clear_restarting`](Self::clear_restarting), its
+    /// stall verdict is [`StallVerdict::Restarting`] — never
+    /// [`NeverSatisfiable`](StallVerdict::NeverSatisfiable) — so the watch
+    /// thread will not poison it while the replacement worker is pending.
+    pub fn note_restarting(&self, name: impl Into<String>, attempt: u32, next_backoff: Duration) {
+        lock_recover(&self.shared.restarting).insert(name.into(), (attempt, next_backoff));
+    }
+
+    /// Clears a pending [`note_restarting`](Self::note_restarting) mark
+    /// (normally when the replacement worker starts); returns `true` when a
+    /// mark was present.
+    pub fn clear_restarting(&self, name: &str) -> bool {
+        lock_recover(&self.shared.restarting).remove(name).is_some()
+    }
+
     /// Takes on a supervised obligation to increment the counter registered
     /// under `name` by `amount`: like
     /// [`CounterExt::obligation`](crate::CounterExt::obligation)
@@ -397,12 +486,38 @@ impl Supervisor {
         })
     }
 
+    /// Like [`obligation`](Self::obligation), but the unwind-drop behavior
+    /// is **rollback** instead of poison: the owed amount is released from
+    /// the supervisor's accounting and the counter is left untouched. Used
+    /// by supervision trees, where a panicking worker's obligations must be
+    /// neither fulfilled (the replacement re-acquires them) nor leaked
+    /// (which would inflate the reachability math) nor poisoned (the tree,
+    /// not the obligation, decides restart-versus-escalate).
+    ///
+    /// Returns `None` when no live counter is registered under `name`.
+    pub fn restartable_obligation(
+        &self,
+        name: &str,
+        amount: Value,
+    ) -> Option<RestartableObligation> {
+        let entries = lock_recover(&self.shared.entries);
+        let entry = entries.iter().find(|e| e.name == name)?;
+        let counter = entry.counter.upgrade()?;
+        entry.obligations.fetch_add(amount, Relaxed);
+        Some(RestartableObligation {
+            counter,
+            tracker: Arc::clone(&entry.obligations),
+            owed: amount,
+        })
+    }
+
     /// Samples every live registered counter and classifies its stall state.
     pub fn diagnose(&self) -> StallReport {
         Self::diagnose_shared(&self.shared)
     }
 
     fn diagnose_shared(shared: &Shared) -> StallReport {
+        let restarting = lock_recover(&shared.restarting).clone();
         let entries = lock_recover(&shared.entries);
         let mut counters = Vec::with_capacity(entries.len());
         for e in entries.iter() {
@@ -413,7 +528,16 @@ impl Supervisor {
             let outstanding = e.obligations.load(Relaxed);
             let waiters = c.waiters();
             let reach = value.saturating_add(outstanding);
-            let verdict = if waiters.is_empty() {
+            let verdict = if let Some(&(attempt, next_backoff)) = restarting.get(&e.name) {
+                // A pending restart overrides the reachability math: the
+                // failed producer's obligations were rolled back, so waits
+                // can look never-satisfiable exactly while the replacement
+                // that will satisfy them is being scheduled.
+                StallVerdict::Restarting {
+                    attempt,
+                    next_backoff,
+                }
+            } else if waiters.is_empty() {
                 StallVerdict::Idle
             } else if waiters.iter().any(|w| w.level > reach) {
                 StallVerdict::NeverSatisfiable
@@ -742,6 +866,57 @@ impl Drop for SupervisedObligation {
     }
 }
 
+/// A restart-aware increment obligation
+/// ([`Supervisor::restartable_obligation`]): delivers on normal drop like
+/// [`SupervisedObligation`], but an unwind-drop **rolls the obligation
+/// back** — accounting released, counter untouched — instead of poisoning.
+/// The supervision tree owning the worker then either starts a replacement
+/// (which re-acquires the obligation) or escalates and poisons with the
+/// root cause itself.
+pub struct RestartableObligation {
+    counter: Arc<dyn SupervisedCounter>,
+    tracker: Arc<AtomicU64>,
+    owed: Value,
+}
+
+impl RestartableObligation {
+    /// The amount this obligation will deliver.
+    pub fn owed(&self) -> Value {
+        self.owed
+    }
+
+    /// Delivers the owed increment now, consuming the guard.
+    pub fn fulfill(mut self) {
+        self.resolve(false);
+    }
+
+    /// Rolls the obligation back explicitly — accounting released, counter
+    /// untouched — consuming the guard. Equivalent to what an unwind-drop
+    /// does; useful when a worker observes a cooperative abort and wants to
+    /// hand its outstanding work back before returning normally.
+    pub fn rollback(mut self) {
+        self.resolve(true);
+    }
+
+    fn resolve(&mut self, rollback: bool) {
+        if self.owed == 0 {
+            return;
+        }
+        let owed = self.owed;
+        self.owed = 0;
+        self.tracker.fetch_sub(owed, Relaxed);
+        if !rollback {
+            self.counter.increment(owed);
+        }
+    }
+}
+
+impl Drop for RestartableObligation {
+    fn drop(&mut self) {
+        self.resolve(std::thread::panicking());
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -971,6 +1146,150 @@ mod tests {
         assert!(
             shown.contains("'jobs'") && shown.contains("poison restored"),
             "got: {shown}"
+        );
+    }
+
+    #[test]
+    fn unregister_removes_entries_and_restart_marks() {
+        let sup = Supervisor::new();
+        let c = Arc::new(Counter::default());
+        sup.register("gone", &c);
+        sup.register("kept", &c);
+        sup.note_restarting("gone", 1, Duration::from_millis(5));
+        assert!(sup.unregister("gone"));
+        assert!(!sup.unregister("gone"), "second unregister finds nothing");
+        let report = sup.diagnose();
+        assert_eq!(report.counters.len(), 1);
+        assert_eq!(report.counters[0].name, "kept");
+        assert!(
+            !sup.clear_restarting("gone"),
+            "unregister must discard the restart mark"
+        );
+    }
+
+    #[test]
+    fn restarting_mark_overrides_never_satisfiable() {
+        let sup = Supervisor::new();
+        let c = Arc::new(Counter::default());
+        sup.register("worker", &c);
+        let c2 = Arc::clone(&c);
+        let h = thread::spawn(move || c2.wait_timeout(9, Duration::from_secs(10)));
+        while c.waiters().is_empty() {
+            thread::yield_now();
+        }
+        assert_eq!(
+            sup.diagnose().counters[0].verdict,
+            StallVerdict::NeverSatisfiable
+        );
+        sup.note_restarting("worker", 2, Duration::from_millis(8));
+        let report = sup.diagnose();
+        assert_eq!(
+            report.counters[0].verdict,
+            StallVerdict::Restarting {
+                attempt: 2,
+                next_backoff: Duration::from_millis(8),
+            }
+        );
+        assert!(
+            report.stuck().is_empty(),
+            "a restarting counter is never classified stuck"
+        );
+        assert_eq!(
+            sup.poison_stuck(FailureInfo::new("diagnosed stall")),
+            0,
+            "poison_stuck must spare restarting counters"
+        );
+        let shown = report.to_string();
+        assert!(shown.contains("restarting (attempt 2"), "got: {shown}");
+        assert!(sup.clear_restarting("worker"));
+        assert_eq!(
+            sup.diagnose().counters[0].verdict,
+            StallVerdict::NeverSatisfiable,
+            "clearing the mark restores the reachability verdict"
+        );
+        c.increment(9);
+        assert!(h.join().unwrap().is_ok());
+    }
+
+    #[test]
+    fn watch_thread_spares_restarting_counter() {
+        let sup = Supervisor::with_config(SupervisorConfig {
+            interval: Duration::from_millis(10),
+            poison_stuck: true,
+            degrade_deadline: None,
+        });
+        let c = Arc::new(Counter::default());
+        sup.register("restarting", &c);
+        sup.note_restarting("restarting", 1, Duration::from_millis(50));
+        sup.start();
+        let c2 = Arc::clone(&c);
+        let h = thread::spawn(move || c2.wait_timeout(50, Duration::from_secs(10)));
+        while c.waiters().is_empty() {
+            thread::yield_now();
+        }
+        // Give the watch thread several intervals to (wrongly) poison.
+        thread::sleep(Duration::from_millis(60));
+        assert!(
+            c.poison_info().is_none(),
+            "watch thread must not poison a counter whose producer is restarting"
+        );
+        c.increment(50);
+        assert!(h.join().unwrap().is_ok());
+        sup.stop();
+    }
+
+    #[test]
+    fn restartable_obligation_rolls_back_on_unwind() {
+        let sup = Supervisor::new();
+        let c = Arc::new(Counter::default());
+        sup.register("c", &c);
+        let sup2 = sup.clone();
+        let h = thread::spawn(move || {
+            let ob = sup2.restartable_obligation("c", 4).unwrap();
+            assert_eq!(ob.owed(), 4);
+            panic!("worker died; the tree will restart it");
+        });
+        assert!(h.join().is_err());
+        assert!(
+            c.poison_info().is_none(),
+            "rollback must not poison — the tree decides restart vs escalate"
+        );
+        assert_eq!(c.debug_value(), 0, "rollback must not increment");
+        assert_eq!(
+            sup.diagnose().counters[0].outstanding_obligations,
+            0,
+            "rollback must release the accounting"
+        );
+        // The replacement re-acquires and fulfills.
+        sup.restartable_obligation("c", 4).unwrap().fulfill();
+        assert_eq!(c.debug_value(), 4);
+        // Explicit rollback behaves like the unwind path.
+        let ob = sup.restartable_obligation("c", 2).unwrap();
+        ob.rollback();
+        assert_eq!(c.debug_value(), 4);
+        assert_eq!(sup.diagnose().counters[0].outstanding_obligations, 0);
+        assert!(sup.restartable_obligation("missing", 1).is_none());
+    }
+
+    #[test]
+    fn counter_report_displays_on_one_line() {
+        let sup = Supervisor::new();
+        let c = Arc::new(Counter::default());
+        sup.register("jobs", &c);
+        c.increment(3);
+        let _ob = sup.obligation("jobs", 5).unwrap();
+        let report = sup.diagnose();
+        let line = report.counters[0].to_string();
+        assert!(!line.contains('\n'), "one line, got: {line:?}");
+        assert!(line.contains("'jobs'") && line.contains("value 3") && line.contains("+5 owed"));
+        assert!(line.contains("idle"), "got: {line}");
+        c.poison(FailureInfo::new("exploded"));
+        let line = sup.diagnose().counters[0].to_string();
+        assert!(line.contains("poisoned: exploded"), "got: {line}");
+        let stall = sup.diagnose().to_string();
+        assert!(
+            !stall.contains('\n'),
+            "stall report one line, got: {stall:?}"
         );
     }
 

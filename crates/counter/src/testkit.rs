@@ -249,6 +249,59 @@ pub fn exercise_resumable<C: ResumableCounter + CounterDiagnostics>() {
     assert_eq!(C::resume_from(0).debug_value(), 0);
 }
 
+/// Drives one full supervised-restart cycle — poison, clear-via-recovery,
+/// reuse — the lifecycle a counter goes through under a supervision tree:
+///
+/// 1. a worker applies part of its work and dies, poisoning the counter;
+/// 2. recovery constructs a replacement via
+///    [`ResumableCounter::resume_from`] at the observed value (the poison
+///    does not travel — "clearing" it is building the successor);
+/// 3. the replacement is reused: it serves satisfied waits immediately,
+///    accepts the remaining increments, and survives a *second* crash and
+///    recovery on top.
+pub fn exercise_restart<C: ResumableCounter + CounterDiagnostics>() {
+    // A worker crashed mid-protocol: 3 of 5 promised increments applied.
+    let failed = C::resume_from(0);
+    failed.increment(3);
+    failed.poison(FailureInfo::new("worker panicked mid-protocol").with_level(2));
+    assert!(
+        matches!(failed.wait(5), Err(CheckError::Poisoned(_))),
+        "the unreachable level must fail with the cause"
+    );
+    assert!(
+        failed.wait(3).is_ok(),
+        "the already-reached prefix survives the poison (satisfied-first)"
+    );
+    let watermark = failed.debug_value();
+    assert_eq!(watermark, 3, "the applied prefix is the resume point");
+
+    // Clear-via-recovery: the replacement resumes from the watermark clean.
+    let recovered = C::resume_from(watermark);
+    assert!(
+        recovered.poison_info().is_none(),
+        "poison must not travel into the recovered counter"
+    );
+    assert_eq!(recovered.debug_value(), 3);
+
+    // Reuse: the restarted worker delivers exactly the remaining amount.
+    recovered.increment(2);
+    assert!(recovered.wait(5).is_ok(), "the original target is reached");
+    assert_eq!(recovered.debug_value(), 5, "no double-counted increments");
+    assert!(recovered.waiters().is_empty());
+
+    // A second crash/recovery cycle works on top of the first.
+    recovered.poison(FailureInfo::new("second crash"));
+    let second = C::resume_from(recovered.debug_value());
+    assert!(second.poison_info().is_none());
+    assert!(second.wait(5).is_ok());
+    second.increment(1);
+    assert_eq!(second.debug_value(), 6);
+    assert!(
+        second.try_increment(1).is_ok(),
+        "a twice-recovered counter still accepts work"
+    );
+}
+
 /// Panics with the missing method names unless every entry of
 /// [`ALL_METHODS`] was invoked on `rec` — the strict half of the shared
 /// forwarding-conformance test.
@@ -323,6 +376,12 @@ mod tests {
         assert!(rec.wait_timeout(5, Duration::from_millis(1)).is_err());
         rec.increment(2);
         assert!(rec.wait(6).is_ok());
+    }
+
+    #[test]
+    fn exercise_restart_drives_a_full_cycle() {
+        exercise_restart::<RecordingCounter>();
+        exercise_restart::<Counter>();
     }
 
     #[test]

@@ -244,6 +244,10 @@ impl CounterDiagnostics for TracingCounter {
     fn waiters(&self) -> Vec<WaitingLevel> {
         self.counter.waiters()
     }
+
+    fn durable_watermark(&self) -> Option<Value> {
+        self.counter.durable_watermark()
+    }
 }
 
 #[cfg(test)]

@@ -285,6 +285,16 @@ pub trait CounterDiagnostics {
     fn health(&self) -> HealthStatus {
         HealthStatus::Healthy
     }
+
+    /// The highest value known to have reached stable storage, for counters
+    /// backed by a durable medium (`mc-durable`'s `DurableCounter`). The
+    /// default — `None` — is correct for every in-memory implementation.
+    /// Supervision trees propagate this into a restarted worker's resume
+    /// context, so a replacement can distinguish "applied in memory" from
+    /// "acknowledged durable" when deciding where to pick up.
+    fn durable_watermark(&self) -> Option<Value> {
+        None
+    }
 }
 
 /// Convenience extensions over any [`MonotonicCounter`].

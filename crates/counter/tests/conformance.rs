@@ -411,6 +411,10 @@ macro_rules! conformance {
                 mc_counter::testkit::exercise_resumable::<$ty>();
             }
             #[test]
+            fn restart_cycle_conforms() {
+                mc_counter::testkit::exercise_restart::<$ty>();
+            }
+            #[test]
             fn builder_initial_starts_at_value() {
                 let c = <$ty>::builder().initial(17).build();
                 assert_eq!(c.debug_value(), 17);

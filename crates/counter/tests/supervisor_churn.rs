@@ -1,0 +1,193 @@
+//! Concurrent register/unregister/diagnose churn against a live supervisor.
+//!
+//! The supervisor's registry is shared mutable state hit from arbitrary
+//! threads while its watch thread ticks in the background. This stress
+//! battery drives all three surfaces at once and asserts the two properties
+//! the locking must provide: the run terminates (no deadlock between the
+//! registry lock, diagnose's upgrade-under-lock pass, and the watch
+//! thread's tick), and no registration is lost or double-removed.
+
+use mc_counter::{Counter, MonotonicCounter, StallVerdict, Supervisor, SupervisorConfig};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering::Relaxed};
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+#[test]
+fn concurrent_register_unregister_diagnose_churn() {
+    const WRITERS: usize = 4;
+    const ROUNDS: usize = 200;
+
+    let sup = Supervisor::with_config(SupervisorConfig {
+        // Tick fast so the watch thread interleaves with the churn.
+        interval: Duration::from_millis(1),
+        poison_stuck: false,
+        degrade_deadline: None,
+    });
+    sup.start();
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let registered = Arc::new(AtomicUsize::new(0));
+    let unregistered = Arc::new(AtomicUsize::new(0));
+
+    thread::scope(|s| {
+        // Churn writers: each registers its own namespace of counters, does
+        // a little work on them, then unregisters — over and over.
+        for w in 0..WRITERS {
+            let sup = sup.clone();
+            let registered = Arc::clone(&registered);
+            let unregistered = Arc::clone(&unregistered);
+            s.spawn(move || {
+                for round in 0..ROUNDS {
+                    let name = format!("w{w}-r{round}");
+                    let counter = Arc::new(Counter::default());
+                    sup.register(name.clone(), &counter);
+                    registered.fetch_add(1, Relaxed);
+                    counter.increment(1 + (round as u64 % 3));
+                    // Exercise the restart-mark path under churn too.
+                    if round % 7 == 0 {
+                        sup.note_restarting(name.clone(), 1, Duration::from_millis(5));
+                    }
+                    if sup.unregister(&name) {
+                        unregistered.fetch_add(1, Relaxed);
+                    }
+                }
+            });
+        }
+        // Diagnose readers: hammer the full-registry snapshot (which
+        // upgrades every weak entry under the lock) while entries come and
+        // go, asserting the snapshot is always internally consistent.
+        for _ in 0..2 {
+            let sup = sup.clone();
+            let stop = Arc::clone(&stop);
+            s.spawn(move || {
+                while !stop.load(Relaxed) {
+                    let report = sup.diagnose();
+                    for c in &report.counters {
+                        assert!(
+                            !c.name.is_empty(),
+                            "diagnose must never surface a torn entry"
+                        );
+                        // Churn counters are never blocked on, so the only
+                        // legal verdicts are Idle and (for the round % 7
+                        // marks) Restarting.
+                        assert!(
+                            matches!(
+                                c.verdict,
+                                StallVerdict::Idle | StallVerdict::Restarting { .. }
+                            ),
+                            "unexpected verdict for '{}': {:?}",
+                            c.name,
+                            c.verdict
+                        );
+                    }
+                }
+            });
+        }
+        // An obligation taker racing the same names the writers cycle
+        // through: it must either get an obligation (entry was live) or
+        // None (already unregistered) — never panic or deadlock.
+        {
+            let sup = sup.clone();
+            let stop = Arc::clone(&stop);
+            s.spawn(move || {
+                let mut i = 0usize;
+                while !stop.load(Relaxed) {
+                    let name = format!("w{}-r{}", i % WRITERS, (i * 13) % ROUNDS);
+                    if let Some(ob) = sup.restartable_obligation(&name, 1) {
+                        ob.rollback();
+                    }
+                    i = i.wrapping_add(1);
+                }
+            });
+        }
+        // Scoped: the writer threads finish on their own; then release the
+        // readers. (A panicking writer would hang the readers forever, so
+        // give the whole churn a watchdog.)
+        let watchdog = {
+            let stop = Arc::clone(&stop);
+            thread::spawn(move || {
+                for _ in 0..600 {
+                    if stop.load(Relaxed) {
+                        return;
+                    }
+                    thread::sleep(Duration::from_millis(100));
+                }
+                eprintln!("supervisor churn watchdog fired: likely deadlock");
+                std::process::exit(3);
+            })
+        };
+        // Writers are the first WRITERS spawned threads; scope joins
+        // everything, so just flip stop once the registry settles.
+        while registered.load(Relaxed) < WRITERS * ROUNDS {
+            thread::sleep(Duration::from_millis(2));
+        }
+        stop.store(true, Relaxed);
+        drop(watchdog);
+    });
+
+    // No lost registrations: every register was observed and every entry
+    // the writers created was removed by exactly its own unregister.
+    assert_eq!(registered.load(Relaxed), WRITERS * ROUNDS);
+    assert_eq!(
+        unregistered.load(Relaxed),
+        WRITERS * ROUNDS,
+        "every registered entry must be found again by its unregister"
+    );
+    // The registry drained: nothing the churn created remains.
+    assert!(
+        sup.diagnose().counters.is_empty(),
+        "registry must be empty after symmetric register/unregister churn"
+    );
+}
+
+#[test]
+fn watch_thread_keeps_ticking_through_churn() {
+    // A register/unregister storm must not wedge the watch thread: after
+    // the storm, a genuine stall is still detected.
+    let sup = Supervisor::with_config(SupervisorConfig {
+        interval: Duration::from_millis(5),
+        poison_stuck: false,
+        degrade_deadline: None,
+    });
+    sup.start();
+
+    thread::scope(|s| {
+        for w in 0..4 {
+            let sup = sup.clone();
+            s.spawn(move || {
+                for round in 0..100 {
+                    let name = format!("storm-{w}-{round}");
+                    let c = Arc::new(Counter::default());
+                    sup.register(name.clone(), &c);
+                    sup.unregister(&name);
+                }
+            });
+        }
+    });
+
+    // Post-storm: an unreachable wait must still produce a stall report.
+    let stalled = Arc::new(Counter::default());
+    sup.register("stalled", &stalled);
+    let s2 = Arc::clone(&stalled);
+    let waiter = thread::spawn(move || s2.wait(10));
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    loop {
+        if let Some(report) = sup.last_report() {
+            let c = report
+                .counters
+                .iter()
+                .find(|c| c.name == "stalled")
+                .expect("stalled counter in report");
+            assert_eq!(c.value, 0);
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "watch thread stopped ticking after churn"
+        );
+        thread::sleep(Duration::from_millis(5));
+    }
+    stalled.increment(10);
+    waiter.join().unwrap().unwrap();
+}

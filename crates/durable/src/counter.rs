@@ -973,6 +973,10 @@ impl<C: MonotonicCounter + CounterDiagnostics> CounterDiagnostics for DurableCou
     fn health(&self) -> HealthStatus {
         DurableCounter::health(self)
     }
+
+    fn durable_watermark(&self) -> Option<Value> {
+        Some(self.durable_value())
+    }
 }
 
 impl<C: MonotonicCounter> Drop for DurableCounter<C> {
@@ -1158,6 +1162,22 @@ mod tests {
         assert!(stats.retries >= 2, "retries: {}", stats.retries);
         assert_eq!(stats.degraded_entries, 0);
         assert_eq!(c.stats().io_retries, stats.retries);
+        drop(c);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn durable_watermark_surfaces_through_diagnostics() {
+        let dir = test_dir("watermark-diag");
+        let (c, _) = DurableCounter::<Counter>::open(&dir).unwrap();
+        assert_eq!(c.durable_watermark(), Some(0));
+        c.increment(3);
+        // Strict mode: increment returns only once the record is on disk,
+        // so the erased diagnostics view sees the same watermark the typed
+        // accessor reports — this is what a supervision tree snapshots into
+        // a restarted child's ResumeCtx.
+        assert_eq!(c.durable_watermark(), Some(c.durable_value()));
+        assert_eq!(c.durable_watermark(), Some(3));
         drop(c);
         std::fs::remove_dir_all(&dir).unwrap();
     }

@@ -338,7 +338,10 @@ fn partial_append_fault_retried_without_torn_frame_loss() {
     counter.increment(1);
     assert_eq!(counter.durable_value(), 2);
     assert_eq!(fp.injected(SITE_WAL_APPEND), 1, "the fault must have fired");
-    assert!(counter.wal_stats().retries > 0, "the retry path must absorb it");
+    assert!(
+        counter.wal_stats().retries > 0,
+        "the retry path must absorb it"
+    );
     assert!(
         matches!(counter.health(), HealthStatus::Healthy),
         "a retried transient fault must not degrade or poison"
@@ -349,8 +352,7 @@ fn partial_append_fault_retried_without_torn_frame_loss() {
         failpoints: Some(Arc::new(Failpoints::new(0))),
         ..DurableOptions::default()
     };
-    let (reopened, recovery) =
-        DurableCounter::<Counter>::open_with(&dir, quiet).expect("reopen");
+    let (reopened, recovery) = DurableCounter::<Counter>::open_with(&dir, quiet).expect("reopen");
     assert_eq!(
         recovery.value, 2,
         "value acked durable through the retried append was lost"

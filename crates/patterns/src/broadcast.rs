@@ -8,7 +8,7 @@
 
 use mc_counter::{CheckError, Counter, CounterDiagnostics, FailureInfo, MonotonicCounter, Value};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::OnceLock;
+use std::sync::{Arc, OnceLock};
 
 /// A fixed-capacity single-writer multiple-reader broadcast buffer.
 ///
@@ -41,8 +41,9 @@ use std::sync::OnceLock;
 /// ```
 pub struct Broadcast<T> {
     slots: Box<[OnceLock<T>]>,
-    count: Counter,
+    count: Arc<Counter>,
     writer_claimed: AtomicBool,
+    writer_attached: AtomicBool,
 }
 
 impl<T> Broadcast<T> {
@@ -50,14 +51,22 @@ impl<T> Broadcast<T> {
     pub fn new(capacity: usize) -> Self {
         Broadcast {
             slots: (0..capacity).map(|_| OnceLock::new()).collect(),
-            count: Counter::default(),
+            count: Arc::new(Counter::default()),
             writer_claimed: AtomicBool::new(false),
+            writer_attached: AtomicBool::new(false),
         }
     }
 
     /// The length of the item sequence.
     pub fn capacity(&self) -> usize {
         self.slots.len()
+    }
+
+    /// The availability counter, for registering the broadcast with a
+    /// [`mc_counter::Supervisor`] (or a supervision tree): its value is the
+    /// published-item count, and poisoning it fails the broadcast.
+    pub fn counter(&self) -> &Arc<Counter> {
+        &self.count
     }
 
     /// Claims the writer role with per-item synchronization (the pattern's
@@ -85,11 +94,56 @@ impl<T> Broadcast<T> {
             !self.writer_claimed.swap(true, Ordering::SeqCst),
             "broadcast already has a writer"
         );
+        self.writer_attached.store(true, Ordering::Relaxed);
         BroadcastWriter {
             buffer: self,
             next: 0,
             unflushed: 0,
             block,
+            restartable: false,
+        }
+    }
+
+    /// Re-claims the writer role after a previous writer died (or claims it
+    /// for the first time), resuming at the published-item checkpoint: the
+    /// replacement's first [`push`](BroadcastWriter::push) lands on the
+    /// first slot no writer ever published. The returned writer is
+    /// **restartable**: a panic unwind flushes the exact written prefix but
+    /// does *not* poison the broadcast, on the premise that a supervisor
+    /// will attach another replacement (escalation poisons through
+    /// [`counter`](Self::counter) when it gives up).
+    ///
+    /// Works because a dying writer's drop publishes exactly its written
+    /// prefix — `published()` *is* the durable checkpoint.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a writer is currently live — the pattern stays
+    /// single-writer; resume is for succession, not concurrency.
+    pub fn resume_writer(&self) -> BroadcastWriter<'_, T> {
+        self.resume_writer_with_block(1)
+    }
+
+    /// [`resume_writer`](Self::resume_writer) with blocked synchronization
+    /// (availability broadcast every `block` items).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a writer is currently live or `block == 0`.
+    pub fn resume_writer_with_block(&self, block: usize) -> BroadcastWriter<'_, T> {
+        assert!(block > 0, "block size must be positive");
+        assert!(
+            // lint:allow(raw-sync): one-shot liveness flag, ordering-insensitive
+            !self.writer_attached.swap(true, Ordering::SeqCst),
+            "broadcast already has a live writer"
+        );
+        self.writer_claimed.store(true, Ordering::Relaxed);
+        BroadcastWriter {
+            buffer: self,
+            next: self.published(),
+            unflushed: 0,
+            block,
+            restartable: true,
         }
     }
 
@@ -196,6 +250,9 @@ pub struct BroadcastWriter<'a, T> {
     next: usize,
     unflushed: usize,
     block: usize,
+    /// A restartable writer ([`Broadcast::resume_writer`]) does not poison
+    /// on a panic unwind: its supervisor owns the failure.
+    restartable: bool,
 }
 
 impl<T> BroadcastWriter<'_, T> {
@@ -241,6 +298,12 @@ impl<T> Drop for BroadcastWriter<'_, T> {
         // already pushed are fully constructed, so the exact written prefix
         // is published even when the writer is unwinding.
         self.flush();
+        self.buffer.writer_attached.store(false, Ordering::Relaxed);
+        if self.restartable {
+            // A successor may resume at `published()`; whether this death
+            // becomes a poison is the supervisor's call, not ours.
+            return;
+        }
         if std::thread::panicking() && self.next < self.buffer.capacity() {
             // The writer died mid-sequence: the remaining items will never
             // be published. Poison so readers of the unpublished suffix
@@ -547,6 +610,74 @@ mod tests {
             "a fully published sequence owes readers nothing"
         );
         assert_eq!(b.reader().count(), 2);
+    }
+
+    #[test]
+    fn resume_writer_continues_at_the_published_checkpoint() {
+        let b = Broadcast::new(6);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut w = b.resume_writer_with_block(2);
+            w.push(0);
+            w.push(10);
+            w.push(20); // unflushed: published by the unwind flush
+            panic!("first writer died");
+        }));
+        assert!(result.is_err());
+        assert!(
+            b.failure().is_none(),
+            "a restartable writer's death must not poison — its supervisor decides"
+        );
+        assert_eq!(b.published(), 3, "unwind flushed the exact written prefix");
+        // The successor resumes exactly at the checkpoint.
+        let mut w = b.resume_writer();
+        assert_eq!(w.written(), 3);
+        for v in [30, 40, 50] {
+            w.push(v);
+        }
+        drop(w);
+        let items: Vec<_> = b.reader().copied().collect();
+        assert_eq!(items, vec![0, 10, 20, 30, 40, 50]);
+    }
+
+    #[test]
+    fn resume_writer_rejects_a_live_writer() {
+        let b: Broadcast<u32> = Broadcast::new(2);
+        let _w = b.writer();
+        assert!(
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| b.resume_writer())).is_err(),
+            "resume is succession, not concurrency"
+        );
+    }
+
+    #[test]
+    fn writer_role_can_pass_through_a_clean_drop() {
+        // A restartable writer dropped without panicking also releases the
+        // role (e.g. a OneForAll sibling asked to abort mid-sequence).
+        let b = Broadcast::new(3);
+        {
+            let mut w = b.resume_writer();
+            w.push(1);
+        }
+        let mut w = b.resume_writer();
+        assert_eq!(w.written(), 1);
+        w.push(2);
+        w.push(3);
+        drop(w);
+        assert_eq!(b.reader().copied().collect::<Vec<_>>(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn counter_accessor_exposes_the_availability_counter() {
+        let b: Broadcast<u32> = Broadcast::new(2);
+        let c = Arc::clone(b.counter());
+        let mut w = b.writer();
+        w.push(7);
+        w.flush();
+        assert_eq!(c.debug_value(), 1, "counter value is the published count");
+        // Poisoning through the counter fails the broadcast (how a
+        // supervision tree escalation releases blocked readers).
+        c.poison(FailureInfo::new("tree escalated"));
+        assert!(b.failure().is_some());
     }
 
     #[test]

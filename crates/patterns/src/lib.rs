@@ -15,7 +15,9 @@
 //! * [`Pipeline`] — chains of broadcasts for producer/consumer stage graphs
 //!   (the Paraffins-style dataflow the paper cites);
 //!   [`CheckpointedPipeline`] adds a durable checkpoint at every completed
-//!   stage boundary, so a crashed run resumes instead of recomputing.
+//!   stage boundary, so a crashed run resumes instead of recomputing;
+//!   [`RestartablePipeline`] runs each stage under a supervision tree and
+//!   re-attaches a crashed stage at its published checkpoint.
 //! * [`DataflowGraph`] — a counter-gated DAG executor: the ragged-barrier
 //!   idea generalized from a 1-D stencil to arbitrary task dependence
 //!   graphs, with a sequential-execution mode for Section 6 equivalence
@@ -29,6 +31,7 @@ mod checkpoint;
 mod dataflow;
 mod pipeline;
 mod ragged;
+mod restartable;
 mod sequencer;
 
 pub use broadcast::{Broadcast, BroadcastReader, BroadcastWriter};
@@ -36,4 +39,5 @@ pub use checkpoint::{CheckpointedPipeline, ResumeReport};
 pub use dataflow::{DataflowGraph, NodeId};
 pub use pipeline::{Pipeline, Stage};
 pub use ragged::RaggedBarrier;
+pub use restartable::{PipelineOutcome, RestartablePipeline};
 pub use sequencer::{Sequencer, SequencerGuard};

@@ -31,12 +31,17 @@ mod chunk;
 mod mode;
 mod run;
 mod supervise;
+mod tree;
 mod watchdog;
 
 pub use chunk::{chunk_of, chunks};
 pub use mode::ExecutionMode;
 pub use run::{multithreaded_chunks, multithreaded_for, multithreaded_tasks, par_for};
 pub use supervise::{supervised_for, supervised_tasks};
+pub use tree::{
+    ChildReport, ChildSpec, RestartLimits, RestartPolicy, ResumeCtx, ResumedCounter,
+    SupervisionTree, SupervisionTreeBuilder, TreeFailure, TreeReport, WaitInterrupted,
+};
 pub use watchdog::{run_with_deadline, DeadlineExceeded};
 
 // Re-exported so deadline-supervised programs (whose closures receive a

@@ -85,11 +85,50 @@ fn main() {
     while slow.waiters().is_empty() || stuck.waiters().is_empty() {
         std::thread::yield_now();
     }
-    println!("\nsupervisor diagnosis:\n{}", supervisor.diagnose());
+    // The whole report renders on one log-friendly line; each per-counter
+    // report is itself a one-liner, ready for structured log pipelines.
+    let diagnosis = supervisor.diagnose();
+    println!("\n{diagnosis}");
+    for counter_report in &diagnosis.counters {
+        println!("  {counter_report}");
+    }
     let poisoned = supervisor.poison_stuck(FailureInfo::new("no obligation covers this wait"));
     println!("poisoned {poisoned} provably-stuck counter(s)");
     assert!(stuck_waiter.join().unwrap().is_err());
     pending.fulfill(); // the slow counter's producer finally delivers
     assert!(slow_waiter.join().unwrap().is_ok());
     println!("slow counter completed normally once its obligation was met");
+
+    // 4. A supervision tree turns the same failure visibility into
+    //    *survivability*: a flaky worker is restarted with backoff and
+    //    resumes from its counter's value instead of rerunning from zero.
+    let done = Arc::new(Counter::default());
+    let worker_done = Arc::clone(&done);
+    let report = SupervisionTree::builder()
+        .limits(RestartLimits {
+            base_delay: Duration::from_millis(1),
+            ..RestartLimits::default()
+        })
+        .child(
+            ChildSpec::new("flaky-loader", move |ctx| {
+                let resume_from = ctx.value("done").unwrap();
+                for _ in resume_from..10 {
+                    worker_done.increment(1);
+                    if ctx.is_first_run() && worker_done.debug_value() == 4 {
+                        panic!("transient source hiccup");
+                    }
+                }
+            })
+            .counter("done", &done),
+        )
+        .build()
+        .run()
+        .expect("the tree converges");
+    println!(
+        "\nsupervision tree: '{}' finished at value {} after {} restart(s)",
+        report.children[0].name,
+        done.debug_value(),
+        report.total_restarts()
+    );
+    assert_eq!(done.debug_value(), 10, "no lost, no double-counted work");
 }

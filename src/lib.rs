@@ -78,12 +78,14 @@ pub mod prelude {
         DurabilityMode, DurableCounter, DurableOptions, RetryPolicy, WalError, WalStats,
     };
     pub use mc_patterns::{
-        Broadcast, CheckpointedPipeline, DataflowGraph, Pipeline, RaggedBarrier, Sequencer,
+        Broadcast, CheckpointedPipeline, DataflowGraph, Pipeline, RaggedBarrier,
+        RestartablePipeline, Sequencer,
     };
     pub use mc_primitives::{
         Barrier, Event, Exchanger, Latch, Monitor, Semaphore, SingleAssignment,
     };
     pub use mc_sthreads::{
-        multithreaded, multithreaded_for, supervised_for, supervised_tasks, ExecutionMode,
+        multithreaded, multithreaded_for, supervised_for, supervised_tasks, ChildSpec,
+        ExecutionMode, RestartLimits, RestartPolicy, SupervisionTree,
     };
 }
