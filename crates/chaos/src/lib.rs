@@ -47,4 +47,7 @@ pub use crash_harness::{CrashReport, CrashScenario};
 pub use explore::{explore, Outcomes};
 pub use failpoints::{BufInjection, FailConfig, Failpoints, Trigger, FAILPOINTS_ENV};
 pub use jitter::{seed_from_env, Chaos, ChaosConfig};
-pub use skeleton::{explore_skeleton, replay_schedule, run_random, ReplayError, SkeletonOutcome};
+pub use skeleton::{
+    confirm_param_witness, confirm_rejection, explore_skeleton, replay_schedule, run_random,
+    ConfirmError, ConfirmedRejection, ReplayError, SkeletonOutcome,
+};

@@ -219,6 +219,171 @@ pub fn replay_schedule(sk: &Skeleton, schedule: &[OpRef]) -> Result<SkeletonOutc
     }
 }
 
+/// Why a static finding could not be reproduced dynamically.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConfirmError {
+    /// A witness schedule did not replay.
+    Replay {
+        /// Which finding's witness failed.
+        finding: String,
+        /// The replay failure.
+        error: ReplayError,
+    },
+    /// The witness replayed but the execution did not exhibit the reported
+    /// violation.
+    Mismatch {
+        /// Which finding failed to reproduce.
+        finding: String,
+        /// What differed.
+        detail: String,
+    },
+}
+
+impl fmt::Display for ConfirmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfirmError::Replay { finding, error } => {
+                write!(f, "{finding}: witness does not replay: {error}")
+            }
+            ConfirmError::Mismatch { finding, detail } => {
+                write!(f, "{finding}: witness replayed but {detail}")
+            }
+        }
+    }
+}
+
+/// What [`confirm_rejection`] reproduced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ConfirmedRejection {
+    /// The deadlock witness replayed and left the reported threads stuck.
+    pub deadlock: bool,
+    /// Number of race witnesses that replayed with the reversed pair.
+    pub races: usize,
+    /// The sequential schedule failed at exactly the reported check.
+    pub seq_eq: bool,
+}
+
+impl ConfirmedRejection {
+    /// Total findings reproduced.
+    pub fn total(&self) -> usize {
+        self.deadlock as usize + self.races + self.seq_eq as usize
+    }
+}
+
+/// Dynamically reproduce every finding of a static [`Rejection`] on its
+/// skeleton:
+///
+/// * each **race** witness must replay, executing the textually-later
+///   access (`first`) before ending with the textually-earlier one
+///   (`second`) — demonstrating the pair really is unordered in this
+///   executable interleaving;
+/// * the **deadlock** witness must replay to a state where no operation is
+///   enabled, with every reported thread stuck exactly where the analysis
+///   said;
+/// * the **sequential-equivalence** violation must make the declared-order
+///   sequential schedule fail at exactly the reported check.
+///
+/// Returns what was reproduced, or the first finding that would not
+/// reproduce — which would mean the static analyses emitted a bogus
+/// counterexample.
+pub fn confirm_rejection(
+    sk: &Skeleton,
+    rej: &mc_verify::Rejection,
+) -> Result<ConfirmedRejection, ConfirmError> {
+    let mut confirmed = ConfirmedRejection::default();
+
+    if let Some(dl) = &rej.deadlock {
+        let finding = || "deadlock".to_string();
+        let outcome = replay_schedule(sk, &dl.witness).map_err(|error| ConfirmError::Replay {
+            finding: finding(),
+            error,
+        })?;
+        if outcome.completed {
+            return Err(ConfirmError::Mismatch {
+                finding: finding(),
+                detail: "every thread ran to completion".into(),
+            });
+        }
+        for b in &dl.blocked {
+            if outcome.stopped_at[b.at.thread] != b.at.index {
+                return Err(ConfirmError::Mismatch {
+                    finding: finding(),
+                    detail: format!(
+                        "thread {} stopped at index {}, analysis reported {}",
+                        b.at.thread, outcome.stopped_at[b.at.thread], b.at.index
+                    ),
+                });
+            }
+        }
+        confirmed.deadlock = true;
+    }
+
+    for (i, race) in rej.races.iter().enumerate() {
+        let finding = || format!("race #{i} on {}", sk.var_name(race.var));
+        let reversed = race.witness.last() == Some(&race.second.0)
+            && race.witness[..race.witness.len().saturating_sub(1)].contains(&race.first.0);
+        if !reversed {
+            return Err(ConfirmError::Mismatch {
+                finding: finding(),
+                detail: "witness does not execute the pair in reversed order".into(),
+            });
+        }
+        replay_schedule(sk, &race.witness).map_err(|error| ConfirmError::Replay {
+            finding: finding(),
+            error,
+        })?;
+        confirmed.races += 1;
+    }
+
+    if let Some(v) = &rej.seq_eq {
+        let finding = || "sequential-equivalence violation".to_string();
+        // The declared-order sequential schedule, up to and including the
+        // reported check.
+        let mut schedule = Vec::new();
+        for t in 0..v.at.thread {
+            for i in 0..sk.ops(t).len() {
+                schedule.push(OpRef {
+                    thread: t,
+                    index: i,
+                });
+            }
+        }
+        for i in 0..=v.at.index {
+            schedule.push(OpRef {
+                thread: v.at.thread,
+                index: i,
+            });
+        }
+        match replay_schedule(sk, &schedule) {
+            Err(ReplayError::CheckNotSatisfied { at }) if at == v.at => {
+                confirmed.seq_eq = true;
+            }
+            Err(error) => {
+                return Err(ConfirmError::Replay {
+                    finding: finding(),
+                    error,
+                })
+            }
+            Ok(_) => {
+                return Err(ConfirmError::Mismatch {
+                    finding: finding(),
+                    detail: "the sequential schedule satisfied the reported check".into(),
+                })
+            }
+        }
+    }
+
+    Ok(confirmed)
+}
+
+/// [`confirm_rejection`] for a parameterized witness: replay the rejection
+/// of the smallest failing instantiation through the skeleton interpreter.
+pub fn confirm_param_witness(
+    w: &mc_verify::ParamWitness,
+) -> Result<ConfirmedRejection, ConfirmError> {
+    confirm_rejection(&w.instance.skeleton, &w.rejection)
+}
+
 /// Convenience: does the maximal greedy execution complete? (Mirrors the
 /// static fixpoint; exposed for tests that want the dynamic view only.)
 pub fn completes(sk: &Skeleton) -> bool {
@@ -310,6 +475,63 @@ mod tests {
                 }
             })
         );
+    }
+
+    #[test]
+    fn confirm_reproduces_all_three_finding_kinds() {
+        use mc_verify::{verify, Verdict};
+
+        // Unguarded read races; consumer checks a level the producer never
+        // reaches (deadlock); and the declared order runs the consumer's
+        // check before the producer increments (seq-eq violation).
+        let mut b = SkeletonBuilder::new();
+        let c = b.counter("c");
+        let x = b.var("x");
+        b.thread("consumer").read(x).check(c, 2);
+        b.thread("producer").write(x).inc(c, 1);
+        let sk = b.build();
+        let Verdict::Rejected(rej) = verify(&sk) else {
+            panic!("skeleton should be rejected");
+        };
+        assert!(rej.deadlock.is_some());
+        assert!(!rej.races.is_empty());
+        assert!(rej.seq_eq.is_some());
+        let confirmed = confirm_rejection(&sk, &rej).expect("all findings reproduce");
+        assert!(confirmed.deadlock);
+        assert_eq!(confirmed.races, rej.races.len());
+        assert!(confirmed.seq_eq);
+        assert_eq!(confirmed.total(), 1 + rej.races.len() + 1);
+    }
+
+    #[test]
+    fn confirm_param_witness_replays_smallest_failing_instance() {
+        use mc_verify::{models, param_verify};
+
+        let t = models::fan_in_off_by_one_template();
+        let v = param_verify(&t).expect("cutoff search succeeds");
+        let w = v.witness().expect("off-by-one is rejected");
+        let confirmed = confirm_param_witness(w).expect("witness reproduces");
+        assert!(confirmed.races >= 1);
+    }
+
+    #[test]
+    fn confirm_rejects_bogus_witness() {
+        use mc_verify::{verify, Verdict};
+
+        let mut b = SkeletonBuilder::new();
+        let x = b.var("x");
+        b.thread("w").write(x);
+        b.thread("r").read(x);
+        let sk = b.build();
+        let Verdict::Rejected(mut rej) = verify(&sk) else {
+            panic!("unguarded pair should be rejected");
+        };
+        // Corrupt the race witness: drop the final (reversed) access.
+        rej.races[0].witness.pop();
+        assert!(matches!(
+            confirm_rejection(&sk, &rej),
+            Err(ConfirmError::Mismatch { .. })
+        ));
     }
 
     #[test]

@@ -18,7 +18,7 @@ use crate::mode::ExecutionMode;
 use mc_counter::{FailureInfo, MonotonicCounter};
 use std::any::Any;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::Mutex;
+use std::sync::Mutex; // lint:allow(raw-sync): panic-capture slot, not protocol synchronization
 
 type Payload = Box<dyn Any + Send + 'static>;
 
@@ -26,14 +26,14 @@ type Payload = Box<dyn Any + Send + 'static>;
 /// registered counters on every failure.
 struct PanicCollector<'a> {
     counters: &'a [&'a dyn MonotonicCounter],
-    first: Mutex<Option<Payload>>,
+    first: Mutex<Option<Payload>>, // lint:allow(raw-sync): panic-capture slot
 }
 
 impl<'a> PanicCollector<'a> {
     fn new(counters: &'a [&'a dyn MonotonicCounter]) -> Self {
         PanicCollector {
             counters,
-            first: Mutex::new(None),
+            first: Mutex::new(None), // lint:allow(raw-sync): panic-capture slot
         }
     }
 

@@ -30,6 +30,18 @@
 //! [models] of the `mc-algos`/`mc-patterns` protocols, or from a
 //! [recorded](record::skeleton_from_events) `mc-detcheck` run.
 //!
+//! On top of the concrete layer sits **parameterized verification**:
+//! [`Template`]s declare replicated thread roles (`N` producers, `M`
+//! consumers) with amounts and levels as [linear expressions](LinExpr) in
+//! the parameters, [`Template::instantiate`] lowers them to concrete
+//! skeletons, and [`param_verify`] computes a *cutoff* `c` — exploiting the
+//! same monotonicity (adding a replica only grows reachable counter
+//! values) — such that the verdict at `c` certifies **every** `N ≥ c`,
+//! validated internally by brute-force enumeration of all instantiations up
+//! to `c + 2`. [`models::template_corpus`] models the shipped protocols at
+//! symbolic scale; parameterized rejections carry a [`ParamWitness`] at the
+//! smallest failing size, replayable through the `mc-chaos` interpreter.
+//!
 //! ```
 //! use mc_verify::{SkeletonBuilder, verify};
 //!
@@ -46,6 +58,7 @@
 #![forbid(unsafe_code)]
 
 pub mod concrete;
+mod cutoff;
 mod fixpoint;
 mod hb;
 mod ir;
@@ -54,15 +67,27 @@ mod mutate;
 mod race;
 pub mod record;
 mod seqeq;
+mod template;
 mod verdict;
 
+pub use cutoff::{
+    param_verify, param_verify_bounded, CutoffError, CutoffProof, ParamVerdict, ParamWitness,
+    VerdictClass, DEFAULT_MAX_CUTOFF,
+};
 pub use fixpoint::{
     deadlock_analysis, greedy_cut, greedy_cut_limited, BlockedThread, Cut, DeadlockFinding,
     StuckReason,
 };
 pub use hb::MustOrder;
 pub use ir::{CounterId, Op, OpRef, Skeleton, SkeletonBuilder, ThreadBuilder, VarId};
-pub use mutate::{all_mutations, Mutation};
+pub use mutate::{
+    all_mutations, all_template_mutations, Mutation, TemplateMutation, TemplateMutationKind,
+};
 pub use race::{race_analysis, AccessKind, RaceFinding};
 pub use seqeq::{sequential_equivalence, SeqEqViolation};
+pub use template::{
+    CSel, EvalError, Guard, Instance, InstantiateError, LinExpr, Param, RoleId, TCounter,
+    TCounterFam, TVar, TVarFam, TVarFamWide, TVarWide, Template, TemplateBuilder,
+    TemplateThreadBuilder, VSel,
+};
 pub use verdict::{verify, Certificate, Rejection, Verdict};

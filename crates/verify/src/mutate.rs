@@ -2,8 +2,15 @@
 //! classic counter-protocol bug into a skeleton, and the analyses must
 //! report it (cross-validated against dynamic exploration in the
 //! integration tests).
+//!
+//! [`TemplateMutation`] lifts the same bug classes to the parameterized
+//! layer — one edit to a role body breaks **every** replica at once, and
+//! two extra classes become expressible that have no concrete analogue:
+//! off-by-one *level* edits against symbolic levels (`check(done, N)` →
+//! `check(done, N - 1)`), the canonical parameterized-protocol bug.
 
 use crate::ir::{Op, OpRef, Skeleton};
+use crate::template::{LinExpr, RoleId, TOpKind, Template};
 
 /// A single protocol-breaking edit.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -112,6 +119,156 @@ pub fn all_mutations(sk: &Skeleton) -> Vec<Mutation> {
     out
 }
 
+/// The bug class a [`TemplateMutation`] injects.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TemplateMutationKind {
+    /// Remove an increment from the role body (every replica forgets to
+    /// arrive).
+    DropIncrement,
+    /// Reduce an increment's amount by one in every replica.
+    ReduceAmount,
+    /// Remove a check from the role body (every replica's access is
+    /// unguarded).
+    DropCheck,
+    /// Swap a check with the operation following it in the role body.
+    ReorderCheckAfterNext,
+    /// Raise a check's level by one — `check(done, N)` becomes
+    /// `check(done, N + 1)`, the parameterized too-strict-guard bug.
+    RaiseLevel,
+    /// Lower a check's level by one — `check(done, N)` becomes
+    /// `check(done, N - 1)`, the parameterized off-by-one bug.
+    LowerLevel,
+}
+
+/// A single protocol-breaking edit to a [`Template`] role body.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TemplateMutation {
+    /// The role whose body is edited.
+    pub role: RoleId,
+    /// The index of the edited operation in the role body.
+    pub op: usize,
+    /// The edit.
+    pub kind: TemplateMutationKind,
+}
+
+impl TemplateMutation {
+    /// Apply to a copy of the template.
+    pub fn apply(&self, t: &Template) -> Template {
+        let mut out = t.clone();
+        let ops = &mut out.roles[self.role.0].ops;
+        match self.kind {
+            TemplateMutationKind::DropIncrement | TemplateMutationKind::DropCheck => {
+                ops.remove(self.op);
+            }
+            TemplateMutationKind::ReduceAmount => {
+                let TOpKind::Inc { amount, .. } = &mut ops[self.op].kind else {
+                    panic!("ReduceAmount must target an Inc");
+                };
+                *amount = amount.clone() - LinExpr::constant(1);
+            }
+            TemplateMutationKind::ReorderCheckAfterNext => {
+                ops.swap(self.op, self.op + 1);
+            }
+            TemplateMutationKind::RaiseLevel | TemplateMutationKind::LowerLevel => {
+                let TOpKind::Check { level, .. } = &mut ops[self.op].kind else {
+                    panic!("level mutation must target a Check");
+                };
+                let delta = if self.kind == TemplateMutationKind::RaiseLevel {
+                    1
+                } else {
+                    -1
+                };
+                *level = level.clone() + LinExpr::constant(delta);
+            }
+        }
+        out
+    }
+
+    /// Human-readable description against the original template.
+    pub fn describe(&self, t: &Template) -> String {
+        let kind = match self.kind {
+            TemplateMutationKind::DropIncrement => "drop increment",
+            TemplateMutationKind::ReduceAmount => "reduce amount",
+            TemplateMutationKind::DropCheck => "drop check",
+            TemplateMutationKind::ReorderCheckAfterNext => "reorder check after next op",
+            TemplateMutationKind::RaiseLevel => "raise level",
+            TemplateMutationKind::LowerLevel => "lower level",
+        };
+        format!(
+            "{kind} at {}[{}]: {}",
+            t.role_name(self.role),
+            self.op,
+            t.render_op(self.role, self.op)
+        )
+    }
+}
+
+/// The minimum value an expression takes over all assignments with every
+/// parameter `≥ 1`; `None` when a negative coefficient makes the minimum
+/// unbounded below.
+fn min_over_positive_assignments(e: &LinExpr, nparams: usize) -> Option<i64> {
+    let mut acc = e.constant_term();
+    for i in 0..nparams {
+        let c = e.coeff(i);
+        if c < 0 {
+            return None;
+        }
+        acc += c;
+    }
+    Some(acc)
+}
+
+/// Enumerate every applicable mutation of a template.
+///
+/// Eligibility mirrors [`all_mutations`], lifted to expressions that must
+/// stay non-negative for **all** assignments with parameters `≥ 1`:
+/// `ReduceAmount` needs the amount to stay meaningful (min value ≥ 2),
+/// `LowerLevel` needs the level to stay instantiable (min value ≥ 1),
+/// `DropCheck` skips constant-zero levels, and `ReorderCheckAfterNext`
+/// skips check-check swaps.
+pub fn all_template_mutations(t: &Template) -> Vec<TemplateMutation> {
+    let mut out = Vec::new();
+    let nparams = t.num_params();
+    for (ri, role) in t.roles.iter().enumerate() {
+        let role_id = RoleId(ri);
+        for (oi, top) in role.ops.iter().enumerate() {
+            let mut push = |kind| {
+                out.push(TemplateMutation {
+                    role: role_id,
+                    op: oi,
+                    kind,
+                })
+            };
+            match &top.kind {
+                TOpKind::Inc { amount, .. } => {
+                    push(TemplateMutationKind::DropIncrement);
+                    if min_over_positive_assignments(amount, nparams).is_some_and(|m| m >= 2) {
+                        push(TemplateMutationKind::ReduceAmount);
+                    }
+                }
+                TOpKind::Check { level, .. } => {
+                    let min = min_over_positive_assignments(level, nparams);
+                    let constant_zero = level.is_constant() && level.constant_term() == 0;
+                    if !constant_zero {
+                        push(TemplateMutationKind::DropCheck);
+                    }
+                    push(TemplateMutationKind::RaiseLevel);
+                    if min.is_some_and(|m| m >= 1) {
+                        push(TemplateMutationKind::LowerLevel);
+                    }
+                    if oi + 1 < role.ops.len()
+                        && !matches!(role.ops[oi + 1].kind, TOpKind::Check { .. })
+                    {
+                        push(TemplateMutationKind::ReorderCheckAfterNext);
+                    }
+                }
+                TOpKind::Read { .. } | TOpKind::Write { .. } | TOpKind::ReadAll { .. } => {}
+            }
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -156,6 +313,41 @@ mod tests {
         let v = verify(&mutant);
         let rej = v.rejection().unwrap();
         assert!(rej.deadlock.is_some());
+    }
+
+    #[test]
+    fn template_mutations_enumerate_and_kill() {
+        use crate::cutoff::param_verify;
+        use crate::template::TemplateBuilder;
+
+        let mut b = TemplateBuilder::new();
+        let n = b.param("N");
+        let workers = b.role("worker", n);
+        let done = b.counter("done");
+        let slot = b.var_per("slot", workers);
+        b.body(workers).write(slot.me()).inc(done, 1);
+        b.thread("collector").check(done, n).read_all(slot);
+        let t = b.build();
+        assert!(param_verify(&t).unwrap().is_certified());
+
+        let muts = all_template_mutations(&t);
+        // worker inc: drop only (amount 1); collector check: drop, raise,
+        // lower, reorder (next op is a read_all).
+        assert_eq!(muts.len(), 5);
+        for m in &muts {
+            let mutant = m.apply(&t);
+            let v = param_verify(&mutant).unwrap();
+            assert!(
+                !v.is_certified(),
+                "template mutation `{}` should be caught",
+                m.describe(&t)
+            );
+        }
+        // The canonical off-by-one: lowering `check(done, N)` to
+        // `check(done, N - 1)` must be among the enumerated mutations.
+        assert!(muts
+            .iter()
+            .any(|m| m.kind == TemplateMutationKind::LowerLevel));
     }
 
     #[test]

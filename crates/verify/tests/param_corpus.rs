@@ -1,0 +1,139 @@
+//! Corpus-wide gates for the parameterized verifier.
+//!
+//! Three claims are enforced over the shipped template corpus on every run:
+//!
+//! 1. **Machine-checked cutoffs** — every corpus template certifies, every
+//!    assignment in the proof's enumeration re-verifies by brute force to the
+//!    recorded class, the whole band is certified, and any small-size
+//!    exceptions sit strictly below the band.
+//! 2. **Seeded bugs are caught** — every buggy-corpus template is rejected
+//!    with a witness at the smallest failing size whose instance really is
+//!    rejected by the concrete verifier. (Dynamic replay of the same
+//!    witnesses is enforced by `tests/static_vs_dynamic.rs`.)
+//! 3. **Mutation kill rates do not regress** — single-op mutations of the
+//!    concrete corpus stay at or above the E10 baseline, and template-level
+//!    mutations (which break every replica at once) are caught at a strictly
+//!    higher rate.
+
+use mc_verify::{
+    all_mutations, all_template_mutations, models, param_verify, verify, ParamVerdict,
+    VerdictClass, DEFAULT_MAX_CUTOFF,
+};
+
+/// The E10 (PR 4) concrete-corpus kill rate: 190 of 344 mutants (55%).
+/// The corpus may grow, but the detection rate must not fall below this.
+const CONCRETE_BASELINE_PERCENT: usize = 55;
+
+#[test]
+fn every_corpus_template_carries_a_machine_checked_cutoff() {
+    for (name, t) in models::template_corpus() {
+        let v = param_verify(&t).unwrap_or_else(|e| panic!("{name}: {e}"));
+        let ParamVerdict::Certified { proof, .. } = &v else {
+            panic!("{name}: corpus template must certify");
+        };
+        assert!(
+            proof.cutoff <= DEFAULT_MAX_CUTOFF,
+            "{name}: cutoff {} exceeds the default search bound",
+            proof.cutoff
+        );
+        assert!(proof.stable_class.certified, "{name}: band not certified");
+        assert!(
+            proof.uniform_sites && proof.affine_totals && proof.monotone_totals,
+            "{name}: a validation check failed yet the cutoff was accepted"
+        );
+        // The proof's grid is the claim; re-derive every point independently.
+        for (assign, class) in &proof.enumerated {
+            let sk = t
+                .instantiate(assign)
+                .unwrap_or_else(|e| panic!("{name}@{assign:?}: {e}"));
+            assert_eq!(
+                VerdictClass::of(&verify(&sk)),
+                *class,
+                "{name}@{assign:?}: symbolic class does not equal brute force"
+            );
+        }
+        // Exceptions are permitted only below the band — a band point that
+        // deviated would invalidate the cutoff itself.
+        for exc in &proof.exceptions {
+            assert!(
+                exc.iter().any(|&v| v < proof.cutoff),
+                "{name}: exception {exc:?} is not below the cutoff {}",
+                proof.cutoff
+            );
+        }
+    }
+}
+
+#[test]
+fn every_seeded_bug_is_rejected_at_a_verified_smallest_size() {
+    let mut rejected = 0usize;
+    for (name, t) in models::buggy_corpus() {
+        let v = param_verify(&t).unwrap_or_else(|e| panic!("{name}: {e}"));
+        let w = v
+            .witness()
+            .unwrap_or_else(|| panic!("{name}: seeded bug must be rejected"));
+        assert!(
+            !verify(&w.instance.skeleton).is_certified(),
+            "{name}: witness instance re-certifies"
+        );
+        // Smallest failing: no enumerated assignment with a smaller parameter
+        // sum is uncertified.
+        let wsum: u64 = w.assign.iter().sum();
+        for (assign, class) in &v.proof().enumerated {
+            if !class.certified {
+                assert!(
+                    assign.iter().sum::<u64>() >= wsum,
+                    "{name}: {assign:?} fails below the witness {:?}",
+                    w.assign
+                );
+            }
+        }
+        rejected += 1;
+    }
+    assert!(rejected >= 3, "buggy corpus shrank to {rejected} templates");
+}
+
+#[test]
+fn concrete_mutation_kill_rate_does_not_regress_below_the_e10_baseline() {
+    let mut total = 0usize;
+    let mut killed = 0usize;
+    for (_, sk) in models::corpus() {
+        for m in all_mutations(&sk) {
+            total += 1;
+            if !verify(&m.apply(&sk)).is_certified() {
+                killed += 1;
+            }
+        }
+    }
+    assert!(total >= 300, "concrete mutation sweep shrank: {total}");
+    assert!(
+        killed * 100 >= total * CONCRETE_BASELINE_PERCENT,
+        "concrete kill rate regressed below the E10 baseline: {killed}/{total} \
+         (need >= {CONCRETE_BASELINE_PERCENT}%)"
+    );
+}
+
+#[test]
+fn template_mutation_kill_rate_exceeds_half() {
+    // A template mutation edits one op in a *role*, breaking every replica
+    // at once — so the parameterized analyses should catch a larger share
+    // than single-replica concrete mutations. No-stabilization counts as
+    // caught: the mutant left the fragment the engine certifies.
+    let mut total = 0usize;
+    let mut killed = 0usize;
+    for (_, t) in models::template_corpus() {
+        for m in all_template_mutations(&t) {
+            total += 1;
+            match param_verify(&m.apply(&t)) {
+                Err(_) => killed += 1,
+                Ok(v) if !v.is_certified() => killed += 1,
+                Ok(_) => {}
+            }
+        }
+    }
+    assert!(total >= 30, "template mutation sweep shrank: {total}");
+    assert!(
+        killed * 2 > total,
+        "template mutation kill rate at or below 50%: {killed}/{total}"
+    );
+}

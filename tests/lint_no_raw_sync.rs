@@ -1,24 +1,37 @@
-//! Source lint: the algorithm and pattern crates must synchronize through
+//! Source lint: the counter-discipline crates must synchronize through
 //! monotonic counters, not through raw primitives.
 //!
 //! The paper's claim is that counters *replace* locks and condition
-//! variables; an `std::sync::Mutex` creeping into `mc-algos` or
-//! `mc-patterns` would quietly undermine the reproduction (and hide from
-//! the static verifier, which only models counter operations). Shared data
-//! cells use `Relaxed` atomics — the counters provide all ordering — so any
-//! stronger memory ordering is equally suspect.
+//! variables; an `std::sync::Mutex` creeping into these crates would
+//! quietly undermine the reproduction (and hide from the static verifier,
+//! which only models counter operations). Two tiers:
 //!
-//! Deliberate exceptions (the lock-based comparison baseline, panic-capture
-//! slots) carry a `lint:allow(raw-sync): <reason>` marker on the same or
-//! the preceding line; `#[cfg(test)]` modules are exempt wholesale.
+//! * **Counter-only crates** (`mc-algos`, `mc-patterns`): no locks *and* no
+//!   non-`Relaxed` atomic orderings — the counters provide all ordering.
+//! * **Infrastructure crates** (`mc-durable`, `mc-sthreads`): no locks or
+//!   condition variables outside the sanctioned WAL-core/panic-capture
+//!   sites. Stronger atomic orderings are legitimate here (the WAL flusher
+//!   and watchdog are below the counter abstraction), so only the lock
+//!   tier applies.
+//!
+//! Deliberate exceptions (the lock-based comparison baseline, the WAL
+//! flusher's handoff queue, panic-capture slots) carry a
+//! `lint:allow(raw-sync): <reason>` marker on the same or the preceding
+//! line; `#[cfg(test)]` modules and doc comments are exempt wholesale.
 
 use std::fs;
 use std::path::{Path, PathBuf};
 
-const FORBIDDEN: &[(&str, &str)] = &[
+/// Forbidden everywhere the lint looks: lock-based synchronization.
+const FORBIDDEN_LOCKS: &[(&str, &str)] = &[
     ("Condvar", "condition variable"),
     ("Mutex", "mutex"),
     ("RwLock", "reader-writer lock"),
+];
+
+/// Additionally forbidden in the counter-only crates: orderings stronger
+/// than `Relaxed`.
+const FORBIDDEN_ORDERINGS: &[(&str, &str)] = &[
     ("Ordering::SeqCst", "non-Relaxed atomic ordering"),
     ("Ordering::Acquire", "non-Relaxed atomic ordering"),
     ("Ordering::Release", "non-Relaxed atomic ordering"),
@@ -95,14 +108,17 @@ fn lintable_lines(src: &str) -> Vec<(usize, String)> {
     out
 }
 
-#[test]
-fn algos_and_patterns_use_counters_not_raw_sync() {
-    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+/// Lint every source file under `dirs` against `forbidden`, honoring
+/// same-line and preceding-line allow markers. Returns rendered violations.
+fn lint(root: &Path, dirs: &[&str], forbidden: &[(&str, &str)]) -> Vec<String> {
     let mut files = Vec::new();
-    for crate_dir in ["crates/algos/src", "crates/patterns/src"] {
+    for crate_dir in dirs {
         rust_sources(&root.join(crate_dir), &mut files);
     }
-    assert!(files.len() >= 10, "lint should see both crates' sources");
+    assert!(
+        files.len() >= dirs.len() * 2,
+        "lint should see every crate's sources"
+    );
 
     let mut violations = Vec::new();
     for path in &files {
@@ -113,7 +129,7 @@ fn algos_and_patterns_use_counters_not_raw_sync() {
                 || idx.checked_sub(1).is_some_and(|p| {
                     lines[p].1.contains(ALLOW_MARKER) && lines[p].0 + 1 == *lineno
                 });
-            for (pat, what) in FORBIDDEN {
+            for (pat, what) in forbidden {
                 if text.contains(pat) && !allowed {
                     violations.push(format!(
                         "{}:{}: {} (`{}`)\n    {}",
@@ -127,11 +143,64 @@ fn algos_and_patterns_use_counters_not_raw_sync() {
             }
         }
     }
+    violations
+}
+
+#[test]
+fn algos_and_patterns_use_counters_not_raw_sync() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let forbidden: Vec<_> = FORBIDDEN_LOCKS
+        .iter()
+        .chain(FORBIDDEN_ORDERINGS)
+        .copied()
+        .collect();
+    let violations = lint(
+        root,
+        &["crates/algos/src", "crates/patterns/src"],
+        &forbidden,
+    );
     assert!(
         violations.is_empty(),
         "raw synchronization in counter-only crates — use monotonic counters, \
          or mark a deliberate exception with `{ALLOW_MARKER}: <reason>`:\n{}",
         violations.join("\n")
+    );
+}
+
+#[test]
+fn durable_and_sthreads_lock_only_in_sanctioned_cores() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let violations = lint(
+        root,
+        &["crates/durable/src", "crates/sthreads/src"],
+        FORBIDDEN_LOCKS,
+    );
+    assert!(
+        violations.is_empty(),
+        "raw locks outside the sanctioned WAL-core/panic-capture sites — \
+         coordinate through counters, or mark a deliberate exception with \
+         `{ALLOW_MARKER}: <reason>`:\n{}",
+        violations.join("\n")
+    );
+}
+
+#[test]
+fn sanctioned_sites_are_marked_not_unlimited() {
+    // The infrastructure tier must not quietly grow: count the marked
+    // exception sites so adding one is a conscious, reviewed act.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let mut files = Vec::new();
+    for crate_dir in ["crates/durable/src", "crates/sthreads/src"] {
+        rust_sources(&root.join(crate_dir), &mut files);
+    }
+    let mut marked = 0usize;
+    for path in &files {
+        let src = fs::read_to_string(path).expect("readable source file");
+        marked += src.matches(ALLOW_MARKER).count();
+    }
+    assert!(
+        (1..=16).contains(&marked),
+        "expected a small, deliberate set of marked exception sites, found {marked}"
     );
 }
 
@@ -156,7 +225,7 @@ fn lint_catches_a_seeded_violation() {
                 || idx.checked_sub(1).is_some_and(|p| {
                     lines[p].1.contains(ALLOW_MARKER) && lines[p].0 + 1 == lines[*idx].0
                 });
-            !allowed && FORBIDDEN.iter().any(|(pat, _)| text.contains(pat))
+            !allowed && FORBIDDEN_LOCKS.iter().any(|(pat, _)| text.contains(pat))
         })
         .map(|(_, (lineno, _))| *lineno)
         .collect();

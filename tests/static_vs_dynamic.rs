@@ -15,8 +15,10 @@
 //!   reversed access order it claims to demonstrate;
 //! * sampled nondeterminism or incompletion ⇒ the skeleton was rejected.
 
-use mc_chaos::{explore_skeleton, replay_schedule};
-use mc_verify::{all_mutations, models, verify, Verdict};
+use mc_chaos::{confirm_param_witness, explore_skeleton, replay_schedule};
+use mc_verify::{
+    all_mutations, all_template_mutations, models, param_verify, verify, ParamVerdict, Verdict,
+};
 
 const SEEDS: std::ops::Range<u64> = 0..32;
 
@@ -129,5 +131,101 @@ fn all_corpus_mutations_agree_with_dynamic_exploration() {
     assert!(
         rejected * 2 > total,
         "suspiciously few mutations caught: {rejected}/{total}"
+    );
+}
+
+#[test]
+fn certified_templates_agree_with_dynamic_exploration_at_every_enumerated_size() {
+    // The parameterized certificate claims every instantiation in the
+    // enumerated grid behaves; confront each one with the random scheduler.
+    for (name, t) in models::template_corpus() {
+        let v = param_verify(&t).unwrap_or_else(|e| panic!("{name}: {e}"));
+        let ParamVerdict::Certified { proof, .. } = &v else {
+            panic!("{name} should certify");
+        };
+        for (assign, class) in &proof.enumerated {
+            let sk = t
+                .instantiate(assign)
+                .unwrap_or_else(|e| panic!("{name}@{assign:?}: {e}"));
+            let label = format!("{name}@{assign:?}");
+            check_agreement(&label, &sk);
+            assert_eq!(
+                verify(&sk).is_certified(),
+                class.certified,
+                "{label}: enumerated class does not match re-verification"
+            );
+        }
+    }
+}
+
+#[test]
+fn parameterized_rejections_replay_at_their_failing_size() {
+    // Every seeded-buggy template must be rejected with a witness whose
+    // rejection reproduces through the skeleton interpreter at the
+    // instantiated (smallest failing) size — and dynamic exploration at
+    // that size must corroborate the rejection.
+    let mut reproduced = 0usize;
+    for (name, t) in models::buggy_corpus() {
+        let v = param_verify(&t).unwrap_or_else(|e| panic!("{name}: {e}"));
+        let w = v
+            .witness()
+            .unwrap_or_else(|| panic!("{name} should be rejected with a witness"));
+        let confirmed = confirm_param_witness(w)
+            .unwrap_or_else(|e| panic!("{name}: witness failed to reproduce: {e}"));
+        assert!(
+            confirmed.total() > 0,
+            "{name}: witness reproduced no findings"
+        );
+        check_agreement(&format!("{name}@{:?}", w.assign), &w.instance.skeleton);
+        reproduced += 1;
+    }
+    assert!(reproduced >= 3, "buggy corpus too small: {reproduced}");
+}
+
+#[test]
+fn template_mutations_agree_with_dynamic_exploration() {
+    // Single-op edits to role bodies break every replica at once; the
+    // parameterized verdict must flip, and whatever witness it emits must
+    // replay. Mutants that stay certified are cross-checked dynamically at
+    // every enumerated size like the corpus itself.
+    let mut total = 0usize;
+    let mut rejected = 0usize;
+    for (name, t) in models::template_corpus() {
+        for m in all_template_mutations(&t) {
+            let mutant = m.apply(&t);
+            let label = format!("{name} + {}", m.describe(&t));
+            total += 1;
+            // Mutants may leave the detect-and-validate fragment entirely
+            // (e.g. a level now grows past every supplied increment at some
+            // unexplored size); no-stabilization counts as caught.
+            let Ok(v) = param_verify(&mutant) else {
+                rejected += 1;
+                continue;
+            };
+            match &v {
+                ParamVerdict::Rejected { .. } => {
+                    let w = v.witness().expect("rejection carries a witness");
+                    let confirmed = confirm_param_witness(w)
+                        .unwrap_or_else(|e| panic!("{label}: witness failed to reproduce: {e}"));
+                    assert!(confirmed.total() > 0, "{label}: witness reproduced nothing");
+                    rejected += 1;
+                }
+                ParamVerdict::Certified { proof, .. } => {
+                    // A mutation the parameterized analyses accept must
+                    // genuinely be benign at every enumerated size.
+                    for (assign, _) in &proof.enumerated {
+                        let sk = mutant
+                            .instantiate(assign)
+                            .unwrap_or_else(|e| panic!("{label}@{assign:?}: {e}"));
+                        check_agreement(&format!("{label}@{assign:?}"), &sk);
+                    }
+                }
+            }
+        }
+    }
+    assert!(total >= 30, "template mutation sweep too small: {total}");
+    assert!(
+        rejected * 2 > total,
+        "suspiciously few template mutations caught: {rejected}/{total}"
     );
 }
