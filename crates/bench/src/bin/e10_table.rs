@@ -19,7 +19,7 @@
 //!
 //! Usage: `cargo run --release -p mc-bench --bin e10_table [--quick] [--json]`
 
-use mc_bench::{fmt_duration, measure, Table};
+use mc_bench::{fmt_duration, measure, Report, Table};
 use mc_chaos::explore_skeleton;
 use mc_verify::{all_mutations, models, verify, Skeleton, Verdict};
 
@@ -91,7 +91,8 @@ fn main() {
             format!("{:.0}", cert.ops as f64 / t.median.as_secs_f64() / 1e3),
         ]);
     }
-    throughput.emit(&args);
+    let mut report = Report::new("e10", &args);
+    report.table(throughput);
 
     // Table 2: mutation detection over the model corpus.
     let mut detection = Table::new(
@@ -140,19 +141,21 @@ fn main() {
             format!("{benign_ok}/{benign}"),
         ]);
     }
-    detection.emit(&args);
+    report.table(detection);
 
     let rate = caught as f64 / total as f64 * 100.0;
-    println!(
+    report.metric("mutants_total", total as f64);
+    report.metric("mutants_caught", caught as f64);
+    report.metric("detection_rate_pct", rate);
+    report.metric("disagreements", disagreements as f64);
+    report.metric("slowest_verify_ms", slowest.as_secs_f64() * 1e3);
+    report.note(format!(
         "Shape check: {caught}/{total} mutants rejected ({rate:.0}%), \
          {disagreements} static/dynamic disagreements, slowest verification {}.",
         fmt_duration(slowest)
+    ));
+    report.shape_check(
+        rate > 50.0 && disagreements == 0 && slowest < std::time::Duration::from_secs(2),
     );
-    let ok = rate > 50.0 && disagreements == 0 && slowest < std::time::Duration::from_secs(2);
-    if ok {
-        println!("Shape check PASSED.");
-    } else {
-        println!("Shape check FAILED.");
-        std::process::exit(1);
-    }
+    report.finish();
 }

@@ -21,7 +21,7 @@
 //!
 //! Usage: `cargo run --release -p mc-bench --bin e12_table [--quick] [--json]`
 
-use mc_bench::{fmt_duration, Table};
+use mc_bench::{fmt_duration, Report, Table};
 use mc_chaos::confirm_param_witness;
 use mc_verify::{models, param_verify, verify, ParamVerdict, Template, DEFAULT_MAX_CUTOFF};
 use std::time::{Duration, Instant};
@@ -126,7 +126,8 @@ fn main() {
             format!("all N >= {}", proof.cutoff),
         ]);
     }
-    table.emit(&args);
+    let mut report = Report::new("e12", &args);
+    report.table(table);
 
     let mut buggy = Table::new(
         "E12: seeded-buggy templates — smallest failing size, witness replay",
@@ -184,16 +185,19 @@ fn main() {
             replay,
         ]);
     }
-    buggy.emit(&args);
+    report.table(buggy);
 
-    println!(
+    report.metric(
+        "templates_certified",
+        models::template_corpus().len() as f64,
+    );
+    report.metric("seeded_bugs_rejected", models::buggy_corpus().len() as f64);
+    report.note(format!(
         "Shape check: {} corpus templates certified with cutoffs, {} seeded bugs rejected \
          with replayable witnesses",
         models::template_corpus().len(),
         models::buggy_corpus().len(),
-    );
-    if !ok {
-        std::process::exit(1);
-    }
-    println!("Shape check passed.");
+    ));
+    report.shape_check(ok);
+    report.finish();
 }

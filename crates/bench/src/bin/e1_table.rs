@@ -9,7 +9,7 @@
 
 use mc_algos::floyd_warshall as fw;
 use mc_algos::graph::dense_graph;
-use mc_bench::{fmt_duration, measure, speedup, Table};
+use mc_bench::{fmt_duration, measure, speedup, Report, Table};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -68,9 +68,11 @@ fn main() {
             ]);
         }
     }
-    table.emit(&args);
-    println!(
+    let mut report = Report::new("e1", &args);
+    report.table(table);
+    report.note(
         "Shape check (paper): counter ~= events, both >= barrier on synchronization-bound runs;\n\
-         counter uses 1 sync object, events uses N, at every N above."
+         counter uses 1 sync object, events uses N, at every N above.",
     );
+    report.finish();
 }

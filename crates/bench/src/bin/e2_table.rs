@@ -9,7 +9,7 @@
 //! Usage: `cargo run --release -p mc-bench --bin e2_table [--quick] [--json]`
 
 use mc_algos::{heat, heat2d};
-use mc_bench::{fmt_duration, measure, speedup, Table};
+use mc_bench::{fmt_duration, measure, speedup, Report, Table};
 
 /// Busy-work of roughly `units` microsecond-scale chunks.
 fn burn(units: usize) {
@@ -99,9 +99,11 @@ fn main() {
         speedup(t_barrier2d.median, t_ragged2d.median),
     ]);
 
-    table.emit(&args);
-    println!(
+    let mut report = Report::new("e2", &args);
+    report.table(table);
+    report.note(
         "Shape check (paper): ragged >= barrier everywhere; the gain is largest on the\n\
-         skewed scenarios, where the barrier serializes everyone behind the slowest cell."
+         skewed scenarios, where the barrier serializes everyone behind the slowest cell.",
     );
+    report.finish();
 }

@@ -9,7 +9,7 @@
 //! Usage: `cargo run --release -p mc-bench --bin e3_table [--quick] [--json]`
 
 use mc_algos::accumulate;
-use mc_bench::{fmt_duration, measure, Table};
+use mc_bench::{fmt_duration, measure, Report, Table};
 use std::collections::HashSet;
 
 /// A compute phase heavy enough to dominate the fold, as in the paper's
@@ -90,10 +90,12 @@ fn main() {
         "true".to_string(),
         fmt_duration(t_seq.median),
     ]);
-    table.emit(&args);
-    println!(
+    let mut report = Report::new("e3", &args);
+    report.table(table);
+    report.note(
         "Shape check (paper): counter yields exactly 1 distinct result, always equal to the\n\
          sequential program; the lock version typically yields several; the ordering costs\n\
-         little when compute dominates the fold."
+         little when compute dominates the fold.",
     );
+    report.finish();
 }

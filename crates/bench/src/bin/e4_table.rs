@@ -7,7 +7,7 @@
 //!
 //! Usage: `cargo run --release -p mc-bench --bin e4_table [--quick] [--json]`
 
-use mc_bench::{fmt_duration, measure, Table};
+use mc_bench::{fmt_duration, measure, Report, Table};
 use mc_patterns::Broadcast;
 use std::sync::Arc;
 
@@ -56,10 +56,12 @@ fn main() {
             ]);
         }
     }
-    table.emit(&args);
-    println!(
+    let mut report = Report::new("e4", &args);
+    report.table(table);
+    report.note(
         "Shape check (paper): block=1 is the slow fine-grained case; larger blocks raise\n\
          throughput sharply; mixed granularities (64/512) work and stay fast; adding readers\n\
-         reuses the same single counter."
+         reuses the same single counter.",
     );
+    report.finish();
 }

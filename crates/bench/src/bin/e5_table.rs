@@ -9,7 +9,7 @@
 //!
 //! Usage: `cargo run --release -p mc-bench --bin e5_table [--quick] [--json]`
 
-use mc_bench::{fmt_duration, measure, Table};
+use mc_bench::{fmt_duration, measure, Report, Table};
 use mc_counter::{Counter, CounterDiagnostics, MonotonicCounter};
 use std::sync::Arc;
 
@@ -82,7 +82,8 @@ fn main() {
             fmt_duration(dt),
         ]);
     }
-    table.emit(&args);
+    let mut report = Report::new("e5", &args);
+    report.table(table);
 
     // Also time uncontended operations vs list length (the O(levels) walk of
     // the sorted list).
@@ -116,9 +117,10 @@ fn main() {
             h.join().expect("waiter panicked");
         }
     }
-    table2.emit(&args);
-    println!(
+    report.table(table2);
+    report.note(
         "Shape check (paper): live wait nodes == distinct levels in every row, independent\n\
-         of thread count; broadcasts == levels (one notify_all per satisfied level)."
+         of thread count; broadcasts == levels (one notify_all per satisfied level).",
     );
+    report.finish();
 }

@@ -9,7 +9,7 @@
 //! Usage: `cargo run --release -p mc-bench --bin e6_table [--quick] [--json]`
 
 use mc_algos::{accumulate, floyd_warshall as fw, graph, heat};
-use mc_bench::Table;
+use mc_bench::{Report, Table};
 use mc_detcheck::{Checker, Shared, TrackedCounter};
 use std::collections::HashSet;
 
@@ -102,7 +102,8 @@ fn main() {
         lock_distinct.to_string(),
         "(n/a: order is scheduler-chosen)".into(),
     ]);
-    table.emit(&args);
+    let mut report = Report::new("e6", &args);
+    report.table(table);
 
     // Happens-before conditions: the paper's Section 6 example and its
     // erroneous variant, through the dynamic checker.
@@ -166,10 +167,11 @@ fn main() {
             format!("RACE detected ({})", verdict_racy.races[0])
         },
     ]);
-    table2.emit(&args);
-    println!(
+    report.table(table2);
+    report.note(
         "Shape check (paper): every counter-synchronized program shows exactly 1 distinct\n\
          outcome equal to its sequential execution; the lock program shows several; the\n\
-         checker passes the correct Section 6 program and flags the erroneous one."
+         checker passes the correct Section 6 program and flags the erroneous one.",
     );
+    report.finish();
 }

@@ -15,7 +15,7 @@
 
 use mc_algos::floyd_warshall as fw;
 use mc_algos::graph::dense_graph;
-use mc_bench::{fmt_duration, measure, Table};
+use mc_bench::{fmt_duration, measure, Report, Table};
 use mc_counter::{
     AtomicCounter, BTreeCounter, Counter, CounterDiagnostics, MonitorCounter, MonotonicCounter,
     NaiveCounter, ParkingCounter, SpinCounter,
@@ -109,12 +109,14 @@ fn main() {
     bench_impl::<AtomicCounter>("atomic-fastpath", &mut table, quick, &edge);
     bench_impl::<MonitorCounter>("monitor", &mut table, quick, &edge);
     bench_impl::<SpinCounter>("spin", &mut table, quick, &edge);
-    table.emit(&args);
-    println!(
+    let mut report = Report::new("e7", &args);
+    report.table(table);
+    report.note(
         "Shape check: the waitlist/btree/parking/atomic variants issue one broadcast per\n\
          satisfied level; naive-broadcast issues one per increment and wakes every waiter\n\
          each time (its broadcast count ~= increments). The packed-word variants\n\
          (waitlist/btree/parking/atomic) tie on the uncontended column — all four share\n\
-         the same fast path; see e8_table for the fast-vs-mutex-only ablation."
+         the same fast path; see e8_table for the fast-vs-mutex-only ablation.",
     );
+    report.finish();
 }

@@ -21,7 +21,7 @@
 //!
 //! Usage: `cargo run --release -p mc-bench --bin e9_table [--quick] [--json]`
 
-use mc_bench::Table;
+use mc_bench::{Report, Table};
 use mc_counter::{Counter, MonotonicCounter, PoisonPolicy};
 use mc_durable::{DurabilityMode, DurableCounter, DurableOptions, WalStats};
 use std::path::PathBuf;
@@ -229,21 +229,24 @@ fn main() {
         format!("{:.4}", group_stats.fsyncs as f64 / group_total),
     ]);
 
-    table.emit(&args);
+    let mut report = Report::new("e9", &args);
+    report.table(table);
 
     let ratio = batched_ns / mem_ns;
     let degrade_ratio = degrade_ns / mem_ns;
     let amortized = group_stats.fsyncs as f64 / group_total;
-    println!(
+    report.metric("mem_inc_ns", mem_ns);
+    report.metric("batched_inc_ns", batched_ns);
+    report.metric("batched_ratio", ratio);
+    report.metric("degrade_ratio", degrade_ratio);
+    report.metric("strict_inc_ns", strict_ns);
+    report.metric("group_fsyncs_per_op", amortized);
+    report.note(format!(
         "Shape check: batched durable increment is {ratio:.2}x the in-memory fast path \
          ({degrade_ratio:.2}x under PoisonPolicy::Degrade; claim: <=2x for both); \
          strict group commit used {amortized:.3} fsyncs per acked \
          increment across {threads} writers (claim: <1, one fsync acks many)."
-    );
-    if ratio <= 2.0 && degrade_ratio <= 2.0 && amortized < 1.0 {
-        println!("Shape check PASSED.");
-    } else {
-        println!("Shape check FAILED.");
-        std::process::exit(1);
-    }
+    ));
+    report.shape_check(ratio <= 2.0 && degrade_ratio <= 2.0 && amortized < 1.0);
+    report.finish();
 }

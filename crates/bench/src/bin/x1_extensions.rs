@@ -8,7 +8,7 @@
 //! Usage: `cargo run --release -p mc-bench --bin x1_extensions [--quick] [--json]`
 
 use mc_algos::paraffins;
-use mc_bench::{fmt_duration, measure, speedup, Table};
+use mc_bench::{fmt_duration, measure, speedup, Report, Table};
 use mc_patterns::DataflowGraph;
 
 /// A layered DAG: `layers x width` nodes, each depending on two nodes of the
@@ -78,7 +78,8 @@ fn main() {
             "MISMATCH".into()
         },
     ]);
-    table.emit(&args);
+    let mut report = Report::new("x1", &args);
+    report.table(table);
 
     // Paraffins: staged generation with one counter.
     let max = if quick { 12 } else { 15 };
@@ -111,11 +112,12 @@ fn main() {
         speedup(t_pseq.median, t_ppar.median),
         paraffins::count_alkanes(max, &pools).to_string(),
     ]);
-    table2.emit(&args);
-    println!(
+    report.table(table2);
+    report.note(
         "Shape check: both extension workloads are deterministic (equal to their\n\
          sequential executions), as Section 6 predicts for counter-only programs.\n\
          On a single-core host the parallel columns measure pure synchronization\n\
-         overhead; on a multi-core host the DAG width becomes real speedup."
+         overhead; on a multi-core host the DAG width becomes real speedup.",
     );
+    report.finish();
 }

@@ -7,7 +7,7 @@
 //! Usage: `cargo run --release -p mc-bench --bin x2_wavefront [--quick] [--json]`
 
 use mc_algos::wavefront;
-use mc_bench::{fmt_duration, measure, Table};
+use mc_bench::{fmt_duration, measure, Report, Table};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -55,10 +55,12 @@ fn main() {
             ]);
         }
     }
-    table.emit(&args);
-    println!(
+    let mut report = Report::new("x2", &args);
+    report.table(table);
+    report.note(
         "Shape check: every configuration computes the oracle LCS; per-band counters\n\
          let band t+1 start as soon as band t finishes one column block, so the\n\
-         pipeline fill cost is one block per band rather than a full pass."
+         pipeline fill cost is one block per band rather than a full pass.",
     );
+    report.finish();
 }

@@ -4,7 +4,7 @@
 //! Usage: `cargo run --release -p mc-bench --bin x3_sorting [--quick] [--json]`
 
 use mc_algos::sorting;
-use mc_bench::{fmt_duration, measure, speedup, Table};
+use mc_bench::{fmt_duration, measure, speedup, Report, Table};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -49,10 +49,12 @@ fn main() {
             ok.to_string(),
         ]);
     }
-    table.emit(&args);
-    println!(
+    let mut report = Report::new("x3", &args);
+    report.table(table);
+    report.note(
         "Shape check: the counter version replaces n/2-way barrier passes with\n\
          2-neighbour waits; the advantage grows with thread count because barrier\n\
-         wakeup storms scale with participants while neighbour waits do not."
+         wakeup storms scale with participants while neighbour waits do not.",
     );
+    report.finish();
 }

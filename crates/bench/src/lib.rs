@@ -17,6 +17,11 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod json;
+pub mod report;
+
+pub use report::{results_dir, Report, Shape};
+
 use std::time::{Duration, Instant};
 
 /// Wall-clock statistics over repeated runs of a workload.
@@ -134,28 +139,12 @@ impl Table {
     /// Serializes the table as a pretty-printed JSON object with `title`,
     /// `headers`, and `rows` keys.
     pub fn to_json(&self) -> String {
-        fn quote(s: &str) -> String {
-            let mut out = String::with_capacity(s.len() + 2);
-            out.push('"');
-            for ch in s.chars() {
-                match ch {
-                    '"' => out.push_str("\\\""),
-                    '\\' => out.push_str("\\\\"),
-                    '\n' => out.push_str("\\n"),
-                    '\r' => out.push_str("\\r"),
-                    '\t' => out.push_str("\\t"),
-                    c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-                    c => out.push(c),
-                }
-            }
-            out.push('"');
-            out
-        }
+        use json::quote;
         fn string_array(items: &[String], indent: &str) -> String {
             if items.is_empty() {
                 return "[]".into();
             }
-            let cells: Vec<String> = items.iter().map(|s| quote(s)).collect();
+            let cells: Vec<String> = items.iter().map(|s| json::quote(s)).collect();
             format!(
                 "[\n{indent}  {}\n{indent}]",
                 cells.join(&format!(",\n{indent}  "))

@@ -25,7 +25,53 @@
 //! constructors remain as deprecated shims forwarding here.
 
 use crate::Value;
+use mc_metrics::{Event, Histogram, Registry};
 use std::marker::PhantomData;
+use std::sync::Arc;
+
+/// A destination for a counter's metrics: a shared [`Registry`] plus the
+/// dot-separated name prefix this counter publishes under. Passed through
+/// the builder ([`CounterBuilder::metrics`]); implementations that support
+/// instrumentation (the [`MeteredCounter`](crate::MeteredCounter) wrapper,
+/// [`ShardedCounter`](crate::ShardedCounter)'s combiner) attach to it at
+/// construction, everything else ignores it. `None` — the default — costs
+/// nothing: no handle is held and no record call is compiled into the path.
+#[derive(Debug, Clone)]
+pub struct MetricsSink {
+    registry: Arc<Registry>,
+    prefix: String,
+}
+
+impl MetricsSink {
+    /// A sink publishing under `prefix` (e.g. `"jobs"` → `jobs.increments`).
+    pub fn new(registry: Arc<Registry>, prefix: impl Into<String>) -> Self {
+        MetricsSink {
+            registry,
+            prefix: prefix.into(),
+        }
+    }
+
+    /// The registry metrics are published to.
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
+    }
+
+    /// The name prefix.
+    pub fn prefix(&self) -> &str {
+        &self.prefix
+    }
+
+    /// The event counter `<prefix>.<suffix>`, created on first use.
+    pub fn event(&self, suffix: &str) -> Arc<Event> {
+        self.registry.event(&format!("{}.{suffix}", self.prefix))
+    }
+
+    /// The histogram `<prefix>.<suffix>`, created on first use.
+    pub fn histogram(&self, suffix: &str) -> Arc<Histogram> {
+        self.registry
+            .histogram(&format!("{}.{suffix}", self.prefix))
+    }
+}
 
 /// What [`MonotonicCounter::poison`](crate::MonotonicCounter::poison) does.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -61,6 +107,7 @@ pub struct BuildConfig {
     capacity: Option<usize>,
     stats: bool,
     poison: PoisonPolicy,
+    metrics: Option<MetricsSink>,
 }
 
 impl Default for BuildConfig {
@@ -71,6 +118,7 @@ impl Default for BuildConfig {
             capacity: None,
             stats: true,
             poison: PoisonPolicy::Propagate,
+            metrics: None,
         }
     }
 }
@@ -101,6 +149,13 @@ impl BuildConfig {
     /// The poison policy (default [`PoisonPolicy::Propagate`]).
     pub fn poison_policy(&self) -> PoisonPolicy {
         self.poison
+    }
+
+    /// The metrics sink, if instrumentation was requested
+    /// ([`CounterBuilder::metrics`]). Implementations without
+    /// instrumentation points ignore it.
+    pub fn metrics(&self) -> Option<&MetricsSink> {
+        self.metrics.as_ref()
     }
 
     /// Convenience: whether explicit `poison` calls take effect. True for
@@ -185,6 +240,18 @@ impl<C: Buildable> CounterBuilder<C> {
     /// Sets the poison policy (default [`PoisonPolicy::Propagate`]).
     pub fn poison_policy(mut self, policy: PoisonPolicy) -> Self {
         self.cfg.poison = policy;
+        self
+    }
+
+    /// Publishes this counter's metrics under `prefix` in `registry`
+    /// (default: no instrumentation, zero overhead). Only implementations
+    /// with instrumentation points consult the sink: the
+    /// [`MeteredCounter`](crate::MeteredCounter) wrapper records operation
+    /// counts and latency histograms, and
+    /// [`ShardedCounter`](crate::ShardedCounter) records combiner
+    /// publications and flush backlog. Plain implementations ignore it.
+    pub fn metrics(mut self, registry: &Arc<Registry>, prefix: impl Into<String>) -> Self {
+        self.cfg.metrics = Some(MetricsSink::new(Arc::clone(registry), prefix));
         self
     }
 

@@ -118,6 +118,7 @@ mod counter;
 mod error;
 mod fastpath;
 mod list;
+mod metered;
 mod monitor_impl;
 mod multi;
 mod naive;
@@ -134,9 +135,10 @@ mod traits;
 
 pub use atomic::AtomicCounter;
 pub use btree::BTreeCounter;
-pub use builder::{BuildConfig, Buildable, CounterBuilder, PoisonPolicy};
+pub use builder::{BuildConfig, Buildable, CounterBuilder, MetricsSink, PoisonPolicy};
 pub use counter::Counter;
 pub use error::{CheckError, CheckTimeoutError, CounterOverflowError, FailureInfo};
+pub use metered::{MeteredCounter, SAMPLE_EVERY};
 pub use monitor_impl::MonitorCounter;
 pub use multi::{check_all, CounterSet};
 pub use naive::NaiveCounter;

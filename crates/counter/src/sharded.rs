@@ -88,7 +88,7 @@
 //! increment overlapped the jump and is ordered before it) instead of
 //! failing.
 
-use crate::builder::{BuildConfig, Buildable, CounterBuilder};
+use crate::builder::{BuildConfig, Buildable, CounterBuilder, MetricsSink};
 use crate::error::{CheckError, CheckTimeoutError, CounterOverflowError, FailureInfo};
 use crate::fastpath::{FastAdvance, FastIncrement, FastWord};
 use crate::node::WaitNode;
@@ -97,6 +97,7 @@ use crate::traits::{
     CounterDiagnostics, MonotonicCounter, Resettable, ResumableCounter, WaitingLevel,
 };
 use crate::Value;
+use mc_metrics::{Event, Histogram};
 use std::collections::BTreeMap;
 use std::sync::atomic::{
     fence, AtomicU64, AtomicUsize,
@@ -140,6 +141,31 @@ struct Cell {
 
 type WaitMap = BTreeMap<Value, Arc<WaitNode>>;
 
+/// Combiner observability, attached when the builder carries a
+/// [`MetricsSink`]. Records *why* the combiner published (a waiter forced an
+/// eager flush vs. a cell crossed the lazy threshold) and how much backlog
+/// each threshold flush carried — the two numbers that tell whether the
+/// adaptive threshold is actually batching under a given workload.
+#[derive(Debug)]
+struct CombinerMetrics {
+    /// Publications forced by a registered waiter (the eager path).
+    eager_publishes: Arc<Event>,
+    /// Publications triggered by a cell reaching the flush threshold.
+    threshold_publishes: Arc<Event>,
+    /// The triggering cell's pending delta at each threshold flush.
+    flush_backlog: Arc<Histogram>,
+}
+
+impl CombinerMetrics {
+    fn attach(sink: &MetricsSink) -> Self {
+        CombinerMetrics {
+            eager_publishes: sink.event("combiner.eager_publishes"),
+            threshold_publishes: sink.event("combiner.threshold_publishes"),
+            flush_backlog: sink.histogram("combiner.flush_backlog"),
+        }
+    }
+}
+
 struct Inner {
     /// Exact value once the packed hint saturates; see [`crate::fastpath`].
     wide: Value,
@@ -177,6 +203,7 @@ pub struct ShardedCounter {
     inner: Mutex<Inner>,
     stats: Stats,
     poison_enabled: bool,
+    metrics: Option<CombinerMetrics>,
 }
 
 impl Default for ShardedCounter {
@@ -474,8 +501,15 @@ impl MonotonicCounter for ShardedCounter {
             // instead of lingering in a cell outside the bounded regime.
             self.flush_for_waiters();
         } else if self.fast.has_waiters() {
+            if let Some(m) = &self.metrics {
+                m.eager_publishes.incr();
+            }
             self.flush_for_waiters();
         } else if pend >= self.flush_threshold.load(Relaxed) {
+            if let Some(m) = &self.metrics {
+                m.threshold_publishes.incr();
+                m.flush_backlog.record(pend);
+            }
             self.combine();
             self.relax_threshold();
         }
@@ -736,6 +770,7 @@ impl Buildable for ShardedCounter {
             }),
             stats: Stats::with_enabled(cfg.stats_enabled()),
             poison_enabled: cfg.poison_propagates(),
+            metrics: cfg.metrics().map(CombinerMetrics::attach),
         }
     }
 }
@@ -1021,6 +1056,33 @@ mod tests {
         assert_eq!(ShardedCounter::builder().shards(1).build().shard_count(), 1);
         let d = ShardedCounter::builder().build().shard_count();
         assert!(d.is_power_of_two() && (4..=64).contains(&d));
+    }
+
+    #[test]
+    fn combiner_metrics_distinguish_eager_from_threshold() {
+        let registry = Arc::new(mc_metrics::Registry::new());
+        let c = Arc::new(
+            ShardedCounter::builder()
+                .metrics(&registry, "sc")
+                .shards(1)
+                .build(),
+        );
+        // Lazy regime: crossing the threshold publishes and records backlog.
+        c.increment(MIN_FLUSH_THRESHOLD);
+        assert_eq!(registry.event("sc.combiner.threshold_publishes").get(), 1);
+        let backlog = registry.histogram("sc.combiner.flush_backlog").snapshot();
+        assert_eq!(backlog.count(), 1);
+        assert!(backlog.max >= MIN_FLUSH_THRESHOLD);
+        // Eager regime: a registered waiter forces per-increment publication.
+        let c2 = Arc::clone(&c);
+        let h = thread::spawn(move || c2.check(MIN_FLUSH_THRESHOLD + 2));
+        while c.stats().live_waiters == 0 {
+            thread::yield_now();
+        }
+        c.increment(1);
+        c.increment(1);
+        h.join().unwrap();
+        assert!(registry.event("sc.combiner.eager_publishes").get() >= 1);
     }
 
     #[test]

@@ -12,9 +12,11 @@
 //! can reach it) from one that is merely slow. Optionally it poisons
 //! provably-stuck counters so the blocked threads fail with a cause.
 
+use crate::builder::MetricsSink;
 use crate::error::FailureInfo;
 use crate::traits::{CounterDiagnostics, HealthStatus, MonotonicCounter, WaitingLevel};
 use crate::Value;
+use mc_metrics::{Event, Registry};
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering::Relaxed};
@@ -96,7 +98,27 @@ pub enum StallVerdict {
     },
 }
 
+impl StallVerdict {
+    /// A stable machine-readable label for this verdict, independent of the
+    /// variant's payload: `"idle"`, `"slow"`, `"never_satisfiable"`, or
+    /// `"restarting"`. Used as a metric-name component by the observability
+    /// layer ([`Supervisor::attach_metrics`] publishes
+    /// `<prefix>.verdict.<label>`), so it must never change shape between
+    /// releases.
+    pub fn as_label(&self) -> &'static str {
+        match self {
+            StallVerdict::Idle => "idle",
+            StallVerdict::Slow => "slow",
+            StallVerdict::NeverSatisfiable => "never_satisfiable",
+            StallVerdict::Restarting { .. } => "restarting",
+        }
+    }
+}
+
 impl fmt::Display for StallVerdict {
+    /// A stable one-line rendering, consumed by log scrapers and the metrics
+    /// exporter: the restarting backoff is canonical integer milliseconds
+    /// (`backoff 8ms`), never `Debug` output.
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             StallVerdict::Idle => f.write_str("idle"),
@@ -107,7 +129,8 @@ impl fmt::Display for StallVerdict {
                 next_backoff,
             } => write!(
                 f,
-                "restarting (attempt {attempt}, backoff {next_backoff:?})"
+                "restarting (attempt {attempt}, backoff {}ms)",
+                next_backoff.as_millis()
             ),
         }
     }
@@ -314,6 +337,71 @@ struct Entry {
     obligations: Arc<AtomicU64>,
 }
 
+/// Supervision observability, attached via [`Supervisor::attach_metrics`].
+/// Verdict tallies use the stable [`StallVerdict::as_label`] names; health
+/// transitions are counted whenever a counter's
+/// [`HealthStatus::as_label`] changes between diagnoses.
+struct SupervisorMetrics {
+    /// `diagnose` invocations (manual and watch-thread).
+    diagnoses: Arc<Event>,
+    /// Watch-thread samples.
+    ticks: Arc<Event>,
+    /// No-progress stall reports recorded by the watch thread.
+    stall_reports: Arc<Event>,
+    /// Producer restarts reported via [`Supervisor::note_restarting`].
+    restarts_noted: Arc<Event>,
+    /// Counters poisoned by this supervisor (stuck, degraded, or poison_all).
+    poisons_issued: Arc<Event>,
+    /// Counter health-label changes observed between diagnoses.
+    health_transitions: Arc<Event>,
+    /// Per-verdict tallies, one event per [`StallVerdict::as_label`] value.
+    verdict_idle: Arc<Event>,
+    verdict_slow: Arc<Event>,
+    verdict_never_satisfiable: Arc<Event>,
+    verdict_restarting: Arc<Event>,
+    /// Last observed health label per counter name, for transition counting.
+    last_health: Mutex<HashMap<String, &'static str>>,
+}
+
+impl SupervisorMetrics {
+    fn attach(sink: &MetricsSink) -> Self {
+        SupervisorMetrics {
+            diagnoses: sink.event("diagnoses"),
+            ticks: sink.event("ticks"),
+            stall_reports: sink.event("stall_reports"),
+            restarts_noted: sink.event("restarts_noted"),
+            poisons_issued: sink.event("poisons_issued"),
+            health_transitions: sink.event("health_transitions"),
+            verdict_idle: sink.event("verdict.idle"),
+            verdict_slow: sink.event("verdict.slow"),
+            verdict_never_satisfiable: sink.event("verdict.never_satisfiable"),
+            verdict_restarting: sink.event("verdict.restarting"),
+            last_health: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Tallies one diagnose pass over `report`.
+    fn record_diagnosis(&self, report: &StallReport) {
+        self.diagnoses.incr();
+        let mut last = lock_recover(&self.last_health);
+        for c in &report.counters {
+            match c.verdict {
+                StallVerdict::Idle => self.verdict_idle.incr(),
+                StallVerdict::Slow => self.verdict_slow.incr(),
+                StallVerdict::NeverSatisfiable => self.verdict_never_satisfiable.incr(),
+                StallVerdict::Restarting { .. } => self.verdict_restarting.incr(),
+            }
+            let label = c.health.as_label();
+            if last
+                .insert(c.name.clone(), label)
+                .is_some_and(|p| p != label)
+            {
+                self.health_transitions.incr();
+            }
+        }
+    }
+}
+
 /// Stop handshake for the watch thread. Lives in its own `Arc` so the
 /// sleeping thread holds no strong reference to [`Shared`] — the last
 /// [`Supervisor`] clone can then detect itself via `strong_count` and join.
@@ -343,6 +431,18 @@ struct Shared {
     /// joins the watch thread.
     user_clones: AtomicUsize,
     config: SupervisorConfig,
+    /// Observability hooks, attached (at most once) via
+    /// [`Supervisor::attach_metrics`]. `None` — the default — records
+    /// nothing.
+    metrics: Mutex<Option<SupervisorMetrics>>,
+}
+
+impl Shared {
+    fn with_metrics(&self, f: impl FnOnce(&SupervisorMetrics)) {
+        if let Some(m) = lock_recover(&self.metrics).as_ref() {
+            f(m);
+        }
+    }
 }
 
 /// A registry of counters with stall diagnostics; cheaply cloneable (clones
@@ -402,8 +502,19 @@ impl Supervisor {
                 }),
                 user_clones: AtomicUsize::new(1),
                 config,
+                metrics: Mutex::new(None),
             }),
         }
+    }
+
+    /// Publishes this supervisor's metrics under `prefix` in `registry`:
+    /// `diagnoses`, `ticks`, `stall_reports`, `restarts_noted`,
+    /// `poisons_issued`, `health_transitions`, and per-verdict tallies
+    /// `verdict.<label>` (the stable [`StallVerdict::as_label`] names).
+    /// Shared across clones; attaching again replaces the previous sink.
+    pub fn attach_metrics(&self, registry: &Arc<Registry>, prefix: impl Into<String>) {
+        let sink = MetricsSink::new(Arc::clone(registry), prefix);
+        *lock_recover(&self.shared.metrics) = Some(SupervisorMetrics::attach(&sink));
     }
 
     /// Registers `counter` under `name`. The supervisor holds only a weak
@@ -456,6 +567,7 @@ impl Supervisor {
     /// [`NeverSatisfiable`](StallVerdict::NeverSatisfiable) — so the watch
     /// thread will not poison it while the replacement worker is pending.
     pub fn note_restarting(&self, name: impl Into<String>, attempt: u32, next_backoff: Duration) {
+        self.shared.with_metrics(|m| m.restarts_noted.incr());
         lock_recover(&self.shared.restarting).insert(name.into(), (attempt, next_backoff));
     }
 
@@ -560,7 +672,10 @@ impl Supervisor {
                 health,
             });
         }
-        StallReport { counters }
+        drop(entries);
+        let report = StallReport { counters };
+        shared.with_metrics(|m| m.record_diagnosis(&report));
+        report
     }
 
     /// Poisons every live registered counter with `info`. Used by deadline
@@ -577,6 +692,8 @@ impl Supervisor {
             let entries = lock_recover(&self.shared.entries);
             entries.iter().filter_map(|e| e.counter.upgrade()).collect()
         };
+        self.shared
+            .with_metrics(|m| m.poisons_issued.add(targets.len() as u64));
         for c in targets {
             c.poison(info.clone());
         }
@@ -602,6 +719,8 @@ impl Supervisor {
                 .collect()
         };
         let poisoned = targets.len();
+        self.shared
+            .with_metrics(|m| m.poisons_issued.add(poisoned as u64));
         for counter in targets {
             counter.poison(info.clone());
         }
@@ -655,6 +774,7 @@ impl Supervisor {
             }
         }
         let poisoned = targets.len();
+        shared.with_metrics(|m| m.poisons_issued.add(poisoned as u64));
         for (counter, cause) in targets {
             counter.poison(cause);
         }
@@ -741,6 +861,7 @@ impl Supervisor {
     /// One watch-thread sample: diagnose, enforce the degrade deadline,
     /// detect no-progress, record/poison.
     fn tick(shared: &Shared, prev: &mut HashMap<String, Value>) {
+        shared.with_metrics(|m| m.ticks.incr());
         let report = Self::diagnose_shared(shared);
         // Degrade-deadline enforcement runs on every tick, independent of
         // the no-progress detector: a degraded counter can keep making
@@ -787,10 +908,12 @@ impl Supervisor {
                     })
                     .collect()
             };
+            shared.with_metrics(|m| m.poisons_issued.add(targets.len() as u64));
             for (counter, cause) in targets {
                 counter.poison(cause);
             }
         }
+        shared.with_metrics(|m| m.stall_reports.incr());
         *lock_recover(&shared.last_report) = Some(report);
     }
 
@@ -1291,6 +1414,82 @@ mod tests {
             !stall.contains('\n'),
             "stall report one line, got: {stall:?}"
         );
+    }
+
+    #[test]
+    fn verdict_display_and_labels_are_stable() {
+        // Pinned: the metrics exporter and log scrapers consume these forms.
+        assert_eq!(StallVerdict::Idle.to_string(), "idle");
+        assert_eq!(StallVerdict::Slow.to_string(), "slow");
+        assert_eq!(
+            StallVerdict::NeverSatisfiable.to_string(),
+            "never satisfiable"
+        );
+        let restarting = StallVerdict::Restarting {
+            attempt: 3,
+            next_backoff: Duration::from_millis(250),
+        };
+        assert_eq!(
+            restarting.to_string(),
+            "restarting (attempt 3, backoff 250ms)"
+        );
+        assert_eq!(StallVerdict::Idle.as_label(), "idle");
+        assert_eq!(StallVerdict::Slow.as_label(), "slow");
+        assert_eq!(
+            StallVerdict::NeverSatisfiable.as_label(),
+            "never_satisfiable"
+        );
+        assert_eq!(restarting.as_label(), "restarting");
+    }
+
+    #[test]
+    fn health_display_and_labels_are_stable() {
+        assert_eq!(HealthStatus::Healthy.to_string(), "healthy");
+        assert_eq!(HealthStatus::Poisoned.to_string(), "poisoned");
+        let degraded = HealthStatus::Degraded {
+            since: std::time::Instant::now(),
+            queued: 7,
+        };
+        let shown = degraded.to_string();
+        assert!(
+            shown.starts_with("degraded (") && shown.ends_with("ms elapsed, 7 queued)"),
+            "got: {shown}"
+        );
+        assert_eq!(HealthStatus::Healthy.as_label(), "healthy");
+        assert_eq!(degraded.as_label(), "degraded");
+        assert_eq!(HealthStatus::Poisoned.as_label(), "poisoned");
+    }
+
+    #[test]
+    fn attached_metrics_count_verdicts_restarts_and_poisons() {
+        let registry = Arc::new(Registry::new());
+        let sup = Supervisor::new();
+        sup.attach_metrics(&registry, "sup");
+        let c = Arc::new(Counter::default());
+        sup.register("worker", &c);
+        sup.diagnose(); // idle
+        let c2 = Arc::clone(&c);
+        let h = thread::spawn(move || c2.wait_timeout(9, Duration::from_secs(10)));
+        while c.waiters().is_empty() {
+            thread::yield_now();
+        }
+        sup.diagnose(); // never satisfiable
+        sup.note_restarting("worker", 1, Duration::from_millis(5));
+        sup.diagnose(); // restarting
+        sup.clear_restarting("worker");
+        assert_eq!(sup.poison_stuck(FailureInfo::new("stuck")), 1);
+        assert!(matches!(h.join().unwrap(), Err(CheckError::Poisoned(_))));
+        assert_eq!(registry.event("sup.verdict.idle").get(), 1);
+        // 2: the explicit diagnose plus poison_stuck's internal pass.
+        assert_eq!(registry.event("sup.verdict.never_satisfiable").get(), 2);
+        assert_eq!(registry.event("sup.verdict.restarting").get(), 1);
+        assert_eq!(registry.event("sup.restarts_noted").get(), 1);
+        assert_eq!(registry.event("sup.poisons_issued").get(), 1);
+        // poison_stuck's internal diagnose pass observed the poisoned
+        // health, flipping worker's health label from healthy: 1 transition.
+        sup.diagnose();
+        assert_eq!(registry.event("sup.health_transitions").get(), 1);
+        assert!(registry.event("sup.diagnoses").get() >= 4);
     }
 
     #[test]

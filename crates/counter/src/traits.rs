@@ -218,16 +218,32 @@ impl HealthStatus {
     pub fn is_poisoned(&self) -> bool {
         matches!(self, HealthStatus::Poisoned)
     }
+
+    /// A stable machine-readable label for this status, independent of the
+    /// variant's payload: `"healthy"`, `"degraded"`, or `"poisoned"`. Used as
+    /// a metric-name component by the observability layer, so it must never
+    /// change shape between releases.
+    pub fn as_label(&self) -> &'static str {
+        match self {
+            HealthStatus::Healthy => "healthy",
+            HealthStatus::Degraded { .. } => "degraded",
+            HealthStatus::Poisoned => "poisoned",
+        }
+    }
 }
 
 impl std::fmt::Display for HealthStatus {
+    /// A stable one-line rendering: the [`as_label`](Self::as_label) word,
+    /// with degraded carrying `(<elapsed>ms elapsed, <n> queued)`. Consumed
+    /// by log scrapers and the metrics exporter — durations are canonical
+    /// integer milliseconds, never `Debug` output.
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             HealthStatus::Healthy => write!(f, "healthy"),
             HealthStatus::Degraded { since, queued } => write!(
                 f,
-                "degraded ({:?} elapsed, {queued} queued)",
-                since.elapsed()
+                "degraded ({}ms elapsed, {queued} queued)",
+                since.elapsed().as_millis()
             ),
             HealthStatus::Poisoned => write!(f, "poisoned"),
         }

@@ -4,8 +4,8 @@
 
 use mc_counter::{
     AtomicCounter, BTreeCounter, CheckError, Counter, CounterDiagnostics, FailureInfo,
-    MonitorCounter, MonotonicCounter, NaiveCounter, ParkingCounter, Resettable, ShardedCounter,
-    SpinCounter, TracingCounter,
+    MeteredCounter, MonitorCounter, MonotonicCounter, NaiveCounter, ParkingCounter, Resettable,
+    ShardedCounter, SpinCounter, TracingCounter,
 };
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -466,3 +466,25 @@ conformance!(traced, TracingCounter);
 conformance!(spin, SpinCounter);
 conformance!(monitor, MonitorCounter);
 conformance!(sharded, ShardedCounter);
+conformance!(metered, MeteredCounter<Counter>);
+
+/// The metered wrapper must forward the complete `MonotonicCounter` surface
+/// even with instrumentation ENABLED — a recording path that forgot to call
+/// through (or called a different method) would silently change semantics
+/// exactly when observability is switched on.
+#[test]
+fn metered_forwards_everything_with_metrics_enabled() {
+    use mc_counter::testkit::{self, RecordingCounter};
+    use mc_metrics::Registry;
+    let registry = Arc::new(Registry::new());
+    let sink = mc_counter::MetricsSink::new(Arc::clone(&registry), "fwd");
+    let c = MeteredCounter::wrap(RecordingCounter::default(), Some(&sink));
+    testkit::exercise_all(&c);
+    testkit::assert_all_forwarded(c.inner());
+    // And the instruments really were live during the exercise: waits are
+    // counted inline, hot-path counts arrive via publish_stats.
+    assert!(registry.event("fwd.waits").get() > 0);
+    c.publish_stats();
+    assert!(registry.event("fwd.increments").get() > 0);
+    assert!(registry.event("fwd.checks").get() > 0);
+}

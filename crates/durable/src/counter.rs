@@ -68,9 +68,10 @@ use crate::RetryPolicy;
 use mc_chaos::Failpoints;
 use mc_counter::{
     CheckError, Counter, CounterDiagnostics, CounterOverflowError, CounterRecovery, FailureInfo,
-    HealthStatus, MonotonicCounter, PoisonPolicy, ResumableCounter, StatsSnapshot, Supervisor,
-    Value, WaitingLevel,
+    HealthStatus, MetricsSink, MonotonicCounter, PoisonPolicy, ResumableCounter, StatsSnapshot,
+    Supervisor, Value, WaitingLevel,
 };
+use mc_metrics::{Event, Histogram};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::SeqCst};
 // lint:allow(raw-sync): WAL-core plumbing (flusher handoff queues), not protocol synchronization
@@ -122,6 +123,10 @@ pub struct DurableOptions {
     /// Degraded mode: how often the flusher probes for recovery.
     /// Default: 50ms.
     pub resync_interval: Duration,
+    /// Publish WAL metrics (`<prefix>.wal.*` events plus `fsync_ns` and
+    /// `batch_records` histograms) to a registry. `None` (default) keeps
+    /// the flusher free of any metrics work.
+    pub metrics: Option<MetricsSink>,
 }
 
 impl Default for DurableOptions {
@@ -134,7 +139,65 @@ impl Default for DurableOptions {
             failpoints: None,
             replay_budget: 4096,
             resync_interval: Duration::from_millis(50),
+            metrics: None,
         }
+    }
+}
+
+/// Registry handles the flusher publishes to, plus the last [`WalStats`]
+/// it already exported: the flusher bumps its [`Shared`] atomics at the
+/// fault sites (inside retry loops, from static contexts) and this mirrors
+/// them into the registry as deltas once per flush round, so the events
+/// stay exact without threading registry handles through the WAL core.
+struct DurableMetrics {
+    fsyncs: Arc<Event>,
+    records_logged: Arc<Event>,
+    snapshots: Arc<Event>,
+    retries: Arc<Event>,
+    degraded_entries: Arc<Event>,
+    resyncs: Arc<Event>,
+    /// Latency of one append+fsync round (the group-commit critical path).
+    fsync_ns: Arc<Histogram>,
+    /// Records coalesced into each non-empty flush batch.
+    batch_records: Arc<Histogram>,
+    last: WalStats,
+}
+
+impl DurableMetrics {
+    fn attach(sink: &MetricsSink) -> Self {
+        DurableMetrics {
+            fsyncs: sink.event("wal.fsyncs"),
+            records_logged: sink.event("wal.records_logged"),
+            snapshots: sink.event("wal.snapshots"),
+            retries: sink.event("wal.retries"),
+            degraded_entries: sink.event("wal.degraded_entries"),
+            resyncs: sink.event("wal.resyncs"),
+            fsync_ns: sink.histogram("wal.fsync_ns"),
+            batch_records: sink.histogram("wal.batch_records"),
+            last: WalStats::default(),
+        }
+    }
+
+    /// Publishes everything the [`Shared`] atomics gained since the last
+    /// call.
+    fn sync_from(&mut self, shared: &Shared) {
+        let now = WalStats {
+            fsyncs: shared.fsyncs.load(SeqCst),
+            records_logged: shared.records_logged.load(SeqCst),
+            snapshots: shared.snapshots.load(SeqCst),
+            retries: shared.io_retries.load(SeqCst),
+            degraded_entries: shared.degraded_entries.load(SeqCst),
+            resyncs: shared.resyncs.load(SeqCst),
+        };
+        self.fsyncs.add(now.fsyncs - self.last.fsyncs);
+        self.records_logged
+            .add(now.records_logged - self.last.records_logged);
+        self.snapshots.add(now.snapshots - self.last.snapshots);
+        self.retries.add(now.retries - self.last.retries);
+        self.degraded_entries
+            .add(now.degraded_entries - self.last.degraded_entries);
+        self.resyncs.add(now.resyncs - self.last.resyncs);
+        self.last = now;
     }
 }
 
@@ -318,6 +381,9 @@ struct Flusher<C> {
     acked_pending: usize,
     records_since_snapshot: u64,
     snapshot_every: u64,
+    /// `Some` when [`DurableOptions::metrics`] was set; see
+    /// [`DurableMetrics`] for the publication protocol.
+    metrics: Option<DurableMetrics>,
 }
 
 impl<C: MonotonicCounter + CounterDiagnostics> Flusher<C> {
@@ -342,6 +408,7 @@ impl<C: MonotonicCounter + CounterDiagnostics> Flusher<C> {
             if self.wal.is_none() {
                 self.serve_from_memory();
                 self.try_resync();
+                self.publish_metrics();
                 if stopping {
                     return;
                 }
@@ -350,15 +417,19 @@ impl<C: MonotonicCounter + CounterDiagnostics> Flusher<C> {
 
             if let Err(e) = self.flush_once() {
                 if !self.enter_degraded(e) {
+                    self.publish_metrics();
                     return; // poisoned under Propagate: the thread is done
                 }
                 self.serve_from_memory();
+                self.publish_metrics();
                 if stopping {
                     self.try_resync();
+                    self.publish_metrics();
                     return;
                 }
                 continue;
             }
+            self.publish_metrics();
             if stopping {
                 return;
             }
@@ -395,6 +466,15 @@ impl<C: MonotonicCounter + CounterDiagnostics> Flusher<C> {
         self.pending_poisons.extend(drained);
         if self.poison.is_none() {
             self.poison = self.pending_poisons.first().cloned();
+        }
+    }
+
+    /// Mirrors the [`Shared`] stat atomics into the attached registry (a
+    /// no-op without one). Called once per flusher round and on every exit
+    /// path, so dropping the counter leaves the registry exact.
+    fn publish_metrics(&mut self) {
+        if let Some(m) = self.metrics.as_mut() {
+            m.sync_from(&self.shared);
         }
     }
 
@@ -438,6 +518,7 @@ impl<C: MonotonicCounter + CounterDiagnostics> Flusher<C> {
             // first so every attempt starts at a verified frame boundary.
             let good_len = self.synced_len;
             let mut first_attempt = true;
+            let started = self.metrics.as_ref().map(|_| Instant::now());
             with_retry(
                 &self.retry,
                 &mut self.jitter,
@@ -452,6 +533,10 @@ impl<C: MonotonicCounter + CounterDiagnostics> Flusher<C> {
                     Ok(())
                 },
             )?;
+            if let (Some(m), Some(t0)) = (self.metrics.as_ref(), started) {
+                m.fsync_ns.record_duration(t0.elapsed());
+                m.batch_records.record(records);
+            }
             self.synced_len = good_len + batch.len() as u64;
             self.next_seq = seq;
             self.records_since_snapshot += records;
@@ -617,7 +702,14 @@ impl<C: MonotonicCounter + CounterDiagnostics> Flusher<C> {
         // never fsynced (an append that succeeded before the fsync fault),
         // and returning to Healthy must never claim page-cache-only bytes
         // as crash-durable.
+        let started = self.metrics.as_ref().map(|_| Instant::now());
         wal.sync()?;
+        if let (Some(m), Some(t0)) = (self.metrics.as_ref(), started) {
+            m.fsync_ns.record_duration(t0.elapsed());
+            if records > 0 {
+                m.batch_records.record(records);
+            }
+        }
         self.shared.fsyncs.fetch_add(1, SeqCst);
         if records > 0 {
             self.shared.records_logged.fetch_add(records, SeqCst);
@@ -728,6 +820,7 @@ where
             acked_pending: 0,
             records_since_snapshot: 0,
             snapshot_every: options.snapshot_every,
+            metrics: options.metrics.as_ref().map(DurableMetrics::attach),
         };
         let handle = std::thread::Builder::new()
             .name("mc-durable-flusher".into())
@@ -1016,6 +1109,62 @@ mod tests {
             resync_interval: Duration::from_millis(5),
             ..DurableOptions::default()
         }
+    }
+
+    #[test]
+    fn attached_metrics_mirror_wal_stats() {
+        let dir = test_dir("metrics-export");
+        let registry = Arc::new(mc_metrics::Registry::new());
+        let options = DurableOptions {
+            metrics: Some(MetricsSink::new(Arc::clone(&registry), "dur")),
+            ..DurableOptions::default()
+        };
+        let (c, _) = DurableCounter::<Counter>::open_with(&dir, options).unwrap();
+        for _ in 0..10 {
+            c.increment(1);
+        }
+        c.sync().unwrap();
+        let stats = c.wal_stats();
+        assert!(stats.fsyncs >= 1);
+        drop(c); // joins the flusher: the final delta publish lands
+
+        assert_eq!(registry.event("dur.wal.fsyncs").get(), stats.fsyncs);
+        assert_eq!(
+            registry.event("dur.wal.records_logged").get(),
+            stats.records_logged
+        );
+        assert_eq!(registry.event("dur.wal.degraded_entries").get(), 0);
+        let fsync_ns = registry.histogram("dur.wal.fsync_ns").snapshot();
+        assert!(fsync_ns.count() >= 1, "fsync latency must be recorded");
+        let batches = registry.histogram("dur.wal.batch_records").snapshot();
+        assert!(batches.count() >= 1, "batch sizes must be recorded");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn degraded_cycle_reaches_the_registry() {
+        let dir = test_dir("metrics-degrade");
+        let fp = Arc::new(Failpoints::new(42));
+        let registry = Arc::new(mc_metrics::Registry::new());
+        let options = DurableOptions {
+            metrics: Some(MetricsSink::new(Arc::clone(&registry), "dur")),
+            ..degrade_options(&fp)
+        };
+        let (c, _) = DurableCounter::<Counter>::open_with(&dir, options).unwrap();
+        c.increment(1);
+        fp.arm(
+            crate::SITE_WAL_FSYNC,
+            FailConfig::always(io::ErrorKind::StorageFull),
+        );
+        c.increment(1);
+        wait_for("degraded health", || c.health().is_degraded());
+        fp.disarm(crate::SITE_WAL_FSYNC);
+        wait_for("healthy health", || c.health().is_healthy());
+        drop(c);
+
+        assert_eq!(registry.event("dur.wal.degraded_entries").get(), 1);
+        assert!(registry.event("dur.wal.resyncs").get() >= 1);
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

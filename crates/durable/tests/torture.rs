@@ -89,6 +89,7 @@ fn torture_options(fp: &Arc<Failpoints>) -> DurableOptions {
         failpoints: Some(Arc::clone(fp)),
         replay_budget: 64,
         resync_interval: Duration::from_millis(2),
+        metrics: None,
     }
 }
 
@@ -243,6 +244,7 @@ fn child_degraded_increments() {
         failpoints: None,
         replay_budget: 3,
         resync_interval: Duration::from_millis(1),
+        metrics: None,
     };
     let counter = loop {
         match DurableCounter::<Counter>::open_with(&dir, options()) {

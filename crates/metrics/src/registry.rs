@@ -1,0 +1,271 @@
+//! The global-free metric [`Registry`] and its exporters.
+
+use crate::{Event, Histogram, HistogramSnapshot};
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex, PoisonError};
+
+/// One registered metric: either an [`Event`] counter or a [`Histogram`].
+#[derive(Debug, Clone)]
+pub enum Metric {
+    /// A monotone event counter.
+    Event(Arc<Event>),
+    /// A log-bucketed histogram.
+    Histogram(Arc<Histogram>),
+}
+
+/// A name→metric map with **no global instance**: create as many as the
+/// process needs and pass them explicitly. The mutex guards only
+/// registration and snapshotting; instruments hold `Arc`s obtained at attach
+/// time, so the record path never takes it.
+///
+/// Names are dot-separated lowercase paths (`durable.fsync_ns`); the
+/// Prometheus exporter maps them to `snake_case` identifiers.
+#[derive(Debug, Default)]
+pub struct Registry {
+    metrics: Mutex<BTreeMap<String, Metric>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, BTreeMap<String, Metric>> {
+        // A panicking registrant leaves the map structurally valid.
+        self.metrics.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// The event counter registered under `name`, created on first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a histogram.
+    pub fn event(&self, name: &str) -> Arc<Event> {
+        let mut map = self.lock();
+        match map
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Event(Arc::new(Event::new())))
+        {
+            Metric::Event(e) => Arc::clone(e),
+            Metric::Histogram(_) => panic!("metric '{name}' is registered as a histogram"),
+        }
+    }
+
+    /// The histogram registered under `name`, created on first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as an event counter.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut map = self.lock();
+        match map
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Histogram(Arc::new(Histogram::new())))
+        {
+            Metric::Histogram(h) => Arc::clone(h),
+            Metric::Event(_) => panic!("metric '{name}' is registered as an event counter"),
+        }
+    }
+
+    /// The registered metric names, sorted.
+    pub fn names(&self) -> Vec<String> {
+        self.lock().keys().cloned().collect()
+    }
+
+    /// A point-in-time copy of every registered metric.
+    pub fn snapshot(&self) -> RegistrySnapshot {
+        let map = self.lock();
+        RegistrySnapshot {
+            metrics: map
+                .iter()
+                .map(|(name, m)| {
+                    let snap = match m {
+                        Metric::Event(e) => MetricSnapshot::Event(e.get()),
+                        Metric::Histogram(h) => MetricSnapshot::Histogram(Box::new(h.snapshot())),
+                    };
+                    (name.clone(), snap)
+                })
+                .collect(),
+        }
+    }
+
+    /// Renders every metric in the Prometheus text exposition format:
+    /// events as `counter` samples, histograms as `summary` quantiles plus
+    /// `_sum`/`_count`/`_max`.
+    pub fn render_prometheus(&self) -> String {
+        self.snapshot().render_prometheus()
+    }
+
+    /// Renders every metric as one JSON object:
+    /// `{"events": {...}, "histograms": {...}}`.
+    pub fn render_json(&self) -> String {
+        self.snapshot().render_json()
+    }
+}
+
+/// A point-in-time copy of a whole [`Registry`].
+#[derive(Debug, Clone, Default)]
+pub struct RegistrySnapshot {
+    /// Name → metric snapshot, sorted by name.
+    pub metrics: BTreeMap<String, MetricSnapshot>,
+}
+
+/// The snapshot of one metric.
+#[derive(Debug, Clone)]
+pub enum MetricSnapshot {
+    /// An event counter's total.
+    Event(u64),
+    /// A histogram's buckets and derived statistics (boxed: a snapshot
+    /// carries all 65 buckets and would otherwise dominate the enum).
+    Histogram(Box<HistogramSnapshot>),
+}
+
+/// Maps a dotted metric name to a Prometheus identifier: `mc_` prefix,
+/// non-alphanumerics to `_`.
+fn prometheus_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 3);
+    out.push_str("mc_");
+    for ch in name.chars() {
+        out.push(if ch.is_ascii_alphanumeric() { ch } else { '_' });
+    }
+    out
+}
+
+impl RegistrySnapshot {
+    /// See [`Registry::render_prometheus`].
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::new();
+        for (name, m) in &self.metrics {
+            let id = prometheus_name(name);
+            match m {
+                MetricSnapshot::Event(total) => {
+                    out.push_str(&format!("# TYPE {id} counter\n{id} {total}\n"));
+                }
+                MetricSnapshot::Histogram(h) => {
+                    out.push_str(&format!("# TYPE {id} summary\n"));
+                    for (q, v) in [(0.5, h.p50()), (0.9, h.p90()), (0.99, h.p99())] {
+                        out.push_str(&format!("{id}{{quantile=\"{q}\"}} {v}\n"));
+                    }
+                    out.push_str(&format!("{id}_sum {}\n", h.sum));
+                    out.push_str(&format!("{id}_count {}\n", h.count()));
+                    out.push_str(&format!("{id}_max {}\n", h.max));
+                }
+            }
+        }
+        out
+    }
+
+    /// See [`Registry::render_json`].
+    pub fn render_json(&self) -> String {
+        fn quote(s: &str) -> String {
+            let mut out = String::with_capacity(s.len() + 2);
+            out.push('"');
+            for ch in s.chars() {
+                match ch {
+                    '"' => out.push_str("\\\""),
+                    '\\' => out.push_str("\\\\"),
+                    c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                    c => out.push(c),
+                }
+            }
+            out.push('"');
+            out
+        }
+        let mut events = Vec::new();
+        let mut hists = Vec::new();
+        for (name, m) in &self.metrics {
+            match m {
+                MetricSnapshot::Event(total) => {
+                    events.push(format!("    {}: {total}", quote(name)));
+                }
+                MetricSnapshot::Histogram(h) => {
+                    hists.push(format!(
+                        "    {}: {{\"count\": {}, \"sum\": {}, \"mean\": {:.1}, \
+                         \"p50\": {}, \"p90\": {}, \"p99\": {}, \"max\": {}}}",
+                        quote(name),
+                        h.count(),
+                        h.sum,
+                        h.mean(),
+                        h.p50(),
+                        h.p90(),
+                        h.p99(),
+                        h.max
+                    ));
+                }
+            }
+        }
+        format!(
+            "{{\n  \"events\": {{\n{}\n  }},\n  \"histograms\": {{\n{}\n  }}\n}}",
+            events.join(",\n"),
+            hists.join(",\n")
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn event_is_get_or_create() {
+        let r = Registry::new();
+        let a = r.event("x.hits");
+        let b = r.event("x.hits");
+        a.incr();
+        assert_eq!(b.get(), 1);
+        assert_eq!(r.names(), vec!["x.hits".to_string()]);
+    }
+
+    #[test]
+    fn histogram_is_get_or_create() {
+        let r = Registry::new();
+        r.histogram("x.ns").record(5);
+        assert_eq!(r.histogram("x.ns").snapshot().count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "registered as a histogram")]
+    fn kind_clash_panics() {
+        let r = Registry::new();
+        r.histogram("x");
+        r.event("x");
+    }
+
+    #[test]
+    fn prometheus_rendering_shape() {
+        let r = Registry::new();
+        r.event("durable.fsyncs").add(3);
+        r.histogram("durable.fsync_ns").record(1000);
+        let text = r.render_prometheus();
+        assert!(text.contains("# TYPE mc_durable_fsyncs counter"));
+        assert!(text.contains("mc_durable_fsyncs 3"));
+        assert!(text.contains("# TYPE mc_durable_fsync_ns summary"));
+        assert!(text.contains("mc_durable_fsync_ns{quantile=\"0.5\"}"));
+        assert!(text.contains("mc_durable_fsync_ns_count 1"));
+    }
+
+    #[test]
+    fn json_rendering_shape() {
+        let r = Registry::new();
+        r.event("a.hits").incr();
+        r.histogram("a.ns").record(7);
+        let json = r.render_json();
+        assert!(json.contains("\"a.hits\": 1"));
+        assert!(json.contains("\"count\": 1"));
+        assert!(json.contains("\"max\": 7"));
+    }
+
+    #[test]
+    fn snapshot_is_point_in_time() {
+        let r = Registry::new();
+        let e = r.event("n");
+        e.incr();
+        let snap = r.snapshot();
+        e.incr();
+        match snap.metrics.get("n") {
+            Some(MetricSnapshot::Event(1)) => {}
+            other => panic!("unexpected snapshot: {other:?}"),
+        }
+    }
+}

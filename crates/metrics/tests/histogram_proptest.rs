@@ -1,0 +1,119 @@
+//! Property battery for the lock-free histogram: concurrent recording and
+//! merging never lose counts, quantile estimates are monotone and bounded,
+//! and snapshots taken under full write contention never panic.
+
+use mc_metrics::{Histogram, BUCKETS};
+use proptest::collection::vec;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every recorded sample lands in exactly one bucket: the snapshot's
+    /// total count equals the number of records, its sum their saturating
+    /// sum, its max their max.
+    fn counts_are_exact(samples in vec(0u64..1 << 40, 0..200)) {
+        let h = Histogram::new();
+        for &s in &samples {
+            h.record(s);
+        }
+        let snap = h.snapshot();
+        prop_assert_eq!(snap.count(), samples.len() as u64);
+        let expected_sum = samples
+            .iter()
+            .fold(0u64, |acc, &s| acc.saturating_add(s));
+        prop_assert_eq!(snap.sum, expected_sum);
+        prop_assert_eq!(snap.max, samples.iter().copied().max().unwrap_or(0));
+    }
+
+    /// Recording the same samples from four threads concurrently loses
+    /// nothing relative to recording them sequentially.
+    fn concurrent_record_never_loses_counts(samples in vec(0u64..1 << 32, 1..100)) {
+        let h = Arc::new(Histogram::new());
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let h = Arc::clone(&h);
+                let samples = samples.clone();
+                scope.spawn(move || {
+                    for s in samples {
+                        h.record(s);
+                    }
+                });
+            }
+        });
+        let snap = h.snapshot();
+        prop_assert_eq!(snap.count(), 4 * samples.len() as u64);
+        prop_assert_eq!(snap.max, samples.iter().copied().max().unwrap_or(0));
+    }
+
+    /// Merging two histograms is lossless: the merged bucket vector is the
+    /// element-wise sum, so no cross-thread aggregation can drop samples.
+    fn merge_never_loses_counts(
+        left in vec(0u64..1 << 48, 0..150),
+        right in vec(0u64..1 << 48, 0..150),
+    ) {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        for &s in &left {
+            a.record(s);
+        }
+        for &s in &right {
+            b.record(s);
+        }
+        let (sa, sb) = (a.snapshot(), b.snapshot());
+        a.merge_from(&b);
+        let merged = a.snapshot();
+        prop_assert_eq!(merged.count(), (left.len() + right.len()) as u64);
+        for i in 0..BUCKETS {
+            prop_assert_eq!(merged.buckets[i], sa.buckets[i] + sb.buckets[i]);
+        }
+        prop_assert_eq!(merged.max, sa.max.max(sb.max));
+    }
+
+    /// Quantile estimates are monotone in q, bracket the true order
+    /// statistic to within the 2x bucket resolution, and never exceed the
+    /// exact observed max.
+    fn quantiles_monotone_and_bounded(samples in vec(0u64..1 << 40, 1..200)) {
+        let h = Histogram::new();
+        for &s in &samples {
+            h.record(s);
+        }
+        let snap = h.snapshot();
+        let qs = [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0];
+        let mut prev = 0;
+        for &q in &qs {
+            let v = snap.quantile(q);
+            prop_assert!(v >= prev, "quantile({q}) = {v} < previous {prev}");
+            prop_assert!(v <= snap.max);
+            prev = v;
+        }
+        // The 1.0-quantile estimate is within the containing bucket of the
+        // true max (capped at it exactly).
+        prop_assert_eq!(snap.quantile(1.0), snap.max);
+    }
+
+    /// Snapshots taken while four writers hammer the histogram never panic
+    /// and never report more samples than have been started.
+    fn snapshot_under_contention_never_panics(seed in 0u64..1000) {
+        let h = Arc::new(Histogram::new());
+        let per_thread = 2_000u64;
+        std::thread::scope(|scope| {
+            for t in 0..4u64 {
+                let h = Arc::clone(&h);
+                scope.spawn(move || {
+                    for i in 0..per_thread {
+                        h.record((seed + t * 31 + i) % 10_000);
+                    }
+                });
+            }
+            for _ in 0..50 {
+                let snap = h.snapshot();
+                prop_assert!(snap.count() <= 4 * per_thread);
+                let _ = (snap.p50(), snap.p90(), snap.p99(), snap.mean());
+            }
+        });
+        let done = h.snapshot();
+        prop_assert_eq!(done.count(), 4 * per_thread);
+    }
+}

@@ -1085,6 +1085,40 @@ mod tests {
     }
 
     #[test]
+    fn tree_restarts_surface_in_an_attached_metrics_registry() {
+        // A supervised tree run must export its restart count: the tree
+        // reports each pending restart (per registered counter) via
+        // `Supervisor::note_restarting`, which the supervisor mirrors into
+        // an attached registry.
+        let registry = Arc::new(mc_metrics::Registry::new());
+        let sup = Supervisor::new();
+        sup.attach_metrics(&registry, "sup");
+        let done = Arc::new(Counter::default());
+        let d = Arc::clone(&done);
+        let report = SupervisionTree::builder()
+            .supervisor(&sup)
+            .limits(fast_limits())
+            .child(
+                ChildSpec::new("flaky", move |ctx| {
+                    if ctx.attempt() < 2 {
+                        panic!("twice");
+                    }
+                    d.increment(1);
+                })
+                .counter("done", &done),
+            )
+            .build()
+            .run()
+            .unwrap();
+        assert_eq!(report.child("flaky").unwrap().restarts, 2);
+        assert_eq!(
+            registry.event("sup.restarts_noted").get(),
+            2,
+            "each note_restarting call must reach the registry"
+        );
+    }
+
+    #[test]
     fn pending_restart_reports_restarting_verdict() {
         // While the failed child backs off, its counter must be diagnosed
         // Restarting (not NeverSatisfiable) and must not be poisoned by a

@@ -1,0 +1,49 @@
+//! Observability: wire counters into a metrics registry and export it.
+//!
+//! One `Registry` collects everything — metered counters, supervisor
+//! diagnostics — and renders either a Prometheus text exposition or a JSON
+//! document, with no dependencies beyond the workspace.
+//!
+//! Run with: `cargo run --example metrics_export`
+
+use monotonic_counters::prelude::*;
+use std::sync::Arc;
+
+fn main() {
+    let registry = Arc::new(Registry::new());
+
+    // 1. A metered counter: the same `MonotonicCounter` API, publishing
+    //    `app.*` events and latency histograms into the registry. The hot
+    //    operations stay zero-overhead; their totals ride the counter's
+    //    always-on statistics tier and reach the registry when
+    //    `publish_stats` runs (call it before each scrape).
+    let c = Arc::new(
+        MeteredCounter::<Counter>::builder()
+            .metrics(&registry, "app")
+            .build(),
+    );
+    std::thread::scope(|s| {
+        let waiter = Arc::clone(&c);
+        s.spawn(move || waiter.check(1_000));
+        for _ in 0..1_000 {
+            c.increment(1);
+        }
+    });
+    c.publish_stats();
+
+    // 2. Supervisor diagnostics land in the same registry under `sup.*`:
+    //    diagnose passes, per-verdict tallies, restarts, poisons.
+    let sup = Supervisor::new();
+    sup.attach_metrics(&registry, "sup");
+    let done = Arc::new(Counter::default());
+    sup.register("done", &done);
+    let _report = sup.diagnose();
+
+    // 3. Export. Prometheus text for a scrape endpoint...
+    println!("--- Prometheus exposition ---");
+    print!("{}", registry.snapshot().render_prometheus());
+
+    // ...or JSON for ad-hoc tooling.
+    println!("--- JSON ---");
+    println!("{}", registry.snapshot().render_json());
+}

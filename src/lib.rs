@@ -26,6 +26,11 @@
 //! * [`durable`] — crash-durable counters: a CRC32-framed write-ahead log
 //!   with group-commit batching, snapshot + truncation, and recovery that
 //!   restores both value and poison state after a crash.
+//! * [`metrics`] — dependency-free observability: a [`Registry`] of counters
+//!   and log-bucketed histograms with Prometheus and JSON exporters, fed by
+//!   the metered counter wrapper, the durable flusher, and the supervisor.
+//!
+//! [`Registry`]: mc_metrics::Registry
 //!
 //! See `README.md` for a tour, `DESIGN.md` for the system inventory, and
 //! `EXPERIMENTS.md` for the reproduction results.
@@ -49,6 +54,7 @@ pub use mc_chaos as chaos;
 pub use mc_counter as counter;
 pub use mc_detcheck as detcheck;
 pub use mc_durable as durable;
+pub use mc_metrics as metrics;
 pub use mc_patterns as patterns;
 pub use mc_primitives as primitives;
 pub use mc_sthreads as sthreads;
@@ -69,14 +75,15 @@ pub mod prelude {
     pub use mc_counter::{
         check_all, AtomicCounter, BTreeCounter, BuildConfig, Buildable, CheckError,
         CheckTimeoutError, Counter, CounterBuilder, CounterDiagnostics, CounterExt,
-        CounterOverflowError, CounterSet, DynCounter, FailureInfo, HealthStatus, MonitorCounter,
-        MonotonicCounter, NaiveCounter, Obligation, ParkingCounter, PoisonPolicy, Resettable,
-        ShardedCounter, SpinCounter, StallReport, StallVerdict, StatsSnapshot, Supervisor,
-        SupervisorConfig, TracingCounter, Value,
+        CounterOverflowError, CounterSet, DynCounter, FailureInfo, HealthStatus, MeteredCounter,
+        MetricsSink, MonitorCounter, MonotonicCounter, NaiveCounter, Obligation, ParkingCounter,
+        PoisonPolicy, Resettable, ShardedCounter, SpinCounter, StallReport, StallVerdict,
+        StatsSnapshot, Supervisor, SupervisorConfig, TracingCounter, Value,
     };
     pub use mc_durable::{
         DurabilityMode, DurableCounter, DurableOptions, RetryPolicy, WalError, WalStats,
     };
+    pub use mc_metrics::Registry;
     pub use mc_patterns::{
         Broadcast, CheckpointedPipeline, DataflowGraph, Pipeline, RaggedBarrier,
         RestartablePipeline, Sequencer,
